@@ -1,0 +1,68 @@
+//===- bench/BenchCommon.h - Shared helpers for figure benches --*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the per-figure reproduction benches: running all four
+/// schemes over a workload and formatting rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_BENCH_BENCHCOMMON_H
+#define SLP_BENCH_BENCHCOMMON_H
+
+#include "slp/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace slp {
+namespace bench {
+
+/// Results of every scheme on one workload.
+struct SchemeResults {
+  std::string Name;
+  PipelineResult Native;
+  PipelineResult Slp;
+  PipelineResult Global;
+  PipelineResult GlobalLayout;
+};
+
+inline SchemeResults runAllSchemes(const Workload &W,
+                                   const MachineModel &Machine) {
+  PipelineOptions Options;
+  Options.Machine = Machine;
+  SchemeResults R;
+  R.Name = W.Name;
+  R.Native = runPipeline(W.TheKernel, OptimizerKind::Native, Options);
+  R.Slp = runPipeline(W.TheKernel, OptimizerKind::LarsenSlp, Options);
+  R.Global = runPipeline(W.TheKernel, OptimizerKind::Global, Options);
+  R.GlobalLayout =
+      runPipeline(W.TheKernel, OptimizerKind::GlobalLayout, Options);
+  return R;
+}
+
+/// Registers a google-benchmark timer for one optimizer over one workload
+/// (used so each figure binary also produces timing entries).
+inline void registerOptimizerTimer(const std::string &Label,
+                                   const std::string &WorkloadName,
+                                   OptimizerKind Kind,
+                                   const MachineModel &Machine) {
+  benchmark::RegisterBenchmark(Label.c_str(), [WorkloadName, Kind,
+                                               Machine](benchmark::State &S) {
+    Workload W = workloadByName(WorkloadName);
+    PipelineOptions Options;
+    Options.Machine = Machine;
+    for (auto _ : S) {
+      PipelineResult R = runPipeline(W.TheKernel, Kind, Options);
+      benchmark::DoNotOptimize(R.Program.Insts.data());
+    }
+  });
+}
+
+} // namespace bench
+} // namespace slp
+
+#endif // SLP_BENCH_BENCHCOMMON_H

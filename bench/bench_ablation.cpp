@@ -1,0 +1,88 @@
+//===- bench/bench_ablation.cpp - Mechanism ablation study ------*- C++ -*-===//
+//
+// Quantifies each mechanism of the holistic framework by disabling it
+// while keeping the rest intact (DESIGN.md's ablation item). For every
+// variant the table reports the suite-average execution-time reduction of
+// Global (Intel machine); the "full" row is the configuration used in all
+// figure reproductions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace slp;
+using namespace slp::bench;
+
+namespace {
+
+struct Variant {
+  const char *Name;
+  HolisticAblation Ablation;
+};
+
+double suiteAverage(const HolisticAblation &Ablation) {
+  PipelineOptions Options;
+  Options.Ablation = Ablation;
+  double Sum = 0;
+  std::vector<Workload> Suite = standardWorkloads();
+  for (const Workload &W : Suite)
+    Sum += runPipeline(W.TheKernel, OptimizerKind::Global, Options)
+               .improvement();
+  return Sum / Suite.size();
+}
+
+void printAblation() {
+  HolisticAblation Full;
+  HolisticAblation NoReuseGrouping = Full;
+  NoReuseGrouping.ReuseAwareGrouping = false;
+  HolisticAblation NoTieBreak = Full;
+  NoTieBreak.PackQualityTieBreak = false;
+  HolisticAblation NoSched = Full;
+  NoSched.ReuseAwareScheduling = false;
+  HolisticAblation NoPermuted = Full;
+  NoPermuted.PermutedReuse = false;
+  HolisticAblation NoCache = Full;
+  NoCache.CacheLoadedPacks = false;
+  HolisticAblation NoPruning = Full;
+  NoPruning.GroupPruning = false;
+
+  const Variant Variants[] = {
+      {"full framework", Full},
+      {"- reuse-aware grouping", NoReuseGrouping},
+      {"- packing tie-break", NoTieBreak},
+      {"- reuse-aware scheduling", NoSched},
+      {"- permuted (indirect) reuse", NoPermuted},
+      {"- register-file pack cache", NoCache},
+      {"- per-group cost pruning", NoPruning},
+  };
+
+  std::printf("Ablation: suite-average Global improvement with one "
+              "mechanism disabled (Intel machine)\n");
+  std::printf("%-30s %10s\n", "variant", "average");
+  double FullAvg = 0;
+  for (const Variant &V : Variants) {
+    double Avg = suiteAverage(V.Ablation);
+    if (&V == Variants)
+      FullAvg = Avg;
+    std::printf("%-30s %9.2f%%%s\n", V.Name, 100.0 * Avg,
+                &V == Variants
+                    ? ""
+                    : (" (delta " +
+                       std::to_string(100.0 * (Avg - FullAvg)).substr(0, 6) +
+                       "pp)")
+                          .c_str());
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printAblation();
+  registerOptimizerTimer("ablation/global/full/suite-milc", "milc",
+                         OptimizerKind::Global,
+                         MachineModel::intelDunnington());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

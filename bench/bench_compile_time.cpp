@@ -1,0 +1,95 @@
+//===- bench/bench_compile_time.cpp - Compilation overhead ------*- C++ -*-===//
+//
+// Section 7.1 of the paper reports that the holistic framework increases
+// compilation time by about 27% on average relative to the SLP baseline.
+// This bench times both optimizers (grouping + scheduling + codegen, no
+// simulation) over every workload and prints the measured overhead, plus
+// google-benchmark entries per benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "analysis/Dependence.h"
+#include "slp/Baseline.h"
+#include "slp/Grouping.h"
+#include "transform/Unroll.h"
+
+#include <chrono>
+
+using namespace slp;
+using namespace slp::bench;
+
+namespace {
+
+/// One optimizer pass (no simulation), returning the schedule size so the
+/// work cannot be optimized away.
+unsigned runOptimizerOnce(const Kernel &Unrolled, const DependenceInfo &Deps,
+                          bool Holistic) {
+  if (!Holistic)
+    return larsenSlpSchedule(Unrolled, Deps, 128).numGroups();
+  GroupingOptions GO;
+  GroupingResult Groups = groupStatementsGlobal(Unrolled, Deps, GO);
+  return scheduleGroups(Unrolled, Deps, Groups).numGroups();
+}
+
+double timeOptimizer(const Kernel &Unrolled, const DependenceInfo &Deps,
+                     bool Holistic, unsigned Reps) {
+  auto Start = std::chrono::steady_clock::now();
+  unsigned Sink = 0;
+  for (unsigned I = 0; I != Reps; ++I)
+    Sink += runOptimizerOnce(Unrolled, Deps, Holistic);
+  auto End = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(Sink);
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+void printOverheadTable() {
+  std::printf("Compilation time: Global vs SLP optimizer "
+              "(paper: +27%% on average)\n");
+  std::printf("%-11s %12s %12s %10s\n", "benchmark", "SLP (ms)",
+              "Global (ms)", "overhead");
+  double SumRatio = 0;
+  unsigned Rows = 0;
+  for (const Workload &W : standardWorkloads()) {
+    Kernel Unrolled = unrollInnermost(
+        W.TheKernel, chooseUnrollFactor(W.TheKernel, 4));
+    DependenceInfo Deps(Unrolled);
+    const unsigned Reps = 20;
+    double SlpSec = timeOptimizer(Unrolled, Deps, /*Holistic=*/false, Reps);
+    double GlobalSec = timeOptimizer(Unrolled, Deps, /*Holistic=*/true,
+                                     Reps);
+    double Ratio = GlobalSec / SlpSec - 1.0;
+    SumRatio += Ratio;
+    ++Rows;
+    std::printf("%-11s %12.3f %12.3f %+9.1f%%\n", W.Name.c_str(),
+                1e3 * SlpSec / Reps, 1e3 * GlobalSec / Reps, 100.0 * Ratio);
+  }
+  std::printf("%-11s %25s %+10.1f%%\n\n", "average", "",
+              100.0 * SumRatio / Rows);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printOverheadTable();
+  for (const char *Name : {"milc", "gromacs", "ft"}) {
+    for (bool Holistic : {false, true}) {
+      std::string Label = std::string("compile/") +
+                          (Holistic ? "global/" : "slp/") + Name;
+      benchmark::RegisterBenchmark(
+          Label.c_str(), [Name, Holistic](benchmark::State &S) {
+            Workload W = workloadByName(Name);
+            Kernel Unrolled = unrollInnermost(
+                W.TheKernel, chooseUnrollFactor(W.TheKernel, 4));
+            DependenceInfo Deps(Unrolled);
+            for (auto _ : S)
+              benchmark::DoNotOptimize(
+                  runOptimizerOnce(Unrolled, Deps, Holistic));
+          });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- bench/bench_fig16.cpp - Figure 16 reproduction -----------*- C++ -*-===//
+//
+// Figure 16 of the paper: execution-time reductions of Native, SLP, and
+// Global over the scalar code, per benchmark, on the Intel Dunnington
+// machine (Table 1). Benchmarks are ordered by the Global improvement as
+// in the paper. The table prints before the google-benchmark timings; the
+// benchmark entries themselves measure the optimizer's compile time on
+// each kernel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace slp;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  double Native, Slp, Global;
+};
+
+void printFigure16() {
+  MachineModel M = MachineModel::intelDunnington();
+  std::printf("Machine (Table 1): %s\n", M.Name.c_str());
+  std::printf("  L1D %uKB/core, L2 %uKB, L3 %uKB, %u-bit SIMD, %u cores\n\n",
+              M.L1DataKB, M.L2TotalKB, M.L3TotalKB, M.DatapathBits,
+              M.NumCores);
+
+  PipelineOptions Options;
+  Options.Machine = M;
+
+  std::vector<Row> Rows;
+  unsigned GlobalEqSlp = 0, SlpEqNative = 0;
+  for (const Workload &W : standardWorkloads()) {
+    Row R;
+    R.Name = W.Name;
+    R.Native = 100.0 * runPipeline(W.TheKernel, OptimizerKind::Native,
+                                   Options)
+                           .improvement();
+    R.Slp = 100.0 * runPipeline(W.TheKernel, OptimizerKind::LarsenSlp,
+                                Options)
+                        .improvement();
+    R.Global = 100.0 *
+               runPipeline(W.TheKernel, OptimizerKind::Global, Options)
+                   .improvement();
+    if (std::abs(R.Global - R.Slp) < 0.05)
+      ++GlobalEqSlp;
+    if (std::abs(R.Slp - R.Native) < 0.05)
+      ++SlpEqNative;
+    Rows.push_back(R);
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const Row &A, const Row &B) { return A.Global < B.Global; });
+
+  std::printf("Figure 16: execution time reduction over scalar code "
+              "(Intel machine)\n");
+  std::printf("%-11s %8s %8s %8s\n", "benchmark", "Native", "SLP", "Global");
+  double Sum[3] = {0, 0, 0};
+  for (const Row &R : Rows) {
+    std::printf("%-11s %7.2f%% %7.2f%% %7.2f%%\n", R.Name.c_str(), R.Native,
+                R.Slp, R.Global);
+    Sum[0] += R.Native;
+    Sum[1] += R.Slp;
+    Sum[2] += R.Global;
+  }
+  std::printf("%-11s %7.2f%% %7.2f%% %7.2f%%\n", "average",
+              Sum[0] / Rows.size(), Sum[1] / Rows.size(),
+              Sum[2] / Rows.size());
+  std::printf("\nGlobal == SLP on %u benchmark(s) (paper: 3); "
+              "SLP == Native on %u (paper: 4)\n\n",
+              GlobalEqSlp, SlpEqNative);
+}
+
+/// google-benchmark entries timing the optimizers themselves.
+void BM_OptimizeKernel(benchmark::State &State, OptimizerKind Kind,
+                       const std::string &Name) {
+  Workload W = workloadByName(Name);
+  PipelineOptions Options;
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(W.TheKernel, Kind, Options);
+    benchmark::DoNotOptimize(R.Program.Insts.data());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFigure16();
+  for (const char *Name : {"milc", "ft", "gromacs"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("fig16/global/") + Name).c_str(),
+        [Name](benchmark::State &S) {
+          BM_OptimizeKernel(S, OptimizerKind::Global, Name);
+        });
+    benchmark::RegisterBenchmark(
+        (std::string("fig16/slp/") + Name).c_str(),
+        [Name](benchmark::State &S) {
+          BM_OptimizeKernel(S, OptimizerKind::LarsenSlp, Name);
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

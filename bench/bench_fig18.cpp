@@ -1,0 +1,59 @@
+//===- bench/bench_fig18.cpp - Figure 18 reproduction -----------*- C++ -*-===//
+//
+// Figure 18 of the paper: the percentage of dynamic instructions of the
+// scalar code that Global eliminates, for hypothetical SIMD datapath
+// widths of 128 through 1024 bits (paper: ~49.1% at 128 bits rising to
+// ~54.5% at 1024 bits). Wider datapaths let the iterative grouping of
+// Section 4.2.2 widen superword statements further.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace slp;
+using namespace slp::bench;
+
+static double eliminationAt(unsigned Bits) {
+  PipelineOptions Options;
+  Options.Machine = MachineModel::hypothetical(Bits);
+  double Sum = 0;
+  std::vector<Workload> Suite = standardWorkloads();
+  for (const Workload &W : Suite) {
+    PipelineResult R =
+        runPipeline(W.TheKernel, OptimizerKind::Global, Options);
+    Sum += 1.0 - static_cast<double>(R.VectorSim.totalInstrs()) /
+                     static_cast<double>(R.ScalarSim.totalInstrs());
+  }
+  return Sum / Suite.size();
+}
+
+static void printFigure18() {
+  std::printf("Figure 18: dynamic instructions eliminated by Global over "
+              "scalar code,\nfor hypothetical datapath widths "
+              "(suite average)\n");
+  std::printf("%10s %12s\n", "datapath", "eliminated");
+  for (unsigned Bits : {128u, 256u, 512u, 1024u})
+    std::printf("%7u-bit %11.2f%%\n", Bits, 100.0 * eliminationAt(Bits));
+  std::printf("(paper: ~49.1%% at 128 bits, ~54.5%% at 1024 bits)\n\n");
+}
+
+int main(int argc, char **argv) {
+  printFigure18();
+  for (unsigned Bits : {128u, 1024u}) {
+    std::string Label = "fig18/global/" + std::to_string(Bits) + "bit/ft";
+    benchmark::RegisterBenchmark(
+        Label.c_str(), [Bits](benchmark::State &S) {
+          Workload W = workloadByName("ft");
+          PipelineOptions Options;
+          Options.Machine = MachineModel::hypothetical(Bits);
+          for (auto _ : S) {
+            PipelineResult R =
+                runPipeline(W.TheKernel, OptimizerKind::Global, Options);
+            benchmark::DoNotOptimize(R.Program.Insts.data());
+          }
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- bench/bench_fig19.cpp - Figure 19 reproduction -----------*- C++ -*-===//
+//
+// Figure 19 of the paper: execution-time reductions over scalar code of
+// Global and Global+Layout on the Intel machine. The paper marks the
+// benchmarks where the data layout stage brings additional benefit
+// (seven of sixteen) and reports a maximum advantage of Global+Layout
+// over SLP of about 15.2%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace slp;
+using namespace slp::bench;
+
+static void printFigure19() {
+  std::printf("Figure 19: execution time reduction over scalar code "
+              "(Intel machine)\n");
+  std::printf("%-11s %8s %14s %8s\n", "benchmark", "Global",
+              "Global+Layout", "layout?");
+
+  double SumG = 0, SumL = 0, MaxOverSlp = 0;
+  std::string MaxName;
+  unsigned LayoutHelped = 0;
+  std::vector<Workload> Suite = standardWorkloads();
+  for (const Workload &W : Suite) {
+    SchemeResults R = runAllSchemes(W, MachineModel::intelDunnington());
+    double G = 100.0 * R.Global.improvement();
+    double L = 100.0 * R.GlobalLayout.improvement();
+    bool Helped = L > G + 0.05;
+    LayoutHelped += Helped;
+    double OverSlp = L - 100.0 * R.Slp.improvement();
+    if (OverSlp > MaxOverSlp) {
+      MaxOverSlp = OverSlp;
+      MaxName = W.Name;
+    }
+    SumG += G;
+    SumL += L;
+    std::printf("%-11s %7.2f%% %13.2f%% %8s\n", W.Name.c_str(), G, L,
+                Helped ? "[+]" : "");
+  }
+  std::printf("%-11s %7.2f%% %13.2f%%\n", "average", SumG / Suite.size(),
+              SumL / Suite.size());
+  std::printf("\nlayout brings additional benefit on %u benchmarks "
+              "(paper: 7)\n",
+              LayoutHelped);
+  std::printf("highest improvement of Global+Layout over SLP: %.2f%% on %s "
+              "(paper: ~15.2%%)\n\n",
+              MaxOverSlp, MaxName.c_str());
+}
+
+int main(int argc, char **argv) {
+  printFigure19();
+  registerOptimizerTimer("fig19/global+layout/cactusADM", "cactusADM",
+                         OptimizerKind::GlobalLayout,
+                         MachineModel::intelDunnington());
+  registerOptimizerTimer("fig19/global+layout/ft", "ft",
+                         OptimizerKind::GlobalLayout,
+                         MachineModel::intelDunnington());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

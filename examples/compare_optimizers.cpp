@@ -1,0 +1,54 @@
+//===- examples/compare_optimizers.cpp - Suite-wide comparison --*- C++ -*-===//
+//
+// Runs every scheme over the full 16-benchmark suite on both machines and
+// prints a Figure 16/19/20-style table. Also verifies every generated
+// program against the scalar reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace slp;
+
+static void runSuite(const MachineModel &Machine) {
+  std::printf("\n== %s ==\n", Machine.Name.c_str());
+  std::printf("%-11s %8s %8s %8s %14s\n", "benchmark", "Native", "SLP",
+              "Global", "Global+Layout");
+
+  PipelineOptions Options;
+  Options.Machine = Machine;
+
+  double Sum[4] = {0, 0, 0, 0};
+  std::vector<Workload> Suite = standardWorkloads();
+  for (const Workload &W : Suite) {
+    double Impr[4];
+    unsigned Col = 0;
+    for (OptimizerKind Kind :
+         {OptimizerKind::Native, OptimizerKind::LarsenSlp,
+          OptimizerKind::Global, OptimizerKind::GlobalLayout}) {
+      PipelineResult R = runPipeline(W.TheKernel, Kind, Options);
+      if (!checkEquivalence(W.TheKernel, R, /*Seed=*/7)) {
+        std::fprintf(stderr, "MISCOMPARE: %s / %s\n", W.Name.c_str(),
+                     optimizerName(Kind));
+        std::exit(1);
+      }
+      Impr[Col] = 100.0 * R.improvement();
+      Sum[Col] += Impr[Col];
+      ++Col;
+    }
+    std::printf("%-11s %7.2f%% %7.2f%% %7.2f%% %13.2f%%\n", W.Name.c_str(),
+                Impr[0], Impr[1], Impr[2], Impr[3]);
+  }
+  std::printf("%-11s %7.2f%% %7.2f%% %7.2f%% %13.2f%%\n", "average",
+              Sum[0] / Suite.size(), Sum[1] / Suite.size(),
+              Sum[2] / Suite.size(), Sum[3] / Suite.size());
+}
+
+int main() {
+  runSuite(MachineModel::intelDunnington());
+  runSuite(MachineModel::amdPhenomII());
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- examples/custom_kernel.cpp - Builder API round trip ------*- C++ -*-===//
+//
+// Shows the programmatic route through the library: build a kernel with
+// KernelBuilder, inspect its dependences and grouping, execute both the
+// scalar and the vectorized version on concrete data, and read results out
+// of the environment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "slp/Grouping.h"
+#include "slp/Pipeline.h"
+
+#include <cstdio>
+
+using namespace slp;
+
+int main() {
+  // A complex multiply-accumulate over interleaved (re, im) data:
+  //   out[2i]   += x[2i]*wr - x[2i+1]*wi
+  //   out[2i+1] += x[2i]*wi + x[2i+1]*wr
+  KernelBuilder B("cmac");
+  SymbolId X = B.array("x", ScalarType::Float32, {520}, /*ReadOnly=*/true);
+  SymbolId Out = B.array("out", ScalarType::Float32, {520});
+  SymbolId Wr = B.scalar("wr", ScalarType::Float32);
+  SymbolId Wi = B.scalar("wi", ScalarType::Float32);
+  unsigned I = B.loop("i", 0, 256);
+  B.assign(B.arrayRef(Out, {B.idx(I, 2)}),
+           B.add(B.load(Out, {B.idx(I, 2)}),
+                 B.sub(B.mul(B.load(X, {B.idx(I, 2)}), B.scalarRef(Wr)),
+                       B.mul(B.load(X, {B.idx(I, 2, 1)}),
+                             B.scalarRef(Wi)))));
+  B.assign(B.arrayRef(Out, {B.idx(I, 2, 1)}),
+           B.add(B.load(Out, {B.idx(I, 2, 1)}),
+                 B.add(B.mul(B.load(X, {B.idx(I, 2)}), B.scalarRef(Wi)),
+                       B.mul(B.load(X, {B.idx(I, 2, 1)}),
+                             B.scalarRef(Wr)))));
+  Kernel K = B.take();
+  std::printf("%s\n", printKernel(K).c_str());
+
+  // Inspect what the holistic grouping finds on the unrolled block.
+  PipelineOptions Options;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, Options);
+  std::printf("unrolled block: %u statements, %u superword statements\n",
+              R.Preprocessed.Body.size(), R.TheSchedule.numGroups());
+  for (const ScheduleItem &Item : R.TheSchedule.Items) {
+    if (!Item.isGroup())
+      continue;
+    std::printf("  <");
+    for (unsigned L = 0; L != Item.width(); ++L)
+      std::printf("%sS%u", L ? ", " : "", Item.Lanes[L]);
+    std::printf(">\n");
+  }
+
+  // Execute both versions on concrete data and compare a few outputs.
+  Environment ScalarEnv(K, /*Seed=*/123);
+  runKernelScalar(K, ScalarEnv);
+
+  if (!checkEquivalence(K, R, /*Seed=*/123)) {
+    std::fprintf(stderr, "vectorized kernel diverged!\n");
+    return 1;
+  }
+  std::printf("first outputs: out[0]=%g out[1]=%g out[2]=%g (verified "
+              "against the vector program)\n",
+              ScalarEnv.arrayBuffer(Out)[0], ScalarEnv.arrayBuffer(Out)[1],
+              ScalarEnv.arrayBuffer(Out)[2]);
+  std::printf("predicted improvement on %s: %.2f%%\n",
+              Options.Machine.Name.c_str(), 100.0 * R.improvement());
+  return 0;
+}

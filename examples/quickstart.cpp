@@ -1,0 +1,77 @@
+//===- examples/quickstart.cpp - Five-minute tour ----------------*- C++ -*-===//
+//
+// Parses a small kernel from text, runs the full holistic SLP pipeline on
+// it, verifies that the vectorized program computes exactly what the
+// scalar kernel computes, and prints the schedule and the predicted
+// speedup on the paper's Intel machine.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "slp/Pipeline.h"
+
+#include <cstdio>
+
+using namespace slp;
+
+int main() {
+  // The paper's Figure 15(a) example, expressed in the kernel language.
+  const char *Source = R"(
+    kernel figure15 {
+      scalar float a, b, c, d, g, h, q, r;
+      array float A[4200] readonly;
+      array float B[17000] readonly;
+      array float W[8500];
+      loop i = 1 .. 4097 {
+        a = A[i];
+        c = a * B[4*i];
+        g = q * B[4*i - 2];
+        b = A[i + 1];
+        d = b * B[4*i + 4];
+        h = r * B[4*i + 2];
+        W[2*i] = d + a * c;
+        W[2*i + 2] = g + r * h;
+      }
+    }
+  )";
+
+  ParseResult Parsed = parseKernel(Source);
+  if (!Parsed.succeeded()) {
+    std::fprintf(stderr, "parse error (line %u): %s\n", Parsed.ErrorLine,
+                 Parsed.ErrorMessage.c_str());
+    return 1;
+  }
+  Kernel K = std::move(*Parsed.TheKernel);
+  std::printf("== Input kernel ==\n%s\n", printKernel(K).c_str());
+
+  PipelineOptions Options;
+  Options.Machine = MachineModel::intelDunnington();
+
+  for (OptimizerKind Kind :
+       {OptimizerKind::Native, OptimizerKind::LarsenSlp,
+        OptimizerKind::Global, OptimizerKind::GlobalLayout}) {
+    PipelineResult R = runPipeline(K, Kind, Options);
+
+    std::string Error;
+    bool Ok = checkEquivalence(K, R, /*Seed=*/42, &Error);
+
+    std::printf("%-14s improvement over scalar: %6.2f%%   "
+                "superwords: %2u   reuses: %u direct / %u permuted   %s\n",
+                optimizerName(Kind), 100.0 * R.improvement(),
+                R.TheSchedule.numGroups(), R.Program.Stats.DirectReuses,
+                R.Program.Stats.PermutedReuses,
+                Ok ? "[results match scalar execution]" : Error.c_str());
+    if (!Ok)
+      return 1;
+  }
+
+  std::printf("\nThe Global scheme groups the statements for superword "
+              "reuse and Global+Layout\nadditionally replicates the "
+              "read-only strided arrays (Section 5), matching the\n"
+              "paper's Figure 15 walk-through.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- examples/stencil_pipeline.cpp - Layout stage walkthrough -*- C++ -*-===//
+//
+// Reproduces the paper's Figure 13/14 discussion: a kernel whose packs
+// load A[4i] and A[4i+3] — contiguous for no scheme — and how the array
+// replication of Section 5.2 turns each pack into one aligned vector load.
+// Prints the generated vector instructions before and after layout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "slp/Pipeline.h"
+
+#include <cstdio>
+
+using namespace slp;
+
+static void describeProgram(const Kernel &K, const VectorProgram &P) {
+  unsigned Idx = 0;
+  for (const VInst &I : P.Insts) {
+    switch (I.Kind) {
+    case VInstKind::LoadPack:
+      std::printf("  [%2u] vload  %-13s <- <", Idx, packModeName(I.Mode));
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        std::printf("%s%s", L ? ", " : "",
+                    printOperand(K, I.LaneOps[L]).c_str());
+      std::printf(">\n");
+      break;
+    case VInstKind::StorePack:
+      std::printf("  [%2u] vstore %-13s -> <", Idx, packModeName(I.Mode));
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        std::printf("%s%s", L ? ", " : "",
+                    printOperand(K, I.LaneOps[L]).c_str());
+      std::printf(">\n");
+      break;
+    case VInstKind::Shuffle:
+      std::printf("  [%2u] vshuffle\n", Idx);
+      break;
+    case VInstKind::VectorOp:
+      std::printf("  [%2u] vop %s\n", Idx, opcodeName(I.Op));
+      break;
+    case VInstKind::ScalarExec:
+      std::printf("  [%2u] scalar S%u\n", Idx, I.StmtId);
+      break;
+    }
+    ++Idx;
+  }
+}
+
+int main() {
+  const char *Source = R"(
+    kernel figure13 {
+      array float A[4200] readonly;
+      array float Out[2100];
+      loop i = 0 .. 1024 {
+        Out[2*i]     = A[4*i] * 0.5 + A[4*i + 3] * 0.25;
+        Out[2*i + 1] = A[4*i] * 0.25 - A[4*i + 3] * 0.5;
+      }
+    }
+  )";
+  ParseResult Parsed = parseKernel(Source);
+  if (!Parsed.succeeded()) {
+    std::fprintf(stderr, "parse error: %s\n", Parsed.ErrorMessage.c_str());
+    return 1;
+  }
+  Kernel K = std::move(*Parsed.TheKernel);
+
+  PipelineOptions Options;
+
+  PipelineResult NoLayout = runPipeline(K, OptimizerKind::Global, Options);
+  std::printf("== Global (no layout optimization): %.2f%% over scalar ==\n",
+              100.0 * NoLayout.improvement());
+  describeProgram(NoLayout.Final, NoLayout.Program);
+
+  PipelineResult WithLayout =
+      runPipeline(K, OptimizerKind::GlobalLayout, Options);
+  std::printf("\n== Global+Layout: %.2f%% over scalar, %u pack(s) "
+              "replicated, %.0f KB replicas ==\n",
+              100.0 * WithLayout.improvement(),
+              WithLayout.Layout.ArrayPacksReplicated,
+              WithLayout.Layout.ReplicatedBytes / 1024.0);
+  describeProgram(WithLayout.Final, WithLayout.Program);
+
+  if (!checkEquivalence(K, NoLayout, 5) ||
+      !checkEquivalence(K, WithLayout, 5)) {
+    std::fprintf(stderr, "miscompare!\n");
+    return 1;
+  }
+  std::printf("\nBoth programs verified against scalar execution.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- analysis/Alignment.cpp ---------------------------------*- C++ -*-===//
+
+#include "analysis/Alignment.h"
+
+#include "ir/Interpreter.h"
+
+#include <algorithm>
+
+using namespace slp;
+
+bool slp::isAlignedRef(const Kernel &K, const Operand &Ref,
+                       unsigned LaneCount) {
+  assert(Ref.isArray() && "alignment is a property of array references");
+  AffineExpr Flat =
+      flattenArrayRef(K.array(Ref.symbol()), Ref.subscripts());
+  int64_t N = static_cast<int64_t>(LaneCount);
+  // A loop index at depth D takes the values Lower + k*Step, so the flat
+  // address is aligned for every iteration iff the address at the first
+  // iteration is aligned and every per-iteration increment preserves it.
+  int64_t FirstIter = Flat.constant();
+  for (unsigned D = 0, E = Flat.numDims(); D != E; ++D) {
+    int64_t Coeff = Flat.coeff(D);
+    if (Coeff == 0)
+      continue;
+    if (D >= K.Loops.size())
+      return false; // unknown index: stay conservative
+    FirstIter += Coeff * K.Loops[D].Lower;
+    if ((Coeff * K.Loops[D].Step) % N != 0)
+      return false;
+  }
+  return FirstIter % N == 0;
+}
+
+PackShape
+slp::classifyArrayPack(const Kernel &K,
+                       const std::vector<const Operand *> &Lanes) {
+  assert(Lanes.size() >= 2 && "pack requires at least two lanes");
+
+  bool AllConst = std::all_of(Lanes.begin(), Lanes.end(),
+                              [](const Operand *O) { return O->isConstant(); });
+  if (AllConst)
+    return PackShape::AllConstant;
+
+  // Any non-array lane (scalar variables, or a mix) cannot be a single
+  // memory block unless the layout stage assigned addresses; the code
+  // generator consults the layout plan for that case separately.
+  for (const Operand *O : Lanes)
+    if (!O->isArray())
+      return PackShape::Gather;
+
+  SymbolId Array = Lanes[0]->symbol();
+  for (const Operand *O : Lanes)
+    if (O->symbol() != Array)
+      return PackShape::Gather;
+
+  const ArraySymbol &Arr = K.array(Array);
+  std::vector<AffineExpr> Flats;
+  Flats.reserve(Lanes.size());
+  for (const Operand *O : Lanes)
+    Flats.push_back(flattenArrayRef(Arr, O->subscripts()));
+
+  // In-order contiguity: each lane is exactly one element past the previous.
+  bool InOrder = true;
+  for (unsigned I = 1, E = static_cast<unsigned>(Flats.size()); I != E; ++I) {
+    AffineExpr Diff = Flats[I] - Flats[I - 1];
+    if (!Diff.isConstant() || Diff.constant() != 1) {
+      InOrder = false;
+      break;
+    }
+  }
+  if (InOrder) {
+    return isAlignedRef(K, *Lanes[0], static_cast<unsigned>(Lanes.size()))
+               ? PackShape::ContiguousAligned
+               : PackShape::ContiguousUnaligned;
+  }
+
+  // Permuted contiguity: the lane offsets relative to the minimum form a
+  // permutation of {0 .. N-1} (all differences constant).
+  std::vector<int64_t> Offsets;
+  for (unsigned I = 0, E = static_cast<unsigned>(Flats.size()); I != E; ++I) {
+    AffineExpr Diff = Flats[I] - Flats[0];
+    if (!Diff.isConstant())
+      return PackShape::Gather;
+    Offsets.push_back(Diff.constant());
+  }
+  int64_t MinOff = *std::min_element(Offsets.begin(), Offsets.end());
+  std::vector<bool> Seen(Lanes.size(), false);
+  for (int64_t O : Offsets) {
+    int64_t Rel = O - MinOff;
+    if (Rel < 0 || Rel >= static_cast<int64_t>(Lanes.size()) ||
+        Seen[static_cast<size_t>(Rel)])
+      return PackShape::Gather;
+    Seen[static_cast<size_t>(Rel)] = true;
+  }
+  return PackShape::PermutedContiguous;
+}

@@ -1,0 +1,50 @@
+//===- analysis/Alignment.h - Pack contiguity and alignment -----*- C++ -*-===//
+///
+/// \file
+/// Static classification of how an *ordered* operand pack can be brought
+/// into a vector register: one aligned contiguous load, one unaligned
+/// contiguous load, a contiguous load plus a permutation (reversed or
+/// otherwise permuted contiguous block), or an element-wise gather. This is
+/// the "alignment analysis" of the paper's pre-processing stage, consumed
+/// by the vector code generator and the cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_ALIGNMENT_H
+#define SLP_ANALYSIS_ALIGNMENT_H
+
+#include "ir/Kernel.h"
+
+#include <vector>
+
+namespace slp {
+
+/// How an ordered pack of operands maps onto memory.
+enum class PackShape : uint8_t {
+  /// All lanes are literal constants; materialized with no memory access.
+  AllConstant,
+  /// One contiguous block, in lane order, provably vector-aligned.
+  ContiguousAligned,
+  /// One contiguous block in lane order, alignment unknown or misaligned.
+  ContiguousUnaligned,
+  /// The lanes cover one contiguous block but in permuted order
+  /// (e.g. reversed); loadable with one (unaligned) load + one shuffle.
+  PermutedContiguous,
+  /// Unrelated locations; requires an element-by-element gather/scatter.
+  Gather,
+};
+
+/// Classifies the ordered array-reference pack \p Lanes (size >= 2; all
+/// operands must be array references). \p Lanes.size() elements of the
+/// pack's element type form one vector register.
+PackShape classifyArrayPack(const Kernel &K,
+                            const std::vector<const Operand *> &Lanes);
+
+/// True when the flattened affine address of \p Ref is a multiple of
+/// \p LaneCount elements for every iteration (coefficients and constant all
+/// divisible by LaneCount).
+bool isAlignedRef(const Kernel &K, const Operand &Ref, unsigned LaneCount);
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_ALIGNMENT_H

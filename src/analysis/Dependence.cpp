@@ -1,0 +1,104 @@
+//===- analysis/Dependence.cpp --------------------------------*- C++ -*-===//
+
+#include "analysis/Dependence.h"
+
+#include "ir/Interpreter.h"
+
+#include <numeric>
+
+using namespace slp;
+
+/// Banerjee-style feasibility of `Diff(i) == 0` over the rectangular
+/// iteration domain of \p K. Returns true when a zero is possible
+/// (may-alias) and false when provably impossible.
+static bool affineCanBeZero(const Kernel &K, const AffineExpr &Diff) {
+  if (Diff.isConstant())
+    return Diff.constant() == 0;
+
+  // GCD test: c + sum a_d * i_d == 0 requires gcd(a_d) | c.
+  int64_t Gcd = 0;
+  for (unsigned D = 0, E = Diff.numDims(); D != E; ++D)
+    Gcd = std::gcd(Gcd, Diff.coeff(D));
+  if (Gcd != 0 && Diff.constant() % Gcd != 0)
+    return false;
+
+  // Bounds test: the variable part must be able to reach -c.
+  int64_t Min = 0, Max = 0;
+  for (unsigned D = 0, E = Diff.numDims(); D != E; ++D) {
+    int64_t C = Diff.coeff(D);
+    if (C == 0)
+      continue;
+    if (D >= K.Loops.size())
+      return true; // unknown index range; stay conservative
+    const Loop &L = K.Loops[D];
+    if (L.tripCount() == 0)
+      return false;
+    int64_t Lo = L.Lower;
+    int64_t Hi = L.Lower + (L.tripCount() - 1) * L.Step;
+    if (C > 0) {
+      Min += C * Lo;
+      Max += C * Hi;
+    } else {
+      Min += C * Hi;
+      Max += C * Lo;
+    }
+  }
+  int64_t Target = -Diff.constant();
+  return Target >= Min && Target <= Max;
+}
+
+bool DependenceInfo::mayAlias(const Kernel &K, const Operand &A,
+                              const Operand &B) {
+  if (A.isConstant() || B.isConstant())
+    return false;
+  if (A.kind() != B.kind())
+    return false;
+  if (A.isScalar())
+    return A.symbol() == B.symbol();
+  if (A.symbol() != B.symbol())
+    return false;
+  const ArraySymbol &Arr = K.array(A.symbol());
+  AffineExpr Diff = flattenArrayRef(Arr, A.subscripts()) -
+                    flattenArrayRef(Arr, B.subscripts());
+  return affineCanBeZero(K, Diff);
+}
+
+DependenceInfo::DependenceInfo(const Kernel &K) {
+  N = K.Body.size();
+  Matrix.assign(static_cast<size_t>(N) * N, 0);
+
+  // Cache each statement's def and uses.
+  std::vector<const Operand *> Defs(N);
+  std::vector<std::vector<const Operand *>> Uses(N);
+  for (unsigned I = 0; I != N; ++I) {
+    const Statement &S = K.Body.statement(I);
+    Defs[I] = &S.lhs();
+    S.rhs().forEachLeaf(
+        [&Uses, I](const Operand &O) { Uses[I].push_back(&O); });
+  }
+
+  for (unsigned P = 0; P != N; ++P) {
+    for (unsigned Q = P + 1; Q != N; ++Q) {
+      bool Flow = false, Anti = false, Output = false;
+      for (const Operand *U : Uses[Q])
+        if (mayAlias(K, *Defs[P], *U)) {
+          Flow = true;
+          break;
+        }
+      for (const Operand *U : Uses[P])
+        if (mayAlias(K, *U, *Defs[Q])) {
+          Anti = true;
+          break;
+        }
+      Output = mayAlias(K, *Defs[P], *Defs[Q]);
+      if (Flow)
+        Edges.push_back(Dep{P, Q, DepKind::Flow});
+      if (Anti)
+        Edges.push_back(Dep{P, Q, DepKind::Anti});
+      if (Output)
+        Edges.push_back(Dep{P, Q, DepKind::Output});
+      if (Flow || Anti || Output)
+        Matrix[P * N + Q] = 1;
+    }
+  }
+}

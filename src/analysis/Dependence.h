@@ -1,0 +1,77 @@
+//===- analysis/Dependence.h - Intra-block dependence analysis --*- C++ -*-===//
+///
+/// \file
+/// Computes the data dependences between the statements of a kernel's basic
+/// block *within one execution of the block* (one iteration of the loop
+/// nest). These are the dependences that constrain SLP grouping and
+/// scheduling (paper Section 4.1, constraints 1 and 2); loop-carried
+/// dependences do not constrain reordering within the block and are ignored.
+///
+/// Array aliasing uses the affine difference of the flattened subscripts:
+/// equal functions must alias, a nonzero constant difference cannot alias,
+/// and the general case falls back to a GCD + Banerjee-bounds test over the
+/// rectangular iteration domain (conservatively answering may-alias).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_DEPENDENCE_H
+#define SLP_ANALYSIS_DEPENDENCE_H
+
+#include "ir/Kernel.h"
+
+#include <vector>
+
+namespace slp {
+
+/// Classic dependence kinds between an earlier and a later statement.
+enum class DepKind : uint8_t { Flow, Anti, Output };
+
+/// A dependence edge from statement \p Src to statement \p Dst
+/// (Src executes before Dst in the original order).
+struct Dep {
+  unsigned Src;
+  unsigned Dst;
+  DepKind Kind;
+};
+
+/// Whole-block dependence information.
+class DependenceInfo {
+public:
+  explicit DependenceInfo(const Kernel &K);
+
+  unsigned numStatements() const { return N; }
+
+  /// True when there is any dependence from \p Earlier to \p Later
+  /// (requires Earlier < Later).
+  bool depends(unsigned Earlier, unsigned Later) const {
+    assert(Earlier < Later && Later < N && "bad statement pair");
+    return Matrix[Earlier * N + Later];
+  }
+
+  /// True when \p P and \p Q are dependence-free in both directions, i.e.
+  /// they may be placed in the same superword statement.
+  bool independent(unsigned P, unsigned Q) const {
+    if (P == Q)
+      return false;
+    if (P > Q)
+      std::swap(P, Q);
+    return !depends(P, Q);
+  }
+
+  /// All dependence edges, in (Src, Dst) lexicographic order.
+  const std::vector<Dep> &dependences() const { return Edges; }
+
+  /// May the two operands denote the same memory location in some single
+  /// iteration of \p K's loop nest? Scalars alias by symbol identity;
+  /// constants never alias.
+  static bool mayAlias(const Kernel &K, const Operand &A, const Operand &B);
+
+private:
+  unsigned N;
+  std::vector<char> Matrix; // row-major [earlier][later]
+  std::vector<Dep> Edges;
+};
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_DEPENDENCE_H

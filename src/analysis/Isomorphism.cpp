@@ -1,0 +1,30 @@
+//===- analysis/Isomorphism.cpp -------------------------------*- C++ -*-===//
+
+#include "analysis/Isomorphism.h"
+
+using namespace slp;
+
+ScalarType slp::statementElementType(const Kernel &K, const Statement &S) {
+  return K.operandType(S.lhs());
+}
+
+bool slp::areIsomorphic(const Kernel &K, const Statement &A,
+                        const Statement &B) {
+  if (A.isomorphismSignature() != B.isomorphismSignature())
+    return false;
+  // Signatures agree, so the statements have identical tree shapes and the
+  // operand position lists line up pairwise. Check element types.
+  std::vector<const Operand *> APos = A.operandPositions();
+  std::vector<const Operand *> BPos = B.operandPositions();
+  assert(APos.size() == BPos.size() &&
+         "equal signatures imply equal position counts");
+  for (unsigned I = 0, E = static_cast<unsigned>(APos.size()); I != E; ++I) {
+    const Operand &AO = *APos[I];
+    const Operand &BO = *BPos[I];
+    if (AO.isConstant())
+      continue; // constants adapt to the lane type
+    if (K.operandType(AO) != K.operandType(BO))
+      return false;
+  }
+  return true;
+}

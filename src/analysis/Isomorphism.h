@@ -1,0 +1,28 @@
+//===- analysis/Isomorphism.h - Statement isomorphism test ------*- C++ -*-===//
+///
+/// \file
+/// Two statements are isomorphic when they contain the same operations in
+/// the same order and the operands in corresponding positions have the same
+/// data type (paper Section 2 / Section 4.1 constraint 3). Isomorphism is
+/// the precondition for grouping statements into one superword statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_ISOMORPHISM_H
+#define SLP_ANALYSIS_ISOMORPHISM_H
+
+#include "ir/Kernel.h"
+
+namespace slp {
+
+/// Returns true when \p A and \p B may be executed as two lanes of one
+/// SIMD instruction: equal expression shape/opcodes, equal leaf kinds, and
+/// equal element types at every operand position (including the lhs).
+bool areIsomorphic(const Kernel &K, const Statement &A, const Statement &B);
+
+/// Element type of a statement's superword lane (the type of its lhs).
+ScalarType statementElementType(const Kernel &K, const Statement &S);
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_ISOMORPHISM_H

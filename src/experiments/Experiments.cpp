@@ -1,0 +1,144 @@
+//===- experiments/Experiments.cpp ----------------------------*- C++ -*-===//
+
+#include "experiments/Experiments.h"
+
+#include <algorithm>
+
+using namespace slp;
+
+namespace {
+
+unsigned vectorizedStatements(const Schedule &S) {
+  unsigned N = 0;
+  for (const ScheduleItem &I : S.Items)
+    if (I.isGroup())
+      N += I.width();
+  return N;
+}
+
+double averageOf(const std::vector<BenchmarkRow> &Rows,
+                 double BenchmarkRow::*Field) {
+  double Sum = 0;
+  for (const BenchmarkRow &R : Rows)
+    Sum += R.*Field;
+  return Rows.empty() ? 0 : Sum / static_cast<double>(Rows.size());
+}
+
+} // namespace
+
+double SuiteEvaluation::averageNative() const {
+  return averageOf(Rows, &BenchmarkRow::Native);
+}
+double SuiteEvaluation::averageSlp() const {
+  return averageOf(Rows, &BenchmarkRow::Slp);
+}
+double SuiteEvaluation::averageGlobal() const {
+  return averageOf(Rows, &BenchmarkRow::Global);
+}
+double SuiteEvaluation::averageGlobalLayout() const {
+  return averageOf(Rows, &BenchmarkRow::GlobalLayout);
+}
+
+unsigned SuiteEvaluation::countGlobalEqualsSlp(double Tol) const {
+  unsigned N = 0;
+  for (const BenchmarkRow &R : Rows)
+    N += std::abs(R.Global - R.Slp) <= Tol;
+  return N;
+}
+
+unsigned SuiteEvaluation::countSlpEqualsNative(double Tol) const {
+  unsigned N = 0;
+  for (const BenchmarkRow &R : Rows)
+    N += std::abs(R.Slp - R.Native) <= Tol;
+  return N;
+}
+
+unsigned SuiteEvaluation::countLayoutHelped(double Tol) const {
+  unsigned N = 0;
+  for (const BenchmarkRow &R : Rows)
+    N += R.layoutHelped(Tol);
+  return N;
+}
+
+double SuiteEvaluation::maxGlobalLayoutOverSlp(std::string *Which) const {
+  double Max = 0;
+  for (const BenchmarkRow &R : Rows) {
+    double Gap = R.GlobalLayout - R.Slp;
+    if (Gap > Max) {
+      Max = Gap;
+      if (Which)
+        *Which = R.Name;
+    }
+  }
+  return Max;
+}
+
+SuiteEvaluation slp::evaluateSuite(const MachineModel &Machine) {
+  SuiteEvaluation E;
+  E.Machine = Machine;
+  PipelineOptions Options;
+  Options.Machine = Machine;
+
+  for (const Workload &W : standardWorkloads()) {
+    BenchmarkRow Row;
+    Row.Name = W.Name;
+    Row.IsNas = W.IsNas;
+    Row.Multicore = W.Multicore;
+
+    PipelineResult Native =
+        runPipeline(W.TheKernel, OptimizerKind::Native, Options);
+    PipelineResult Slp =
+        runPipeline(W.TheKernel, OptimizerKind::LarsenSlp, Options);
+    PipelineResult Global =
+        runPipeline(W.TheKernel, OptimizerKind::Global, Options);
+    PipelineResult Layout =
+        runPipeline(W.TheKernel, OptimizerKind::GlobalLayout, Options);
+
+    Row.Native = Native.improvement();
+    Row.Slp = Slp.improvement();
+    Row.Global = Global.improvement();
+    Row.GlobalLayout = Layout.improvement();
+    Row.ScalarSim = Global.ScalarSim;
+    Row.SlpSim = Slp.VectorSim;
+    Row.GlobalSim = Global.VectorSim;
+    Row.GlobalLayoutSim = Layout.VectorSim;
+    Row.SlpVectorizedStmts = vectorizedStatements(Slp.TheSchedule);
+    Row.GlobalVectorizedStmts = vectorizedStatements(Global.TheSchedule);
+    E.Rows.push_back(std::move(Row));
+  }
+  return E;
+}
+
+double slp::instructionElimination(unsigned DatapathBits) {
+  PipelineOptions Options;
+  Options.Machine = MachineModel::hypothetical(DatapathBits);
+  double Sum = 0;
+  std::vector<Workload> Suite = standardWorkloads();
+  for (const Workload &W : Suite) {
+    PipelineResult R =
+        runPipeline(W.TheKernel, OptimizerKind::Global, Options);
+    Sum += 1.0 - static_cast<double>(R.VectorSim.totalInstrs()) /
+                     static_cast<double>(R.ScalarSim.totalInstrs());
+  }
+  return Sum / static_cast<double>(Suite.size());
+}
+
+std::vector<MulticoreRow>
+slp::evaluateMulticore(OptimizerKind Kind, const MachineModel &Machine,
+                       const std::vector<unsigned> &CoreCounts) {
+  PipelineOptions Options;
+  Options.Machine = Machine;
+  std::vector<MulticoreRow> Rows;
+  for (const Workload &W : standardWorkloads()) {
+    if (!W.IsNas)
+      continue;
+    PipelineResult R = runPipeline(W.TheKernel, Kind, Options);
+    MulticoreRow Row;
+    Row.Name = W.Name;
+    for (unsigned Cores : CoreCounts)
+      Row.ReductionByCoreCount.push_back(multicoreTimeReduction(
+          R.ScalarSim, R.VectorSim, Machine, Cores, W.Multicore));
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}

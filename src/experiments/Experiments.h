@@ -1,0 +1,95 @@
+//===- experiments/Experiments.h - Evaluation-section harness ---*- C++ -*-===//
+///
+/// \file
+/// Programmatic versions of the paper's evaluation artifacts: run the four
+/// schemes over the 16-benchmark suite on a machine model and expose the
+/// quantities each figure plots. The bench/ binaries print these tables;
+/// tests/experiments asserts their *shape* (who wins, tie counts, rough
+/// magnitudes) so the reproduction cannot silently drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_EXPERIMENTS_EXPERIMENTS_H
+#define SLP_EXPERIMENTS_EXPERIMENTS_H
+
+#include "machine/Multicore.h"
+#include "slp/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// One benchmark's results under every scheme.
+struct BenchmarkRow {
+  std::string Name;
+  bool IsNas = false;
+  MulticoreParams Multicore;
+
+  /// Fractional execution-time reductions over scalar (Figures 16/19/20).
+  double Native = 0;
+  double Slp = 0;
+  double Global = 0;
+  double GlobalLayout = 0;
+
+  /// Simulation results for the instruction-count figures.
+  KernelSimResult ScalarSim;
+  KernelSimResult SlpSim;
+  KernelSimResult GlobalSim;
+  KernelSimResult GlobalLayoutSim;
+
+  /// Statements covered by superword statements under each scheme.
+  unsigned SlpVectorizedStmts = 0;
+  unsigned GlobalVectorizedStmts = 0;
+
+  bool layoutHelped(double Tol = 5e-4) const {
+    return GlobalLayout > Global + Tol;
+  }
+};
+
+/// The whole suite on one machine.
+struct SuiteEvaluation {
+  MachineModel Machine;
+  std::vector<BenchmarkRow> Rows;
+
+  double averageNative() const;
+  double averageSlp() const;
+  double averageGlobal() const;
+  double averageGlobalLayout() const;
+
+  /// Benchmarks where Global and SLP produce (essentially) the same
+  /// result — the paper reports three.
+  unsigned countGlobalEqualsSlp(double Tol = 5e-4) const;
+  /// Benchmarks where SLP and Native coincide — the paper reports four.
+  unsigned countSlpEqualsNative(double Tol = 5e-4) const;
+  /// Benchmarks the layout stage improves — the paper reports seven.
+  unsigned countLayoutHelped(double Tol = 5e-4) const;
+  /// The largest improvement of Global+Layout over SLP (paper: ~15.2%).
+  /// \p Which (when non-null) receives the benchmark name.
+  double maxGlobalLayoutOverSlp(std::string *Which = nullptr) const;
+};
+
+/// Runs all four schemes over the standard suite on \p Machine.
+SuiteEvaluation evaluateSuite(const MachineModel &Machine);
+
+/// Figure 18's quantity: suite-average fraction of the scalar code's
+/// dynamic instructions that Global eliminates at the given datapath
+/// width.
+double instructionElimination(unsigned DatapathBits);
+
+/// One NAS benchmark's Figure 21 series.
+struct MulticoreRow {
+  std::string Name;
+  std::vector<double> ReductionByCoreCount;
+};
+
+/// Figure 21: per-NAS-benchmark execution-time reductions for each core
+/// count in \p CoreCounts, scheme \p Kind, on \p Machine.
+std::vector<MulticoreRow>
+evaluateMulticore(OptimizerKind Kind, const MachineModel &Machine,
+                  const std::vector<unsigned> &CoreCounts);
+
+} // namespace slp
+
+#endif // SLP_EXPERIMENTS_EXPERIMENTS_H

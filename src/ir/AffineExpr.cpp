@@ -1,0 +1,126 @@
+//===- ir/AffineExpr.cpp --------------------------------------*- C++ -*-===//
+
+#include "ir/AffineExpr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace slp;
+
+AffineExpr AffineExpr::term(unsigned Depth, int64_t Coeff, int64_t C) {
+  AffineExpr E(C);
+  E.setCoeff(Depth, Coeff);
+  return E;
+}
+
+void AffineExpr::setCoeff(unsigned Depth, int64_t Value) {
+  if (Depth >= Coeffs.size())
+    Coeffs.resize(Depth + 1, 0);
+  Coeffs[Depth] = Value;
+  trim();
+}
+
+bool AffineExpr::isConstant() const {
+  return std::all_of(Coeffs.begin(), Coeffs.end(),
+                     [](int64_t C) { return C == 0; });
+}
+
+int64_t AffineExpr::evaluate(const std::vector<int64_t> &Indices) const {
+  int64_t Result = Constant;
+  for (unsigned D = 0, E = numDims(); D != E; ++D) {
+    if (Coeffs[D] == 0)
+      continue;
+    assert(D < Indices.size() && "iteration vector too short");
+    Result += Coeffs[D] * Indices[D];
+  }
+  return Result;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &Other) const {
+  AffineExpr Result(Constant + Other.Constant);
+  unsigned Dims = std::max(numDims(), Other.numDims());
+  for (unsigned D = 0; D != Dims; ++D) {
+    int64_t C = coeff(D) + Other.coeff(D);
+    if (C != 0)
+      Result.setCoeff(D, C);
+  }
+  return Result;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &Other) const {
+  return *this + Other.scaled(-1);
+}
+
+AffineExpr AffineExpr::scaled(int64_t Factor) const {
+  AffineExpr Result(Constant * Factor);
+  for (unsigned D = 0, E = numDims(); D != E; ++D)
+    if (Coeffs[D] != 0)
+      Result.setCoeff(D, Coeffs[D] * Factor);
+  return Result;
+}
+
+AffineExpr AffineExpr::shiftedIndex(unsigned Depth, int64_t Delta) const {
+  AffineExpr Result = *this;
+  Result.Constant += coeff(Depth) * Delta;
+  return Result;
+}
+
+AffineExpr AffineExpr::substitutedIndex(unsigned Depth, int64_t Coeff,
+                                        int64_t Add) const {
+  AffineExpr Result = *this;
+  int64_t Old = coeff(Depth);
+  Result.Constant += Old * Add;
+  if (Old != 0 || Depth < Result.Coeffs.size())
+    Result.setCoeff(Depth, Old * Coeff);
+  return Result;
+}
+
+bool AffineExpr::operator==(const AffineExpr &Other) const {
+  if (Constant != Other.Constant)
+    return false;
+  unsigned Dims = std::max(numDims(), Other.numDims());
+  for (unsigned D = 0; D != Dims; ++D)
+    if (coeff(D) != Other.coeff(D))
+      return false;
+  return true;
+}
+
+std::string
+AffineExpr::toString(const std::vector<std::string> &IndexNames) const {
+  std::string Out;
+  for (unsigned D = 0, E = numDims(); D != E; ++D) {
+    int64_t C = Coeffs[D];
+    if (C == 0)
+      continue;
+    std::string Name =
+        D < IndexNames.size() ? IndexNames[D] : "i" + std::to_string(D);
+    if (!Out.empty())
+      Out += C > 0 ? " + " : " - ";
+    else if (C < 0)
+      Out += "-";
+    int64_t A = C > 0 ? C : -C;
+    if (A != 1)
+      Out += std::to_string(A) + "*";
+    Out += Name;
+  }
+  if (Out.empty())
+    return std::to_string(Constant);
+  if (Constant > 0)
+    Out += " + " + std::to_string(Constant);
+  else if (Constant < 0)
+    Out += " - " + std::to_string(-Constant);
+  return Out;
+}
+
+std::string AffineExpr::key() const {
+  std::string K = "c" + std::to_string(Constant);
+  for (unsigned D = 0, E = numDims(); D != E; ++D)
+    if (Coeffs[D] != 0)
+      K += "|d" + std::to_string(D) + ":" + std::to_string(Coeffs[D]);
+  return K;
+}
+
+void AffineExpr::trim() {
+  while (!Coeffs.empty() && Coeffs.back() == 0)
+    Coeffs.pop_back();
+}

@@ -1,0 +1,88 @@
+//===- ir/AffineExpr.h - Affine functions of loop indices -------*- C++ -*-===//
+///
+/// \file
+/// An affine expression c0 + c1*i1 + ... + cn*in over the enclosing loop
+/// indices. Array subscripts in kernels are affine, which is what enables
+/// both the dependence tests (analysis) and the polyhedral-style data layout
+/// transformation of Section 5 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_AFFINEEXPR_H
+#define SLP_IR_AFFINEEXPR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// An affine function of a kernel's loop indices.
+///
+/// Coefficients are indexed by loop depth (0 = outermost). The coefficient
+/// vector may be shorter than the number of enclosing loops; missing
+/// coefficients are zero.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+
+  /// Creates the constant function \p C.
+  explicit AffineExpr(int64_t C) : Constant(C) {}
+
+  /// Creates \p Coeff * i_Depth + \p C.
+  static AffineExpr term(unsigned Depth, int64_t Coeff, int64_t C = 0);
+
+  /// Returns the coefficient of the loop index at \p Depth.
+  int64_t coeff(unsigned Depth) const {
+    return Depth < Coeffs.size() ? Coeffs[Depth] : 0;
+  }
+
+  /// Sets the coefficient of the loop index at \p Depth.
+  void setCoeff(unsigned Depth, int64_t Value);
+
+  int64_t constant() const { return Constant; }
+  void setConstant(int64_t C) { Constant = C; }
+
+  /// Number of loop depths with an explicitly stored coefficient.
+  unsigned numDims() const { return static_cast<unsigned>(Coeffs.size()); }
+
+  /// Returns true if every coefficient is zero.
+  bool isConstant() const;
+
+  /// Evaluates the function at the iteration vector \p Indices
+  /// (Indices[d] is the value of the loop index at depth d).
+  int64_t evaluate(const std::vector<int64_t> &Indices) const;
+
+  AffineExpr operator+(const AffineExpr &Other) const;
+  AffineExpr operator-(const AffineExpr &Other) const;
+  AffineExpr scaled(int64_t Factor) const;
+
+  /// Returns this expression with i_Depth replaced by i_Depth + Delta;
+  /// used by the loop unroller.
+  AffineExpr shiftedIndex(unsigned Depth, int64_t Delta) const;
+
+  /// Returns this expression with i_Depth replaced by Coeff*i_Depth + Add;
+  /// used when re-normalizing unrolled loops.
+  AffineExpr substitutedIndex(unsigned Depth, int64_t Coeff,
+                              int64_t Add) const;
+
+  bool operator==(const AffineExpr &Other) const;
+  bool operator!=(const AffineExpr &Other) const { return !(*this == Other); }
+
+  /// Renders the expression using \p IndexNames for the loop indices,
+  /// e.g. "4*i + 3".
+  std::string toString(const std::vector<std::string> &IndexNames) const;
+
+  /// Stable key for hashing/identity comparisons.
+  std::string key() const;
+
+private:
+  void trim();
+
+  std::vector<int64_t> Coeffs;
+  int64_t Constant = 0;
+};
+
+} // namespace slp
+
+#endif // SLP_IR_AFFINEEXPR_H

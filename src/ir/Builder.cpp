@@ -1,0 +1,13 @@
+//===- ir/Builder.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Builder.h"
+
+using namespace slp;
+
+unsigned KernelBuilder::loop(const std::string &IndexName, int64_t Lower,
+                             int64_t Upper, int64_t Step) {
+  assert(K.Body.empty() &&
+         "loops must be declared before statements are appended");
+  K.Loops.push_back(Loop{IndexName, Lower, Upper, Step});
+  return static_cast<unsigned>(K.Loops.size() - 1);
+}

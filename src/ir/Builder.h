@@ -1,0 +1,111 @@
+//===- ir/Builder.h - Programmatic kernel construction ----------*- C++ -*-===//
+///
+/// \file
+/// A fluent helper for building kernels in C++ (the alternative to the
+/// textual parser). Used heavily by the workload generators and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_BUILDER_H
+#define SLP_IR_BUILDER_H
+
+#include "ir/Kernel.h"
+
+namespace slp {
+
+/// Builds a Kernel incrementally. Typical use:
+/// \code
+///   KernelBuilder B("saxpy");
+///   SymbolId X = B.array("X", ScalarType::Float32, {1024});
+///   SymbolId Y = B.array("Y", ScalarType::Float32, {1024}, /*ReadOnly=*/true);
+///   SymbolId A = B.scalar("a", ScalarType::Float32);
+///   unsigned I = B.loop("i", 0, 1024);
+///   B.assign(B.arrayRef(X, {B.idx(I)}),
+///            B.add(B.mul(B.scalarRef(A), B.load(Y, {B.idx(I)})),
+///                  B.load(X, {B.idx(I)})));
+///   Kernel K = B.take();
+/// \endcode
+class KernelBuilder {
+public:
+  explicit KernelBuilder(std::string Name) { K.Name = std::move(Name); }
+
+  SymbolId scalar(const std::string &Name, ScalarType Ty) {
+    return K.addScalar(Name, Ty);
+  }
+
+  SymbolId array(const std::string &Name, ScalarType Ty,
+                 std::vector<int64_t> Dims, bool ReadOnly = false) {
+    return K.addArray(Name, Ty, std::move(Dims), ReadOnly);
+  }
+
+  /// Appends a loop to the nest (must be called outermost-first); returns
+  /// its depth for use with idx().
+  unsigned loop(const std::string &IndexName, int64_t Lower, int64_t Upper,
+                int64_t Step = 1);
+
+  /// Affine expression Coeff * i_Depth + Add.
+  AffineExpr idx(unsigned Depth, int64_t Coeff = 1, int64_t Add = 0) const {
+    return AffineExpr::term(Depth, Coeff, Add);
+  }
+
+  /// Affine constant.
+  AffineExpr aff(int64_t C) const { return AffineExpr(C); }
+
+  // -- Operand factories ---------------------------------------------------
+  Operand arrayRef(SymbolId Array, std::vector<AffineExpr> Subs) const {
+    return Operand::makeArray(Array, std::move(Subs));
+  }
+  Operand scalarOp(SymbolId S) const { return Operand::makeScalar(S); }
+
+  // -- Expression factories --------------------------------------------------
+  ExprPtr c(double Value) const {
+    return Expr::makeLeaf(Operand::makeConstant(Value));
+  }
+  ExprPtr scalarRef(SymbolId S) const {
+    return Expr::makeLeaf(Operand::makeScalar(S));
+  }
+  ExprPtr load(SymbolId Array, std::vector<AffineExpr> Subs) const {
+    return Expr::makeLeaf(Operand::makeArray(Array, std::move(Subs)));
+  }
+  ExprPtr add(ExprPtr L, ExprPtr R) const {
+    return Expr::makeBinary(OpCode::Add, std::move(L), std::move(R));
+  }
+  ExprPtr sub(ExprPtr L, ExprPtr R) const {
+    return Expr::makeBinary(OpCode::Sub, std::move(L), std::move(R));
+  }
+  ExprPtr mul(ExprPtr L, ExprPtr R) const {
+    return Expr::makeBinary(OpCode::Mul, std::move(L), std::move(R));
+  }
+  ExprPtr div(ExprPtr L, ExprPtr R) const {
+    return Expr::makeBinary(OpCode::Div, std::move(L), std::move(R));
+  }
+  ExprPtr min(ExprPtr L, ExprPtr R) const {
+    return Expr::makeBinary(OpCode::Min, std::move(L), std::move(R));
+  }
+  ExprPtr max(ExprPtr L, ExprPtr R) const {
+    return Expr::makeBinary(OpCode::Max, std::move(L), std::move(R));
+  }
+  ExprPtr neg(ExprPtr E) const {
+    return Expr::makeUnary(OpCode::Neg, std::move(E));
+  }
+  ExprPtr sqrt(ExprPtr E) const {
+    return Expr::makeUnary(OpCode::Sqrt, std::move(E));
+  }
+
+  /// Appends the statement `Lhs = Rhs` to the kernel body.
+  void assign(Operand Lhs, ExprPtr Rhs) {
+    K.Body.append(Statement(std::move(Lhs), std::move(Rhs)));
+  }
+
+  const Kernel &kernel() const { return K; }
+
+  /// Finalizes and returns the kernel.
+  Kernel take() { return std::move(K); }
+
+private:
+  Kernel K;
+};
+
+} // namespace slp
+
+#endif // SLP_IR_BUILDER_H

@@ -1,0 +1,132 @@
+//===- ir/Expr.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Expr.h"
+
+#include "support/Error.h"
+
+using namespace slp;
+
+const char *slp::opcodeName(OpCode Op) {
+  switch (Op) {
+  case OpCode::Add:
+    return "+";
+  case OpCode::Sub:
+    return "-";
+  case OpCode::Mul:
+    return "*";
+  case OpCode::Div:
+    return "/";
+  case OpCode::Min:
+    return "min";
+  case OpCode::Max:
+    return "max";
+  case OpCode::Neg:
+    return "neg";
+  case OpCode::Sqrt:
+    return "sqrt";
+  case OpCode::Abs:
+    return "abs";
+  }
+  return "<invalid>";
+}
+
+ExprPtr Expr::makeLeaf(Operand Op) {
+  auto E = std::unique_ptr<Expr>(new Expr());
+  E->Leaf = std::move(Op);
+  return E;
+}
+
+ExprPtr Expr::makeUnary(OpCode Op, ExprPtr Child) {
+  assert(isUnaryOp(Op) && "binary opcode passed to makeUnary");
+  auto E = std::unique_ptr<Expr>(new Expr());
+  E->Op = Op;
+  E->Children.push_back(std::move(Child));
+  return E;
+}
+
+ExprPtr Expr::makeBinary(OpCode Op, ExprPtr Lhs, ExprPtr Rhs) {
+  assert(!isUnaryOp(Op) && "unary opcode passed to makeBinary");
+  auto E = std::unique_ptr<Expr>(new Expr());
+  E->Op = Op;
+  E->Children.push_back(std::move(Lhs));
+  E->Children.push_back(std::move(Rhs));
+  return E;
+}
+
+ExprPtr Expr::clone() const {
+  if (isLeaf())
+    return makeLeaf(Leaf);
+  auto E = std::unique_ptr<Expr>(new Expr());
+  E->Op = Op;
+  for (const auto &C : Children)
+    E->Children.push_back(C->clone());
+  return E;
+}
+
+void Expr::forEachLeaf(const std::function<void(const Operand &)> &Fn) const {
+  if (isLeaf()) {
+    Fn(Leaf);
+    return;
+  }
+  for (const auto &C : Children)
+    C->forEachLeaf(Fn);
+}
+
+void Expr::forEachLeafMut(const std::function<void(Operand &)> &Fn) {
+  if (isLeaf()) {
+    Fn(Leaf);
+    return;
+  }
+  for (const auto &C : Children)
+    C->forEachLeafMut(Fn);
+}
+
+std::vector<const Operand *> Expr::leaves() const {
+  std::vector<const Operand *> Result;
+  forEachLeaf([&Result](const Operand &O) { Result.push_back(&O); });
+  return Result;
+}
+
+unsigned Expr::numOps() const {
+  if (isLeaf())
+    return 0;
+  unsigned N = 1;
+  for (const auto &C : Children)
+    N += C->numOps();
+  return N;
+}
+
+std::string Expr::shapeSignature() const {
+  if (isLeaf()) {
+    switch (Leaf.kind()) {
+    case Operand::Kind::Constant:
+      return "K";
+    case Operand::Kind::Scalar:
+      return "S";
+    case Operand::Kind::Array:
+      return "A";
+    }
+    slpUnreachable("invalid operand kind");
+  }
+  std::string Sig = "(";
+  Sig += opcodeName(Op);
+  for (const auto &C : Children) {
+    Sig += " ";
+    Sig += C->shapeSignature();
+  }
+  Sig += ")";
+  return Sig;
+}
+
+bool Expr::equals(const Expr &Other) const {
+  if (isLeaf() != Other.isLeaf())
+    return false;
+  if (isLeaf())
+    return Leaf == Other.Leaf;
+  if (Op != Other.Op || Children.size() != Other.Children.size())
+    return false;
+  for (unsigned I = 0, E = numChildren(); I != E; ++I)
+    if (!Children[I]->equals(*Other.Children[I]))
+      return false;
+  return true;
+}

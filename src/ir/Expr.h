@@ -1,0 +1,126 @@
+//===- ir/Expr.h - Expression trees ------------------------------*- C++ -*-===//
+///
+/// \file
+/// Right-hand-side expression trees of kernel statements. Two statements are
+/// isomorphic (groupable into a superword statement) when their trees have
+/// the same shape, the same operation at every interior node, and leaves of
+/// matching kind/type at every position — exactly the paper's Section 4.1
+/// constraint 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_EXPR_H
+#define SLP_IR_EXPR_H
+
+#include "ir/Operand.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace slp {
+
+/// Operation performed by an interior expression node.
+enum class OpCode : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Min,
+  Max,
+  Neg,  // unary
+  Sqrt, // unary
+  Abs,  // unary
+};
+
+/// Returns true for single-operand opcodes.
+inline bool isUnaryOp(OpCode Op) {
+  return Op == OpCode::Neg || Op == OpCode::Sqrt || Op == OpCode::Abs;
+}
+
+/// Returns the spelling of \p Op in the textual kernel language.
+const char *opcodeName(OpCode Op);
+
+/// An expression tree node: either a leaf wrapping an Operand, or an
+/// interior node with an OpCode and one or two children.
+class Expr {
+public:
+  /// Creates a leaf node.
+  static std::unique_ptr<Expr> makeLeaf(Operand Op);
+
+  /// Creates a unary interior node.
+  static std::unique_ptr<Expr> makeUnary(OpCode Op,
+                                         std::unique_ptr<Expr> Child);
+
+  /// Creates a binary interior node.
+  static std::unique_ptr<Expr> makeBinary(OpCode Op,
+                                          std::unique_ptr<Expr> Lhs,
+                                          std::unique_ptr<Expr> Rhs);
+
+  bool isLeaf() const { return Children.empty(); }
+
+  const Operand &leaf() const {
+    assert(isLeaf() && "not a leaf");
+    return Leaf;
+  }
+
+  Operand &leaf() {
+    assert(isLeaf() && "not a leaf");
+    return Leaf;
+  }
+
+  OpCode opcode() const {
+    assert(!isLeaf() && "leaves have no opcode");
+    return Op;
+  }
+
+  unsigned numChildren() const {
+    return static_cast<unsigned>(Children.size());
+  }
+
+  const Expr &child(unsigned I) const {
+    assert(I < Children.size() && "child index out of range");
+    return *Children[I];
+  }
+
+  Expr &child(unsigned I) {
+    assert(I < Children.size() && "child index out of range");
+    return *Children[I];
+  }
+
+  /// Deep copy.
+  std::unique_ptr<Expr> clone() const;
+
+  /// Invokes \p Fn on every leaf operand in pre-order. The visit order
+  /// defines the "operand positions" used when forming variable packs.
+  void forEachLeaf(const std::function<void(const Operand &)> &Fn) const;
+
+  /// Mutable variant of forEachLeaf, used by the layout rewriter.
+  void forEachLeafMut(const std::function<void(Operand &)> &Fn);
+
+  /// Returns all leaf operands in pre-order.
+  std::vector<const Operand *> leaves() const;
+
+  /// Number of interior (operation) nodes; the per-lane ALU work.
+  unsigned numOps() const;
+
+  /// A string describing only the tree shape and opcodes plus the *kind*
+  /// of each leaf; equal signatures are a prerequisite of isomorphism.
+  std::string shapeSignature() const;
+
+  /// Structural equality including leaf operand identity.
+  bool equals(const Expr &Other) const;
+
+private:
+  Expr() = default;
+
+  Operand Leaf;
+  OpCode Op = OpCode::Add;
+  std::vector<std::unique_ptr<Expr>> Children;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+} // namespace slp
+
+#endif // SLP_IR_EXPR_H

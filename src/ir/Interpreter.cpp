@@ -1,0 +1,206 @@
+//===- ir/Interpreter.cpp -------------------------------------*- C++ -*-===//
+
+#include "ir/Interpreter.h"
+
+#include "support/Error.h"
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace slp;
+
+AffineExpr slp::flattenArrayRef(const ArraySymbol &A,
+                                const std::vector<AffineExpr> &Subs) {
+  assert(Subs.size() == A.DimSizes.size() &&
+         "subscript count must match array rank");
+  AffineExpr Flat(0);
+  for (unsigned D = 0, E = static_cast<unsigned>(Subs.size()); D != E; ++D) {
+    int64_t Stride = 1;
+    for (unsigned Inner = D + 1; Inner != E; ++Inner)
+      Stride *= A.DimSizes[Inner];
+    Flat = Flat + Subs[D].scaled(Stride);
+  }
+  return Flat;
+}
+
+Environment::Environment(const Kernel &K, uint64_t Seed) {
+  Rng R(Seed);
+  // Integer-typed locations start with integral contents; float-typed
+  // locations get exact quarter values so all arithmetic stays exact.
+  auto Fill = [&R](ScalarType Ty) {
+    double V = static_cast<double>(R.nextInRange(-64, 64));
+    return isFloatType(Ty) ? V * 0.25 : V;
+  };
+  ScalarVals.resize(K.Scalars.size());
+  for (unsigned S = 0, E = static_cast<unsigned>(K.Scalars.size()); S != E;
+       ++S)
+    ScalarVals[S] = Fill(K.Scalars[S].Ty);
+  ArrayBufs.resize(K.Arrays.size());
+  for (unsigned A = 0, E = static_cast<unsigned>(K.Arrays.size()); A != E;
+       ++A) {
+    ArrayBufs[A].resize(static_cast<size_t>(K.Arrays[A].numElements()));
+    for (double &V : ArrayBufs[A])
+      V = Fill(K.Arrays[A].Ty);
+  }
+}
+
+void Environment::addArrayStorage(int64_t NumElements) {
+  ArrayBufs.emplace_back(static_cast<size_t>(NumElements), 0.0);
+}
+
+bool Environment::matches(const Environment &Other, unsigned NumScalars,
+                          unsigned NumArrays) const {
+  assert(NumScalars <= ScalarVals.size() &&
+         NumScalars <= Other.ScalarVals.size() && "scalar count out of range");
+  assert(NumArrays <= ArrayBufs.size() &&
+         NumArrays <= Other.ArrayBufs.size() && "array count out of range");
+  for (unsigned I = 0; I != NumScalars; ++I)
+    if (ScalarVals[I] != Other.ScalarVals[I])
+      return false;
+  for (unsigned A = 0; A != NumArrays; ++A)
+    if (ArrayBufs[A] != Other.ArrayBufs[A])
+      return false;
+  return true;
+}
+
+int64_t slp::evalArrayOffset(const Kernel &K, const Operand &Op,
+                             const std::vector<int64_t> &Indices) {
+  assert(Op.isArray() && "expected an array operand");
+  const ArraySymbol &A = K.array(Op.symbol());
+  int64_t Offset = flattenArrayRef(A, Op.subscripts()).evaluate(Indices);
+  assert(Offset >= 0 && Offset < A.numElements() &&
+         "array reference out of bounds");
+  return Offset;
+}
+
+double slp::evalOperandValue(const Kernel &K, Environment &Env,
+                             const Operand &Op,
+                             const std::vector<int64_t> &Indices,
+                             ScalarExecStats *Stats) {
+  switch (Op.kind()) {
+  case Operand::Kind::Constant:
+    return Op.constantValue();
+  case Operand::Kind::Scalar:
+    return Env.scalarValue(Op.symbol());
+  case Operand::Kind::Array: {
+    if (Stats)
+      ++Stats->ArrayLoads;
+    int64_t Offset = evalArrayOffset(K, Op, Indices);
+    return Env.arrayBuffer(Op.symbol())[static_cast<size_t>(Offset)];
+  }
+  }
+  slpUnreachable("invalid operand kind");
+}
+
+double slp::evalExprValue(const Kernel &K, Environment &Env, const Expr &E,
+                          const std::vector<int64_t> &Indices,
+                          ScalarExecStats *Stats) {
+  if (E.isLeaf())
+    return evalOperandValue(K, Env, E.leaf(), Indices, Stats);
+  if (Stats)
+    ++Stats->AluOps;
+  switch (E.opcode()) {
+  case OpCode::Add:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) +
+           evalExprValue(K, Env, E.child(1), Indices, Stats);
+  case OpCode::Sub:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) -
+           evalExprValue(K, Env, E.child(1), Indices, Stats);
+  case OpCode::Mul:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) *
+           evalExprValue(K, Env, E.child(1), Indices, Stats);
+  case OpCode::Div:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) /
+           evalExprValue(K, Env, E.child(1), Indices, Stats);
+  case OpCode::Min:
+    return std::fmin(evalExprValue(K, Env, E.child(0), Indices, Stats),
+                     evalExprValue(K, Env, E.child(1), Indices, Stats));
+  case OpCode::Max:
+    return std::fmax(evalExprValue(K, Env, E.child(0), Indices, Stats),
+                     evalExprValue(K, Env, E.child(1), Indices, Stats));
+  case OpCode::Neg:
+    return -evalExprValue(K, Env, E.child(0), Indices, Stats);
+  case OpCode::Sqrt:
+    // Inputs are random; take sqrt of the magnitude so results stay real.
+    return std::sqrt(
+        std::fabs(evalExprValue(K, Env, E.child(0), Indices, Stats)));
+  case OpCode::Abs:
+    return std::fabs(evalExprValue(K, Env, E.child(0), Indices, Stats));
+  }
+  slpUnreachable("invalid opcode");
+}
+
+/// Integer-typed locations truncate toward zero on store, mirroring a
+/// float-to-int conversion at the assignment; float locations store the
+/// value unchanged. Both the scalar and the vector interpreter store
+/// through here, so the semantics stay identical on both paths.
+static double convertForStore(ScalarType Ty, double Value) {
+  if (isFloatType(Ty))
+    return Value;
+  return std::trunc(Value);
+}
+
+void slp::storeToOperand(const Kernel &K, Environment &Env,
+                         const Operand &Target, double Value,
+                         const std::vector<int64_t> &Indices,
+                         ScalarExecStats *Stats) {
+  if (Target.isScalar()) {
+    Env.setScalarValue(Target.symbol(),
+                       convertForStore(K.scalar(Target.symbol()).Ty, Value));
+    return;
+  }
+  assert(Target.isArray() && "cannot store to a constant");
+  if (Stats)
+    ++Stats->ArrayStores;
+  int64_t Offset = evalArrayOffset(K, Target, Indices);
+  Env.arrayBuffer(Target.symbol())[static_cast<size_t>(Offset)] =
+      convertForStore(K.array(Target.symbol()).Ty, Value);
+}
+
+void slp::execStatementScalar(const Kernel &K, Environment &Env,
+                              const Statement &S,
+                              const std::vector<int64_t> &Indices,
+                              ScalarExecStats *Stats) {
+  double Value = evalExprValue(K, Env, S.rhs(), Indices, Stats);
+  storeToOperand(K, Env, S.lhs(), Value, Indices, Stats);
+}
+
+void slp::forEachIteration(
+    const Kernel &K,
+    const std::function<void(const std::vector<int64_t> &)> &Fn) {
+  std::vector<int64_t> Indices(K.Loops.size(), 0);
+  if (K.Loops.empty()) {
+    Fn(Indices);
+    return;
+  }
+  for (const Loop &L : K.Loops)
+    if (L.tripCount() == 0)
+      return;
+
+  unsigned Depth = static_cast<unsigned>(K.Loops.size());
+  for (unsigned D = 0; D != Depth; ++D)
+    Indices[D] = K.Loops[D].Lower;
+
+  while (true) {
+    Fn(Indices);
+    // Odometer increment: bump the innermost index, carrying outward.
+    unsigned D = Depth - 1;
+    Indices[D] += K.Loops[D].Step;
+    while (Indices[D] >= K.Loops[D].Upper) {
+      if (D == 0)
+        return;
+      Indices[D] = K.Loops[D].Lower;
+      --D;
+      Indices[D] += K.Loops[D].Step;
+    }
+  }
+}
+
+ScalarExecStats slp::runKernelScalar(const Kernel &K, Environment &Env) {
+  ScalarExecStats Stats;
+  forEachIteration(K, [&](const std::vector<int64_t> &Indices) {
+    for (const Statement &S : K.Body)
+      execStatementScalar(K, Env, S, Indices, &Stats);
+  });
+  return Stats;
+}

@@ -1,0 +1,118 @@
+//===- ir/Interpreter.h - Reference scalar execution -------------*- C++ -*-===//
+///
+/// \file
+/// Executes a kernel with original (scalar) semantics over a concrete
+/// Environment. This is the reference against which every vectorized
+/// program is checked for bit-identical results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_INTERPRETER_H
+#define SLP_IR_INTERPRETER_H
+
+#include "ir/Kernel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace slp {
+
+/// Row-major flattening of an array reference: a single affine function of
+/// the loop indices giving the element offset within the array's buffer.
+AffineExpr flattenArrayRef(const ArraySymbol &A,
+                           const std::vector<AffineExpr> &Subs);
+
+/// Concrete values for a kernel's scalars and arrays. All values are stored
+/// as doubles; both the scalar and the vector interpreter perform identical
+/// double arithmetic per lane, so equality checks are exact.
+class Environment {
+public:
+  /// Creates an environment sized for \p K with deterministic pseudo-random
+  /// contents derived from \p Seed.
+  Environment(const Kernel &K, uint64_t Seed);
+
+  double scalarValue(SymbolId Id) const { return ScalarVals[Id]; }
+  void setScalarValue(SymbolId Id, double V) { ScalarVals[Id] = V; }
+
+  const std::vector<double> &arrayBuffer(SymbolId Id) const {
+    return ArrayBufs[Id];
+  }
+  std::vector<double> &arrayBuffer(SymbolId Id) { return ArrayBufs[Id]; }
+
+  unsigned numScalars() const {
+    return static_cast<unsigned>(ScalarVals.size());
+  }
+  unsigned numArrays() const { return static_cast<unsigned>(ArrayBufs.size()); }
+
+  /// Appends storage for an array added after construction (layout
+  /// replicas), zero-initialized.
+  void addArrayStorage(int64_t NumElements);
+
+  /// Appends storage for a scalar added after construction (unroll
+  /// clones), initialized to \p Value.
+  void addScalarStorage(double Value = 0) { ScalarVals.push_back(Value); }
+
+  /// True when the first \p NumScalars scalars and first \p NumArrays
+  /// arrays match \p Other exactly. Pass the counts of the *original*
+  /// kernel to ignore replicated arrays added by the layout stage.
+  bool matches(const Environment &Other, unsigned NumScalars,
+               unsigned NumArrays) const;
+
+private:
+  std::vector<double> ScalarVals;
+  std::vector<std::vector<double>> ArrayBufs;
+};
+
+/// Dynamic operation counts of one scalar-kernel execution, used as the
+/// baseline of the paper's dynamic-instruction figures.
+struct ScalarExecStats {
+  uint64_t AluOps = 0;
+  uint64_t ArrayLoads = 0;
+  uint64_t ArrayStores = 0;
+
+  uint64_t totalInstructions() const {
+    return AluOps + ArrayLoads + ArrayStores;
+  }
+};
+
+/// Executes \p K with scalar semantics, mutating \p Env.
+ScalarExecStats runKernelScalar(const Kernel &K, Environment &Env);
+
+/// Invokes \p Fn once per iteration of \p K's loop nest with the iteration
+/// vector (outermost first). An empty nest yields one call with an empty
+/// vector.
+void forEachIteration(const Kernel &K,
+                      const std::function<void(const std::vector<int64_t> &)>
+                          &Fn);
+
+/// Evaluates \p Op at iteration \p Indices. \p Stats, when non-null,
+/// accrues the memory operations performed.
+double evalOperandValue(const Kernel &K, Environment &Env, const Operand &Op,
+                        const std::vector<int64_t> &Indices,
+                        ScalarExecStats *Stats = nullptr);
+
+/// Evaluates the expression \p E at iteration \p Indices.
+double evalExprValue(const Kernel &K, Environment &Env, const Expr &E,
+                     const std::vector<int64_t> &Indices,
+                     ScalarExecStats *Stats = nullptr);
+
+/// Executes one statement with scalar semantics at iteration \p Indices.
+void execStatementScalar(const Kernel &K, Environment &Env,
+                         const Statement &S,
+                         const std::vector<int64_t> &Indices,
+                         ScalarExecStats *Stats = nullptr);
+
+/// Stores \p Value into the location denoted by the scalar-or-array
+/// operand \p Target.
+void storeToOperand(const Kernel &K, Environment &Env, const Operand &Target,
+                    double Value, const std::vector<int64_t> &Indices,
+                    ScalarExecStats *Stats = nullptr);
+
+/// Evaluates the affine subscripts of the array operand \p Op at iteration
+/// \p Indices and returns the flattened element offset (asserting bounds).
+int64_t evalArrayOffset(const Kernel &K, const Operand &Op,
+                        const std::vector<int64_t> &Indices);
+
+} // namespace slp
+
+#endif // SLP_IR_INTERPRETER_H

@@ -1,0 +1,73 @@
+//===- ir/Kernel.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/Kernel.h"
+
+#include "support/Error.h"
+
+using namespace slp;
+
+SymbolId Kernel::addScalar(const std::string &Name, ScalarType Ty) {
+  assert(!findScalar(Name) && "duplicate scalar name");
+  Scalars.push_back(ScalarSymbol{Name, Ty});
+  return static_cast<SymbolId>(Scalars.size() - 1);
+}
+
+SymbolId Kernel::addArray(const std::string &Name, ScalarType Ty,
+                          std::vector<int64_t> DimSizes, bool ReadOnly) {
+  assert(!findArray(Name) && "duplicate array name");
+  assert(!DimSizes.empty() && "array requires at least one dimension");
+  Arrays.push_back(ArraySymbol{Name, Ty, std::move(DimSizes), ReadOnly});
+  return static_cast<SymbolId>(Arrays.size() - 1);
+}
+
+std::optional<SymbolId> Kernel::findScalar(const std::string &Name) const {
+  for (unsigned I = 0, E = static_cast<unsigned>(Scalars.size()); I != E; ++I)
+    if (Scalars[I].Name == Name)
+      return I;
+  return std::nullopt;
+}
+
+std::optional<SymbolId> Kernel::findArray(const std::string &Name) const {
+  for (unsigned I = 0, E = static_cast<unsigned>(Arrays.size()); I != E; ++I)
+    if (Arrays[I].Name == Name)
+      return I;
+  return std::nullopt;
+}
+
+ScalarType Kernel::operandType(const Operand &Op) const {
+  switch (Op.kind()) {
+  case Operand::Kind::Constant:
+    return ScalarType::Float64;
+  case Operand::Kind::Scalar:
+    return scalar(Op.symbol()).Ty;
+  case Operand::Kind::Array:
+    return array(Op.symbol()).Ty;
+  }
+  slpUnreachable("invalid operand kind");
+}
+
+std::vector<std::string> Kernel::indexNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Loops.size());
+  for (const Loop &L : Loops)
+    Names.push_back(L.IndexName);
+  return Names;
+}
+
+int64_t Kernel::totalIterations() const {
+  int64_t Total = 1;
+  for (const Loop &L : Loops)
+    Total *= L.tripCount();
+  return Total;
+}
+
+Kernel Kernel::clone() const {
+  Kernel K;
+  K.Name = Name;
+  K.Scalars = Scalars;
+  K.Arrays = Arrays;
+  K.Loops = Loops;
+  for (const Statement &S : Body)
+    K.Body.append(S);
+  return K;
+}

@@ -1,0 +1,147 @@
+//===- ir/Kernel.h - Kernels, loops, and basic blocks -----------*- C++ -*-===//
+///
+/// \file
+/// A Kernel is the unit of input to the SLP framework: a (possibly empty)
+/// perfect loop nest whose innermost body is a basic block of assignment
+/// statements, together with the scalar and array symbols those statements
+/// reference. The pre-processing stage unrolls the innermost loop to expose
+/// superword parallelism; the optimizers then work on the basic block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_KERNEL_H
+#define SLP_IR_KERNEL_H
+
+#include "ir/Statement.h"
+#include "ir/Type.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// A scalar variable. Scalars are memory-resident named values (like file
+/// scope or spilled locals in the paper's examples) so that the scalar
+/// data layout optimization of Section 5.1 has addresses to assign.
+struct ScalarSymbol {
+  std::string Name;
+  ScalarType Ty = ScalarType::Float32;
+};
+
+/// An array variable with row-major layout.
+struct ArraySymbol {
+  std::string Name;
+  ScalarType Ty = ScalarType::Float32;
+  std::vector<int64_t> DimSizes;
+  /// Read-only arrays are eligible for the replication-based layout
+  /// transformation (Section 5.2's second constraint).
+  bool ReadOnly = false;
+
+  /// Total number of elements.
+  int64_t numElements() const {
+    int64_t N = 1;
+    for (int64_t D : DimSizes)
+      N *= D;
+    return N;
+  }
+};
+
+/// One loop of a kernel's nest. Iterates Index = Lower; Index < Upper;
+/// Index += Step.
+struct Loop {
+  std::string IndexName;
+  int64_t Lower = 0;
+  int64_t Upper = 0;
+  int64_t Step = 1;
+
+  /// Number of iterations executed.
+  int64_t tripCount() const {
+    if (Upper <= Lower || Step <= 0)
+      return 0;
+    return (Upper - Lower + Step - 1) / Step;
+  }
+};
+
+/// A straight-line sequence of statements.
+class BasicBlock {
+public:
+  BasicBlock() = default;
+
+  unsigned size() const { return static_cast<unsigned>(Statements.size()); }
+  bool empty() const { return Statements.empty(); }
+
+  const Statement &statement(unsigned I) const {
+    assert(I < Statements.size() && "statement index out of range");
+    return Statements[I];
+  }
+
+  Statement &statement(unsigned I) {
+    assert(I < Statements.size() && "statement index out of range");
+    return Statements[I];
+  }
+
+  void append(Statement S) { Statements.push_back(std::move(S)); }
+
+  auto begin() const { return Statements.begin(); }
+  auto end() const { return Statements.end(); }
+  auto begin() { return Statements.begin(); }
+  auto end() { return Statements.end(); }
+
+private:
+  std::vector<Statement> Statements;
+};
+
+/// A kernel: symbols + loop nest + innermost basic block.
+class Kernel {
+public:
+  std::string Name;
+  std::vector<ScalarSymbol> Scalars;
+  std::vector<ArraySymbol> Arrays;
+  /// Loop nest from outermost (depth 0) to innermost.
+  std::vector<Loop> Loops;
+  BasicBlock Body;
+
+  /// Registers a scalar and returns its id. Fails (asserts) on duplicates.
+  SymbolId addScalar(const std::string &Name, ScalarType Ty);
+
+  /// Registers an array and returns its id.
+  SymbolId addArray(const std::string &Name, ScalarType Ty,
+                    std::vector<int64_t> DimSizes, bool ReadOnly = false);
+
+  const ScalarSymbol &scalar(SymbolId Id) const {
+    assert(Id < Scalars.size() && "scalar id out of range");
+    return Scalars[Id];
+  }
+
+  const ArraySymbol &array(SymbolId Id) const {
+    assert(Id < Arrays.size() && "array id out of range");
+    return Arrays[Id];
+  }
+
+  ArraySymbol &array(SymbolId Id) {
+    assert(Id < Arrays.size() && "array id out of range");
+    return Arrays[Id];
+  }
+
+  std::optional<SymbolId> findScalar(const std::string &Name) const;
+  std::optional<SymbolId> findArray(const std::string &Name) const;
+
+  /// Element type of \p Op (constants default to the type of their
+  /// context and report Float64 here).
+  ScalarType operandType(const Operand &Op) const;
+
+  /// Names of the loop indices, outermost first (for printing affine
+  /// expressions).
+  std::vector<std::string> indexNames() const;
+
+  /// Total number of innermost-block executions (product of trip counts).
+  int64_t totalIterations() const;
+
+  /// Deep copy.
+  Kernel clone() const;
+};
+
+} // namespace slp
+
+#endif // SLP_IR_KERNEL_H

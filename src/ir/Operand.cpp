@@ -1,0 +1,35 @@
+//===- ir/Operand.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Operand.h"
+
+using namespace slp;
+
+bool Operand::operator==(const Operand &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Constant:
+    return ConstVal == Other.ConstVal;
+  case Kind::Scalar:
+    return Sym == Other.Sym;
+  case Kind::Array:
+    return Sym == Other.Sym && Subscripts == Other.Subscripts;
+  }
+  return false;
+}
+
+std::string Operand::key() const {
+  switch (TheKind) {
+  case Kind::Constant:
+    return "c:" + std::to_string(ConstVal);
+  case Kind::Scalar:
+    return "s:" + std::to_string(Sym);
+  case Kind::Array: {
+    std::string K = "a:" + std::to_string(Sym);
+    for (const AffineExpr &S : Subscripts)
+      K += "[" + S.key() + "]";
+    return K;
+  }
+  }
+  return "<invalid>";
+}

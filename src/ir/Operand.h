@@ -1,0 +1,98 @@
+//===- ir/Operand.h - Statement operands ------------------------*- C++ -*-===//
+///
+/// \file
+/// Leaf operands of kernel statements: literal constants, scalar variables,
+/// and affine array references. Operands are the unit that statement
+/// grouping packs into superwords, so their identity (operator==, key())
+/// defines when two packs access "the same data" for reuse purposes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_OPERAND_H
+#define SLP_IR_OPERAND_H
+
+#include "ir/AffineExpr.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// Index of a scalar or array symbol within its kernel's symbol table.
+using SymbolId = uint32_t;
+
+/// A leaf operand: constant, scalar variable, or affine array reference.
+class Operand {
+public:
+  enum class Kind : uint8_t { Constant, Scalar, Array };
+
+  Operand() : TheKind(Kind::Constant), ConstVal(0) {}
+
+  static Operand makeConstant(double Value) {
+    Operand O;
+    O.TheKind = Kind::Constant;
+    O.ConstVal = Value;
+    return O;
+  }
+
+  static Operand makeScalar(SymbolId Sym) {
+    Operand O;
+    O.TheKind = Kind::Scalar;
+    O.Sym = Sym;
+    return O;
+  }
+
+  static Operand makeArray(SymbolId Array, std::vector<AffineExpr> Subs) {
+    Operand O;
+    O.TheKind = Kind::Array;
+    O.Sym = Array;
+    O.Subscripts = std::move(Subs);
+    return O;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isConstant() const { return TheKind == Kind::Constant; }
+  bool isScalar() const { return TheKind == Kind::Scalar; }
+  bool isArray() const { return TheKind == Kind::Array; }
+
+  double constantValue() const {
+    assert(isConstant() && "not a constant");
+    return ConstVal;
+  }
+
+  SymbolId symbol() const {
+    assert(!isConstant() && "constants have no symbol");
+    return Sym;
+  }
+
+  const std::vector<AffineExpr> &subscripts() const {
+    assert(isArray() && "only array refs have subscripts");
+    return Subscripts;
+  }
+
+  std::vector<AffineExpr> &subscripts() {
+    assert(isArray() && "only array refs have subscripts");
+    return Subscripts;
+  }
+
+  /// True when two operands denote the same value source: identical
+  /// constants, the same scalar, or the same array with identical affine
+  /// subscripts.
+  bool operator==(const Operand &Other) const;
+  bool operator!=(const Operand &Other) const { return !(*this == Other); }
+
+  /// Stable identity key, usable as a hash-map key.
+  std::string key() const;
+
+private:
+  Kind TheKind;
+  double ConstVal = 0;
+  SymbolId Sym = 0;
+  std::vector<AffineExpr> Subscripts;
+};
+
+} // namespace slp
+
+#endif // SLP_IR_OPERAND_H

@@ -1,0 +1,558 @@
+//===- ir/Parser.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace slp;
+
+namespace {
+
+enum class TokKind {
+  Ident,
+  Number,
+  Punct, // single-char punctuation or ".." / "=" etc.
+  End,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  double NumValue = 0;
+  bool IsInteger = false;
+  unsigned Line = 1;
+};
+
+/// Hand-written lexer for the kernel language.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) { advance(); }
+
+  const Token &current() const { return Cur; }
+
+  void advance() {
+    skipWhitespaceAndComments();
+    Cur.Line = Line;
+    if (Pos >= Src.size()) {
+      Cur.Kind = TokKind::End;
+      Cur.Text.clear();
+      return;
+    }
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        ++Pos;
+      Cur.Kind = TokKind::Ident;
+      Cur.Text = Src.substr(Start, Pos - Start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      bool SawDot = false, SawExp = false;
+      while (Pos < Src.size()) {
+        char D = Src[Pos];
+        if (std::isdigit(static_cast<unsigned char>(D))) {
+          ++Pos;
+          continue;
+        }
+        // Treat '.' as part of the number only if not the ".." range
+        // operator and only once.
+        if (D == '.' && !SawDot && !SawExp &&
+            !(Pos + 1 < Src.size() && Src[Pos + 1] == '.')) {
+          SawDot = true;
+          ++Pos;
+          continue;
+        }
+        if ((D == 'e' || D == 'E') && !SawExp && Pos + 1 < Src.size() &&
+            (std::isdigit(static_cast<unsigned char>(Src[Pos + 1])) ||
+             Src[Pos + 1] == '-' || Src[Pos + 1] == '+')) {
+          SawExp = true;
+          Pos += 2;
+          continue;
+        }
+        break;
+      }
+      Cur.Kind = TokKind::Number;
+      Cur.Text = Src.substr(Start, Pos - Start);
+      Cur.NumValue = std::strtod(Cur.Text.c_str(), nullptr);
+      Cur.IsInteger = !SawDot && !SawExp;
+      return;
+    }
+    if (C == '.' && Pos + 1 < Src.size() && Src[Pos + 1] == '.') {
+      Cur.Kind = TokKind::Punct;
+      Cur.Text = "..";
+      Pos += 2;
+      return;
+    }
+    Cur.Kind = TokKind::Punct;
+    Cur.Text = std::string(1, C);
+    ++Pos;
+  }
+
+private:
+  void skipWhitespaceAndComments() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  Token Cur;
+};
+
+/// Recursive-descent parser producing a Kernel.
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Lex(Source) {}
+
+  ParseResult run() {
+    parseKernelDef();
+    if (!Failed && Lex.current().Kind != TokKind::End)
+      error("trailing input after kernel definition");
+    ParseResult R;
+    if (Failed) {
+      R.ErrorMessage = Message;
+      R.ErrorLine = ErrLine;
+    } else {
+      R.TheKernel = std::move(K);
+    }
+    return R;
+  }
+
+  ModuleParseResult runModule() {
+    ModuleParseResult R;
+    while (!Failed && Lex.current().Kind != TokKind::End) {
+      K = Kernel();
+      LoopDepths.clear();
+      parseKernelDef();
+      if (!Failed)
+        R.Kernels.push_back(std::move(K));
+    }
+    if (Failed) {
+      R.ErrorMessage = Message;
+      R.ErrorLine = ErrLine;
+    } else if (R.Kernels.empty()) {
+      R.ErrorMessage = "no kernel definitions found";
+      R.ErrorLine = 1;
+    }
+    return R;
+  }
+
+private:
+  Lexer Lex;
+  Kernel K;
+  bool Failed = false;
+  std::string Message;
+  unsigned ErrLine = 0;
+  std::map<std::string, unsigned> LoopDepths;
+
+  void error(const std::string &Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    Message = Msg;
+    ErrLine = Lex.current().Line;
+  }
+
+  const Token &tok() const { return Lex.current(); }
+
+  bool isIdent(const char *Text) const {
+    return tok().Kind == TokKind::Ident && tok().Text == Text;
+  }
+
+  bool isPunct(const char *Text) const {
+    return tok().Kind == TokKind::Punct && tok().Text == Text;
+  }
+
+  void expectPunct(const char *Text) {
+    if (!isPunct(Text)) {
+      error(std::string("expected '") + Text + "', found '" + tok().Text +
+            "'");
+      return;
+    }
+    Lex.advance();
+  }
+
+  void expectIdent(const char *Text) {
+    if (!isIdent(Text)) {
+      error(std::string("expected '") + Text + "', found '" + tok().Text +
+            "'");
+      return;
+    }
+    Lex.advance();
+  }
+
+  std::string parseIdentifier() {
+    if (tok().Kind != TokKind::Ident) {
+      error("expected identifier, found '" + tok().Text + "'");
+      return "";
+    }
+    std::string Name = tok().Text;
+    Lex.advance();
+    return Name;
+  }
+
+  int64_t parseInteger() {
+    bool Negative = false;
+    if (isPunct("-")) {
+      Negative = true;
+      Lex.advance();
+    }
+    if (tok().Kind != TokKind::Number || !tok().IsInteger) {
+      error("expected integer, found '" + tok().Text + "'");
+      return 0;
+    }
+    int64_t V = static_cast<int64_t>(tok().NumValue);
+    Lex.advance();
+    return Negative ? -V : V;
+  }
+
+  std::optional<ScalarType> parseType() {
+    if (isIdent("float")) {
+      Lex.advance();
+      return ScalarType::Float32;
+    }
+    if (isIdent("double")) {
+      Lex.advance();
+      return ScalarType::Float64;
+    }
+    if (isIdent("int")) {
+      Lex.advance();
+      return ScalarType::Int32;
+    }
+    if (isIdent("long")) {
+      Lex.advance();
+      return ScalarType::Int64;
+    }
+    error("expected element type, found '" + tok().Text + "'");
+    return std::nullopt;
+  }
+
+  void parseKernelDef() {
+    expectIdent("kernel");
+    K.Name = parseIdentifier();
+    expectPunct("{");
+    // Declarations.
+    while (!Failed && (isIdent("scalar") || isIdent("array")))
+      parseDeclaration();
+    // Loop nest.
+    unsigned OpenLoops = 0;
+    while (!Failed && isIdent("loop")) {
+      parseLoopHeader();
+      ++OpenLoops;
+    }
+    // Statements.
+    while (!Failed && !isPunct("}") && tok().Kind != TokKind::End)
+      parseStatement();
+    // Closing braces for loops, then the kernel.
+    for (unsigned I = 0; I != OpenLoops && !Failed; ++I)
+      expectPunct("}");
+    expectPunct("}");
+  }
+
+  void parseDeclaration() {
+    bool IsScalar = isIdent("scalar");
+    Lex.advance();
+    std::optional<ScalarType> Ty = parseType();
+    if (!Ty)
+      return;
+    std::string Name = parseIdentifier();
+    if (Failed)
+      return;
+    if (K.findScalar(Name) || K.findArray(Name)) {
+      error("duplicate symbol '" + Name + "'");
+      return;
+    }
+    if (IsScalar) {
+      K.addScalar(Name, *Ty);
+      // Allow `scalar float a, b, c;`.
+      while (!Failed && isPunct(",")) {
+        Lex.advance();
+        std::string Extra = parseIdentifier();
+        if (Failed)
+          return;
+        if (K.findScalar(Extra) || K.findArray(Extra)) {
+          error("duplicate symbol '" + Extra + "'");
+          return;
+        }
+        K.addScalar(Extra, *Ty);
+      }
+      expectPunct(";");
+      return;
+    }
+    std::vector<int64_t> Dims;
+    while (!Failed && isPunct("[")) {
+      Lex.advance();
+      Dims.push_back(parseInteger());
+      expectPunct("]");
+    }
+    if (Dims.empty()) {
+      error("array '" + Name + "' requires at least one dimension");
+      return;
+    }
+    bool ReadOnly = false;
+    if (isIdent("readonly")) {
+      ReadOnly = true;
+      Lex.advance();
+    }
+    expectPunct(";");
+    if (!Failed)
+      K.addArray(Name, *Ty, std::move(Dims), ReadOnly);
+  }
+
+  void parseLoopHeader() {
+    expectIdent("loop");
+    std::string Index = parseIdentifier();
+    if (Failed)
+      return;
+    if (LoopDepths.count(Index)) {
+      error("duplicate loop index '" + Index + "'");
+      return;
+    }
+    expectPunct("=");
+    int64_t Lower = parseInteger();
+    expectPunct("..");
+    int64_t Upper = parseInteger();
+    int64_t Step = 1;
+    if (isIdent("step")) {
+      Lex.advance();
+      Step = parseInteger();
+      if (!Failed && Step <= 0) {
+        error("loop step must be positive");
+        return;
+      }
+    }
+    expectPunct("{");
+    if (Failed)
+      return;
+    LoopDepths[Index] = static_cast<unsigned>(K.Loops.size());
+    K.Loops.push_back(Loop{Index, Lower, Upper, Step});
+  }
+
+  void parseStatement() {
+    Operand Lhs = parseLvalue();
+    if (Failed)
+      return;
+    expectPunct("=");
+    ExprPtr Rhs = parseExpr();
+    expectPunct(";");
+    if (!Failed)
+      K.Body.append(Statement(std::move(Lhs), std::move(Rhs)));
+  }
+
+  Operand parseLvalue() {
+    std::string Name = parseIdentifier();
+    if (Failed)
+      return Operand();
+    if (std::optional<SymbolId> S = K.findScalar(Name))
+      return Operand::makeScalar(*S);
+    std::optional<SymbolId> A = K.findArray(Name);
+    if (!A) {
+      error("unknown symbol '" + Name + "'");
+      return Operand();
+    }
+    std::vector<AffineExpr> Subs = parseSubscripts(*A);
+    return Operand::makeArray(*A, std::move(Subs));
+  }
+
+  std::vector<AffineExpr> parseSubscripts(SymbolId Array) {
+    std::vector<AffineExpr> Subs;
+    while (!Failed && isPunct("[")) {
+      Lex.advance();
+      Subs.push_back(parseAffine());
+      expectPunct("]");
+    }
+    if (!Failed && Subs.size() != K.array(Array).DimSizes.size())
+      error("subscript count does not match dimensionality of array '" +
+            K.array(Array).Name + "'");
+    return Subs;
+  }
+
+  /// affine := term (('+'|'-') term)*
+  /// term   := INT ('*' IDENT)? | IDENT ('*' INT)?
+  AffineExpr parseAffine() {
+    AffineExpr Result = parseAffineTerm(/*Negate=*/false);
+    while (!Failed && (isPunct("+") || isPunct("-"))) {
+      bool Neg = isPunct("-");
+      Lex.advance();
+      Result = Result + parseAffineTerm(Neg);
+    }
+    return Result;
+  }
+
+  AffineExpr parseAffineTerm(bool Negate) {
+    int64_t Sign = Negate ? -1 : 1;
+    if (isPunct("-")) {
+      Lex.advance();
+      Sign = -Sign;
+    }
+    if (tok().Kind == TokKind::Number) {
+      int64_t C = parseIntegerNoSign();
+      if (Failed)
+        return AffineExpr();
+      if (isPunct("*")) {
+        Lex.advance();
+        std::string Index = parseIdentifier();
+        if (Failed)
+          return AffineExpr();
+        auto It = LoopDepths.find(Index);
+        if (It == LoopDepths.end()) {
+          error("unknown loop index '" + Index + "' in subscript");
+          return AffineExpr();
+        }
+        return AffineExpr::term(It->second, Sign * C);
+      }
+      return AffineExpr(Sign * C);
+    }
+    std::string Index = parseIdentifier();
+    if (Failed)
+      return AffineExpr();
+    auto It = LoopDepths.find(Index);
+    if (It == LoopDepths.end()) {
+      error("unknown loop index '" + Index + "' in subscript");
+      return AffineExpr();
+    }
+    int64_t Coeff = 1;
+    if (isPunct("*")) {
+      Lex.advance();
+      Coeff = parseIntegerNoSign();
+    }
+    return AffineExpr::term(It->second, Sign * Coeff);
+  }
+
+  int64_t parseIntegerNoSign() {
+    if (tok().Kind != TokKind::Number || !tok().IsInteger) {
+      error("expected integer, found '" + tok().Text + "'");
+      return 0;
+    }
+    int64_t V = static_cast<int64_t>(tok().NumValue);
+    Lex.advance();
+    return V;
+  }
+
+  /// expr := mulExpr (('+'|'-') mulExpr)*
+  ExprPtr parseExpr() {
+    ExprPtr Lhs = parseMulExpr();
+    while (!Failed && (isPunct("+") || isPunct("-"))) {
+      OpCode Op = isPunct("+") ? OpCode::Add : OpCode::Sub;
+      Lex.advance();
+      ExprPtr Rhs = parseMulExpr();
+      if (Failed)
+        return Expr::makeLeaf(Operand::makeConstant(0));
+      Lhs = Expr::makeBinary(Op, std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  /// mulExpr := unary (('*'|'/') unary)*
+  ExprPtr parseMulExpr() {
+    ExprPtr Lhs = parseUnary();
+    while (!Failed && (isPunct("*") || isPunct("/"))) {
+      OpCode Op = isPunct("*") ? OpCode::Mul : OpCode::Div;
+      Lex.advance();
+      ExprPtr Rhs = parseUnary();
+      if (Failed)
+        return Expr::makeLeaf(Operand::makeConstant(0));
+      Lhs = Expr::makeBinary(Op, std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseUnary() {
+    if (isPunct("-")) {
+      Lex.advance();
+      // Fold a minus directly applied to a literal into a negative
+      // constant so that printing round-trips structurally.
+      if (tok().Kind == TokKind::Number) {
+        double V = tok().NumValue;
+        Lex.advance();
+        return Expr::makeLeaf(Operand::makeConstant(-V));
+      }
+      return Expr::makeUnary(OpCode::Neg, parseUnary());
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    if (Failed)
+      return Expr::makeLeaf(Operand::makeConstant(0));
+    if (isPunct("(")) {
+      Lex.advance();
+      ExprPtr E = parseExpr();
+      expectPunct(")");
+      return E;
+    }
+    if (tok().Kind == TokKind::Number) {
+      double V = tok().NumValue;
+      Lex.advance();
+      return Expr::makeLeaf(Operand::makeConstant(V));
+    }
+    if (isIdent("min") || isIdent("max")) {
+      OpCode Op = isIdent("min") ? OpCode::Min : OpCode::Max;
+      Lex.advance();
+      expectPunct("(");
+      ExprPtr L = parseExpr();
+      expectPunct(",");
+      ExprPtr R = parseExpr();
+      expectPunct(")");
+      if (Failed)
+        return Expr::makeLeaf(Operand::makeConstant(0));
+      return Expr::makeBinary(Op, std::move(L), std::move(R));
+    }
+    if (isIdent("sqrt") || isIdent("abs")) {
+      OpCode Op = isIdent("sqrt") ? OpCode::Sqrt : OpCode::Abs;
+      Lex.advance();
+      expectPunct("(");
+      ExprPtr E = parseExpr();
+      expectPunct(")");
+      if (Failed)
+        return Expr::makeLeaf(Operand::makeConstant(0));
+      return Expr::makeUnary(Op, std::move(E));
+    }
+    std::string Name = parseIdentifier();
+    if (Failed)
+      return Expr::makeLeaf(Operand::makeConstant(0));
+    if (std::optional<SymbolId> S = K.findScalar(Name))
+      return Expr::makeLeaf(Operand::makeScalar(*S));
+    if (std::optional<SymbolId> A = K.findArray(Name)) {
+      std::vector<AffineExpr> Subs = parseSubscripts(*A);
+      return Expr::makeLeaf(Operand::makeArray(*A, std::move(Subs)));
+    }
+    error("unknown symbol '" + Name + "'");
+    return Expr::makeLeaf(Operand::makeConstant(0));
+  }
+};
+
+} // namespace
+
+ParseResult slp::parseKernel(const std::string &Source) {
+  Parser P(Source);
+  return P.run();
+}
+
+ModuleParseResult slp::parseModule(const std::string &Source) {
+  Parser P(Source);
+  return P.runModule();
+}

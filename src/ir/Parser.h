@@ -1,0 +1,61 @@
+//===- ir/Parser.h - Textual kernel language parser --------------*- C++ -*-===//
+///
+/// \file
+/// Parser for the textual kernel language, e.g.:
+/// \code
+///   kernel example {
+///     scalar float a;
+///     array float A[256];
+///     array float B[1024] readonly;
+///     loop i = 0 .. 64 {
+///       a = B[4*i] * 2.0;
+///       A[2*i] = a + B[4*i + 2];
+///     }
+///   }
+/// \endcode
+/// Declarations come first, then an optional perfect loop nest, then the
+/// innermost basic block of assignment statements. Subscripts must be affine
+/// in the loop indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_PARSER_H
+#define SLP_IR_PARSER_H
+
+#include "ir/Kernel.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// Result of parsing: either a kernel, or a diagnostic with 1-based line
+/// information.
+struct ParseResult {
+  std::optional<Kernel> TheKernel;
+  std::string ErrorMessage;
+  unsigned ErrorLine = 0;
+
+  bool succeeded() const { return TheKernel.has_value(); }
+};
+
+/// Parses \p Source as one kernel definition.
+ParseResult parseKernel(const std::string &Source);
+
+/// Result of parsing a module (a sequence of kernel definitions — the
+/// paper's "set of basic blocks of a program").
+struct ModuleParseResult {
+  std::vector<Kernel> Kernels;
+  std::string ErrorMessage;
+  unsigned ErrorLine = 0;
+
+  bool succeeded() const { return ErrorMessage.empty(); }
+};
+
+/// Parses \p Source as one or more kernel definitions.
+ModuleParseResult parseModule(const std::string &Source);
+
+} // namespace slp
+
+#endif // SLP_IR_PARSER_H

@@ -1,0 +1,118 @@
+//===- ir/Printer.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Printer.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace slp;
+
+static std::string formatConstant(double V) {
+  if (V == std::floor(V) && std::fabs(V) < 1e15) {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.1f", V);
+    return Buf;
+  }
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+std::string slp::printOperand(const Kernel &K, const Operand &Op) {
+  switch (Op.kind()) {
+  case Operand::Kind::Constant:
+    return formatConstant(Op.constantValue());
+  case Operand::Kind::Scalar:
+    return K.scalar(Op.symbol()).Name;
+  case Operand::Kind::Array: {
+    std::string Out = K.array(Op.symbol()).Name;
+    std::vector<std::string> Names = K.indexNames();
+    for (const AffineExpr &S : Op.subscripts())
+      Out += "[" + S.toString(Names) + "]";
+    return Out;
+  }
+  }
+  slpUnreachable("invalid operand kind");
+}
+
+/// Operator precedence for parenthesization: higher binds tighter.
+static int precedenceOf(OpCode Op) {
+  switch (Op) {
+  case OpCode::Add:
+  case OpCode::Sub:
+    return 1;
+  case OpCode::Mul:
+  case OpCode::Div:
+    return 2;
+  default:
+    return 3; // function-call syntax; never needs parens
+  }
+}
+
+static std::string printExprPrec(const Kernel &K, const Expr &E,
+                                 int ParentPrec) {
+  if (E.isLeaf())
+    return printOperand(K, E.leaf());
+
+  OpCode Op = E.opcode();
+  if (Op == OpCode::Min || Op == OpCode::Max) {
+    return std::string(opcodeName(Op)) + "(" +
+           printExprPrec(K, E.child(0), 0) + ", " +
+           printExprPrec(K, E.child(1), 0) + ")";
+  }
+  if (Op == OpCode::Sqrt || Op == OpCode::Abs) {
+    return std::string(opcodeName(Op)) + "(" +
+           printExprPrec(K, E.child(0), 0) + ")";
+  }
+  if (Op == OpCode::Neg)
+    return "-" + printExprPrec(K, E.child(0), 3);
+
+  int Prec = precedenceOf(Op);
+  std::string Out = printExprPrec(K, E.child(0), Prec) + " " +
+                    opcodeName(Op) + " " +
+                    printExprPrec(K, E.child(1), Prec + 1);
+  if (Prec < ParentPrec)
+    return "(" + Out + ")";
+  return Out;
+}
+
+std::string slp::printExpr(const Kernel &K, const Expr &E) {
+  return printExprPrec(K, E, 0);
+}
+
+std::string slp::printStatement(const Kernel &K, const Statement &S) {
+  return printOperand(K, S.lhs()) + " = " + printExpr(K, S.rhs()) + ";";
+}
+
+std::string slp::printKernel(const Kernel &K) {
+  std::string Out = "kernel " + K.Name + " {\n";
+  for (const ScalarSymbol &S : K.Scalars)
+    Out += "  scalar " + std::string(typeName(S.Ty)) + " " + S.Name + ";\n";
+  for (const ArraySymbol &A : K.Arrays) {
+    Out += "  array " + std::string(typeName(A.Ty)) + " " + A.Name;
+    for (int64_t D : A.DimSizes)
+      Out += "[" + std::to_string(D) + "]";
+    if (A.ReadOnly)
+      Out += " readonly";
+    Out += ";\n";
+  }
+  std::string Indent = "  ";
+  for (const Loop &L : K.Loops) {
+    Out += Indent + "loop " + L.IndexName + " = " + std::to_string(L.Lower) +
+           " .. " + std::to_string(L.Upper);
+    if (L.Step != 1)
+      Out += " step " + std::to_string(L.Step);
+    Out += " {\n";
+    Indent += "  ";
+  }
+  for (const Statement &S : K.Body)
+    Out += Indent + printStatement(K, S) + "\n";
+  for (unsigned D = static_cast<unsigned>(K.Loops.size()); D != 0; --D) {
+    Indent.resize(Indent.size() - 2);
+    Out += Indent + "}\n";
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- ir/Printer.h - Textual rendering of kernels --------------*- C++ -*-===//
+///
+/// \file
+/// Renders kernels, statements, and expressions in the textual kernel
+/// language accepted by the parser (round-trippable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_PRINTER_H
+#define SLP_IR_PRINTER_H
+
+#include "ir/Kernel.h"
+
+#include <string>
+
+namespace slp {
+
+/// Renders \p Op in the context of \p K (names resolved from its symbol
+/// tables).
+std::string printOperand(const Kernel &K, const Operand &Op);
+
+/// Renders the expression \p E.
+std::string printExpr(const Kernel &K, const Expr &E);
+
+/// Renders the statement \p S as `lhs = rhs;`.
+std::string printStatement(const Kernel &K, const Statement &S);
+
+/// Renders the whole kernel in parseable form.
+std::string printKernel(const Kernel &K);
+
+} // namespace slp
+
+#endif // SLP_IR_PRINTER_H

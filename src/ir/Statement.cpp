@@ -1,0 +1,18 @@
+//===- ir/Statement.cpp ---------------------------------------*- C++ -*-===//
+
+#include "ir/Statement.h"
+
+using namespace slp;
+
+std::vector<const Operand *> Statement::operandPositions() const {
+  std::vector<const Operand *> Result;
+  Result.push_back(&Lhs);
+  Rhs->forEachLeaf([&Result](const Operand &O) { Result.push_back(&O); });
+  return Result;
+}
+
+std::string Statement::isomorphismSignature() const {
+  std::string Sig = Lhs.isScalar() ? "S=" : "A=";
+  Sig += Rhs->shapeSignature();
+  return Sig;
+}

@@ -1,0 +1,63 @@
+//===- ir/Statement.h - Assignment statements -------------------*- C++ -*-===//
+///
+/// \file
+/// A kernel statement `lhs = rhs-expression`. Statements are the unit the
+/// SLP optimizers group into superword statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_STATEMENT_H
+#define SLP_IR_STATEMENT_H
+
+#include "ir/Expr.h"
+
+namespace slp {
+
+/// An assignment statement. The left-hand side is a scalar or array
+/// operand (never a constant); the right-hand side is an expression tree.
+class Statement {
+public:
+  Statement(Operand Lhs, ExprPtr Rhs) : Lhs(std::move(Lhs)),
+                                        Rhs(std::move(Rhs)) {
+    assert(!this->Lhs.isConstant() && "cannot assign to a constant");
+    assert(this->Rhs && "statement requires a right-hand side");
+  }
+
+  Statement(const Statement &Other)
+      : Lhs(Other.Lhs), Rhs(Other.Rhs->clone()) {}
+
+  Statement &operator=(const Statement &Other) {
+    if (this != &Other) {
+      Lhs = Other.Lhs;
+      Rhs = Other.Rhs->clone();
+    }
+    return *this;
+  }
+
+  Statement(Statement &&) = default;
+  Statement &operator=(Statement &&) = default;
+
+  const Operand &lhs() const { return Lhs; }
+  Operand &lhs() { return Lhs; }
+
+  const Expr &rhs() const { return *Rhs; }
+  Expr &rhs() { return *Rhs; }
+
+  /// The operand positions of this statement: the left-hand side followed
+  /// by every right-hand-side leaf in pre-order. Position indices returned
+  /// here define the variable packs formed when statements are grouped.
+  std::vector<const Operand *> operandPositions() const;
+
+  /// Isomorphism signature: lhs kind + rhs shape. Two statements with equal
+  /// signatures perform the same operations in the same order on operands
+  /// of the same kinds (paper Section 4.1, constraint 3).
+  std::string isomorphismSignature() const;
+
+private:
+  Operand Lhs;
+  ExprPtr Rhs;
+};
+
+} // namespace slp
+
+#endif // SLP_IR_STATEMENT_H

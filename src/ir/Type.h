@@ -1,0 +1,63 @@
+//===- ir/Type.h - Scalar element types -------------------------*- C++ -*-===//
+///
+/// \file
+/// Scalar element types for kernel values. The SIMD lane count of a machine
+/// is its datapath width divided by the element size, so types directly
+/// determine how many statements fit in one superword statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_IR_TYPE_H
+#define SLP_IR_TYPE_H
+
+#include <cstdint>
+
+namespace slp {
+
+/// Element type of a scalar or array value.
+enum class ScalarType : uint8_t {
+  Int32,
+  Int64,
+  Float32,
+  Float64,
+};
+
+/// Returns the size in bytes of \p Ty.
+inline unsigned byteSizeOf(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::Int32:
+  case ScalarType::Float32:
+    return 4;
+  case ScalarType::Int64:
+  case ScalarType::Float64:
+    return 8;
+  }
+  return 0;
+}
+
+/// Returns the size in bits of \p Ty.
+inline unsigned bitSizeOf(ScalarType Ty) { return byteSizeOf(Ty) * 8; }
+
+/// Returns the keyword used for \p Ty in the textual kernel language.
+inline const char *typeName(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::Int32:
+    return "int";
+  case ScalarType::Int64:
+    return "long";
+  case ScalarType::Float32:
+    return "float";
+  case ScalarType::Float64:
+    return "double";
+  }
+  return "<invalid>";
+}
+
+/// Returns true for the two floating-point element types.
+inline bool isFloatType(ScalarType Ty) {
+  return Ty == ScalarType::Float32 || Ty == ScalarType::Float64;
+}
+
+} // namespace slp
+
+#endif // SLP_IR_TYPE_H

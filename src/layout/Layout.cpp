@@ -1,0 +1,271 @@
+//===- layout/Layout.cpp --------------------------------------*- C++ -*-===//
+
+#include "layout/Layout.h"
+
+#include "analysis/Alignment.h"
+#include "slp/Pack.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace slp;
+
+namespace {
+
+/// One syntactic site where a pack occurs: the group's lane statements and
+/// the operand position within them.
+struct PackSite {
+  std::vector<unsigned> LaneStmts;
+  unsigned Position;
+};
+
+/// An ordered pack harvested from the schedule, with every site it
+/// occurs at.
+struct PackUse {
+  std::vector<Operand> Lanes;
+  std::vector<PackSite> Sites;
+
+  unsigned occurrences() const {
+    return static_cast<unsigned>(Sites.size());
+  }
+};
+
+/// Collects the distinct ordered packs of every superword statement
+/// position satisfying \p Filter, with their occurrence sites.
+template <typename FilterFn>
+std::vector<PackUse> collectPacks(const Kernel &K, const Schedule &S,
+                                  FilterFn Filter) {
+  std::map<std::string, unsigned> Index;
+  std::vector<PackUse> Packs;
+  for (const ScheduleItem &Item : S.Items) {
+    if (!Item.isGroup())
+      continue;
+    std::vector<std::vector<const Operand *>> Positions =
+        positionPacks(K, Item.Lanes);
+    for (unsigned P = 0, E = static_cast<unsigned>(Positions.size()); P != E;
+         ++P) {
+      if (!Filter(P, Positions[P]))
+        continue;
+      std::string Key = orderedPackKey(Positions[P]);
+      auto It = Index.find(Key);
+      if (It == Index.end()) {
+        Index[Key] = static_cast<unsigned>(Packs.size());
+        PackUse Use;
+        for (const Operand *O : Positions[P])
+          Use.Lanes.push_back(*O);
+        Packs.push_back(std::move(Use));
+        It = Index.find(Key);
+      }
+      Packs[It->second].Sites.push_back(PackSite{Item.Lanes, P});
+    }
+  }
+  // Highest occurrence first; ties resolved by collection order.
+  std::stable_sort(Packs.begin(), Packs.end(),
+                   [](const PackUse &A, const PackUse &B) {
+                     return A.occurrences() > B.occurrences();
+                   });
+  return Packs;
+}
+
+/// Replaces the rhs leaf of \p S that sits at operand position \p Position
+/// (position 0 is the lhs) with \p Replacement.
+void rewriteLeafAt(Statement &S, unsigned Position,
+                   const Operand &Replacement) {
+  assert(Position >= 1 && "cannot rewrite the lhs with a replica");
+  unsigned LeafIdx = 0;
+  unsigned Target = Position - 1;
+  bool Done = false;
+  S.rhs().forEachLeafMut([&](Operand &O) {
+    if (LeafIdx++ == Target) {
+      O = Replacement;
+      Done = true;
+    }
+  });
+  assert(Done && "operand position out of range");
+  (void)Done;
+}
+
+/// Assigns slots to scalar packs (Figure 12, lines 10-22).
+void assignScalarSlots(const Kernel &K, const Schedule &S, LayoutResult &R) {
+  std::vector<PackUse> Packs = collectPacks(
+      K, S, [](unsigned, const std::vector<const Operand *> &Lanes) {
+        return std::all_of(Lanes.begin(), Lanes.end(), [](const Operand *O) {
+          return O->isScalar();
+        });
+      });
+
+  std::vector<int64_t> Slot(K.Scalars.size(), -1);
+  int64_t NextFree = 0;
+  for (const PackUse &Pack : Packs) {
+    // Skip packs with repeated scalars (broadcasts) and packs sharing a
+    // variable with an already-placed pack (conflicting requirements).
+    std::set<SymbolId> Seen;
+    bool Placeable = true;
+    for (const Operand &O : Pack.Lanes) {
+      if (!Seen.insert(O.symbol()).second || Slot[O.symbol()] >= 0) {
+        Placeable = false;
+        break;
+      }
+    }
+    if (!Placeable)
+      continue;
+    int64_t Lanes = static_cast<int64_t>(Pack.Lanes.size());
+    int64_t Base = (NextFree + Lanes - 1) / Lanes * Lanes; // align
+    for (int64_t L = 0; L != Lanes; ++L)
+      Slot[Pack.Lanes[static_cast<size_t>(L)].symbol()] = Base + L;
+    NextFree = Base + Lanes;
+    ++R.ScalarPacksPlaced;
+  }
+
+  // Unplaced scalars get padded slots so they never become accidentally
+  // contiguous (matching the default layout's behavior).
+  for (int64_t &Sl : Slot) {
+    if (Sl >= 0)
+      continue;
+    Sl = NextFree + 1;
+    NextFree += 2;
+  }
+  R.Scalars.Slots = std::move(Slot);
+}
+
+/// Scaled iteration-space linearization: the affine function
+/// Lanes * n(i), where n(i) numbers the iterations of \p K's nest
+/// 0 .. totalIterations-1 in execution order. The scaling is folded in
+/// because after unrolling the innermost step typically equals the lane
+/// count, making Lanes * n(i) integral even though n(i) alone is not.
+/// Returns nullopt when some term does not divide evenly (non-affine).
+std::optional<AffineExpr> scaledIterationNumber(const Kernel &K,
+                                                int64_t Lanes) {
+  AffineExpr N(0);
+  unsigned Depth = static_cast<unsigned>(K.Loops.size());
+  for (unsigned D = 0; D != Depth; ++D) {
+    int64_t Weight = Lanes;
+    for (unsigned Inner = D + 1; Inner != Depth; ++Inner)
+      Weight *= K.Loops[Inner].tripCount();
+    const Loop &L = K.Loops[D];
+    // Term: Weight * (i_D - Lower) / Step.
+    if (Weight % L.Step != 0 || (Weight * L.Lower) % L.Step != 0)
+      return std::nullopt;
+    AffineExpr Term =
+        AffineExpr::term(D, Weight / L.Step, -(Weight * L.Lower) / L.Step);
+    N = N + Term;
+  }
+  return N;
+}
+
+/// Replicates qualifying array packs (Figure 12, lines 23-39).
+void replicateArrayPacks(const Kernel &K, const Schedule &S,
+                         LayoutResult &R) {
+  Kernel &Out = R.TransformedKernel;
+
+  // Arrays written anywhere in the block are not read-only regardless of
+  // their declaration.
+  std::set<SymbolId> Written;
+  for (const Statement &St : K.Body)
+    if (St.lhs().isArray())
+      Written.insert(St.lhs().symbol());
+
+  std::vector<PackUse> Packs = collectPacks(
+      K, S, [&](unsigned P, const std::vector<const Operand *> &Lanes) {
+        if (P == 0)
+          return false; // stores cannot be replicated
+        SymbolId Array = 0;
+        for (const Operand *O : Lanes) {
+          if (!O->isArray())
+            return false;
+          Array = O->symbol();
+        }
+        for (const Operand *O : Lanes)
+          if (O->symbol() != Array)
+            return false;
+        if (!K.array(Array).ReadOnly || Written.count(Array))
+          return false;
+        // Only packs that are not already a single aligned load benefit.
+        return classifyArrayPack(K, Lanes) != PackShape::ContiguousAligned;
+      });
+
+  for (const PackUse &Pack : Packs) {
+    int64_t Lanes = static_cast<int64_t>(Pack.Lanes.size());
+    std::optional<AffineExpr> ScaledIter = scaledIterationNumber(K, Lanes);
+    if (!ScaledIter)
+      continue; // non-affine for this width: transformation does not apply
+
+    const ArraySymbol &Src = K.array(Pack.Lanes.front().symbol());
+    int64_t ReplicaElems = Lanes * K.totalIterations();
+    SymbolId Replica = Out.addArray(
+        "__repl" + std::to_string(R.Replications.size()) + "_" + Src.Name,
+        Src.Ty, {ReplicaElems}, /*ReadOnly=*/true);
+
+    // The replica interleaves the pack's lanes contiguously in iteration
+    // order (the strided mapping/replication of Equations 4-8): lane L of
+    // iteration n lives at Lanes*n + L.
+    ReplicationRule Rule;
+    Rule.DestArray = Replica;
+    Rule.SourceArray = Pack.Lanes.front().symbol();
+    std::vector<Operand> NewRefs;
+    for (int64_t L = 0; L != Lanes; ++L) {
+      const Operand &Ref = Pack.Lanes[static_cast<size_t>(L)];
+      AffineExpr DstFlat = *ScaledIter + AffineExpr(L);
+      Rule.SourceFlat.push_back(flattenArrayRef(Src, Ref.subscripts()));
+      Rule.DestFlat.push_back(DstFlat);
+      NewRefs.push_back(Operand::makeArray(Replica, {DstFlat}));
+    }
+
+    // Rewrite the pack's lanes at every site it occurs. Site-level
+    // rewriting (rather than reference-level) lets overlapping strided
+    // packs each get their own replica, at the price of replicating the
+    // shared elements twice — exactly the space/time trade the paper's
+    // replication makes.
+    for (const PackSite &Site : Pack.Sites)
+      for (unsigned L = 0; L != static_cast<unsigned>(Lanes); ++L)
+        rewriteLeafAt(Out.Body.statement(Site.LaneStmts[L]), Site.Position,
+                      NewRefs[L]);
+
+    R.Replications.push_back(std::move(Rule));
+    R.ReplicatedBytes +=
+        static_cast<double>(ReplicaElems) * byteSizeOf(Src.Ty);
+    ++R.ArrayPacksReplicated;
+  }
+}
+
+} // namespace
+
+LayoutResult slp::optimizeDataLayout(const Kernel &K, const Schedule &S,
+                                     const LayoutOptions &Options) {
+  LayoutResult R;
+  R.TransformedKernel = K.clone();
+  R.Scalars = ScalarLayout::defaultLayout(
+      static_cast<unsigned>(K.Scalars.size()));
+  if (Options.OptimizeScalars)
+    assignScalarSlots(K, S, R);
+  if (Options.OptimizeArrays)
+    replicateArrayPacks(K, S, R);
+  return R;
+}
+
+void slp::initializeReplicas(const Kernel &TransformedKernel,
+                             const LayoutResult &R, Environment &Env) {
+  for (const ReplicationRule &Rule : R.Replications) {
+    const std::vector<double> &Src = Env.arrayBuffer(Rule.SourceArray);
+    std::vector<double> &Dst = Env.arrayBuffer(Rule.DestArray);
+    forEachIteration(TransformedKernel,
+                     [&](const std::vector<int64_t> &Indices) {
+                       for (unsigned L = 0,
+                                     E = static_cast<unsigned>(
+                                         Rule.SourceFlat.size());
+                            L != E; ++L) {
+                         int64_t From = Rule.SourceFlat[L].evaluate(Indices);
+                         int64_t To = Rule.DestFlat[L].evaluate(Indices);
+                         assert(From >= 0 &&
+                                From < static_cast<int64_t>(Src.size()) &&
+                                "replication source out of bounds");
+                         assert(To >= 0 &&
+                                To < static_cast<int64_t>(Dst.size()) &&
+                                "replication destination out of bounds");
+                         Dst[static_cast<size_t>(To)] =
+                             Src[static_cast<size_t>(From)];
+                       }
+                     });
+  }
+}

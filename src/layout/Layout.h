@@ -1,0 +1,75 @@
+//===- layout/Layout.h - Data layout optimization ----------------*- C++ -*-===//
+///
+/// \file
+/// The second stage of the framework (paper Section 5): re-organize data in
+/// memory so that the *mandatory* packing/unpacking operations left after
+/// superword statement generation become cheap vector memory operations.
+///
+/// * Scalar superwords (Section 5.1): an offset-assignment-style pass gives
+///   the most frequently packed scalars consecutive, vector-aligned memory
+///   slots, in pack-lane order; conflicting packs are skipped in frequency
+///   order.
+///
+/// * Array-reference superwords (Section 5.2): read-only, intra-array,
+///   affine reference packs are redirected to a freshly replicated array B
+///   in which the pack's lanes are interleaved contiguously — the general
+///   strided mapping/replication of the paper's Equations 4-8, realized via
+///   iteration-space linearization so it applies uniformly to any affine
+///   loop nest. Each original reference is rewritten at most once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_LAYOUT_LAYOUT_H
+#define SLP_LAYOUT_LAYOUT_H
+
+#include "ir/Interpreter.h"
+#include "slp/Scheduling.h"
+#include "vector/CodeGen.h"
+
+namespace slp {
+
+/// Describes how one replica array is filled from its source before the
+/// kernel runs: for every iteration of the loop nest and every lane p,
+/// B[DestFlat[p](i)] = A[SourceFlat[p](i)].
+struct ReplicationRule {
+  SymbolId DestArray;
+  SymbolId SourceArray;
+  std::vector<AffineExpr> SourceFlat;
+  std::vector<AffineExpr> DestFlat;
+};
+
+/// Result of the data layout stage.
+struct LayoutResult {
+  /// Kernel with references redirected to replica arrays (equal to the
+  /// input kernel when no array pack qualified).
+  Kernel TransformedKernel;
+  /// Optimized scalar slot assignment.
+  ScalarLayout Scalars;
+  std::vector<ReplicationRule> Replications;
+  unsigned ScalarPacksPlaced = 0;
+  unsigned ArrayPacksReplicated = 0;
+  /// Extra data footprint created by replication.
+  double ReplicatedBytes = 0;
+};
+
+/// Options for the layout stage.
+struct LayoutOptions {
+  unsigned DatapathBits = 128;
+  bool OptimizeScalars = true;
+  bool OptimizeArrays = true;
+};
+
+/// Runs the layout stage for the superword statements of \p S over \p K
+/// (the kernel the schedule was computed for).
+LayoutResult optimizeDataLayout(const Kernel &K, const Schedule &S,
+                                const LayoutOptions &Options);
+
+/// Fills every replica array buffer in \p Env according to
+/// \p R.Replications (run once before executing the transformed kernel —
+/// the paper's replication happens at data-allocation time).
+void initializeReplicas(const Kernel &TransformedKernel,
+                        const LayoutResult &R, Environment &Env);
+
+} // namespace slp
+
+#endif // SLP_LAYOUT_LAYOUT_H

@@ -1,0 +1,191 @@
+//===- machine/CostModel.cpp ----------------------------------*- C++ -*-===//
+
+#include "machine/CostModel.h"
+
+#include "support/Error.h"
+
+using namespace slp;
+
+namespace {
+
+/// Cycle cost of an ALU operation, scalar (\p Simd false) or SIMD.
+double aluCost(const MachineModel &M, OpCode Op, bool Simd) {
+  double Base = Simd ? M.SimdAlu : M.ScalarAlu;
+  if (Op == OpCode::Div || Op == OpCode::Sqrt)
+    return Base * M.DivCostMultiplier;
+  return Base;
+}
+
+/// Adds the cost of one statement executed with scalar semantics.
+///
+/// Scalars are memory-resident, as in the paper's SUIF-based model: the
+/// unit of data layout optimization for scalar superwords (Section 5.1) is
+/// their memory placement, so scalar reads and writes are priced like the
+/// loads/stores the generated code performs.
+void addScalarStatement(const Kernel &K, const Statement &S,
+                        const MachineModel &M, BlockCost &Cost) {
+  struct Walker {
+    const MachineModel &M;
+    BlockCost &Cost;
+    void walk(const Expr &E) {
+      if (E.isLeaf()) {
+        if (!E.leaf().isConstant()) {
+          Cost.Cycles += M.ScalarLoad;
+          ++Cost.CoreInstrs;
+          ++Cost.MemOps;
+        }
+        return;
+      }
+      Cost.Cycles += aluCost(M, E.opcode(), /*Simd=*/false);
+      ++Cost.CoreInstrs;
+      for (unsigned C = 0, N = E.numChildren(); C != N; ++C)
+        walk(E.child(C));
+    }
+  } W{M, Cost};
+  W.walk(S.rhs());
+  Cost.Cycles += M.ScalarStore;
+  ++Cost.CoreInstrs;
+  ++Cost.MemOps;
+  (void)K;
+}
+
+void addLoadPack(const VInst &I, const MachineModel &M, BlockCost &Cost) {
+  switch (I.Mode) {
+  case PackMode::ContiguousAligned:
+    Cost.Cycles += M.SimdLoadAligned;
+    ++Cost.CoreInstrs;
+    ++Cost.MemOps;
+    return;
+  case PackMode::ContiguousUnaligned:
+    Cost.Cycles += M.SimdLoadUnaligned;
+    ++Cost.CoreInstrs;
+    ++Cost.MemOps;
+    return;
+  case PackMode::PermutedContiguous:
+    Cost.Cycles += M.SimdLoadUnaligned + M.Shuffle;
+    ++Cost.CoreInstrs; // the load itself
+    ++Cost.PackUnpackInstrs; // the permutation
+    ++Cost.MemOps;
+    return;
+  case PackMode::Broadcast:
+    // One element load plus a broadcast shuffle.
+    if (!I.LaneOps.front().isConstant()) {
+      Cost.Cycles += M.ScalarLoad;
+      ++Cost.MemOps;
+      ++Cost.CoreInstrs;
+    }
+    Cost.Cycles += M.Shuffle;
+    ++Cost.PackUnpackInstrs;
+    return;
+  case PackMode::LayoutContiguous:
+    // The Section 5.1 payoff: the scalars were placed adjacently and
+    // aligned, so one vector memory operation suffices.
+    Cost.Cycles += M.SimdLoadAligned;
+    ++Cost.CoreInstrs;
+    ++Cost.MemOps;
+    return;
+  case PackMode::AllConstant:
+    Cost.Cycles += M.ConstMaterialize;
+    ++Cost.CoreInstrs;
+    return;
+  case PackMode::GatherScalar:
+    // Element-wise packing: N loads plus N-1 merges (the first element
+    // lands in the register directly) — the expensive case the paper
+    // minimizes. The loads are ordinary memory instructions (the scalar
+    // code performs them too); the merges are packing operations.
+    for (unsigned L = 0; L != I.Lanes; ++L) {
+      const Operand &O = I.LaneOps[L];
+      if (!O.isConstant()) {
+        Cost.Cycles += M.ScalarLoad;
+        ++Cost.MemOps;
+        ++Cost.CoreInstrs;
+      }
+      if (L != 0) {
+        Cost.Cycles += M.InsertElem;
+        ++Cost.PackUnpackInstrs;
+      }
+    }
+    return;
+  }
+  slpUnreachable("invalid pack mode");
+}
+
+void addStorePack(const VInst &I, const MachineModel &M, BlockCost &Cost) {
+  switch (I.Mode) {
+  case PackMode::ContiguousAligned:
+    Cost.Cycles += M.SimdStoreAligned;
+    ++Cost.CoreInstrs;
+    ++Cost.MemOps;
+    return;
+  case PackMode::ContiguousUnaligned:
+    Cost.Cycles += M.SimdStoreUnaligned;
+    ++Cost.CoreInstrs;
+    ++Cost.MemOps;
+    return;
+  case PackMode::PermutedContiguous:
+    Cost.Cycles += M.Shuffle + M.SimdStoreUnaligned;
+    ++Cost.CoreInstrs;
+    ++Cost.PackUnpackInstrs;
+    ++Cost.MemOps;
+    return;
+  case PackMode::LayoutContiguous:
+    Cost.Cycles += M.SimdStoreAligned;
+    ++Cost.CoreInstrs;
+    ++Cost.MemOps;
+    return;
+  case PackMode::Broadcast:
+  case PackMode::AllConstant:
+  case PackMode::GatherScalar:
+    // Element-wise unpacking: N-1 extracts (lane 0 stores directly) plus
+    // one ordinary store per lane.
+    for (unsigned L = 0; L != I.Lanes; ++L) {
+      if (L != 0) {
+        Cost.Cycles += M.ExtractElem;
+        ++Cost.PackUnpackInstrs;
+      }
+      Cost.Cycles += M.ScalarStore;
+      ++Cost.MemOps;
+      ++Cost.CoreInstrs;
+      (void)I.LaneOps[L];
+    }
+    return;
+  }
+  slpUnreachable("invalid pack mode");
+}
+
+} // namespace
+
+BlockCost slp::costScalarBlock(const Kernel &K, const MachineModel &M) {
+  BlockCost Cost;
+  for (const Statement &S : K.Body)
+    addScalarStatement(K, S, M, Cost);
+  return Cost;
+}
+
+BlockCost slp::costVectorProgram(const Kernel &K,
+                                 const VectorProgram &Program,
+                                 const MachineModel &M) {
+  BlockCost Cost;
+  for (const VInst &I : Program.Insts) {
+    switch (I.Kind) {
+    case VInstKind::LoadPack:
+      addLoadPack(I, M, Cost);
+      break;
+    case VInstKind::StorePack:
+      addStorePack(I, M, Cost);
+      break;
+    case VInstKind::Shuffle:
+      Cost.Cycles += M.Shuffle;
+      ++Cost.PackUnpackInstrs;
+      break;
+    case VInstKind::VectorOp:
+      Cost.Cycles += aluCost(M, I.Op, /*Simd=*/true);
+      ++Cost.CoreInstrs;
+      break;
+    case VInstKind::ScalarExec:
+      addScalarStatement(K, K.Body.statement(I.StmtId), M, Cost);
+      break;
+    }
+  }
+  return Cost;
+}

@@ -1,0 +1,45 @@
+//===- machine/CostModel.h - Block-level instruction costing ----*- C++ -*-===//
+///
+/// \file
+/// Prices one execution of a basic block — scalar or vectorized — on a
+/// MachineModel, following the cost model of Larsen's thesis that the paper
+/// adopts: the number of SIMD instructions, the number of memory
+/// operations, and the number of register reshuffling/permutation
+/// instructions. Packing/unpacking work is accounted separately so the
+/// paper's Figure 17 split can be reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_MACHINE_COSTMODEL_H
+#define SLP_MACHINE_COSTMODEL_H
+
+#include "ir/Kernel.h"
+#include "machine/MachineModel.h"
+#include "vector/VectorIR.h"
+
+namespace slp {
+
+/// Cost and instruction-mix of one basic-block execution.
+struct BlockCost {
+  double Cycles = 0;
+  /// Dynamic instructions excluding packing/unpacking work.
+  uint64_t CoreInstrs = 0;
+  /// Packing/unpacking operations: gather loads/inserts, scatter
+  /// extracts/stores, register permutations, broadcasts.
+  uint64_t PackUnpackInstrs = 0;
+  /// Memory transactions issued (scalar or vector, any kind).
+  uint64_t MemOps = 0;
+
+  uint64_t totalInstrs() const { return CoreInstrs + PackUnpackInstrs; }
+};
+
+/// Cost of executing \p K's block with original scalar semantics.
+BlockCost costScalarBlock(const Kernel &K, const MachineModel &M);
+
+/// Cost of executing the vectorized block \p Program.
+BlockCost costVectorProgram(const Kernel &K, const VectorProgram &Program,
+                            const MachineModel &M);
+
+} // namespace slp
+
+#endif // SLP_MACHINE_COSTMODEL_H

@@ -1,0 +1,68 @@
+//===- machine/MachineModel.cpp -------------------------------*- C++ -*-===//
+
+#include "machine/MachineModel.h"
+
+using namespace slp;
+
+MachineModel MachineModel::intelDunnington() {
+  MachineModel M;
+  M.Name = "Intel Dunnington (2x6 Xeon E7450, 2.40GHz)";
+  M.DatapathBits = 128;
+  M.NumVectorRegisters = 16;
+  M.NumCores = 12;
+  M.ScalarAlu = 1.0;
+  M.ScalarLoad = 1.0;
+  M.ScalarStore = 1.0;
+  M.SimdAlu = 1.0;
+  M.SimdLoadAligned = 1.0;
+  M.SimdLoadUnaligned = 2.0;
+  M.SimdStoreAligned = 1.0;
+  M.SimdStoreUnaligned = 2.5;
+  M.Shuffle = 1.0;
+  M.InsertElem = 0.7;
+  M.ExtractElem = 0.7;
+  M.ConstMaterialize = 0.5;
+  M.DivCostMultiplier = 7.0;
+  M.BytesPerCycle = 0.45; // FSB-era Dunnington, all cores active
+  M.L1DataKB = 32;
+  M.L2TotalKB = 3 * 1024;  // 3MB per 2-core cluster
+  M.L3TotalKB = 12 * 1024; // 12MB per socket
+  M.MemContentionPerCore = 0.035;
+  M.SyncCyclesPerCore = 0.0;
+  return M;
+}
+
+MachineModel MachineModel::amdPhenomII() {
+  MachineModel M;
+  M.Name = "AMD Phenom II X4 945 (4 cores, 3.00GHz)";
+  M.DatapathBits = 128;
+  M.NumVectorRegisters = 16;
+  M.NumCores = 4;
+  M.ScalarAlu = 1.0;
+  M.ScalarLoad = 1.0;
+  M.ScalarStore = 1.0;
+  M.SimdAlu = 1.1; // 128-bit ops crack into two 64-bit macro-ops on K10
+  M.SimdLoadAligned = 1.0;
+  M.SimdLoadUnaligned = 3.0;
+  M.SimdStoreAligned = 1.2;
+  M.SimdStoreUnaligned = 3.5;
+  M.Shuffle = 1.5;       // higher packing/unpacking cost than the Intel box
+  M.InsertElem = 1.4;
+  M.ExtractElem = 1.4;
+  M.ConstMaterialize = 0.5;
+  M.DivCostMultiplier = 6.5;
+  M.BytesPerCycle = 0.44; // K10 northbridge, per 3GHz core
+  M.L1DataKB = 64;
+  M.L2TotalKB = 512;      // 512KB per core
+  M.L3TotalKB = 6 * 1024; // 6MB shared
+  M.MemContentionPerCore = 0.05;
+  M.SyncCyclesPerCore = 0.0;
+  return M;
+}
+
+MachineModel MachineModel::hypothetical(unsigned DatapathBits) {
+  MachineModel M = intelDunnington();
+  M.Name = "hypothetical " + std::to_string(DatapathBits) + "-bit machine";
+  M.DatapathBits = DatapathBits;
+  return M;
+}

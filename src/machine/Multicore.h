@@ -1,0 +1,48 @@
+//===- machine/Multicore.h - Multi-core scaling model -----------*- C++ -*-===//
+///
+/// \file
+/// The Figure 21 substrate: an analytic model of running a (scalar or
+/// vectorized) kernel on C cores. Compute parallelizes across cores minus a
+/// serial fraction; memory transactions contend for shared bandwidth, so
+/// their effective cost grows with the core count; a per-core
+/// synchronization overhead is charged to both versions. Because SLP (with
+/// superword reuse) removes proportionally more memory transactions than
+/// compute, the *relative* improvement grows slightly with the core count —
+/// the paper attributes this to the less-than-perfect scalability of the
+/// original applications, which is exactly the contention this model
+/// charges them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_MACHINE_MULTICORE_H
+#define SLP_MACHINE_MULTICORE_H
+
+#include "machine/Simulator.h"
+
+namespace slp {
+
+/// Per-application parallelization characteristics (OpenMP-style NAS
+/// codes).
+struct MulticoreParams {
+  /// Fraction of the kernel's work that does not parallelize.
+  double SerialFraction = 0.02;
+  /// Synchronization/bookkeeping cycles per core, as a fraction of the
+  /// single-core total time.
+  double SyncFractionPerCore = 0.002;
+};
+
+/// Predicted execution time (cycles) of a simulated kernel on \p Cores
+/// cores of machine \p M.
+double multicoreCycles(const KernelSimResult &R, const MachineModel &M,
+                       unsigned Cores, const MulticoreParams &P);
+
+/// Execution-time reduction of the optimized over the scalar version with
+/// both running on \p Cores cores (the y-axis of Figure 21).
+double multicoreTimeReduction(const KernelSimResult &Scalar,
+                              const KernelSimResult &Optimized,
+                              const MachineModel &M, unsigned Cores,
+                              const MulticoreParams &P);
+
+} // namespace slp
+
+#endif // SLP_MACHINE_MULTICORE_H

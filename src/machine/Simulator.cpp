@@ -1,0 +1,83 @@
+//===- machine/Simulator.cpp ----------------------------------*- C++ -*-===//
+
+#include "machine/Simulator.h"
+
+#include <set>
+
+using namespace slp;
+
+double slp::uniqueBytesPerIteration(const Kernel &K) {
+  std::set<std::string> Seen;
+  double Bytes = 0;
+  auto Visit = [&](const Operand &O) {
+    if (!O.isArray())
+      return;
+    if (Seen.insert(O.key()).second)
+      Bytes += byteSizeOf(K.array(O.symbol()).Ty);
+  };
+  for (const Statement &S : K.Body) {
+    Visit(S.lhs());
+    S.rhs().forEachLeaf(Visit);
+  }
+  return Bytes;
+}
+
+double slp::dataFootprintBytes(const Kernel &K, double ExtraBytes) {
+  double Bytes = ExtraBytes;
+  for (const ArraySymbol &A : K.Arrays)
+    Bytes += static_cast<double>(A.numElements()) * byteSizeOf(A.Ty);
+  return Bytes;
+}
+
+double slp::cachePressureFactor(const MachineModel &M,
+                                double FootprintBytes) {
+  double KB = FootprintBytes / 1024.0;
+  if (KB <= M.L2TotalKB)
+    return 1.0;
+  if (KB <= M.L3TotalKB)
+    return 1.25;
+  return 1.6;
+}
+
+namespace {
+
+KernelSimResult combine(const Kernel &K, const MachineModel &M,
+                        const BlockCost &Block, double ExtraFootprint,
+                        double OneTimeCycles) {
+  KernelSimResult R;
+  double Iters = static_cast<double>(K.totalIterations());
+  double Pressure =
+      cachePressureFactor(M, dataFootprintBytes(K, ExtraFootprint));
+  R.ComputeCycles = Block.Cycles * Iters;
+  R.TrafficCycles =
+      uniqueBytesPerIteration(K) / M.BytesPerCycle * Pressure * Iters;
+  R.OneTimeCycles = OneTimeCycles;
+  R.Cycles = R.ComputeCycles + R.TrafficCycles + R.OneTimeCycles;
+  R.CoreInstrs = Block.CoreInstrs * static_cast<uint64_t>(Iters);
+  R.PackUnpackInstrs = Block.PackUnpackInstrs * static_cast<uint64_t>(Iters);
+  R.MemOps = Block.MemOps * static_cast<uint64_t>(Iters);
+  return R;
+}
+
+} // namespace
+
+KernelSimResult slp::simulateScalarKernel(const Kernel &K,
+                                          const MachineModel &M) {
+  return combine(K, M, costScalarBlock(K, M), /*ExtraFootprint=*/0,
+                 /*OneTimeCycles=*/0);
+}
+
+KernelSimResult slp::simulateVectorKernel(const Kernel &K,
+                                          const VectorProgram &Program,
+                                          const MachineModel &M,
+                                          double ReplicatedBytes,
+                                          double KernelInvocations) {
+  // Replication setup: read the source once and write the replica once,
+  // amortized over the application's repeated kernel invocations.
+  double OneTime = ReplicatedBytes > 0
+                       ? 2.0 * ReplicatedBytes / M.BytesPerCycle /
+                             KernelInvocations
+                       : 0.0;
+  return combine(K, M, costVectorProgram(K, Program, M), ReplicatedBytes,
+                 OneTime);
+}

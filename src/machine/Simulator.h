@@ -1,0 +1,70 @@
+//===- machine/Simulator.h - Whole-kernel performance simulation -*- C++ -*-===//
+///
+/// \file
+/// Combines the per-block instruction costs with a memory-traffic term to
+/// estimate whole-kernel execution time. The traffic term charges the
+/// unique bytes the block touches per iteration against the machine's
+/// sustained bandwidth, scaled by a cache-pressure factor derived from the
+/// total data footprint; it is (deliberately) almost identical for scalar
+/// and vectorized code, which is why the paper's execution-time reductions
+/// (~12-15%, Figures 16/19/20) are far smaller than its dynamic-instruction
+/// reductions (~49%, Figure 18) on these bandwidth-hungry FP codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_MACHINE_SIMULATOR_H
+#define SLP_MACHINE_SIMULATOR_H
+
+#include "machine/CostModel.h"
+
+namespace slp {
+
+/// Result of simulating one kernel end to end.
+struct KernelSimResult {
+  double Cycles = 0;        ///< compute + traffic + one-time costs
+  double ComputeCycles = 0; ///< instruction stream only
+  double TrafficCycles = 0; ///< bandwidth-limited portion
+  double OneTimeCycles = 0; ///< layout replication setup, etc.
+  uint64_t CoreInstrs = 0;
+  uint64_t PackUnpackInstrs = 0;
+  uint64_t MemOps = 0;
+
+  uint64_t totalInstrs() const { return CoreInstrs + PackUnpackInstrs; }
+};
+
+/// Fractional execution-time reduction of \p Opt relative to \p Base
+/// (the y-axis of Figures 16, 19, 20, 21).
+inline double timeReduction(const KernelSimResult &Base,
+                            const KernelSimResult &Opt) {
+  return 1.0 - Opt.Cycles / Base.Cycles;
+}
+
+/// Unique bytes of array data the block touches in one iteration
+/// (distinct symbolic references x element size).
+double uniqueBytesPerIteration(const Kernel &K);
+
+/// Total bytes of all arrays declared by \p K plus \p ExtraBytes; used for
+/// the cache-pressure factor.
+double dataFootprintBytes(const Kernel &K, double ExtraBytes = 0);
+
+/// Cache-pressure multiplier applied to traffic (1.0 fits in L2).
+double cachePressureFactor(const MachineModel &M, double FootprintBytes);
+
+/// Simulates \p K executed with scalar semantics.
+KernelSimResult simulateScalarKernel(const Kernel &K, const MachineModel &M);
+
+/// Simulates the vectorized kernel. \p ReplicatedBytes is the extra data
+/// footprint created by the layout stage's replication (0 when unused);
+/// its one-time initialization traffic is charged to the result,
+/// amortized over \p KernelInvocations executions of the kernel (the
+/// enclosing application re-runs its hot loops every timestep while the
+/// replicas persist).
+KernelSimResult simulateVectorKernel(const Kernel &K,
+                                     const VectorProgram &Program,
+                                     const MachineModel &M,
+                                     double ReplicatedBytes = 0,
+                                     double KernelInvocations = 100);
+
+} // namespace slp
+
+#endif // SLP_MACHINE_SIMULATOR_H

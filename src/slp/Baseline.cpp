@@ -1,0 +1,373 @@
+//===- slp/Baseline.cpp ---------------------------------------*- C++ -*-===//
+
+#include "slp/Baseline.h"
+
+#include "analysis/Isomorphism.h"
+#include "ir/Interpreter.h"
+#include "slp/Grouping.h"
+#include "slp/Pack.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace slp;
+
+namespace {
+
+/// Constant address distance between two array operands (flattened), or
+/// nullopt when the operands are not same-array refs at constant distance.
+std::optional<int64_t> addressDistance(const Kernel &K, const Operand &A,
+                                       const Operand &B) {
+  if (!A.isArray() || !B.isArray() || A.symbol() != B.symbol())
+    return std::nullopt;
+  const ArraySymbol &Arr = K.array(A.symbol());
+  AffineExpr Diff = flattenArrayRef(Arr, B.subscripts()) -
+                    flattenArrayRef(Arr, A.subscripts());
+  if (!Diff.isConstant())
+    return std::nullopt;
+  return Diff.constant();
+}
+
+/// True when the operands at position \p Pos of statements \p P then \p Q
+/// are adjacent in memory (Q exactly one element past P).
+bool adjacentAt(const Kernel &K, unsigned P, unsigned Q, unsigned Pos) {
+  std::vector<const Operand *> PP = K.Body.statement(P).operandPositions();
+  std::vector<const Operand *> QP = K.Body.statement(Q).operandPositions();
+  if (Pos >= PP.size() || Pos >= QP.size())
+    return false;
+  std::optional<int64_t> D = addressDistance(K, *PP[Pos], *QP[Pos]);
+  return D && *D == 1;
+}
+
+/// Schedules packed groups by repeatedly emitting the ready node with the
+/// smallest original statement id; when a dependence cycle blocks progress
+/// the offending pack is dissolved into singles (the behavior the paper
+/// attributes to [17]).
+Schedule scheduleInOriginalOrder(const Kernel &K, const DependenceInfo &Deps,
+                                 std::vector<std::vector<unsigned>> Groups) {
+  while (true) {
+    // Assemble nodes: groups plus unpacked singles.
+    std::vector<std::vector<unsigned>> Nodes = Groups;
+    std::vector<bool> Packed(K.Body.size(), false);
+    for (const auto &G : Groups)
+      for (unsigned S : G)
+        Packed[S] = true;
+    for (unsigned S = 0, E = K.Body.size(); S != E; ++S)
+      if (!Packed[S])
+        Nodes.push_back({S});
+
+    unsigned NumNodes = static_cast<unsigned>(Nodes.size());
+    std::vector<int> NodeOf(K.Body.size(), -1);
+    for (unsigned N = 0; N != NumNodes; ++N)
+      for (unsigned S : Nodes[N])
+        NodeOf[S] = static_cast<int>(N);
+
+    std::vector<std::set<unsigned>> Succ(NumNodes);
+    std::vector<unsigned> InDeg(NumNodes, 0);
+    for (const Dep &D : Deps.dependences()) {
+      int A = NodeOf[D.Src], B = NodeOf[D.Dst];
+      if (A != B && Succ[static_cast<unsigned>(A)]
+                        .insert(static_cast<unsigned>(B))
+                        .second)
+        ++InDeg[static_cast<unsigned>(B)];
+    }
+
+    Schedule Out;
+    std::vector<bool> Emitted(NumNodes, false);
+    unsigned Remaining = NumNodes;
+    bool Stuck = false;
+    while (Remaining != 0) {
+      unsigned Best = NumNodes;
+      for (unsigned N = 0; N != NumNodes; ++N) {
+        if (Emitted[N] || InDeg[N] != 0)
+          continue;
+        if (Best == NumNodes || Nodes[N].front() < Nodes[Best].front())
+          Best = N;
+      }
+      if (Best == NumNodes) {
+        Stuck = true;
+        break;
+      }
+      Out.Items.push_back(ScheduleItem{Nodes[Best]});
+      Emitted[Best] = true;
+      --Remaining;
+      for (unsigned S : Succ[Best])
+        --InDeg[S];
+    }
+    if (!Stuck)
+      return Out;
+
+    // Break the blocked group with the smallest statement id and retry.
+    unsigned Victim = static_cast<unsigned>(Groups.size());
+    for (unsigned G = 0, E = static_cast<unsigned>(Groups.size()); G != E;
+         ++G) {
+      int N = NodeOf[Groups[G].front()];
+      if (N >= 0 && !Emitted[static_cast<unsigned>(N)] &&
+          (Victim == Groups.size() ||
+           Groups[G].front() < Groups[Victim].front()))
+        Victim = G;
+    }
+    assert(Victim != Groups.size() &&
+           "a stuck schedule must involve at least one group");
+    Groups.erase(Groups.begin() + Victim);
+  }
+}
+
+/// The pack set of the Larsen algorithm: ordered statement tuples, each
+/// statement in at most one pack.
+class LarsenPacker {
+public:
+  LarsenPacker(const Kernel &K, const DependenceInfo &Deps,
+               unsigned DatapathBits)
+      : K(K), Deps(Deps), DatapathBits(DatapathBits),
+        InPack(K.Body.size(), false) {}
+
+  std::vector<std::vector<unsigned>> run() {
+    seedAdjacentMemoryPairs();
+    extendChains();
+    pairLeftovers();
+    combinePacks();
+    return Packs;
+  }
+
+private:
+  bool packable(unsigned P, unsigned Q) const {
+    return P != Q && !InPack[P] && !InPack[Q] &&
+           areIsomorphic(K, K.Body.statement(P), K.Body.statement(Q)) &&
+           Deps.independent(P, Q);
+  }
+
+  void addPack(unsigned P, unsigned Q) {
+    Packs.push_back({P, Q});
+    InPack[P] = InPack[Q] = true;
+  }
+
+  void seedAdjacentMemoryPairs();
+  void extendChains();
+  void pairLeftovers();
+  void combinePacks();
+
+  const Kernel &K;
+  const DependenceInfo &Deps;
+  unsigned DatapathBits;
+  std::vector<std::vector<unsigned>> Packs;
+  std::vector<bool> InPack;
+};
+
+void LarsenPacker::seedAdjacentMemoryPairs() {
+  unsigned N = K.Body.size();
+  // Stores first (position 0), then each rhs position: the original
+  // algorithm prefers adjacent stores as seeds.
+  unsigned MaxPositions = 1;
+  for (unsigned S = 0; S != N; ++S)
+    MaxPositions = std::max(
+        MaxPositions,
+        static_cast<unsigned>(K.Body.statement(S).operandPositions().size()));
+  for (unsigned Pos = 0; Pos != MaxPositions; ++Pos)
+    for (unsigned P = 0; P != N; ++P)
+      for (unsigned Q = 0; Q != N; ++Q)
+        if (packable(P, Q) && adjacentAt(K, P, Q, Pos))
+          addPack(P, Q);
+}
+
+void LarsenPacker::extendChains() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Iterate over a snapshot: newly added packs get their turn in the
+    // next sweep.
+    unsigned Existing = static_cast<unsigned>(Packs.size());
+    for (unsigned PI = 0; PI != Existing; ++PI) {
+      unsigned P = Packs[PI][0], Q = Packs[PI][1];
+      const Statement &SP = K.Body.statement(P);
+      const Statement &SQ = K.Body.statement(Q);
+
+      // def-use: pack the statements consuming this pack's results.
+      if (SP.lhs().isScalar() && SQ.lhs().isScalar()) {
+        SymbolId A = SP.lhs().symbol(), B = SQ.lhs().symbol();
+        for (unsigned R = 0, E = K.Body.size(); R != E; ++R) {
+          for (unsigned S = 0; S != E; ++S) {
+            if (!packable(R, S))
+              continue;
+            std::vector<const Operand *> RP =
+                K.Body.statement(R).operandPositions();
+            std::vector<const Operand *> SPo =
+                K.Body.statement(S).operandPositions();
+            for (unsigned Pos = 1;
+                 Pos < RP.size() && Pos < SPo.size(); ++Pos) {
+              if (RP[Pos]->isScalar() && SPo[Pos]->isScalar() &&
+                  RP[Pos]->symbol() == A && SPo[Pos]->symbol() == B) {
+                addPack(R, S);
+                Changed = true;
+                break;
+              }
+            }
+            if (InPack[R])
+              break;
+          }
+        }
+      }
+
+      // use-def: pack the statements producing this pack's scalar inputs.
+      std::vector<const Operand *> PPos = SP.operandPositions();
+      std::vector<const Operand *> QPos = SQ.operandPositions();
+      for (unsigned Pos = 1; Pos < PPos.size(); ++Pos) {
+        if (!PPos[Pos]->isScalar() || !QPos[Pos]->isScalar())
+          continue;
+        SymbolId A = PPos[Pos]->symbol(), B = QPos[Pos]->symbol();
+        // Find the nearest preceding definitions.
+        int DefA = -1, DefB = -1;
+        for (unsigned R = 0; R != P; ++R)
+          if (K.Body.statement(R).lhs().isScalar() &&
+              K.Body.statement(R).lhs().symbol() == A)
+            DefA = static_cast<int>(R);
+        for (unsigned R = 0; R != Q; ++R)
+          if (K.Body.statement(R).lhs().isScalar() &&
+              K.Body.statement(R).lhs().symbol() == B)
+            DefB = static_cast<int>(R);
+        if (DefA >= 0 && DefB >= 0 &&
+            packable(static_cast<unsigned>(DefA),
+                     static_cast<unsigned>(DefB))) {
+          addPack(static_cast<unsigned>(DefA), static_cast<unsigned>(DefB));
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+// After the seed and chain phases, greedily pair the remaining isomorphic
+// independent statements in original order. The paper's Figure 15
+// walk-through shows the (well-tuned) original algorithm packing such
+// leftovers (its <S3,S6> and <S7,S8>); the pairing stays local — first
+// match in program order — which is exactly the myopia the holistic
+// grouping improves on.
+void LarsenPacker::pairLeftovers() {
+  unsigned N = K.Body.size();
+  for (unsigned P = 0; P != N; ++P) {
+    if (InPack[P])
+      continue;
+    // The original algorithm's per-pack cost estimate rejects packs whose
+    // gather overhead exceeds the SIMD arithmetic savings; for a leftover
+    // (non-contiguous, chain-free) pair that needs at least two operations
+    // per statement.
+    if (K.Body.statement(P).rhs().numOps() < 2)
+      continue;
+    for (unsigned Q = P + 1; Q != N; ++Q) {
+      if (packable(P, Q)) {
+        addPack(P, Q);
+        break;
+      }
+    }
+  }
+}
+
+void LarsenPacker::combinePacks() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned A = 0; A != Packs.size() && !Changed; ++A) {
+      for (unsigned B = 0; B != Packs.size() && !Changed; ++B) {
+        if (A == B)
+          continue;
+        const Statement &First = K.Body.statement(Packs[A].front());
+        unsigned Lanes =
+            lanesFor(statementElementType(K, First), DatapathBits);
+        if (Packs[A].size() + Packs[B].size() > Lanes)
+          continue;
+        // Merge when some array position stays contiguous across the seam
+        // and all cross-pairs stay independent and isomorphic.
+        bool Ok = true;
+        for (unsigned P : Packs[A])
+          for (unsigned Q : Packs[B])
+            if (!Deps.independent(P, Q) ||
+                !areIsomorphic(K, K.Body.statement(P), K.Body.statement(Q)))
+              Ok = false;
+        if (!Ok)
+          continue;
+        unsigned Tail = Packs[A].back();
+        unsigned Head = Packs[B].front();
+        std::vector<const Operand *> TP =
+            K.Body.statement(Tail).operandPositions();
+        bool Contiguous = false;
+        for (unsigned Pos = 0; Pos != TP.size(); ++Pos)
+          if (adjacentAt(K, Tail, Head, Pos)) {
+            Contiguous = true;
+            break;
+          }
+        if (!Contiguous)
+          continue;
+        Packs[A].insert(Packs[A].end(), Packs[B].begin(), Packs[B].end());
+        Packs.erase(Packs.begin() + B);
+        Changed = true;
+      }
+    }
+  }
+}
+
+} // namespace
+
+Schedule slp::larsenSlpSchedule(const Kernel &K, const DependenceInfo &Deps,
+                                unsigned DatapathBits) {
+  LarsenPacker Packer(K, Deps, DatapathBits);
+  return scheduleInOriginalOrder(K, Deps, Packer.run());
+}
+
+Schedule slp::nativeVectorizerSchedule(const Kernel &K,
+                                       const DependenceInfo &Deps,
+                                       unsigned DatapathBits) {
+  unsigned N = K.Body.size();
+  std::vector<bool> Taken(N, false);
+  std::vector<std::vector<unsigned>> Groups;
+
+  for (unsigned P = 0; P != N; ++P) {
+    if (Taken[P])
+      continue;
+    const Statement &SP = K.Body.statement(P);
+    unsigned Lanes = lanesFor(statementElementType(K, SP), DatapathBits);
+    std::vector<unsigned> Group{P};
+    // Greedily grow a fully streaming group.
+    for (unsigned Q = P + 1; Q != N && Group.size() < Lanes; ++Q) {
+      if (Taken[Q])
+        continue;
+      const Statement &SQ = K.Body.statement(Q);
+      if (!areIsomorphic(K, SP, SQ))
+        continue;
+      bool Ok = true;
+      for (unsigned M : Group)
+        if (!Deps.independent(M, Q))
+          Ok = false;
+      if (!Ok)
+        continue;
+      // Every position must stream: arrays advance contiguously from the
+      // previous member, scalars are broadcast, constants are equal.
+      unsigned Prev = Group.back();
+      std::vector<const Operand *> PrevPos =
+          K.Body.statement(Prev).operandPositions();
+      std::vector<const Operand *> CurPos = SQ.operandPositions();
+      for (unsigned Pos = 0; Pos != PrevPos.size() && Ok; ++Pos) {
+        const Operand &A = *PrevPos[Pos];
+        const Operand &B = *CurPos[Pos];
+        if (A.isArray() && B.isArray()) {
+          std::optional<int64_t> D = addressDistance(K, A, B);
+          Ok = D && *D == 1;
+        } else if (A.isScalar() && B.isScalar()) {
+          Ok = A.symbol() == B.symbol() && Pos != 0; // broadcast reads only
+        } else if (A.isConstant() && B.isConstant()) {
+          Ok = A.constantValue() == B.constantValue();
+        } else {
+          Ok = false;
+        }
+      }
+      if (Ok)
+        Group.push_back(Q);
+    }
+    if (Group.size() >= 2) {
+      for (unsigned M : Group)
+        Taken[M] = true;
+      Groups.push_back(std::move(Group));
+    }
+  }
+  return scheduleInOriginalOrder(K, Deps, std::move(Groups));
+}

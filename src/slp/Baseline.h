@@ -1,0 +1,39 @@
+//===- slp/Baseline.h - Larsen SLP and native-compiler baselines -*- C++ -*-===//
+///
+/// \file
+/// The two comparison schemes of the paper's evaluation:
+///
+/// * `larsenSlpSchedule` — the original greedy SLP algorithm of Larsen &
+///   Amarasinghe (PLDI 2000), the paper's "SLP" scheme: seed packs from
+///   isomorphic statement pairs with adjacent memory accesses, extend them
+///   along def-use / use-def chains, combine contiguous packs up to the
+///   datapath width, then schedule in original order. Lane orders are fixed
+///   when packs are formed (memory-ascending), and packs that create cyclic
+///   group dependences are broken apart — both local decisions the holistic
+///   framework improves on.
+///
+/// * `nativeVectorizerSchedule` — the paper's "Native" scheme, modeling the
+///   vectorizer of a production compiler of the time: it only packs fully
+///   streaming statements (every array position contiguous in order,
+///   scalars broadcast, equal constants) and performs no reuse analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_BASELINE_H
+#define SLP_SLP_BASELINE_H
+
+#include "slp/Scheduling.h"
+
+namespace slp {
+
+/// Runs the Larsen & Amarasinghe greedy SLP algorithm.
+Schedule larsenSlpSchedule(const Kernel &K, const DependenceInfo &Deps,
+                           unsigned DatapathBits);
+
+/// Runs the native-compiler-style streaming vectorizer.
+Schedule nativeVectorizerSchedule(const Kernel &K, const DependenceInfo &Deps,
+                                  unsigned DatapathBits);
+
+} // namespace slp
+
+#endif // SLP_SLP_BASELINE_H

@@ -1,0 +1,479 @@
+//===- slp/Grouping.cpp ---------------------------------------*- C++ -*-===//
+
+#include "slp/Grouping.h"
+
+#include "analysis/Alignment.h"
+#include "analysis/Isomorphism.h"
+#include "ir/Interpreter.h"
+#include "slp/Pack.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace slp;
+
+namespace {
+
+/// An item of one grouping round: a single statement in round one, a
+/// previously decided group in later rounds.
+struct Item {
+  std::vector<unsigned> Stmts; // sorted original statement ids
+};
+
+/// A candidate group: the union of two items.
+struct Candidate {
+  unsigned ItemA;
+  unsigned ItemB;
+  std::vector<unsigned> Stmts;  // merged, sorted
+  /// Interned multiset key per non-degenerate operand position
+  /// (broadcasts and constants contribute no meaningful reuse; see
+  /// isDegeneratePack). Interning keeps the weight computation integer-
+  /// only, which matters at wide datapaths where blocks have hundreds of
+  /// statements.
+  std::vector<unsigned> PackKeyIds;
+  /// Cheapness of materializing this candidate's packs (secondary weight).
+  double PackQuality = 0;
+  bool Alive = true;
+};
+
+/// Scores how cheaply the packs of \p Stmts can be brought into vector
+/// registers if no reuse materializes: 1 when every position is a
+/// contiguous block (in some lane order), a broadcast, or constants; 0
+/// when every position needs an element-wise gather. The paper's weight is
+/// reuse only; this score is used as an epsilon-scale tie-break so that
+/// among equally reusable groupings the memory-coherent one wins (goal 3
+/// of Section 3).
+double packQualityOf(const Kernel &K,
+                     const std::vector<std::vector<const Operand *>> &Packs) {
+  if (Packs.empty())
+    return 0;
+  double Total = 0;
+  for (const auto &Pack : Packs) {
+    if (isDegeneratePack(Pack)) {
+      Total += 1.0;
+      continue;
+    }
+    bool AllArray = true;
+    for (const Operand *O : Pack)
+      if (!O->isArray())
+        AllArray = false;
+    if (!AllArray)
+      continue; // mixed or scalar pack: gather unless layout helps later
+    SymbolId Array = Pack.front()->symbol();
+    bool SameArray = true;
+    for (const Operand *O : Pack)
+      if (O->symbol() != Array)
+        SameArray = false;
+    if (!SameArray)
+      continue;
+    // Constant pairwise offsets forming a consecutive run => one vector
+    // load in some lane order.
+    const ArraySymbol &Arr = K.array(Array);
+    AffineExpr Base = flattenArrayRef(Arr, Pack.front()->subscripts());
+    std::vector<int64_t> Offs;
+    bool Constant = true;
+    for (const Operand *O : Pack) {
+      AffineExpr Diff = flattenArrayRef(Arr, O->subscripts()) - Base;
+      if (!Diff.isConstant()) {
+        Constant = false;
+        break;
+      }
+      Offs.push_back(Diff.constant());
+    }
+    if (!Constant)
+      continue;
+    std::sort(Offs.begin(), Offs.end());
+    bool Consecutive = true;
+    for (unsigned I = 1; I != Offs.size(); ++I)
+      if (Offs[I] != Offs[I - 1] + 1)
+        Consecutive = false;
+    Total += Consecutive ? 1.0 : 0.25; // constant-strided beats irregular
+  }
+  return Total / static_cast<double>(Packs.size());
+}
+
+/// One round of the basic grouping algorithm over a set of items.
+class GroupingRound {
+public:
+  GroupingRound(const Kernel &K, const DependenceInfo &Deps,
+                const GroupingOptions &Options, std::vector<Item> Items)
+      : K(K), Deps(Deps), Options(Options), Items(std::move(Items)),
+        TieBreaker(Options.TieBreakSeed) {}
+
+  /// Runs steps 1-4 of Figure 10; returns the decided merges as item-index
+  /// pairs in decision order.
+  std::vector<std::pair<unsigned, unsigned>> run();
+
+private:
+  void identifyCandidates();                     // step 1
+  bool conflict(const Candidate &A, const Candidate &B) const; // step 2
+  void buildConflictMatrix();
+  bool conflictIdx(unsigned A, unsigned B) const {
+    return Conflicts[A * Candidates.size() + B] != 0;
+  }
+  double weightOf(unsigned CandIdx) const;       // step 3
+  bool keepsDependencesAcyclic(const Candidate &C) const;
+
+  bool dependsOn(const std::vector<unsigned> &From,
+                 const std::vector<unsigned> &To) const;
+
+  const Kernel &K;
+  const DependenceInfo &Deps;
+  const GroupingOptions &Options;
+  std::vector<Item> Items;
+  std::vector<Candidate> Candidates;
+  std::map<std::string, unsigned> KeyIds; // pack-key interning table
+  /// For each interned key, the (candidate, position) pack nodes bearing
+  /// it — the variable-pack conflicting graph in inverted-index form, so
+  /// the auxiliary-graph construction touches only matching nodes.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> KeyPostings;
+  std::vector<char> Conflicts; // dense candidate-pair conflict matrix
+  std::vector<unsigned> DecidedCandidates;
+  std::vector<bool> ItemTaken;
+  mutable Rng TieBreaker;
+};
+
+bool GroupingRound::dependsOn(const std::vector<unsigned> &From,
+                              const std::vector<unsigned> &To) const {
+  for (unsigned S : From)
+    for (unsigned T : To)
+      if (S < T && Deps.depends(S, T))
+        return true;
+  return false;
+}
+
+void GroupingRound::identifyCandidates() {
+  unsigned N = static_cast<unsigned>(Items.size());
+  for (unsigned A = 0; A != N; ++A) {
+    for (unsigned B = A + 1; B != N; ++B) {
+      const Statement &SA = K.Body.statement(Items[A].Stmts.front());
+      const Statement &SB = K.Body.statement(Items[B].Stmts.front());
+      if (!areIsomorphic(K, SA, SB))
+        continue;
+      // Constraint 4: the merged group must fit the datapath.
+      unsigned Lanes =
+          lanesFor(statementElementType(K, SA), Options.DatapathBits);
+      if (Items[A].Stmts.size() + Items[B].Stmts.size() > Lanes)
+        continue;
+      // Constraint 1: no dependence between any two member statements.
+      bool Independent = true;
+      for (unsigned P : Items[A].Stmts) {
+        for (unsigned Q : Items[B].Stmts)
+          if (!Deps.independent(P, Q)) {
+            Independent = false;
+            break;
+          }
+        if (!Independent)
+          break;
+      }
+      if (!Independent)
+        continue;
+      Candidate C;
+      C.ItemA = A;
+      C.ItemB = B;
+      C.Stmts = Items[A].Stmts;
+      C.Stmts.insert(C.Stmts.end(), Items[B].Stmts.begin(),
+                     Items[B].Stmts.end());
+      std::sort(C.Stmts.begin(), C.Stmts.end());
+      std::vector<std::vector<const Operand *>> Packs =
+          positionPacks(K, C.Stmts);
+      for (const auto &Pack : Packs) {
+        if (isDegeneratePack(Pack))
+          continue;
+        auto [It, Inserted] = KeyIds.try_emplace(
+            multisetPackKey(Pack),
+            static_cast<unsigned>(KeyIds.size()));
+        C.PackKeyIds.push_back(It->second);
+      }
+      C.PackQuality = packQualityOf(K, Packs);
+      Candidates.push_back(std::move(C));
+    }
+  }
+}
+
+bool GroupingRound::conflict(const Candidate &A, const Candidate &B) const {
+  // Shared item (hence shared statements).
+  if (A.ItemA == B.ItemA || A.ItemA == B.ItemB || A.ItemB == B.ItemA ||
+      A.ItemB == B.ItemB)
+    return true;
+  // Dependence cycle between the two would-be groups.
+  return dependsOn(A.Stmts, B.Stmts) && dependsOn(B.Stmts, A.Stmts);
+}
+
+void GroupingRound::buildConflictMatrix() {
+  KeyPostings.assign(KeyIds.size(), {});
+  for (unsigned CI = 0, CE = static_cast<unsigned>(Candidates.size());
+       CI != CE; ++CI) {
+    const std::vector<unsigned> &Keys = Candidates[CI].PackKeyIds;
+    for (unsigned P = 0, PE = static_cast<unsigned>(Keys.size()); P != PE;
+         ++P)
+      KeyPostings[Keys[P]].push_back({CI, P});
+  }
+  unsigned NC = static_cast<unsigned>(Candidates.size());
+  Conflicts.assign(static_cast<size_t>(NC) * NC, 0);
+  for (unsigned A = 0; A != NC; ++A) {
+    for (unsigned B = A + 1; B != NC; ++B) {
+      if (conflict(Candidates[A], Candidates[B])) {
+        Conflicts[A * NC + B] = 1;
+        Conflicts[B * NC + A] = 1;
+      }
+    }
+  }
+}
+
+double GroupingRound::weightOf(unsigned CandIdx) const {
+  const Candidate &Cand = Candidates[CandIdx];
+
+  // Auxiliary graph (Figure 6): every pack node of a live, non-conflicting
+  // candidate whose content matches one of Cand's packs. A node is the pair
+  // (candidate index, position index).
+  struct AgNode {
+    unsigned Cand;
+    unsigned Pos;
+  };
+  std::vector<AgNode> Nodes;
+  std::vector<char> KeySeen(KeyIds.size(), 0);
+  for (unsigned Key : Cand.PackKeyIds) {
+    if (KeySeen[Key])
+      continue; // duplicate position content: postings already swept
+    KeySeen[Key] = 1;
+    for (auto [CI, P] : KeyPostings[Key]) {
+      if (CI == CandIdx || !Candidates[CI].Alive)
+        continue;
+      if (conflictIdx(CI, CandIdx))
+        continue;
+      Nodes.push_back(AgNode{CI, P});
+    }
+  }
+
+  // Edges mirror the variable-pack conflicting graph restricted to the
+  // extracted nodes: packs of conflicting candidates cannot coexist.
+  unsigned NN = static_cast<unsigned>(Nodes.size());
+  std::vector<std::vector<unsigned>> Adj(NN);
+  std::vector<unsigned> Degree(NN, 0);
+  for (unsigned I = 0; I != NN; ++I) {
+    for (unsigned J = I + 1; J != NN; ++J) {
+      if (Nodes[I].Cand == Nodes[J].Cand)
+        continue;
+      if (conflictIdx(Nodes[I].Cand, Nodes[J].Cand)) {
+        Adj[I].push_back(J);
+        Adj[J].push_back(I);
+        ++Degree[I];
+        ++Degree[J];
+      }
+    }
+  }
+
+  // Greedy conflict elimination (Figure 7): repeatedly drop the node with
+  // the highest remaining degree until the graph is edgeless.
+  std::vector<bool> Removed(NN, false);
+  while (true) {
+    unsigned Best = NN;
+    unsigned BestDegree = 0;
+    for (unsigned I = 0; I != NN; ++I)
+      if (!Removed[I] && Degree[I] > BestDegree) {
+        Best = I;
+        BestDegree = Degree[I];
+      }
+    if (Best == NN)
+      break; // no edges remain
+    Removed[Best] = true;
+    for (unsigned J : Adj[Best])
+      if (!Removed[J]) {
+        assert(Degree[J] > 0 && "degree bookkeeping broken");
+        --Degree[J];
+      }
+    Degree[Best] = 0;
+  }
+
+  // Average reuse over the pack types of the decided groups plus this
+  // candidate (Figure 10, lines 32-38).
+  std::vector<unsigned> Count(KeyIds.size(), 0);
+  std::vector<unsigned> Touched;
+  auto Bump = [&Count, &Touched](unsigned Key) {
+    if (Count[Key]++ == 0)
+      Touched.push_back(Key);
+  };
+  for (unsigned Key : Cand.PackKeyIds)
+    Bump(Key);
+  for (unsigned DC : DecidedCandidates)
+    for (unsigned Key : Candidates[DC].PackKeyIds)
+      Bump(Key);
+  unsigned NumPackTypes = static_cast<unsigned>(Touched.size());
+  for (unsigned I = 0; I != NN; ++I) {
+    if (Removed[I])
+      continue;
+    unsigned Key = Candidates[Nodes[I].Cand].PackKeyIds[Nodes[I].Pos];
+    if (Count[Key] > 0)
+      ++Count[Key];
+  }
+  double Reuse = 0;
+  for (unsigned Key : Touched)
+    Reuse += static_cast<double>(Count[Key] - 1);
+  double Avg = NumPackTypes == 0
+                   ? 0
+                   : Reuse / static_cast<double>(NumPackTypes);
+  if (!Options.UseReuseWeight)
+    Avg = 0; // ablation: grouping driven by packing cheapness alone
+  // Secondary criterion: among (nearly) equally reusable candidates,
+  // prefer the one whose packs are cheap to materialize.
+  return Avg + Options.PackQualityEpsilon * Cand.PackQuality;
+}
+
+bool GroupingRound::keepsDependencesAcyclic(const Candidate &C) const {
+  // Contract each decided group (and C) to one node; singles stay single.
+  // The schedule of Section 4.3 exists iff this contracted graph is a DAG.
+  unsigned NumStmts = Deps.numStatements();
+  std::vector<int> NodeOf(NumStmts, -1);
+  std::vector<std::vector<unsigned>> NodeStmts;
+  auto AddGroup = [&](const std::vector<unsigned> &Stmts) {
+    int Node = static_cast<int>(NodeStmts.size());
+    NodeStmts.push_back(Stmts);
+    for (unsigned S : Stmts)
+      NodeOf[S] = Node;
+  };
+  for (unsigned DC : DecidedCandidates)
+    AddGroup(Candidates[DC].Stmts);
+  AddGroup(C.Stmts);
+  // Items not yet merged this round may themselves be groups from earlier
+  // rounds; keep them contracted as well.
+  for (unsigned I = 0, E = static_cast<unsigned>(Items.size()); I != E; ++I) {
+    if (ItemTaken[I])
+      continue;
+    if (NodeOf[Items[I].Stmts.front()] >= 0)
+      continue; // part of C
+    AddGroup(Items[I].Stmts);
+  }
+
+  unsigned NumNodes = static_cast<unsigned>(NodeStmts.size());
+  std::vector<std::set<unsigned>> Succ(NumNodes);
+  for (const Dep &D : Deps.dependences()) {
+    int A = NodeOf[D.Src], B = NodeOf[D.Dst];
+    if (A >= 0 && B >= 0 && A != B)
+      Succ[static_cast<unsigned>(A)].insert(static_cast<unsigned>(B));
+  }
+
+  // Kahn's algorithm.
+  std::vector<unsigned> InDegree(NumNodes, 0);
+  for (unsigned N = 0; N != NumNodes; ++N)
+    for (unsigned S : Succ[N])
+      ++InDegree[S];
+  std::vector<unsigned> Work;
+  for (unsigned N = 0; N != NumNodes; ++N)
+    if (InDegree[N] == 0)
+      Work.push_back(N);
+  unsigned Visited = 0;
+  while (!Work.empty()) {
+    unsigned N = Work.back();
+    Work.pop_back();
+    ++Visited;
+    for (unsigned S : Succ[N])
+      if (--InDegree[S] == 0)
+        Work.push_back(S);
+  }
+  return Visited == NumNodes;
+}
+
+std::vector<std::pair<unsigned, unsigned>> GroupingRound::run() {
+  identifyCandidates();
+  buildConflictMatrix();
+  ItemTaken.assign(Items.size(), false);
+
+  std::vector<std::pair<unsigned, unsigned>> Merges;
+  while (true) {
+    // Recompute the weights of all live candidates (Figure 10 recalculates
+    // retained edge weights after every decision).
+    double BestWeight = -1;
+    std::vector<unsigned> BestSet;
+    for (unsigned CI = 0, CE = static_cast<unsigned>(Candidates.size());
+         CI != CE; ++CI) {
+      if (!Candidates[CI].Alive)
+        continue;
+      double W = weightOf(CI);
+      if (W > BestWeight + 1e-12) {
+        BestWeight = W;
+        BestSet.assign(1, CI);
+      } else if (W >= BestWeight - 1e-12) {
+        BestSet.push_back(CI);
+      }
+    }
+    if (BestSet.empty())
+      break;
+    unsigned Chosen =
+        BestSet[BestSet.size() == 1
+                    ? 0
+                    : static_cast<size_t>(TieBreaker.nextBelow(
+                          BestSet.size()))];
+
+    if (!keepsDependencesAcyclic(Candidates[Chosen])) {
+      // Accepting this group would make the grouped dependence graph
+      // cyclic; it can never be scheduled, so discard it.
+      Candidates[Chosen].Alive = false;
+      continue;
+    }
+
+    // Commit the decision and prune conflicting candidates from both
+    // graphs (Figures 8 and 9).
+    DecidedCandidates.push_back(Chosen);
+    Candidates[Chosen].Alive = false;
+    ItemTaken[Candidates[Chosen].ItemA] = true;
+    ItemTaken[Candidates[Chosen].ItemB] = true;
+    Merges.emplace_back(Candidates[Chosen].ItemA, Candidates[Chosen].ItemB);
+    for (unsigned CI = 0, CE = static_cast<unsigned>(Candidates.size());
+         CI != CE; ++CI) {
+      if (Candidates[CI].Alive && conflictIdx(CI, Chosen))
+        Candidates[CI].Alive = false;
+    }
+  }
+  return Merges;
+}
+
+} // namespace
+
+GroupingResult slp::groupStatementsGlobal(const Kernel &K,
+                                          const DependenceInfo &Deps,
+                                          const GroupingOptions &Options) {
+  // Round one: every statement is its own item.
+  std::vector<Item> Items;
+  for (unsigned S = 0, E = K.Body.size(); S != E; ++S)
+    Items.push_back(Item{{S}});
+
+  // Iterative grouping (Section 4.2.2): merge until a fixpoint.
+  while (true) {
+    GroupingRound Round(K, Deps, Options, Items);
+    std::vector<std::pair<unsigned, unsigned>> Merges = Round.run();
+    if (Merges.empty())
+      break;
+    std::vector<bool> Consumed(Items.size(), false);
+    std::vector<Item> Next;
+    for (auto [A, B] : Merges) {
+      Item Merged;
+      Merged.Stmts = Items[A].Stmts;
+      Merged.Stmts.insert(Merged.Stmts.end(), Items[B].Stmts.begin(),
+                          Items[B].Stmts.end());
+      std::sort(Merged.Stmts.begin(), Merged.Stmts.end());
+      Next.push_back(std::move(Merged));
+      Consumed[A] = Consumed[B] = true;
+    }
+    for (unsigned I = 0, E = static_cast<unsigned>(Items.size()); I != E; ++I)
+      if (!Consumed[I])
+        Next.push_back(std::move(Items[I]));
+    Items = std::move(Next);
+  }
+
+  GroupingResult Result;
+  for (Item &I : Items) {
+    if (I.Stmts.size() >= 2)
+      Result.Groups.push_back(SimdGroup{std::move(I.Stmts)});
+    else
+      Result.Singles.push_back(I.Stmts.front());
+  }
+  std::sort(Result.Singles.begin(), Result.Singles.end());
+  std::sort(Result.Groups.begin(), Result.Groups.end(),
+            [](const SimdGroup &A, const SimdGroup &B) {
+              return A.Members.front() < B.Members.front();
+            });
+  return Result;
+}

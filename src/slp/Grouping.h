@@ -1,0 +1,77 @@
+//===- slp/Grouping.h - Global reuse-aware statement grouping ---*- C++ -*-===//
+///
+/// \file
+/// The paper's main contribution (Section 4.2): statement grouping driven by
+/// a *global* view of superword reuse. Implements the four steps of the
+/// basic grouping algorithm of Figure 10 —
+///   1. identify candidate groups (isomorphic, dependence-free pairs),
+///   2. build the variable-pack conflicting graph,
+///   3. build the statement grouping graph, weighting each candidate by its
+///      average superword reuse over the whole block (computed on an
+///      auxiliary graph after greedy conflict elimination),
+///   4. repeatedly pick the max-weight candidate, updating both graphs —
+/// plus the iterative re-grouping of Section 4.2.2 that widens groups until
+/// the SIMD datapath is filled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_GROUPING_H
+#define SLP_SLP_GROUPING_H
+
+#include "analysis/Dependence.h"
+#include "ir/Kernel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace slp {
+
+/// A SIMD group: an unordered set of mutually isomorphic, dependence-free
+/// statements destined for one superword statement. Members are kept sorted
+/// by original statement index for determinism; lane order is decided later
+/// by the scheduler.
+struct SimdGroup {
+  std::vector<unsigned> Members;
+
+  unsigned size() const { return static_cast<unsigned>(Members.size()); }
+};
+
+/// Result of the grouping phase: disjoint groups plus leftover singles.
+struct GroupingResult {
+  std::vector<SimdGroup> Groups;
+  std::vector<unsigned> Singles;
+};
+
+/// Options controlling grouping.
+struct GroupingOptions {
+  /// SIMD datapath width in bits (Table 1/2 machines use 128; Figure 18
+  /// sweeps up to 1024).
+  unsigned DatapathBits = 128;
+  /// Seed for the paper's "if two edges have the same weight, we randomly
+  /// choose one" tie-break.
+  uint64_t TieBreakSeed = 1;
+  /// Weight of the packing-cheapness score added to the reuse average so
+  /// that, among (nearly) equally reusable candidates, the one with
+  /// memory-coherent packs wins. Zero reproduces the paper's reuse-only
+  /// weight exactly.
+  double PackQualityEpsilon = 0.05;
+  /// Use the global superword-reuse average as the candidate weight (the
+  /// paper's core idea). Disabled only by the ablation study, which then
+  /// groups by packing cheapness alone.
+  bool UseReuseWeight = true;
+};
+
+/// Runs the holistic grouping of Section 4.2 on \p K's basic block.
+GroupingResult groupStatementsGlobal(const Kernel &K,
+                                     const DependenceInfo &Deps,
+                                     const GroupingOptions &Options);
+
+/// Number of lanes a superword of element type \p Ty holds on a
+/// \p DatapathBits-wide machine.
+inline unsigned lanesFor(ScalarType Ty, unsigned DatapathBits) {
+  return DatapathBits / bitSizeOf(Ty);
+}
+
+} // namespace slp
+
+#endif // SLP_SLP_GROUPING_H

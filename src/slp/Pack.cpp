@@ -1,0 +1,68 @@
+//===- slp/Pack.cpp -------------------------------------------*- C++ -*-===//
+
+#include "slp/Pack.h"
+
+#include <algorithm>
+
+using namespace slp;
+
+std::string slp::orderedPackKey(const std::vector<const Operand *> &Lanes) {
+  std::string Key;
+  for (const Operand *O : Lanes) {
+    Key += O->key();
+    Key += ';';
+  }
+  return Key;
+}
+
+std::string slp::multisetPackKey(const std::vector<const Operand *> &Lanes) {
+  std::vector<std::string> Keys;
+  Keys.reserve(Lanes.size());
+  for (const Operand *O : Lanes)
+    Keys.push_back(O->key());
+  std::sort(Keys.begin(), Keys.end());
+  std::string Key;
+  for (const std::string &K : Keys) {
+    Key += K;
+    Key += ';';
+  }
+  return Key;
+}
+
+std::vector<std::vector<const Operand *>>
+slp::positionPacks(const Kernel &K, const std::vector<unsigned> &Members) {
+  assert(!Members.empty() && "group requires members");
+  std::vector<std::vector<const Operand *>> Packs;
+  for (unsigned M : Members) {
+    std::vector<const Operand *> Positions =
+        K.Body.statement(M).operandPositions();
+    if (Packs.empty())
+      Packs.resize(Positions.size());
+    assert(Packs.size() == Positions.size() &&
+           "grouped statements must be isomorphic");
+    for (unsigned P = 0, E = static_cast<unsigned>(Positions.size()); P != E;
+         ++P)
+      Packs[P].push_back(Positions[P]);
+  }
+  return Packs;
+}
+
+std::vector<std::string>
+slp::positionPackKeys(const Kernel &K, const std::vector<unsigned> &Members) {
+  std::vector<std::string> Keys;
+  for (const auto &Pack : positionPacks(K, Members))
+    Keys.push_back(multisetPackKey(Pack));
+  return Keys;
+}
+
+bool slp::isDegeneratePack(const std::vector<const Operand *> &Lanes) {
+  bool AllConst = true;
+  bool AllSame = true;
+  for (const Operand *O : Lanes) {
+    if (!O->isConstant())
+      AllConst = false;
+    if (!(*O == *Lanes.front()))
+      AllSame = false;
+  }
+  return AllConst || AllSame;
+}

@@ -1,0 +1,50 @@
+//===- slp/Pack.h - Variable pack identities ---------------------*- C++ -*-===//
+///
+/// \file
+/// A variable pack is the tuple of operands sitting at the same position of
+/// the statements grouped into one superword statement (paper Section 4.2).
+/// During grouping packs are *unordered* (multisets); during scheduling and
+/// code generation they become *ordered* lane tuples. Two packs denote the
+/// same superword data when their operand multisets are equal, even if the
+/// orders differ — that is the paper's notion of (direct or permuted)
+/// superword reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_PACK_H
+#define SLP_SLP_PACK_H
+
+#include "ir/Kernel.h"
+
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// Ordered identity: lane order matters (direct reuse requires equality).
+std::string orderedPackKey(const std::vector<const Operand *> &Lanes);
+
+/// Unordered identity: the multiset of lane operands (reuse up to a
+/// register permutation).
+std::string multisetPackKey(const std::vector<const Operand *> &Lanes);
+
+/// The operand positions of a statement group: element [p] holds the
+/// operands at position p of every member statement, in member order.
+/// Position 0 is the left-hand side. All members must be isomorphic.
+std::vector<std::vector<const Operand *>>
+positionPacks(const Kernel &K, const std::vector<unsigned> &Members);
+
+/// Multiset keys of every position pack of \p Members (lhs first).
+std::vector<std::string> positionPackKeys(const Kernel &K,
+                                          const std::vector<unsigned> &Members);
+
+/// True for packs whose "reuse" is meaningless for grouping decisions:
+/// all-equal lanes (a broadcast, materialized once regardless of grouping)
+/// and all-constant lanes (an immediate). Counting these as superword
+/// reuses would spuriously reward grouping unrelated statements that share
+/// a loop-invariant operand.
+bool isDegeneratePack(const std::vector<const Operand *> &Lanes);
+
+} // namespace slp
+
+#endif // SLP_SLP_PACK_H

@@ -1,0 +1,120 @@
+//===- slp/Pipeline.h - End-to-end SLP optimization pipelines ---*- C++ -*-===//
+///
+/// \file
+/// The whole framework of the paper's Figure 3, as one call: pre-processing
+/// (loop unrolling + alignment analysis), one of the optimizers (the
+/// holistic two-phase "Global" scheme, the Larsen "SLP" baseline, the
+/// "Native" streaming vectorizer, or plain scalar), the optional data
+/// layout stage ("Global+Layout"), vector code generation, and the cost
+/// model guard that skips the transformation when it would not pay off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_PIPELINE_H
+#define SLP_SLP_PIPELINE_H
+
+#include "layout/Layout.h"
+#include "machine/Simulator.h"
+#include "slp/Scheduling.h"
+#include "vector/CodeGen.h"
+
+#include <string>
+
+namespace slp {
+
+/// The schemes compared in the paper's evaluation.
+enum class OptimizerKind : uint8_t {
+  Scalar,       ///< no SLP optimization (the normalization baseline)
+  Native,       ///< native compiler SLP support
+  LarsenSlp,    ///< Larsen & Amarasinghe PLDI 2000 ("SLP")
+  Global,       ///< this paper's superword statement generation
+  GlobalLayout, ///< Global plus the data layout stage ("Global+Layout")
+};
+
+/// Returns the scheme name used in the paper's figures.
+const char *optimizerName(OptimizerKind Kind);
+
+/// Switches for the ablation study (bench_ablation): each disables one
+/// mechanism of the holistic framework while keeping the rest intact.
+struct HolisticAblation {
+  /// Global reuse-driven grouping weights (Section 4.2).
+  bool ReuseAwareGrouping = true;
+  /// The epsilon-scale packing-cheapness tie-break in grouping.
+  bool PackQualityTieBreak = true;
+  /// Reuse-aware scheduling and lane ordering (Section 4.3); when off, a
+  /// plain topological schedule with ascending lanes is used.
+  bool ReuseAwareScheduling = true;
+  /// Indirect (permuted) superword reuse in code generation.
+  bool PermutedReuse = true;
+  /// Register-file-as-cache treatment of loaded packs.
+  bool CacheLoadedPacks = true;
+  /// Per-superword-statement cost pruning.
+  bool GroupPruning = true;
+};
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  MachineModel Machine = MachineModel::intelDunnington();
+  /// Skip the transformation when the cost model predicts a slowdown
+  /// (Section 4.3's final paragraph).
+  bool CostModelGuard = true;
+  uint64_t TieBreakSeed = 1;
+  /// Mechanism switches for Global/GlobalLayout (ablation study only).
+  HolisticAblation Ablation;
+};
+
+/// Everything the pipeline produced for one kernel.
+struct PipelineResult {
+  OptimizerKind Kind = OptimizerKind::Scalar;
+  /// The kernel after pre-processing (unrolling); schedules index into
+  /// this kernel's block.
+  Kernel Preprocessed;
+  /// The kernel the vector program runs on (differs from Preprocessed
+  /// only when the layout stage replicated arrays).
+  Kernel Final;
+  Schedule TheSchedule;
+  VectorProgram Program;
+  LayoutResult Layout;       ///< meaningful for GlobalLayout
+  bool LayoutApplied = false;
+  bool TransformationApplied = false;
+  KernelSimResult ScalarSim; ///< scalar execution of Preprocessed
+  KernelSimResult VectorSim; ///< the emitted program
+
+  /// Fractional execution-time reduction over scalar code.
+  double improvement() const { return timeReduction(ScalarSim, VectorSim); }
+};
+
+/// Runs the full pipeline for \p Kind over \p Source.
+PipelineResult runPipeline(const Kernel &Source, OptimizerKind Kind,
+                           const PipelineOptions &Options);
+
+/// Executes \p Source with scalar semantics and \p R's program with vector
+/// semantics from identical initial environments (seeded by \p Seed), and
+/// returns true when all original scalars and arrays match exactly.
+/// On mismatch \p Error (when non-null) receives a description.
+bool checkEquivalence(const Kernel &Source, const PipelineResult &R,
+                      uint64_t Seed, std::string *Error = nullptr);
+
+/// Result of optimizing a whole module (the paper's input: a set of basic
+/// blocks of a program, processed one by one).
+struct ModulePipelineResult {
+  std::vector<PipelineResult> PerKernel;
+  /// Scalar and optimized cycle totals across all kernels.
+  double ScalarCycles = 0;
+  double OptimizedCycles = 0;
+
+  /// Whole-module execution-time reduction (kernels weighted by their
+  /// scalar time).
+  double improvement() const {
+    return ScalarCycles > 0 ? 1.0 - OptimizedCycles / ScalarCycles : 0.0;
+  }
+};
+
+/// Runs the pipeline over every kernel of a module.
+ModulePipelineResult runPipelineOverModule(const std::vector<Kernel> &Module,
+                                           OptimizerKind Kind,
+                                           const PipelineOptions &Options);
+
+} // namespace slp
+
+#endif // SLP_SLP_PIPELINE_H

@@ -1,0 +1,403 @@
+//===- slp/Scheduling.cpp -------------------------------------*- C++ -*-===//
+
+#include "slp/Scheduling.h"
+
+#include "ir/Interpreter.h"
+#include "slp/Pack.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace slp;
+
+Schedule slp::scalarSchedule(const Kernel &K) {
+  Schedule S;
+  for (unsigned I = 0, E = K.Body.size(); I != E; ++I)
+    S.Items.push_back(ScheduleItem{{I}});
+  return S;
+}
+
+namespace {
+
+/// A pack in the live superword set: ordered lane keys plus the multiset
+/// identity they reduce to.
+struct LivePack {
+  std::string MultisetKey;
+  std::vector<std::string> OrderedKeys;
+};
+
+class Scheduler {
+public:
+  Scheduler(const Kernel &K, const DependenceInfo &Deps,
+            const GroupingResult &Groups)
+      : K(K), Deps(Deps) {
+    for (const SimdGroup &G : Groups.Groups)
+      Nodes.push_back(G.Members);
+    for (unsigned S : Groups.Singles)
+      Nodes.push_back({S});
+    buildDependenceGraph();
+  }
+
+  Schedule run();
+
+private:
+  void buildDependenceGraph();
+  unsigned reuseCount(unsigned Node) const;
+  std::vector<unsigned> chooseLaneOrder(unsigned Node) const;
+  void updateLiveSet(const std::vector<unsigned> &Lanes);
+  void emit(unsigned Node, Schedule &Out);
+
+  /// Ordered operand keys of position \p P of \p Members under lane order
+  /// \p Order.
+  static std::vector<std::string>
+  orderedKeys(const std::vector<std::vector<const Operand *>> &Packs,
+              unsigned P, const std::vector<unsigned> &Order) {
+    std::vector<std::string> Keys;
+    Keys.reserve(Order.size());
+    for (unsigned Lane : Order)
+      Keys.push_back(Packs[P][Lane]->key());
+    return Keys;
+  }
+
+  const Kernel &K;
+  const DependenceInfo &Deps;
+  std::vector<std::vector<unsigned>> Nodes; // members per node (sorted)
+  std::vector<std::set<unsigned>> Succ;
+  std::vector<unsigned> InDegree;
+  std::vector<LivePack> LiveSet;
+};
+
+void Scheduler::buildDependenceGraph() {
+  unsigned NumStmts = Deps.numStatements();
+  std::vector<int> NodeOf(NumStmts, -1);
+  for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size()); N != E; ++N)
+    for (unsigned S : Nodes[N])
+      NodeOf[S] = static_cast<int>(N);
+
+  Succ.assign(Nodes.size(), {});
+  InDegree.assign(Nodes.size(), 0);
+  for (const Dep &D : Deps.dependences()) {
+    int A = NodeOf[D.Src], B = NodeOf[D.Dst];
+    assert(A >= 0 && B >= 0 && "statement not assigned to a schedule node");
+    if (A == B)
+      continue;
+    if (Succ[static_cast<unsigned>(A)].insert(static_cast<unsigned>(B))
+            .second)
+      ++InDegree[static_cast<unsigned>(B)];
+  }
+}
+
+unsigned Scheduler::reuseCount(unsigned Node) const {
+  std::set<std::string> LiveKeys;
+  for (const LivePack &L : LiveSet)
+    LiveKeys.insert(L.MultisetKey);
+  unsigned Count = 0;
+  for (const std::string &Key : positionPackKeys(K, Nodes[Node]))
+    Count += LiveKeys.count(Key);
+  return Count;
+}
+
+std::vector<unsigned> Scheduler::chooseLaneOrder(unsigned Node) const {
+  const std::vector<unsigned> &Members = Nodes[Node];
+  unsigned W = static_cast<unsigned>(Members.size());
+  std::vector<std::vector<const Operand *>> Packs = positionPacks(K, Members);
+  unsigned NumPos = static_cast<unsigned>(Packs.size());
+
+  // Candidate lane orders (as permutations of member indices 0..W-1).
+  std::set<std::vector<unsigned>> CandidateOrders;
+  std::vector<unsigned> Identity(W);
+  for (unsigned I = 0; I != W; ++I)
+    Identity[I] = I;
+  CandidateOrders.insert(Identity);
+
+  // Orders that sort an all-array position by ascending address, making a
+  // contiguous block loadable/storable in lane order.
+  for (unsigned P = 0; P != NumPos; ++P) {
+    bool AllArray = true;
+    SymbolId Array = 0;
+    for (const Operand *O : Packs[P])
+      if (!O->isArray()) {
+        AllArray = false;
+        break;
+      } else {
+        Array = O->symbol();
+      }
+    if (!AllArray)
+      continue;
+    bool SameArray = std::all_of(
+        Packs[P].begin(), Packs[P].end(),
+        [Array](const Operand *O) { return O->symbol() == Array; });
+    if (!SameArray)
+      continue;
+    // Relative constant offsets; bail out if any difference is symbolic.
+    const ArraySymbol &Arr = K.array(Array);
+    AffineExpr Base = flattenArrayRef(Arr, Packs[P][0]->subscripts());
+    std::vector<std::pair<int64_t, unsigned>> Offsets;
+    bool Constant = true;
+    for (unsigned L = 0; L != W; ++L) {
+      AffineExpr Diff =
+          flattenArrayRef(Arr, Packs[P][L]->subscripts()) - Base;
+      if (!Diff.isConstant()) {
+        Constant = false;
+        break;
+      }
+      Offsets.emplace_back(Diff.constant(), L);
+    }
+    if (!Constant)
+      continue;
+    std::stable_sort(Offsets.begin(), Offsets.end());
+    std::vector<unsigned> Order;
+    for (auto &[Off, Lane] : Offsets)
+      Order.push_back(Lane);
+    CandidateOrders.insert(Order);
+  }
+
+  // Orders that directly reuse a live pack at some position (Figure 11,
+  // line 21: only orders with at least one direct reuse are tested).
+  for (const LivePack &L : LiveSet) {
+    if (L.OrderedKeys.size() != W)
+      continue;
+    for (unsigned P = 0; P != NumPos; ++P) {
+      if (multisetPackKey(Packs[P]) != L.MultisetKey)
+        continue;
+      // Greedily align members to the live lanes (duplicates allowed).
+      std::vector<unsigned> Order;
+      std::vector<bool> Used(W, false);
+      bool Ok = true;
+      for (unsigned Slot = 0; Slot != W && Ok; ++Slot) {
+        Ok = false;
+        for (unsigned M = 0; M != W; ++M) {
+          if (Used[M])
+            continue;
+          if (Packs[P][M]->key() == L.OrderedKeys[Slot]) {
+            Used[M] = true;
+            Order.push_back(M);
+            Ok = true;
+            break;
+          }
+        }
+      }
+      if (Ok)
+        CandidateOrders.insert(Order);
+    }
+  }
+
+  // Evaluate: primary = permutation instructions needed for the live
+  // reuses, secondary = number of in-order contiguous array positions
+  // (cheaper packing), tertiary = lexicographic for determinism.
+  std::map<std::string, const LivePack *> LiveByMultiset;
+  for (const LivePack &L : LiveSet)
+    LiveByMultiset[L.MultisetKey] = &L;
+
+  const std::vector<unsigned> *Best = nullptr;
+  int BestPerms = 0, BestContig = 0;
+  for (const std::vector<unsigned> &Order : CandidateOrders) {
+    int Perms = 0, Contig = 0;
+    for (unsigned P = 0; P != NumPos; ++P) {
+      std::string MKey = multisetPackKey(Packs[P]);
+      auto It = LiveByMultiset.find(MKey);
+      if (It != LiveByMultiset.end()) {
+        if (orderedKeys(Packs, P, Order) != It->second->OrderedKeys)
+          ++Perms; // reusable, but needs one register permutation
+        continue;
+      }
+      // Not live: count whether this order makes the pack a contiguous
+      // ascending block (cheap to pack from memory).
+      bool Ascending = true;
+      for (unsigned L = 1; L != W && Ascending; ++L) {
+        const Operand *Prev = Packs[P][Order[L - 1]];
+        const Operand *Cur = Packs[P][Order[L]];
+        if (!Prev->isArray() || !Cur->isArray() ||
+            Prev->symbol() != Cur->symbol()) {
+          Ascending = false;
+          break;
+        }
+        const ArraySymbol &Arr = K.array(Prev->symbol());
+        AffineExpr Diff = flattenArrayRef(Arr, Cur->subscripts()) -
+                          flattenArrayRef(Arr, Prev->subscripts());
+        Ascending = Diff.isConstant() && Diff.constant() == 1;
+      }
+      if (Ascending)
+        ++Contig;
+    }
+    if (!Best || Perms < BestPerms ||
+        (Perms == BestPerms && Contig > BestContig)) {
+      Best = &Order;
+      BestPerms = Perms;
+      BestContig = Contig;
+    }
+  }
+  assert(Best && "at least the identity order must be present");
+
+  std::vector<unsigned> Lanes;
+  Lanes.reserve(W);
+  for (unsigned M : *Best)
+    Lanes.push_back(Members[M]);
+  return Lanes;
+}
+
+void Scheduler::updateLiveSet(const std::vector<unsigned> &Lanes) {
+  std::vector<std::vector<const Operand *>> Packs = positionPacks(K, Lanes);
+
+  // Invalidate packs containing a value overwritten by this statement
+  // (the lhs lanes). Key-exact matching is sufficient for the heuristic;
+  // the code generator performs conservative alias-based invalidation.
+  std::set<std::string> Written;
+  for (const Operand *O : Packs[0])
+    Written.insert(O->key());
+  std::erase_if(LiveSet, [&Written](const LivePack &L) {
+    for (const std::string &Key : L.OrderedKeys)
+      if (Written.count(Key))
+        return true;
+    return false;
+  });
+
+  for (unsigned P = 0, E = static_cast<unsigned>(Packs.size()); P != E; ++P) {
+    LivePack New;
+    New.MultisetKey = multisetPackKey(Packs[P]);
+    for (const Operand *O : Packs[P])
+      New.OrderedKeys.push_back(O->key());
+    // Replace any pack accessing the same data (Figure 11, lines 28-32).
+    std::erase_if(LiveSet, [&New](const LivePack &L) {
+      return L.MultisetKey == New.MultisetKey;
+    });
+    LiveSet.push_back(std::move(New));
+  }
+}
+
+void Scheduler::emit(unsigned Node, Schedule &Out) {
+  if (Nodes[Node].size() == 1) {
+    Out.Items.push_back(ScheduleItem{Nodes[Node]});
+    // A scalar write invalidates live packs holding the old value.
+    const Statement &S = K.Body.statement(Nodes[Node][0]);
+    std::string WrittenKey = S.lhs().key();
+    std::erase_if(LiveSet, [&WrittenKey](const LivePack &L) {
+      for (const std::string &Key : L.OrderedKeys)
+        if (Key == WrittenKey)
+          return true;
+      return false;
+    });
+    return;
+  }
+  std::vector<unsigned> Lanes = chooseLaneOrder(Node);
+  updateLiveSet(Lanes);
+  Out.Items.push_back(ScheduleItem{std::move(Lanes)});
+}
+
+Schedule Scheduler::run() {
+  Schedule Out;
+  unsigned NumNodes = static_cast<unsigned>(Nodes.size());
+  std::vector<bool> Emitted(NumNodes, false);
+  std::vector<unsigned> InDeg = InDegree;
+  unsigned Remaining = NumNodes;
+
+  auto ReleaseSuccessors = [&](unsigned N) {
+    for (unsigned S : Succ[N]) {
+      assert(InDeg[S] > 0 && "in-degree bookkeeping broken");
+      --InDeg[S];
+    }
+  };
+
+  while (Remaining != 0) {
+    // Emit every ready single first, in original statement order; their
+    // placement is refined later by ordinary instruction scheduling and
+    // does not affect superword reuse (Section 4.3).
+    bool EmittedSingle = true;
+    while (EmittedSingle) {
+      EmittedSingle = false;
+      for (unsigned N = 0; N != NumNodes; ++N) {
+        if (Emitted[N] || InDeg[N] != 0 || Nodes[N].size() != 1)
+          continue;
+        emit(N, Out);
+        Emitted[N] = true;
+        --Remaining;
+        ReleaseSuccessors(N);
+        EmittedSingle = true;
+      }
+    }
+    if (Remaining == 0)
+      break;
+
+    // Among ready superword statements pick the one with the most reuses
+    // against the live superword set (Figure 11, lines 15-18).
+    unsigned BestNode = NumNodes;
+    unsigned BestReuse = 0;
+    for (unsigned N = 0; N != NumNodes; ++N) {
+      if (Emitted[N] || InDeg[N] != 0 || Nodes[N].size() < 2)
+        continue;
+      unsigned R = reuseCount(N);
+      if (BestNode == NumNodes || R > BestReuse ||
+          (R == BestReuse && Nodes[N].front() < Nodes[BestNode].front())) {
+        BestNode = N;
+        BestReuse = R;
+      }
+    }
+    assert(BestNode != NumNodes &&
+           "acyclic grouped dependence graph must always have a ready node");
+    emit(BestNode, Out);
+    Emitted[BestNode] = true;
+    --Remaining;
+    ReleaseSuccessors(BestNode);
+  }
+  return Out;
+}
+
+} // namespace
+
+Schedule slp::scheduleGroups(const Kernel &K, const DependenceInfo &Deps,
+                             const GroupingResult &Groups) {
+  Scheduler S(K, Deps, Groups);
+  return S.run();
+}
+
+Schedule slp::scheduleGroupsNaive(const Kernel &K,
+                                  const DependenceInfo &Deps,
+                                  const GroupingResult &Groups) {
+  // Contract groups, then repeatedly emit the ready node containing the
+  // smallest original statement id; lane order is ascending.
+  std::vector<std::vector<unsigned>> Nodes;
+  for (const SimdGroup &G : Groups.Groups)
+    Nodes.push_back(G.Members);
+  for (unsigned S : Groups.Singles)
+    Nodes.push_back({S});
+
+  unsigned NumStmts = Deps.numStatements();
+  std::vector<int> NodeOf(NumStmts, -1);
+  for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size()); N != E; ++N)
+    for (unsigned S : Nodes[N])
+      NodeOf[S] = static_cast<int>(N);
+
+  std::vector<std::set<unsigned>> Succ(Nodes.size());
+  std::vector<unsigned> InDeg(Nodes.size(), 0);
+  for (const Dep &D : Deps.dependences()) {
+    int A = NodeOf[D.Src], B = NodeOf[D.Dst];
+    if (A != B &&
+        Succ[static_cast<unsigned>(A)].insert(static_cast<unsigned>(B))
+            .second)
+      ++InDeg[static_cast<unsigned>(B)];
+  }
+
+  Schedule Out;
+  std::vector<bool> Emitted(Nodes.size(), false);
+  unsigned Remaining = static_cast<unsigned>(Nodes.size());
+  while (Remaining != 0) {
+    unsigned Best = static_cast<unsigned>(Nodes.size());
+    for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size()); N != E;
+         ++N) {
+      if (Emitted[N] || InDeg[N] != 0)
+        continue;
+      if (Best == Nodes.size() || Nodes[N].front() < Nodes[Best].front())
+        Best = N;
+    }
+    assert(Best != Nodes.size() &&
+           "grouping guarantees an acyclic grouped dependence graph");
+    Out.Items.push_back(ScheduleItem{Nodes[Best]});
+    Emitted[Best] = true;
+    --Remaining;
+    for (unsigned S : Succ[Best])
+      --InDeg[S];
+  }
+  (void)K;
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- slp/Scheduling.h - Superword statement scheduling --------*- C++ -*-===//
+///
+/// \file
+/// The second phase of superword statement generation (paper Section 4.3):
+/// choose an execution order for the superword statements (and leftover
+/// singles) of a basic block, and fix the lane order of every superword
+/// statement. A "live superword set" models the packs most likely resident
+/// in vector registers; the ready statement with the most reuses against it
+/// is scheduled next, and its lane order is picked among the orders that
+/// realize at least one direct reuse so as to minimize register permutation
+/// instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_SCHEDULING_H
+#define SLP_SLP_SCHEDULING_H
+
+#include "slp/Grouping.h"
+
+namespace slp {
+
+/// One entry of the final schedule: an ordered lane tuple. Size one means
+/// the statement executes scalarly.
+struct ScheduleItem {
+  std::vector<unsigned> Lanes;
+
+  bool isGroup() const { return Lanes.size() > 1; }
+  unsigned width() const { return static_cast<unsigned>(Lanes.size()); }
+};
+
+/// A complete, valid schedule of a basic block (paper Section 4.1).
+struct Schedule {
+  std::vector<ScheduleItem> Items;
+
+  unsigned numGroups() const {
+    unsigned N = 0;
+    for (const ScheduleItem &I : Items)
+      N += I.isGroup();
+    return N;
+  }
+};
+
+/// Produces the all-scalar schedule (the identity transformation).
+Schedule scalarSchedule(const Kernel &K);
+
+/// Runs the scheduling phase of Figure 11 on the groups chosen by the
+/// grouping phase.
+Schedule scheduleGroups(const Kernel &K, const DependenceInfo &Deps,
+                        const GroupingResult &Groups);
+
+/// Ablation-only variant: a plain topological schedule in original
+/// statement order with ascending lane orders — no live superword set, no
+/// reuse-driven ordering (what Section 4.3 adds over naive emission).
+Schedule scheduleGroupsNaive(const Kernel &K, const DependenceInfo &Deps,
+                             const GroupingResult &Groups);
+
+} // namespace slp
+
+#endif // SLP_SLP_SCHEDULING_H

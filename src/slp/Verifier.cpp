@@ -1,0 +1,82 @@
+//===- slp/Verifier.cpp ---------------------------------------*- C++ -*-===//
+
+#include "slp/Verifier.h"
+
+#include "analysis/Isomorphism.h"
+
+#include <set>
+
+using namespace slp;
+
+std::vector<std::string> slp::verifySchedule(const Kernel &K,
+                                             const DependenceInfo &Deps,
+                                             const Schedule &S,
+                                             unsigned DatapathBits) {
+  std::vector<std::string> Issues;
+  unsigned NumStmts = K.Body.size();
+
+  // Coverage: each statement scheduled exactly once.
+  std::vector<int> ItemOf(NumStmts, -1);
+  for (unsigned I = 0, E = static_cast<unsigned>(S.Items.size()); I != E;
+       ++I) {
+    for (unsigned Stmt : S.Items[I].Lanes) {
+      if (Stmt >= NumStmts) {
+        Issues.push_back("item " + std::to_string(I) +
+                         " references statement " + std::to_string(Stmt) +
+                         " outside the block");
+        continue;
+      }
+      if (ItemOf[Stmt] != -1)
+        Issues.push_back("statement " + std::to_string(Stmt) +
+                         " scheduled more than once");
+      ItemOf[Stmt] = static_cast<int>(I);
+    }
+  }
+  for (unsigned Stmt = 0; Stmt != NumStmts; ++Stmt)
+    if (ItemOf[Stmt] == -1)
+      Issues.push_back("statement " + std::to_string(Stmt) +
+                       " missing from the schedule");
+
+  for (unsigned I = 0, E = static_cast<unsigned>(S.Items.size()); I != E;
+       ++I) {
+    const ScheduleItem &Item = S.Items[I];
+    if (!Item.isGroup())
+      continue;
+
+    // Constraint 3: isomorphism within the superword statement.
+    const Statement &First = K.Body.statement(Item.Lanes.front());
+    for (unsigned L = 1; L != Item.width(); ++L)
+      if (!areIsomorphic(K, First, K.Body.statement(Item.Lanes[L])))
+        Issues.push_back("item " + std::to_string(I) +
+                         " groups non-isomorphic statements");
+
+    // Constraint 4: datapath width.
+    unsigned Bits =
+        Item.width() * bitSizeOf(statementElementType(K, First));
+    if (Bits > DatapathBits)
+      Issues.push_back("item " + std::to_string(I) + " is " +
+                       std::to_string(Bits) + " bits wide, exceeding the " +
+                       std::to_string(DatapathBits) + "-bit datapath");
+
+    // Constraint 1: no intra-group dependence.
+    for (unsigned A = 0; A != Item.width(); ++A)
+      for (unsigned B = A + 1; B != Item.width(); ++B)
+        if (!Deps.independent(Item.Lanes[A], Item.Lanes[B]))
+          Issues.push_back("item " + std::to_string(I) +
+                           " groups dependent statements " +
+                           std::to_string(Item.Lanes[A]) + " and " +
+                           std::to_string(Item.Lanes[B]));
+  }
+
+  // Constraint 2: dependences preserved across items.
+  for (const Dep &D : Deps.dependences()) {
+    int A = ItemOf[D.Src], B = ItemOf[D.Dst];
+    if (A < 0 || B < 0 || A == B)
+      continue; // missing statements / intra-group reported above
+    if (A > B)
+      Issues.push_back("dependence " + std::to_string(D.Src) + " -> " +
+                       std::to_string(D.Dst) +
+                       " violated by the schedule order");
+  }
+  return Issues;
+}

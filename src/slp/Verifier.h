@@ -1,0 +1,32 @@
+//===- slp/Verifier.h - Schedule validity checking --------------*- C++ -*-===//
+///
+/// \file
+/// Checks a schedule against the four validity constraints of paper
+/// Section 4.1: (1) no dependence inside any superword statement, (2) the
+/// original inter-statement dependences are preserved by the schedule
+/// order, (3) grouped statements are isomorphic, and (4) no superword
+/// exceeds the datapath width. Also checks that the schedule is a
+/// permutation of the block (every statement exactly once).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_VERIFIER_H
+#define SLP_SLP_VERIFIER_H
+
+#include "slp/Scheduling.h"
+
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// Returns human-readable descriptions of every constraint violation in
+/// \p S; an empty vector means the schedule is valid.
+std::vector<std::string> verifySchedule(const Kernel &K,
+                                        const DependenceInfo &Deps,
+                                        const Schedule &S,
+                                        unsigned DatapathBits);
+
+} // namespace slp
+
+#endif // SLP_SLP_VERIFIER_H

@@ -1,0 +1,18 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace slp;
+
+void slp::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "holistic-slp fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void slp::slpUnreachable(const char *Message) {
+  std::fprintf(stderr, "holistic-slp unreachable: %s\n", Message);
+  std::abort();
+}

@@ -1,0 +1,33 @@
+//===- support/Error.h - Assertion and fatal-error helpers -----*- C++ -*-===//
+//
+// Part of the holistic-slp project. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers for reporting programmatic errors. Library code in this
+/// project does not use exceptions; invariant violations abort with a
+/// message, and user-input errors are reported through std::optional /
+/// ParseResult-style returns at the API boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_ERROR_H
+#define SLP_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+
+namespace slp {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in control flow that must never be reached if the program
+/// invariants hold.
+[[noreturn]] void slpUnreachable(const char *Message);
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_ERROR_H

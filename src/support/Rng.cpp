@@ -1,0 +1,29 @@
+//===- support/Rng.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace slp;
+
+uint64_t Rng::next() {
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545F4914F6CDD1DULL;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  return next() % Bound;
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + static_cast<int64_t>(nextBelow(
+                  static_cast<uint64_t>(Hi - Lo + 1)));
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}

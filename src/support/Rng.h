@@ -1,0 +1,49 @@
+//===- support/Rng.h - Deterministic random number generator ---*- C++ -*-===//
+///
+/// \file
+/// A small deterministic PRNG (xorshift64*) used by the random-kernel
+/// generator and the tie-breaking step of the grouping algorithm. We avoid
+/// std::mt19937 so that results are bit-identical across standard library
+/// implementations, which keeps the benchmark tables reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_RNG_H
+#define SLP_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace slp {
+
+/// Deterministic xorshift64* generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) {
+    // Scramble the seed (splitmix64 finalizer) so that nearby seeds yield
+    // unrelated streams, then force the nonzero state xorshift requires.
+    Seed += 0x9E3779B97F4A7C15ULL;
+    Seed = (Seed ^ (Seed >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Seed = (Seed ^ (Seed >> 27)) * 0x94D049BB133111EBULL;
+    State = (Seed ^ (Seed >> 31)) | 1;
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed integer in [0, Bound).
+  /// \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns an integer in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a double in [0, 1).
+  double nextDouble();
+
+private:
+  uint64_t State;
+};
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_RNG_H

@@ -1,0 +1,102 @@
+//===- transform/Unroll.cpp -----------------------------------*- C++ -*-===//
+
+#include "transform/Unroll.h"
+
+#include <map>
+
+using namespace slp;
+
+unsigned slp::chooseUnrollFactor(const Kernel &K, unsigned Desired) {
+  if (K.Loops.empty() || Desired <= 1)
+    return 1;
+  int64_t Trip = K.Loops.back().tripCount();
+  if (Trip <= 0)
+    return 1;
+  for (unsigned F = Desired; F > 1; --F)
+    if (Trip % F == 0)
+      return F;
+  return 1;
+}
+
+namespace {
+
+/// Identifies the scalars that are safe to expand: their first access in
+/// the body is a definition, so each unroll instance computes a private
+/// value.
+std::vector<bool> findExpandableScalars(const Kernel &K) {
+  std::vector<bool> Expandable(K.Scalars.size(), false);
+  std::vector<bool> Accessed(K.Scalars.size(), false);
+  for (const Statement &S : K.Body) {
+    // Uses come first within a statement: `a = a + 1` reads the old value.
+    S.rhs().forEachLeaf([&](const Operand &O) {
+      if (O.isScalar())
+        Accessed[O.symbol()] = true;
+    });
+    const Operand &Lhs = S.lhs();
+    if (Lhs.isScalar() && !Accessed[Lhs.symbol()]) {
+      Expandable[Lhs.symbol()] = true;
+      Accessed[Lhs.symbol()] = true;
+    }
+  }
+  return Expandable;
+}
+
+} // namespace
+
+Kernel slp::unrollInnermost(const Kernel &K, unsigned Factor) {
+  if (Factor <= 1 || K.Loops.empty())
+    return K.clone();
+
+  unsigned Depth = static_cast<unsigned>(K.Loops.size()) - 1;
+  const Loop &Inner = K.Loops[Depth];
+  assert(Inner.tripCount() % Factor == 0 &&
+         "unroll factor must divide the trip count");
+
+  Kernel Out;
+  Out.Name = K.Name;
+  Out.Scalars = K.Scalars;
+  Out.Arrays = K.Arrays;
+  Out.Loops = K.Loops;
+  Out.Loops[Depth].Step = Inner.Step * Factor;
+
+  std::vector<bool> Expandable = findExpandableScalars(K);
+
+  // Clones[S][Instance] is the symbol standing in for scalar S in unroll
+  // instance Instance. The final instance keeps the original symbol so the
+  // loop's live-out scalar values stay in place.
+  std::map<std::pair<SymbolId, unsigned>, SymbolId> Clones;
+  auto InstanceSymbol = [&](SymbolId S, unsigned Instance) -> SymbolId {
+    if (!Expandable[S] || Instance == Factor - 1)
+      return S;
+    auto Key = std::make_pair(S, Instance);
+    auto It = Clones.find(Key);
+    if (It != Clones.end())
+      return It->second;
+    SymbolId Clone = Out.addScalar(K.Scalars[S].Name + ".u" +
+                                       std::to_string(Instance),
+                                   K.Scalars[S].Ty);
+    Clones[Key] = Clone;
+    return Clone;
+  };
+
+  for (unsigned Instance = 0; Instance != Factor; ++Instance) {
+    int64_t Shift = static_cast<int64_t>(Instance) * Inner.Step;
+    for (const Statement &S : K.Body) {
+      Statement Copy = S;
+      auto Rewrite = [&](Operand &O) {
+        if (O.isScalar()) {
+          O = Operand::makeScalar(InstanceSymbol(O.symbol(), Instance));
+          return;
+        }
+        if (O.isArray()) {
+          for (AffineExpr &Sub : O.subscripts())
+            Sub = Sub.shiftedIndex(Depth, Shift);
+        }
+      };
+      Rewrite(Copy.lhs());
+      Copy.rhs().forEachLeafMut(Rewrite);
+      Out.Body.append(std::move(Copy));
+    }
+  }
+  return Out;
+}

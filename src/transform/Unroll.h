@@ -1,0 +1,33 @@
+//===- transform/Unroll.h - Loop unrolling pre-processing -------*- C++ -*-===//
+///
+/// \file
+/// The framework's pre-processing stage (paper Section 3): unrolls the
+/// innermost loop to replicate the body statements and expose isomorphic
+/// statement instances that can fill the SIMD datapath.
+///
+/// Scalars whose first access inside the body is a definition are renamed
+/// per unroll instance (scalar expansion) so the instances do not carry
+/// false dependences; the final instance keeps the original name so that
+/// live-out values land in the original symbol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TRANSFORM_UNROLL_H
+#define SLP_TRANSFORM_UNROLL_H
+
+#include "ir/Kernel.h"
+
+namespace slp {
+
+/// Returns the largest unroll factor <= \p Desired that evenly divides the
+/// innermost loop's trip count (1 when the kernel has no loops or the trip
+/// count is zero).
+unsigned chooseUnrollFactor(const Kernel &K, unsigned Desired);
+
+/// Unrolls the innermost loop of \p K by \p Factor, which must divide its
+/// trip count. Factor 1 returns a plain copy.
+Kernel unrollInnermost(const Kernel &K, unsigned Factor);
+
+} // namespace slp
+
+#endif // SLP_TRANSFORM_UNROLL_H

@@ -1,0 +1,357 @@
+//===- vector/CodeGen.cpp -------------------------------------*- C++ -*-===//
+
+#include "vector/CodeGen.h"
+
+#include "analysis/Alignment.h"
+#include "analysis/Dependence.h"
+#include "slp/Pack.h"
+
+#include <algorithm>
+
+using namespace slp;
+
+const char *slp::packModeName(PackMode Mode) {
+  switch (Mode) {
+  case PackMode::ContiguousAligned:
+    return "contig";
+  case PackMode::ContiguousUnaligned:
+    return "contig.u";
+  case PackMode::PermutedContiguous:
+    return "contig.perm";
+  case PackMode::Broadcast:
+    return "bcast";
+  case PackMode::GatherScalar:
+    return "gather";
+  case PackMode::LayoutContiguous:
+    return "contig.layout";
+  case PackMode::AllConstant:
+    return "const";
+  }
+  return "<invalid>";
+}
+
+bool ScalarLayout::contiguousAligned(
+    const std::vector<const Operand *> &LaneOperands) const {
+  if (LaneOperands.empty())
+    return false;
+  for (const Operand *O : LaneOperands)
+    if (!O->isScalar())
+      return false;
+  int64_t First = Slots[LaneOperands.front()->symbol()];
+  if (First % static_cast<int64_t>(LaneOperands.size()) != 0)
+    return false;
+  for (unsigned L = 1, E = static_cast<unsigned>(LaneOperands.size()); L != E;
+       ++L)
+    if (Slots[LaneOperands[L]->symbol()] !=
+        First + static_cast<int64_t>(L))
+      return false;
+  return true;
+}
+
+namespace {
+
+/// A pack currently held in a vector register.
+struct LiveReg {
+  unsigned VReg = 0;
+  std::string OrderedKey;
+  std::string MultisetKey;
+  std::vector<Operand> LaneOps;
+  uint64_t LastUse = 0;
+  /// True for superword-statement results (def-use forwarding), false for
+  /// packs materialized from memory.
+  bool IsResult = false;
+};
+
+class CodeGenerator {
+public:
+  CodeGenerator(const Kernel &K, const CodeGenOptions &Options,
+                const ScalarLayout &Layout)
+      : K(K), Options(Options), Layout(Layout) {}
+
+  VectorProgram generate(const Schedule &S);
+
+private:
+  unsigned freshReg() { return Program.NumVRegs++; }
+
+  /// Returns the vreg holding the ordered pack \p Lanes, reusing or
+  /// shuffling a live register when possible, otherwise materializing the
+  /// pack from memory/immediates.
+  unsigned getPack(const std::vector<const Operand *> &Lanes);
+
+  /// Chooses the PackMode for materializing \p Lanes.
+  PackMode classify(const std::vector<const Operand *> &Lanes) const;
+
+  /// Registers \p VReg as holding \p Lanes, evicting LRU on overflow.
+  void registerPack(unsigned VReg, const std::vector<const Operand *> &Lanes,
+                    bool IsResult = false);
+
+  /// Removes live packs whose lanes may alias the written operand \p Lhs.
+  void invalidateWrites(const std::vector<const Operand *> &WrittenLanes);
+
+  unsigned genExprPack(const std::vector<const Expr *> &Nodes);
+  void genGroup(const ScheduleItem &Item);
+  void genSingle(unsigned StmtId);
+
+  const Kernel &K;
+  const CodeGenOptions &Options;
+  const ScalarLayout &Layout;
+  VectorProgram Program;
+  std::vector<LiveReg> LiveRegs;
+  uint64_t Clock = 0;
+};
+
+PackMode
+CodeGenerator::classify(const std::vector<const Operand *> &Lanes) const {
+  bool AllConst = std::all_of(Lanes.begin(), Lanes.end(),
+                              [](const Operand *O) { return O->isConstant(); });
+  if (AllConst)
+    return PackMode::AllConstant;
+
+  bool AllSame = std::all_of(Lanes.begin(), Lanes.end(),
+                             [&Lanes](const Operand *O) {
+                               return *O == *Lanes.front();
+                             });
+  if (AllSame)
+    return PackMode::Broadcast;
+
+  bool AllArray = std::all_of(Lanes.begin(), Lanes.end(),
+                              [](const Operand *O) { return O->isArray(); });
+  if (AllArray) {
+    switch (classifyArrayPack(K, Lanes)) {
+    case PackShape::ContiguousAligned:
+      return PackMode::ContiguousAligned;
+    case PackShape::ContiguousUnaligned:
+      return PackMode::ContiguousUnaligned;
+    case PackShape::PermutedContiguous:
+      return PackMode::PermutedContiguous;
+    case PackShape::AllConstant:
+    case PackShape::Gather:
+      return PackMode::GatherScalar;
+    }
+  }
+
+  if (Layout.contiguousAligned(Lanes))
+    return PackMode::LayoutContiguous;
+  return PackMode::GatherScalar;
+}
+
+void CodeGenerator::registerPack(unsigned VReg,
+                                 const std::vector<const Operand *> &Lanes,
+                                 bool IsResult) {
+  LiveReg R;
+  R.VReg = VReg;
+  R.IsResult = IsResult;
+  R.OrderedKey = orderedPackKey(Lanes);
+  R.MultisetKey = multisetPackKey(Lanes);
+  for (const Operand *O : Lanes)
+    R.LaneOps.push_back(*O);
+  R.LastUse = ++Clock;
+
+  // Replace any register already holding the same ordered pack.
+  std::erase_if(LiveRegs, [&R](const LiveReg &L) {
+    return L.OrderedKey == R.OrderedKey;
+  });
+  if (LiveRegs.size() >= Options.NumVectorRegisters) {
+    auto Oldest =
+        std::min_element(LiveRegs.begin(), LiveRegs.end(),
+                         [](const LiveReg &A, const LiveReg &B) {
+                           return A.LastUse < B.LastUse;
+                         });
+    LiveRegs.erase(Oldest);
+  }
+  LiveRegs.push_back(std::move(R));
+}
+
+void CodeGenerator::invalidateWrites(
+    const std::vector<const Operand *> &WrittenLanes) {
+  std::erase_if(LiveRegs, [&](const LiveReg &L) {
+    for (const Operand &Held : L.LaneOps)
+      for (const Operand *W : WrittenLanes)
+        if (DependenceInfo::mayAlias(K, Held, *W))
+          return true;
+    return false;
+  });
+}
+
+unsigned CodeGenerator::getPack(const std::vector<const Operand *> &Lanes) {
+  std::string OrderedKey = orderedPackKey(Lanes);
+  std::string MultisetKey = multisetPackKey(Lanes);
+
+  // Direct reuse: the pack is live in exactly this lane order.
+  for (LiveReg &L : LiveRegs) {
+    if (L.OrderedKey == OrderedKey) {
+      L.LastUse = ++Clock;
+      ++Program.Stats.DirectReuses;
+      return L.VReg;
+    }
+  }
+
+  // Permuted reuse: live with the same contents; one shuffle suffices.
+  // The original SLP algorithm does not exploit this indirect reuse, so
+  // the baselines run with it disabled.
+  for (LiveReg &L : LiveRegs) {
+    if (!Options.EnablePermutedReuse)
+      break;
+    if (L.MultisetKey != MultisetKey)
+      continue;
+    std::vector<unsigned> Perm;
+    std::vector<bool> Used(L.LaneOps.size(), false);
+    bool Ok = true;
+    for (const Operand *Want : Lanes) {
+      bool Found = false;
+      for (unsigned S = 0, E = static_cast<unsigned>(L.LaneOps.size());
+           S != E; ++S) {
+        if (Used[S] || !(L.LaneOps[S] == *Want))
+          continue;
+        Perm.push_back(S);
+        Used[S] = true;
+        Found = true;
+        break;
+      }
+      if (!Found) {
+        Ok = false;
+        break;
+      }
+    }
+    if (!Ok)
+      continue;
+    L.LastUse = ++Clock;
+    VInst Shuf;
+    Shuf.Kind = VInstKind::Shuffle;
+    Shuf.Lanes = static_cast<unsigned>(Lanes.size());
+    Shuf.Src0 = L.VReg;
+    Shuf.Dst = freshReg();
+    Shuf.Perm = std::move(Perm);
+    Program.Insts.push_back(std::move(Shuf));
+    ++Program.Stats.PermutedReuses;
+    registerPack(Program.Insts.back().Dst, Lanes);
+    return Program.Insts.back().Dst;
+  }
+
+  // Materialize from memory / immediates.
+  VInst Load;
+  Load.Kind = VInstKind::LoadPack;
+  Load.Lanes = static_cast<unsigned>(Lanes.size());
+  Load.Dst = freshReg();
+  Load.Mode = classify(Lanes);
+  for (const Operand *O : Lanes)
+    Load.LaneOps.push_back(*O);
+  Program.Insts.push_back(std::move(Load));
+  ++Program.Stats.MaterializedPacks;
+  // Loaded packs are always visible within the current superword
+  // statement (a repeated operand uses the same register); whether they
+  // stay live across statements depends on CacheLoadedPacks (see
+  // CodeGenOptions).
+  registerPack(Program.Insts.back().Dst, Lanes);
+  return Program.Insts.back().Dst;
+}
+
+unsigned CodeGenerator::genExprPack(const std::vector<const Expr *> &Nodes) {
+  if (Nodes.front()->isLeaf()) {
+    std::vector<const Operand *> Lanes;
+    Lanes.reserve(Nodes.size());
+    for (const Expr *N : Nodes) {
+      assert(N->isLeaf() && "isomorphism violated during code generation");
+      Lanes.push_back(&N->leaf());
+    }
+    return getPack(Lanes);
+  }
+
+  OpCode Op = Nodes.front()->opcode();
+  unsigned NumChildren = Nodes.front()->numChildren();
+  std::vector<unsigned> ChildRegs;
+  for (unsigned C = 0; C != NumChildren; ++C) {
+    std::vector<const Expr *> Children;
+    Children.reserve(Nodes.size());
+    for (const Expr *N : Nodes)
+      Children.push_back(&N->child(C));
+    ChildRegs.push_back(genExprPack(Children));
+  }
+
+  VInst OpInst;
+  OpInst.Kind = VInstKind::VectorOp;
+  OpInst.Lanes = static_cast<unsigned>(Nodes.size());
+  OpInst.Op = Op;
+  OpInst.UnaryOp = isUnaryOp(Op);
+  OpInst.Src0 = ChildRegs[0];
+  if (ChildRegs.size() > 1)
+    OpInst.Src1 = ChildRegs[1];
+  OpInst.Dst = freshReg();
+  Program.Insts.push_back(std::move(OpInst));
+  return Program.Insts.back().Dst;
+}
+
+void CodeGenerator::genGroup(const ScheduleItem &Item) {
+  std::vector<const Expr *> Roots;
+  std::vector<const Operand *> LhsLanes;
+  for (unsigned S : Item.Lanes) {
+    Roots.push_back(&K.Body.statement(S).rhs());
+    LhsLanes.push_back(&K.Body.statement(S).lhs());
+  }
+
+  unsigned Result = genExprPack(Roots);
+
+  VInst Store;
+  Store.Kind = VInstKind::StorePack;
+  Store.Lanes = Item.width();
+  Store.Src0 = Result;
+  Store.Mode = classify(LhsLanes);
+  // Broadcast makes no sense for a store destination; distinct dependent
+  // lanes were excluded by grouping, so same-location lanes degrade to a
+  // scatter.
+  if (Store.Mode == PackMode::Broadcast ||
+      Store.Mode == PackMode::AllConstant)
+    Store.Mode = PackMode::GatherScalar;
+  for (const Operand *O : LhsLanes)
+    Store.LaneOps.push_back(*O);
+  Program.Insts.push_back(std::move(Store));
+  ++Program.Stats.SuperwordStatements;
+
+  // The store may overwrite data cached in live registers.
+  invalidateWrites(LhsLanes);
+  // Without the register-file-as-cache treatment, packs loaded from
+  // memory die at the end of the superword statement; only results are
+  // forwarded (def-use chains). Constant splats survive for everyone —
+  // any code generator hoists those out of the loop.
+  if (!Options.CacheLoadedPacks)
+    std::erase_if(LiveRegs, [](const LiveReg &L) {
+      if (L.IsResult)
+        return false;
+      for (const Operand &O : L.LaneOps)
+        if (!O.isConstant())
+          return true;
+      return false;
+    });
+  // The freshly computed result is live and reusable under its lhs name.
+  registerPack(Result, LhsLanes, /*IsResult=*/true);
+}
+
+void CodeGenerator::genSingle(unsigned StmtId) {
+  VInst Exec;
+  Exec.Kind = VInstKind::ScalarExec;
+  Exec.StmtId = StmtId;
+  Program.Insts.push_back(std::move(Exec));
+  ++Program.Stats.ScalarStatements;
+  const Operand &Lhs = K.Body.statement(StmtId).lhs();
+  std::vector<const Operand *> Written{&Lhs};
+  invalidateWrites(Written);
+}
+
+VectorProgram CodeGenerator::generate(const Schedule &S) {
+  for (const ScheduleItem &Item : S.Items) {
+    if (Item.isGroup())
+      genGroup(Item);
+    else
+      genSingle(Item.Lanes.front());
+  }
+  return std::move(Program);
+}
+
+} // namespace
+
+VectorProgram slp::generateVectorProgram(const Kernel &K, const Schedule &S,
+                                         const CodeGenOptions &Options,
+                                         const ScalarLayout &Layout) {
+  CodeGenerator Gen(K, Options, Layout);
+  return Gen.generate(S);
+}

@@ -1,0 +1,69 @@
+//===- vector/CodeGen.h - Superword code generation -------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a valid schedule (Section 4 output) to a VectorProgram. The
+/// generator tracks the vector register file as a compiler-controlled cache
+/// of live packs: a pack already live in lane order is reused for free, a
+/// pack live in another order costs one shuffle, and anything else is
+/// materialized with the cheapest PackMode the alignment analysis (plus the
+/// scalar data layout) allows. Stores invalidate aliasing live packs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_VECTOR_CODEGEN_H
+#define SLP_VECTOR_CODEGEN_H
+
+#include "slp/Scheduling.h"
+#include "vector/VectorIR.h"
+
+namespace slp {
+
+/// Memory placement of the kernel's scalars, produced by the data layout
+/// stage (Section 5.1). The default placement spaces scalars two element
+/// slots apart so that no pack is accidentally contiguous.
+struct ScalarLayout {
+  std::vector<int64_t> Slots;
+
+  /// Default (unoptimized) placement for \p NumScalars scalars.
+  static ScalarLayout defaultLayout(unsigned NumScalars) {
+    ScalarLayout L;
+    L.Slots.resize(NumScalars);
+    for (unsigned I = 0; I != NumScalars; ++I)
+      L.Slots[I] = static_cast<int64_t>(I) * 2;
+    return L;
+  }
+
+  /// True when the all-scalar pack \p LaneOperands occupies consecutive
+  /// ascending slots starting at a multiple of the lane count.
+  bool contiguousAligned(const std::vector<const Operand *> &LaneOperands)
+      const;
+};
+
+/// Code generation parameters.
+struct CodeGenOptions {
+  unsigned DatapathBits = 128;
+  /// Architected vector registers available as a pack cache (16 XMM
+  /// registers in 64-bit SSE).
+  unsigned NumVectorRegisters = 16;
+  /// Reuse a live pack that holds the right data in a different lane
+  /// order by emitting one permutation. The paper's framework exploits
+  /// this "indirect" superword reuse; the original SLP algorithm neglects
+  /// it (Section 4.3), so the baselines run with this disabled.
+  bool EnablePermutedReuse = true;
+  /// Keep packs materialized from memory live for later reuse (treating
+  /// the vector register file as a compiler-controlled cache). The
+  /// original SLP algorithm only forwards pack *results* along def-use
+  /// chains and re-loads memory packs at every use — caching loads is the
+  /// Shin et al. technique the paper builds its reuse analysis around —
+  /// so the baselines run with this disabled.
+  bool CacheLoadedPacks = true;
+};
+
+/// Lowers \p S (a valid schedule for \p K's block) to vector instructions.
+VectorProgram generateVectorProgram(const Kernel &K, const Schedule &S,
+                                    const CodeGenOptions &Options,
+                                    const ScalarLayout &Layout);
+
+} // namespace slp
+
+#endif // SLP_VECTOR_CODEGEN_H

@@ -1,0 +1,93 @@
+//===- vector/VectorIR.h - Vectorized basic-block programs ------*- C++ -*-===//
+///
+/// \file
+/// The instruction stream produced by the vector code generator for one
+/// execution of a vectorized basic block. Instructions carry both exact
+/// lane semantics (so the vector interpreter can execute them and be checked
+/// against the scalar reference) and a PackMode classification (so the
+/// machine cost model can price the packing/unpacking work exactly as the
+/// paper's cost discussion requires).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_VECTOR_VECTORIR_H
+#define SLP_VECTOR_VECTORIR_H
+
+#include "ir/Kernel.h"
+
+#include <vector>
+
+namespace slp {
+
+/// How a LoadPack/StorePack instruction touches memory.
+enum class PackMode : uint8_t {
+  /// One aligned vector memory operation.
+  ContiguousAligned,
+  /// One unaligned vector memory operation (or a split pair on older
+  /// microarchitectures; the machine model decides the price).
+  ContiguousUnaligned,
+  /// One unaligned vector memory operation plus one in-register permute.
+  PermutedContiguous,
+  /// All lanes read the same location: one scalar load plus a broadcast
+  /// shuffle.
+  Broadcast,
+  /// Element-wise gather/scatter: N scalar memory ops plus N-1 (N) lane
+  /// insert (extract) operations — the paper's expensive packing/unpacking.
+  GatherScalar,
+  /// Scalars made adjacent and aligned by the data layout stage: one
+  /// vector memory operation (the Section 5.1 payoff).
+  LayoutContiguous,
+  /// Lanes are literal constants; materialized without memory traffic.
+  AllConstant,
+};
+
+/// Returns a short mnemonic for \p Mode.
+const char *packModeName(PackMode Mode);
+
+enum class VInstKind : uint8_t {
+  LoadPack,  ///< Dst <- the lane locations in LaneOps
+  StorePack, ///< lane locations in LaneOps <- Src0
+  Shuffle,   ///< Dst[l] <- Src0[Perm[l]]
+  VectorOp,  ///< Dst <- Op(Src0 [, Src1]) lane-wise
+  ScalarExec ///< execute block statement StmtId with scalar semantics
+};
+
+/// One vector instruction. Fields are meaningful per VInstKind.
+struct VInst {
+  VInstKind Kind = VInstKind::ScalarExec;
+  unsigned Lanes = 1;
+  unsigned Dst = 0;
+  unsigned Src0 = 0;
+  unsigned Src1 = 0;
+  OpCode Op = OpCode::Add;
+  bool UnaryOp = false;
+  PackMode Mode = PackMode::GatherScalar;
+  std::vector<Operand> LaneOps;
+  std::vector<unsigned> Perm;
+  unsigned StmtId = 0;
+};
+
+/// Book-keeping from code generation, reported in the paper's figures.
+struct CodeGenStats {
+  /// Packs satisfied directly from a live vector register (free).
+  unsigned DirectReuses = 0;
+  /// Packs satisfied from a live register via one permutation.
+  unsigned PermutedReuses = 0;
+  /// Packs materialized from memory.
+  unsigned MaterializedPacks = 0;
+  /// Superword statements emitted.
+  unsigned SuperwordStatements = 0;
+  /// Statements executed scalarly.
+  unsigned ScalarStatements = 0;
+};
+
+/// A vectorized basic-block program (one execution of the block).
+struct VectorProgram {
+  std::vector<VInst> Insts;
+  unsigned NumVRegs = 0;
+  CodeGenStats Stats;
+};
+
+} // namespace slp
+
+#endif // SLP_VECTOR_VECTORIR_H

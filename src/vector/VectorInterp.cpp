@@ -1,0 +1,96 @@
+//===- vector/VectorInterp.cpp --------------------------------*- C++ -*-===//
+
+#include "vector/VectorInterp.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace slp;
+
+static double applyOp(OpCode Op, double A, double B) {
+  switch (Op) {
+  case OpCode::Add:
+    return A + B;
+  case OpCode::Sub:
+    return A - B;
+  case OpCode::Mul:
+    return A * B;
+  case OpCode::Div:
+    return A / B;
+  case OpCode::Min:
+    return std::fmin(A, B);
+  case OpCode::Max:
+    return std::fmax(A, B);
+  case OpCode::Neg:
+    return -A;
+  case OpCode::Sqrt:
+    // Must match the scalar interpreter exactly (sqrt of magnitude).
+    return std::sqrt(std::fabs(A));
+  case OpCode::Abs:
+    return std::fabs(A);
+  }
+  slpUnreachable("invalid opcode");
+}
+
+void slp::runVectorProgramOnce(const Kernel &K, const VectorProgram &Program,
+                               Environment &Env,
+                               const std::vector<int64_t> &Indices,
+                               std::vector<std::vector<double>> &Regs) {
+  if (Regs.size() < Program.NumVRegs)
+    Regs.resize(Program.NumVRegs);
+
+  for (const VInst &I : Program.Insts) {
+    switch (I.Kind) {
+    case VInstKind::LoadPack: {
+      std::vector<double> &Dst = Regs[I.Dst];
+      Dst.resize(I.Lanes);
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        Dst[L] = evalOperandValue(K, Env, I.LaneOps[L], Indices);
+      break;
+    }
+    case VInstKind::StorePack: {
+      const std::vector<double> &Src = Regs[I.Src0];
+      assert(Src.size() == I.Lanes && "register width mismatch");
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        storeToOperand(K, Env, I.LaneOps[L], Src[L], Indices);
+      break;
+    }
+    case VInstKind::Shuffle: {
+      const std::vector<double> Src = Regs[I.Src0]; // copy: dst may alias
+      std::vector<double> &Dst = Regs[I.Dst];
+      Dst.resize(I.Lanes);
+      for (unsigned L = 0; L != I.Lanes; ++L) {
+        assert(I.Perm[L] < Src.size() && "shuffle lane out of range");
+        Dst[L] = Src[I.Perm[L]];
+      }
+      break;
+    }
+    case VInstKind::VectorOp: {
+      const std::vector<double> &A = Regs[I.Src0];
+      std::vector<double> Result(I.Lanes);
+      if (I.UnaryOp) {
+        for (unsigned L = 0; L != I.Lanes; ++L)
+          Result[L] = applyOp(I.Op, A[L], 0);
+      } else {
+        const std::vector<double> &B = Regs[I.Src1];
+        for (unsigned L = 0; L != I.Lanes; ++L)
+          Result[L] = applyOp(I.Op, A[L], B[L]);
+      }
+      Regs[I.Dst] = std::move(Result);
+      break;
+    }
+    case VInstKind::ScalarExec:
+      execStatementScalar(K, Env, K.Body.statement(I.StmtId), Indices);
+      break;
+    }
+  }
+}
+
+void slp::runVectorProgram(const Kernel &K, const VectorProgram &Program,
+                           Environment &Env) {
+  std::vector<std::vector<double>> Regs;
+  forEachIteration(K, [&](const std::vector<int64_t> &Indices) {
+    runVectorProgramOnce(K, Program, Env, Indices, Regs);
+  });
+}

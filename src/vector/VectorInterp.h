@@ -1,0 +1,34 @@
+//===- vector/VectorInterp.h - Vector program execution ---------*- C++ -*-===//
+///
+/// \file
+/// Executes a VectorProgram over a concrete Environment, lane-faithfully:
+/// loads fill virtual vector registers, shuffles permute them, vector ops
+/// combine them element-wise, and stores scatter them back. Running this
+/// against the scalar reference interpreter validates the entire SLP
+/// pipeline end to end, including the register-reuse and invalidation logic
+/// of the code generator (a stale reused register produces a miscompare).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_VECTOR_VECTORINTERP_H
+#define SLP_VECTOR_VECTORINTERP_H
+
+#include "ir/Interpreter.h"
+#include "vector/VectorIR.h"
+
+namespace slp {
+
+/// Executes \p Program once per iteration of \p K's loop nest, mutating
+/// \p Env.
+void runVectorProgram(const Kernel &K, const VectorProgram &Program,
+                      Environment &Env);
+
+/// Executes \p Program for a single iteration \p Indices.
+void runVectorProgramOnce(const Kernel &K, const VectorProgram &Program,
+                          Environment &Env,
+                          const std::vector<int64_t> &Indices,
+                          std::vector<std::vector<double>> &RegScratch);
+
+} // namespace slp
+
+#endif // SLP_VECTOR_VECTORINTERP_H

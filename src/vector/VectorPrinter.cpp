@@ -1,0 +1,79 @@
+//===- vector/VectorPrinter.cpp -------------------------------*- C++ -*-===//
+
+#include "vector/VectorPrinter.h"
+
+#include "ir/Printer.h"
+#include "support/Error.h"
+
+#include <cstdio>
+
+using namespace slp;
+
+static std::string laneList(const Kernel &K, const VInst &I) {
+  std::string Out = "<";
+  for (unsigned L = 0; L != I.Lanes; ++L) {
+    if (L)
+      Out += ", ";
+    Out += printOperand(K, I.LaneOps[L]);
+  }
+  Out += ">";
+  return Out;
+}
+
+std::string slp::printVInst(const Kernel &K, const VInst &I) {
+  char Buf[64];
+  switch (I.Kind) {
+  case VInstKind::LoadPack:
+    std::snprintf(Buf, sizeof(Buf), "v%u <- vload.%-13s ", I.Dst,
+                  packModeName(I.Mode));
+    return Buf + laneList(K, I);
+  case VInstKind::StorePack:
+    std::snprintf(Buf, sizeof(Buf), "vstore.%s v%u -> ",
+                  packModeName(I.Mode), I.Src0);
+    return Buf + laneList(K, I);
+  case VInstKind::Shuffle: {
+    std::snprintf(Buf, sizeof(Buf), "v%u <- vshuffle v%u, [", I.Dst,
+                  I.Src0);
+    std::string Out = Buf;
+    for (unsigned L = 0; L != I.Lanes; ++L) {
+      if (L)
+        Out += ",";
+      Out += std::to_string(I.Perm[L]);
+    }
+    return Out + "]";
+  }
+  case VInstKind::VectorOp:
+    if (I.UnaryOp) {
+      std::snprintf(Buf, sizeof(Buf), "v%u <- v%s v%u", I.Dst,
+                    opcodeName(I.Op), I.Src0);
+      return Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), "v%u <- v%s v%u, v%u", I.Dst,
+                  opcodeName(I.Op), I.Src0, I.Src1);
+    return Buf;
+  case VInstKind::ScalarExec:
+    return "scalar " + printStatement(K, K.Body.statement(I.StmtId));
+  }
+  slpUnreachable("invalid instruction kind");
+}
+
+std::string slp::printVectorProgram(const Kernel &K,
+                                    const VectorProgram &P) {
+  std::string Out;
+  unsigned Idx = 0;
+  for (const VInst &I : P.Insts) {
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "  [%3u] ", Idx++);
+    Out += Buf;
+    Out += printVInst(K, I);
+    Out += "\n";
+  }
+  char Stats[160];
+  std::snprintf(Stats, sizeof(Stats),
+                "  ; %u superword stmt(s), %u scalar stmt(s), "
+                "%u direct + %u permuted reuse(s), %u pack(s) materialized\n",
+                P.Stats.SuperwordStatements, P.Stats.ScalarStatements,
+                P.Stats.DirectReuses, P.Stats.PermutedReuses,
+                P.Stats.MaterializedPacks);
+  return Out + Stats;
+}

@@ -1,0 +1,33 @@
+//===- vector/VectorPrinter.h - Vector program disassembly ------*- C++ -*-===//
+///
+/// \file
+/// Human-readable rendering of VectorPrograms, one instruction per line,
+/// e.g.:
+/// \code
+///   v3 <- vload.contig   <A[4*i], A[4*i + 1], A[4*i + 2], A[4*i + 3]>
+///   v4 <- vmul           v3, v1
+///   vstore.gather v4 -> <B[2*i], B[2*i + 2], ...>
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_VECTOR_VECTORPRINTER_H
+#define SLP_VECTOR_VECTORPRINTER_H
+
+#include "ir/Kernel.h"
+#include "vector/VectorIR.h"
+
+#include <string>
+
+namespace slp {
+
+/// Renders one instruction.
+std::string printVInst(const Kernel &K, const VInst &I);
+
+/// Renders the whole program with instruction indices and a trailing
+/// statistics line.
+std::string printVectorProgram(const Kernel &K, const VectorProgram &P);
+
+} // namespace slp
+
+#endif // SLP_VECTOR_VECTORPRINTER_H

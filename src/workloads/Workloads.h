@@ -1,0 +1,65 @@
+//===- workloads/Workloads.h - Benchmark kernel generators ------*- C++ -*-===//
+///
+/// \file
+/// Synthetic stand-ins for the paper's benchmark suite (Table 3): ten
+/// SPEC2006 floating-point codes and six NAS parallel benchmarks. Each
+/// generator produces a kernel mimicking that benchmark's dominant
+/// inner-loop pattern — the mix of isomorphic statements, superword reuse,
+/// access contiguity, scalar temporaries, and data footprint that drives
+/// the relative behavior of the Native / SLP / Global / Global+Layout
+/// schemes in Figures 16-21. Absolute performance is not modeled; the
+/// figures' *shape* is (see DESIGN.md's substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_WORKLOADS_WORKLOADS_H
+#define SLP_WORKLOADS_WORKLOADS_H
+
+#include "ir/Kernel.h"
+#include "machine/Multicore.h"
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// One benchmark of the evaluation suite.
+struct Workload {
+  std::string Name;
+  std::string Description; ///< the Table 3 blurb
+  bool IsNas = false;      ///< NAS benchmarks feed Figure 21
+  Kernel TheKernel;
+  MulticoreParams Multicore; ///< Figure 21 parallelization parameters
+};
+
+/// All 16 benchmarks, in Table 3 order (SPEC2006 then NAS).
+std::vector<Workload> standardWorkloads();
+
+/// Finds a benchmark by its Table 3 name; aborts if unknown.
+Workload workloadByName(const std::string &Name);
+
+/// Parameters of the random-kernel generator used by property tests.
+struct RandomKernelOptions {
+  unsigned MinStatements = 2;
+  unsigned MaxStatements = 10;
+  unsigned NumArrays = 3;
+  unsigned NumScalars = 4;
+  int64_t TripCount = 16;
+  /// Number of nest levels (1 or 2); with 2, subscripts mix both indices.
+  unsigned NumLoops = 1;
+  bool AllowDoubles = true;
+  /// Mix in integer-typed arrays/scalars (exercising the truncating
+  /// store semantics).
+  bool AllowInts = true;
+};
+
+/// Generates a random (but always well-formed, in-bounds) kernel. The
+/// space deliberately includes dependent statements, strided and
+/// overlapping references, scalar temporaries, and repeated operands so
+/// that schedule-validity and equivalence properties get exercised hard.
+Kernel randomKernel(Rng &R, const RandomKernelOptions &Options);
+
+} // namespace slp
+
+#endif // SLP_WORKLOADS_WORKLOADS_H

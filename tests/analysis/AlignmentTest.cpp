@@ -1,0 +1,130 @@
+//===- tests/analysis/AlignmentTest.cpp -----------------------*- C++ -*-===//
+
+#include "analysis/Alignment.h"
+
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+/// Builds a kernel with array A[256] and a unit loop i = Lower..Upper
+/// step Step, returning (kernel, array id).
+Kernel loopKernel(int64_t Lower, int64_t Upper, int64_t Step) {
+  KernelBuilder B("k");
+  B.array("A", ScalarType::Float32, {256});
+  B.loop("i", Lower, Upper, Step);
+  return B.take();
+}
+
+Operand ref(int64_t Coeff, int64_t Add) {
+  return Operand::makeArray(0, {AffineExpr::term(0, Coeff, Add)});
+}
+
+PackShape classify(const Kernel &K, std::vector<Operand> Refs) {
+  std::vector<const Operand *> Ptrs;
+  for (const Operand &R : Refs)
+    Ptrs.push_back(&R);
+  return classifyArrayPack(K, Ptrs);
+}
+
+} // namespace
+
+TEST(Alignment, ContiguousAlignedUnitStride) {
+  // Loop step 4 (unrolled by 4), lanes A[i..i+3] starting at 0.
+  Kernel K = loopKernel(0, 64, 4);
+  EXPECT_EQ(classify(K, {ref(1, 0), ref(1, 1), ref(1, 2), ref(1, 3)}),
+            PackShape::ContiguousAligned);
+}
+
+TEST(Alignment, ContiguousUnalignedOffsetBase) {
+  Kernel K = loopKernel(0, 64, 4);
+  EXPECT_EQ(classify(K, {ref(1, 1), ref(1, 2), ref(1, 3), ref(1, 4)}),
+            PackShape::ContiguousUnaligned);
+}
+
+TEST(Alignment, ContiguousUnalignedOddLowerBound) {
+  // Same lane offsets, but the loop starts at 1 so the base address is
+  // 1 mod 4 at the first iteration.
+  Kernel K = loopKernel(1, 65, 4);
+  EXPECT_EQ(classify(K, {ref(1, 0), ref(1, 1), ref(1, 2), ref(1, 3)}),
+            PackShape::ContiguousUnaligned);
+}
+
+TEST(Alignment, MisalignedStep) {
+  // Step 2: address advances by 2 per iteration, alignment flips.
+  Kernel K = loopKernel(0, 64, 2);
+  EXPECT_EQ(classify(K, {ref(1, 0), ref(1, 1), ref(1, 2), ref(1, 3)}),
+            PackShape::ContiguousUnaligned);
+}
+
+TEST(Alignment, ReversedLanesArePermutedContiguous) {
+  Kernel K = loopKernel(0, 64, 4);
+  EXPECT_EQ(classify(K, {ref(1, 3), ref(1, 2), ref(1, 1), ref(1, 0)}),
+            PackShape::PermutedContiguous);
+}
+
+TEST(Alignment, InterleavedPermutation) {
+  Kernel K = loopKernel(0, 64, 4);
+  EXPECT_EQ(classify(K, {ref(1, 1), ref(1, 0), ref(1, 3), ref(1, 2)}),
+            PackShape::PermutedContiguous);
+}
+
+TEST(Alignment, StridedIsGather) {
+  Kernel K = loopKernel(0, 64, 4);
+  EXPECT_EQ(classify(K, {ref(2, 0), ref(2, 2), ref(2, 4), ref(2, 6)}),
+            PackShape::Gather);
+}
+
+TEST(Alignment, DuplicateOffsetIsGather) {
+  Kernel K = loopKernel(0, 64, 4);
+  EXPECT_EQ(classify(K, {ref(1, 0), ref(1, 0), ref(1, 1), ref(1, 2)}),
+            PackShape::Gather);
+}
+
+TEST(Alignment, MixedCoefficientIsGather) {
+  Kernel K = loopKernel(0, 32, 4);
+  // Lane 1 differs by a non-constant (depends on i): cannot be one block.
+  EXPECT_EQ(classify(K, {ref(1, 0), ref(2, 1)}), PackShape::Gather);
+}
+
+TEST(Alignment, AllConstantLanes) {
+  Kernel K = loopKernel(0, 64, 4);
+  Operand C1 = Operand::makeConstant(1.0), C2 = Operand::makeConstant(2.0);
+  std::vector<const Operand *> Lanes{&C1, &C2};
+  EXPECT_EQ(classifyArrayPack(K, Lanes), PackShape::AllConstant);
+}
+
+TEST(Alignment, ScalarLaneIsGather) {
+  Kernel K = loopKernel(0, 64, 4);
+  KernelBuilder B("t");
+  Operand S = Operand::makeScalar(0);
+  Operand A = ref(1, 0);
+  std::vector<const Operand *> Lanes{&S, &A};
+  EXPECT_EQ(classifyArrayPack(K, Lanes), PackShape::Gather);
+}
+
+TEST(Alignment, IsAlignedRefChecksLowerBoundAndStep) {
+  // i from 0 step 4: A[i] aligned to 4.
+  Kernel K0 = loopKernel(0, 64, 4);
+  EXPECT_TRUE(isAlignedRef(K0, ref(1, 0), 4));
+  EXPECT_FALSE(isAlignedRef(K0, ref(1, 2), 4));
+  // i from 2 step 4: A[i] has base offset 2.
+  Kernel K2 = loopKernel(2, 66, 4);
+  EXPECT_FALSE(isAlignedRef(K2, ref(1, 0), 4));
+  EXPECT_TRUE(isAlignedRef(K2, ref(1, 2), 4)); // 2 + 2 = 4 = 0 mod 4
+  // Coefficient times step must stay a multiple of the lane count.
+  Kernel K1 = loopKernel(0, 64, 1);
+  EXPECT_FALSE(isAlignedRef(K1, ref(1, 0), 4));
+  EXPECT_TRUE(isAlignedRef(K1, ref(4, 0), 4));
+  // Two-lane (double) alignment.
+  EXPECT_TRUE(isAlignedRef(K0, ref(1, 2), 2));
+}
+
+TEST(Alignment, ConstantSubscriptAligned) {
+  Kernel K = loopKernel(0, 64, 4);
+  EXPECT_TRUE(isAlignedRef(K, ref(0, 8), 4));
+  EXPECT_FALSE(isAlignedRef(K, ref(0, 9), 4));
+}

@@ -1,0 +1,193 @@
+//===- tests/analysis/DependenceTest.cpp ----------------------*- C++ -*-===//
+
+#include "analysis/Dependence.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+bool hasDep(const DependenceInfo &D, unsigned Src, unsigned Dst,
+            DepKind Kind) {
+  for (const Dep &E : D.dependences())
+    if (E.Src == Src && E.Dst == Dst && E.Kind == Kind)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Dependence, ScalarFlow) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = 1.0;
+      b = a + 2.0;
+    })");
+  DependenceInfo D(K);
+  EXPECT_TRUE(hasDep(D, 0, 1, DepKind::Flow));
+  EXPECT_TRUE(D.depends(0, 1));
+  EXPECT_FALSE(D.independent(0, 1));
+}
+
+TEST(Dependence, ScalarAnti) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      b = a + 2.0;
+      a = 1.0;
+    })");
+  DependenceInfo D(K);
+  EXPECT_TRUE(hasDep(D, 0, 1, DepKind::Anti));
+  EXPECT_FALSE(hasDep(D, 0, 1, DepKind::Flow));
+}
+
+TEST(Dependence, ScalarOutput) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a;
+      a = 1.0;
+      a = 2.0;
+    })");
+  DependenceInfo D(K);
+  EXPECT_TRUE(hasDep(D, 0, 1, DepKind::Output));
+}
+
+TEST(Dependence, IndependentStatements) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = 1.0;
+      b = 2.0;
+    })");
+  DependenceInfo D(K);
+  EXPECT_TRUE(D.independent(0, 1));
+  EXPECT_TRUE(D.dependences().empty());
+}
+
+TEST(Dependence, ArraySameSubscriptAliases) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64];
+      loop i = 0 .. 16 {
+        A[2*i] = 1.0;
+        A[2*i] = A[2*i] + 1.0;
+      }
+    })");
+  DependenceInfo D(K);
+  EXPECT_TRUE(hasDep(D, 0, 1, DepKind::Flow));
+  EXPECT_TRUE(hasDep(D, 0, 1, DepKind::Output));
+}
+
+TEST(Dependence, ConstantOffsetNeverAliasesInOneIteration) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64];
+      loop i = 0 .. 15 {
+        A[2*i] = 1.0;
+        A[2*i + 1] = 2.0;
+      }
+    })");
+  DependenceInfo D(K);
+  // Within one iteration 2i != 2i+1; loop-carried relations are not
+  // block-level dependences.
+  EXPECT_TRUE(D.independent(0, 1));
+}
+
+TEST(Dependence, GcdTestExcludesDifferentParity) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64];
+      loop i = 0 .. 8 { loop j = 0 .. 3 {
+        A[2*i] = 1.0;
+        A[2*j + 1] = 2.0;
+      } }
+    })");
+  // 2i vs 2j+1: difference 2i-2j-1 is odd, never zero.
+  DependenceInfo D(K);
+  EXPECT_TRUE(D.independent(0, 1));
+}
+
+TEST(Dependence, DifferentIndicesMayAlias) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64];
+      loop i = 0 .. 8 { loop j = 0 .. 8 {
+        A[i] = 1.0;
+        A[j] = 2.0;
+      } }
+    })");
+  // i == j happens for some iterations.
+  DependenceInfo D(K);
+  EXPECT_FALSE(D.independent(0, 1));
+}
+
+TEST(Dependence, BoundsTestExcludesDisjointRanges) {
+  Kernel K = parse(R"(
+    kernel k { array float A[128];
+      loop i = 0 .. 8 { loop j = 0 .. 8 {
+        A[i] = 1.0;
+        A[j + 64] = 2.0;
+      } }
+    })");
+  // i in [0,7], j+64 in [64,71]: never equal.
+  DependenceInfo D(K);
+  EXPECT_TRUE(D.independent(0, 1));
+}
+
+TEST(Dependence, DifferentArraysNeverAlias) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16]; array float B[16];
+      loop i = 0 .. 16 {
+        A[i] = 1.0;
+        B[i] = A[i] * 2.0;
+      }
+    })");
+  DependenceInfo D(K);
+  EXPECT_TRUE(hasDep(D, 0, 1, DepKind::Flow)); // through A[i]
+  EXPECT_FALSE(hasDep(D, 0, 1, DepKind::Output));
+}
+
+TEST(Dependence, MultiDimFlattening) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8][8];
+      loop i = 0 .. 7 {
+        A[i][7] = 1.0;
+        A[i + 1][0] = 2.0;
+      }
+    })");
+  // Flattened: 8i+7 vs 8i+8: constant difference 1, no alias.
+  DependenceInfo D(K);
+  EXPECT_TRUE(D.independent(0, 1));
+}
+
+TEST(Dependence, MayAliasStaticHelper) {
+  Kernel K = parse(R"(
+    kernel k { scalar float s; array float A[32];
+      loop i = 0 .. 8 { A[i] = s; }
+    })");
+  Operand S1 = Operand::makeScalar(0);
+  Operand C = Operand::makeConstant(1.0);
+  EXPECT_TRUE(DependenceInfo::mayAlias(K, S1, S1));
+  EXPECT_FALSE(DependenceInfo::mayAlias(K, S1, C));
+  Operand A1 = Operand::makeArray(0, {AffineExpr::term(0, 1)});
+  Operand A2 = Operand::makeArray(0, {AffineExpr::term(0, 1, 3)});
+  EXPECT_TRUE(DependenceInfo::mayAlias(K, A1, A1));
+  EXPECT_FALSE(DependenceInfo::mayAlias(K, A1, A2));
+  EXPECT_FALSE(DependenceInfo::mayAlias(K, S1, A1));
+}
+
+TEST(Dependence, ChainAcrossThreeStatements) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c;
+      a = 1.0;
+      b = a * 2.0;
+      c = b * 3.0;
+    })");
+  DependenceInfo D(K);
+  EXPECT_TRUE(D.depends(0, 1));
+  EXPECT_TRUE(D.depends(1, 2));
+  // No direct dependence 0 -> 2 (c uses only b).
+  EXPECT_FALSE(D.depends(0, 2));
+}

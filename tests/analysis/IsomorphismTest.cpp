@@ -1,0 +1,133 @@
+//===- tests/analysis/IsomorphismTest.cpp ---------------------*- C++ -*-===//
+
+#include "analysis/Isomorphism.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+bool iso(const Kernel &K, unsigned A, unsigned B) {
+  return areIsomorphic(K, K.Body.statement(A), K.Body.statement(B));
+}
+
+} // namespace
+
+TEST(Isomorphism, SameShapeDifferentSymbols) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d;
+      a = b * 2.0;
+      c = d * 3.0;
+    })");
+  EXPECT_TRUE(iso(K, 0, 1));
+}
+
+TEST(Isomorphism, DifferentOpcode) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = b + 1.0;
+      b = a - 1.0;
+    })");
+  EXPECT_FALSE(iso(K, 0, 1));
+}
+
+TEST(Isomorphism, DifferentShape) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c;
+      a = b + c;
+      b = a + c * 2.0;
+    })");
+  EXPECT_FALSE(iso(K, 0, 1));
+}
+
+TEST(Isomorphism, LeafKindMatters) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b; array float A[8];
+      a = b + 1.0;
+      b = A[3] + 1.0;
+    })");
+  // Scalar vs array at the same position: not isomorphic.
+  EXPECT_FALSE(iso(K, 0, 1));
+}
+
+TEST(Isomorphism, LhsKindMatters) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b; array float A[8];
+      a = b + 1.0;
+      A[0] = b + 1.0;
+    })");
+  EXPECT_FALSE(iso(K, 0, 1));
+}
+
+TEST(Isomorphism, ElementTypeMatters) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b; scalar double c, d;
+      a = b * 2.0;
+      c = d * 2.0;
+    })");
+  EXPECT_FALSE(iso(K, 0, 1));
+}
+
+TEST(Isomorphism, ArrayElementTypeMatters) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8]; array double B[8];
+      loop i = 0 .. 8 {
+        A[i] = A[i] * 2.0;
+        B[i] = B[i] * 2.0;
+      }
+    })");
+  EXPECT_FALSE(iso(K, 0, 1));
+}
+
+TEST(Isomorphism, ConstantsAdaptToLaneType) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d;
+      a = b * 2.0;
+      c = d * 7.5;
+    })");
+  // Different constant values are still isomorphic (same kind).
+  EXPECT_TRUE(iso(K, 0, 1));
+}
+
+TEST(Isomorphism, DifferentArraysSameType) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16]; array float B[16];
+      loop i = 0 .. 16 {
+        A[i] = A[i] + 1.0;
+        B[i] = B[i] + 1.0;
+      }
+    })");
+  EXPECT_TRUE(iso(K, 0, 1));
+}
+
+TEST(Isomorphism, StatementElementType) {
+  Kernel K = parse(R"(
+    kernel k { scalar double x; array float A[8];
+      x = 1.0;
+      A[2] = 2.0;
+    })");
+  EXPECT_EQ(statementElementType(K, K.Body.statement(0)),
+            ScalarType::Float64);
+  EXPECT_EQ(statementElementType(K, K.Body.statement(1)),
+            ScalarType::Float32);
+}
+
+TEST(Isomorphism, UnaryOps) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d;
+      a = sqrt(b);
+      c = sqrt(d);
+      b = abs(a);
+    })");
+  EXPECT_TRUE(iso(K, 0, 1));
+  EXPECT_FALSE(iso(K, 0, 2));
+}

@@ -1,0 +1,79 @@
+//===- tests/experiments/ExperimentsTest.cpp ------------------*- C++ -*-===//
+//
+// Unit tests for the experiments library's aggregation logic, on
+// synthetic rows (the live-suite shape assertions live in ShapeTest.cpp).
+//
+//===----------------------------------------------------------------------===//
+
+#include "experiments/Experiments.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+BenchmarkRow row(const char *Name, double Native, double Slp, double Global,
+                 double Layout) {
+  BenchmarkRow R;
+  R.Name = Name;
+  R.Native = Native;
+  R.Slp = Slp;
+  R.Global = Global;
+  R.GlobalLayout = Layout;
+  return R;
+}
+
+SuiteEvaluation sample() {
+  SuiteEvaluation E;
+  E.Rows.push_back(row("a", 0.00, 0.10, 0.20, 0.30));
+  E.Rows.push_back(row("b", 0.05, 0.05, 0.05, 0.05)); // full tie
+  E.Rows.push_back(row("c", 0.00, 0.00, 0.10, 0.10)); // slp==native
+  E.Rows.push_back(row("d", 0.10, 0.20, 0.20, 0.24)); // global==slp
+  return E;
+}
+
+} // namespace
+
+TEST(Experiments, Averages) {
+  SuiteEvaluation E = sample();
+  EXPECT_NEAR(E.averageNative(), (0.00 + 0.05 + 0.00 + 0.10) / 4, 1e-12);
+  EXPECT_NEAR(E.averageSlp(), (0.10 + 0.05 + 0.00 + 0.20) / 4, 1e-12);
+  EXPECT_NEAR(E.averageGlobal(), (0.20 + 0.05 + 0.10 + 0.20) / 4, 1e-12);
+  EXPECT_NEAR(E.averageGlobalLayout(), (0.30 + 0.05 + 0.10 + 0.24) / 4,
+              1e-12);
+}
+
+TEST(Experiments, TieCounts) {
+  SuiteEvaluation E = sample();
+  EXPECT_EQ(E.countGlobalEqualsSlp(), 2u); // b and d
+  EXPECT_EQ(E.countSlpEqualsNative(), 2u); // b and c
+}
+
+TEST(Experiments, LayoutHelpedCount) {
+  SuiteEvaluation E = sample();
+  EXPECT_EQ(E.countLayoutHelped(), 2u); // a and d
+  EXPECT_FALSE(E.Rows[1].layoutHelped());
+}
+
+TEST(Experiments, MaxGapReportsBenchmark) {
+  SuiteEvaluation E = sample();
+  std::string Which;
+  double Gap = E.maxGlobalLayoutOverSlp(&Which);
+  EXPECT_NEAR(Gap, 0.20, 1e-12); // row a: 0.30 - 0.10
+  EXPECT_EQ(Which, "a");
+}
+
+TEST(Experiments, ToleranceRespectsBand) {
+  SuiteEvaluation E;
+  E.Rows.push_back(row("x", 0.100, 0.1004, 0.30, 0.30));
+  EXPECT_EQ(E.countSlpEqualsNative(5e-4), 1u);
+  EXPECT_EQ(E.countSlpEqualsNative(1e-5), 0u);
+}
+
+TEST(Experiments, EmptySuite) {
+  SuiteEvaluation E;
+  EXPECT_DOUBLE_EQ(E.averageGlobal(), 0.0);
+  EXPECT_EQ(E.countGlobalEqualsSlp(), 0u);
+  EXPECT_DOUBLE_EQ(E.maxGlobalLayoutOverSlp(), 0.0);
+}

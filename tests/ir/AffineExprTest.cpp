@@ -1,0 +1,86 @@
+//===- tests/ir/AffineExprTest.cpp ----------------------------*- C++ -*-===//
+
+#include "ir/AffineExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+TEST(AffineExpr, ConstantBasics) {
+  AffineExpr E(7);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constant(), 7);
+  EXPECT_EQ(E.evaluate({}), 7);
+}
+
+TEST(AffineExpr, TermConstruction) {
+  AffineExpr E = AffineExpr::term(1, 4, 3); // 4*i1 + 3
+  EXPECT_FALSE(E.isConstant());
+  EXPECT_EQ(E.coeff(0), 0);
+  EXPECT_EQ(E.coeff(1), 4);
+  EXPECT_EQ(E.constant(), 3);
+  EXPECT_EQ(E.evaluate({10, 5}), 23);
+}
+
+TEST(AffineExpr, AdditionMergesCoefficients) {
+  AffineExpr A = AffineExpr::term(0, 2, 1);
+  AffineExpr B = AffineExpr::term(1, 3, -1);
+  AffineExpr Sum = A + B;
+  EXPECT_EQ(Sum.coeff(0), 2);
+  EXPECT_EQ(Sum.coeff(1), 3);
+  EXPECT_EQ(Sum.constant(), 0);
+}
+
+TEST(AffineExpr, SubtractionCancelsToConstant) {
+  AffineExpr A = AffineExpr::term(0, 4, 7);
+  AffineExpr B = AffineExpr::term(0, 4, 3);
+  AffineExpr Diff = A - B;
+  EXPECT_TRUE(Diff.isConstant());
+  EXPECT_EQ(Diff.constant(), 4);
+}
+
+TEST(AffineExpr, Scaling) {
+  AffineExpr E = AffineExpr::term(0, 2, -3).scaled(-2);
+  EXPECT_EQ(E.coeff(0), -4);
+  EXPECT_EQ(E.constant(), 6);
+}
+
+TEST(AffineExpr, ShiftedIndexFoldsIntoConstant) {
+  AffineExpr E = AffineExpr::term(0, 4, 1); // 4i + 1
+  AffineExpr Shifted = E.shiftedIndex(0, 2); // i -> i+2 => 4i + 9
+  EXPECT_EQ(Shifted.coeff(0), 4);
+  EXPECT_EQ(Shifted.constant(), 9);
+  // Shifting an index the expression does not use is a no-op.
+  AffineExpr Same = E.shiftedIndex(3, 100);
+  EXPECT_EQ(Same, E);
+}
+
+TEST(AffineExpr, SubstitutedIndex) {
+  AffineExpr E = AffineExpr::term(0, 3, 2); // 3i + 2
+  AffineExpr S = E.substitutedIndex(0, 2, 5); // i -> 2i+5 => 6i + 17
+  EXPECT_EQ(S.coeff(0), 6);
+  EXPECT_EQ(S.constant(), 17);
+}
+
+TEST(AffineExpr, EqualityIgnoresTrailingZeros) {
+  AffineExpr A = AffineExpr::term(0, 1);
+  AffineExpr B = AffineExpr::term(0, 1);
+  B.setCoeff(5, 3);
+  B.setCoeff(5, 0);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.key(), B.key());
+}
+
+TEST(AffineExpr, KeyDistinguishesDifferentFunctions) {
+  EXPECT_NE(AffineExpr::term(0, 2).key(), AffineExpr::term(1, 2).key());
+  EXPECT_NE(AffineExpr::term(0, 2).key(), AffineExpr::term(0, 2, 1).key());
+}
+
+TEST(AffineExpr, ToStringRendering) {
+  std::vector<std::string> Names{"i", "j"};
+  EXPECT_EQ(AffineExpr(5).toString(Names), "5");
+  EXPECT_EQ(AffineExpr::term(0, 1).toString(Names), "i");
+  EXPECT_EQ(AffineExpr::term(1, 4, -2).toString(Names), "4*j - 2");
+  AffineExpr Mixed = AffineExpr::term(0, -1) + AffineExpr::term(1, 2, 3);
+  EXPECT_EQ(Mixed.toString(Names), "-i + 2*j + 3");
+}

@@ -1,0 +1,121 @@
+//===- tests/ir/ExprTest.cpp ----------------------------------*- C++ -*-===//
+
+#include "ir/Builder.h"
+#include "ir/Statement.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+KernelBuilder makeBuilder() {
+  KernelBuilder B("t");
+  B.array("A", ScalarType::Float32, {64});
+  B.array("Bb", ScalarType::Float32, {64});
+  B.scalar("x", ScalarType::Float32);
+  B.scalar("y", ScalarType::Float32);
+  return B;
+}
+
+} // namespace
+
+TEST(Expr, LeafAccessors) {
+  KernelBuilder B = makeBuilder();
+  ExprPtr E = B.c(2.5);
+  EXPECT_TRUE(E->isLeaf());
+  EXPECT_DOUBLE_EQ(E->leaf().constantValue(), 2.5);
+  EXPECT_EQ(E->numOps(), 0u);
+}
+
+TEST(Expr, TreeStructure) {
+  KernelBuilder B = makeBuilder();
+  ExprPtr E = B.add(B.mul(B.scalarRef(0), B.c(2.0)),
+                    B.load(0, {B.aff(3)}));
+  EXPECT_FALSE(E->isLeaf());
+  EXPECT_EQ(E->opcode(), OpCode::Add);
+  EXPECT_EQ(E->numChildren(), 2u);
+  EXPECT_EQ(E->numOps(), 2u);
+}
+
+TEST(Expr, CloneIsDeepAndEqual) {
+  KernelBuilder B = makeBuilder();
+  ExprPtr E = B.sub(B.load(0, {B.aff(1)}), B.neg(B.scalarRef(1)));
+  ExprPtr C = E->clone();
+  EXPECT_TRUE(E->equals(*C));
+  // Mutating the clone must not affect the original.
+  C->child(0).leaf() = Operand::makeConstant(9);
+  EXPECT_FALSE(E->equals(*C));
+}
+
+TEST(Expr, LeavesInPreOrder) {
+  KernelBuilder B = makeBuilder();
+  ExprPtr E = B.add(B.mul(B.scalarRef(0), B.scalarRef(1)),
+                    B.load(1, {B.aff(0)}));
+  std::vector<const Operand *> Leaves = E->leaves();
+  ASSERT_EQ(Leaves.size(), 3u);
+  EXPECT_EQ(Leaves[0]->symbol(), 0u);
+  EXPECT_EQ(Leaves[1]->symbol(), 1u);
+  EXPECT_TRUE(Leaves[2]->isArray());
+}
+
+TEST(Expr, ShapeSignatureSeparatesShapes) {
+  KernelBuilder B = makeBuilder();
+  ExprPtr Add = B.add(B.scalarRef(0), B.scalarRef(1));
+  ExprPtr Sub = B.sub(B.scalarRef(0), B.scalarRef(1));
+  ExprPtr AddArr = B.add(B.scalarRef(0), B.load(0, {B.aff(0)}));
+  EXPECT_NE(Add->shapeSignature(), Sub->shapeSignature());
+  EXPECT_NE(Add->shapeSignature(), AddArr->shapeSignature());
+}
+
+TEST(Expr, ShapeSignatureIgnoresWhichSymbol) {
+  KernelBuilder B = makeBuilder();
+  ExprPtr E1 = B.add(B.scalarRef(0), B.load(0, {B.aff(0)}));
+  ExprPtr E2 = B.add(B.scalarRef(1), B.load(1, {B.aff(5)}));
+  EXPECT_EQ(E1->shapeSignature(), E2->shapeSignature());
+}
+
+TEST(Statement, OperandPositionsStartWithLhs) {
+  KernelBuilder B = makeBuilder();
+  Statement S(B.arrayRef(0, {B.aff(1)}),
+              B.add(B.scalarRef(0), B.scalarRef(1)));
+  std::vector<const Operand *> Pos = S.operandPositions();
+  ASSERT_EQ(Pos.size(), 3u);
+  EXPECT_TRUE(Pos[0]->isArray());
+  EXPECT_TRUE(Pos[1]->isScalar());
+}
+
+TEST(Statement, IsomorphismSignatureDistinguishesLhsKind) {
+  KernelBuilder B = makeBuilder();
+  Statement SA(B.arrayRef(0, {B.aff(0)}), B.c(1.0));
+  Statement SS(B.scalarOp(0), B.c(1.0));
+  EXPECT_NE(SA.isomorphismSignature(), SS.isomorphismSignature());
+}
+
+TEST(Statement, CopyIsDeep) {
+  KernelBuilder B = makeBuilder();
+  Statement S(B.scalarOp(0), B.mul(B.scalarRef(1), B.c(3.0)));
+  Statement C = S;
+  C.rhs().child(1).leaf() = Operand::makeConstant(4.0);
+  EXPECT_DOUBLE_EQ(S.rhs().child(1).leaf().constantValue(), 3.0);
+}
+
+TEST(Operand, EqualityAndKeys) {
+  Operand C1 = Operand::makeConstant(1.5);
+  Operand C2 = Operand::makeConstant(1.5);
+  Operand C3 = Operand::makeConstant(2.5);
+  EXPECT_EQ(C1, C2);
+  EXPECT_NE(C1, C3);
+
+  Operand S1 = Operand::makeScalar(3);
+  Operand S2 = Operand::makeScalar(3);
+  EXPECT_EQ(S1, S2);
+  EXPECT_NE(S1.key(), C1.key());
+
+  Operand A1 = Operand::makeArray(0, {AffineExpr::term(0, 2, 1)});
+  Operand A2 = Operand::makeArray(0, {AffineExpr::term(0, 2, 1)});
+  Operand A3 = Operand::makeArray(0, {AffineExpr::term(0, 2, 2)});
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(A1, A3);
+  EXPECT_NE(A1.key(), A3.key());
+}

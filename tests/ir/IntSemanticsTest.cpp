@@ -1,0 +1,113 @@
+//===- tests/ir/IntSemanticsTest.cpp --------------------------*- C++ -*-===//
+//
+// Integer-typed locations truncate toward zero on store (a float-to-int
+// conversion at the assignment); the scalar and vector paths share the
+// same store helper, so equivalence tests keep both honest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include "ir/Parser.h"
+#include "slp/Pipeline.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+} // namespace
+
+TEST(IntSemantics, ScalarStoreTruncatesTowardZero) {
+  Kernel K = parse(R"(
+    kernel k { scalar int n, m;
+      n = 7.0 / 2.0;
+      m = 0.0 - 7.0 / 2.0;
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), 3.0);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(1), -3.0);
+}
+
+TEST(IntSemantics, ArrayStoreTruncates) {
+  Kernel K = parse(R"(
+    kernel k { array int A[4]; array long B[4];
+      A[0] = 2.75;
+      B[1] = -2.75;
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  EXPECT_DOUBLE_EQ(Env.arrayBuffer(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(Env.arrayBuffer(1)[1], -2.0);
+}
+
+TEST(IntSemantics, FloatStoresDoNotTruncate) {
+  Kernel K = parse(R"(
+    kernel k { scalar float f; array double D[2];
+      f = 2.75;
+      D[0] = -2.75;
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), 2.75);
+  EXPECT_DOUBLE_EQ(Env.arrayBuffer(0)[0], -2.75);
+}
+
+TEST(IntSemantics, IntermediateValuesStayExact) {
+  // Truncation happens only at the store, not mid-expression.
+  Kernel K = parse(R"(
+    kernel k { scalar int n;
+      n = (7.0 / 2.0) * 2.0;
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), 7.0); // 3.5 * 2, then trunc
+}
+
+TEST(IntSemantics, EnvironmentInitIsIntegral) {
+  Kernel K = parse(R"(
+    kernel k { scalar int n; array long B[64]; array float F[8];
+      n = 1.0;
+    })");
+  Environment Env(K, 77);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), std::trunc(Env.scalarValue(0)));
+  for (double V : Env.arrayBuffer(0))
+    EXPECT_DOUBLE_EQ(V, std::trunc(V));
+}
+
+TEST(IntSemantics, VectorizedIntKernelMatchesScalar) {
+  Kernel K = parse(R"(
+    kernel k { array int A[64] readonly; array int B[64];
+      loop i = 0 .. 64 {
+        B[i] = A[i] * 3.0 / 2.0;
+      }
+    })");
+  PipelineOptions Options;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, Options);
+  // Int32 lanes: four per 128-bit vector.
+  EXPECT_EQ(R.Preprocessed.Body.size(), 4u);
+  std::string Error;
+  EXPECT_TRUE(checkEquivalence(K, R, 55, &Error)) << Error;
+}
+
+TEST(IntSemantics, Int64UsesTwoLanes) {
+  Kernel K = parse(R"(
+    kernel k { array long A[64] readonly; array long B[64];
+      loop i = 0 .. 64 {
+        B[i] = A[i] + 1.0;
+      }
+    })");
+  PipelineOptions Options;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, Options);
+  EXPECT_EQ(R.Preprocessed.Body.size(), 2u);
+  EXPECT_TRUE(checkEquivalence(K, R, 56));
+}

@@ -1,0 +1,172 @@
+//===- tests/ir/InterpreterTest.cpp ---------------------------*- C++ -*-===//
+
+#include "ir/Interpreter.h"
+
+#include "ir/Builder.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+} // namespace
+
+TEST(Interpreter, StraightLineArithmetic) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = 2.0 + 3.0 * 4.0;
+      b = a - 10.0;
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), 14.0);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(1), 4.0);
+}
+
+TEST(Interpreter, MinMaxNegSqrtAbs) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d;
+      a = min(3.0, 2.0) + max(3.0, 2.0);
+      b = -a;
+      c = abs(b);
+      d = sqrt(16.0);
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), 5.0);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(1), -5.0);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(2), 5.0);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(3), 4.0);
+}
+
+TEST(Interpreter, LoopExecutesTripCountTimes) {
+  Kernel K = parse(R"(
+    kernel k { array float A[32];
+      loop i = 0 .. 32 { A[i] = 2.0; }
+    })");
+  Environment Env(K, 1);
+  ScalarExecStats Stats = runKernelScalar(K, Env);
+  EXPECT_EQ(Stats.ArrayStores, 32u);
+  for (double V : Env.arrayBuffer(0))
+    EXPECT_DOUBLE_EQ(V, 2.0);
+}
+
+TEST(Interpreter, SteppedLoop) {
+  Kernel K = parse(R"(
+    kernel k { array float A[32];
+      loop i = 0 .. 32 step 4 { A[i] = 1.0; }
+    })");
+  Environment Env(K, 99);
+  Environment Orig = Env;
+  runKernelScalar(K, Env);
+  for (unsigned I = 0; I != 32; ++I) {
+    if (I % 4 == 0)
+      EXPECT_DOUBLE_EQ(Env.arrayBuffer(0)[I], 1.0);
+    else
+      EXPECT_DOUBLE_EQ(Env.arrayBuffer(0)[I], Orig.arrayBuffer(0)[I]);
+  }
+}
+
+TEST(Interpreter, NestedLoopsRowMajor) {
+  Kernel K = parse(R"(
+    kernel k { array float A[4][4];
+      loop i = 0 .. 4 { loop j = 0 .. 4 {
+        A[i][j] = 1.0;
+        A[i][j] = A[i][j] + 1.0;
+      } }
+    })");
+  Environment Env(K, 1);
+  ScalarExecStats Stats = runKernelScalar(K, Env);
+  EXPECT_EQ(Stats.ArrayStores, 32u);
+  EXPECT_EQ(Stats.ArrayLoads, 16u);
+  for (double V : Env.arrayBuffer(0))
+    EXPECT_DOUBLE_EQ(V, 2.0);
+}
+
+TEST(Interpreter, ZeroTripLoopRunsNothing) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8]; scalar float s;
+      loop i = 4 .. 4 { A[i] = 0.0; s = 1.0; }
+    })");
+  Environment Env(K, 3);
+  Environment Orig = Env;
+  runKernelScalar(K, Env);
+  EXPECT_TRUE(Env.matches(Orig, 1, 1));
+}
+
+TEST(Interpreter, EmptyNestRunsBodyOnce) {
+  Kernel K = parse("kernel k { scalar float a; a = 5.0; }");
+  Environment Env(K, 1);
+  ScalarExecStats Stats = runKernelScalar(K, Env);
+  EXPECT_EQ(Stats.AluOps, 0u);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), 5.0);
+}
+
+TEST(Interpreter, ScalarDependenceChainWithinIteration) {
+  Kernel K = parse(R"(
+    kernel k { scalar float t; array float A[16] readonly; array float B[16];
+      loop i = 0 .. 16 {
+        t = A[i] * 2.0;
+        B[i] = t + 1.0;
+      }
+    })");
+  Environment Env(K, 17);
+  Environment Ref = Env;
+  runKernelScalar(K, Env);
+  for (unsigned I = 0; I != 16; ++I)
+    EXPECT_DOUBLE_EQ(Env.arrayBuffer(1)[I],
+                     Ref.arrayBuffer(0)[I] * 2.0 + 1.0);
+}
+
+TEST(Interpreter, EnvironmentDeterminism) {
+  Kernel K = parse("kernel k { scalar float a; array float A[64]; a = 1.0; }");
+  Environment E1(K, 42), E2(K, 42), E3(K, 43);
+  EXPECT_TRUE(E1.matches(E2, 1, 1));
+  EXPECT_FALSE(E1.matches(E3, 1, 1));
+}
+
+TEST(Interpreter, StatsCountLoadsAndOps) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8] readonly; array float B[8];
+      loop i = 0 .. 8 { B[i] = A[i] * A[i] + 1.0; }
+    })");
+  Environment Env(K, 1);
+  ScalarExecStats Stats = runKernelScalar(K, Env);
+  EXPECT_EQ(Stats.ArrayLoads, 16u);
+  EXPECT_EQ(Stats.ArrayStores, 8u);
+  EXPECT_EQ(Stats.AluOps, 16u);
+}
+
+TEST(Interpreter, FlattenArrayRefRowMajor) {
+  ArraySymbol A{"A", ScalarType::Float32, {4, 8}, false};
+  std::vector<AffineExpr> Subs{AffineExpr::term(0, 1),
+                               AffineExpr::term(1, 1, 2)};
+  AffineExpr Flat = flattenArrayRef(A, Subs);
+  // A[i][j+2] in a 4x8 array flattens to 8i + j + 2.
+  EXPECT_EQ(Flat.coeff(0), 8);
+  EXPECT_EQ(Flat.coeff(1), 1);
+  EXPECT_EQ(Flat.constant(), 2);
+}
+
+TEST(Interpreter, ForEachIterationOrder) {
+  KernelBuilder B("k");
+  B.loop("i", 0, 2);
+  B.loop("j", 0, 3);
+  Kernel K = B.take();
+  std::vector<std::vector<int64_t>> Seen;
+  forEachIteration(K, [&Seen](const std::vector<int64_t> &I) {
+    Seen.push_back(I);
+  });
+  ASSERT_EQ(Seen.size(), 6u);
+  EXPECT_EQ(Seen.front(), (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(Seen[1], (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(Seen.back(), (std::vector<int64_t>{1, 2}));
+}

@@ -1,0 +1,173 @@
+//===- tests/ir/ParserTest.cpp --------------------------------*- C++ -*-===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parseOk(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage << " (line " << R.ErrorLine
+                             << ")";
+  return std::move(*R.TheKernel);
+}
+
+} // namespace
+
+TEST(Parser, MinimalKernel) {
+  Kernel K = parseOk("kernel k { scalar float a; a = 1.0; }");
+  EXPECT_EQ(K.Name, "k");
+  EXPECT_EQ(K.Scalars.size(), 1u);
+  EXPECT_EQ(K.Body.size(), 1u);
+  EXPECT_TRUE(K.Loops.empty());
+}
+
+TEST(Parser, Declarations) {
+  Kernel K = parseOk(R"(
+    kernel decls {
+      scalar double x, y;
+      scalar int n;
+      array float A[16][8] readonly;
+      array long B[32];
+      x = y;
+    })");
+  EXPECT_EQ(K.Scalars.size(), 3u);
+  EXPECT_EQ(K.Scalars[0].Ty, ScalarType::Float64);
+  EXPECT_EQ(K.Scalars[2].Ty, ScalarType::Int32);
+  ASSERT_EQ(K.Arrays.size(), 2u);
+  EXPECT_TRUE(K.Arrays[0].ReadOnly);
+  EXPECT_EQ(K.Arrays[0].DimSizes, (std::vector<int64_t>{16, 8}));
+  EXPECT_EQ(K.Arrays[0].numElements(), 128);
+  EXPECT_EQ(K.Arrays[1].Ty, ScalarType::Int64);
+}
+
+TEST(Parser, LoopNestAndSubscripts) {
+  Kernel K = parseOk(R"(
+    kernel nest {
+      array float A[64][64];
+      loop i = 0 .. 16 step 2 {
+        loop j = 1 .. 17 {
+          A[2*i + 1][j - 1] = A[i][j] + 1.5;
+        }
+      }
+    })");
+  ASSERT_EQ(K.Loops.size(), 2u);
+  EXPECT_EQ(K.Loops[0].Step, 2);
+  EXPECT_EQ(K.Loops[0].tripCount(), 8);
+  EXPECT_EQ(K.Loops[1].tripCount(), 16);
+  const Operand &Lhs = K.Body.statement(0).lhs();
+  ASSERT_TRUE(Lhs.isArray());
+  EXPECT_EQ(Lhs.subscripts()[0], AffineExpr::term(0, 2, 1));
+  EXPECT_EQ(Lhs.subscripts()[1], AffineExpr::term(1, 1, -1));
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  Kernel K = parseOk(R"(
+    kernel prec { scalar float a, b, c;
+      a = b + c * 2.0;
+      b = (a + c) * 2.0;
+      c = -a * b;
+    })");
+  // b + (c*2): root is Add.
+  EXPECT_EQ(K.Body.statement(0).rhs().opcode(), OpCode::Add);
+  // (a+c)*2: root is Mul.
+  EXPECT_EQ(K.Body.statement(1).rhs().opcode(), OpCode::Mul);
+  // (-a)*b: root is Mul with Neg child.
+  EXPECT_EQ(K.Body.statement(2).rhs().opcode(), OpCode::Mul);
+  EXPECT_EQ(K.Body.statement(2).rhs().child(0).opcode(), OpCode::Neg);
+}
+
+TEST(Parser, IntrinsicCalls) {
+  Kernel K = parseOk(R"(
+    kernel fns { scalar float a, b;
+      a = min(a, b) + max(b, 1.0);
+      b = sqrt(abs(a));
+    })");
+  EXPECT_EQ(K.Body.statement(0).rhs().child(0).opcode(), OpCode::Min);
+  EXPECT_EQ(K.Body.statement(0).rhs().child(1).opcode(), OpCode::Max);
+  EXPECT_EQ(K.Body.statement(1).rhs().opcode(), OpCode::Sqrt);
+}
+
+TEST(Parser, Comments) {
+  Kernel K = parseOk(R"(
+    kernel c { // a comment
+      scalar float a; // trailing
+      a = 2.0; // after statement
+    })");
+  EXPECT_EQ(K.Body.size(), 1u);
+}
+
+TEST(Parser, ErrorUnknownSymbol) {
+  ParseResult R = parseKernel("kernel k { scalar float a; a = zzz; }");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.ErrorMessage.find("zzz"), std::string::npos);
+}
+
+TEST(Parser, ErrorDuplicateSymbol) {
+  ParseResult R =
+      parseKernel("kernel k { scalar float a; array float a[4]; a = 1.0; }");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(Parser, ErrorSubscriptArity) {
+  ParseResult R = parseKernel(
+      "kernel k { array float A[4][4]; loop i = 0..4 { A[i] = 1.0; } }");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(Parser, ErrorBadLoopStep) {
+  ParseResult R = parseKernel(
+      "kernel k { array float A[8]; loop i = 0..4 step 0 { A[i] = 1.0; } }");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(Parser, ErrorUnknownIndexInSubscript) {
+  ParseResult R = parseKernel(
+      "kernel k { array float A[8]; loop i = 0..4 { A[j] = 1.0; } }");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(Parser, ErrorReportsLine) {
+  ParseResult R = parseKernel("kernel k {\n  scalar float a;\n  a = @;\n}");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_EQ(R.ErrorLine, 3u);
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const char *Src = R"(
+    kernel round {
+      scalar float p, q;
+      array float A[128] readonly;
+      array double B[64][2];
+      loop i = 0 .. 32 step 2 {
+        p = A[3*i + 1] * 0.5;
+        B[i][1] = p + q - min(p, 2.0);
+      }
+    })";
+  Kernel K1 = parseOk(Src);
+  std::string Printed = printKernel(K1);
+  Kernel K2 = parseOk(Printed);
+  // Printing the reparsed kernel must reproduce the same text (fixpoint).
+  EXPECT_EQ(Printed, printKernel(K2));
+  EXPECT_EQ(K1.Body.size(), K2.Body.size());
+  for (unsigned I = 0; I != K1.Body.size(); ++I)
+    EXPECT_TRUE(
+        K1.Body.statement(I).rhs().equals(K2.Body.statement(I).rhs()));
+}
+
+TEST(Parser, NegativeSubscriptConstant) {
+  Kernel K = parseOk(R"(
+    kernel neg {
+      array float A[64];
+      loop i = 2 .. 34 {
+        A[i - 2] = A[2*i - 1] + A[i];
+      }
+    })");
+  const Expr &Rhs = K.Body.statement(0).rhs();
+  EXPECT_EQ(Rhs.child(0).leaf().subscripts()[0],
+            AffineExpr::term(0, 2, -1));
+}

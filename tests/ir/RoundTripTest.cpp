@@ -1,0 +1,77 @@
+//===- tests/ir/RoundTripTest.cpp -----------------------------*- C++ -*-===//
+//
+// Property: printing any (random) kernel and re-parsing the text yields a
+// structurally identical kernel, and both compute identical results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+class PrintParseRoundTrip : public testing::TestWithParam<uint64_t> {};
+
+void expectStructurallyEqual(const Kernel &A, const Kernel &B) {
+  ASSERT_EQ(A.Scalars.size(), B.Scalars.size());
+  ASSERT_EQ(A.Arrays.size(), B.Arrays.size());
+  for (unsigned I = 0; I != A.Arrays.size(); ++I) {
+    EXPECT_EQ(A.Arrays[I].Name, B.Arrays[I].Name);
+    EXPECT_EQ(A.Arrays[I].DimSizes, B.Arrays[I].DimSizes);
+    EXPECT_EQ(A.Arrays[I].ReadOnly, B.Arrays[I].ReadOnly);
+    EXPECT_EQ(A.Arrays[I].Ty, B.Arrays[I].Ty);
+  }
+  ASSERT_EQ(A.Loops.size(), B.Loops.size());
+  for (unsigned I = 0; I != A.Loops.size(); ++I) {
+    EXPECT_EQ(A.Loops[I].Lower, B.Loops[I].Lower);
+    EXPECT_EQ(A.Loops[I].Upper, B.Loops[I].Upper);
+    EXPECT_EQ(A.Loops[I].Step, B.Loops[I].Step);
+  }
+  ASSERT_EQ(A.Body.size(), B.Body.size());
+  for (unsigned I = 0; I != A.Body.size(); ++I) {
+    EXPECT_TRUE(A.Body.statement(I).lhs() == B.Body.statement(I).lhs());
+    EXPECT_TRUE(A.Body.statement(I).rhs().equals(B.Body.statement(I).rhs()));
+  }
+}
+
+} // namespace
+
+TEST_P(PrintParseRoundTrip, RandomKernels) {
+  Rng R(GetParam());
+  RandomKernelOptions Options;
+  Kernel K = randomKernel(R, Options);
+
+  std::string Text = printKernel(K);
+  ParseResult Reparsed = parseKernel(Text);
+  ASSERT_TRUE(Reparsed.succeeded())
+      << Reparsed.ErrorMessage << "\nsource:\n"
+      << Text;
+  expectStructurallyEqual(K, *Reparsed.TheKernel);
+
+  // Semantics: identical executions.
+  Environment EnvA(K, GetParam());
+  runKernelScalar(K, EnvA);
+  Environment EnvB(*Reparsed.TheKernel, GetParam());
+  runKernelScalar(*Reparsed.TheKernel, EnvB);
+  EXPECT_TRUE(EnvA.matches(EnvB, static_cast<unsigned>(K.Scalars.size()),
+                           static_cast<unsigned>(K.Arrays.size())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrintParseRoundTrip,
+                         testing::Range<uint64_t>(100, 140));
+
+TEST(PrintParseRoundTrip, SuiteKernels) {
+  for (const Workload &W : standardWorkloads()) {
+    std::string Text = printKernel(W.TheKernel);
+    ParseResult Reparsed = parseKernel(Text);
+    ASSERT_TRUE(Reparsed.succeeded()) << W.Name << ": "
+                                      << Reparsed.ErrorMessage;
+    expectStructurallyEqual(W.TheKernel, *Reparsed.TheKernel);
+  }
+}

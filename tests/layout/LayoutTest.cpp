@@ -1,0 +1,274 @@
+//===- tests/layout/LayoutTest.cpp ----------------------------*- C++ -*-===//
+
+#include "layout/Layout.h"
+
+#include "analysis/Alignment.h"
+#include "ir/Parser.h"
+#include "slp/Scheduling.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+Schedule make(std::vector<std::vector<unsigned>> Items) {
+  Schedule S;
+  for (auto &I : Items)
+    S.Items.push_back(ScheduleItem{std::move(I)});
+  return S;
+}
+
+} // namespace
+
+TEST(ScalarLayoutOpt, AssignsConsecutiveAlignedSlots) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d; array float A[8] readonly;
+      a = A[0] * 2.0;
+      b = A[1] * 2.0;
+      c = A[2] * 2.0;
+      d = A[3] * 2.0;
+    })");
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1, 2, 3}}), LO);
+  EXPECT_EQ(R.ScalarPacksPlaced, 1u);
+  // Slots a..d consecutive ascending from an aligned base.
+  EXPECT_EQ(R.Scalars.Slots[0] % 4, 0);
+  for (unsigned I = 1; I != 4; ++I)
+    EXPECT_EQ(R.Scalars.Slots[I], R.Scalars.Slots[0] + I);
+  Operand SA = Operand::makeScalar(0), SB = Operand::makeScalar(1),
+          SC = Operand::makeScalar(2), SD = Operand::makeScalar(3);
+  EXPECT_TRUE(R.Scalars.contiguousAligned({&SA, &SB, &SC, &SD}));
+}
+
+TEST(ScalarLayoutOpt, SlotOrderFollowsLaneOrder) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b; array float A[8] readonly;
+      a = A[0] * 2.0;
+      b = A[1] * 2.0;
+    })");
+  LayoutOptions LO;
+  // Lane order (b, a): b must get the lower slot.
+  LayoutResult R = optimizeDataLayout(K, make({{1, 0}}), LO);
+  EXPECT_LT(R.Scalars.Slots[1], R.Scalars.Slots[0]);
+}
+
+TEST(ScalarLayoutOpt, ConflictingPacksResolvedByFrequency) {
+  // Pack <a,b> occurs twice, <b,c> once; they share b so only <a,b> is
+  // placed.
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c; array float A[16] readonly;
+      array float B[16];
+      a = A[0] * 2.0;
+      b = A[1] * 2.0;
+      B[0] = a + 1.0;
+      B[1] = b + 1.0;
+      B[4] = b - 1.0;
+      B[5] = c - 1.0;
+      c = A[2] * 4.0;
+    })");
+  // Groups: (0,1) lhs <a,b>; (2,3) operands <a,b>; (4,5) operands <b,c>.
+  LayoutOptions LO;
+  LayoutResult R =
+      optimizeDataLayout(K, make({{0, 1}, {2, 3}, {4, 5}, {6}}), LO);
+  EXPECT_EQ(R.ScalarPacksPlaced, 1u);
+  EXPECT_EQ(R.Scalars.Slots[1], R.Scalars.Slots[0] + 1); // a,b adjacent
+  Operand SB = Operand::makeScalar(1), SC = Operand::makeScalar(2);
+  EXPECT_FALSE(R.Scalars.contiguousAligned({&SB, &SC}));
+}
+
+TEST(ScalarLayoutOpt, BroadcastPacksSkipped) {
+  Kernel K = parse(R"(
+    kernel k { scalar float p; array float A[8] readonly; array float B[8];
+      B[0] = A[0] * p;
+      B[1] = A[1] * p;
+    })");
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1}}), LO);
+  EXPECT_EQ(R.ScalarPacksPlaced, 0u);
+}
+
+TEST(ArrayLayoutOpt, ReplicatesStridedReadOnlyPack) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64] readonly; array float B[16];
+      loop i = 0 .. 8 {
+        B[2*i]   = A[4*i] * 2.0;
+        B[2*i+1] = A[4*i+2] * 2.0;
+      }
+    })");
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1}}), LO);
+  ASSERT_EQ(R.ArrayPacksReplicated, 1u);
+  ASSERT_EQ(R.Replications.size(), 1u);
+  // Replica holds 2 lanes x 8 iterations.
+  const ArraySymbol &Replica =
+      R.TransformedKernel.array(R.Replications[0].DestArray);
+  EXPECT_EQ(Replica.numElements(), 16);
+  EXPECT_TRUE(Replica.ReadOnly);
+  EXPECT_DOUBLE_EQ(R.ReplicatedBytes, 16 * 4.0);
+  // The rewritten refs form a contiguous aligned pack.
+  std::vector<const Operand *> NewPack{
+      K.Body.statement(0).operandPositions().size() > 1
+          ? R.TransformedKernel.Body.statement(0).operandPositions()[1]
+          : nullptr,
+      R.TransformedKernel.Body.statement(1).operandPositions()[1]};
+  ASSERT_TRUE(NewPack[0] && NewPack[1]);
+  EXPECT_EQ(classifyArrayPack(R.TransformedKernel, NewPack),
+            PackShape::ContiguousAligned);
+}
+
+TEST(ArrayLayoutOpt, ReplicaInitializationMatchesMapping) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64] readonly; array float B[16];
+      loop i = 0 .. 8 {
+        B[2*i]   = A[4*i] * 2.0;
+        B[2*i+1] = A[4*i+3] * 2.0;
+      }
+    })");
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1}}), LO);
+  ASSERT_EQ(R.Replications.size(), 1u);
+
+  Environment Env(K, 77);
+  Env.addArrayStorage(
+      R.TransformedKernel.array(R.Replications[0].DestArray).numElements());
+  initializeReplicas(R.TransformedKernel, R, Env);
+  const std::vector<double> &A = Env.arrayBuffer(0);
+  const std::vector<double> &Repl = Env.arrayBuffer(2);
+  for (int64_t I = 0; I != 8; ++I) {
+    EXPECT_DOUBLE_EQ(Repl[static_cast<size_t>(2 * I)],
+                     A[static_cast<size_t>(4 * I)]);
+    EXPECT_DOUBLE_EQ(Repl[static_cast<size_t>(2 * I + 1)],
+                     A[static_cast<size_t>(4 * I + 3)]);
+  }
+}
+
+TEST(ArrayLayoutOpt, WrittenArraysNotReplicated) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64]; array float B[16];
+      loop i = 0 .. 8 {
+        B[2*i]   = A[4*i] * 2.0;
+        B[2*i+1] = A[4*i+2] * 2.0;
+        A[4*i+1] = 0.0;
+      }
+    })");
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1}, {2}}), LO);
+  EXPECT_EQ(R.ArrayPacksReplicated, 0u);
+}
+
+TEST(ArrayLayoutOpt, NonReadonlyDeclarationNotReplicated) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64]; array float B[16];
+      loop i = 0 .. 8 {
+        B[2*i]   = A[4*i] * 2.0;
+        B[2*i+1] = A[4*i+2] * 2.0;
+      }
+    })");
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1}}), LO);
+  EXPECT_EQ(R.ArrayPacksReplicated, 0u);
+}
+
+TEST(ArrayLayoutOpt, ContiguousAlignedPackNotReplicated) {
+  Kernel K = parse(R"(
+    kernel k { array float A[32] readonly; array float B[32];
+      loop i = 0 .. 8 {
+        B[4*i]   = A[4*i] * 2.0;
+        B[4*i+1] = A[4*i+1] * 2.0;
+        B[4*i+2] = A[4*i+2] * 2.0;
+        B[4*i+3] = A[4*i+3] * 2.0;
+      }
+    })");
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1, 2, 3}}), LO);
+  EXPECT_EQ(R.ArrayPacksReplicated, 0u);
+}
+
+TEST(ArrayLayoutOpt, OverlappingPacksGetSeparateReplicas) {
+  // The Figure 15 situation: two packs share the reference A[4i+2].
+  Kernel K = parse(R"(
+    kernel k { array float A[64] readonly; array float B[32];
+      loop i = 0 .. 8 {
+        B[2*i]   = A[4*i] + A[4*i+2];
+        B[2*i+1] = A[4*i+2] + A[4*i+4];
+      }
+    })");
+  // Group lanes (0,1): position packs <A[4i],A[4i+2]> and
+  // <A[4i+2],A[4i+4]> overlap on A[4i+2].
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1}}), LO);
+  EXPECT_EQ(R.ArrayPacksReplicated, 2u);
+  EXPECT_EQ(R.TransformedKernel.Arrays.size(), 4u);
+}
+
+TEST(ArrayLayoutOpt, SamePackTwiceReplicatedOnce) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64] readonly; array float B[32]; array float C[32];
+      loop i = 0 .. 8 {
+        B[2*i]   = A[4*i] * 2.0;
+        B[2*i+1] = A[4*i+2] * 2.0;
+        C[2*i]   = A[4*i] * 3.0;
+        C[2*i+1] = A[4*i+2] * 3.0;
+      }
+    })");
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1}, {2, 3}}), LO);
+  EXPECT_EQ(R.ArrayPacksReplicated, 1u);
+  // Both statement pairs now reference the same replica.
+  const Operand *Ref1 =
+      R.TransformedKernel.Body.statement(0).operandPositions()[1];
+  const Operand *Ref2 =
+      R.TransformedKernel.Body.statement(2).operandPositions()[1];
+  EXPECT_EQ(Ref1->symbol(), Ref2->symbol());
+}
+
+TEST(ArrayLayoutOpt, DisabledOptionsProduceNoChanges) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b; array float A[64] readonly; array float B[16];
+      loop i = 0 .. 8 {
+        a = A[4*i] * 2.0;
+        b = A[4*i+2] * 2.0;
+        B[2*i]   = a + 1.0;
+        B[2*i+1] = b + 1.0;
+      }
+    })");
+  LayoutOptions Off;
+  Off.OptimizeScalars = false;
+  Off.OptimizeArrays = false;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1}, {2, 3}}), Off);
+  EXPECT_EQ(R.ScalarPacksPlaced, 0u);
+  EXPECT_EQ(R.ArrayPacksReplicated, 0u);
+  EXPECT_EQ(R.ReplicatedBytes, 0.0);
+}
+
+TEST(ArrayLayoutOpt, MultiDimSourceFlattened) {
+  Kernel K = parse(R"(
+    kernel k { array float M[8][8] readonly; array float B[16];
+      loop i = 0 .. 8 {
+        B[2*i]   = M[i][0] * 2.0;
+        B[2*i+1] = M[i][4] * 2.0;
+      }
+    })");
+  LayoutOptions LO;
+  LayoutResult R = optimizeDataLayout(K, make({{0, 1}}), LO);
+  ASSERT_EQ(R.ArrayPacksReplicated, 1u);
+  Environment Env(K, 5);
+  Env.addArrayStorage(16);
+  initializeReplicas(R.TransformedKernel, R, Env);
+  const std::vector<double> &M = Env.arrayBuffer(0);
+  const std::vector<double> &Repl = Env.arrayBuffer(2);
+  // Row-major: M[i][0] = flat 8i; M[i][4] = flat 8i+4.
+  for (int64_t I = 0; I != 8; ++I) {
+    EXPECT_DOUBLE_EQ(Repl[static_cast<size_t>(2 * I)],
+                     M[static_cast<size_t>(8 * I)]);
+    EXPECT_DOUBLE_EQ(Repl[static_cast<size_t>(2 * I + 1)],
+                     M[static_cast<size_t>(8 * I + 4)]);
+  }
+}

@@ -1,0 +1,163 @@
+//===- tests/machine/CostModelTest.cpp ------------------------*- C++ -*-===//
+
+#include "machine/CostModel.h"
+
+#include "ir/Parser.h"
+#include "slp/Scheduling.h"
+#include "vector/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+VectorProgram gen(const Kernel &K, std::vector<std::vector<unsigned>> Items) {
+  Schedule S;
+  for (auto &I : Items)
+    S.Items.push_back(ScheduleItem{std::move(I)});
+  CodeGenOptions CG;
+  return generateVectorProgram(
+      K, S, CG,
+      ScalarLayout::defaultLayout(static_cast<unsigned>(K.Scalars.size())));
+}
+
+const MachineModel Intel = MachineModel::intelDunnington();
+
+} // namespace
+
+TEST(CostModel, ScalarStatementCost) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8] readonly; array float B[8];
+      B[0] = A[0] * 2.0 + A[1];
+    })");
+  BlockCost C = costScalarBlock(K, Intel);
+  // 2 loads + 2 ALU + 1 store.
+  EXPECT_EQ(C.MemOps, 3u);
+  EXPECT_EQ(C.CoreInstrs, 5u);
+  EXPECT_EQ(C.PackUnpackInstrs, 0u);
+  EXPECT_DOUBLE_EQ(C.Cycles, 2 * Intel.ScalarLoad + 2 * Intel.ScalarAlu +
+                                 Intel.ScalarStore);
+}
+
+TEST(CostModel, ScalarDivisionCostsMore) {
+  Kernel Mul = parse("kernel k { scalar float a, b; a = b * b; }");
+  Kernel Div = parse("kernel k { scalar float a, b; a = b / b; }");
+  EXPECT_GT(costScalarBlock(Div, Intel).Cycles,
+            costScalarBlock(Mul, Intel).Cycles);
+}
+
+TEST(CostModel, ContiguousVectorCheaperThanScalar) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8] readonly; array float B[8];
+      B[0] = A[0] * 2.0;
+      B[1] = A[1] * 2.0;
+      B[2] = A[2] * 2.0;
+      B[3] = A[3] * 2.0;
+    })");
+  BlockCost Scalar = costScalarBlock(K, Intel);
+  BlockCost Vector = costVectorProgram(K, gen(K, {{0, 1, 2, 3}}), Intel);
+  EXPECT_LT(Vector.Cycles, Scalar.Cycles);
+  EXPECT_LT(Vector.MemOps, Scalar.MemOps);
+}
+
+TEST(CostModel, GatherChargesLoadsAndInserts) {
+  Kernel K = parse(R"(
+    kernel k { array float A[32] readonly; array float B[32];
+      B[0] = A[0] + 1.0;
+      B[2] = A[8] + 1.0;
+    })");
+  BlockCost C = costVectorProgram(K, gen(K, {{0, 1}}), Intel);
+  // Gather load: 2 loads + 1 insert; const pack; vop; scatter store:
+  // 2 stores + 1 extract.
+  EXPECT_EQ(C.MemOps, 4u);
+  EXPECT_EQ(C.PackUnpackInstrs, 2u); // 1 insert + 1 extract
+  double Expected = 2 * Intel.ScalarLoad + Intel.InsertElem +
+                    Intel.ConstMaterialize + Intel.SimdAlu +
+                    2 * Intel.ScalarStore + Intel.ExtractElem;
+  EXPECT_DOUBLE_EQ(C.Cycles, Expected);
+}
+
+TEST(CostModel, UnalignedCostsMoreThanAligned) {
+  Kernel Aligned = parse(R"(
+    kernel k { array float A[16] readonly; array float B[16];
+      B[0] = A[0] + 1.0;
+      B[1] = A[1] + 1.0;
+      B[2] = A[2] + 1.0;
+      B[3] = A[3] + 1.0;
+    })");
+  Kernel Unaligned = parse(R"(
+    kernel k { array float A[16] readonly; array float B[16];
+      B[0] = A[1] + 1.0;
+      B[1] = A[2] + 1.0;
+      B[2] = A[3] + 1.0;
+      B[3] = A[4] + 1.0;
+    })");
+  EXPECT_LT(
+      costVectorProgram(Aligned, gen(Aligned, {{0, 1, 2, 3}}), Intel).Cycles,
+      costVectorProgram(Unaligned, gen(Unaligned, {{0, 1, 2, 3}}), Intel)
+          .Cycles);
+}
+
+TEST(CostModel, ReuseEliminatesLoadCost) {
+  Kernel Reuse = parse(R"(
+    kernel k { array float A[8] readonly; array float B[8]; array float C[8];
+      B[0] = A[0] * 2.0;
+      B[1] = A[1] * 2.0;
+      C[0] = A[0] * 2.0;
+      C[1] = A[1] * 2.0;
+    })");
+  BlockCost Two = costVectorProgram(Reuse, gen(Reuse, {{0, 1}, {2, 3}}),
+                                    Intel);
+  // Second group reuses <A[0],A[1]> and the <2,2> splat: only one extra
+  // vop and one extra store.
+  BlockCost One = costVectorProgram(Reuse, gen(Reuse, {{0, 1}, {2}, {3}}),
+                                    Intel);
+  EXPECT_LT(Two.Cycles, One.Cycles);
+}
+
+TEST(CostModel, AmdPackingCostsHigher) {
+  MachineModel Amd = MachineModel::amdPhenomII();
+  Kernel K = parse(R"(
+    kernel k { array float A[32] readonly; array float B[32];
+      B[0] = A[0] + A[8];
+      B[2] = A[2] + A[10];
+    })");
+  VectorProgram P = gen(K, {{0, 1}});
+  BlockCost OnIntel = costVectorProgram(K, P, Intel);
+  BlockCost OnAmd = costVectorProgram(K, P, Amd);
+  EXPECT_GT(OnAmd.Cycles, OnIntel.Cycles);
+  // Same instruction mix, different prices.
+  EXPECT_EQ(OnAmd.PackUnpackInstrs, OnIntel.PackUnpackInstrs);
+}
+
+TEST(CostModel, ScalarExecInsideVectorProgram) {
+  Kernel K = parse("kernel k { scalar float a, b; a = b * 2.0; }");
+  Schedule S;
+  S.Items.push_back(ScheduleItem{{0}});
+  CodeGenOptions CG;
+  VectorProgram P = generateVectorProgram(
+      K, S, CG, ScalarLayout::defaultLayout(2));
+  BlockCost Vec = costVectorProgram(K, P, Intel);
+  BlockCost Sca = costScalarBlock(K, Intel);
+  EXPECT_DOUBLE_EQ(Vec.Cycles, Sca.Cycles);
+  EXPECT_EQ(Vec.totalInstrs(), Sca.totalInstrs());
+}
+
+TEST(CostModel, ShuffleCounted) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d; array float A[8] readonly;
+      a = A[0] * 2.0;
+      b = A[1] * 2.0;
+      c = b + 1.0;
+      d = a + 1.0;
+    })");
+  BlockCost C = costVectorProgram(K, gen(K, {{0, 1}, {2, 3}}), Intel);
+  EXPECT_GE(C.PackUnpackInstrs, 1u); // the permuted reuse shuffle
+}

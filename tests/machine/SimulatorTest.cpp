@@ -1,0 +1,180 @@
+//===- tests/machine/SimulatorTest.cpp ------------------------*- C++ -*-===//
+
+#include "machine/Multicore.h"
+#include "machine/Simulator.h"
+
+#include "ir/Parser.h"
+#include "slp/Scheduling.h"
+#include "vector/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+const MachineModel Intel = MachineModel::intelDunnington();
+
+} // namespace
+
+TEST(Simulator, UniqueBytesCountsDistinctRefsOnce) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8] readonly; array float B[8];
+      B[0] = A[0] + A[0] + A[1];
+      B[0] = B[0] * 2.0;
+    })");
+  // Distinct refs: A[0], A[1], B[0] -> 12 bytes (float).
+  EXPECT_DOUBLE_EQ(uniqueBytesPerIteration(K), 12.0);
+}
+
+TEST(Simulator, UniqueBytesHonorsElementSize) {
+  Kernel K = parse(R"(
+    kernel k { array double D[8]; D[0] = 1.0; })");
+  EXPECT_DOUBLE_EQ(uniqueBytesPerIteration(K), 8.0);
+}
+
+TEST(Simulator, FootprintSumsArrays) {
+  Kernel K = parse(R"(
+    kernel k { array float A[100]; array double D[50]; A[0] = 1.0; })");
+  EXPECT_DOUBLE_EQ(dataFootprintBytes(K), 100 * 4.0 + 50 * 8.0);
+  EXPECT_DOUBLE_EQ(dataFootprintBytes(K, 64), 800.0 + 64.0);
+}
+
+TEST(Simulator, CachePressureTiers) {
+  EXPECT_DOUBLE_EQ(cachePressureFactor(Intel, 1024.0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      cachePressureFactor(Intel, (Intel.L2TotalKB + 1) * 1024.0), 1.25);
+  EXPECT_DOUBLE_EQ(
+      cachePressureFactor(Intel, (Intel.L3TotalKB + 1) * 1024.0), 1.6);
+}
+
+TEST(Simulator, ScalarSimScalesWithTripCount) {
+  Kernel Small = parse(R"(
+    kernel k { array float A[64]; loop i = 0 .. 32 { A[i] = 1.0; } })");
+  Kernel Large = parse(R"(
+    kernel k { array float A[64]; loop i = 0 .. 64 { A[i] = 1.0; } })");
+  KernelSimResult S = simulateScalarKernel(Small, Intel);
+  KernelSimResult L = simulateScalarKernel(Large, Intel);
+  EXPECT_DOUBLE_EQ(L.ComputeCycles, 2 * S.ComputeCycles);
+  EXPECT_EQ(L.MemOps, 2 * S.MemOps);
+}
+
+TEST(Simulator, TrafficTermIdenticalForScalarAndVector) {
+  Kernel K = parse(R"(
+    kernel k { array float A[32] readonly; array float B[32];
+      loop i = 0 .. 8 {
+        B[4*i]   = A[4*i] + 1.0;
+        B[4*i+1] = A[4*i+1] + 1.0;
+        B[4*i+2] = A[4*i+2] + 1.0;
+        B[4*i+3] = A[4*i+3] + 1.0;
+      }
+    })");
+  Schedule S;
+  S.Items.push_back(ScheduleItem{{0, 1, 2, 3}});
+  CodeGenOptions CG;
+  VectorProgram P =
+      generateVectorProgram(K, S, CG, ScalarLayout::defaultLayout(0));
+  KernelSimResult Sc = simulateScalarKernel(K, Intel);
+  KernelSimResult Ve = simulateVectorKernel(K, P, Intel);
+  EXPECT_DOUBLE_EQ(Sc.TrafficCycles, Ve.TrafficCycles);
+  EXPECT_LT(Ve.ComputeCycles, Sc.ComputeCycles);
+  EXPECT_GT(timeReduction(Sc, Ve), 0.0);
+}
+
+TEST(Simulator, ReplicationChargedAndAmortized) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16]; loop i = 0 .. 16 { A[i] = 1.0; } })");
+  Schedule S;
+  for (unsigned I = 0; I != 1; ++I)
+    S.Items.push_back(ScheduleItem{{0}});
+  CodeGenOptions CG;
+  VectorProgram P =
+      generateVectorProgram(K, S, CG, ScalarLayout::defaultLayout(0));
+  KernelSimResult NoRepl = simulateVectorKernel(K, P, Intel, 0);
+  KernelSimResult Repl =
+      simulateVectorKernel(K, P, Intel, /*ReplicatedBytes=*/4096,
+                           /*KernelInvocations=*/1);
+  KernelSimResult ReplAmortized =
+      simulateVectorKernel(K, P, Intel, 4096, /*KernelInvocations=*/100);
+  EXPECT_GT(Repl.OneTimeCycles, 0.0);
+  EXPECT_DOUBLE_EQ(Repl.OneTimeCycles / 100.0,
+                   ReplAmortized.OneTimeCycles);
+  EXPECT_GT(Repl.Cycles, NoRepl.Cycles - 1e-9);
+}
+
+TEST(Simulator, TimeReductionSigns) {
+  KernelSimResult Base, Better, Worse;
+  Base.Cycles = 100;
+  Better.Cycles = 80;
+  Worse.Cycles = 120;
+  EXPECT_DOUBLE_EQ(timeReduction(Base, Better), 0.2);
+  EXPECT_LT(timeReduction(Base, Worse), 0.0);
+}
+
+TEST(Multicore, ContentionGrowsRelativeAdvantage) {
+  // Vector issues fewer memory transactions; its relative improvement
+  // should grow (slightly) with the core count — the Figure 21 mechanism.
+  KernelSimResult Scalar, Vector;
+  Scalar.ComputeCycles = 1000;
+  Scalar.TrafficCycles = 500;
+  Scalar.MemOps = 1000;
+  Scalar.Cycles = 1500;
+  Vector.ComputeCycles = 700;
+  Vector.TrafficCycles = 500;
+  Vector.MemOps = 300;
+  Vector.Cycles = 1200;
+  MulticoreParams P{0.02, 0.002};
+  double R1 = multicoreTimeReduction(Scalar, Vector, Intel, 1, P);
+  double R6 = multicoreTimeReduction(Scalar, Vector, Intel, 6, P);
+  double R12 = multicoreTimeReduction(Scalar, Vector, Intel, 12, P);
+  EXPECT_GT(R6, R1);
+  EXPECT_GT(R12, R6);
+  EXPECT_LT(R12, R1 + 0.15); // "slightly", not wildly
+}
+
+TEST(Multicore, SingleCoreMatchesPlainRatio) {
+  KernelSimResult Scalar, Vector;
+  Scalar.ComputeCycles = 900;
+  Scalar.TrafficCycles = 100;
+  Scalar.Cycles = 1000;
+  Vector.ComputeCycles = 700;
+  Vector.TrafficCycles = 100;
+  Vector.Cycles = 800;
+  MulticoreParams P{0.05, 0.001};
+  double R = multicoreTimeReduction(Scalar, Vector, Intel, 1, P);
+  EXPECT_NEAR(R, 0.2, 1e-9);
+}
+
+TEST(Multicore, MoreCoresReduceAbsoluteTime) {
+  KernelSimResult R;
+  R.ComputeCycles = 1000;
+  R.TrafficCycles = 200;
+  R.MemOps = 100;
+  MulticoreParams P{0.05, 0.001};
+  double T1 = multicoreCycles(R, Intel, 1, P);
+  double T4 = multicoreCycles(R, Intel, 4, P);
+  double T12 = multicoreCycles(R, Intel, 12, P);
+  EXPECT_LT(T4, T1);
+  EXPECT_LT(T12, T4);
+}
+
+TEST(MachineModels, TableParametersEncoded) {
+  MachineModel I = MachineModel::intelDunnington();
+  EXPECT_EQ(I.NumCores, 12u);
+  EXPECT_EQ(I.L1DataKB, 32u);
+  EXPECT_EQ(I.DatapathBits, 128u);
+  MachineModel A = MachineModel::amdPhenomII();
+  EXPECT_EQ(A.NumCores, 4u);
+  EXPECT_EQ(A.L1DataKB, 64u);
+  // The paper attributes AMD's lower savings to pricier packing.
+  EXPECT_GT(A.InsertElem, I.InsertElem);
+  EXPECT_GT(A.Shuffle, I.Shuffle);
+  MachineModel H = MachineModel::hypothetical(512);
+  EXPECT_EQ(H.DatapathBits, 512u);
+}

@@ -1,0 +1,127 @@
+//===- tests/pipeline/InvariantTest.cpp -----------------------*- C++ -*-===//
+//
+// Cross-cutting invariants of the whole pipeline, swept over the standard
+// suite and random kernels:
+//   * the cost guard never lets any scheme predict a slowdown;
+//   * Global+Layout never does worse than Global (the layout stage is
+//     adopted only when it helps);
+//   * all optimizers compute identical results (not just vs. scalar);
+//   * determinism: repeated runs produce identical programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slp/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+std::vector<OptimizerKind> allKinds() {
+  return {OptimizerKind::Scalar, OptimizerKind::Native,
+          OptimizerKind::LarsenSlp, OptimizerKind::Global,
+          OptimizerKind::GlobalLayout};
+}
+
+} // namespace
+
+TEST(Invariants, GuardPreventsSlowdownsOnSuite) {
+  PipelineOptions Options;
+  for (const Workload &W : standardWorkloads())
+    for (OptimizerKind Kind : allKinds()) {
+      PipelineResult R = runPipeline(W.TheKernel, Kind, Options);
+      EXPECT_GE(R.improvement(), -1e-9)
+          << W.Name << " / " << optimizerName(Kind);
+    }
+}
+
+TEST(Invariants, LayoutNeverHurts) {
+  PipelineOptions Options;
+  for (const Workload &W : standardWorkloads()) {
+    double G = runPipeline(W.TheKernel, OptimizerKind::Global, Options)
+                   .improvement();
+    double L =
+        runPipeline(W.TheKernel, OptimizerKind::GlobalLayout, Options)
+            .improvement();
+    EXPECT_GE(L, G - 1e-9) << W.Name;
+  }
+}
+
+TEST(Invariants, DeterministicPrograms) {
+  PipelineOptions Options;
+  for (const char *Name : {"milc", "gromacs", "ft"}) {
+    Workload W = workloadByName(Name);
+    PipelineResult A = runPipeline(W.TheKernel, OptimizerKind::Global,
+                                   Options);
+    PipelineResult B = runPipeline(W.TheKernel, OptimizerKind::Global,
+                                   Options);
+    ASSERT_EQ(A.Program.Insts.size(), B.Program.Insts.size()) << Name;
+    for (unsigned I = 0; I != A.Program.Insts.size(); ++I) {
+      EXPECT_EQ(A.Program.Insts[I].Kind, B.Program.Insts[I].Kind);
+      EXPECT_EQ(A.Program.Insts[I].Dst, B.Program.Insts[I].Dst);
+      EXPECT_EQ(A.Program.Insts[I].Mode, B.Program.Insts[I].Mode);
+    }
+    EXPECT_DOUBLE_EQ(A.VectorSim.Cycles, B.VectorSim.Cycles);
+  }
+}
+
+namespace {
+
+class CrossOptimizerAgreement : public testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(CrossOptimizerAgreement, AllSchemesComputeTheSameValues) {
+  // Stronger than scalar-vs-vector equivalence: every scheme's program,
+  // run on the same inputs, leaves the same final memory.
+  Rng R(GetParam() ^ 0x5EED);
+  RandomKernelOptions KOpts;
+  KOpts.MaxStatements = 8;
+  Kernel K = randomKernel(R, KOpts);
+
+  PipelineOptions Options;
+  for (OptimizerKind Kind : allKinds()) {
+    PipelineResult Res = runPipeline(K, Kind, Options);
+    std::string Error;
+    EXPECT_TRUE(checkEquivalence(K, Res, GetParam(), &Error))
+        << optimizerName(Kind) << ": " << Error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossOptimizerAgreement,
+                         testing::Range<uint64_t>(500, 515));
+
+TEST(Invariants, WiderDatapathNeverIncreasesInstructionCount) {
+  // Figure 18's monotonicity at kernel granularity: the iterative
+  // grouping only merges further at wider datapaths.
+  PipelineOptions Narrow, Wide;
+  Narrow.Machine = MachineModel::hypothetical(128);
+  Wide.Machine = MachineModel::hypothetical(256);
+  for (const char *Name : {"lbm", "sp", "mg", "calculix"}) {
+    Workload W = workloadByName(Name);
+    PipelineResult N = runPipeline(W.TheKernel, OptimizerKind::Global,
+                                   Narrow);
+    PipelineResult Wd = runPipeline(W.TheKernel, OptimizerKind::Global,
+                                    Wide);
+    double NarrowRatio = static_cast<double>(N.VectorSim.totalInstrs()) /
+                         static_cast<double>(N.ScalarSim.totalInstrs());
+    double WideRatio = static_cast<double>(Wd.VectorSim.totalInstrs()) /
+                       static_cast<double>(Wd.ScalarSim.totalInstrs());
+    EXPECT_LE(WideRatio, NarrowRatio + 1e-9) << Name;
+  }
+}
+
+TEST(Invariants, CostGuardMatchesSimulatorPrediction) {
+  // If TransformationApplied is false the simulated vector time equals
+  // scalar time exactly (the emitted program is all-scalar).
+  PipelineOptions Options;
+  for (const Workload &W : standardWorkloads())
+    for (OptimizerKind Kind : allKinds()) {
+      PipelineResult R = runPipeline(W.TheKernel, Kind, Options);
+      if (!R.TransformationApplied)
+        EXPECT_DOUBLE_EQ(R.VectorSim.Cycles, R.ScalarSim.Cycles)
+            << W.Name << " / " << optimizerName(Kind);
+    }
+}

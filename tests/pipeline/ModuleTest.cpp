@@ -1,0 +1,119 @@
+//===- tests/pipeline/ModuleTest.cpp --------------------------*- C++ -*-===//
+
+#include "ir/Parser.h"
+#include "slp/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+const char *TwoKernels = R"(
+  kernel scale {
+    array float A[64] readonly;
+    array float B[64];
+    loop i = 0 .. 64 { B[i] = A[i] * 2.0; }
+  }
+  // A second, independent basic block of the same program.
+  kernel shift {
+    array float C[64];
+    loop i = 0 .. 64 { C[i] = C[i] + 1.0; }
+  }
+)";
+
+} // namespace
+
+TEST(ModuleParse, MultipleKernels) {
+  ModuleParseResult R = parseModule(TwoKernels);
+  ASSERT_TRUE(R.succeeded()) << R.ErrorMessage;
+  ASSERT_EQ(R.Kernels.size(), 2u);
+  EXPECT_EQ(R.Kernels[0].Name, "scale");
+  EXPECT_EQ(R.Kernels[1].Name, "shift");
+  // Symbol tables are independent per kernel.
+  EXPECT_TRUE(R.Kernels[0].findArray("A").has_value());
+  EXPECT_FALSE(R.Kernels[1].findArray("A").has_value());
+}
+
+TEST(ModuleParse, SingleKernelStillWorks) {
+  ModuleParseResult R =
+      parseModule("kernel k { scalar float a; a = 1.0; }");
+  ASSERT_TRUE(R.succeeded()) << R.ErrorMessage;
+  EXPECT_EQ(R.Kernels.size(), 1u);
+}
+
+TEST(ModuleParse, EmptyInputIsAnError) {
+  ModuleParseResult R = parseModule("  // nothing here\n");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(ModuleParse, ErrorInSecondKernelReported) {
+  ModuleParseResult R = parseModule(R"(
+    kernel ok { scalar float a; a = 1.0; }
+    kernel bad { scalar float b; b = zzz; }
+  )");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.ErrorMessage.find("zzz"), std::string::npos);
+}
+
+TEST(ModuleParse, SameKernelNamesAllowedSeparateScopes) {
+  // Kernel names are labels; scopes are independent.
+  ModuleParseResult R = parseModule(R"(
+    kernel k { scalar float a; a = 1.0; }
+    kernel k { scalar double a; a = 2.0; }
+  )");
+  ASSERT_TRUE(R.succeeded()) << R.ErrorMessage;
+  EXPECT_EQ(R.Kernels.size(), 2u);
+  EXPECT_EQ(R.Kernels[1].Scalars[0].Ty, ScalarType::Float64);
+}
+
+TEST(ModulePipeline, AggregatesWeightedImprovement) {
+  ModuleParseResult Parsed = parseModule(TwoKernels);
+  ASSERT_TRUE(Parsed.succeeded());
+  PipelineOptions Options;
+  ModulePipelineResult M =
+      runPipelineOverModule(Parsed.Kernels, OptimizerKind::Global, Options);
+  ASSERT_EQ(M.PerKernel.size(), 2u);
+  EXPECT_GT(M.improvement(), 0.0);
+  // The aggregate is the cycle-weighted combination, bounded by the
+  // per-kernel extremes.
+  double Lo = std::min(M.PerKernel[0].improvement(),
+                       M.PerKernel[1].improvement());
+  double Hi = std::max(M.PerKernel[0].improvement(),
+                       M.PerKernel[1].improvement());
+  EXPECT_GE(M.improvement(), Lo - 1e-9);
+  EXPECT_LE(M.improvement(), Hi + 1e-9);
+  // Totals add up.
+  EXPECT_DOUBLE_EQ(M.ScalarCycles, M.PerKernel[0].ScalarSim.Cycles +
+                                       M.PerKernel[1].ScalarSim.Cycles);
+}
+
+TEST(ModulePipeline, PerKernelDecisionsIndependent) {
+  // One vectorizable kernel, one hopeless one: the guard reverts only the
+  // latter.
+  ModuleParseResult Parsed = parseModule(R"(
+    kernel good {
+      array float A[64] readonly; array float B[64];
+      loop i = 0 .. 64 { B[i] = A[i] * 2.0 + 1.0; }
+    }
+    kernel hopeless {
+      array float C[1024]; array float D[1024];
+      loop i = 0 .. 64 { D[8*i] = C[8*i] * 2.0; }
+    }
+  )");
+  ASSERT_TRUE(Parsed.succeeded());
+  PipelineOptions Options;
+  ModulePipelineResult M =
+      runPipelineOverModule(Parsed.Kernels, OptimizerKind::Global, Options);
+  EXPECT_TRUE(M.PerKernel[0].TransformationApplied);
+  EXPECT_FALSE(M.PerKernel[1].TransformationApplied);
+  EXPECT_GT(M.improvement(), 0.0);
+}
+
+TEST(ModulePipeline, EmptyModule) {
+  PipelineOptions Options;
+  ModulePipelineResult M =
+      runPipelineOverModule({}, OptimizerKind::Global, Options);
+  EXPECT_TRUE(M.PerKernel.empty());
+  EXPECT_DOUBLE_EQ(M.improvement(), 0.0);
+}

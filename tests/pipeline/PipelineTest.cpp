@@ -1,0 +1,202 @@
+//===- tests/pipeline/PipelineTest.cpp ------------------------*- C++ -*-===//
+
+#include "slp/Pipeline.h"
+
+#include "ir/Parser.h"
+#include "slp/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+Kernel streamingKernel() {
+  return parse(R"(
+    kernel stream { array float A[64] readonly; array float B[64];
+      loop i = 0 .. 64 { B[i] = A[i] * 2.0 + 1.0; } })");
+}
+
+} // namespace
+
+TEST(Pipeline, UnrollsToDatapathWidth) {
+  PipelineOptions O;
+  PipelineResult R = runPipeline(streamingKernel(), OptimizerKind::Global, O);
+  EXPECT_EQ(R.Preprocessed.Body.size(), 4u); // 4 float lanes at 128 bits
+  EXPECT_EQ(R.Preprocessed.Loops[0].Step, 4);
+}
+
+TEST(Pipeline, DoubleKernelUnrollsByTwo) {
+  Kernel K = parse(R"(
+    kernel d { array double A[64] readonly; array double B[64];
+      loop i = 0 .. 64 { B[i] = A[i] * 2.0; } })");
+  PipelineOptions O;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, O);
+  EXPECT_EQ(R.Preprocessed.Body.size(), 2u);
+}
+
+TEST(Pipeline, GlobalVectorizesStream) {
+  PipelineOptions O;
+  PipelineResult R = runPipeline(streamingKernel(), OptimizerKind::Global, O);
+  EXPECT_TRUE(R.TransformationApplied);
+  EXPECT_EQ(R.TheSchedule.numGroups(), 1u);
+  EXPECT_GT(R.improvement(), 0.0);
+}
+
+TEST(Pipeline, ScalarKindIsIdentity) {
+  PipelineOptions O;
+  PipelineResult R = runPipeline(streamingKernel(), OptimizerKind::Scalar, O);
+  EXPECT_EQ(R.TheSchedule.numGroups(), 0u);
+  EXPECT_NEAR(R.improvement(), 0.0, 1e-9);
+}
+
+TEST(Pipeline, CostGuardRevertsHopelessBlocks) {
+  // A single strided one-op statement: vectorizing it loses.
+  Kernel K = parse(R"(
+    kernel bad { array float A[512]; array float B[512];
+      loop i = 0 .. 64 { B[8*i] = A[8*i] * 2.0; } })");
+  PipelineOptions O;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, O);
+  EXPECT_FALSE(R.TransformationApplied);
+  EXPECT_EQ(R.TheSchedule.numGroups(), 0u);
+  EXPECT_NEAR(R.improvement(), 0.0, 1e-9);
+}
+
+TEST(Pipeline, GuardDisabledKeepsTransformation) {
+  Kernel K = parse(R"(
+    kernel bad { array float A[512]; array float B[512];
+      loop i = 0 .. 64 { B[8*i] = A[8*i] * 2.0; } })");
+  PipelineOptions O;
+  O.CostModelGuard = false;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, O);
+  EXPECT_TRUE(R.TransformationApplied);
+  EXPECT_GT(R.TheSchedule.numGroups(), 0u);
+}
+
+TEST(Pipeline, PruningKeepsProfitableSubset) {
+  // One streaming family (profitable) + one strided 1-op family (not):
+  // the per-group cost model keeps the former and demotes the latter.
+  Kernel K = parse(R"(
+    kernel mix { array float A[64] readonly; array float B[64];
+      array float C[1024]; array float D[1024];
+      loop i = 0 .. 64 {
+        B[i] = A[i] * 2.0 + 1.0;
+        D[8*i] = C[8*i] * 2.0;
+      } })");
+  PipelineOptions O;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, O);
+  EXPECT_TRUE(R.TransformationApplied);
+  EXPECT_EQ(R.TheSchedule.numGroups(), 1u); // only the streaming family
+  // And the kept group is the B/A one (all its lanes write B).
+  for (const ScheduleItem &I : R.TheSchedule.Items)
+    if (I.isGroup())
+      for (unsigned S : I.Lanes)
+        EXPECT_TRUE(R.Preprocessed.Body.statement(S).lhs().symbol() ==
+                    *R.Preprocessed.findArray("B"));
+}
+
+TEST(Pipeline, LayoutAppliedOnlyWhenBeneficial) {
+  // Strided read-only refs with reuse: replication should fire.
+  Kernel Good = parse(R"(
+    kernel good { array float A[4200] readonly; array float B[2100];
+      array float C[2100];
+      loop i = 0 .. 512 {
+        B[2*i] = A[8*i] * 2.0 + A[8*i+4] * 3.0;
+        C[2*i] = A[8*i] * 3.0 - A[8*i+4] * 2.0;
+      } })");
+  PipelineOptions O;
+  PipelineResult R = runPipeline(Good, OptimizerKind::GlobalLayout, O);
+  EXPECT_TRUE(R.LayoutApplied);
+  EXPECT_GT(R.Layout.ArrayPacksReplicated, 0u);
+  EXPECT_GT(R.improvement(),
+            runPipeline(Good, OptimizerKind::Global, O).improvement());
+}
+
+TEST(Pipeline, LayoutFallsBackWhenUseless) {
+  // Fully contiguous code: nothing for the layout stage to improve.
+  PipelineOptions O;
+  PipelineResult R =
+      runPipeline(streamingKernel(), OptimizerKind::GlobalLayout, O);
+  EXPECT_FALSE(R.LayoutApplied);
+  EXPECT_DOUBLE_EQ(
+      R.improvement(),
+      runPipeline(streamingKernel(), OptimizerKind::Global, O).improvement());
+}
+
+TEST(Pipeline, SchedulesAlwaysValid) {
+  Kernel K = parse(R"(
+    kernel k { scalar float t; array float A[64] readonly; array float B[64];
+      loop i = 0 .. 64 {
+        t = A[i] * 2.0;
+        B[i] = t + 1.0;
+      } })");
+  PipelineOptions O;
+  for (OptimizerKind Kind :
+       {OptimizerKind::Scalar, OptimizerKind::Native,
+        OptimizerKind::LarsenSlp, OptimizerKind::Global,
+        OptimizerKind::GlobalLayout}) {
+    PipelineResult R = runPipeline(K, Kind, O);
+    DependenceInfo Deps(R.Preprocessed);
+    EXPECT_TRUE(verifySchedule(R.Preprocessed, Deps, R.TheSchedule,
+                               O.Machine.DatapathBits)
+                    .empty())
+        << optimizerName(Kind);
+  }
+}
+
+TEST(Pipeline, OptimizerNames) {
+  EXPECT_STREQ(optimizerName(OptimizerKind::Scalar), "Scalar");
+  EXPECT_STREQ(optimizerName(OptimizerKind::Native), "Native");
+  EXPECT_STREQ(optimizerName(OptimizerKind::LarsenSlp), "SLP");
+  EXPECT_STREQ(optimizerName(OptimizerKind::Global), "Global");
+  EXPECT_STREQ(optimizerName(OptimizerKind::GlobalLayout), "Global+Layout");
+}
+
+TEST(Pipeline, EquivalenceCheckDetectsCorruption) {
+  PipelineOptions O;
+  PipelineResult R = runPipeline(streamingKernel(), OptimizerKind::Global, O);
+  ASSERT_TRUE(checkEquivalence(streamingKernel(), R, 3));
+  // Sabotage the program: flip a shuffle-free load into a wrong lane.
+  for (VInst &I : R.Program.Insts) {
+    if (I.Kind == VInstKind::LoadPack && I.LaneOps.size() >= 2 &&
+        I.LaneOps[0].isArray()) {
+      std::swap(I.LaneOps[0], I.LaneOps[1]);
+      break;
+    }
+  }
+  std::string Error;
+  EXPECT_FALSE(checkEquivalence(streamingKernel(), R, 3, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Pipeline, NoLoopKernel) {
+  Kernel K = parse(R"(
+    kernel flat { scalar float a, b, c, d;
+      a = 1.5;
+      b = 2.5;
+      c = a * 2.0;
+      d = b * 2.0;
+    })");
+  PipelineOptions O;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, O);
+  EXPECT_TRUE(checkEquivalence(K, R, 9));
+}
+
+TEST(Pipeline, WiderDatapathVectorizesWider) {
+  PipelineOptions Wide;
+  Wide.Machine = MachineModel::hypothetical(512);
+  PipelineResult R =
+      runPipeline(streamingKernel(), OptimizerKind::Global, Wide);
+  EXPECT_EQ(R.Preprocessed.Body.size(), 16u);
+  unsigned MaxWidth = 0;
+  for (const ScheduleItem &I : R.TheSchedule.Items)
+    MaxWidth = std::max(MaxWidth, I.width());
+  EXPECT_EQ(MaxWidth, 16u);
+  EXPECT_TRUE(checkEquivalence(streamingKernel(), R, 10));
+}

@@ -1,0 +1,209 @@
+//===- tests/slp/GroupingTest.cpp -----------------------------*- C++ -*-===//
+
+#include "slp/Grouping.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+GroupingResult group(const Kernel &K, unsigned Bits = 128) {
+  DependenceInfo Deps(K);
+  GroupingOptions GO;
+  GO.DatapathBits = Bits;
+  return groupStatementsGlobal(K, Deps, GO);
+}
+
+bool hasGroup(const GroupingResult &G, std::vector<unsigned> Members) {
+  std::sort(Members.begin(), Members.end());
+  for (const SimdGroup &Grp : G.Groups)
+    if (Grp.Members == Members)
+      return true;
+  return false;
+}
+
+/// Every statement appears exactly once across groups and singles.
+void expectPartition(const GroupingResult &G, unsigned NumStmts) {
+  std::set<unsigned> Seen;
+  unsigned Count = 0;
+  for (const SimdGroup &Grp : G.Groups)
+    for (unsigned S : Grp.Members) {
+      EXPECT_TRUE(Seen.insert(S).second) << "statement " << S << " repeated";
+      ++Count;
+    }
+  for (unsigned S : G.Singles) {
+    EXPECT_TRUE(Seen.insert(S).second);
+    ++Count;
+  }
+  EXPECT_EQ(Count, NumStmts);
+}
+
+} // namespace
+
+TEST(Grouping, PairsIsomorphicIndependents) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d;
+      a = c * 2.0;
+      b = d * 3.0;
+    })");
+  GroupingResult G = group(K);
+  EXPECT_TRUE(hasGroup(G, {0, 1}));
+  expectPartition(G, 2);
+}
+
+TEST(Grouping, RespectsDependences) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = 1.0;
+      b = a * 2.0;
+      a = b * 3.0;
+    })");
+  GroupingResult G = group(K);
+  EXPECT_TRUE(G.Groups.empty());
+  EXPECT_EQ(G.Singles.size(), 3u);
+}
+
+TEST(Grouping, RespectsDatapathWidth) {
+  // Eight isomorphic float statements: at 128 bits only four fit per group.
+  Kernel K = parse(R"(
+    kernel k { array float A[16] readonly; array float B[16];
+      loop i = 0 .. 2 {
+        B[8*i]   = A[8*i]   * 2.0;
+        B[8*i+1] = A[8*i+1] * 2.0;
+        B[8*i+2] = A[8*i+2] * 2.0;
+        B[8*i+3] = A[8*i+3] * 2.0;
+        B[8*i+4] = A[8*i+4] * 2.0;
+        B[8*i+5] = A[8*i+5] * 2.0;
+        B[8*i+6] = A[8*i+6] * 2.0;
+        B[8*i+7] = A[8*i+7] * 2.0;
+      }
+    })");
+  for (const SimdGroup &Grp : group(K, 128).Groups)
+    EXPECT_LE(Grp.size(), 4u);
+  // At 256 bits the iterative grouping should reach width 8.
+  GroupingResult G256 = group(K, 256);
+  unsigned MaxWidth = 0;
+  for (const SimdGroup &Grp : G256.Groups)
+    MaxWidth = std::max(MaxWidth, Grp.size());
+  EXPECT_EQ(MaxWidth, 8u);
+  expectPartition(G256, 8);
+}
+
+TEST(Grouping, DoubleLanesAreNarrower) {
+  Kernel K = parse(R"(
+    kernel k { scalar double a, b, c, d;
+      a = a * 2.0;
+      b = b * 2.0;
+      c = c * 2.0;
+      d = d * 2.0;
+    })");
+  for (const SimdGroup &Grp : group(K, 128).Groups)
+    EXPECT_LE(Grp.size(), 2u); // 128 bits hold two doubles
+}
+
+TEST(Grouping, ReuseDrivesPartnerChoice) {
+  // The paper's Figure 15 pattern: grouping {c,h},{g,d} (by reuse) beats
+  // the in-order pairing {c,d},{g,h}. Doubles keep the lane count at two
+  // so the iterative re-grouping cannot merge the pairs further.
+  Kernel K = parse(R"(
+    kernel k { scalar double a, b, c, d, g, h, q, r;
+      array double V[64] readonly; array double W[64];
+      c = a * V[0];
+      g = q * V[2];
+      d = b * V[4];
+      h = r * V[6];
+      W[0] = d + a * c;
+      W[2] = g + r * h;
+    })");
+  GroupingResult G = group(K);
+  // The consumer pair must exist, and its operand packs {d,g},{a,r},{c,h}
+  // should be produced by matching producer groups.
+  EXPECT_TRUE(hasGroup(G, {4, 5}));
+  EXPECT_TRUE(hasGroup(G, {0, 3})); // c with h
+  EXPECT_TRUE(hasGroup(G, {1, 2})); // g with d
+  expectPartition(G, 6);
+}
+
+TEST(Grouping, NonIsomorphicNeverGroups) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d;
+      a = c + 2.0;
+      b = d * 2.0;
+    })");
+  GroupingResult G = group(K);
+  EXPECT_TRUE(G.Groups.empty());
+}
+
+TEST(Grouping, NeverCreatesCyclicGroupDependences) {
+  // With dep 0 -> 1 and dep 2 -> 3, the groups {0,3} and {1,2} would
+  // depend on each other cyclically and could never be scheduled.
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, y1, y2, x, z;
+      a = x * 2.0;
+      y1 = a * 3.0;
+      b = z * 2.0;
+      y2 = b * 3.0;
+    })");
+  DependenceInfo Deps(K);
+  GroupingOptions GO;
+  GroupingResult G = groupStatementsGlobal(K, Deps, GO);
+  EXPECT_FALSE(hasGroup(G, {0, 3}) && hasGroup(G, {1, 2}));
+  expectPartition(G, 4);
+}
+
+TEST(Grouping, ContiguityBreaksReuseTies) {
+  // No reuse anywhere: prefer the partner giving contiguous packs.
+  Kernel K = parse(R"(
+    kernel k { array float A[64] readonly; array float B[64];
+      loop i = 0 .. 8 {
+        B[4*i]   = A[4*i] * 2.0;
+        B[4*i+1] = A[4*i+1] * 2.0;
+      }
+    })");
+  GroupingResult G = group(K);
+  ASSERT_EQ(G.Groups.size(), 1u);
+  EXPECT_EQ(G.Groups[0].Members.size(), 2u);
+}
+
+TEST(Grouping, EmptyBlock) {
+  Kernel K = parse("kernel k { scalar float a; a = 1.0; }");
+  GroupingResult G = group(K);
+  EXPECT_TRUE(G.Groups.empty());
+  EXPECT_EQ(G.Singles.size(), 1u);
+}
+
+TEST(Grouping, LanesForHelper) {
+  EXPECT_EQ(lanesFor(ScalarType::Float32, 128), 4u);
+  EXPECT_EQ(lanesFor(ScalarType::Float64, 128), 2u);
+  EXPECT_EQ(lanesFor(ScalarType::Float32, 1024), 32u);
+  EXPECT_EQ(lanesFor(ScalarType::Int64, 256), 4u);
+}
+
+TEST(Grouping, DeterministicAcrossRuns) {
+  Kernel K = parse(R"(
+    kernel k { array float A[32] readonly; array float B[32];
+      loop i = 0 .. 8 {
+        B[4*i]   = A[4*i] + 1.0;
+        B[4*i+1] = A[4*i+1] + 1.0;
+        B[4*i+2] = A[4*i+2] + 1.0;
+        B[4*i+3] = A[4*i+3] + 1.0;
+      }
+    })");
+  GroupingResult G1 = group(K);
+  GroupingResult G2 = group(K);
+  ASSERT_EQ(G1.Groups.size(), G2.Groups.size());
+  for (unsigned I = 0; I != G1.Groups.size(); ++I)
+    EXPECT_EQ(G1.Groups[I].Members, G2.Groups[I].Members);
+}

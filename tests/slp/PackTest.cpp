@@ -1,0 +1,82 @@
+//===- tests/slp/PackTest.cpp ---------------------------------*- C++ -*-===//
+
+#include "slp/Pack.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+} // namespace
+
+TEST(Pack, OrderedKeyIsOrderSensitive) {
+  Operand A = Operand::makeScalar(0);
+  Operand B = Operand::makeScalar(1);
+  EXPECT_NE(orderedPackKey({&A, &B}), orderedPackKey({&B, &A}));
+  EXPECT_EQ(multisetPackKey({&A, &B}), multisetPackKey({&B, &A}));
+}
+
+TEST(Pack, MultisetKeyCountsDuplicates) {
+  Operand A = Operand::makeScalar(0);
+  Operand B = Operand::makeScalar(1);
+  EXPECT_NE(multisetPackKey({&A, &A}), multisetPackKey({&A, &B}));
+  EXPECT_NE(multisetPackKey({&A, &A, &B}), multisetPackKey({&A, &B, &B}));
+}
+
+TEST(Pack, PositionPacksLineUpLanes) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d; array float A[16];
+      a = c * A[0];
+      b = d * A[1];
+    })");
+  auto Packs = positionPacks(K, {0, 1});
+  // Positions: lhs, then c/d, then A[0]/A[1].
+  ASSERT_EQ(Packs.size(), 3u);
+  EXPECT_EQ(Packs[0][0]->symbol(), 0u); // a
+  EXPECT_EQ(Packs[0][1]->symbol(), 1u); // b
+  EXPECT_EQ(Packs[1][0]->symbol(), 2u); // c
+  EXPECT_EQ(Packs[1][1]->symbol(), 3u); // d
+  EXPECT_TRUE(Packs[2][0]->isArray());
+}
+
+TEST(Pack, PositionPacksRespectMemberOrder) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = 1.0;
+      b = 2.0;
+    })");
+  auto Forward = positionPacks(K, {0, 1});
+  auto Backward = positionPacks(K, {1, 0});
+  EXPECT_EQ(Forward[0][0]->symbol(), 0u);
+  EXPECT_EQ(Backward[0][0]->symbol(), 1u);
+}
+
+TEST(Pack, PositionPackKeysAreMultisets) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = 1.0;
+      b = 2.0;
+    })");
+  EXPECT_EQ(positionPackKeys(K, {0, 1})[0], positionPackKeys(K, {1, 0})[0]);
+}
+
+TEST(Pack, DegenerateDetection) {
+  Operand A = Operand::makeScalar(0);
+  Operand B = Operand::makeScalar(1);
+  Operand C1 = Operand::makeConstant(1.0);
+  Operand C2 = Operand::makeConstant(2.0);
+  EXPECT_TRUE(isDegeneratePack({&A, &A}));        // broadcast
+  EXPECT_TRUE(isDegeneratePack({&C1, &C2}));      // all-constant
+  EXPECT_TRUE(isDegeneratePack({&C1, &C1}));
+  EXPECT_FALSE(isDegeneratePack({&A, &B}));
+  EXPECT_FALSE(isDegeneratePack({&A, &C1}));
+}

@@ -1,0 +1,171 @@
+//===- tests/transform/UnrollTest.cpp -------------------------*- C++ -*-===//
+
+#include "transform/Unroll.h"
+
+#include "ir/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+/// Checks that the unrolled kernel computes the same values as the
+/// original on the original symbols.
+void expectEquivalent(const Kernel &Original, const Kernel &Unrolled,
+                      uint64_t Seed) {
+  Environment EnvA(Original, Seed);
+  runKernelScalar(Original, EnvA);
+  Environment EnvB(Original, Seed);
+  for (unsigned S = static_cast<unsigned>(Original.Scalars.size()),
+                E = static_cast<unsigned>(Unrolled.Scalars.size());
+       S != E; ++S)
+    EnvB.addScalarStorage(0);
+  runKernelScalar(Unrolled, EnvB);
+  EXPECT_TRUE(EnvB.matches(EnvA,
+                           static_cast<unsigned>(Original.Scalars.size()),
+                           static_cast<unsigned>(Original.Arrays.size())));
+}
+
+} // namespace
+
+TEST(Unroll, FactorOneIsCopy) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16]; loop i = 0 .. 16 { A[i] = 1.0; } })");
+  Kernel U = unrollInnermost(K, 1);
+  EXPECT_EQ(printKernel(K), printKernel(U));
+}
+
+TEST(Unroll, BodyReplicationAndStep) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16]; loop i = 0 .. 16 { A[i] = 1.0; } })");
+  Kernel U = unrollInnermost(K, 4);
+  EXPECT_EQ(U.Body.size(), 4u);
+  EXPECT_EQ(U.Loops[0].Step, 4);
+  EXPECT_EQ(U.Loops[0].tripCount(), 4);
+  // Instance k references A[i + k].
+  for (unsigned Inst = 0; Inst != 4; ++Inst) {
+    const Operand &Lhs = U.Body.statement(Inst).lhs();
+    EXPECT_EQ(Lhs.subscripts()[0], AffineExpr::term(0, 1, Inst));
+  }
+}
+
+TEST(Unroll, SubscriptShiftHonorsOriginalStep) {
+  Kernel K = parse(R"(
+    kernel k { array float A[64];
+      loop i = 0 .. 64 step 2 { A[i] = 1.0; } })");
+  Kernel U = unrollInnermost(K, 2);
+  EXPECT_EQ(U.Loops[0].Step, 4);
+  EXPECT_EQ(U.Body.statement(1).lhs().subscripts()[0],
+            AffineExpr::term(0, 1, 2));
+}
+
+TEST(Unroll, ScalarExpansionRenamesTemps) {
+  Kernel K = parse(R"(
+    kernel k { scalar float t; array float A[16] readonly; array float B[16];
+      loop i = 0 .. 16 {
+        t = A[i] * 2.0;
+        B[i] = t + 1.0;
+      } })");
+  Kernel U = unrollInnermost(K, 4);
+  // Three clones (instances 0-2); the final instance keeps `t`.
+  EXPECT_EQ(U.Scalars.size(), 4u);
+  EXPECT_TRUE(U.findScalar("t.u0").has_value());
+  EXPECT_TRUE(U.findScalar("t.u2").has_value());
+  EXPECT_FALSE(U.findScalar("t.u3").has_value());
+  // Instance 0 defines and uses t.u0.
+  SymbolId Clone0 = *U.findScalar("t.u0");
+  EXPECT_EQ(U.Body.statement(0).lhs().symbol(), Clone0);
+  bool UsesClone = false;
+  U.Body.statement(1).rhs().forEachLeaf([&](const Operand &O) {
+    if (O.isScalar() && O.symbol() == Clone0)
+      UsesClone = true;
+  });
+  EXPECT_TRUE(UsesClone);
+  // Final instance defines the original symbol (live-out value).
+  EXPECT_EQ(U.Body.statement(6).lhs().symbol(), *U.findScalar("t"));
+}
+
+TEST(Unroll, LiveInScalarsAreNotRenamed) {
+  Kernel K = parse(R"(
+    kernel k { scalar float q; array float B[16];
+      loop i = 0 .. 16 { B[i] = q * 2.0; } })");
+  Kernel U = unrollInnermost(K, 4);
+  EXPECT_EQ(U.Scalars.size(), 1u); // q only; never defined in the body
+}
+
+TEST(Unroll, UseBeforeDefPreventsExpansion) {
+  Kernel K = parse(R"(
+    kernel k { scalar float acc; array float A[16] readonly;
+      loop i = 0 .. 16 { acc = acc + A[i]; } })");
+  Kernel U = unrollInnermost(K, 4);
+  // The recurrence must not be renamed.
+  EXPECT_EQ(U.Scalars.size(), 1u);
+  for (const Statement &S : U.Body)
+    EXPECT_EQ(S.lhs().symbol(), 0u);
+}
+
+TEST(Unroll, SemanticEquivalenceSimple) {
+  Kernel K = parse(R"(
+    kernel k { array float A[32] readonly; array float B[32];
+      loop i = 0 .. 32 { B[i] = A[i] * 3.0 + 1.0; } })");
+  expectEquivalent(K, unrollInnermost(K, 4), 11);
+}
+
+TEST(Unroll, SemanticEquivalenceWithTemps) {
+  Kernel K = parse(R"(
+    kernel k { scalar float t, u; array float A[64] readonly; array float B[64];
+      loop i = 0 .. 64 {
+        t = A[i] + 1.0;
+        u = t * t;
+        B[i] = u - t;
+      } })");
+  expectEquivalent(K, unrollInnermost(K, 4), 12);
+}
+
+TEST(Unroll, SemanticEquivalenceRecurrence) {
+  Kernel K = parse(R"(
+    kernel k { scalar float acc; array float A[32] readonly;
+      loop i = 0 .. 32 { acc = acc + A[i]; } })");
+  expectEquivalent(K, unrollInnermost(K, 2), 13);
+}
+
+TEST(Unroll, SemanticEquivalenceNestedLoops) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8][16];
+      loop i = 0 .. 8 { loop j = 0 .. 16 {
+        A[i][j] = A[i][j] * 2.0 + 1.0;
+      } } })");
+  expectEquivalent(K, unrollInnermost(K, 4), 14);
+}
+
+TEST(Unroll, ChooseFactorDivisibility) {
+  Kernel K = parse(R"(
+    kernel k { array float A[12]; loop i = 0 .. 6 { A[i] = 1.0; } })");
+  EXPECT_EQ(chooseUnrollFactor(K, 4), 3u); // 6 % 4 != 0, 6 % 3 == 0
+  EXPECT_EQ(chooseUnrollFactor(K, 3), 3u);
+  EXPECT_EQ(chooseUnrollFactor(K, 2), 2u);
+  EXPECT_EQ(chooseUnrollFactor(K, 1), 1u);
+  Kernel K12 = parse(R"(
+    kernel k { array float A[12]; loop i = 0 .. 12 { A[i] = 1.0; } })");
+  EXPECT_EQ(chooseUnrollFactor(K12, 4), 4u);
+}
+
+TEST(Unroll, ChooseFactorNoLoops) {
+  Kernel K = parse("kernel k { scalar float a; a = 1.0; }");
+  EXPECT_EQ(chooseUnrollFactor(K, 4), 1u);
+}
+
+TEST(Unroll, ChooseFactorPrime) {
+  Kernel K = parse(R"(
+    kernel k { array float A[7]; loop i = 0 .. 7 { A[i] = 1.0; } })");
+  EXPECT_EQ(chooseUnrollFactor(K, 4), 1u);
+}

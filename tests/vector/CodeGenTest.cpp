@@ -1,0 +1,307 @@
+//===- tests/vector/CodeGenTest.cpp ---------------------------*- C++ -*-===//
+
+#include "vector/CodeGen.h"
+
+#include "ir/Parser.h"
+#include "slp/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+Schedule make(std::vector<std::vector<unsigned>> Items) {
+  Schedule S;
+  for (auto &I : Items)
+    S.Items.push_back(ScheduleItem{std::move(I)});
+  return S;
+}
+
+VectorProgram gen(const Kernel &K, const Schedule &S,
+                  bool PermutedReuse = true, bool CacheLoads = true) {
+  CodeGenOptions CG;
+  CG.EnablePermutedReuse = PermutedReuse;
+  CG.CacheLoadedPacks = CacheLoads;
+  ScalarLayout L =
+      ScalarLayout::defaultLayout(static_cast<unsigned>(K.Scalars.size()));
+  return generateVectorProgram(K, S, CG, L);
+}
+
+unsigned count(const VectorProgram &P, VInstKind Kind) {
+  unsigned N = 0;
+  for (const VInst &I : P.Insts)
+    N += I.Kind == Kind;
+  return N;
+}
+
+unsigned countLoadsWithMode(const VectorProgram &P, PackMode Mode) {
+  unsigned N = 0;
+  for (const VInst &I : P.Insts)
+    N += I.Kind == VInstKind::LoadPack && I.Mode == Mode;
+  return N;
+}
+
+} // namespace
+
+TEST(CodeGen, ContiguousLoadAndStore) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8] readonly; array float B[8];
+      B[0] = A[0] * 2.0;
+      B[1] = A[1] * 2.0;
+      B[2] = A[2] * 2.0;
+      B[3] = A[3] * 2.0;
+    })");
+  VectorProgram P = gen(K, make({{0, 1, 2, 3}}));
+  EXPECT_EQ(countLoadsWithMode(P, PackMode::ContiguousAligned), 1u);
+  EXPECT_EQ(countLoadsWithMode(P, PackMode::AllConstant), 1u);
+  EXPECT_EQ(count(P, VInstKind::VectorOp), 1u);
+  ASSERT_EQ(count(P, VInstKind::StorePack), 1u);
+  EXPECT_EQ(P.Insts.back().Mode, PackMode::ContiguousAligned);
+}
+
+TEST(CodeGen, GatherForStridedRefs) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16] readonly; array float B[16];
+      B[0] = A[0] * 2.0;
+      B[1] = A[4] * 2.0;
+    })");
+  VectorProgram P = gen(K, make({{0, 1}}));
+  EXPECT_EQ(countLoadsWithMode(P, PackMode::GatherScalar), 1u);
+}
+
+TEST(CodeGen, BroadcastForRepeatedOperand) {
+  Kernel K = parse(R"(
+    kernel k { scalar float p; array float A[8] readonly; array float B[8];
+      B[0] = A[0] * p;
+      B[1] = A[1] * p;
+    })");
+  VectorProgram P = gen(K, make({{0, 1}}));
+  EXPECT_EQ(countLoadsWithMode(P, PackMode::Broadcast), 1u);
+}
+
+TEST(CodeGen, DirectReuseOfResultPack) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d; array float A[8] readonly;
+      a = A[0] * 2.0;
+      b = A[1] * 2.0;
+      c = a + 1.0;
+      d = b + 1.0;
+    })");
+  VectorProgram P = gen(K, make({{0, 1}, {2, 3}}));
+  EXPECT_EQ(P.Stats.DirectReuses, 1u);
+  // The consumer's <a,b> operand comes from the producer's register, not
+  // from a load.
+  EXPECT_EQ(countLoadsWithMode(P, PackMode::GatherScalar), 0u);
+}
+
+TEST(CodeGen, PermutedReuseEmitsOneShuffle) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d; array float A[8] readonly;
+      a = A[0] * 2.0;
+      b = A[1] * 2.0;
+      c = b + 1.0;
+      d = a + 1.0;
+    })");
+  // Force the consumer lane order (2,3) so its operand pack is (b,a).
+  VectorProgram P = gen(K, make({{0, 1}, {2, 3}}));
+  EXPECT_EQ(P.Stats.PermutedReuses, 1u);
+  EXPECT_EQ(count(P, VInstKind::Shuffle), 1u);
+}
+
+TEST(CodeGen, PermutedReuseDisabledRegathers) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d; array float A[8] readonly;
+      a = A[0] * 2.0;
+      b = A[1] * 2.0;
+      c = b + 1.0;
+      d = a + 1.0;
+    })");
+  VectorProgram P = gen(K, make({{0, 1}, {2, 3}}), /*PermutedReuse=*/false);
+  EXPECT_EQ(P.Stats.PermutedReuses, 0u);
+  EXPECT_EQ(count(P, VInstKind::Shuffle), 0u);
+  EXPECT_EQ(countLoadsWithMode(P, PackMode::GatherScalar), 1u);
+}
+
+TEST(CodeGen, LoadCachingDisabledReloads) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8] readonly; array float B[8]; array float C[8];
+      B[0] = A[0] * 2.0;
+      B[1] = A[1] * 2.0;
+      C[0] = A[0] * 3.0;
+      C[1] = A[1] * 3.0;
+    })");
+  VectorProgram Cached = gen(K, make({{0, 1}, {2, 3}}));
+  VectorProgram Uncached = gen(K, make({{0, 1}, {2, 3}}), true,
+                               /*CacheLoads=*/false);
+  EXPECT_EQ(Cached.Stats.DirectReuses, 1u);
+  EXPECT_EQ(Uncached.Stats.DirectReuses, 0u);
+  EXPECT_EQ(count(Uncached, VInstKind::LoadPack),
+            count(Cached, VInstKind::LoadPack) + 1);
+}
+
+TEST(CodeGen, RepeatedOperandWithinStatementReusesRegister) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d;
+      c = a * a;
+      d = b * b;
+    })");
+  // <a,b> used at both multiplicand positions: one load, one direct reuse,
+  // even with load caching off (intra-statement).
+  VectorProgram P = gen(K, make({{0, 1}}), true, /*CacheLoads=*/false);
+  EXPECT_EQ(count(P, VInstKind::LoadPack), 1u);
+  EXPECT_EQ(P.Stats.DirectReuses, 1u);
+}
+
+TEST(CodeGen, StoreInvalidatesAliasingPacks) {
+  // Scalar statements overwrite A[0]/A[1]; the live <A[0],A[1]> pack must
+  // be invalidated so the final group reloads fresh values.
+  Kernel K = parse(R"(
+    kernel k { array float A[8]; array float B[8];
+      B[0] = A[0] * 2.0;
+      B[1] = A[1] * 2.0;
+      A[0] = 5.0;
+      A[1] = 6.0;
+      B[4] = A[0] * 2.0;
+      B[5] = A[1] * 2.0;
+    })");
+  VectorProgram P = gen(K, make({{0, 1}, {2}, {3}, {4, 5}}));
+  unsigned LoadsOfA = 0;
+  for (const VInst &I : P.Insts)
+    if (I.Kind == VInstKind::LoadPack && !I.LaneOps.empty() &&
+        I.LaneOps[0].isArray() && I.LaneOps[0].symbol() == 0)
+      ++LoadsOfA;
+  EXPECT_EQ(LoadsOfA, 2u);
+}
+
+TEST(CodeGen, GroupedStoreForwardsItsResultPack) {
+  // When a *group* writes A[0]/A[1], its result register holds exactly
+  // those memory values, so a later read of the pack is a direct reuse
+  // (no reload) — invalidation replaces the stale pack with the fresh one.
+  Kernel K = parse(R"(
+    kernel k { array float A[8]; array float B[8];
+      B[0] = A[0] * 2.0;
+      B[1] = A[1] * 2.0;
+      A[0] = 5.0;
+      A[1] = 6.0;
+      B[4] = A[0] * 2.0;
+      B[5] = A[1] * 2.0;
+    })");
+  VectorProgram P = gen(K, make({{0, 1}, {2, 3}, {4, 5}}));
+  unsigned LoadsOfA = 0;
+  for (const VInst &I : P.Insts)
+    if (I.Kind == VInstKind::LoadPack && !I.LaneOps.empty() &&
+        I.LaneOps[0].isArray() && I.LaneOps[0].symbol() == 0)
+      ++LoadsOfA;
+  EXPECT_EQ(LoadsOfA, 1u);
+  EXPECT_GE(P.Stats.DirectReuses, 1u);
+}
+
+TEST(CodeGen, ScalarWriteInvalidates) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, s; array float B[8];
+      B[0] = a * 2.0;
+      B[1] = b * 2.0;
+      a = 9.0;
+      B[4] = a * 2.0;
+      B[5] = b * 2.0;
+    })");
+  VectorProgram P = gen(K, make({{0, 1}, {2}, {3, 4}}));
+  unsigned Gathers = countLoadsWithMode(P, PackMode::GatherScalar);
+  EXPECT_EQ(Gathers, 2u); // <a,b> gathered twice (invalidated by a = 9)
+}
+
+TEST(CodeGen, ScatterStoreForStridedLhs) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16] readonly; array float B[16];
+      B[0] = A[0] * 2.0;
+      B[2] = A[1] * 2.0;
+    })");
+  VectorProgram P = gen(K, make({{0, 1}}));
+  ASSERT_EQ(count(P, VInstKind::StorePack), 1u);
+  for (const VInst &I : P.Insts)
+    if (I.Kind == VInstKind::StorePack)
+      EXPECT_EQ(I.Mode, PackMode::GatherScalar);
+}
+
+TEST(CodeGen, PermutedContiguousStore) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16] readonly; array float B[16];
+      B[1] = A[0] * 2.0;
+      B[0] = A[1] * 2.0;
+    })");
+  VectorProgram P = gen(K, make({{0, 1}}));
+  for (const VInst &I : P.Insts)
+    if (I.Kind == VInstKind::StorePack)
+      EXPECT_EQ(I.Mode, PackMode::PermutedContiguous);
+}
+
+TEST(CodeGen, ScalarLayoutContiguityCheck) {
+  ScalarLayout L;
+  L.Slots = {4, 5, 6, 7, 0, 2};
+  Operand S0 = Operand::makeScalar(0), S1 = Operand::makeScalar(1);
+  Operand S2 = Operand::makeScalar(2), S3 = Operand::makeScalar(3);
+  Operand S4 = Operand::makeScalar(4), S5 = Operand::makeScalar(5);
+  EXPECT_TRUE(L.contiguousAligned({&S0, &S1, &S2, &S3}));
+  EXPECT_FALSE(L.contiguousAligned({&S1, &S2})); // base 5 not 2-aligned
+  EXPECT_FALSE(L.contiguousAligned({&S4, &S5})); // slots 0,2 not adjacent
+  EXPECT_FALSE(L.contiguousAligned({&S3, &S2})); // descending
+}
+
+TEST(CodeGen, DefaultScalarLayoutNeverContiguous) {
+  ScalarLayout L = ScalarLayout::defaultLayout(8);
+  for (unsigned I = 0; I + 1 < 8; ++I) {
+    Operand A = Operand::makeScalar(I), B = Operand::makeScalar(I + 1);
+    EXPECT_FALSE(L.contiguousAligned({&A, &B}));
+  }
+}
+
+TEST(CodeGen, SinglesExecuteScalarly) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a; a = 1.0; })");
+  VectorProgram P = gen(K, make({{0}}));
+  ASSERT_EQ(P.Insts.size(), 1u);
+  EXPECT_EQ(P.Insts[0].Kind, VInstKind::ScalarExec);
+  EXPECT_EQ(P.Stats.ScalarStatements, 1u);
+}
+
+TEST(CodeGen, RegisterPressureEviction) {
+  // More distinct packs than registers: the LRU pack is evicted and must
+  // be rematerialized on reuse. (No constants: constant splats would stay
+  // hot in the register file and mask the eviction.)
+  std::string Src = "kernel k { array float A[64] readonly; "
+                    "array float C[64] readonly; array float B[64];\n";
+  // 10 pairs, each loading two distinct strided packs, then a final pair
+  // reusing the very first packs.
+  for (int I = 0; I < 10; ++I)
+    Src += "B[" + std::to_string(2 * I) + "] = A[" + std::to_string(4 * I) +
+           "] + C[" + std::to_string(4 * I) + "];\nB[" +
+           std::to_string(2 * I + 1) + "] = A[" + std::to_string(4 * I + 2) +
+           "] + C[" + std::to_string(4 * I + 2) + "];\n";
+  Src += "B[40] = A[0] + C[0];\nB[41] = A[2] + C[2];\n}";
+  Kernel K = parse(Src);
+  std::vector<std::vector<unsigned>> Groups;
+  for (unsigned I = 0; I < 11; ++I)
+    Groups.push_back({2 * I, 2 * I + 1});
+
+  CodeGenOptions Tiny;
+  Tiny.NumVectorRegisters = 4;
+  ScalarLayout L = ScalarLayout::defaultLayout(0);
+  VectorProgram Pressured =
+      generateVectorProgram(K, make({Groups.begin(), Groups.end()}), Tiny, L);
+  // The <A[0],A[2]> and <C[0],C[2]> packs were evicted before their reuse.
+  EXPECT_EQ(Pressured.Stats.DirectReuses, 0u);
+
+  CodeGenOptions Roomy;
+  Roomy.NumVectorRegisters = 64;
+  VectorProgram Unpressured =
+      generateVectorProgram(K, make({Groups.begin(), Groups.end()}), Roomy,
+                            L);
+  EXPECT_EQ(Unpressured.Stats.DirectReuses, 2u);
+}

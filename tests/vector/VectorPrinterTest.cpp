@@ -1,0 +1,89 @@
+//===- tests/vector/VectorPrinterTest.cpp ---------------------*- C++ -*-===//
+
+#include "vector/VectorPrinter.h"
+
+#include "ir/Parser.h"
+#include "slp/Scheduling.h"
+#include "vector/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+VectorProgram gen(const Kernel &K, std::vector<std::vector<unsigned>> Items) {
+  Schedule S;
+  for (auto &I : Items)
+    S.Items.push_back(ScheduleItem{std::move(I)});
+  CodeGenOptions CG;
+  return generateVectorProgram(
+      K, S, CG,
+      ScalarLayout::defaultLayout(static_cast<unsigned>(K.Scalars.size())));
+}
+
+} // namespace
+
+TEST(VectorPrinter, LoadStoreAndOpRendering) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8] readonly; array float B[8];
+      B[0] = A[0] * 2.0;
+      B[1] = A[1] * 2.0;
+      B[2] = A[2] * 2.0;
+      B[3] = A[3] * 2.0;
+    })");
+  std::string Out = printVectorProgram(K, gen(K, {{0, 1, 2, 3}}));
+  EXPECT_NE(Out.find("vload.contig"), std::string::npos);
+  EXPECT_NE(Out.find("vload.const"), std::string::npos);
+  EXPECT_NE(Out.find("v* "), std::string::npos);
+  EXPECT_NE(Out.find("vstore.contig"), std::string::npos);
+  EXPECT_NE(Out.find("<A[0], A[1], A[2], A[3]>"), std::string::npos);
+  EXPECT_NE(Out.find("1 superword stmt(s)"), std::string::npos);
+}
+
+TEST(VectorPrinter, ShuffleRendering) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c, d; array float A[8] readonly;
+      a = A[0] * 2.0;
+      b = A[1] * 2.0;
+      c = b + 1.0;
+      d = a + 1.0;
+    })");
+  std::string Out = printVectorProgram(K, gen(K, {{0, 1}, {2, 3}}));
+  EXPECT_NE(Out.find("vshuffle"), std::string::npos);
+  EXPECT_NE(Out.find("0 direct + 1 permuted reuse(s)"), std::string::npos);
+}
+
+TEST(VectorPrinter, ScalarExecRendering) {
+  Kernel K = parse("kernel k { scalar float a; a = 1.0 + 2.0; }");
+  std::string Out = printVectorProgram(K, gen(K, {{0}}));
+  EXPECT_NE(Out.find("scalar a = 1.0 + 2.0;"), std::string::npos);
+}
+
+TEST(VectorPrinter, GatherRendering) {
+  Kernel K = parse(R"(
+    kernel k { array float A[32] readonly; array float B[32];
+      B[0] = A[0] + 1.0;
+      B[2] = A[8] + 1.0;
+    })");
+  std::string Out = printVectorProgram(K, gen(K, {{0, 1}}));
+  EXPECT_NE(Out.find("vload.gather"), std::string::npos);
+  EXPECT_NE(Out.find("vstore.gather"), std::string::npos);
+}
+
+TEST(VectorPrinter, IndexedLines) {
+  Kernel K = parse(R"(
+    kernel k { array float A[8] readonly; array float B[8];
+      B[0] = A[0] + 1.0;
+      B[1] = A[1] + 1.0;
+    })");
+  std::string Out = printVectorProgram(K, gen(K, {{0, 1}}));
+  EXPECT_NE(Out.find("[  0]"), std::string::npos);
+  EXPECT_NE(Out.find("[  1]"), std::string::npos);
+}

@@ -1,0 +1,98 @@
+//===- tests/workloads/WorkloadsTest.cpp ----------------------*- C++ -*-===//
+
+#include "workloads/Workloads.h"
+
+#include "analysis/Dependence.h"
+#include "ir/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace slp;
+
+TEST(Workloads, SuiteHasSixteenBenchmarks) {
+  std::vector<Workload> All = standardWorkloads();
+  ASSERT_EQ(All.size(), 16u);
+  unsigned Nas = 0;
+  std::set<std::string> Names;
+  for (const Workload &W : All) {
+    Nas += W.IsNas;
+    EXPECT_TRUE(Names.insert(W.Name).second) << "duplicate " << W.Name;
+    EXPECT_FALSE(W.Description.empty());
+  }
+  EXPECT_EQ(Nas, 6u); // ua, ft, bt, sp, mg, cg
+}
+
+TEST(Workloads, LookupByName) {
+  Workload W = workloadByName("milc");
+  EXPECT_EQ(W.Name, "milc");
+  EXPECT_FALSE(W.IsNas);
+  EXPECT_TRUE(workloadByName("cg").IsNas);
+}
+
+TEST(Workloads, KernelsExecuteInBounds) {
+  // runKernelScalar asserts on any out-of-bounds access; executing every
+  // kernel validates all subscript/size pairs.
+  for (const Workload &W : standardWorkloads()) {
+    Environment Env(W.TheKernel, 5);
+    runKernelScalar(W.TheKernel, Env);
+    SUCCEED() << W.Name;
+  }
+}
+
+TEST(Workloads, TripCountsAreUnrollable) {
+  for (const Workload &W : standardWorkloads()) {
+    ASSERT_FALSE(W.TheKernel.Loops.empty()) << W.Name;
+    int64_t Trip = W.TheKernel.Loops.back().tripCount();
+    EXPECT_EQ(Trip % 4, 0) << W.Name << " trip " << Trip;
+  }
+}
+
+TEST(Workloads, MulticoreParamsSane) {
+  for (const Workload &W : standardWorkloads()) {
+    EXPECT_GE(W.Multicore.SerialFraction, 0.0);
+    EXPECT_LT(W.Multicore.SerialFraction, 0.2);
+    EXPECT_GE(W.Multicore.SyncFractionPerCore, 0.0);
+    EXPECT_LT(W.Multicore.SyncFractionPerCore, 0.01);
+  }
+}
+
+TEST(Workloads, RandomKernelIsWellFormed) {
+  Rng R(99);
+  RandomKernelOptions Options;
+  for (unsigned I = 0; I != 50; ++I) {
+    Kernel K = randomKernel(R, Options);
+    EXPECT_GE(K.Body.size(), Options.MinStatements);
+    EXPECT_LE(K.Body.size(), Options.MaxStatements);
+    // Executing checks bounds.
+    Environment Env(K, I);
+    runKernelScalar(K, Env);
+    // Dependence analysis must not choke on it.
+    DependenceInfo Deps(K);
+    EXPECT_EQ(Deps.numStatements(), K.Body.size());
+  }
+}
+
+TEST(Workloads, RandomKernelNeverWritesReadonlyArrays) {
+  Rng R(7);
+  RandomKernelOptions Options;
+  for (unsigned I = 0; I != 50; ++I) {
+    Kernel K = randomKernel(R, Options);
+    for (const Statement &S : K.Body)
+      if (S.lhs().isArray())
+        EXPECT_FALSE(K.array(S.lhs().symbol()).ReadOnly);
+  }
+}
+
+TEST(Workloads, RandomKernelDeterministicPerSeed) {
+  RandomKernelOptions Options;
+  Rng R1(42), R2(42);
+  Kernel K1 = randomKernel(R1, Options);
+  Kernel K2 = randomKernel(R2, Options);
+  ASSERT_EQ(K1.Body.size(), K2.Body.size());
+  for (unsigned I = 0; I != K1.Body.size(); ++I) {
+    EXPECT_TRUE(K1.Body.statement(I).lhs() == K2.Body.statement(I).lhs());
+    EXPECT_TRUE(K1.Body.statement(I).rhs().equals(K2.Body.statement(I).rhs()));
+  }
+}

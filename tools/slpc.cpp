@@ -1,0 +1,229 @@
+//===- tools/slpc.cpp - SLP compiler driver ----------------------*- C++ -*-===//
+//
+// Command-line front end for the framework: reads a kernel in the textual
+// kernel language, runs a chosen optimizer, and reports the schedule, the
+// generated vector program, the predicted performance, and (optionally)
+// an execution-based verification against scalar semantics.
+//
+//   slpc [options] <kernel-file | -> (reads stdin for "-")
+//     --opt=scalar|native|slp|global|global+layout   (default global+layout)
+//     --machine=intel|amd                            (default intel)
+//     --bits=N             override the SIMD datapath width
+//     --dump-kernel        print the pre-processed (unrolled) kernel
+//     --dump-schedule      print the superword statement schedule
+//     --dump-vector        print the generated vector program
+//     --no-verify          skip the execution-based equivalence check
+//     --quiet              only print the performance summary
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "slp/Pipeline.h"
+#include "vector/VectorPrinter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace slp;
+
+namespace {
+
+struct CliOptions {
+  std::string InputPath;
+  OptimizerKind Kind = OptimizerKind::GlobalLayout;
+  MachineModel Machine = MachineModel::intelDunnington();
+  bool DumpKernel = false;
+  bool DumpSchedule = false;
+  bool DumpVector = false;
+  bool Verify = true;
+  bool Quiet = false;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: slpc [options] <kernel-file | ->\n"
+      "  --opt=scalar|native|slp|global|global+layout  optimizer "
+      "(default global+layout)\n"
+      "  --machine=intel|amd   target machine model (default intel)\n"
+      "  --bits=N              override the SIMD datapath width\n"
+      "  --dump-kernel         print the unrolled kernel\n"
+      "  --dump-schedule       print the superword statement schedule\n"
+      "  --dump-vector         print the generated vector program\n"
+      "  --no-verify           skip the equivalence check\n"
+      "  --quiet               only print the performance summary\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--opt=", 0) == 0) {
+      std::string V = Arg.substr(6);
+      if (V == "scalar")
+        Opts.Kind = OptimizerKind::Scalar;
+      else if (V == "native")
+        Opts.Kind = OptimizerKind::Native;
+      else if (V == "slp")
+        Opts.Kind = OptimizerKind::LarsenSlp;
+      else if (V == "global")
+        Opts.Kind = OptimizerKind::Global;
+      else if (V == "global+layout")
+        Opts.Kind = OptimizerKind::GlobalLayout;
+      else {
+        std::fprintf(stderr, "slpc: unknown optimizer '%s'\n", V.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--machine=", 0) == 0) {
+      std::string V = Arg.substr(10);
+      if (V == "intel")
+        Opts.Machine = MachineModel::intelDunnington();
+      else if (V == "amd")
+        Opts.Machine = MachineModel::amdPhenomII();
+      else {
+        std::fprintf(stderr, "slpc: unknown machine '%s'\n", V.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--bits=", 0) == 0) {
+      int Bits = std::atoi(Arg.c_str() + 7);
+      if (Bits < 64 || Bits % 64 != 0) {
+        std::fprintf(stderr,
+                     "slpc: --bits must be a positive multiple of 64\n");
+        return false;
+      }
+      Opts.Machine.DatapathBits = static_cast<unsigned>(Bits);
+    } else if (Arg == "--dump-kernel") {
+      Opts.DumpKernel = true;
+    } else if (Arg == "--dump-schedule") {
+      Opts.DumpSchedule = true;
+    } else if (Arg == "--dump-vector") {
+      Opts.DumpVector = true;
+    } else if (Arg == "--no-verify") {
+      Opts.Verify = false;
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::fprintf(stderr, "slpc: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else if (Opts.InputPath.empty()) {
+      Opts.InputPath = Arg;
+    } else {
+      std::fprintf(stderr, "slpc: multiple input files\n");
+      return false;
+    }
+  }
+  if (Opts.InputPath.empty()) {
+    printUsage();
+    return false;
+  }
+  return true;
+}
+
+std::string readInput(const std::string &Path, bool &Ok) {
+  Ok = true;
+  std::ostringstream Buffer;
+  if (Path == "-") {
+    Buffer << std::cin.rdbuf();
+    return Buffer.str();
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    Ok = false;
+    return "";
+  }
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 2;
+
+  bool ReadOk = true;
+  std::string Source = readInput(Opts.InputPath, ReadOk);
+  if (!ReadOk) {
+    std::fprintf(stderr, "slpc: cannot read '%s'\n",
+                 Opts.InputPath.c_str());
+    return 2;
+  }
+
+  ModuleParseResult Parsed = parseModule(Source);
+  if (!Parsed.succeeded()) {
+    std::fprintf(stderr, "slpc: %s:%u: error: %s\n", Opts.InputPath.c_str(),
+                 Parsed.ErrorLine, Parsed.ErrorMessage.c_str());
+    return 1;
+  }
+
+  PipelineOptions Options;
+  Options.Machine = Opts.Machine;
+  ModulePipelineResult Module;
+  for (const Kernel &K : Parsed.Kernels) {
+    PipelineResult R = runPipeline(K, Opts.Kind, Options);
+    Module.ScalarCycles += R.ScalarSim.Cycles;
+    Module.OptimizedCycles += R.VectorSim.Cycles;
+    Module.PerKernel.push_back(std::move(R));
+  }
+
+  for (unsigned KI = 0; KI != Parsed.Kernels.size(); ++KI) {
+    const Kernel &K = Parsed.Kernels[KI];
+    const PipelineResult &R = Module.PerKernel[KI];
+
+  if (Opts.DumpKernel && !Opts.Quiet)
+    std::printf("== unrolled kernel ==\n%s\n",
+                printKernel(R.Preprocessed).c_str());
+
+  if (Opts.DumpSchedule && !Opts.Quiet) {
+    std::printf("== schedule (%u superword statement(s)) ==\n",
+                R.TheSchedule.numGroups());
+    for (const ScheduleItem &Item : R.TheSchedule.Items) {
+      std::printf("  %s<", Item.isGroup() ? "superword " : "scalar    ");
+      for (unsigned L = 0; L != Item.width(); ++L)
+        std::printf("%sS%u", L ? ", " : "", Item.Lanes[L]);
+      std::printf(">\n");
+    }
+    std::printf("\n");
+  }
+
+  if (Opts.DumpVector && !Opts.Quiet) {
+    std::printf("== vector program ==\n%s\n",
+                printVectorProgram(R.Final, R.Program).c_str());
+    if (R.LayoutApplied)
+      std::printf("  ; layout: %u scalar pack(s) placed, %u array pack(s) "
+                  "replicated (%.0f bytes)\n\n",
+                  R.Layout.ScalarPacksPlaced,
+                  R.Layout.ArrayPacksReplicated, R.Layout.ReplicatedBytes);
+  }
+
+  if (Opts.Verify) {
+    std::string Error;
+    if (!checkEquivalence(K, R, /*Seed=*/0xC0FFEE, &Error)) {
+      std::fprintf(stderr, "slpc: VERIFICATION FAILED: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("%s: %s: %.2f%% predicted improvement over scalar on %s "
+              "(%u superword statement(s)%s%s)\n",
+              K.Name.c_str(), optimizerName(Opts.Kind),
+              100.0 * R.improvement(), Options.Machine.Name.c_str(),
+              R.TheSchedule.numGroups(),
+              R.TransformationApplied ? "" : ", transformation skipped",
+              Opts.Verify ? ", verified" : "");
+  }
+
+  if (Parsed.Kernels.size() > 1)
+    std::printf("module: %.2f%% predicted improvement over scalar across "
+                "%zu kernels\n",
+                100.0 * Module.improvement(), Parsed.Kernels.size());
+  return 0;
+}
