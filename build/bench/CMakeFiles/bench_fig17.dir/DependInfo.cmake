@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig17.cpp" "bench/CMakeFiles/bench_fig17.dir/bench_fig17.cpp.o" "gcc" "bench/CMakeFiles/bench_fig17.dir/bench_fig17.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slp/CMakeFiles/slp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/slp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/slp_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/slp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/vector/CMakeFiles/slp_vector.dir/DependInfo.cmake"
+  "/root/repo/build/src/slp/CMakeFiles/slp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/slp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/slp_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/slp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Alignment.cpp" "src/analysis/CMakeFiles/slp_analysis.dir/Alignment.cpp.o" "gcc" "src/analysis/CMakeFiles/slp_analysis.dir/Alignment.cpp.o.d"
+  "/root/repo/src/analysis/Dependence.cpp" "src/analysis/CMakeFiles/slp_analysis.dir/Dependence.cpp.o" "gcc" "src/analysis/CMakeFiles/slp_analysis.dir/Dependence.cpp.o.d"
+  "/root/repo/src/analysis/Isomorphism.cpp" "src/analysis/CMakeFiles/slp_analysis.dir/Isomorphism.cpp.o" "gcc" "src/analysis/CMakeFiles/slp_analysis.dir/Isomorphism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/slp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_analysis.dir/Alignment.cpp.o"
+  "CMakeFiles/slp_analysis.dir/Alignment.cpp.o.d"
+  "CMakeFiles/slp_analysis.dir/Dependence.cpp.o"
+  "CMakeFiles/slp_analysis.dir/Dependence.cpp.o.d"
+  "CMakeFiles/slp_analysis.dir/Isomorphism.cpp.o"
+  "CMakeFiles/slp_analysis.dir/Isomorphism.cpp.o.d"
+  "libslp_analysis.a"
+  "libslp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_experiments.dir/Experiments.cpp.o"
+  "CMakeFiles/slp_experiments.dir/Experiments.cpp.o.d"
+  "libslp_experiments.a"
+  "libslp_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

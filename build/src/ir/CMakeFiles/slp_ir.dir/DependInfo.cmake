@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/AffineExpr.cpp" "src/ir/CMakeFiles/slp_ir.dir/AffineExpr.cpp.o" "gcc" "src/ir/CMakeFiles/slp_ir.dir/AffineExpr.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "src/ir/CMakeFiles/slp_ir.dir/Builder.cpp.o" "gcc" "src/ir/CMakeFiles/slp_ir.dir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/slp_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/slp_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/ir/CMakeFiles/slp_ir.dir/Interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/slp_ir.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Kernel.cpp" "src/ir/CMakeFiles/slp_ir.dir/Kernel.cpp.o" "gcc" "src/ir/CMakeFiles/slp_ir.dir/Kernel.cpp.o.d"
+  "/root/repo/src/ir/Operand.cpp" "src/ir/CMakeFiles/slp_ir.dir/Operand.cpp.o" "gcc" "src/ir/CMakeFiles/slp_ir.dir/Operand.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/slp_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/slp_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/slp_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/slp_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Statement.cpp" "src/ir/CMakeFiles/slp_ir.dir/Statement.cpp.o" "gcc" "src/ir/CMakeFiles/slp_ir.dir/Statement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/slp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

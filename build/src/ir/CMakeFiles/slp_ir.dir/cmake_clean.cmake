@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_ir.dir/AffineExpr.cpp.o"
+  "CMakeFiles/slp_ir.dir/AffineExpr.cpp.o.d"
+  "CMakeFiles/slp_ir.dir/Builder.cpp.o"
+  "CMakeFiles/slp_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/slp_ir.dir/Expr.cpp.o"
+  "CMakeFiles/slp_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/slp_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/slp_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/slp_ir.dir/Kernel.cpp.o"
+  "CMakeFiles/slp_ir.dir/Kernel.cpp.o.d"
+  "CMakeFiles/slp_ir.dir/Operand.cpp.o"
+  "CMakeFiles/slp_ir.dir/Operand.cpp.o.d"
+  "CMakeFiles/slp_ir.dir/Parser.cpp.o"
+  "CMakeFiles/slp_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/slp_ir.dir/Printer.cpp.o"
+  "CMakeFiles/slp_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/slp_ir.dir/Statement.cpp.o"
+  "CMakeFiles/slp_ir.dir/Statement.cpp.o.d"
+  "libslp_ir.a"
+  "libslp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_layout.dir/Layout.cpp.o"
+  "CMakeFiles/slp_layout.dir/Layout.cpp.o.d"
+  "libslp_layout.a"
+  "libslp_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_machine.dir/CostModel.cpp.o"
+  "CMakeFiles/slp_machine.dir/CostModel.cpp.o.d"
+  "CMakeFiles/slp_machine.dir/MachineModel.cpp.o"
+  "CMakeFiles/slp_machine.dir/MachineModel.cpp.o.d"
+  "CMakeFiles/slp_machine.dir/Multicore.cpp.o"
+  "CMakeFiles/slp_machine.dir/Multicore.cpp.o.d"
+  "CMakeFiles/slp_machine.dir/Simulator.cpp.o"
+  "CMakeFiles/slp_machine.dir/Simulator.cpp.o.d"
+  "libslp_machine.a"
+  "libslp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

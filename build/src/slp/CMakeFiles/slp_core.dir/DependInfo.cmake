@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slp/Baseline.cpp" "src/slp/CMakeFiles/slp_core.dir/Baseline.cpp.o" "gcc" "src/slp/CMakeFiles/slp_core.dir/Baseline.cpp.o.d"
+  "/root/repo/src/slp/Grouping.cpp" "src/slp/CMakeFiles/slp_core.dir/Grouping.cpp.o" "gcc" "src/slp/CMakeFiles/slp_core.dir/Grouping.cpp.o.d"
+  "/root/repo/src/slp/Pack.cpp" "src/slp/CMakeFiles/slp_core.dir/Pack.cpp.o" "gcc" "src/slp/CMakeFiles/slp_core.dir/Pack.cpp.o.d"
+  "/root/repo/src/slp/Scheduling.cpp" "src/slp/CMakeFiles/slp_core.dir/Scheduling.cpp.o" "gcc" "src/slp/CMakeFiles/slp_core.dir/Scheduling.cpp.o.d"
+  "/root/repo/src/slp/Verifier.cpp" "src/slp/CMakeFiles/slp_core.dir/Verifier.cpp.o" "gcc" "src/slp/CMakeFiles/slp_core.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/slp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/slp_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/slp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_core.dir/Baseline.cpp.o"
+  "CMakeFiles/slp_core.dir/Baseline.cpp.o.d"
+  "CMakeFiles/slp_core.dir/Grouping.cpp.o"
+  "CMakeFiles/slp_core.dir/Grouping.cpp.o.d"
+  "CMakeFiles/slp_core.dir/Pack.cpp.o"
+  "CMakeFiles/slp_core.dir/Pack.cpp.o.d"
+  "CMakeFiles/slp_core.dir/Scheduling.cpp.o"
+  "CMakeFiles/slp_core.dir/Scheduling.cpp.o.d"
+  "CMakeFiles/slp_core.dir/Verifier.cpp.o"
+  "CMakeFiles/slp_core.dir/Verifier.cpp.o.d"
+  "libslp_core.a"
+  "libslp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

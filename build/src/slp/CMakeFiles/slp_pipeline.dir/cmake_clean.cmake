@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_pipeline.dir/Pipeline.cpp.o"
+  "CMakeFiles/slp_pipeline.dir/Pipeline.cpp.o.d"
+  "libslp_pipeline.a"
+  "libslp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_support.dir/Error.cpp.o"
+  "CMakeFiles/slp_support.dir/Error.cpp.o.d"
+  "CMakeFiles/slp_support.dir/Rng.cpp.o"
+  "CMakeFiles/slp_support.dir/Rng.cpp.o.d"
+  "libslp_support.a"
+  "libslp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

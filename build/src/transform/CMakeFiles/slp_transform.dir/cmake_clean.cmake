@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_transform.dir/Unroll.cpp.o"
+  "CMakeFiles/slp_transform.dir/Unroll.cpp.o.d"
+  "libslp_transform.a"
+  "libslp_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

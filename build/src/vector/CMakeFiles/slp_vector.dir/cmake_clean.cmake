@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_vector.dir/CodeGen.cpp.o"
+  "CMakeFiles/slp_vector.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/slp_vector.dir/VectorInterp.cpp.o"
+  "CMakeFiles/slp_vector.dir/VectorInterp.cpp.o.d"
+  "CMakeFiles/slp_vector.dir/VectorPrinter.cpp.o"
+  "CMakeFiles/slp_vector.dir/VectorPrinter.cpp.o.d"
+  "libslp_vector.a"
+  "libslp_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/slp_workloads.dir/Workloads.cpp.o.d"
+  "libslp_workloads.a"
+  "libslp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/ir/AffineExprTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/AffineExprTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/ExprTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/ExprTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/IntSemanticsTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/IntSemanticsTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/InterpreterTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/InterpreterTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/ParserTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/ParserTest.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/RoundTripTest.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/RoundTripTest.cpp.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_test.dir/pipeline/InvariantTest.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pipeline/InvariantTest.cpp.o.d"
+  "CMakeFiles/pipeline_test.dir/pipeline/ModuleTest.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pipeline/ModuleTest.cpp.o.d"
+  "CMakeFiles/pipeline_test.dir/pipeline/PipelineTest.cpp.o"
+  "CMakeFiles/pipeline_test.dir/pipeline/PipelineTest.cpp.o.d"
+  "pipeline_test"
+  "pipeline_test.pdb"
+  "pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

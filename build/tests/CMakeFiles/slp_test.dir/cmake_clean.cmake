@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_test.dir/slp/BaselineTest.cpp.o"
+  "CMakeFiles/slp_test.dir/slp/BaselineTest.cpp.o.d"
+  "CMakeFiles/slp_test.dir/slp/GroupingTest.cpp.o"
+  "CMakeFiles/slp_test.dir/slp/GroupingTest.cpp.o.d"
+  "CMakeFiles/slp_test.dir/slp/PackTest.cpp.o"
+  "CMakeFiles/slp_test.dir/slp/PackTest.cpp.o.d"
+  "CMakeFiles/slp_test.dir/slp/PaperExampleTest.cpp.o"
+  "CMakeFiles/slp_test.dir/slp/PaperExampleTest.cpp.o.d"
+  "CMakeFiles/slp_test.dir/slp/SchedulingTest.cpp.o"
+  "CMakeFiles/slp_test.dir/slp/SchedulingTest.cpp.o.d"
+  "CMakeFiles/slp_test.dir/slp/VerifierTest.cpp.o"
+  "CMakeFiles/slp_test.dir/slp/VerifierTest.cpp.o.d"
+  "slp_test"
+  "slp_test.pdb"
+  "slp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_test.dir/vector/CodeGenTest.cpp.o"
+  "CMakeFiles/vector_test.dir/vector/CodeGenTest.cpp.o.d"
+  "CMakeFiles/vector_test.dir/vector/VectorInterpTest.cpp.o"
+  "CMakeFiles/vector_test.dir/vector/VectorInterpTest.cpp.o.d"
+  "CMakeFiles/vector_test.dir/vector/VectorPrinterTest.cpp.o"
+  "CMakeFiles/vector_test.dir/vector/VectorPrinterTest.cpp.o.d"
+  "vector_test"
+  "vector_test.pdb"
+  "vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

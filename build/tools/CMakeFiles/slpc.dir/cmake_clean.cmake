@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slpc.dir/slpc.cpp.o"
+  "CMakeFiles/slpc.dir/slpc.cpp.o.d"
+  "slpc"
+  "slpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
