@@ -45,7 +45,10 @@ inline SchemeResults runAllSchemes(const Workload &W,
 }
 
 /// Registers a google-benchmark timer for one optimizer over one workload
-/// (used so each figure binary also produces timing entries).
+/// (used so each figure binary also produces timing entries). Besides the
+/// end-to-end time, the per-pass wall clock measured by the pass manager
+/// is exported as `pass_<name>` counters (seconds per iteration), so the
+/// BENCH_*.json output tracks compile time per stage, not just in total.
 inline void registerOptimizerTimer(const std::string &Label,
                                    const std::string &WorkloadName,
                                    OptimizerKind Kind,
@@ -55,10 +58,15 @@ inline void registerOptimizerTimer(const std::string &Label,
     Workload W = workloadByName(WorkloadName);
     PipelineOptions Options;
     Options.Machine = Machine;
+    TimingReport PassTimings;
     for (auto _ : S) {
       PipelineResult R = runPipeline(W.TheKernel, Kind, Options);
       benchmark::DoNotOptimize(R.Program.Insts.data());
+      PassTimings.merge(R.PassTimings);
     }
+    for (const TimingEntry &E : PassTimings.entries())
+      S.counters["pass_" + E.Name] =
+          benchmark::Counter(E.Seconds, benchmark::Counter::kAvgIterations);
   });
 }
 

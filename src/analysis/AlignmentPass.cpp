@@ -1,0 +1,18 @@
+//===- analysis/AlignmentPass.cpp -----------------------------*- C++ -*-===//
+
+#include "analysis/AlignmentPass.h"
+
+#include "analysis/Dependence.h"
+#include "slp/PipelineState.h"
+
+using namespace slp;
+
+void AlignmentPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  S.ensurePreprocessed();
+  S.Deps.emplace(S.Preprocessed);
+
+  Ctx.Stats.set("alignment.dependence-edges", S.Deps->dependences().size());
+  if (S.Preprocessed.Body.empty())
+    Ctx.Remarks.note(name(), "empty block, nothing to analyze");
+}

@@ -1,0 +1,28 @@
+//===- analysis/AlignmentPass.h - Pre-processing analyses as a pass -*- C++ -*-===//
+///
+/// \file
+/// The analysis half of the pipeline's pre-processing: builds the
+/// intra-block dependence information every later stage consumes and
+/// reports the block's dependence density and alignment-relevant shape.
+/// (The per-pack contiguity classification itself is demand-driven —
+/// `classifyArrayPack` is called by the code generator and cost model on
+/// the packs that actually form.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_ALIGNMENTPASS_H
+#define SLP_ANALYSIS_ALIGNMENTPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class AlignmentPass : public KernelPass {
+public:
+  const char *name() const override { return "alignment"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_ALIGNMENTPASS_H

@@ -1,0 +1,57 @@
+//===- layout/LayoutPass.cpp ----------------------------------*- C++ -*-===//
+
+#include "layout/LayoutPass.h"
+
+#include "layout/Layout.h"
+#include "machine/SimulatePass.h"
+#include "machine/Simulator.h"
+#include "slp/PipelineState.h"
+#include "vector/CodeGen.h"
+
+using namespace slp;
+
+void LayoutPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  ensureSimulated(S); // the "no layout" baseline to beat
+
+  // Try the three layout alternatives the paper describes — none,
+  // scalar-only (when replication's cache cost would dominate), and
+  // full — and keep the cheapest.
+  for (bool WithArrays : {false, true}) {
+    LayoutOptions LO;
+    LO.DatapathBits = S.Options.Machine.DatapathBits;
+    LO.OptimizeScalars = true;
+    LO.OptimizeArrays = WithArrays;
+    LayoutResult L = optimizeDataLayout(S.Preprocessed, S.TheSchedule, LO);
+    VectorProgram P = generateVectorProgram(L.TransformedKernel,
+                                            S.TheSchedule, S.CG, L.Scalars);
+    KernelSimResult Sim = simulateVectorKernel(
+        L.TransformedKernel, P, S.Options.Machine, L.ReplicatedBytes);
+    if (Sim.Cycles < S.VectorSim.Cycles) {
+      S.VectorSim = Sim;
+      S.Program = std::move(P);
+      S.Final = L.TransformedKernel.clone();
+      S.Layout = std::move(L);
+      S.LayoutApplied = true;
+    }
+  }
+
+  if (S.LayoutApplied) {
+    Ctx.Stats.add("layout.blocks-transformed");
+    Ctx.Stats.add("layout.scalar-packs-placed", S.Layout.ScalarPacksPlaced);
+    Ctx.Stats.add("layout.array-packs-replicated",
+                  S.Layout.ArrayPacksReplicated);
+    Ctx.Remarks.applied(
+        name(),
+        "layout transformation applied: " +
+            std::to_string(S.Layout.ScalarPacksPlaced) +
+            " scalar pack(s) placed, " +
+            std::to_string(S.Layout.ArrayPacksReplicated) +
+            " array pack(s) replicated (" +
+            std::to_string(static_cast<long long>(S.Layout.ReplicatedBytes)) +
+            " bytes)");
+  } else {
+    Ctx.Remarks.missed(name(), "no layout alternative beat the default "
+                               "placement; data layout unchanged");
+  }
+}

@@ -1,0 +1,27 @@
+//===- layout/LayoutPass.h - Data layout stage as a pass --------*- C++ -*-===//
+///
+/// \file
+/// The framework's second stage (paper Section 5) as a KernelPass, present
+/// only in the Global+Layout pipeline: tries the paper's layout
+/// alternatives — none, scalar-only (when replication's cache cost would
+/// dominate), and full — regenerates the vector program for each, and
+/// keeps the cheapest according to the machine simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_LAYOUT_LAYOUTPASS_H
+#define SLP_LAYOUT_LAYOUTPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class LayoutPass : public KernelPass {
+public:
+  const char *name() const override { return "layout"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_LAYOUT_LAYOUTPASS_H

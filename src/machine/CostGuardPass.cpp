@@ -1,0 +1,123 @@
+//===- machine/CostGuardPass.cpp ------------------------------*- C++ -*-===//
+
+#include "machine/CostGuardPass.h"
+
+#include "machine/CostModel.h"
+#include "machine/SimulatePass.h"
+#include "slp/PipelineState.h"
+#include "vector/CodeGen.h"
+
+#include <algorithm>
+
+using namespace slp;
+
+namespace {
+
+/// The holistic framework's cost model, applied at superword-statement
+/// granularity: demote any group whose vectorization makes the block more
+/// expensive (packing overheads exceeding the SIMD gains, Section 4.3's
+/// closing paragraph). Demotion is greedy-iterative because dropping one
+/// group changes the reuse available to the others.
+Schedule pruneUnprofitableGroups(const Kernel &K, Schedule S,
+                                 const CodeGenOptions &CG,
+                                 const ScalarLayout &Layout,
+                                 const MachineModel &M, unsigned &Demotions) {
+  auto CostOf = [&](const Schedule &Sch) {
+    VectorProgram P = generateVectorProgram(K, Sch, CG, Layout);
+    return costVectorProgram(K, P, M).Cycles;
+  };
+  auto Demoted = [](const Schedule &In, unsigned Item) {
+    Schedule Out;
+    for (unsigned I = 0, E = static_cast<unsigned>(In.Items.size()); I != E;
+         ++I) {
+      if (I != Item) {
+        Out.Items.push_back(In.Items[I]);
+        continue;
+      }
+      std::vector<unsigned> Lanes = In.Items[I].Lanes;
+      std::sort(Lanes.begin(), Lanes.end());
+      for (unsigned S : Lanes)
+        Out.Items.push_back(ScheduleItem{{S}});
+    }
+    return Out;
+  };
+
+  double Current = CostOf(S);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 0; I != S.Items.size(); ++I) {
+      if (!S.Items[I].isGroup())
+        continue;
+      Schedule Trial = Demoted(S, I);
+      double TrialCost = CostOf(Trial);
+      if (TrialCost + 1e-9 < Current) {
+        S = std::move(Trial);
+        Current = TrialCost;
+        ++Demotions;
+        Changed = true;
+        break; // restart the scan over the new schedule
+      }
+    }
+  }
+  return S;
+}
+
+} // namespace
+
+void GroupPrunePass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  const PipelineOptions &Options = S.Options;
+
+  // Per-superword-statement profitability check. Every scheme had one:
+  // Larsen's algorithm estimates each pack's savings, and this paper's
+  // framework applies its cost model before committing (Section 4.3).
+  bool Prune = Options.CostModelGuard &&
+               (!S.isHolistic() || Options.Ablation.GroupPruning);
+  if (!Prune || S.Kind == OptimizerKind::Scalar)
+    return;
+
+  unsigned Before = S.ensureSchedule().numGroups();
+  unsigned Demotions = 0;
+  S.TheSchedule = pruneUnprofitableGroups(
+      S.ensurePreprocessed(), std::move(S.TheSchedule), S.CG,
+      S.defaultScalarLayout(), Options.Machine, Demotions);
+  if (Demotions) {
+    Ctx.Stats.add("cost-model.groups-demoted", Demotions);
+    Ctx.Remarks.missed(
+        name(), "cost model demoted " + std::to_string(Demotions) + " of " +
+                    std::to_string(Before) +
+                    " superword statement(s) to scalar code (packing "
+                    "overhead exceeded the SIMD gain)");
+  }
+}
+
+void CostGuardPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  ensureSimulated(S);
+  if (!S.Options.CostModelGuard)
+    return;
+  if (S.VectorSim.Cycles < S.ScalarSim.Cycles)
+    return;
+
+  // The transformation would slow this block down: keep the scalar code
+  // (Section 4.3, final paragraph).
+  const Kernel &K = S.ensurePreprocessed();
+  S.TheSchedule = scalarSchedule(K);
+  S.Final = K.clone();
+  S.Program =
+      generateVectorProgram(K, S.TheSchedule, S.CG, S.defaultScalarLayout());
+  S.VectorSim = simulateVectorKernel(K, S.Program, S.Options.Machine);
+  S.LayoutApplied = false;
+  S.Layout = LayoutResult();
+  S.TransformationApplied = false;
+
+  // The scalar "optimizer" trivially ties with the scalar reference; only
+  // report a rejection when a real scheme was guarded away.
+  if (S.Kind != OptimizerKind::Scalar) {
+    Ctx.Stats.add("cost-model.blocks-rejected");
+    Ctx.Remarks.missed(name(),
+                       "block not vectorized: cost model predicts no "
+                       "speedup over scalar code; transformation reverted");
+  }
+}

@@ -1,0 +1,43 @@
+//===- machine/CostGuardPass.h - Cost-model guards as passes ----*- C++ -*-===//
+///
+/// \file
+/// The two applications of the framework's cost model (Section 4.3's
+/// closing paragraph, following Larsen's thesis) as passes:
+///
+/// * GroupPrunePass ("group-prune") runs before code generation and
+///   greedily demotes any superword statement whose vectorization makes
+///   the whole block more expensive (packing overheads exceeding the SIMD
+///   gains). Demotion is iterative because dropping one group changes the
+///   reuse available to the others.
+///
+/// * CostGuardPass ("cost-guard") runs last and reverts the entire
+///   transformation when the simulated vectorized block is no faster than
+///   the scalar one — the block then keeps its scalar code.
+///
+/// Both emit `missed` optimization remarks and count their rejections
+/// under `cost-model.*` statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_MACHINE_COSTGUARDPASS_H
+#define SLP_MACHINE_COSTGUARDPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class GroupPrunePass : public KernelPass {
+public:
+  const char *name() const override { return "group-prune"; }
+  void run(PassContext &Ctx) override;
+};
+
+class CostGuardPass : public KernelPass {
+public:
+  const char *name() const override { return "cost-guard"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_MACHINE_COSTGUARDPASS_H

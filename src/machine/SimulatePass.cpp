@@ -1,0 +1,31 @@
+//===- machine/SimulatePass.cpp -------------------------------*- C++ -*-===//
+
+#include "machine/SimulatePass.h"
+
+#include "machine/Simulator.h"
+#include "slp/PipelineState.h"
+#include "vector/CodeGen.h"
+
+using namespace slp;
+
+void slp::ensureSimulated(PipelineState &S) {
+  if (S.Simulated)
+    return;
+  const Kernel &K = S.ensurePreprocessed();
+  if (!S.ProgramReady) {
+    S.Final = K.clone();
+    S.Program = generateVectorProgram(K, S.ensureSchedule(), S.CG,
+                                      S.defaultScalarLayout());
+    S.ProgramReady = true;
+  }
+  S.ScalarSim = simulateScalarKernel(K, S.Options.Machine);
+  S.VectorSim = simulateVectorKernel(K, S.Program, S.Options.Machine);
+  S.Simulated = true;
+}
+
+void SimulatePass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  ensureSimulated(S);
+  Ctx.Stats.add("simulate.scalar-instrs", S.ScalarSim.totalInstrs());
+  Ctx.Stats.add("simulate.vector-instrs", S.VectorSim.totalInstrs());
+}

@@ -1,0 +1,33 @@
+//===- machine/SimulatePass.h - Performance simulation as a pass -*- C++ -*-===//
+///
+/// \file
+/// Prices the generated vector program and the scalar reference on the
+/// target MachineModel (compute + memory-traffic simulation). The results
+/// feed the layout stage's alternative comparison and the final cost-model
+/// guard, and are what `PipelineResult::improvement()` reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_MACHINE_SIMULATEPASS_H
+#define SLP_MACHINE_SIMULATEPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+struct PipelineState;
+
+class SimulatePass : public KernelPass {
+public:
+  const char *name() const override { return "simulate"; }
+  void run(PassContext &Ctx) override;
+};
+
+/// Simulates \p State's scalar and vector executions if not already done
+/// (shared with the layout pass and the cost guard, which need baselines
+/// even in hand-built pipelines that skipped the simulate pass).
+void ensureSimulated(PipelineState &State);
+
+} // namespace slp
+
+#endif // SLP_MACHINE_SIMULATEPASS_H

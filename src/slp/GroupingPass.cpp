@@ -1,0 +1,72 @@
+//===- slp/GroupingPass.cpp -----------------------------------*- C++ -*-===//
+
+#include "slp/GroupingPass.h"
+
+#include "slp/Baseline.h"
+#include "slp/Grouping.h"
+#include "slp/PipelineState.h"
+#include "support/Error.h"
+
+using namespace slp;
+
+void GroupingPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  const Kernel &K = S.ensurePreprocessed();
+  const DependenceInfo &Deps = S.ensureDeps();
+  const PipelineOptions &Options = S.Options;
+
+  switch (S.Kind) {
+  case OptimizerKind::Scalar:
+    S.TheSchedule = scalarSchedule(K);
+    S.ScheduleReady = true;
+    Ctx.Remarks.note(name(), "scalar baseline, no grouping performed");
+    return;
+  case OptimizerKind::Native:
+    S.TheSchedule =
+        nativeVectorizerSchedule(K, Deps, Options.Machine.DatapathBits);
+    S.ScheduleReady = true;
+    break;
+  case OptimizerKind::LarsenSlp:
+    S.TheSchedule = larsenSlpSchedule(K, Deps, Options.Machine.DatapathBits);
+    S.ScheduleReady = true;
+    break;
+  case OptimizerKind::Global:
+  case OptimizerKind::GlobalLayout: {
+    GroupingOptions GO;
+    GO.DatapathBits = Options.Machine.DatapathBits;
+    GO.TieBreakSeed = Options.TieBreakSeed;
+    GO.UseReuseWeight = Options.Ablation.ReuseAwareGrouping;
+    if (!Options.Ablation.PackQualityTieBreak)
+      GO.PackQualityEpsilon = 0;
+    S.Groups = groupStatementsGlobal(K, Deps, GO);
+    unsigned Grouped = 0;
+    for (const SimdGroup &G : S.Groups->Groups)
+      Grouped += G.size();
+    Ctx.Stats.add("grouping.packs-formed", S.Groups->Groups.size());
+    Ctx.Stats.add("grouping.statements-grouped", Grouped);
+    Ctx.Stats.add("grouping.statements-scalar", S.Groups->Singles.size());
+    if (S.Groups->Groups.empty())
+      Ctx.Remarks.missed(name(),
+                         "no isomorphic, dependence-free statement groups "
+                         "found; block stays scalar");
+    else
+      Ctx.Remarks.applied(
+          name(), "formed " + std::to_string(S.Groups->Groups.size()) +
+                      " group(s) covering " + std::to_string(Grouped) +
+                      " of " + std::to_string(K.Body.size()) +
+                      " statements");
+    return;
+  }
+  }
+
+  // Baseline vectorizers: the schedule is already final.
+  Ctx.Stats.add("grouping.packs-formed", S.TheSchedule.numGroups());
+  if (S.TheSchedule.numGroups() == 0)
+    Ctx.Remarks.missed(name(), "baseline vectorizer found no packs; block "
+                               "stays scalar");
+  else
+    Ctx.Remarks.applied(name(),
+                        "baseline vectorizer formed " +
+                            std::to_string(S.TheSchedule.numGroups()) +
+                            " pack(s)");
+}

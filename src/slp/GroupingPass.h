@@ -1,0 +1,29 @@
+//===- slp/GroupingPass.h - Statement grouping as a pass --------*- C++ -*-===//
+///
+/// \file
+/// The optimizer's grouping phase as a KernelPass. For the holistic
+/// schemes (Global / Global+Layout) it runs the paper's reuse-aware global
+/// grouping (Section 4.2) and leaves the chosen groups for the scheduling
+/// pass. The baseline schemes (Scalar, Native, Larsen-SLP) make their
+/// grouping and ordering decisions in one piece, so for them this pass
+/// produces the complete schedule directly and the scheduling pass only
+/// verifies it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_GROUPINGPASS_H
+#define SLP_SLP_GROUPINGPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class GroupingPass : public KernelPass {
+public:
+  const char *name() const override { return "grouping"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_SLP_GROUPINGPASS_H

@@ -1,0 +1,114 @@
+//===- slp/Passes.cpp -----------------------------------------*- C++ -*-===//
+
+#include "slp/Passes.h"
+
+#include "analysis/AlignmentPass.h"
+#include "layout/LayoutPass.h"
+#include "machine/CostGuardPass.h"
+#include "machine/SimulatePass.h"
+#include "slp/GroupingPass.h"
+#include "slp/PipelineState.h"
+#include "slp/SchedulingPass.h"
+#include "transform/UnrollPass.h"
+#include "vector/CodeGenPass.h"
+
+using namespace slp;
+
+std::unique_ptr<KernelPass> slp::createKernelPass(const std::string &Name) {
+  if (Name == "unroll")
+    return std::make_unique<UnrollPass>();
+  if (Name == "alignment")
+    return std::make_unique<AlignmentPass>();
+  if (Name == "grouping")
+    return std::make_unique<GroupingPass>();
+  if (Name == "scheduling")
+    return std::make_unique<SchedulingPass>();
+  if (Name == "group-prune")
+    return std::make_unique<GroupPrunePass>();
+  if (Name == "codegen")
+    return std::make_unique<CodeGenPass>();
+  if (Name == "simulate")
+    return std::make_unique<SimulatePass>();
+  if (Name == "layout")
+    return std::make_unique<LayoutPass>();
+  if (Name == "cost-guard")
+    return std::make_unique<CostGuardPass>();
+  return nullptr;
+}
+
+std::vector<std::string> slp::allPassNames() {
+  return {"unroll",  "alignment", "grouping", "scheduling", "group-prune",
+          "codegen", "simulate",  "layout",   "cost-guard"};
+}
+
+std::vector<std::string> slp::canonicalPassNames(OptimizerKind Kind) {
+  std::vector<std::string> Names = {"unroll",      "alignment", "grouping",
+                                    "scheduling",  "group-prune", "codegen",
+                                    "simulate"};
+  if (Kind == OptimizerKind::GlobalLayout)
+    Names.push_back("layout");
+  Names.push_back("cost-guard");
+  return Names;
+}
+
+PassPipeline slp::buildCanonicalPipeline(OptimizerKind Kind) {
+  PassPipeline P;
+  for (const std::string &Name : canonicalPassNames(Kind))
+    P.addPass(createKernelPass(Name));
+  return P;
+}
+
+bool slp::buildPipelineFromNames(const std::vector<std::string> &Names,
+                                 PassPipeline &Out, std::string *Error) {
+  PassPipeline P;
+  for (const std::string &Name : Names) {
+    std::unique_ptr<KernelPass> Pass = createKernelPass(Name);
+    if (!Pass) {
+      if (Error) {
+        *Error = "unknown pass '" + Name + "' (available:";
+        for (const std::string &Known : allPassNames())
+          *Error += " " + Known;
+        *Error += ")";
+      }
+      return false;
+    }
+    P.addPass(std::move(Pass));
+  }
+  Out = std::move(P);
+  return true;
+}
+
+PipelineResult slp::runPassPipeline(const Kernel &Source, OptimizerKind Kind,
+                                    const PipelineOptions &Options,
+                                    PassPipeline &Pipeline) {
+  PipelineState State(Source, Kind, Options);
+  Statistics Stats;
+  RemarkStream Remarks;
+  Remarks.setSubject(Source.Name);
+
+  PassContext Ctx{State, Stats, Remarks};
+  TimingReport Timing;
+  Pipeline.run(Ctx, Timing);
+
+  PipelineResult R;
+  R.Kind = Kind;
+  // Make the result well-formed even for partial hand-built pipelines.
+  State.ensurePreprocessed();
+  State.ensureSchedule();
+  if (!State.ProgramReady)
+    State.Final = State.Preprocessed.clone();
+  R.Preprocessed = std::move(State.Preprocessed);
+  R.Final = std::move(State.Final);
+  R.TheSchedule = std::move(State.TheSchedule);
+  R.Program = std::move(State.Program);
+  R.Layout = std::move(State.Layout);
+  R.LayoutApplied = State.LayoutApplied;
+  R.TransformationApplied = State.TransformationApplied;
+  R.ScalarSim = State.ScalarSim;
+  R.VectorSim = State.VectorSim;
+  R.Simulated = State.Simulated;
+  R.Stats = std::move(Stats);
+  R.Remarks = Remarks.take();
+  R.PassTimings = std::move(Timing);
+  return R;
+}

@@ -1,0 +1,55 @@
+//===- slp/Passes.h - Pass registry and pipeline builders -------*- C++ -*-===//
+///
+/// \file
+/// Registry of every KernelPass in the framework, plus builders for the
+/// canonical pipelines per OptimizerKind and for hand-written
+/// `--passes=<list>` pipelines. `runPassPipeline` is the underlying
+/// engine `runPipeline` wraps: it threads one kernel through a
+/// PassPipeline and packages the state, statistics, remarks, and per-pass
+/// timings into a PipelineResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_PASSES_H
+#define SLP_SLP_PASSES_H
+
+#include "slp/Pipeline.h"
+#include "support/PassManager.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// Creates the pass registered under \p Name ("unroll", "alignment",
+/// "grouping", "scheduling", "group-prune", "codegen", "simulate",
+/// "layout", "cost-guard"); null for unknown names.
+std::unique_ptr<KernelPass> createKernelPass(const std::string &Name);
+
+/// Every registered pass name, in canonical pipeline order.
+std::vector<std::string> allPassNames();
+
+/// The pass names of the canonical pipeline for \p Kind (the layout pass
+/// is present only for OptimizerKind::GlobalLayout).
+std::vector<std::string> canonicalPassNames(OptimizerKind Kind);
+
+/// Builds the canonical pipeline for \p Kind.
+PassPipeline buildCanonicalPipeline(OptimizerKind Kind);
+
+/// Builds a pipeline from explicit pass names. Returns false (and sets
+/// \p Error when non-null) on an unknown name; \p Out is then unchanged.
+bool buildPipelineFromNames(const std::vector<std::string> &Names,
+                            PassPipeline &Out, std::string *Error = nullptr);
+
+/// Runs \p Pipeline over \p Source and packages everything the passes
+/// produced. Pass instances are reusable: running the same PassPipeline
+/// over many kernels is fine (all per-kernel state lives in the
+/// PipelineResult).
+PipelineResult runPassPipeline(const Kernel &Source, OptimizerKind Kind,
+                               const PipelineOptions &Options,
+                               PassPipeline &Pipeline);
+
+} // namespace slp
+
+#endif // SLP_SLP_PASSES_H

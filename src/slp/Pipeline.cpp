@@ -2,15 +2,11 @@
 
 #include "slp/Pipeline.h"
 
-#include "analysis/Isomorphism.h"
-#include "slp/Baseline.h"
-#include "slp/Grouping.h"
-#include "slp/Verifier.h"
-#include "support/Error.h"
-#include "transform/Unroll.h"
+#include "slp/Passes.h"
 #include "vector/VectorInterp.h"
 
-#include <map>
+#include <atomic>
+#include <thread>
 
 using namespace slp;
 
@@ -30,205 +26,78 @@ const char *slp::optimizerName(OptimizerKind Kind) {
   return "<invalid>";
 }
 
+PipelineResult slp::runPipeline(const Kernel &Source, OptimizerKind Kind,
+                                const PipelineOptions &Options) {
+  PassPipeline Pipeline = buildCanonicalPipeline(Kind);
+  return runPassPipeline(Source, Kind, Options, Pipeline);
+}
+
 namespace {
 
-/// Unroll factor targeting full datapath utilization for the block's
-/// dominant element type.
-unsigned preprocessUnrollFactor(const Kernel &K, unsigned DatapathBits) {
-  if (K.Body.empty())
-    return 1;
-  std::map<ScalarType, unsigned> Votes;
-  for (const Statement &S : K.Body)
-    ++Votes[statementElementType(K, S)];
-  ScalarType Dominant = Votes.begin()->first;
-  unsigned BestVotes = 0;
-  for (const auto &[Ty, N] : Votes)
-    if (N > BestVotes) {
-      Dominant = Ty;
-      BestVotes = N;
-    }
-  return chooseUnrollFactor(K, lanesFor(Dominant, DatapathBits));
+/// Folds \p R into the module totals. Called in kernel order regardless of
+/// which worker produced the result, so the aggregate statistics and
+/// timing reports are deterministic.
+void accumulate(ModulePipelineResult &M, PipelineResult R) {
+  M.ScalarCycles += R.ScalarSim.Cycles;
+  M.OptimizedCycles += R.VectorSim.Cycles;
+  M.Stats.merge(R.Stats);
+  M.PassTimings.merge(R.PassTimings);
+  M.PerKernel.push_back(std::move(R));
 }
 
-/// The holistic framework's cost model, applied at superword-statement
-/// granularity: demote any group whose vectorization makes the block more
-/// expensive (packing overheads exceeding the SIMD gains, Section 4.3's
-/// closing paragraph). Demotion is greedy-iterative because dropping one
-/// group changes the reuse available to the others.
-Schedule pruneUnprofitableGroups(const Kernel &K, Schedule S,
-                                 const CodeGenOptions &CG,
-                                 const ScalarLayout &Layout,
-                                 const MachineModel &M) {
-  auto CostOf = [&](const Schedule &Sch) {
-    VectorProgram P = generateVectorProgram(K, Sch, CG, Layout);
-    return costVectorProgram(K, P, M).Cycles;
-  };
-  auto Demoted = [](const Schedule &In, unsigned Item) {
-    Schedule Out;
-    for (unsigned I = 0, E = static_cast<unsigned>(In.Items.size()); I != E;
-         ++I) {
-      if (I != Item) {
-        Out.Items.push_back(In.Items[I]);
-        continue;
-      }
-      std::vector<unsigned> Lanes = In.Items[I].Lanes;
-      std::sort(Lanes.begin(), Lanes.end());
-      for (unsigned S : Lanes)
-        Out.Items.push_back(ScheduleItem{{S}});
-    }
-    return Out;
-  };
-
-  double Current = CostOf(S);
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (unsigned I = 0; I != S.Items.size(); ++I) {
-      if (!S.Items[I].isGroup())
-        continue;
-      Schedule Trial = Demoted(S, I);
-      double TrialCost = CostOf(Trial);
-      if (TrialCost + 1e-9 < Current) {
-        S = std::move(Trial);
-        Current = TrialCost;
-        Changed = true;
-        break; // restart the scan over the new schedule
-      }
-    }
+unsigned effectiveThreads(unsigned Requested, size_t NumKernels) {
+  unsigned T = Requested;
+  if (T == 0) {
+    T = std::thread::hardware_concurrency();
+    if (T == 0)
+      T = 1;
   }
-  return S;
-}
-
-Schedule makeSchedule(const Kernel &K, const DependenceInfo &Deps,
-                      OptimizerKind Kind, const PipelineOptions &Options) {
-  switch (Kind) {
-  case OptimizerKind::Scalar:
-    return scalarSchedule(K);
-  case OptimizerKind::Native:
-    return nativeVectorizerSchedule(K, Deps, Options.Machine.DatapathBits);
-  case OptimizerKind::LarsenSlp:
-    return larsenSlpSchedule(K, Deps, Options.Machine.DatapathBits);
-  case OptimizerKind::Global:
-  case OptimizerKind::GlobalLayout: {
-    GroupingOptions GO;
-    GO.DatapathBits = Options.Machine.DatapathBits;
-    GO.TieBreakSeed = Options.TieBreakSeed;
-    GO.UseReuseWeight = Options.Ablation.ReuseAwareGrouping;
-    if (!Options.Ablation.PackQualityTieBreak)
-      GO.PackQualityEpsilon = 0;
-    GroupingResult Groups = groupStatementsGlobal(K, Deps, GO);
-    return Options.Ablation.ReuseAwareScheduling
-               ? scheduleGroups(K, Deps, Groups)
-               : scheduleGroupsNaive(K, Deps, Groups);
-  }
-  }
-  slpUnreachable("invalid optimizer kind");
+  if (NumKernels < T)
+    T = static_cast<unsigned>(NumKernels);
+  return T == 0 ? 1 : T;
 }
 
 } // namespace
-
-PipelineResult slp::runPipeline(const Kernel &Source, OptimizerKind Kind,
-                                const PipelineOptions &Options) {
-  PipelineResult R;
-  R.Kind = Kind;
-
-  // Pre-processing: loop unrolling to expose superword parallelism.
-  unsigned Factor =
-      preprocessUnrollFactor(Source, Options.Machine.DatapathBits);
-  R.Preprocessed = unrollInnermost(Source, Factor);
-
-  DependenceInfo Deps(R.Preprocessed);
-  R.TheSchedule = makeSchedule(R.Preprocessed, Deps, Kind, Options);
-  assert(verifySchedule(R.Preprocessed, Deps, R.TheSchedule,
-                        Options.Machine.DatapathBits)
-             .empty() &&
-         "optimizer produced an invalid schedule");
-
-  CodeGenOptions CG;
-  CG.DatapathBits = Options.Machine.DatapathBits;
-  CG.NumVectorRegisters = Options.Machine.NumVectorRegisters;
-  // Indirect (permuted) superword reuse and the register-file-as-cache
-  // treatment of loaded packs are this paper's contribution (with Shin et
-  // al.); the Native and original-SLP baselines only forward pack results
-  // along def-use chains and otherwise reload (Sections 2 and 4.3).
-  bool Holistic = Kind == OptimizerKind::Global ||
-                  Kind == OptimizerKind::GlobalLayout;
-  CG.EnablePermutedReuse = Holistic && Options.Ablation.PermutedReuse;
-  CG.CacheLoadedPacks = Holistic && Options.Ablation.CacheLoadedPacks;
-
-  ScalarLayout DefaultLayout = ScalarLayout::defaultLayout(
-      static_cast<unsigned>(R.Preprocessed.Scalars.size()));
-
-  // Per-superword-statement profitability check. Every scheme had one:
-  // Larsen's algorithm estimates each pack's savings, and this paper's
-  // framework applies its cost model before committing (Section 4.3).
-  bool Prune = Options.CostModelGuard &&
-               (!Holistic || Options.Ablation.GroupPruning);
-  if (Prune && Kind != OptimizerKind::Scalar)
-    R.TheSchedule = pruneUnprofitableGroups(
-        R.Preprocessed, std::move(R.TheSchedule), CG, DefaultLayout,
-        Options.Machine);
-
-  R.Final = R.Preprocessed.clone();
-  R.Program =
-      generateVectorProgram(R.Preprocessed, R.TheSchedule, CG, DefaultLayout);
-  R.ScalarSim = simulateScalarKernel(R.Preprocessed, Options.Machine);
-  R.VectorSim =
-      simulateVectorKernel(R.Preprocessed, R.Program, Options.Machine);
-
-  if (Kind == OptimizerKind::GlobalLayout) {
-    // Try the three layout alternatives the paper describes — none,
-    // scalar-only (when replication's cache cost would dominate), and
-    // full — and keep the cheapest.
-    for (bool WithArrays : {false, true}) {
-      LayoutOptions LO;
-      LO.DatapathBits = Options.Machine.DatapathBits;
-      LO.OptimizeScalars = true;
-      LO.OptimizeArrays = WithArrays;
-      LayoutResult L =
-          optimizeDataLayout(R.Preprocessed, R.TheSchedule, LO);
-      VectorProgram P = generateVectorProgram(L.TransformedKernel,
-                                              R.TheSchedule, CG, L.Scalars);
-      KernelSimResult Sim = simulateVectorKernel(
-          L.TransformedKernel, P, Options.Machine, L.ReplicatedBytes);
-      if (Sim.Cycles < R.VectorSim.Cycles) {
-        R.VectorSim = Sim;
-        R.Program = std::move(P);
-        R.Final = L.TransformedKernel.clone();
-        R.Layout = std::move(L);
-        R.LayoutApplied = true;
-      }
-    }
-  }
-
-  R.TransformationApplied = true;
-  if (Options.CostModelGuard && R.VectorSim.Cycles >= R.ScalarSim.Cycles) {
-    // The transformation would slow this block down: keep the scalar code
-    // (Section 4.3, final paragraph).
-    R.TheSchedule = scalarSchedule(R.Preprocessed);
-    R.Final = R.Preprocessed.clone();
-    R.Program = generateVectorProgram(R.Preprocessed, R.TheSchedule, CG,
-                                      DefaultLayout);
-    R.VectorSim =
-        simulateVectorKernel(R.Preprocessed, R.Program, Options.Machine);
-    R.LayoutApplied = false;
-    R.Layout = LayoutResult();
-    R.TransformationApplied = false;
-  }
-  return R;
-}
 
 ModulePipelineResult
 slp::runPipelineOverModule(const std::vector<Kernel> &Module,
                            OptimizerKind Kind,
                            const PipelineOptions &Options) {
   ModulePipelineResult M;
-  for (const Kernel &K : Module) {
-    PipelineResult R = runPipeline(K, Kind, Options);
-    M.ScalarCycles += R.ScalarSim.Cycles;
-    M.OptimizedCycles += R.VectorSim.Cycles;
-    M.PerKernel.push_back(std::move(R));
+  unsigned Threads = effectiveThreads(Options.Threads, Module.size());
+
+  if (Threads <= 1) {
+    // Each worker (and the serial path) builds its own pipeline, so pass
+    // objects are never shared across threads.
+    PassPipeline Pipeline = buildCanonicalPipeline(Kind);
+    for (const Kernel &K : Module)
+      accumulate(M, runPassPipeline(K, Kind, Options, Pipeline));
+    return M;
   }
+
+  // Fan the kernels out over a small worker pool. Workers claim kernel
+  // indices from a shared counter and write into a pre-sized slot vector,
+  // so the result order — and, after the in-order merge below, every
+  // aggregate — is identical to the serial run's.
+  std::vector<PipelineResult> Slots(Module.size());
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    PassPipeline Pipeline = buildCanonicalPipeline(Kind);
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+         I < Module.size();
+         I = Next.fetch_add(1, std::memory_order_relaxed))
+      Slots[I] = runPassPipeline(Module[I], Kind, Options, Pipeline);
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+
+  for (PipelineResult &R : Slots)
+    accumulate(M, std::move(R));
   return M;
 }
 

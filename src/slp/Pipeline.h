@@ -1,12 +1,21 @@
 //===- slp/Pipeline.h - End-to-end SLP optimization pipelines ---*- C++ -*-===//
 ///
 /// \file
-/// The whole framework of the paper's Figure 3, as one call: pre-processing
-/// (loop unrolling + alignment analysis), one of the optimizers (the
-/// holistic two-phase "Global" scheme, the Larsen "SLP" baseline, the
-/// "Native" streaming vectorizer, or plain scalar), the optional data
-/// layout stage ("Global+Layout"), vector code generation, and the cost
-/// model guard that skips the transformation when it would not pay off.
+/// The whole framework of the paper's Figure 3: pre-processing (loop
+/// unrolling + alignment analysis), one of the optimizers (the holistic
+/// two-phase "Global" scheme, the Larsen "SLP" baseline, the "Native"
+/// streaming vectorizer, or plain scalar), the optional data layout stage
+/// ("Global+Layout"), vector code generation, and the cost model guard
+/// that skips the transformation when it would not pay off.
+///
+/// `runPipeline` is a thin wrapper over the pass-manager subsystem
+/// (support/PassManager.h + slp/Passes.h): it builds the canonical
+/// PassPipeline for the requested OptimizerKind and runs it, so every
+/// result carries per-pass wall-clock timings, named statistic counters,
+/// and an optimization-remark stream. `runPipelineOverModule` fans the
+/// module's kernels out over a worker pool (`PipelineOptions::Threads`)
+/// with deterministic result ordering and a deterministic merge of the
+/// per-kernel statistics.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +25,7 @@
 #include "layout/Layout.h"
 #include "machine/Simulator.h"
 #include "slp/Scheduling.h"
+#include "support/PassManager.h"
 #include "vector/CodeGen.h"
 
 #include <string>
@@ -59,6 +69,11 @@ struct PipelineOptions {
   /// (Section 4.3's final paragraph).
   bool CostModelGuard = true;
   uint64_t TieBreakSeed = 1;
+  /// Worker threads used by runPipelineOverModule: 1 runs kernels
+  /// serially on the calling thread, N > 1 fans them out over a pool of N
+  /// workers, and 0 asks for one worker per hardware thread. Results are
+  /// deterministic and identical to the serial ones in every case.
+  unsigned Threads = 1;
   /// Mechanism switches for Global/GlobalLayout (ablation study only).
   HolisticAblation Ablation;
 };
@@ -79,6 +94,14 @@ struct PipelineResult {
   bool TransformationApplied = false;
   KernelSimResult ScalarSim; ///< scalar execution of Preprocessed
   KernelSimResult VectorSim; ///< the emitted program
+  /// False only when a hand-built `--passes=` list omitted the simulate
+  /// stage; ScalarSim/VectorSim are then meaningless.
+  bool Simulated = false;
+
+  // Instrumentation collected by the pass manager.
+  Statistics Stats;            ///< named counters (packs formed, ...)
+  std::vector<Remark> Remarks; ///< why the block was(n't) vectorized
+  TimingReport PassTimings;    ///< per-pass wall-clock time
 
   /// Fractional execution-time reduction over scalar code.
   double improvement() const { return timeReduction(ScalarSim, VectorSim); }
@@ -102,6 +125,10 @@ struct ModulePipelineResult {
   /// Scalar and optimized cycle totals across all kernels.
   double ScalarCycles = 0;
   double OptimizedCycles = 0;
+  /// Per-kernel statistics and pass timings, merged in kernel order (so
+  /// the merge is identical no matter how many worker threads ran).
+  Statistics Stats;
+  TimingReport PassTimings;
 
   /// Whole-module execution-time reduction (kernels weighted by their
   /// scalar time).

@@ -1,0 +1,125 @@
+//===- slp/PipelineState.h - Mutable state threaded through passes -*- C++ -*-===//
+///
+/// \file
+/// The concrete pipeline state behind the support layer's opaque
+/// `PipelineState` forward declaration: everything the Figure 3 stages
+/// produce and consume for one kernel — the unrolled kernel, dependence
+/// info, grouping, schedule, generated vector program, layout decision and
+/// simulation results. Each KernelPass reads and writes exactly the fields
+/// its stage owns; `ensure*` helpers let a hand-built `--passes=` list omit
+/// a stage and still leave downstream passes well-defined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_PIPELINESTATE_H
+#define SLP_SLP_PIPELINESTATE_H
+
+#include "slp/Pipeline.h"
+
+#include <optional>
+
+namespace slp {
+
+struct PipelineState {
+  PipelineState(const Kernel &Src, OptimizerKind K,
+                const PipelineOptions &O)
+      : Source(Src), Kind(K), Options(O) {
+    CG.DatapathBits = Options.Machine.DatapathBits;
+    CG.NumVectorRegisters = Options.Machine.NumVectorRegisters;
+    // Indirect (permuted) superword reuse and the register-file-as-cache
+    // treatment of loaded packs are this paper's contribution (with Shin
+    // et al.); the Native and original-SLP baselines only forward pack
+    // results along def-use chains and otherwise reload (Sections 2, 4.3).
+    CG.EnablePermutedReuse = isHolistic() && Options.Ablation.PermutedReuse;
+    CG.CacheLoadedPacks = isHolistic() && Options.Ablation.CacheLoadedPacks;
+  }
+
+  PipelineState(const PipelineState &) = delete;
+  PipelineState &operator=(const PipelineState &) = delete;
+
+  // --- fixed inputs ------------------------------------------------------
+  const Kernel &Source;
+  OptimizerKind Kind;
+  const PipelineOptions &Options;
+  /// Code-generation parameters derived from Kind + Options.
+  CodeGenOptions CG;
+
+  // --- produced by UnrollPass --------------------------------------------
+  Kernel Preprocessed;
+  bool PreprocessedReady = false;
+  unsigned UnrollFactor = 1;
+
+  // --- produced by AlignmentPass -----------------------------------------
+  std::optional<DependenceInfo> Deps;
+
+  // --- produced by GroupingPass ------------------------------------------
+  /// Holistic grouping result (Global / GlobalLayout only; the baseline
+  /// algorithms produce their schedule directly).
+  std::optional<GroupingResult> Groups;
+
+  // --- produced by GroupingPass / SchedulingPass -------------------------
+  Schedule TheSchedule;
+  bool ScheduleReady = false;
+
+  // --- produced by CodeGenPass -------------------------------------------
+  /// The kernel the vector program runs on (differs from Preprocessed only
+  /// when the layout stage replicated arrays).
+  Kernel Final;
+  VectorProgram Program;
+  bool ProgramReady = false;
+  bool TransformationApplied = false;
+
+  // --- produced by SimulatePass ------------------------------------------
+  KernelSimResult ScalarSim;
+  KernelSimResult VectorSim;
+  bool Simulated = false;
+
+  // --- produced by LayoutPass --------------------------------------------
+  LayoutResult Layout;
+  bool LayoutApplied = false;
+
+  /// True for the paper's own schemes (as opposed to the baselines).
+  bool isHolistic() const {
+    return Kind == OptimizerKind::Global || Kind == OptimizerKind::GlobalLayout;
+  }
+
+  /// The default (unoptimized) scalar placement for the preprocessed
+  /// kernel, shared by pruning, code generation and the cost guard.
+  ScalarLayout defaultScalarLayout() const {
+    return ScalarLayout::defaultLayout(
+        static_cast<unsigned>(Preprocessed.Scalars.size()));
+  }
+
+  /// Preprocessed kernel, falling back to an unmodified copy of the source
+  /// when no unroll pass ran.
+  Kernel &ensurePreprocessed() {
+    if (!PreprocessedReady) {
+      Preprocessed = Source.clone();
+      PreprocessedReady = true;
+    }
+    return Preprocessed;
+  }
+
+  /// Dependence info over the preprocessed kernel, computed on demand when
+  /// no alignment pass ran. (Callers must link the analysis library.)
+  DependenceInfo &ensureDeps() {
+    ensurePreprocessed();
+    if (!Deps)
+      Deps.emplace(Preprocessed);
+    return *Deps;
+  }
+
+  /// Schedule, falling back to the all-scalar schedule when no grouping or
+  /// scheduling pass ran. (Callers must link the slp core library.)
+  Schedule &ensureSchedule() {
+    if (!ScheduleReady) {
+      TheSchedule = scalarSchedule(ensurePreprocessed());
+      ScheduleReady = true;
+    }
+    return TheSchedule;
+  }
+};
+
+} // namespace slp
+
+#endif // SLP_SLP_PIPELINESTATE_H

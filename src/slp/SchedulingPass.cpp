@@ -1,0 +1,34 @@
+//===- slp/SchedulingPass.cpp ---------------------------------*- C++ -*-===//
+
+#include "slp/SchedulingPass.h"
+
+#include "slp/PipelineState.h"
+#include "slp/Verifier.h"
+
+using namespace slp;
+
+void SchedulingPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  const Kernel &K = S.ensurePreprocessed();
+
+  if (S.Groups) {
+    const DependenceInfo &Deps = S.ensureDeps();
+    S.TheSchedule = S.Options.Ablation.ReuseAwareScheduling
+                        ? scheduleGroups(K, Deps, *S.Groups)
+                        : scheduleGroupsNaive(K, Deps, *S.Groups);
+    S.ScheduleReady = true;
+  } else {
+    // Baselines (and hand-built pipelines without a grouping pass): the
+    // schedule is already final; fall back to all-scalar when absent.
+    S.ensureSchedule();
+  }
+
+  assert(verifySchedule(K, S.ensureDeps(), S.TheSchedule,
+                        S.Options.Machine.DatapathBits)
+             .empty() &&
+         "optimizer produced an invalid schedule");
+
+  Ctx.Stats.add("scheduling.superwords-placed", S.TheSchedule.numGroups());
+  Ctx.Stats.add("scheduling.scalars-placed",
+                S.TheSchedule.Items.size() - S.TheSchedule.numGroups());
+}

@@ -1,0 +1,28 @@
+//===- slp/SchedulingPass.h - Superword scheduling as a pass ----*- C++ -*-===//
+///
+/// \file
+/// The optimizer's scheduling phase as a KernelPass: orders the superword
+/// statements chosen by the grouping pass and fixes every group's lane
+/// order (paper Section 4.3, reuse-aware unless ablated). For the baseline
+/// schemes the grouping pass already produced a complete schedule; this
+/// pass then only validates it. Every schedule leaving this pass is
+/// checked against the Section 4.1 validity constraints in debug builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SLP_SCHEDULINGPASS_H
+#define SLP_SLP_SCHEDULINGPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class SchedulingPass : public KernelPass {
+public:
+  const char *name() const override { return "scheduling"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_SLP_SCHEDULINGPASS_H

@@ -1,0 +1,62 @@
+//===- support/PassManager.cpp --------------------------------*- C++ -*-===//
+
+#include "support/PassManager.h"
+
+using namespace slp;
+
+std::string Remark::str() const {
+  const char *Prefix = "note";
+  switch (Kind) {
+  case RemarkKind::Applied:
+    Prefix = "remark";
+    break;
+  case RemarkKind::Missed:
+    Prefix = "missed";
+    break;
+  case RemarkKind::Note:
+    Prefix = "note";
+    break;
+  }
+  std::string Out = Prefix;
+  Out += ": ";
+  if (!Kernel.empty()) {
+    Out += Kernel;
+    Out += ": ";
+  }
+  Out += "[";
+  Out += Pass;
+  Out += "] ";
+  Out += Message;
+  return Out;
+}
+
+void RemarkStream::emit(RemarkKind Kind, const std::string &Pass,
+                        std::string Message) {
+  Remarks.push_back(Remark{Kind, Pass, Subject, std::move(Message)});
+}
+
+KernelPass::~KernelPass() = default;
+
+void PassPipeline::addPass(std::unique_ptr<KernelPass> Pass) {
+  if (Pass)
+    Passes.push_back(std::move(Pass));
+}
+
+std::vector<std::string> PassPipeline::passNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Passes.size());
+  for (const auto &P : Passes)
+    Names.push_back(P->name());
+  return Names;
+}
+
+void PassPipeline::run(PassContext &Ctx, TimingReport &Timing) {
+  for (const auto &P : Passes) {
+    Timer T;
+    {
+      TimeRegion R(T);
+      P->run(Ctx);
+    }
+    Timing.record(P->name(), T.seconds());
+  }
+}

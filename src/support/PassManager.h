@@ -1,0 +1,133 @@
+//===- support/PassManager.h - Instrumented kernel pass manager -*- C++ -*-===//
+///
+/// \file
+/// The pass-manager subsystem behind the SLP pipelines. The paper's
+/// Figure 3 framework used to be hard-wired as one opaque call; here every
+/// stage is a KernelPass with a name, run by a PassPipeline that owns the
+/// ordered pass list, times each pass (Timer), collects named statistic
+/// counters (Statistics), and records optimization remarks explaining why
+/// a block was or wasn't vectorized.
+///
+/// This layer is deliberately IR-agnostic: the mutable pipeline state
+/// (kernel, dependences, schedule, vector program, simulations) is the
+/// opaque `PipelineState`, defined by the SLP layer in
+/// `slp/PipelineState.h`. Support code only moves the pointer around, so
+/// the pass manager stays at the bottom of the library stack and every
+/// layer above it can define passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_PASSMANAGER_H
+#define SLP_SUPPORT_PASSMANAGER_H
+
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+struct PipelineState; // defined in slp/PipelineState.h
+
+/// Severity of an optimization remark, mirroring LLVM's taxonomy.
+enum class RemarkKind : uint8_t {
+  Applied, ///< an optimization fired
+  Missed,  ///< an optimization was possible but rejected (cost model, ...)
+  Note,    ///< neutral analysis information
+};
+
+/// One optimization remark: which pass, about which kernel, and why.
+struct Remark {
+  RemarkKind Kind = RemarkKind::Note;
+  std::string Pass;
+  std::string Kernel;
+  std::string Message;
+
+  /// "remark: <kernel>: [<pass>] <message>" with a kind-specific prefix.
+  std::string str() const;
+};
+
+/// Collects remarks during one pipeline run. Collection is cheap and
+/// always on; whether the stream is shown is the front end's choice
+/// (`--remarks`).
+class RemarkStream {
+public:
+  /// Sets the kernel name stamped onto subsequently emitted remarks.
+  void setSubject(std::string KernelName) { Subject = std::move(KernelName); }
+  const std::string &subject() const { return Subject; }
+
+  void applied(const std::string &Pass, std::string Message) {
+    emit(RemarkKind::Applied, Pass, std::move(Message));
+  }
+  void missed(const std::string &Pass, std::string Message) {
+    emit(RemarkKind::Missed, Pass, std::move(Message));
+  }
+  void note(const std::string &Pass, std::string Message) {
+    emit(RemarkKind::Note, Pass, std::move(Message));
+  }
+
+  void emit(RemarkKind Kind, const std::string &Pass, std::string Message);
+
+  const std::vector<Remark> &remarks() const { return Remarks; }
+  bool empty() const { return Remarks.empty(); }
+
+  /// Takes the collected remarks out of the stream.
+  std::vector<Remark> take() { return std::move(Remarks); }
+
+private:
+  std::string Subject;
+  std::vector<Remark> Remarks;
+};
+
+/// Everything a pass may read and write while running.
+struct PassContext {
+  PipelineState &State;
+  Statistics &Stats;
+  RemarkStream &Remarks;
+};
+
+/// One stage of a kernel pipeline. Passes are stateless between kernels:
+/// all per-kernel data lives in the PassContext's PipelineState.
+class KernelPass {
+public:
+  virtual ~KernelPass();
+
+  /// Stable, CLI-addressable pass name (`--passes=unroll,grouping,...`).
+  virtual const char *name() const = 0;
+
+  /// Runs the pass over \p Ctx's state.
+  virtual void run(PassContext &Ctx) = 0;
+};
+
+/// An ordered, owning list of passes plus the instrumentation around
+/// running them: per-pass wall-clock timing and a run counter statistic.
+class PassPipeline {
+public:
+  PassPipeline() = default;
+  PassPipeline(PassPipeline &&) = default;
+  PassPipeline &operator=(PassPipeline &&) = default;
+
+  /// Appends \p Pass (ignores null).
+  void addPass(std::unique_ptr<KernelPass> Pass);
+
+  size_t size() const { return Passes.size(); }
+  bool empty() const { return Passes.empty(); }
+
+  /// Names of the passes in execution order.
+  std::vector<std::string> passNames() const;
+
+  /// Runs every pass in order over \p Ctx, timing each. The accumulated
+  /// per-pass timing of this run is appended to \p Timing (per pass
+  /// *instance*, in pipeline order — two instances of the same pass merge
+  /// into one entry).
+  void run(PassContext &Ctx, TimingReport &Timing);
+
+private:
+  std::vector<std::unique_ptr<KernelPass>> Passes;
+};
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_PASSMANAGER_H

@@ -1,0 +1,55 @@
+//===- support/Statistics.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/Statistics.h"
+
+#include <cstdio>
+
+using namespace slp;
+
+void Statistics::add(const std::string &Name, uint64_t Delta) {
+  for (Statistic &S : Counters)
+    if (S.Name == Name) {
+      S.Value += Delta;
+      return;
+    }
+  Counters.push_back(Statistic{Name, Delta});
+}
+
+void Statistics::set(const std::string &Name, uint64_t Value) {
+  for (Statistic &S : Counters)
+    if (S.Name == Name) {
+      S.Value = Value;
+      return;
+    }
+  Counters.push_back(Statistic{Name, Value});
+}
+
+uint64_t Statistics::get(const std::string &Name) const {
+  for (const Statistic &S : Counters)
+    if (S.Name == Name)
+      return S.Value;
+  return 0;
+}
+
+bool Statistics::has(const std::string &Name) const {
+  for (const Statistic &S : Counters)
+    if (S.Name == Name)
+      return true;
+  return false;
+}
+
+void Statistics::merge(const Statistics &Other) {
+  for (const Statistic &S : Other.Counters)
+    add(S.Name, S.Value);
+}
+
+std::string Statistics::str(const std::string &Title) const {
+  std::string Out = "=== " + Title + " ===\n";
+  char Line[160];
+  for (const Statistic &S : Counters) {
+    std::snprintf(Line, sizeof(Line), "  %8llu  %s\n",
+                  static_cast<unsigned long long>(S.Value), S.Name.c_str());
+    Out += Line;
+  }
+  return Out;
+}

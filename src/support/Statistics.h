@@ -1,0 +1,60 @@
+//===- support/Statistics.h - Named statistic counters ----------*- C++ -*-===//
+///
+/// \file
+/// Named, insertion-ordered statistic counters collected by the pass
+/// manager (`--stats`): packs formed, reuses exploited, permutes emitted,
+/// cost-model rejections, and anything else a pass wants to report. A
+/// Statistics object is private to one pipeline run (so the parallel
+/// module driver needs no locking while kernels are in flight); per-kernel
+/// sets are merged deterministically afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_STATISTICS_H
+#define SLP_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// One named counter.
+struct Statistic {
+  std::string Name;
+  uint64_t Value = 0;
+};
+
+/// An insertion-ordered set of named counters.
+class Statistics {
+public:
+  /// Adds \p Delta to the counter named \p Name, creating it (at the end)
+  /// when new.
+  void add(const std::string &Name, uint64_t Delta = 1);
+
+  /// Sets \p Name to \p Value exactly (creating it when new).
+  void set(const std::string &Name, uint64_t Value);
+
+  /// Current value of \p Name (0 when the counter does not exist).
+  uint64_t get(const std::string &Name) const;
+
+  bool has(const std::string &Name) const;
+
+  /// Folds every counter of \p Other into this set. Merge order is the
+  /// caller's iteration order, so merging per-kernel sets in kernel order
+  /// is deterministic regardless of worker-thread interleaving.
+  void merge(const Statistics &Other);
+
+  bool empty() const { return Counters.empty(); }
+  const std::vector<Statistic> &counters() const { return Counters; }
+
+  /// Renders the counters as an LLVM-`-stats`-style block.
+  std::string str(const std::string &Title = "statistics") const;
+
+private:
+  std::vector<Statistic> Counters;
+};
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_STATISTICS_H

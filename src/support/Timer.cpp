@@ -1,0 +1,56 @@
+//===- support/Timer.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace slp;
+
+void TimingReport::record(const std::string &Name, double Seconds,
+                          uint64_t Invocations) {
+  for (TimingEntry &E : Entries)
+    if (E.Name == Name) {
+      E.Seconds += Seconds;
+      E.Invocations += Invocations;
+      return;
+    }
+  Entries.push_back(TimingEntry{Name, Seconds, Invocations});
+}
+
+void TimingReport::merge(const TimingReport &Other) {
+  for (const TimingEntry &E : Other.Entries)
+    record(E.Name, E.Seconds, E.Invocations);
+}
+
+double TimingReport::totalSeconds() const {
+  double Total = 0;
+  for (const TimingEntry &E : Entries)
+    Total += E.Seconds;
+  return Total;
+}
+
+double TimingReport::secondsFor(const std::string &Name) const {
+  for (const TimingEntry &E : Entries)
+    if (E.Name == Name)
+      return E.Seconds;
+  return 0;
+}
+
+std::string TimingReport::str(const std::string &Title) const {
+  double Total = totalSeconds();
+  std::string Out = "=== " + Title + " ===\n";
+  char Line[160];
+  for (const TimingEntry &E : Entries) {
+    double Pct = Total > 0 ? 100.0 * E.Seconds / Total : 0.0;
+    std::snprintf(Line, sizeof(Line),
+                  "  %-14s %10.3f ms  %5.1f%%  (%llu run%s)\n",
+                  E.Name.c_str(), E.Seconds * 1e3, Pct,
+                  static_cast<unsigned long long>(E.Invocations),
+                  E.Invocations == 1 ? "" : "s");
+    Out += Line;
+  }
+  std::snprintf(Line, sizeof(Line), "  %-14s %10.3f ms\n", "total",
+                Total * 1e3);
+  Out += Line;
+  return Out;
+}

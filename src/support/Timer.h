@@ -1,0 +1,109 @@
+//===- support/Timer.h - Wall-clock timing utilities ------------*- C++ -*-===//
+///
+/// \file
+/// Small wall-clock timing helpers used by the pass manager (per-pass
+/// timing, `--time-passes`) and the benches (per-stage compile time in the
+/// BENCH_*.json output). A Timer accumulates elapsed seconds over any
+/// number of start/stop intervals; TimeRegion is the RAII wrapper; and
+/// TimingReport is a named, ordered collection of accumulated timings that
+/// can be merged across kernels and across worker threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_TIMER_H
+#define SLP_SUPPORT_TIMER_H
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// Accumulating wall-clock timer.
+class Timer {
+public:
+  /// Starts an interval. Must not already be running.
+  void start() {
+    assert(!Running && "timer already running");
+    Running = true;
+    Begin = std::chrono::steady_clock::now();
+  }
+
+  /// Ends the current interval, adding its duration to the total.
+  void stop() {
+    assert(Running && "timer not running");
+    Running = false;
+    TotalSeconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Begin)
+                        .count();
+  }
+
+  bool isRunning() const { return Running; }
+
+  /// Accumulated seconds over all completed intervals.
+  double seconds() const { return TotalSeconds; }
+
+  void reset() {
+    TotalSeconds = 0;
+    Running = false;
+  }
+
+private:
+  std::chrono::steady_clock::time_point Begin;
+  double TotalSeconds = 0;
+  bool Running = false;
+};
+
+/// RAII region: starts \p T on construction, stops it on destruction.
+class TimeRegion {
+public:
+  explicit TimeRegion(Timer &T) : TheTimer(T) { TheTimer.start(); }
+  ~TimeRegion() { TheTimer.stop(); }
+  TimeRegion(const TimeRegion &) = delete;
+  TimeRegion &operator=(const TimeRegion &) = delete;
+
+private:
+  Timer &TheTimer;
+};
+
+/// One named entry of a timing report.
+struct TimingEntry {
+  std::string Name;
+  double Seconds = 0;
+  uint64_t Invocations = 0;
+};
+
+/// A named, insertion-ordered collection of accumulated wall-clock
+/// timings. Merging preserves the order of first appearance, so reports
+/// merged across kernels keep the canonical pass order.
+class TimingReport {
+public:
+  /// Adds \p Seconds (one invocation) to the entry named \p Name,
+  /// creating it at the end when new.
+  void record(const std::string &Name, double Seconds,
+              uint64_t Invocations = 1);
+
+  /// Folds every entry of \p Other into this report.
+  void merge(const TimingReport &Other);
+
+  /// Total seconds across all entries.
+  double totalSeconds() const;
+
+  /// Seconds recorded under \p Name (0 when absent).
+  double secondsFor(const std::string &Name) const;
+
+  bool empty() const { return Entries.empty(); }
+  const std::vector<TimingEntry> &entries() const { return Entries; }
+
+  /// Renders the report as an `--time-passes`-style table.
+  std::string str(const std::string &Title = "pass timing") const;
+
+private:
+  std::vector<TimingEntry> Entries;
+};
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_TIMER_H

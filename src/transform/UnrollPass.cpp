@@ -1,0 +1,57 @@
+//===- transform/UnrollPass.cpp -------------------------------*- C++ -*-===//
+
+#include "transform/UnrollPass.h"
+
+#include "analysis/Isomorphism.h"
+#include "slp/Grouping.h"
+#include "slp/PipelineState.h"
+#include "transform/Unroll.h"
+
+#include <map>
+
+using namespace slp;
+
+namespace {
+
+/// Unroll factor targeting full datapath utilization for the block's
+/// dominant element type.
+unsigned preprocessUnrollFactor(const Kernel &K, unsigned DatapathBits) {
+  if (K.Body.empty())
+    return 1;
+  std::map<ScalarType, unsigned> Votes;
+  for (const Statement &S : K.Body)
+    ++Votes[statementElementType(K, S)];
+  ScalarType Dominant = Votes.begin()->first;
+  unsigned BestVotes = 0;
+  for (const auto &[Ty, N] : Votes)
+    if (N > BestVotes) {
+      Dominant = Ty;
+      BestVotes = N;
+    }
+  return chooseUnrollFactor(K, lanesFor(Dominant, DatapathBits));
+}
+
+} // namespace
+
+void UnrollPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  unsigned Factor =
+      preprocessUnrollFactor(S.Source, S.Options.Machine.DatapathBits);
+  S.Preprocessed = unrollInnermost(S.Source, Factor);
+  S.PreprocessedReady = true;
+  S.UnrollFactor = Factor;
+  // The unrolled kernel invalidates every downstream analysis product.
+  S.Deps.reset();
+
+  Ctx.Stats.set("unroll.factor", Factor);
+  Ctx.Stats.set("unroll.block-statements", S.Preprocessed.Body.size());
+  if (Factor > 1)
+    Ctx.Remarks.applied(name(), "unrolled innermost loop by " +
+                                    std::to_string(Factor) + " (" +
+                                    std::to_string(S.Preprocessed.Body.size()) +
+                                    " statements in block)");
+  else
+    Ctx.Remarks.note(name(),
+                     "no unrolling (no loop, zero trip count, or datapath "
+                     "already filled)");
+}

@@ -1,0 +1,25 @@
+//===- transform/UnrollPass.h - Pre-processing unroll as a pass -*- C++ -*-===//
+///
+/// \file
+/// The pipeline's pre-processing stage (paper Section 3) as a KernelPass:
+/// picks the unroll factor that fills the SIMD datapath for the block's
+/// dominant element type and unrolls the innermost loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TRANSFORM_UNROLLPASS_H
+#define SLP_TRANSFORM_UNROLLPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class UnrollPass : public KernelPass {
+public:
+  const char *name() const override { return "unroll"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_TRANSFORM_UNROLLPASS_H

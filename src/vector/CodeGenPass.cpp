@@ -1,0 +1,38 @@
+//===- vector/CodeGenPass.cpp ---------------------------------*- C++ -*-===//
+
+#include "vector/CodeGenPass.h"
+
+#include "slp/PipelineState.h"
+#include "vector/CodeGen.h"
+
+using namespace slp;
+
+void CodeGenPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  const Kernel &K = S.ensurePreprocessed();
+
+  S.Final = K.clone();
+  S.Program =
+      generateVectorProgram(K, S.ensureSchedule(), S.CG,
+                            S.defaultScalarLayout());
+  S.ProgramReady = true;
+  S.TransformationApplied = true;
+
+  unsigned Permutes = 0;
+  for (const VInst &I : S.Program.Insts)
+    Permutes += I.Kind == VInstKind::Shuffle;
+  const CodeGenStats &CS = S.Program.Stats;
+  Ctx.Stats.add("codegen.direct-reuses", CS.DirectReuses);
+  Ctx.Stats.add("codegen.permuted-reuses", CS.PermutedReuses);
+  Ctx.Stats.add("codegen.materialized-packs", CS.MaterializedPacks);
+  Ctx.Stats.add("codegen.permutes-emitted", Permutes);
+  Ctx.Stats.add("codegen.vector-insts", S.Program.Insts.size());
+
+  unsigned Reuses = CS.DirectReuses + CS.PermutedReuses;
+  if (CS.SuperwordStatements > 0)
+    Ctx.Remarks.applied(
+        name(), "emitted " + std::to_string(CS.SuperwordStatements) +
+                    " superword statement(s), exploiting " +
+                    std::to_string(Reuses) + " superword reuse(s) (" +
+                    std::to_string(CS.PermutedReuses) + " via permutation)");
+}

@@ -1,0 +1,27 @@
+//===- vector/CodeGenPass.h - Vector code generation as a pass --*- C++ -*-===//
+///
+/// \file
+/// Lowers the scheduled superword statements to the vector program
+/// (VectorIR), treating the vector register file as a compiler-controlled
+/// cache of live packs. Reports the reuse bookkeeping the paper's figures
+/// are built on: direct reuses, permuted (indirect) reuses, materialized
+/// packs, and permutation instructions emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_VECTOR_CODEGENPASS_H
+#define SLP_VECTOR_CODEGENPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class CodeGenPass : public KernelPass {
+public:
+  const char *name() const override { return "codegen"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_VECTOR_CODEGENPASS_H

@@ -2,6 +2,8 @@
 
 #include "ir/Parser.h"
 #include "slp/Pipeline.h"
+#include "vector/VectorPrinter.h"
+#include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
@@ -116,4 +118,102 @@ TEST(ModulePipeline, EmptyModule) {
       runPipelineOverModule({}, OptimizerKind::Global, Options);
   EXPECT_TRUE(M.PerKernel.empty());
   EXPECT_DOUBLE_EQ(M.improvement(), 0.0);
+}
+
+namespace {
+
+/// Asserts that two module runs are bit-identical: same per-kernel
+/// schedules, vector programs, simulated cycles, decisions, and the same
+/// merged statistics.
+void expectModulesIdentical(const ModulePipelineResult &A,
+                            const ModulePipelineResult &B) {
+  ASSERT_EQ(A.PerKernel.size(), B.PerKernel.size());
+  EXPECT_DOUBLE_EQ(A.ScalarCycles, B.ScalarCycles);
+  EXPECT_DOUBLE_EQ(A.OptimizedCycles, B.OptimizedCycles);
+  for (unsigned I = 0; I != A.PerKernel.size(); ++I) {
+    const PipelineResult &X = A.PerKernel[I];
+    const PipelineResult &Y = B.PerKernel[I];
+    EXPECT_EQ(X.TransformationApplied, Y.TransformationApplied) << I;
+    EXPECT_EQ(X.LayoutApplied, Y.LayoutApplied) << I;
+    EXPECT_DOUBLE_EQ(X.ScalarSim.Cycles, Y.ScalarSim.Cycles) << I;
+    EXPECT_DOUBLE_EQ(X.VectorSim.Cycles, Y.VectorSim.Cycles) << I;
+    ASSERT_EQ(X.TheSchedule.Items.size(), Y.TheSchedule.Items.size()) << I;
+    for (unsigned S = 0; S != X.TheSchedule.Items.size(); ++S)
+      EXPECT_EQ(X.TheSchedule.Items[S].Lanes, Y.TheSchedule.Items[S].Lanes)
+          << I;
+    // The printed program is a faithful rendering of every instruction,
+    // so string equality is program equality.
+    EXPECT_EQ(printVectorProgram(X.Final, X.Program),
+              printVectorProgram(Y.Final, Y.Program))
+        << I;
+  }
+  ASSERT_EQ(A.Stats.counters().size(), B.Stats.counters().size());
+  for (unsigned C = 0; C != A.Stats.counters().size(); ++C) {
+    EXPECT_EQ(A.Stats.counters()[C].Name, B.Stats.counters()[C].Name);
+    EXPECT_EQ(A.Stats.counters()[C].Value, B.Stats.counters()[C].Value)
+        << A.Stats.counters()[C].Name;
+  }
+}
+
+std::vector<Kernel> workloadSuiteModule() {
+  std::vector<Kernel> Module;
+  for (const Workload &W : standardWorkloads())
+    Module.push_back(W.TheKernel.clone());
+  return Module;
+}
+
+} // namespace
+
+TEST(ModulePipeline, ParallelDriverMatchesSerialOnWorkloadSuite) {
+  // The acceptance bar for the worker-pool driver: Threads=4 must be
+  // bit-identical to the serial result over the full 16-benchmark suite.
+  std::vector<Kernel> Module = workloadSuiteModule();
+  PipelineOptions Serial;
+  Serial.Threads = 1;
+  PipelineOptions Parallel;
+  Parallel.Threads = 4;
+  for (OptimizerKind Kind :
+       {OptimizerKind::Global, OptimizerKind::GlobalLayout}) {
+    ModulePipelineResult A = runPipelineOverModule(Module, Kind, Serial);
+    ModulePipelineResult B = runPipelineOverModule(Module, Kind, Parallel);
+    expectModulesIdentical(A, B);
+  }
+}
+
+TEST(ModulePipeline, AutoThreadCountMatchesSerial) {
+  ModuleParseResult Parsed = parseModule(TwoKernels);
+  ASSERT_TRUE(Parsed.succeeded());
+  PipelineOptions Serial;
+  PipelineOptions Auto;
+  Auto.Threads = 0; // one worker per hardware thread
+  expectModulesIdentical(
+      runPipelineOverModule(Parsed.Kernels, OptimizerKind::GlobalLayout,
+                            Serial),
+      runPipelineOverModule(Parsed.Kernels, OptimizerKind::GlobalLayout,
+                            Auto));
+}
+
+TEST(ModulePipeline, MoreThreadsThanKernels) {
+  ModuleParseResult Parsed = parseModule(TwoKernels);
+  ASSERT_TRUE(Parsed.succeeded());
+  PipelineOptions Options;
+  Options.Threads = 16; // clamped to the kernel count
+  ModulePipelineResult M = runPipelineOverModule(
+      Parsed.Kernels, OptimizerKind::Global, Options);
+  ASSERT_EQ(M.PerKernel.size(), 2u);
+  EXPECT_GT(M.improvement(), 0.0);
+}
+
+TEST(ModulePipeline, MergedStatsAndTimingsCoverAllKernels) {
+  ModuleParseResult Parsed = parseModule(TwoKernels);
+  ASSERT_TRUE(Parsed.succeeded());
+  PipelineOptions Options;
+  Options.Threads = 2;
+  ModulePipelineResult M = runPipelineOverModule(
+      Parsed.Kernels, OptimizerKind::Global, Options);
+  // Both kernels unrolled by 4 and vectorized into one group each.
+  EXPECT_EQ(M.Stats.get("grouping.packs-formed"), 2u);
+  // Each canonical pass ran once per kernel.
+  for (const TimingEntry &E : M.PassTimings.entries())
+    EXPECT_EQ(E.Invocations, 2u) << E.Name;
 }

@@ -1,14 +1,20 @@
 //===- tools/slpc.cpp - SLP compiler driver ----------------------*- C++ -*-===//
 //
-// Command-line front end for the framework: reads a kernel in the textual
-// kernel language, runs a chosen optimizer, and reports the schedule, the
-// generated vector program, the predicted performance, and (optionally)
-// an execution-based verification against scalar semantics.
+// Command-line front end for the framework: reads a module of kernels in
+// the textual kernel language, runs a chosen optimizer pipeline over every
+// kernel, and reports the schedules, the generated vector programs, the
+// predicted performance, per-pass timing/statistics/remarks, and
+// (optionally) an execution-based verification against scalar semantics.
 //
 //   slpc [options] <kernel-file | -> (reads stdin for "-")
 //     --opt=scalar|native|slp|global|global+layout   (default global+layout)
 //     --machine=intel|amd                            (default intel)
 //     --bits=N             override the SIMD datapath width
+//     --passes=<list>      run a custom comma-separated pass list
+//     --time-passes        print per-pass wall-clock timing
+//     --stats              print the named statistic counters
+//     --remarks            print the optimization remarks
+//     -j N | --threads=N   optimize kernels on N worker threads (0 = auto)
 //     --dump-kernel        print the pre-processed (unrolled) kernel
 //     --dump-schedule      print the superword statement schedule
 //     --dump-vector        print the generated vector program
@@ -19,15 +25,18 @@
 
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "slp/Passes.h"
 #include "slp/Pipeline.h"
 #include "vector/VectorPrinter.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace slp;
 
@@ -37,6 +46,11 @@ struct CliOptions {
   std::string InputPath;
   OptimizerKind Kind = OptimizerKind::GlobalLayout;
   MachineModel Machine = MachineModel::intelDunnington();
+  std::vector<std::string> Passes; ///< empty = canonical pipeline
+  unsigned Threads = 1;
+  bool TimePasses = false;
+  bool Stats = false;
+  bool Remarks = false;
   bool DumpKernel = false;
   bool DumpSchedule = false;
   bool DumpVector = false;
@@ -52,11 +66,75 @@ void printUsage() {
       "(default global+layout)\n"
       "  --machine=intel|amd   target machine model (default intel)\n"
       "  --bits=N              override the SIMD datapath width\n"
+      "  --passes=<list>       run a custom comma-separated pass list\n"
+      "                        (see docs/pass-pipeline.md for pass names)\n"
+      "  --time-passes         print per-pass wall-clock timing\n"
+      "  --stats               print the named statistic counters\n"
+      "  --remarks             print the optimization remarks\n"
+      "  -j N, --threads=N     optimize kernels on N worker threads "
+      "(0 = one per hardware thread)\n"
       "  --dump-kernel         print the unrolled kernel\n"
       "  --dump-schedule       print the superword statement schedule\n"
       "  --dump-vector         print the generated vector program\n"
       "  --no-verify           skip the equivalence check\n"
       "  --quiet               only print the performance summary\n");
+}
+
+bool parseBits(const std::string &Value, unsigned &BitsOut) {
+  char *End = nullptr;
+  long Bits = std::strtol(Value.c_str(), &End, 10);
+  if (End == Value.c_str() || *End != '\0') {
+    std::fprintf(stderr, "slpc: --bits expects an integer, got '%s'\n",
+                 Value.c_str());
+    return false;
+  }
+  if (Bits <= 0) {
+    std::fprintf(stderr,
+                 "slpc: --bits must be positive, got %ld (a machine "
+                 "with no datapath cannot hold a superword)\n",
+                 Bits);
+    return false;
+  }
+  if ((Bits & (Bits - 1)) != 0) {
+    std::fprintf(stderr,
+                 "slpc: --bits must be a power of two, got %ld (SIMD "
+                 "datapaths hold 2^k lanes)\n",
+                 Bits);
+    return false;
+  }
+  if (Bits < 64) {
+    std::fprintf(stderr,
+                 "slpc: --bits must be at least 64 (one 64-bit scalar "
+                 "element), got %ld\n",
+                 Bits);
+    return false;
+  }
+  BitsOut = static_cast<unsigned>(Bits);
+  return true;
+}
+
+bool parseThreadCount(const std::string &Value, unsigned &ThreadsOut) {
+  char *End = nullptr;
+  long Threads = std::strtol(Value.c_str(), &End, 10);
+  if (End == Value.c_str() || *End != '\0' || Threads < 0) {
+    std::fprintf(stderr,
+                 "slpc: thread count must be a non-negative integer "
+                 "(0 = one per hardware thread), got '%s'\n",
+                 Value.c_str());
+    return false;
+  }
+  ThreadsOut = static_cast<unsigned>(Threads);
+  return true;
+}
+
+std::vector<std::string> splitList(const std::string &List) {
+  std::vector<std::string> Out;
+  std::string Item;
+  std::istringstream In(List);
+  while (std::getline(In, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -89,13 +167,35 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
     } else if (Arg.rfind("--bits=", 0) == 0) {
-      int Bits = std::atoi(Arg.c_str() + 7);
-      if (Bits < 64 || Bits % 64 != 0) {
-        std::fprintf(stderr,
-                     "slpc: --bits must be a positive multiple of 64\n");
+      unsigned Bits = 0;
+      if (!parseBits(Arg.substr(7), Bits))
+        return false;
+      Opts.Machine.DatapathBits = Bits;
+    } else if (Arg.rfind("--passes=", 0) == 0) {
+      Opts.Passes = splitList(Arg.substr(9));
+      if (Opts.Passes.empty()) {
+        std::fprintf(stderr, "slpc: --passes needs at least one pass\n");
         return false;
       }
-      Opts.Machine.DatapathBits = static_cast<unsigned>(Bits);
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      if (!parseThreadCount(Arg.substr(10), Opts.Threads))
+        return false;
+    } else if (Arg == "-j") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "slpc: -j needs a thread count\n");
+        return false;
+      }
+      if (!parseThreadCount(Argv[++I], Opts.Threads))
+        return false;
+    } else if (Arg.rfind("-j", 0) == 0 && Arg.size() > 2) {
+      if (!parseThreadCount(Arg.substr(2), Opts.Threads))
+        return false;
+    } else if (Arg == "--time-passes") {
+      Opts.TimePasses = true;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg == "--remarks") {
+      Opts.Remarks = true;
     } else if (Arg == "--dump-kernel") {
       Opts.DumpKernel = true;
     } else if (Arg == "--dump-schedule") {
@@ -166,64 +266,103 @@ int main(int Argc, char **Argv) {
 
   PipelineOptions Options;
   Options.Machine = Opts.Machine;
+  Options.Threads = Opts.Threads;
+
   ModulePipelineResult Module;
-  for (const Kernel &K : Parsed.Kernels) {
-    PipelineResult R = runPipeline(K, Opts.Kind, Options);
-    Module.ScalarCycles += R.ScalarSim.Cycles;
-    Module.OptimizedCycles += R.VectorSim.Cycles;
-    Module.PerKernel.push_back(std::move(R));
+  if (Opts.Passes.empty()) {
+    Module = runPipelineOverModule(Parsed.Kernels, Opts.Kind, Options);
+  } else {
+    // Custom pass lists run through the same engine, one kernel at a time.
+    PassPipeline Pipeline;
+    std::string Error;
+    if (!buildPipelineFromNames(Opts.Passes, Pipeline, &Error)) {
+      std::fprintf(stderr, "slpc: %s\n", Error.c_str());
+      return 2;
+    }
+    for (const Kernel &K : Parsed.Kernels) {
+      PipelineResult R = runPassPipeline(K, Opts.Kind, Options, Pipeline);
+      Module.ScalarCycles += R.ScalarSim.Cycles;
+      Module.OptimizedCycles += R.VectorSim.Cycles;
+      Module.Stats.merge(R.Stats);
+      Module.PassTimings.merge(R.PassTimings);
+      Module.PerKernel.push_back(std::move(R));
+    }
   }
 
   for (unsigned KI = 0; KI != Parsed.Kernels.size(); ++KI) {
     const Kernel &K = Parsed.Kernels[KI];
     const PipelineResult &R = Module.PerKernel[KI];
 
-  if (Opts.DumpKernel && !Opts.Quiet)
-    std::printf("== unrolled kernel ==\n%s\n",
-                printKernel(R.Preprocessed).c_str());
+    if (Opts.DumpKernel && !Opts.Quiet)
+      std::printf("== unrolled kernel ==\n%s\n",
+                  printKernel(R.Preprocessed).c_str());
 
-  if (Opts.DumpSchedule && !Opts.Quiet) {
-    std::printf("== schedule (%u superword statement(s)) ==\n",
-                R.TheSchedule.numGroups());
-    for (const ScheduleItem &Item : R.TheSchedule.Items) {
-      std::printf("  %s<", Item.isGroup() ? "superword " : "scalar    ");
-      for (unsigned L = 0; L != Item.width(); ++L)
-        std::printf("%sS%u", L ? ", " : "", Item.Lanes[L]);
-      std::printf(">\n");
+    if (Opts.DumpSchedule && !Opts.Quiet) {
+      std::printf("== schedule (%u superword statement(s)) ==\n",
+                  R.TheSchedule.numGroups());
+      for (const ScheduleItem &Item : R.TheSchedule.Items) {
+        std::printf("  %s<", Item.isGroup() ? "superword " : "scalar    ");
+        for (unsigned L = 0; L != Item.width(); ++L)
+          std::printf("%sS%u", L ? ", " : "", Item.Lanes[L]);
+        std::printf(">\n");
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
-  }
 
-  if (Opts.DumpVector && !Opts.Quiet) {
-    std::printf("== vector program ==\n%s\n",
-                printVectorProgram(R.Final, R.Program).c_str());
-    if (R.LayoutApplied)
-      std::printf("  ; layout: %u scalar pack(s) placed, %u array pack(s) "
-                  "replicated (%.0f bytes)\n\n",
-                  R.Layout.ScalarPacksPlaced,
-                  R.Layout.ArrayPacksReplicated, R.Layout.ReplicatedBytes);
-  }
-
-  if (Opts.Verify) {
-    std::string Error;
-    if (!checkEquivalence(K, R, /*Seed=*/0xC0FFEE, &Error)) {
-      std::fprintf(stderr, "slpc: VERIFICATION FAILED: %s\n", Error.c_str());
-      return 1;
+    if (Opts.DumpVector && !Opts.Quiet) {
+      std::printf("== vector program ==\n%s\n",
+                  printVectorProgram(R.Final, R.Program).c_str());
+      if (R.LayoutApplied)
+        std::printf("  ; layout: %u scalar pack(s) placed, %u array pack(s) "
+                    "replicated (%.0f bytes)\n\n",
+                    R.Layout.ScalarPacksPlaced,
+                    R.Layout.ArrayPacksReplicated, R.Layout.ReplicatedBytes);
     }
-  }
 
-  std::printf("%s: %s: %.2f%% predicted improvement over scalar on %s "
-              "(%u superword statement(s)%s%s)\n",
-              K.Name.c_str(), optimizerName(Opts.Kind),
-              100.0 * R.improvement(), Options.Machine.Name.c_str(),
-              R.TheSchedule.numGroups(),
-              R.TransformationApplied ? "" : ", transformation skipped",
-              Opts.Verify ? ", verified" : "");
+    if (Opts.Remarks && !Opts.Quiet)
+      for (const Remark &Rem : R.Remarks)
+        std::printf("%s\n", Rem.str().c_str());
+
+    if (Opts.Verify) {
+      if (!R.Simulated) {
+        std::fprintf(stderr,
+                     "slpc: note: skipping verification for '%s' (the "
+                     "pass list emitted no vector program)\n",
+                     K.Name.c_str());
+      } else {
+        std::string Error;
+        if (!checkEquivalence(K, R, /*Seed=*/0xC0FFEE, &Error)) {
+          std::fprintf(stderr, "slpc: VERIFICATION FAILED: %s\n",
+                       Error.c_str());
+          return 1;
+        }
+      }
+    }
+
+    if (R.Simulated)
+      std::printf("%s: %s: %.2f%% predicted improvement over scalar on %s "
+                  "(%u superword statement(s)%s%s)\n",
+                  K.Name.c_str(), optimizerName(Opts.Kind),
+                  100.0 * R.improvement(), Options.Machine.Name.c_str(),
+                  R.TheSchedule.numGroups(),
+                  R.TransformationApplied ? "" : ", transformation skipped",
+                  Opts.Verify ? ", verified" : "");
+    else
+      std::printf("%s: %s: pipeline ran without the simulate stage "
+                  "(%u superword statement(s))\n",
+                  K.Name.c_str(), optimizerName(Opts.Kind),
+                  R.TheSchedule.numGroups());
   }
 
   if (Parsed.Kernels.size() > 1)
     std::printf("module: %.2f%% predicted improvement over scalar across "
                 "%zu kernels\n",
                 100.0 * Module.improvement(), Parsed.Kernels.size());
+
+  if (Opts.Stats)
+    std::printf("%s", Module.Stats.str("statistics").c_str());
+  if (Opts.TimePasses)
+    std::printf("%s", Module.PassTimings.str("pass timing (wall clock)")
+                          .c_str());
   return 0;
 }
