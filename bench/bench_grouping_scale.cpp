@@ -1,0 +1,147 @@
+//===- bench/bench_grouping_scale.cpp - Grouping scalability ----*- C++ -*-===//
+//
+// Charts statement-grouping wall-clock against basic-block size for the
+// optimized engine versus the retained reference transcription of Figure
+// 10, on synthetic blocks from syntheticGroupingBlock (64 → 2048
+// statements). Before timing, both engines run once and their groupings
+// are compared — the speedup claim is only meaningful if the outputs are
+// bit-identical.
+//
+// Also registers google-benchmark entries (grouping/<engine>/<size>) so CI
+// can track the numbers as JSON; bench/grouping_scale_baseline.json holds
+// the checked-in reference numbers the compile-time smoke job gates on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "slp/Grouping.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace slp;
+
+namespace {
+
+Kernel makeBlock(unsigned NumStatements) {
+  SyntheticBlockOptions Options;
+  Options.NumStatements = NumStatements;
+  return syntheticGroupingBlock(Options);
+}
+
+bool sameGrouping(const GroupingResult &A, const GroupingResult &B) {
+  if (A.Singles != B.Singles || A.Groups.size() != B.Groups.size())
+    return false;
+  for (unsigned G = 0, E = static_cast<unsigned>(A.Groups.size()); G != E;
+       ++G)
+    if (A.Groups[G].Members != B.Groups[G].Members)
+      return false;
+  return true;
+}
+
+double timeGrouping(const Kernel &K, const DependenceInfo &Deps,
+                    GroupingImpl Impl, unsigned Reps) {
+  GroupingOptions GO;
+  GO.Impl = Impl;
+  auto Start = std::chrono::steady_clock::now();
+  size_t Sink = 0;
+  for (unsigned I = 0; I != Reps; ++I)
+    Sink += groupStatementsGlobal(K, Deps, GO).Groups.size();
+  auto End = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(Sink);
+  return std::chrono::duration<double>(End - Start).count() / Reps;
+}
+
+void printScalingTable() {
+  std::printf("Grouping wall-clock: optimized vs reference engine "
+              "(identical groupings asserted per size)\n");
+  std::printf("%6s %10s %12s %14s %14s %9s\n", "stmts", "cands", "rounds",
+              "optimized(ms)", "reference(ms)", "speedup");
+  for (unsigned N : {64u, 128u, 256u, 512u, 1024u}) {
+    Kernel K = makeBlock(N);
+    DependenceInfo Deps(K);
+
+    GroupingOptions GO;
+    GroupingTelemetry T;
+    GO.Impl = GroupingImpl::Optimized;
+    GroupingResult Opt = groupStatementsGlobal(K, Deps, GO, &T);
+    GO.Impl = GroupingImpl::Reference;
+    GroupingResult Ref = groupStatementsGlobal(K, Deps, GO);
+    if (!sameGrouping(Opt, Ref)) {
+      std::fprintf(stderr,
+                   "FATAL: engines disagree at %u statements — the "
+                   "optimized grouping is not bit-identical\n",
+                   N);
+      std::exit(1);
+    }
+
+    unsigned Reps = N <= 256 ? 5 : (N <= 512 ? 3 : 1);
+    double OptSec = timeGrouping(K, Deps, GroupingImpl::Optimized, Reps);
+    double RefSec = timeGrouping(K, Deps, GroupingImpl::Reference, Reps);
+    std::printf("%6u %10llu %12llu %14.2f %14.2f %8.1fx\n", N,
+                static_cast<unsigned long long>(T.Candidates),
+                static_cast<unsigned long long>(T.Rounds), 1e3 * OptSec,
+                1e3 * RefSec, RefSec / OptSec);
+  }
+  // The reference engine is left out at 2048: the point of the optimized
+  // engine is that this size stays interactive at all.
+  {
+    Kernel K = makeBlock(2048);
+    DependenceInfo Deps(K);
+    GroupingOptions GO;
+    GroupingTelemetry T;
+    GroupingResult Opt = groupStatementsGlobal(K, Deps, GO, &T);
+    benchmark::DoNotOptimize(Opt.Groups.data());
+    double OptSec = timeGrouping(K, Deps, GroupingImpl::Optimized, 1);
+    std::printf("%6u %10llu %12llu %14.2f %14s %9s\n\n", 2048,
+                static_cast<unsigned long long>(T.Candidates),
+                static_cast<unsigned long long>(T.Rounds), 1e3 * OptSec,
+                "-", "-");
+  }
+}
+
+void registerGroupingBench(unsigned N, GroupingImpl Impl) {
+  std::string Label =
+      std::string("grouping/") + groupingImplName(Impl) + "/" +
+      std::to_string(N);
+  benchmark::RegisterBenchmark(
+      Label.c_str(), [N, Impl](benchmark::State &S) {
+        Kernel K = makeBlock(N);
+        DependenceInfo Deps(K);
+        GroupingOptions GO;
+        GO.Impl = Impl;
+        GroupingTelemetry T;
+        for (auto _ : S) {
+          GroupingResult R = groupStatementsGlobal(K, Deps, GO, &T);
+          benchmark::DoNotOptimize(R.Groups.data());
+        }
+        S.counters["candidates"] = benchmark::Counter(
+            static_cast<double>(T.Candidates),
+            benchmark::Counter::kAvgIterations);
+        S.counters["aux_nodes"] = benchmark::Counter(
+            static_cast<double>(T.AuxNodes),
+            benchmark::Counter::kAvgIterations);
+      });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printScalingTable();
+
+  for (unsigned N : {64u, 128u, 256u, 512u, 1024u, 2048u})
+    registerGroupingBench(N, GroupingImpl::Optimized);
+  // Reference entries stop at 512 statements: large sizes exist to show
+  // the optimized engine's headroom, not to stall CI.
+  for (unsigned N : {64u, 128u, 256u, 512u})
+    registerGroupingBench(N, GroupingImpl::Reference);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,4 +1,42 @@
 //===- slp/Grouping.cpp ---------------------------------------*- C++ -*-===//
+//
+// Two engines implement the Figure 10 algorithm:
+//
+//  * GroupingImpl::Reference is the direct transcription: a dense
+//    candidate-pair conflict matrix and a from-scratch auxiliary graph
+//    (Figure 6) for every live candidate after every decision. It is
+//    retained for differential testing and as the compile-time baseline of
+//    bench_grouping_scale, and is O(rounds * decisions * candidates *
+//    aux-graph) — roughly O(n^4) on wide blocks.
+//
+//  * GroupingImpl::Optimized produces bit-identical groupings faster:
+//    conflict rows are 64-bit bitsets built from the shared-item inverted
+//    index plus a per-round memo of item-pair dependences (each unordered
+//    item pair is scanned once, not once per direction per candidate
+//    pair); candidate weights are maintained incrementally — the decided-
+//    side terms of the reuse average are closed-form counters and the
+//    expensive auxiliary-graph term is cached per candidate and
+//    recomputed only when a candidate sharing one of its pack keys is
+//    committed, pruned, or discarded (dirty-set propagation); all
+//    auxiliary-graph state lives in reusable scratch arenas; and the
+//    greedy conflict elimination of Figure 7 pops nodes from a lazy
+//    max-heap instead of rescanning every node per removal.
+//
+// The incremental weight uses the identity (all terms integral, so the
+// floating-point result is exactly the reference's):
+//
+//   Reuse(c)        = GlobalDecided + Survivors(c) + TotalKeys(c) - NewKeys(c)
+//   NumPackTypes(c) = NumDecidedKeys + NewKeys(c)
+//
+// where GlobalDecided = sum over decided pack keys k of (DecidedCount[k]-1),
+// NumDecidedKeys = number of distinct decided keys, TotalKeys(c) =
+// |c.PackKeyIds|, NewKeys(c) = c's distinct keys not yet decided, and
+// Survivors(c) = auxiliary-graph nodes surviving greedy elimination.
+// Survivors(c) depends only on the alive-set of candidates sharing a pack
+// key with c (the conflict structure is fixed within a round), which is
+// exactly the dirty-set invariant.
+//
+//===----------------------------------------------------------------------===//
 
 #include "slp/Grouping.h"
 
@@ -9,10 +47,21 @@
 #include "support/Rng.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <set>
 
 using namespace slp;
+
+const char *slp::groupingImplName(GroupingImpl Impl) {
+  switch (Impl) {
+  case GroupingImpl::Optimized:
+    return "optimized";
+  case GroupingImpl::Reference:
+    return "reference";
+  }
+  return "<invalid>";
+}
 
 namespace {
 
@@ -94,81 +143,30 @@ double packQualityOf(const Kernel &K,
   return Total / static_cast<double>(Packs.size());
 }
 
-/// One round of the basic grouping algorithm over a set of items.
-class GroupingRound {
-public:
-  GroupingRound(const Kernel &K, const DependenceInfo &Deps,
-                const GroupingOptions &Options, std::vector<Item> Items)
-      : K(K), Deps(Deps), Options(Options), Items(std::move(Items)),
-        TieBreaker(Options.TieBreakSeed) {}
-
-  /// Runs steps 1-4 of Figure 10; returns the decided merges as item-index
-  /// pairs in decision order.
-  std::vector<std::pair<unsigned, unsigned>> run();
-
-private:
-  void identifyCandidates();                     // step 1
-  bool conflict(const Candidate &A, const Candidate &B) const; // step 2
-  void buildConflictMatrix();
-  bool conflictIdx(unsigned A, unsigned B) const {
-    return Conflicts[A * Candidates.size() + B] != 0;
-  }
-  double weightOf(unsigned CandIdx) const;       // step 3
-  bool keepsDependencesAcyclic(const Candidate &C) const;
-
-  bool dependsOn(const std::vector<unsigned> &From,
-                 const std::vector<unsigned> &To) const;
-
-  const Kernel &K;
-  const DependenceInfo &Deps;
-  const GroupingOptions &Options;
-  std::vector<Item> Items;
-  std::vector<Candidate> Candidates;
-  std::map<std::string, unsigned> KeyIds; // pack-key interning table
-  /// For each interned key, the (candidate, position) pack nodes bearing
-  /// it — the variable-pack conflicting graph in inverted-index form, so
-  /// the auxiliary-graph construction touches only matching nodes.
-  std::vector<std::vector<std::pair<unsigned, unsigned>>> KeyPostings;
-  std::vector<char> Conflicts; // dense candidate-pair conflict matrix
-  std::vector<unsigned> DecidedCandidates;
-  std::vector<bool> ItemTaken;
-  mutable Rng TieBreaker;
-};
-
-bool GroupingRound::dependsOn(const std::vector<unsigned> &From,
-                              const std::vector<unsigned> &To) const {
-  for (unsigned S : From)
-    for (unsigned T : To)
-      if (S < T && Deps.depends(S, T))
-        return true;
-  return false;
-}
-
-void GroupingRound::identifyCandidates() {
+/// Step 1 of Figure 10, shared by both engines so the candidate list (and
+/// the pack-key interning order) is identical by construction. The
+/// isomorphism and independence predicates are pluggable: the reference
+/// engine re-evaluates them from scratch, the optimized engine serves them
+/// from caches.
+template <typename IsoFn, typename IndepFn>
+void identifyCandidateGroups(const Kernel &K, const GroupingOptions &Options,
+                             const std::vector<Item> &Items, IsoFn &&Isomorphic,
+                             IndepFn &&Independent,
+                             std::map<std::string, unsigned> &KeyIds,
+                             std::vector<Candidate> &Candidates) {
   unsigned N = static_cast<unsigned>(Items.size());
   for (unsigned A = 0; A != N; ++A) {
     for (unsigned B = A + 1; B != N; ++B) {
-      const Statement &SA = K.Body.statement(Items[A].Stmts.front());
-      const Statement &SB = K.Body.statement(Items[B].Stmts.front());
-      if (!areIsomorphic(K, SA, SB))
+      if (!Isomorphic(A, B))
         continue;
       // Constraint 4: the merged group must fit the datapath.
+      const Statement &SA = K.Body.statement(Items[A].Stmts.front());
       unsigned Lanes =
           lanesFor(statementElementType(K, SA), Options.DatapathBits);
       if (Items[A].Stmts.size() + Items[B].Stmts.size() > Lanes)
         continue;
       // Constraint 1: no dependence between any two member statements.
-      bool Independent = true;
-      for (unsigned P : Items[A].Stmts) {
-        for (unsigned Q : Items[B].Stmts)
-          if (!Deps.independent(P, Q)) {
-            Independent = false;
-            break;
-          }
-        if (!Independent)
-          break;
-      }
-      if (!Independent)
+      if (!Independent(A, B))
         continue;
       Candidate C;
       C.ItemA = A;
@@ -191,6 +189,139 @@ void GroupingRound::identifyCandidates() {
       Candidates.push_back(std::move(C));
     }
   }
+}
+
+/// Would accepting candidate \p C keep the grouped dependence graph
+/// acyclic? Contracts each decided group (and C) to one node; singles stay
+/// single. The schedule of Section 4.3 exists iff the contracted graph is
+/// a DAG. Shared by both engines.
+bool keepsGroupedDepsAcyclic(const DependenceInfo &Deps,
+                             const std::vector<Item> &Items,
+                             const std::vector<bool> &ItemTaken,
+                             const std::vector<Candidate> &Candidates,
+                             const std::vector<unsigned> &DecidedCandidates,
+                             const Candidate &C) {
+  unsigned NumStmts = Deps.numStatements();
+  std::vector<int> NodeOf(NumStmts, -1);
+  std::vector<std::vector<unsigned>> NodeStmts;
+  auto AddGroup = [&](const std::vector<unsigned> &Stmts) {
+    int Node = static_cast<int>(NodeStmts.size());
+    NodeStmts.push_back(Stmts);
+    for (unsigned S : Stmts)
+      NodeOf[S] = Node;
+  };
+  for (unsigned DC : DecidedCandidates)
+    AddGroup(Candidates[DC].Stmts);
+  AddGroup(C.Stmts);
+  // Items not yet merged this round may themselves be groups from earlier
+  // rounds; keep them contracted as well.
+  for (unsigned I = 0, E = static_cast<unsigned>(Items.size()); I != E; ++I) {
+    if (ItemTaken[I])
+      continue;
+    if (NodeOf[Items[I].Stmts.front()] >= 0)
+      continue; // part of C
+    AddGroup(Items[I].Stmts);
+  }
+
+  unsigned NumNodes = static_cast<unsigned>(NodeStmts.size());
+  std::vector<std::set<unsigned>> Succ(NumNodes);
+  for (const Dep &D : Deps.dependences()) {
+    int A = NodeOf[D.Src], B = NodeOf[D.Dst];
+    if (A >= 0 && B >= 0 && A != B)
+      Succ[static_cast<unsigned>(A)].insert(static_cast<unsigned>(B));
+  }
+
+  // Kahn's algorithm.
+  std::vector<unsigned> InDegree(NumNodes, 0);
+  for (unsigned N = 0; N != NumNodes; ++N)
+    for (unsigned S : Succ[N])
+      ++InDegree[S];
+  std::vector<unsigned> Work;
+  for (unsigned N = 0; N != NumNodes; ++N)
+    if (InDegree[N] == 0)
+      Work.push_back(N);
+  unsigned Visited = 0;
+  while (!Work.empty()) {
+    unsigned N = Work.back();
+    Work.pop_back();
+    ++Visited;
+    for (unsigned S : Succ[N])
+      if (--InDegree[S] == 0)
+        Work.push_back(S);
+  }
+  return Visited == NumNodes;
+}
+
+//===----------------------------------------------------------------------===//
+// Reference engine (the paper's transcription, kept as the baseline)
+//===----------------------------------------------------------------------===//
+
+/// One round of the basic grouping algorithm over a set of items.
+class GroupingRound {
+public:
+  GroupingRound(const Kernel &K, const DependenceInfo &Deps,
+                const GroupingOptions &Options, std::vector<Item> Items,
+                GroupingTelemetry *T)
+      : K(K), Deps(Deps), Options(Options), Items(std::move(Items)),
+        TieBreaker(Options.TieBreakSeed), T(T) {}
+
+  /// Runs steps 1-4 of Figure 10; returns the decided merges as item-index
+  /// pairs in decision order.
+  std::vector<std::pair<unsigned, unsigned>> run();
+
+private:
+  void identifyCandidates();                     // step 1
+  bool conflict(const Candidate &A, const Candidate &B) const; // step 2
+  void buildConflictMatrix();
+  bool conflictIdx(unsigned A, unsigned B) const {
+    return Conflicts[A * Candidates.size() + B] != 0;
+  }
+  double weightOf(unsigned CandIdx) const;       // step 3
+
+  bool dependsOn(const std::vector<unsigned> &From,
+                 const std::vector<unsigned> &To) const;
+
+  const Kernel &K;
+  const DependenceInfo &Deps;
+  const GroupingOptions &Options;
+  std::vector<Item> Items;
+  std::vector<Candidate> Candidates;
+  std::map<std::string, unsigned> KeyIds; // pack-key interning table
+  /// For each interned key, the (candidate, position) pack nodes bearing
+  /// it — the variable-pack conflicting graph in inverted-index form, so
+  /// the auxiliary-graph construction touches only matching nodes.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> KeyPostings;
+  std::vector<char> Conflicts; // dense candidate-pair conflict matrix
+  std::vector<unsigned> DecidedCandidates;
+  std::vector<bool> ItemTaken;
+  mutable Rng TieBreaker;
+  GroupingTelemetry *T;
+};
+
+bool GroupingRound::dependsOn(const std::vector<unsigned> &From,
+                              const std::vector<unsigned> &To) const {
+  for (unsigned S : From)
+    for (unsigned T : To)
+      if (S < T && Deps.depends(S, T))
+        return true;
+  return false;
+}
+
+void GroupingRound::identifyCandidates() {
+  identifyCandidateGroups(
+      K, Options, Items,
+      [this](unsigned A, unsigned B) {
+        return areIsomorphic(K, K.Body.statement(Items[A].Stmts.front()),
+                             K.Body.statement(Items[B].Stmts.front()));
+      },
+      [this](unsigned A, unsigned B) {
+        for (unsigned P : Items[A].Stmts)
+          for (unsigned Q : Items[B].Stmts)
+            if (!Deps.independent(P, Q))
+              return false;
+        return true;
+      },
+      KeyIds, Candidates);
 }
 
 bool GroupingRound::conflict(const Candidate &A, const Candidate &B) const {
@@ -225,6 +356,8 @@ void GroupingRound::buildConflictMatrix() {
 
 double GroupingRound::weightOf(unsigned CandIdx) const {
   const Candidate &Cand = Candidates[CandIdx];
+  if (T)
+    ++T->WeightComputes;
 
   // Auxiliary graph (Figure 6): every pack node of a live, non-conflicting
   // candidate whose content matches one of Cand's packs. A node is the pair
@@ -251,6 +384,8 @@ double GroupingRound::weightOf(unsigned CandIdx) const {
   // Edges mirror the variable-pack conflicting graph restricted to the
   // extracted nodes: packs of conflicting candidates cannot coexist.
   unsigned NN = static_cast<unsigned>(Nodes.size());
+  if (T)
+    T->AuxNodes += NN;
   std::vector<std::vector<unsigned>> Adj(NN);
   std::vector<unsigned> Degree(NN, 0);
   for (unsigned I = 0; I != NN; ++I) {
@@ -322,62 +457,10 @@ double GroupingRound::weightOf(unsigned CandIdx) const {
   return Avg + Options.PackQualityEpsilon * Cand.PackQuality;
 }
 
-bool GroupingRound::keepsDependencesAcyclic(const Candidate &C) const {
-  // Contract each decided group (and C) to one node; singles stay single.
-  // The schedule of Section 4.3 exists iff this contracted graph is a DAG.
-  unsigned NumStmts = Deps.numStatements();
-  std::vector<int> NodeOf(NumStmts, -1);
-  std::vector<std::vector<unsigned>> NodeStmts;
-  auto AddGroup = [&](const std::vector<unsigned> &Stmts) {
-    int Node = static_cast<int>(NodeStmts.size());
-    NodeStmts.push_back(Stmts);
-    for (unsigned S : Stmts)
-      NodeOf[S] = Node;
-  };
-  for (unsigned DC : DecidedCandidates)
-    AddGroup(Candidates[DC].Stmts);
-  AddGroup(C.Stmts);
-  // Items not yet merged this round may themselves be groups from earlier
-  // rounds; keep them contracted as well.
-  for (unsigned I = 0, E = static_cast<unsigned>(Items.size()); I != E; ++I) {
-    if (ItemTaken[I])
-      continue;
-    if (NodeOf[Items[I].Stmts.front()] >= 0)
-      continue; // part of C
-    AddGroup(Items[I].Stmts);
-  }
-
-  unsigned NumNodes = static_cast<unsigned>(NodeStmts.size());
-  std::vector<std::set<unsigned>> Succ(NumNodes);
-  for (const Dep &D : Deps.dependences()) {
-    int A = NodeOf[D.Src], B = NodeOf[D.Dst];
-    if (A >= 0 && B >= 0 && A != B)
-      Succ[static_cast<unsigned>(A)].insert(static_cast<unsigned>(B));
-  }
-
-  // Kahn's algorithm.
-  std::vector<unsigned> InDegree(NumNodes, 0);
-  for (unsigned N = 0; N != NumNodes; ++N)
-    for (unsigned S : Succ[N])
-      ++InDegree[S];
-  std::vector<unsigned> Work;
-  for (unsigned N = 0; N != NumNodes; ++N)
-    if (InDegree[N] == 0)
-      Work.push_back(N);
-  unsigned Visited = 0;
-  while (!Work.empty()) {
-    unsigned N = Work.back();
-    Work.pop_back();
-    ++Visited;
-    for (unsigned S : Succ[N])
-      if (--InDegree[S] == 0)
-        Work.push_back(S);
-  }
-  return Visited == NumNodes;
-}
-
 std::vector<std::pair<unsigned, unsigned>> GroupingRound::run() {
   identifyCandidates();
+  if (T)
+    T->Candidates += Candidates.size();
   buildConflictMatrix();
   ItemTaken.assign(Items.size(), false);
 
@@ -407,7 +490,8 @@ std::vector<std::pair<unsigned, unsigned>> GroupingRound::run() {
                     : static_cast<size_t>(TieBreaker.nextBelow(
                           BestSet.size()))];
 
-    if (!keepsDependencesAcyclic(Candidates[Chosen])) {
+    if (!keepsGroupedDepsAcyclic(Deps, Items, ItemTaken, Candidates,
+                                 DecidedCandidates, Candidates[Chosen])) {
       // Accepting this group would make the grouped dependence graph
       // cyclic; it can never be scheduled, so discard it.
       Candidates[Chosen].Alive = false;
@@ -421,6 +505,8 @@ std::vector<std::pair<unsigned, unsigned>> GroupingRound::run() {
     ItemTaken[Candidates[Chosen].ItemA] = true;
     ItemTaken[Candidates[Chosen].ItemB] = true;
     Merges.emplace_back(Candidates[Chosen].ItemA, Candidates[Chosen].ItemB);
+    if (T)
+      ++T->Commits;
     for (unsigned CI = 0, CE = static_cast<unsigned>(Candidates.size());
          CI != CE; ++CI) {
       if (Candidates[CI].Alive && conflictIdx(CI, Chosen))
@@ -430,20 +516,509 @@ std::vector<std::pair<unsigned, unsigned>> GroupingRound::run() {
   return Merges;
 }
 
+//===----------------------------------------------------------------------===//
+// Optimized engine
+//===----------------------------------------------------------------------===//
+
+/// State that outlives one round: the statement-pair isomorphism memo
+/// (statement shapes never change across the widen rounds of Section
+/// 4.2.2, so classifying them once covers every round) and the scratch
+/// arenas reused by every auxiliary-graph computation.
+struct GroupingScratch {
+  explicit GroupingScratch(unsigned NumStmts) : NumStmts(NumStmts) {}
+
+  unsigned NumStmts;
+
+  /// Lazy memo of areIsomorphic over ordered statement pairs:
+  /// 0 = unknown, 1 = no, 2 = yes.
+  std::vector<uint8_t> IsoState;
+
+  bool isomorphic(const Kernel &K, unsigned SA, unsigned SB) {
+    if (IsoState.empty())
+      IsoState.assign(static_cast<size_t>(NumStmts) * NumStmts, 0);
+    uint8_t &State = IsoState[static_cast<size_t>(SA) * NumStmts + SB];
+    if (State == 0)
+      State = areIsomorphic(K, K.Body.statement(SA), K.Body.statement(SB))
+                  ? 2
+                  : 1;
+    return State == 2;
+  }
+
+  // --- auxiliary-graph arenas (hot: one use per weight recompute) -------
+  std::vector<unsigned> NodeCand;             ///< node -> candidate index
+  std::vector<std::vector<unsigned>> Adj;     ///< adjacency, cleared per use
+  std::vector<unsigned> Degree;
+  std::vector<char> Removed;
+  std::vector<std::pair<unsigned, unsigned>> Heap; ///< (degree, node)
+  std::vector<unsigned> KeyStamp;             ///< epoch-based key dedup
+  unsigned KeyEpoch = 0;
+
+  // --- per-round buffers (sized once per round, reused across rounds) ---
+  std::vector<char> ItemFwd;                  ///< item-pair dependence memo
+  std::vector<std::vector<unsigned>> ItemCands; ///< item -> candidates
+  std::vector<uint64_t> ConflictRows;         ///< bitset rows, NC x RowWords
+  std::vector<uint64_t> OutRow, InRow;        ///< scratch candidate bitsets
+};
+
+class OptimizedRound {
+public:
+  OptimizedRound(const Kernel &K, const DependenceInfo &Deps,
+                 const GroupingOptions &Options,
+                 const std::vector<Item> &Items, GroupingScratch &Scratch,
+                 GroupingTelemetry *T)
+      : K(K), Deps(Deps), Options(Options), Items(Items), Scratch(Scratch),
+        TieBreaker(Options.TieBreakSeed), T(T) {}
+
+  std::vector<std::pair<unsigned, unsigned>> run();
+
+private:
+  void buildItemDependences();
+  void identifyCandidates();
+  void buildConflictBitsets();
+  unsigned computeSurvivors(unsigned CandIdx);
+  double weightOf(unsigned CandIdx);
+  void markDirtySharers(unsigned CandIdx);
+
+  bool itemDependsOn(unsigned I, unsigned J) const {
+    return Scratch.ItemFwd[static_cast<size_t>(I) * Items.size() + J] != 0;
+  }
+  bool conflictBit(unsigned A, unsigned B) const {
+    return (Scratch.ConflictRows[static_cast<size_t>(A) * RowWords +
+                                 (B >> 6)] >>
+            (B & 63)) &
+           1;
+  }
+
+  const Kernel &K;
+  const DependenceInfo &Deps;
+  const GroupingOptions &Options;
+  const std::vector<Item> &Items;
+  GroupingScratch &Scratch;
+  std::vector<Candidate> Candidates;
+  std::map<std::string, unsigned> KeyIds;
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> KeyPostings;
+  /// Sorted distinct pack keys per candidate (for the NewKeys term and the
+  /// dirty-sharer sweeps).
+  std::vector<std::vector<unsigned>> DistinctKeys;
+  size_t RowWords = 0;
+
+  // Incremental weight state.
+  std::vector<char> SurvValid;     ///< is Survivors[c] current?
+  std::vector<char> EverComputed;  ///< telemetry: initial vs dirty recompute
+  std::vector<unsigned> Survivors; ///< cached aux-graph survivor counts
+  std::vector<unsigned> DecidedCount; ///< per-key decided multiplicity
+  uint64_t GlobalDecided = 0;      ///< sum over decided keys of (count - 1)
+  uint64_t NumDecidedKeys = 0;     ///< distinct decided keys
+
+  std::vector<unsigned> DecidedCandidates;
+  std::vector<bool> ItemTaken;
+  Rng TieBreaker;
+  GroupingTelemetry *T;
+};
+
+void OptimizedRound::buildItemDependences() {
+  // Memoized dependence "cache": every unordered item pair is scanned over
+  // its statement pairs exactly once per round, recording both directions.
+  // The reference engine instead rescans statements twice (once per
+  // direction) inside conflict() for every candidate pair.
+  unsigned NI = static_cast<unsigned>(Items.size());
+  Scratch.ItemFwd.assign(static_cast<size_t>(NI) * NI, 0);
+  for (unsigned I = 0; I != NI; ++I) {
+    for (unsigned J = I + 1; J != NI; ++J) {
+      bool Fwd = false, Bwd = false;
+      for (unsigned S : Items[I].Stmts) {
+        for (unsigned Q : Items[J].Stmts) {
+          if (S < Q) {
+            if (!Fwd && Deps.depends(S, Q))
+              Fwd = true;
+          } else if (!Bwd && Deps.depends(Q, S)) {
+            Bwd = true;
+          }
+        }
+        if (Fwd && Bwd)
+          break;
+      }
+      Scratch.ItemFwd[static_cast<size_t>(I) * NI + J] = Fwd;
+      Scratch.ItemFwd[static_cast<size_t>(J) * NI + I] = Bwd;
+    }
+  }
+}
+
+void OptimizedRound::identifyCandidates() {
+  identifyCandidateGroups(
+      K, Options, Items,
+      [this](unsigned A, unsigned B) {
+        return Scratch.isomorphic(K, Items[A].Stmts.front(),
+                                  Items[B].Stmts.front());
+      },
+      [this](unsigned A, unsigned B) {
+        // All member statements are pairwise independent iff there is no
+        // dependence between the items in either direction.
+        return !itemDependsOn(A, B) && !itemDependsOn(B, A);
+      },
+      KeyIds, Candidates);
+}
+
+void OptimizedRound::buildConflictBitsets() {
+  unsigned NC = static_cast<unsigned>(Candidates.size());
+  unsigned NI = static_cast<unsigned>(Items.size());
+
+  KeyPostings.assign(KeyIds.size(), {});
+  Scratch.ItemCands.assign(NI, {});
+  DistinctKeys.assign(NC, {});
+  for (unsigned CI = 0; CI != NC; ++CI) {
+    const std::vector<unsigned> &Keys = Candidates[CI].PackKeyIds;
+    for (unsigned P = 0, PE = static_cast<unsigned>(Keys.size()); P != PE;
+         ++P)
+      KeyPostings[Keys[P]].push_back({CI, P});
+    DistinctKeys[CI] = Keys;
+    std::sort(DistinctKeys[CI].begin(), DistinctKeys[CI].end());
+    DistinctKeys[CI].erase(
+        std::unique(DistinctKeys[CI].begin(), DistinctKeys[CI].end()),
+        DistinctKeys[CI].end());
+    Scratch.ItemCands[Candidates[CI].ItemA].push_back(CI);
+    Scratch.ItemCands[Candidates[CI].ItemB].push_back(CI);
+  }
+
+  RowWords = (NC + 63) / 64;
+  Scratch.ConflictRows.assign(static_cast<size_t>(NC) * RowWords, 0);
+  if (T)
+    T->ConflictWords += static_cast<size_t>(NC) * RowWords;
+  auto SetConflict = [this](unsigned A, unsigned B) {
+    Scratch.ConflictRows[static_cast<size_t>(A) * RowWords + (B >> 6)] |=
+        uint64_t(1) << (B & 63);
+    Scratch.ConflictRows[static_cast<size_t>(B) * RowWords + (A >> 6)] |=
+        uint64_t(1) << (A & 63);
+  };
+
+  // Shared-item conflicts via the inverted index: all candidates touching
+  // one item are mutually conflicting.
+  for (unsigned I = 0; I != NI; ++I) {
+    const std::vector<unsigned> &Cands = Scratch.ItemCands[I];
+    for (unsigned X = 0, E = static_cast<unsigned>(Cands.size()); X != E;
+         ++X)
+      for (unsigned Y = X + 1; Y != E; ++Y)
+        SetConflict(Cands[X], Cands[Y]);
+  }
+
+  // Dependence-cycle conflicts: candidates A and B conflict when each
+  // would-be group depends on the other. Per candidate, expand the item-
+  // level dependence rows into candidate bitsets and AND them wordwise.
+  Scratch.OutRow.resize(RowWords);
+  Scratch.InRow.resize(RowWords);
+  for (unsigned A = 0; A != NC; ++A) {
+    const Candidate &CA = Candidates[A];
+    std::fill(Scratch.OutRow.begin(), Scratch.OutRow.end(), 0);
+    std::fill(Scratch.InRow.begin(), Scratch.InRow.end(), 0);
+    bool AnyOut = false, AnyIn = false;
+    for (unsigned J = 0; J != NI; ++J) {
+      if (itemDependsOn(CA.ItemA, J) || itemDependsOn(CA.ItemB, J)) {
+        for (unsigned B : Scratch.ItemCands[J])
+          Scratch.OutRow[B >> 6] |= uint64_t(1) << (B & 63);
+        AnyOut = true;
+      }
+      if (itemDependsOn(J, CA.ItemA) || itemDependsOn(J, CA.ItemB)) {
+        for (unsigned B : Scratch.ItemCands[J])
+          Scratch.InRow[B >> 6] |= uint64_t(1) << (B & 63);
+        AnyIn = true;
+      }
+    }
+    if (!AnyOut || !AnyIn)
+      continue;
+    uint64_t *Row = &Scratch.ConflictRows[static_cast<size_t>(A) * RowWords];
+    for (size_t W = 0; W != RowWords; ++W) {
+      uint64_t Cyc = Scratch.OutRow[W] & Scratch.InRow[W];
+      if (!Cyc)
+        continue;
+      Row[W] |= Cyc;
+      // Mirror into the other rows so every row stays complete.
+      uint64_t Bits = Cyc;
+      while (Bits) {
+        unsigned B = static_cast<unsigned>(W * 64) +
+                     static_cast<unsigned>(__builtin_ctzll(Bits));
+        Bits &= Bits - 1;
+        Scratch.ConflictRows[static_cast<size_t>(B) * RowWords + (A >> 6)] |=
+            uint64_t(1) << (A & 63);
+      }
+    }
+  }
+}
+
+unsigned OptimizedRound::computeSurvivors(unsigned CandIdx) {
+  // Auxiliary graph (Figure 6) over the scratch arenas. Node order matches
+  // the reference exactly (keys in PackKeyIds order, postings in candidate
+  // order), because the greedy elimination breaks degree ties by node
+  // index.
+  std::vector<unsigned> &NodeCand = Scratch.NodeCand;
+  NodeCand.clear();
+  if (Scratch.KeyStamp.size() < KeyIds.size())
+    Scratch.KeyStamp.resize(KeyIds.size(), 0);
+  unsigned Epoch = ++Scratch.KeyEpoch;
+  for (unsigned Key : Candidates[CandIdx].PackKeyIds) {
+    if (Scratch.KeyStamp[Key] == Epoch)
+      continue; // duplicate position content: postings already swept
+    Scratch.KeyStamp[Key] = Epoch;
+    for (auto [CI, P] : KeyPostings[Key]) {
+      (void)P; // survivor counting only needs the candidate
+      if (CI == CandIdx || !Candidates[CI].Alive)
+        continue;
+      if (conflictBit(CI, CandIdx))
+        continue;
+      NodeCand.push_back(CI);
+    }
+  }
+
+  unsigned NN = static_cast<unsigned>(NodeCand.size());
+  if (T)
+    T->AuxNodes += NN;
+  if (NN == 0)
+    return 0;
+  if (Scratch.Adj.size() < NN)
+    Scratch.Adj.resize(NN);
+  Scratch.Degree.assign(NN, 0);
+  for (unsigned I = 0; I != NN; ++I)
+    Scratch.Adj[I].clear();
+  bool AnyEdge = false;
+  for (unsigned I = 0; I != NN; ++I) {
+    for (unsigned J = I + 1; J != NN; ++J) {
+      if (NodeCand[I] == NodeCand[J])
+        continue;
+      if (conflictBit(NodeCand[I], NodeCand[J])) {
+        Scratch.Adj[I].push_back(J);
+        Scratch.Adj[J].push_back(I);
+        ++Scratch.Degree[I];
+        ++Scratch.Degree[J];
+        AnyEdge = true;
+      }
+    }
+  }
+  if (!AnyEdge)
+    return NN; // edgeless: everything survives
+
+  // Greedy conflict elimination (Figure 7) driven by a lazy max-heap:
+  // entries are (degree, node) snapshots ordered by degree descending then
+  // node index ascending — the reference's "lowest index among the
+  // max-degree nodes" rule. Stale snapshots (node removed or degree moved
+  // on) are skipped on pop; each decrement pushes a fresh snapshot, so the
+  // top valid entry is always the current maximum.
+  auto HeapLess = [](const std::pair<unsigned, unsigned> &A,
+                     const std::pair<unsigned, unsigned> &B) {
+    if (A.first != B.first)
+      return A.first < B.first;
+    return A.second > B.second;
+  };
+  std::vector<std::pair<unsigned, unsigned>> &Heap = Scratch.Heap;
+  Heap.clear();
+  for (unsigned I = 0; I != NN; ++I)
+    if (Scratch.Degree[I] > 0)
+      Heap.push_back({Scratch.Degree[I], I});
+  std::make_heap(Heap.begin(), Heap.end(), HeapLess);
+  Scratch.Removed.assign(NN, 0);
+  unsigned Alive = NN;
+  while (!Heap.empty()) {
+    std::pop_heap(Heap.begin(), Heap.end(), HeapLess);
+    auto [D, I] = Heap.back();
+    Heap.pop_back();
+    if (Scratch.Removed[I] || Scratch.Degree[I] != D)
+      continue; // stale snapshot
+    Scratch.Removed[I] = 1;
+    --Alive;
+    for (unsigned J : Scratch.Adj[I]) {
+      if (Scratch.Removed[J])
+        continue;
+      assert(Scratch.Degree[J] > 0 && "degree bookkeeping broken");
+      unsigned ND = --Scratch.Degree[J];
+      if (ND > 0) {
+        Heap.push_back({ND, J});
+        std::push_heap(Heap.begin(), Heap.end(), HeapLess);
+      }
+    }
+    Scratch.Degree[I] = 0;
+  }
+  return Alive;
+}
+
+double OptimizedRound::weightOf(unsigned CandIdx) {
+  const Candidate &Cand = Candidates[CandIdx];
+  double Avg = 0;
+  if (Options.UseReuseWeight) {
+    if (!SurvValid[CandIdx]) {
+      Survivors[CandIdx] = computeSurvivors(CandIdx);
+      SurvValid[CandIdx] = 1;
+      if (T) {
+        ++T->WeightComputes;
+        if (EverComputed[CandIdx])
+          ++T->DirtyRecomputes;
+        EverComputed[CandIdx] = 1;
+      }
+    } else if (T) {
+      ++T->WeightCacheHits;
+    }
+    // Reuse(c) = GlobalDecided + Survivors(c) + TotalKeys(c) - NewKeys(c),
+    // averaged over NumDecidedKeys + NewKeys(c) pack types (see the file
+    // header). All terms are integers, so this equals the reference's
+    // accumulation bit for bit.
+    uint64_t NewKeys = 0;
+    for (unsigned Key : DistinctKeys[CandIdx])
+      if (DecidedCount[Key] == 0)
+        ++NewKeys;
+    uint64_t Reuse =
+        GlobalDecided + Survivors[CandIdx] + Cand.PackKeyIds.size() - NewKeys;
+    uint64_t NumPackTypes = NumDecidedKeys + NewKeys;
+    Avg = NumPackTypes == 0
+              ? 0
+              : static_cast<double>(Reuse) / static_cast<double>(NumPackTypes);
+  }
+  return Avg + Options.PackQualityEpsilon * Cand.PackQuality;
+}
+
+void OptimizedRound::markDirtySharers(unsigned CandIdx) {
+  // Candidates whose auxiliary graph can contain a node of CandIdx are
+  // exactly those sharing a pack key with it; their cached survivor counts
+  // are now stale.
+  for (unsigned Key : DistinctKeys[CandIdx])
+    for (auto [CI, P] : KeyPostings[Key]) {
+      (void)P;
+      if (Candidates[CI].Alive)
+        SurvValid[CI] = 0;
+    }
+}
+
+std::vector<std::pair<unsigned, unsigned>> OptimizedRound::run() {
+  buildItemDependences();
+  identifyCandidates();
+  if (T)
+    T->Candidates += Candidates.size();
+  buildConflictBitsets();
+  ItemTaken.assign(Items.size(), false);
+
+  unsigned NC = static_cast<unsigned>(Candidates.size());
+  SurvValid.assign(NC, 0);
+  EverComputed.assign(NC, 0);
+  Survivors.assign(NC, 0);
+  DecidedCount.assign(KeyIds.size(), 0);
+
+  std::vector<std::pair<unsigned, unsigned>> Merges;
+  std::vector<unsigned> BestSet;
+  while (true) {
+    // Same selection sweep as the reference, but weights are served from
+    // the incremental cache: only candidates dirtied by the previous
+    // decision rebuild their auxiliary graph.
+    double BestWeight = -1;
+    BestSet.clear();
+    for (unsigned CI = 0; CI != NC; ++CI) {
+      if (!Candidates[CI].Alive)
+        continue;
+      double W = weightOf(CI);
+      if (W > BestWeight + 1e-12) {
+        BestWeight = W;
+        BestSet.assign(1, CI);
+      } else if (W >= BestWeight - 1e-12) {
+        BestSet.push_back(CI);
+      }
+    }
+    if (BestSet.empty())
+      break;
+    unsigned Chosen =
+        BestSet[BestSet.size() == 1
+                    ? 0
+                    : static_cast<size_t>(TieBreaker.nextBelow(
+                          BestSet.size()))];
+
+    if (!keepsGroupedDepsAcyclic(Deps, Items, ItemTaken, Candidates,
+                                 DecidedCandidates, Candidates[Chosen])) {
+      // Accepting this group would make the grouped dependence graph
+      // cyclic; it can never be scheduled, so discard it.
+      Candidates[Chosen].Alive = false;
+      markDirtySharers(Chosen);
+      continue;
+    }
+
+    // Commit the decision and prune conflicting candidates (Figures 8/9).
+    DecidedCandidates.push_back(Chosen);
+    Candidates[Chosen].Alive = false;
+    ItemTaken[Candidates[Chosen].ItemA] = true;
+    ItemTaken[Candidates[Chosen].ItemB] = true;
+    Merges.emplace_back(Candidates[Chosen].ItemA, Candidates[Chosen].ItemB);
+    if (T)
+      ++T->Commits;
+
+    // Fold Chosen's pack keys into the decided-side closed-form counters.
+    for (unsigned Key : Candidates[Chosen].PackKeyIds) {
+      if (DecidedCount[Key]++ == 0)
+        ++NumDecidedKeys;
+      else
+        ++GlobalDecided;
+    }
+
+    // Word-parallel prune: walk the set bits of Chosen's conflict row.
+    const uint64_t *Row =
+        &Scratch.ConflictRows[static_cast<size_t>(Chosen) * RowWords];
+    for (size_t W = 0; W != RowWords; ++W) {
+      uint64_t Bits = Row[W];
+      while (Bits) {
+        unsigned CI = static_cast<unsigned>(W * 64) +
+                      static_cast<unsigned>(__builtin_ctzll(Bits));
+        Bits &= Bits - 1;
+        if (Candidates[CI].Alive) {
+          Candidates[CI].Alive = false;
+          markDirtySharers(CI);
+        }
+      }
+    }
+    markDirtySharers(Chosen);
+  }
+  return Merges;
+}
+
+/// True when some pair of items could still form a candidate on size
+/// grounds. When every item is within MinSize of overflowing its lane
+/// budget, no candidate can exist and a grouping round would only rebuild
+/// state to decide nothing — the widen loop skips it (the "hoist candidate
+/// regeneration" fast path; the skipped round consumes no RNG, so results
+/// are unchanged).
+bool anyPairCanMerge(const Kernel &K, const GroupingOptions &Options,
+                     const std::vector<Item> &Items) {
+  size_t MinSize = SIZE_MAX;
+  for (const Item &I : Items)
+    MinSize = std::min(MinSize, I.Stmts.size());
+  for (const Item &I : Items) {
+    const Statement &S = K.Body.statement(I.Stmts.front());
+    unsigned Lanes =
+        lanesFor(statementElementType(K, S), Options.DatapathBits);
+    if (I.Stmts.size() + MinSize <= Lanes)
+      return true;
+  }
+  return false;
+}
+
 } // namespace
 
 GroupingResult slp::groupStatementsGlobal(const Kernel &K,
                                           const DependenceInfo &Deps,
-                                          const GroupingOptions &Options) {
+                                          const GroupingOptions &Options,
+                                          GroupingTelemetry *Telemetry) {
   // Round one: every statement is its own item.
   std::vector<Item> Items;
   for (unsigned S = 0, E = K.Body.size(); S != E; ++S)
     Items.push_back(Item{{S}});
 
+  GroupingScratch Scratch(K.Body.size());
+
   // Iterative grouping (Section 4.2.2): merge until a fixpoint.
   while (true) {
-    GroupingRound Round(K, Deps, Options, Items);
-    std::vector<std::pair<unsigned, unsigned>> Merges = Round.run();
+    if (Items.size() < 2 || !anyPairCanMerge(K, Options, Items))
+      break; // no candidate could exist; skip the no-op round entirely
+    if (Telemetry)
+      ++Telemetry->Rounds;
+    std::vector<std::pair<unsigned, unsigned>> Merges;
+    if (Options.Impl == GroupingImpl::Reference) {
+      GroupingRound Round(K, Deps, Options, Items, Telemetry);
+      Merges = Round.run();
+    } else {
+      OptimizedRound Round(K, Deps, Options, Items, Scratch, Telemetry);
+      Merges = Round.run();
+    }
     if (Merges.empty())
       break;
     std::vector<bool> Consumed(Items.size(), false);

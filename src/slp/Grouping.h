@@ -42,6 +42,36 @@ struct GroupingResult {
   std::vector<unsigned> Singles;
 };
 
+/// Which grouping engine runs the Figure 10 algorithm. Both produce
+/// bit-identical results (asserted by tests/slp/GroupingDifferentialTest);
+/// they differ only in compile time.
+enum class GroupingImpl : uint8_t {
+  /// Bitset conflict rows, memoized item-level dependences, incrementally
+  /// maintained candidate weights with dirty-set propagation, and reusable
+  /// scratch arenas. The default.
+  Optimized,
+  /// The direct transcription of Figure 10: dense conflict matrix and a
+  /// from-scratch auxiliary graph per live candidate per decision. Kept as
+  /// the differential-testing and benchmarking baseline
+  /// (`slpc --grouping-impl=reference`).
+  Reference,
+};
+
+const char *groupingImplName(GroupingImpl Impl);
+
+/// Per-stage instrumentation of one grouping run, reported through the
+/// pass manager's Statistics by GroupingPass (`--stats`).
+struct GroupingTelemetry {
+  uint64_t Candidates = 0;      ///< candidate groups identified, all rounds
+  uint64_t Rounds = 0;          ///< widen rounds actually run
+  uint64_t Commits = 0;         ///< candidates committed into groups
+  uint64_t AuxNodes = 0;        ///< auxiliary-graph nodes built (Figure 6)
+  uint64_t WeightComputes = 0;  ///< full auxiliary-graph weight computations
+  uint64_t WeightCacheHits = 0; ///< weights served from the incremental cache
+  uint64_t DirtyRecomputes = 0; ///< recomputes forced by dirty-set propagation
+  uint64_t ConflictWords = 0;   ///< 64-bit words held by the conflict bitsets
+};
+
 /// Options controlling grouping.
 struct GroupingOptions {
   /// SIMD datapath width in bits (Table 1/2 machines use 128; Figure 18
@@ -59,12 +89,16 @@ struct GroupingOptions {
   /// paper's core idea). Disabled only by the ablation study, which then
   /// groups by packing cheapness alone.
   bool UseReuseWeight = true;
+  /// Which engine runs the algorithm (identical results either way).
+  GroupingImpl Impl = GroupingImpl::Optimized;
 };
 
 /// Runs the holistic grouping of Section 4.2 on \p K's basic block.
+/// \p Telemetry, when non-null, receives per-stage counters.
 GroupingResult groupStatementsGlobal(const Kernel &K,
                                      const DependenceInfo &Deps,
-                                     const GroupingOptions &Options);
+                                     const GroupingOptions &Options,
+                                     GroupingTelemetry *Telemetry = nullptr);
 
 /// Number of lanes a superword of element type \p Ty holds on a
 /// \p DatapathBits-wide machine.

@@ -36,15 +36,24 @@ void GroupingPass::run(PassContext &Ctx) {
     GO.DatapathBits = Options.Machine.DatapathBits;
     GO.TieBreakSeed = Options.TieBreakSeed;
     GO.UseReuseWeight = Options.Ablation.ReuseAwareGrouping;
+    GO.Impl = Options.GroupingEngine;
     if (!Options.Ablation.PackQualityTieBreak)
       GO.PackQualityEpsilon = 0;
-    S.Groups = groupStatementsGlobal(K, Deps, GO);
+    GroupingTelemetry Telemetry;
+    S.Groups = groupStatementsGlobal(K, Deps, GO, &Telemetry);
     unsigned Grouped = 0;
     for (const SimdGroup &G : S.Groups->Groups)
       Grouped += G.size();
     Ctx.Stats.add("grouping.packs-formed", S.Groups->Groups.size());
     Ctx.Stats.add("grouping.statements-grouped", Grouped);
     Ctx.Stats.add("grouping.statements-scalar", S.Groups->Singles.size());
+    Ctx.Stats.add("grouping.candidates", Telemetry.Candidates);
+    Ctx.Stats.add("grouping.rounds", Telemetry.Rounds);
+    Ctx.Stats.add("grouping.aux-graph-nodes", Telemetry.AuxNodes);
+    Ctx.Stats.add("grouping.weight-computes", Telemetry.WeightComputes);
+    Ctx.Stats.add("grouping.weight-cache-hits", Telemetry.WeightCacheHits);
+    Ctx.Stats.add("grouping.dirty-recomputes", Telemetry.DirtyRecomputes);
+    Ctx.Stats.add("grouping.conflict-words", Telemetry.ConflictWords);
     if (S.Groups->Groups.empty())
       Ctx.Remarks.missed(name(),
                          "no isomorphic, dependence-free statement groups "

@@ -69,6 +69,10 @@ struct PipelineOptions {
   /// (Section 4.3's final paragraph).
   bool CostModelGuard = true;
   uint64_t TieBreakSeed = 1;
+  /// Which grouping engine runs Section 4.2 (`slpc --grouping-impl=`).
+  /// Both produce bit-identical groupings; Reference exists for
+  /// differential testing and compile-time benchmarking.
+  GroupingImpl GroupingEngine = GroupingImpl::Optimized;
   /// Worker threads used by runPipelineOverModule: 1 runs kernels
   /// serially on the calling thread, N > 1 fans them out over a pool of N
   /// workers, and 0 asks for one worker per hardware thread. Results are

@@ -30,8 +30,8 @@ struct LivePack {
 class Scheduler {
 public:
   Scheduler(const Kernel &K, const DependenceInfo &Deps,
-            const GroupingResult &Groups)
-      : K(K), Deps(Deps) {
+            const GroupingResult &Groups, SchedulingCounters *Counters)
+      : K(K), Deps(Deps), Counters(Counters) {
     for (const SimdGroup &G : Groups.Groups)
       Nodes.push_back(G.Members);
     for (unsigned S : Groups.Singles)
@@ -43,7 +43,8 @@ public:
 
 private:
   void buildDependenceGraph();
-  unsigned reuseCount(unsigned Node) const;
+  void refreshLiveKeys();
+  unsigned reuseCount(unsigned Node);
   std::vector<unsigned> chooseLaneOrder(unsigned Node) const;
   void updateLiveSet(const std::vector<unsigned> &Lanes);
   void emit(unsigned Node, Schedule &Out);
@@ -62,10 +63,18 @@ private:
 
   const Kernel &K;
   const DependenceInfo &Deps;
+  SchedulingCounters *Counters;
   std::vector<std::vector<unsigned>> Nodes; // members per node (sorted)
   std::vector<std::set<unsigned>> Succ;
   std::vector<unsigned> InDegree;
   std::vector<LivePack> LiveSet;
+  /// Sorted-unique multiset keys of LiveSet, rebuilt once per ready sweep
+  /// (scratch reused across sweeps — LiveSet only changes on emit).
+  std::vector<std::string> LiveKeyScratch;
+  /// Lazily cached positionPackKeys per node: node members never change,
+  /// so each node's key strings are built at most once per run.
+  std::vector<std::vector<std::string>> NodeKeysCache;
+  std::vector<char> NodeKeysValid;
 };
 
 void Scheduler::buildDependenceGraph() {
@@ -88,13 +97,29 @@ void Scheduler::buildDependenceGraph() {
   }
 }
 
-unsigned Scheduler::reuseCount(unsigned Node) const {
-  std::set<std::string> LiveKeys;
+void Scheduler::refreshLiveKeys() {
+  LiveKeyScratch.clear();
   for (const LivePack &L : LiveSet)
-    LiveKeys.insert(L.MultisetKey);
+    LiveKeyScratch.push_back(L.MultisetKey);
+  std::sort(LiveKeyScratch.begin(), LiveKeyScratch.end());
+  LiveKeyScratch.erase(
+      std::unique(LiveKeyScratch.begin(), LiveKeyScratch.end()),
+      LiveKeyScratch.end());
+}
+
+unsigned Scheduler::reuseCount(unsigned Node) {
+  if (NodeKeysValid.empty()) {
+    NodeKeysCache.resize(Nodes.size());
+    NodeKeysValid.assign(Nodes.size(), 0);
+  }
+  if (!NodeKeysValid[Node]) {
+    NodeKeysCache[Node] = positionPackKeys(K, Nodes[Node]);
+    NodeKeysValid[Node] = 1;
+  }
   unsigned Count = 0;
-  for (const std::string &Key : positionPackKeys(K, Nodes[Node]))
-    Count += LiveKeys.count(Key);
+  for (const std::string &Key : NodeKeysCache[Node])
+    Count += std::binary_search(LiveKeyScratch.begin(), LiveKeyScratch.end(),
+                                Key);
   return Count;
 }
 
@@ -320,7 +345,11 @@ Schedule Scheduler::run() {
       break;
 
     // Among ready superword statements pick the one with the most reuses
-    // against the live superword set (Figure 11, lines 15-18).
+    // against the live superword set (Figure 11, lines 15-18). The live
+    // set is frozen during the sweep, so its key index is built once.
+    refreshLiveKeys();
+    if (Counters)
+      ++Counters->ReadyScans;
     unsigned BestNode = NumNodes;
     unsigned BestReuse = 0;
     for (unsigned N = 0; N != NumNodes; ++N) {
@@ -335,6 +364,8 @@ Schedule Scheduler::run() {
     }
     assert(BestNode != NumNodes &&
            "acyclic grouped dependence graph must always have a ready node");
+    if (Counters)
+      Counters->ReuseHits += BestReuse;
     emit(BestNode, Out);
     Emitted[BestNode] = true;
     --Remaining;
@@ -346,8 +377,9 @@ Schedule Scheduler::run() {
 } // namespace
 
 Schedule slp::scheduleGroups(const Kernel &K, const DependenceInfo &Deps,
-                             const GroupingResult &Groups) {
-  Scheduler S(K, Deps, Groups);
+                             const GroupingResult &Groups,
+                             SchedulingCounters *Counters) {
+  Scheduler S(K, Deps, Groups, Counters);
   return S.run();
 }
 

@@ -43,10 +43,22 @@ struct Schedule {
 /// Produces the all-scalar schedule (the identity transformation).
 Schedule scalarSchedule(const Kernel &K);
 
+/// Instrumentation of one scheduling run, reported through Statistics by
+/// SchedulingPass (`--stats`).
+struct SchedulingCounters {
+  /// Ready-superword sweeps performed against the live superword set
+  /// (one per emitted superword statement).
+  uint64_t ReadyScans = 0;
+  /// Superword reuses realized by the emitted statements: the live-set
+  /// reuse count of the winning node, summed over all picks.
+  uint64_t ReuseHits = 0;
+};
+
 /// Runs the scheduling phase of Figure 11 on the groups chosen by the
-/// grouping phase.
+/// grouping phase. \p Counters, when non-null, receives instrumentation.
 Schedule scheduleGroups(const Kernel &K, const DependenceInfo &Deps,
-                        const GroupingResult &Groups);
+                        const GroupingResult &Groups,
+                        SchedulingCounters *Counters = nullptr);
 
 /// Ablation-only variant: a plain topological schedule in original
 /// statement order with ascending lane orders — no live superword set, no

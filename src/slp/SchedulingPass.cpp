@@ -13,10 +13,13 @@ void SchedulingPass::run(PassContext &Ctx) {
 
   if (S.Groups) {
     const DependenceInfo &Deps = S.ensureDeps();
+    SchedulingCounters Counters;
     S.TheSchedule = S.Options.Ablation.ReuseAwareScheduling
-                        ? scheduleGroups(K, Deps, *S.Groups)
+                        ? scheduleGroups(K, Deps, *S.Groups, &Counters)
                         : scheduleGroupsNaive(K, Deps, *S.Groups);
     S.ScheduleReady = true;
+    Ctx.Stats.add("sched_ready_scans", Counters.ReadyScans);
+    Ctx.Stats.add("sched_reuse_hits", Counters.ReuseHits);
   } else {
     // Baselines (and hand-built pipelines without a grouping pass): the
     // schedule is already final; fall back to all-scalar when absent.

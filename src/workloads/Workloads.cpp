@@ -12,6 +12,8 @@
 #include "ir/Builder.h"
 #include "support/Error.h"
 
+#include <array>
+
 using namespace slp;
 
 namespace {
@@ -536,6 +538,91 @@ Kernel slp::randomKernel(Rng &R, const RandomKernelOptions &Options) {
     // Note: the builder asserts lhs is not readonly through our chooser;
     // a readonly lhs would break the replication legality assumptions.
     B.assign(std::move(Lhs), RandomExpr(2));
+  }
+  return B.take();
+}
+
+Kernel slp::syntheticGroupingBlock(const SyntheticBlockOptions &Options) {
+  unsigned CS = std::max(2u, Options.ClassSize);
+  unsigned RBC = std::max(1u, Options.ReuseBlockClasses);
+  unsigned NumClasses = (Options.NumStatements + CS - 1) / CS;
+  unsigned NumBlocks = (NumClasses + RBC - 1) / RBC;
+  const int64_t Trip = 4;
+  const int64_t Elems = static_cast<int64_t>(CS) * Trip;
+
+  KernelBuilder B("grouping_scale_" +
+                  std::to_string(Options.NumStatements));
+  Rng R(Options.Seed);
+
+  // Per-block operand pools: loads from these give every class of the
+  // block identical pack keys (block-wide superword reuse).
+  std::vector<std::array<SymbolId, 3>> Pools;
+  std::vector<SymbolId> BlockScalars;
+  for (unsigned Blk = 0; Blk != NumBlocks; ++Blk) {
+    std::array<SymbolId, 3> Pool;
+    for (unsigned P = 0; P != 3; ++P)
+      Pool[P] = B.array("p" + std::to_string(Blk) + "_" + std::to_string(P),
+                        ST::Float32, {Elems}, /*ReadOnly=*/true);
+    Pools.push_back(Pool);
+    BlockScalars.push_back(
+        B.scalar("q" + std::to_string(Blk), ST::Float32));
+  }
+  std::vector<SymbolId> Outs;
+  for (unsigned C = 0; C != NumClasses; ++C)
+    Outs.push_back(
+        B.array("o" + std::to_string(C), ST::Float32, {Elems}));
+  std::vector<char> Chained(NumClasses, 0);
+  for (unsigned C = 0; C != NumClasses; ++C)
+    Chained[C] = R.nextBelow(1000) <
+                 static_cast<uint64_t>(Options.DepFraction * 1000.0);
+
+  unsigned I = B.loop("i", 0, Trip);
+  static const OpCode Ops[] = {OpCode::Add, OpCode::Sub, OpCode::Mul,
+                               OpCode::Min, OpCode::Max};
+
+  for (unsigned S = 0; S != Options.NumStatements; ++S) {
+    unsigned C = S / CS;
+    unsigned L = S % CS;
+    unsigned Blk = C / RBC;
+    // A globally unique expression shape per class (two opcodes x three
+    // tail kinds x a depth tier): statements are isomorphic only within
+    // their class, so candidates stay linear in NumStatements while pack
+    // keys still match across the classes of a block.
+    unsigned ShapeId = C % 75;
+    unsigned DepthTier = C / 75;
+    OpCode Op1 = Ops[ShapeId % 5];
+    OpCode Op2 = Ops[(ShapeId / 5) % 5];
+    unsigned TailKind = (ShapeId / 25) % 3;
+
+    AffineExpr Idx = B.idx(I, static_cast<int64_t>(CS), L);
+    ExprPtr Base = Expr::makeBinary(Op1, B.load(Pools[Blk][0], {Idx}),
+                                    B.load(Pools[Blk][1], {Idx}));
+    ExprPtr Tail;
+    switch (TailKind) {
+    case 0:
+      Tail = B.load(Pools[Blk][2], {Idx});
+      break;
+    case 1:
+      Tail = B.scalarRef(BlockScalars[Blk]);
+      break;
+    default:
+      Tail = B.c(1.5);
+      break;
+    }
+    ExprPtr Rhs = Expr::makeBinary(Op2, std::move(Base), std::move(Tail));
+    for (unsigned D = 0; D != DepthTier; ++D)
+      Rhs = B.add(std::move(Rhs), B.load(Pools[Blk][2], {Idx}));
+    if (Chained[C]) {
+      // Read a neighbor lane's output element (scaled, so the chain tail
+      // keeps a shape no unchained class has): lanes L and L+1 become
+      // dependent, and candidate pairs overlapping in opposite orders
+      // conflict through a dependence cycle.
+      unsigned NL = std::min(L + 1, CS - 1);
+      Rhs = B.add(std::move(Rhs),
+                  B.mul(B.c(0.5), B.load(Outs[C], {B.idx(
+                                      I, static_cast<int64_t>(CS), NL)})));
+    }
+    B.assign(B.arrayRef(Outs[C], {Idx}), std::move(Rhs));
   }
   return B.take();
 }

@@ -60,6 +60,34 @@ struct RandomKernelOptions {
 /// that schedule-validity and equivalence properties get exercised hard.
 Kernel randomKernel(Rng &R, const RandomKernelOptions &Options);
 
+/// Parameters of the synthetic grouping-scalability generator
+/// (bench_grouping_scale and the grouping differential tests).
+struct SyntheticBlockOptions {
+  /// Total statements in the block (the scaling axis, 64 → 2048).
+  unsigned NumStatements = 256;
+  /// Statements per isomorphism class. Every class gets a globally unique
+  /// expression shape, so candidate groups form only within a class —
+  /// candidate count grows linearly with NumStatements, which keeps the
+  /// reference engine's dense conflict matrix tractable at 2048.
+  unsigned ClassSize = 8;
+  /// Classes sharing one operand-array pool. Pool loads give classes of a
+  /// block identical pack keys, so auxiliary graphs span the block and
+  /// superword reuse crosses class boundaries (the expensive part of the
+  /// weight computation) without blowing up the candidate count.
+  unsigned ReuseBlockClasses = 4;
+  /// Fraction of classes whose statements also read a neighbor lane's
+  /// output element, creating intra-class dependences and dependence-cycle
+  /// conflicts between overlapping candidates.
+  double DepFraction = 0.15;
+  /// Seed for the chained-class selection.
+  uint64_t Seed = 1;
+};
+
+/// Generates a straight-line block stressing statement grouping: many
+/// isomorphism classes, block-wide superword reuse, and (per DepFraction)
+/// dependence-driven conflicts.
+Kernel syntheticGroupingBlock(const SyntheticBlockOptions &Options);
+
 } // namespace slp
 
 #endif // SLP_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate a google-benchmark JSON result against a checked-in baseline.
+
+Usage:
+  check_bench_regression.py --current BENCH.json --baseline BASELINE.json \
+      --benchmark grouping/optimized/1024 [--max-ratio 2.0]
+
+BENCH.json is the --benchmark_out JSON of a bench_* binary. BASELINE.json
+maps benchmark names to wall-clock seconds (keys starting with "_" are
+ignored). Exits non-zero when current/baseline exceeds --max-ratio for the
+named benchmark, so CI fails on large compile-time regressions while
+absorbing ordinary runner-speed variance.
+"""
+
+import argparse
+import json
+import sys
+
+_TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def current_seconds(report, name):
+    for bench in report.get("benchmarks", []):
+        if bench.get("name") == name:
+            unit = _TIME_UNIT_SECONDS.get(bench.get("time_unit", "ns"))
+            if unit is None:
+                sys.exit(f"unknown time_unit in '{name}': "
+                         f"{bench.get('time_unit')!r}")
+            return bench["real_time"] * unit
+    sys.exit(f"benchmark '{name}' not found in the current results "
+             f"(ran with the wrong --benchmark_filter?)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--benchmark", required=True)
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        report = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.benchmark not in baseline:
+        sys.exit(f"benchmark '{args.benchmark}' has no baseline entry in "
+                 f"{args.baseline}")
+
+    base = float(baseline[args.benchmark])
+    cur = current_seconds(report, args.benchmark)
+    ratio = cur / base
+    verdict = "OK" if ratio <= args.max_ratio else "REGRESSION"
+    print(f"{args.benchmark}: current {cur * 1e3:.1f} ms, baseline "
+          f"{base * 1e3:.1f} ms, ratio {ratio:.2f}x "
+          f"(limit {args.max_ratio:.2f}x) -> {verdict}")
+    if ratio > args.max_ratio:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

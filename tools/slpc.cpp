@@ -10,6 +10,7 @@
 //     --opt=scalar|native|slp|global|global+layout   (default global+layout)
 //     --machine=intel|amd                            (default intel)
 //     --bits=N             override the SIMD datapath width
+//     --grouping-impl=optimized|reference   grouping engine (default optimized)
 //     --passes=<list>      run a custom comma-separated pass list
 //     --time-passes        print per-pass wall-clock timing
 //     --stats              print the named statistic counters
@@ -46,6 +47,7 @@ struct CliOptions {
   std::string InputPath;
   OptimizerKind Kind = OptimizerKind::GlobalLayout;
   MachineModel Machine = MachineModel::intelDunnington();
+  GroupingImpl GroupingEngine = GroupingImpl::Optimized;
   std::vector<std::string> Passes; ///< empty = canonical pipeline
   unsigned Threads = 1;
   bool TimePasses = false;
@@ -66,6 +68,10 @@ void printUsage() {
       "(default global+layout)\n"
       "  --machine=intel|amd   target machine model (default intel)\n"
       "  --bits=N              override the SIMD datapath width\n"
+      "  --grouping-impl=optimized|reference\n"
+      "                        grouping engine; both give identical\n"
+      "                        groupings, 'reference' is the slow Figure 10\n"
+      "                        transcription (default optimized)\n"
       "  --passes=<list>       run a custom comma-separated pass list\n"
       "                        (see docs/pass-pipeline.md for pass names)\n"
       "  --time-passes         print per-pass wall-clock timing\n"
@@ -171,6 +177,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!parseBits(Arg.substr(7), Bits))
         return false;
       Opts.Machine.DatapathBits = Bits;
+    } else if (Arg.rfind("--grouping-impl=", 0) == 0) {
+      std::string V = Arg.substr(16);
+      if (V == "optimized")
+        Opts.GroupingEngine = GroupingImpl::Optimized;
+      else if (V == "reference")
+        Opts.GroupingEngine = GroupingImpl::Reference;
+      else {
+        std::fprintf(stderr, "slpc: unknown grouping engine '%s'\n",
+                     V.c_str());
+        return false;
+      }
     } else if (Arg.rfind("--passes=", 0) == 0) {
       Opts.Passes = splitList(Arg.substr(9));
       if (Opts.Passes.empty()) {
@@ -267,6 +284,7 @@ int main(int Argc, char **Argv) {
   PipelineOptions Options;
   Options.Machine = Opts.Machine;
   Options.Threads = Opts.Threads;
+  Options.GroupingEngine = Opts.GroupingEngine;
 
   ModulePipelineResult Module;
   if (Opts.Passes.empty()) {
