@@ -1,0 +1,228 @@
+//===- fuzz/Corpus.cpp ----------------------------------------*- C++ -*-===//
+
+#include "fuzz/Corpus.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace slp;
+
+namespace {
+
+const char *optName(OptimizerKind Kind) {
+  switch (Kind) {
+  case OptimizerKind::Scalar:
+    return "scalar";
+  case OptimizerKind::Native:
+    return "native";
+  case OptimizerKind::LarsenSlp:
+    return "slp";
+  case OptimizerKind::Global:
+    return "global";
+  case OptimizerKind::GlobalLayout:
+    return "global+layout";
+  }
+  return "<invalid>";
+}
+
+bool parseOpt(const std::string &V, OptimizerKind &Out) {
+  if (V == "scalar")
+    Out = OptimizerKind::Scalar;
+  else if (V == "native")
+    Out = OptimizerKind::Native;
+  else if (V == "slp")
+    Out = OptimizerKind::LarsenSlp;
+  else if (V == "global")
+    Out = OptimizerKind::Global;
+  else if (V == "global+layout")
+    Out = OptimizerKind::GlobalLayout;
+  else
+    return false;
+  return true;
+}
+
+bool parseUnsigned(const std::string &V, unsigned &Out) {
+  char *End = nullptr;
+  unsigned long N = std::strtoul(V.c_str(), &End, 10);
+  if (End == V.c_str() || *End != '\0')
+    return false;
+  Out = static_cast<unsigned>(N);
+  return true;
+}
+
+} // namespace
+
+const char *slp::bugInjectionName(BugInjection Inject) {
+  switch (Inject) {
+  case BugInjection::None:
+    return "none";
+  case BugInjection::DropItem:
+    return "drop-item";
+  case BugInjection::DuplicateLane:
+    return "dup-lane";
+  case BugInjection::SwapDependent:
+    return "swap-dependent";
+  }
+  return "<invalid>";
+}
+
+bool slp::parseBugInjection(const std::string &Name, BugInjection &Out) {
+  if (Name == "none")
+    Out = BugInjection::None;
+  else if (Name == "drop-item")
+    Out = BugInjection::DropItem;
+  else if (Name == "dup-lane")
+    Out = BugInjection::DuplicateLane;
+  else if (Name == "swap-dependent")
+    Out = BugInjection::SwapDependent;
+  else
+    return false;
+  return true;
+}
+
+std::string slp::serializeFuzzCase(const FuzzCase &Case) {
+  std::ostringstream Out;
+  Out << "// fuzz: opt=" << optName(Case.Config.Kind)
+      << " bits=" << Case.Config.DatapathBits << " grouping="
+      << (Case.Config.Grouping == GroupingImpl::Reference ? "reference"
+                                                          : "optimized")
+      << " threads=" << Case.Config.Threads << "\n";
+  Out << "// fuzz: env-seeds=";
+  for (unsigned I = 0; I != Case.Config.EnvSeeds.size(); ++I)
+    Out << (I ? "," : "") << Case.Config.EnvSeeds[I];
+  Out << "\n";
+  if (Case.Config.Inject != BugInjection::None)
+    Out << "// fuzz: inject=" << bugInjectionName(Case.Config.Inject)
+        << "\n";
+  if (!Case.Reason.empty()) {
+    // Keep the reason one comment line per source line.
+    std::istringstream In(Case.Reason);
+    std::string Line;
+    while (std::getline(In, Line))
+      Out << "// reason: " << Line << "\n";
+  }
+  Out << Case.Source;
+  if (Case.Source.empty() || Case.Source.back() != '\n')
+    Out << "\n";
+  return Out.str();
+}
+
+bool slp::parseFuzzCase(const std::string &Text, FuzzCase &Out,
+                        std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  Out = FuzzCase();
+  bool SawSeeds = false;
+  std::istringstream In(Text);
+  std::string Line;
+  std::ostringstream Body;
+  bool InHeader = true;
+  while (std::getline(In, Line)) {
+    if (InHeader && Line.rfind("// reason: ", 0) == 0) {
+      if (!Out.Reason.empty())
+        Out.Reason += "\n";
+      Out.Reason += Line.substr(11);
+      continue;
+    }
+    if (InHeader && Line.rfind("// fuzz:", 0) == 0) {
+      std::istringstream Fields(Line.substr(8));
+      std::string Field;
+      while (Fields >> Field) {
+        size_t Eq = Field.find('=');
+        if (Eq == std::string::npos)
+          return Fail("malformed fuzz header field '" + Field + "'");
+        std::string Key = Field.substr(0, Eq);
+        std::string Value = Field.substr(Eq + 1);
+        if (Key == "opt") {
+          if (!parseOpt(Value, Out.Config.Kind))
+            return Fail("unknown optimizer '" + Value + "'");
+        } else if (Key == "bits") {
+          if (!parseUnsigned(Value, Out.Config.DatapathBits) ||
+              Out.Config.DatapathBits < 64)
+            return Fail("bad bits value '" + Value + "'");
+        } else if (Key == "grouping") {
+          if (Value == "optimized")
+            Out.Config.Grouping = GroupingImpl::Optimized;
+          else if (Value == "reference")
+            Out.Config.Grouping = GroupingImpl::Reference;
+          else
+            return Fail("unknown grouping engine '" + Value + "'");
+        } else if (Key == "threads") {
+          if (!parseUnsigned(Value, Out.Config.Threads))
+            return Fail("bad threads value '" + Value + "'");
+        } else if (Key == "env-seeds") {
+          Out.Config.EnvSeeds.clear();
+          std::istringstream Seeds(Value);
+          std::string Seed;
+          while (std::getline(Seeds, Seed, ',')) {
+            char *End = nullptr;
+            uint64_t S = std::strtoull(Seed.c_str(), &End, 10);
+            if (End == Seed.c_str() || *End != '\0')
+              return Fail("bad env seed '" + Seed + "'");
+            Out.Config.EnvSeeds.push_back(S);
+          }
+          if (Out.Config.EnvSeeds.empty())
+            return Fail("env-seeds requires at least one seed");
+          SawSeeds = true;
+        } else if (Key == "inject") {
+          if (!parseBugInjection(Value, Out.Config.Inject))
+            return Fail("unknown injection '" + Value + "'");
+        } else {
+          return Fail("unknown fuzz header key '" + Key + "'");
+        }
+      }
+      continue;
+    }
+    if (!Line.empty() && Line.rfind("//", 0) != 0)
+      InHeader = false;
+    Body << Line << "\n";
+  }
+  (void)SawSeeds;
+  Out.Source = Body.str();
+  if (Out.Source.find("kernel") == std::string::npos)
+    return Fail("corpus file contains no kernel definition");
+  return true;
+}
+
+std::vector<std::string> slp::listCorpusFiles(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  std::error_code Ec;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, Ec)) {
+    if (!Entry.is_regular_file())
+      continue;
+    if (Entry.path().extension() == ".slp")
+      Files.push_back(Entry.path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+bool slp::readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+bool slp::writeFile(const std::string &Path, const std::string &Contents) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::path P(Path);
+  if (P.has_parent_path())
+    fs::create_directories(P.parent_path(), Ec);
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << Contents;
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,79 @@
+//===- fuzz/Corpus.h - Replayable fuzz-case corpus --------------*- C++ -*-===//
+///
+/// \file
+/// A fuzz case is a kernel in the textual `.slp` language plus the exact
+/// pipeline configuration that exposed a failure (optimizer, datapath
+/// bits, grouping engine, thread count, environment seeds, and — for
+/// harness mutation tests — the injected schedule corruption). Cases are
+/// stored as ordinary `.slp` files with a `// fuzz:` comment header, so
+/// every repro doubles as a human-readable kernel and replays through both
+/// `slp-fuzz --replay` and the CorpusReplayTest ctest.
+///
+/// Header format (first comment lines of the file):
+///   // fuzz: opt=global+layout bits=128 grouping=optimized threads=1
+///   // fuzz: env-seeds=12648430,16435934
+///   // fuzz: inject=none
+///   // reason: <free text describing the original failure>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_FUZZ_CORPUS_H
+#define SLP_FUZZ_CORPUS_H
+
+#include "slp/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// Schedule corruptions used to mutation-test the harness itself: a case
+/// with an injection expects the *verifier to fail* after the corruption
+/// is applied, pinning the safety net's ability to catch that bug shape.
+enum class BugInjection : uint8_t {
+  None,
+  DropItem,      ///< delete the last schedule item (permutation check)
+  DuplicateLane, ///< schedule one statement twice (permutation check)
+  SwapDependent, ///< reorder items against a dependence (constraint 2)
+};
+
+const char *bugInjectionName(BugInjection Inject);
+bool parseBugInjection(const std::string &Name, BugInjection &Out);
+
+/// The pipeline configuration of one fuzz case.
+struct FuzzCaseConfig {
+  OptimizerKind Kind = OptimizerKind::GlobalLayout;
+  unsigned DatapathBits = 128;
+  GroupingImpl Grouping = GroupingImpl::Optimized;
+  unsigned Threads = 1;
+  std::vector<uint64_t> EnvSeeds = {0xC0FFEE, 0xFACADE};
+  BugInjection Inject = BugInjection::None;
+};
+
+/// One replayable case: configuration + kernel source + provenance.
+struct FuzzCase {
+  FuzzCaseConfig Config;
+  std::string Source; ///< kernel in the textual language
+  std::string Reason; ///< what failed when the case was recorded
+};
+
+/// Renders \p Case in the corpus file format.
+std::string serializeFuzzCase(const FuzzCase &Case);
+
+/// Parses the corpus file format. Returns false (and sets \p Error when
+/// non-null) on a malformed header; unknown keys are rejected so typos in
+/// hand-edited corpus files surface immediately.
+bool parseFuzzCase(const std::string &Text, FuzzCase &Out,
+                   std::string *Error = nullptr);
+
+/// Lists the `.slp` files of \p Dir in lexicographic order (empty when the
+/// directory does not exist).
+std::vector<std::string> listCorpusFiles(const std::string &Dir);
+
+/// Whole-file read/write helpers used by the fuzzer and the replay test.
+bool readFile(const std::string &Path, std::string &Out);
+bool writeFile(const std::string &Path, const std::string &Contents);
+
+} // namespace slp
+
+#endif // SLP_FUZZ_CORPUS_H

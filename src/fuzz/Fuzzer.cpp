@@ -1,0 +1,508 @@
+//===- fuzz/Fuzzer.cpp ----------------------------------------*- C++ -*-===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "analysis/Dependence.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "slp/Verifier.h"
+#include "workloads/Workloads.h"
+
+#include <cctype>
+#include <chrono>
+#include <sstream>
+
+using namespace slp;
+
+namespace {
+
+PipelineOptions optionsFor(const FuzzCaseConfig &C) {
+  PipelineOptions Options;
+  Options.Machine = MachineModel::intelDunnington();
+  Options.Machine.DatapathBits = C.DatapathBits;
+  Options.GroupingEngine = C.Grouping;
+  Options.Threads = 1; // module-driver threading is checked separately
+  return Options;
+}
+
+/// Applies the schedule corruption \p Kind to \p S. Returns false when the
+/// corruption does not apply (the injected bug cannot exist here).
+bool applyInjection(BugInjection Kind, const DependenceInfo &Deps,
+                    Schedule &S) {
+  switch (Kind) {
+  case BugInjection::None:
+    return false;
+  case BugInjection::DropItem:
+    if (S.Items.empty())
+      return false;
+    S.Items.pop_back();
+    return true;
+  case BugInjection::DuplicateLane:
+    if (S.Items.empty() || S.Items.front().Lanes.empty())
+      return false;
+    S.Items.push_back(ScheduleItem{{S.Items.front().Lanes.front()}});
+    return true;
+  case BugInjection::SwapDependent: {
+    // Find a dependence crossing two schedule items and hoist the item
+    // holding the destination above the one holding the source.
+    std::vector<int> ItemOf;
+    unsigned NumItems = static_cast<unsigned>(S.Items.size());
+    for (unsigned I = 0; I != NumItems; ++I)
+      for (unsigned Lane : S.Items[I].Lanes) {
+        if (Lane >= ItemOf.size())
+          ItemOf.resize(Lane + 1, -1);
+        ItemOf[Lane] = static_cast<int>(I);
+      }
+    for (const Dep &D : Deps.dependences()) {
+      if (D.Src >= ItemOf.size() || D.Dst >= ItemOf.size())
+        continue;
+      int A = ItemOf[D.Src], B = ItemOf[D.Dst];
+      if (A < 0 || B < 0 || A >= B)
+        continue;
+      ScheduleItem Moved = S.Items[B];
+      S.Items.erase(S.Items.begin() + B);
+      S.Items.insert(S.Items.begin() + A, std::move(Moved));
+      return true;
+    }
+    return false;
+  }
+  }
+  return false;
+}
+
+/// Compares two schedules item by item.
+bool sameSchedule(const Schedule &A, const Schedule &B) {
+  if (A.Items.size() != B.Items.size())
+    return false;
+  for (unsigned I = 0; I != A.Items.size(); ++I)
+    if (A.Items[I].Lanes != B.Items[I].Lanes)
+      return false;
+  return true;
+}
+
+/// Runs the full check battery for one (kernel, configuration) pair.
+/// Returns an empty string on pass. \p Stats (when non-null) receives
+/// pipeline-run accounting. With an injection configured, the expectation
+/// inverts: the corrupted schedule must be flagged by the verifier.
+std::string checkConfig(const Kernel &K, const FuzzCaseConfig &C,
+                        FuzzStats *Stats) {
+  PipelineOptions Options = optionsFor(C);
+  PipelineResult R = runPipeline(K, C.Kind, Options);
+  if (Stats)
+    ++Stats->PipelineRuns;
+  DependenceInfo Deps(R.Preprocessed);
+
+  if (C.Inject != BugInjection::None) {
+    Schedule Corrupted = R.TheSchedule;
+    if (!applyInjection(C.Inject, Deps, Corrupted))
+      return std::string("injection '") + bugInjectionName(C.Inject) +
+             "' not applicable to this schedule";
+    if (verifySchedule(R.Preprocessed, Deps, Corrupted,
+                       Options.Machine.DatapathBits)
+            .empty())
+      return std::string("injected bug '") + bugInjectionName(C.Inject) +
+             "' NOT caught by the verifier";
+    return ""; // caught, as demanded
+  }
+
+  std::vector<std::string> Issues = verifySchedule(
+      R.Preprocessed, Deps, R.TheSchedule, Options.Machine.DatapathBits);
+  if (!Issues.empty())
+    return "schedule verification failed: " + Issues.front();
+
+  for (uint64_t Seed : C.EnvSeeds) {
+    std::string Error;
+    if (!checkEquivalence(K, R, Seed, &Error))
+      return "execution mismatch (env seed " + std::to_string(Seed) +
+             "): " + Error;
+  }
+
+  if (C.Threads > 1) {
+    PipelineOptions MT = Options;
+    MT.Threads = C.Threads;
+    ModulePipelineResult Module =
+        runPipelineOverModule({K}, C.Kind, MT);
+    if (Stats)
+      ++Stats->PipelineRuns;
+    if (Module.PerKernel.size() != 1 ||
+        !sameSchedule(Module.PerKernel[0].TheSchedule, R.TheSchedule) ||
+        Module.PerKernel[0].VectorSim.Cycles != R.VectorSim.Cycles)
+      return "module driver with " + std::to_string(C.Threads) +
+             " threads diverged from the serial result";
+  }
+  return "";
+}
+
+/// The per-iteration configuration matrix. Kept small and deterministic:
+/// every optimizer at 128 bits each iteration, wider datapaths and the
+/// reference grouping engine on alternating iterations.
+std::vector<FuzzCaseConfig> configsForIteration(uint64_t Iter,
+                                                uint64_t Seed1,
+                                                uint64_t Seed2) {
+  std::vector<FuzzCaseConfig> Configs;
+  auto Push = [&](OptimizerKind Kind, unsigned Bits, GroupingImpl Impl,
+                  unsigned Threads) {
+    FuzzCaseConfig C;
+    C.Kind = Kind;
+    C.DatapathBits = Bits;
+    C.Grouping = Impl;
+    C.Threads = Threads;
+    C.EnvSeeds = {Seed1, Seed2};
+    Configs.push_back(C);
+  };
+  Push(OptimizerKind::Native, 128, GroupingImpl::Optimized, 1);
+  Push(OptimizerKind::LarsenSlp, 128, GroupingImpl::Optimized, 1);
+  Push(OptimizerKind::Global, 128, GroupingImpl::Optimized, 1);
+  Push(OptimizerKind::GlobalLayout, 128, GroupingImpl::Optimized, 1);
+  if (Iter % 2 == 0) {
+    Push(OptimizerKind::Global, 256, GroupingImpl::Optimized, 1);
+    Push(OptimizerKind::GlobalLayout, 256, GroupingImpl::Optimized, 1);
+  }
+  if (Iter % 4 == 1)
+    Push(OptimizerKind::Global, 128, GroupingImpl::Reference, 1);
+  if (Iter % 8 == 3)
+    Push(OptimizerKind::GlobalLayout, 128, GroupingImpl::Optimized, 3);
+  return Configs;
+}
+
+/// Small workloads usable as mutation seeds (execution-checkable fast).
+const std::vector<Kernel> &smallWorkloadKernels() {
+  static const std::vector<Kernel> Kernels = [] {
+    std::vector<Kernel> Out;
+    for (const Workload &W : standardWorkloads()) {
+      int64_t Elements = 0;
+      for (const ArraySymbol &A : W.TheKernel.Arrays)
+        Elements += A.numElements();
+      if (W.TheKernel.totalIterations() <= 4096 && Elements <= 200000)
+        Out.push_back(W.TheKernel.clone());
+    }
+    return Out;
+  }();
+  return Kernels;
+}
+
+Kernel makeBaseKernel(Rng &R) {
+  uint64_t Pick = R.nextBelow(8);
+  if (Pick == 0) {
+    SyntheticBlockOptions O;
+    O.NumStatements = 12 + static_cast<unsigned>(R.nextBelow(21));
+    O.ClassSize = 4;
+    O.ReuseBlockClasses = 2;
+    O.DepFraction = 0.25;
+    O.Seed = R.next();
+    return syntheticGroupingBlock(O);
+  }
+  if (Pick == 1 && !smallWorkloadKernels().empty()) {
+    const std::vector<Kernel> &Pool = smallWorkloadKernels();
+    return Pool[R.nextBelow(Pool.size())].clone();
+  }
+  RandomKernelOptions O;
+  O.MinStatements = 2;
+  O.MaxStatements = 2 + static_cast<unsigned>(R.nextBelow(9));
+  O.NumArrays = 2 + static_cast<unsigned>(R.nextBelow(3));
+  O.NumScalars = 2 + static_cast<unsigned>(R.nextBelow(4));
+  static const int64_t Trips[] = {4, 8, 16};
+  O.TripCount = Trips[R.nextBelow(3)];
+  O.NumLoops = R.nextBelow(3) == 0 ? 2 : 1;
+  O.AllowDoubles = R.nextBelow(2) == 0;
+  O.AllowInts = R.nextBelow(2) == 0;
+  return randomKernel(R, O);
+}
+
+/// Builds the predicate that re-detects a failure of \p C on a candidate
+/// kernel (used by the reducer).
+FailurePredicate makePredicate(const FuzzCaseConfig &C) {
+  return [C](const Kernel &K) {
+    if (C.Inject != BugInjection::None) {
+      // The demonstration is preserved only while the injection still
+      // applies AND is still caught.
+      return checkConfig(K, C, nullptr).empty();
+    }
+    return !checkConfig(K, C, nullptr).empty();
+  };
+}
+
+/// Extra cross-engine check: both grouping engines must produce identical
+/// schedules for the holistic optimizer. Returns empty on agreement.
+std::string checkEngineAgreement(const Kernel &K, uint64_t Seed1,
+                                 uint64_t Seed2, FuzzStats *Stats) {
+  FuzzCaseConfig C;
+  C.Kind = OptimizerKind::Global;
+  C.EnvSeeds = {Seed1, Seed2};
+  PipelineOptions Opt = optionsFor(C);
+  Opt.GroupingEngine = GroupingImpl::Optimized;
+  PipelineResult A = runPipeline(K, C.Kind, Opt);
+  Opt.GroupingEngine = GroupingImpl::Reference;
+  PipelineResult B = runPipeline(K, C.Kind, Opt);
+  if (Stats)
+    Stats->PipelineRuns += 2;
+  if (!sameSchedule(A.TheSchedule, B.TheSchedule))
+    return "grouping engines disagree on the schedule";
+  return "";
+}
+
+std::string sanitizeFileStem(const std::string &Name) {
+  std::string Out;
+  for (char C : Name)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+            C == '_')
+               ? C
+               : '_';
+  return Out.empty() ? std::string("case") : Out;
+}
+
+} // namespace
+
+std::string FuzzStats::toJson() const {
+  std::ostringstream Out;
+  Out << "{\n";
+  Out << "  \"iterations\": " << Iterations << ",\n";
+  Out << "  \"kernels_tested\": " << KernelsTested << ",\n";
+  Out << "  \"mutations_applied\": " << MutationsApplied << ",\n";
+  Out << "  \"mutants_rejected\": " << MutantsRejected << ",\n";
+  Out << "  \"pipeline_runs\": " << PipelineRuns << ",\n";
+  Out << "  \"configs_exercised\": " << ConfigsExercised << ",\n";
+  Out << "  \"text_cases\": " << TextCases << ",\n";
+  Out << "  \"parser_errors\": " << ParserErrors << ",\n";
+  Out << "  \"parser_accepts\": " << ParserAccepts << ",\n";
+  Out << "  \"verifier_failures\": " << VerifierFailures << ",\n";
+  Out << "  \"equivalence_failures\": " << EquivalenceFailures << ",\n";
+  Out << "  \"determinism_failures\": " << DeterminismFailures << ",\n";
+  Out << "  \"engine_disagreements\": " << EngineDisagreements << ",\n";
+  Out << "  \"injected_caught\": " << InjectedCaught << ",\n";
+  Out << "  \"injected_missed\": " << InjectedMissed << ",\n";
+  Out << "  \"injection_inapplicable\": " << InjectionInapplicable << ",\n";
+  Out << "  \"failures_recorded\": " << FailuresRecorded << ",\n";
+  Out << "  \"reduction\": {\"tried\": " << Reduction.CandidatesTried
+      << ", \"accepted\": " << Reduction.CandidatesAccepted
+      << ", \"rounds\": " << Reduction.Rounds << "},\n";
+  Out << "  \"elapsed_seconds\": " << ElapsedSeconds << ",\n";
+  Out << "  \"mutations\": {";
+  bool First = true;
+  for (const auto &[Name, Count] : MutationCounts) {
+    Out << (First ? "" : ", ") << "\"" << Name << "\": " << Count;
+    First = false;
+  }
+  Out << "}\n}\n";
+  return Out.str();
+}
+
+FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point Start = Clock::now();
+  auto Elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  };
+
+  FuzzConfig Cfg = Config;
+  if (Cfg.Iterations == 0 && Cfg.TimeBudgetSeconds <= 0)
+    Cfg.Iterations = 1000;
+
+  FuzzOutcome Out;
+  Rng R(Cfg.Seed);
+
+  auto RecordFailure = [&](const Kernel &K, const FuzzCaseConfig &C,
+                           const std::string &Reason) {
+    FuzzFailure F;
+    F.Reason = Reason;
+    F.OriginalStatements = K.Body.size();
+    Kernel Reduced = K.clone();
+    if (Cfg.Reduce)
+      Reduced = reduceKernel(K, makePredicate(C), &Out.Stats.Reduction);
+    F.ReducedStatements = Reduced.Body.size();
+    F.Case.Config = C;
+    F.Case.Source = printKernel(Reduced);
+    F.Case.Reason = Reason;
+    if (!Cfg.CorpusDir.empty()) {
+      std::string Stem =
+          sanitizeFileStem(C.Inject != BugInjection::None
+                               ? std::string("inject_") +
+                                     bugInjectionName(C.Inject)
+                               : Reduced.Name) +
+          "_" + std::to_string(Out.Stats.FailuresRecorded);
+      F.FilePath = Cfg.CorpusDir + "/" + Stem + ".slp";
+      writeFile(F.FilePath, serializeFuzzCase(F.Case));
+    }
+    ++Out.Stats.FailuresRecorded;
+    Out.Failures.push_back(std::move(F));
+  };
+
+  for (uint64_t Iter = 0;; ++Iter) {
+    if (Cfg.Iterations != 0 && Iter >= Cfg.Iterations)
+      break;
+    if (Cfg.TimeBudgetSeconds > 0 && Elapsed() >= Cfg.TimeBudgetSeconds)
+      break;
+    if (Out.Failures.size() >= Cfg.MaxFailures)
+      break;
+    ++Out.Stats.Iterations;
+
+    // 1. Generate a base kernel and mutate it.
+    Kernel K = makeBaseKernel(R);
+    unsigned Mutations =
+        Cfg.MaxMutationsPerKernel == 0
+            ? 0
+            : static_cast<unsigned>(
+                  R.nextBelow(Cfg.MaxMutationsPerKernel + 1));
+    for (unsigned M = 0; M != Mutations; ++M) {
+      Kernel Backup = K.clone();
+      std::optional<MutationKind> Applied = mutateKernel(K, R);
+      if (Applied && sanitizeKernel(K)) {
+        ++Out.Stats.MutationsApplied;
+        ++Out.Stats.MutationCounts[mutationKindName(*Applied)];
+      } else {
+        K = std::move(Backup);
+        ++Out.Stats.MutantsRejected;
+      }
+    }
+    if (!validateKernel(K))
+      continue; // base generator emitted something out of policy (rare)
+    ++Out.Stats.KernelsTested;
+
+    // 2. Run the configuration matrix.
+    uint64_t Seed1 = Cfg.Seed * 0x9E3779B97F4A7C15ULL + Iter;
+    uint64_t Seed2 = Iter * 31 + 7;
+    for (FuzzCaseConfig C : configsForIteration(Iter, Seed1, Seed2)) {
+      C.Inject = Cfg.Inject;
+      ++Out.Stats.ConfigsExercised;
+      std::string Reason = checkConfig(K, C, &Out.Stats);
+      if (C.Inject != BugInjection::None) {
+        if (Reason.empty()) {
+          ++Out.Stats.InjectedCaught;
+          // Record (and reduce) one representative demonstration so the
+          // harness's catch is pinned in the corpus.
+          if (Out.Stats.InjectedCaught == 1 && !Cfg.CorpusDir.empty())
+            RecordFailure(K, C,
+                          std::string("harness demo: injected '") +
+                              bugInjectionName(C.Inject) +
+                              "' caught by the verifier");
+        } else if (Reason.find("not applicable") != std::string::npos) {
+          ++Out.Stats.InjectionInapplicable;
+        } else {
+          ++Out.Stats.InjectedMissed;
+          RecordFailure(K, C, Reason);
+        }
+        continue;
+      }
+      if (Reason.empty())
+        continue;
+      if (Reason.find("verification failed") != std::string::npos)
+        ++Out.Stats.VerifierFailures;
+      else if (Reason.find("mismatch") != std::string::npos)
+        ++Out.Stats.EquivalenceFailures;
+      else
+        ++Out.Stats.DeterminismFailures;
+      RecordFailure(K, C, Reason);
+      break; // one failure per kernel is enough
+    }
+
+    // 3. Cross-engine agreement (no injection: engines are bug-free by
+    // definition under injection since it corrupts post-pipeline).
+    if (Cfg.Inject == BugInjection::None && Iter % 4 == 1 &&
+        Out.Failures.size() < Cfg.MaxFailures) {
+      std::string Reason =
+          checkEngineAgreement(K, Seed1, Seed2, &Out.Stats);
+      if (!Reason.empty()) {
+        ++Out.Stats.EngineDisagreements;
+        FuzzCaseConfig C;
+        C.Kind = OptimizerKind::Global;
+        C.Grouping = GroupingImpl::Reference;
+        C.EnvSeeds = {Seed1, Seed2};
+        RecordFailure(K, C, Reason);
+      }
+    }
+
+    // 4. Textual fuzzing of the parser's error paths.
+    if (Cfg.TextualEvery != 0 && Iter % Cfg.TextualEvery == 0) {
+      std::string Source = printKernel(K);
+      unsigned Rounds = 1 + static_cast<unsigned>(R.nextBelow(3));
+      for (unsigned T = 0; T != Rounds; ++T)
+        Source = mutateSource(Source, R);
+      ++Out.Stats.TextCases;
+      ModuleParseResult Parsed = parseModule(Source);
+      if (!Parsed.succeeded()) {
+        ++Out.Stats.ParserErrors;
+        if (Parsed.ErrorMessage.empty()) {
+          FuzzCaseConfig C;
+          RecordFailure(K, C, "parser reported failure without a message");
+        }
+      } else {
+        ++Out.Stats.ParserAccepts;
+        // Parser-accepted mutants feed one cheap pipeline config when the
+        // validator can vouch for them.
+        for (const Kernel &PK : Parsed.Kernels) {
+          if (!validateKernel(PK))
+            continue;
+          FuzzCaseConfig C;
+          C.Kind = OptimizerKind::Global;
+          C.EnvSeeds = {Seed2};
+          ++Out.Stats.ConfigsExercised;
+          std::string Reason = checkConfig(PK, C, &Out.Stats);
+          if (!Reason.empty()) {
+            ++Out.Stats.EquivalenceFailures;
+            RecordFailure(PK, C, "textual mutant: " + Reason);
+          }
+        }
+      }
+    }
+  }
+
+  // Harness demos are successes, not failures: drop them from the failure
+  // list after they were written to the corpus.
+  if (Cfg.Inject != BugInjection::None) {
+    std::vector<FuzzFailure> Real;
+    for (FuzzFailure &F : Out.Failures)
+      if (F.Reason.rfind("harness demo:", 0) != 0)
+        Real.push_back(std::move(F));
+      else
+        Out.InjectedDemos.push_back(std::move(F));
+    Out.Failures = std::move(Real);
+  }
+
+  Out.Stats.ElapsedSeconds = Elapsed();
+  return Out;
+}
+
+bool slp::runFuzzCase(const FuzzCase &Case, std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  ModuleParseResult Parsed = parseModule(Case.Source);
+  if (!Parsed.succeeded())
+    return Fail("parse error at line " + std::to_string(Parsed.ErrorLine) +
+                ": " + Parsed.ErrorMessage);
+  if (Parsed.Kernels.empty())
+    return Fail("corpus case defines no kernel");
+  for (const Kernel &K : Parsed.Kernels) {
+    std::string Why;
+    if (!validateKernel(K, &Why))
+      return Fail("corpus kernel '" + K.Name + "' is invalid: " + Why);
+    std::string Reason = checkConfig(K, Case.Config, nullptr);
+    if (!Reason.empty())
+      return Fail("kernel '" + K.Name + "': " + Reason);
+  }
+  return true;
+}
+
+unsigned slp::replayCorpusDir(const std::string &Dir,
+                              std::vector<std::string> &Errors) {
+  unsigned Count = 0;
+  for (const std::string &Path : listCorpusFiles(Dir)) {
+    ++Count;
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      Errors.push_back(Path + ": cannot read");
+      continue;
+    }
+    FuzzCase Case;
+    std::string Error;
+    if (!parseFuzzCase(Text, Case, &Error)) {
+      Errors.push_back(Path + ": bad corpus header: " + Error);
+      continue;
+    }
+    if (!runFuzzCase(Case, &Error))
+      Errors.push_back(Path + ": " + Error);
+  }
+  return Count;
+}

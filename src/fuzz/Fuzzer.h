@@ -1,0 +1,117 @@
+//===- fuzz/Fuzzer.h - Differential fuzzing driver --------------*- C++ -*-===//
+///
+/// \file
+/// The adversarial safety net around the whole pass pipeline: per
+/// iteration, generate or mutate a kernel, run every optimizer under
+/// several datapath/engine/thread configurations, check the schedule
+/// against the paper's Section 4.1 validity constraints (slp/Verifier),
+/// and execute the emitted vector program against the scalar reference
+/// over multiple environments (checkEquivalence). Failures are shrunk by
+/// the delta-debugging reducer and written to the corpus so they replay as
+/// tier-1 regression tests forever. A bug-injection mode corrupts
+/// schedules on purpose to mutation-test the harness itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_FUZZ_FUZZER_H
+#define SLP_FUZZ_FUZZER_H
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Mutator.h"
+#include "fuzz/Reducer.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// Configuration of one fuzzing campaign.
+struct FuzzConfig {
+  uint64_t Seed = 1;
+  /// Iteration count; 0 means "until the time budget expires".
+  uint64_t Iterations = 1000;
+  /// Wall-clock budget in seconds; 0 means "no budget". When both this
+  /// and Iterations are 0, a default of 1000 iterations applies.
+  double TimeBudgetSeconds = 0;
+  /// Shrink failures with the delta-debugging reducer before recording.
+  bool Reduce = true;
+  /// Directory reduced repros are written to ("" = keep in memory only).
+  std::string CorpusDir;
+  /// Harness mutation test: corrupt every schedule this way and demand
+  /// the verifier catches it.
+  BugInjection Inject = BugInjection::None;
+  /// Structural mutations applied per generated kernel (0..Max).
+  unsigned MaxMutationsPerKernel = 3;
+  /// Every Nth iteration additionally corrupts `.slp` text and stresses
+  /// the parser's error paths.
+  unsigned TextualEvery = 4;
+  /// Stop after this many recorded failures.
+  unsigned MaxFailures = 8;
+};
+
+/// Counters of one campaign (the `slp-fuzz` JSON summary).
+struct FuzzStats {
+  uint64_t Iterations = 0;
+  uint64_t KernelsTested = 0;
+  uint64_t MutationsApplied = 0;
+  uint64_t MutantsRejected = 0;
+  uint64_t PipelineRuns = 0;
+  uint64_t ConfigsExercised = 0;
+  uint64_t TextCases = 0;
+  uint64_t ParserErrors = 0;
+  uint64_t ParserAccepts = 0;
+  uint64_t VerifierFailures = 0;
+  uint64_t EquivalenceFailures = 0;
+  uint64_t DeterminismFailures = 0;
+  uint64_t EngineDisagreements = 0;
+  uint64_t InjectedCaught = 0;
+  uint64_t InjectedMissed = 0;
+  uint64_t InjectionInapplicable = 0;
+  uint64_t FailuresRecorded = 0;
+  ReductionStats Reduction;
+  std::map<std::string, uint64_t> MutationCounts;
+  double ElapsedSeconds = 0;
+
+  std::string toJson() const;
+};
+
+/// One recorded (and possibly reduced) failure.
+struct FuzzFailure {
+  FuzzCase Case;
+  std::string Reason;
+  unsigned OriginalStatements = 0;
+  unsigned ReducedStatements = 0;
+  std::string FilePath; ///< where the repro was written ("" if not)
+};
+
+/// Everything a campaign produced.
+struct FuzzOutcome {
+  FuzzStats Stats;
+  std::vector<FuzzFailure> Failures;
+  /// In injection mode: recorded demonstrations that the harness caught
+  /// the corruption (successes, kept separate from genuine failures).
+  std::vector<FuzzFailure> InjectedDemos;
+
+  /// True when no genuine failure was found (in injection mode: every
+  /// applicable injected bug was caught).
+  bool clean() const { return Failures.empty(); }
+};
+
+/// Runs a fuzzing campaign.
+FuzzOutcome runFuzzer(const FuzzConfig &Config);
+
+/// Replays one corpus case: parses the kernel, reruns its configuration,
+/// and checks the expectation the case pins (clean verify + bit-identical
+/// execution, or — for inject= cases — that the corrupted schedule is
+/// caught by the verifier). Returns true on pass.
+bool runFuzzCase(const FuzzCase &Case, std::string *Error = nullptr);
+
+/// Replays every `.slp` case under \p Dir; appends "<file>: <error>" lines
+/// to \p Errors for each failing case and returns the number of cases run.
+unsigned replayCorpusDir(const std::string &Dir,
+                         std::vector<std::string> &Errors);
+
+} // namespace slp
+
+#endif // SLP_FUZZ_FUZZER_H

@@ -1,0 +1,604 @@
+//===- fuzz/Mutator.cpp ---------------------------------------*- C++ -*-===//
+
+#include "fuzz/Mutator.h"
+
+#include "ir/Interpreter.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace slp;
+
+namespace {
+
+/// Upper bound on the whole-nest iteration count of a fuzz kernel; keeps
+/// the execution-based equivalence check fast and the reducer snappy.
+constexpr int64_t MaxFuzzIterations = 4096;
+
+/// Invokes \p Fn on every operand of \p K: each statement's lhs and every
+/// rhs leaf, in statement order.
+void forEachOperand(Kernel &K, const std::function<void(Operand &)> &Fn) {
+  for (Statement &S : K.Body) {
+    Fn(S.lhs());
+    S.rhs().forEachLeafMut(Fn);
+  }
+}
+
+void forEachOperandConst(const Kernel &K,
+                         const std::function<void(const Operand &)> &Fn) {
+  for (const Statement &S : K.Body) {
+    Fn(S.lhs());
+    S.rhs().forEachLeaf(Fn);
+  }
+}
+
+unsigned countNodes(const Expr &E) {
+  unsigned N = 1;
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    N += countNodes(E.child(I));
+  return N;
+}
+
+const Expr *nthNode(const Expr &E, unsigned &Counter, unsigned Target) {
+  if (Counter++ == Target)
+    return &E;
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    if (const Expr *Found = nthNode(E.child(I), Counter, Target))
+      return Found;
+  return nullptr;
+}
+
+/// Rebuilds \p E, replacing the node with pre-order index \p Target by
+/// whatever \p Make produces from it; all other nodes are cloned.
+ExprPtr rebuildWithReplacement(
+    const Expr &E, unsigned &Counter, unsigned Target,
+    const std::function<ExprPtr(const Expr &)> &Make) {
+  if (Counter++ == Target)
+    return Make(E);
+  if (E.isLeaf())
+    return Expr::makeLeaf(E.leaf());
+  if (E.numChildren() == 1)
+    return Expr::makeUnary(
+        E.opcode(), rebuildWithReplacement(E.child(0), Counter, Target, Make));
+  ExprPtr L = rebuildWithReplacement(E.child(0), Counter, Target, Make);
+  ExprPtr R = rebuildWithReplacement(E.child(1), Counter, Target, Make);
+  return Expr::makeBinary(E.opcode(), std::move(L), std::move(R));
+}
+
+/// Replaces the pre-order node \p Target of statement \p S's rhs.
+void replaceRhsNode(Statement &S, unsigned Target,
+                    const std::function<ExprPtr(const Expr &)> &Make) {
+  unsigned Counter = 0;
+  ExprPtr NewRhs = rebuildWithReplacement(S.rhs(), Counter, Target, Make);
+  S = Statement(S.lhs(), std::move(NewRhs));
+}
+
+/// Collects (statement index, pre-order leaf index among *operands*) for
+/// every array reference, including lhs targets when \p IncludeLhs.
+struct ArrayRefSite {
+  unsigned Stmt;
+  bool IsLhs;
+  unsigned LeafIndex; ///< pre-order index within the rhs (when !IsLhs)
+};
+
+std::vector<ArrayRefSite> collectArrayRefs(const Kernel &K, bool IncludeLhs) {
+  std::vector<ArrayRefSite> Sites;
+  for (unsigned SI = 0; SI != K.Body.size(); ++SI) {
+    const Statement &S = K.Body.statement(SI);
+    if (IncludeLhs && S.lhs().isArray())
+      Sites.push_back({SI, true, 0});
+    unsigned Leaf = 0;
+    S.rhs().forEachLeaf([&](const Operand &Op) {
+      if (Op.isArray())
+        Sites.push_back({SI, false, Leaf});
+      ++Leaf;
+    });
+  }
+  return Sites;
+}
+
+/// Applies \p Fn to the \p LeafIndex-th rhs leaf of statement \p S.
+void mutateRhsLeaf(Statement &S, unsigned LeafIndex,
+                   const std::function<void(Operand &)> &Fn) {
+  unsigned Leaf = 0;
+  S.rhs().forEachLeafMut([&](Operand &Op) {
+    if (Leaf++ == LeafIndex)
+      Fn(Op);
+  });
+}
+
+ScalarType randomType(Rng &R) {
+  switch (R.nextBelow(4)) {
+  case 0:
+    return ScalarType::Int32;
+  case 1:
+    return ScalarType::Int64;
+  case 2:
+    return ScalarType::Float64;
+  default:
+    return ScalarType::Float32;
+  }
+}
+
+} // namespace
+
+const char *slp::mutationKindName(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::SwapStatements:
+    return "swap-statements";
+  case MutationKind::DuplicateStatement:
+    return "duplicate-statement";
+  case MutationKind::DeleteStatement:
+    return "delete-statement";
+  case MutationKind::PermuteStatements:
+    return "permute-statements";
+  case MutationKind::PerturbSubscriptConstant:
+    return "perturb-subscript-constant";
+  case MutationKind::PerturbSubscriptCoeff:
+    return "perturb-subscript-coeff";
+  case MutationKind::PerturbLoopBounds:
+    return "perturb-loop-bounds";
+  case MutationKind::RetypeSymbol:
+    return "retype-symbol";
+  case MutationKind::SpliceSubexpression:
+    return "splice-subexpression";
+  case MutationKind::ReplaceOpcode:
+    return "replace-opcode";
+  case MutationKind::PerturbConstant:
+    return "perturb-constant";
+  case MutationKind::RedirectOperand:
+    return "redirect-operand";
+  }
+  return "<invalid>";
+}
+
+bool slp::offsetRange(const Kernel &K, const Operand &Op, int64_t &Min,
+                      int64_t &Max) {
+  if (!Op.isArray())
+    return false;
+  const ArraySymbol &A = K.array(Op.symbol());
+  if (Op.subscripts().size() != A.DimSizes.size())
+    return false;
+  AffineExpr Flat = flattenArrayRef(A, Op.subscripts());
+  if (Flat.numDims() > K.Loops.size())
+    return false;
+  for (const Loop &L : K.Loops)
+    if (L.tripCount() == 0)
+      return false; // body never executes; no meaningful range
+  Min = Max = Flat.constant();
+  for (unsigned D = 0; D != static_cast<unsigned>(K.Loops.size()); ++D) {
+    int64_t C = Flat.coeff(D);
+    if (C == 0)
+      continue;
+    const Loop &L = K.Loops[D];
+    int64_t Lo = L.Lower;
+    int64_t Hi = L.Lower + (L.tripCount() - 1) * L.Step;
+    Min += C > 0 ? C * Lo : C * Hi;
+    Max += C > 0 ? C * Hi : C * Lo;
+  }
+  return true;
+}
+
+bool slp::validateKernel(const Kernel &K, std::string *Why) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (K.Body.empty())
+    return Fail("empty body");
+  for (const Loop &L : K.Loops)
+    if (L.Step <= 0)
+      return Fail("non-positive loop step");
+  if (K.totalIterations() > MaxFuzzIterations)
+    return Fail("iteration count exceeds the fuzz cap");
+  for (const ArraySymbol &A : K.Arrays) {
+    if (A.DimSizes.empty())
+      return Fail("array '" + A.Name + "' has no dimensions");
+    for (int64_t D : A.DimSizes)
+      if (D <= 0)
+        return Fail("array '" + A.Name + "' has a non-positive dimension");
+    if (A.numElements() > (1 << 22))
+      return Fail("array '" + A.Name + "' exceeds the fuzz size cap");
+  }
+  bool ZeroTrip = false;
+  for (const Loop &L : K.Loops)
+    ZeroTrip |= L.tripCount() == 0;
+
+  bool Ok = true;
+  std::string Issue;
+  forEachOperandConst(K, [&](const Operand &Op) {
+    if (!Ok || Op.isConstant())
+      return;
+    if (Op.isScalar()) {
+      if (Op.symbol() >= K.Scalars.size()) {
+        Ok = false;
+        Issue = "scalar id out of range";
+      }
+      return;
+    }
+    if (Op.symbol() >= K.Arrays.size()) {
+      Ok = false;
+      Issue = "array id out of range";
+      return;
+    }
+    const ArraySymbol &A = K.Arrays[Op.symbol()];
+    if (Op.subscripts().size() != A.DimSizes.size()) {
+      Ok = false;
+      Issue = "subscript arity mismatch on array '" + A.Name + "'";
+      return;
+    }
+    for (const AffineExpr &Sub : Op.subscripts())
+      if (Sub.numDims() > K.Loops.size()) {
+        Ok = false;
+        Issue = "subscript references a loop depth outside the nest";
+        return;
+      }
+    if (ZeroTrip)
+      return; // never executed; bounds are irrelevant
+    int64_t Min = 0, Max = 0;
+    if (!offsetRange(K, Op, Min, Max)) {
+      Ok = false;
+      Issue = "cannot bound subscripts of array '" + A.Name + "'";
+      return;
+    }
+    if (Min < 0 || Max >= A.numElements()) {
+      Ok = false;
+      Issue = "array '" + A.Name + "' reference out of bounds [" +
+              std::to_string(Min) + ", " + std::to_string(Max) + "] of " +
+              std::to_string(A.numElements()) + " elements";
+    }
+  });
+  if (!Ok)
+    return Fail(Issue);
+
+  // Stores to read-only arrays would break the layout stage's replication
+  // legality; sanitizeKernel clears the flag instead.
+  for (const Statement &S : K.Body)
+    if (S.lhs().isArray() && S.lhs().symbol() < K.Arrays.size() &&
+        K.Arrays[S.lhs().symbol()].ReadOnly)
+      return Fail("store to read-only array '" +
+                  K.Arrays[S.lhs().symbol()].Name + "'");
+  return true;
+}
+
+bool slp::sanitizeKernel(Kernel &K) {
+  // Clamp loop bounds so the nest stays executable in bounded time.
+  for (Loop &L : K.Loops) {
+    if (L.Step <= 0)
+      L.Step = 1;
+    L.Lower = std::clamp<int64_t>(L.Lower, -64, 64);
+    if (L.Upper > L.Lower + 256)
+      L.Upper = L.Lower + 256;
+  }
+  while (K.totalIterations() > MaxFuzzIterations)
+    for (Loop &L : K.Loops)
+      if (L.tripCount() > 1) {
+        L.Upper = L.Lower + (L.Upper - L.Lower) / 2;
+        break;
+      }
+
+  // A mutated store target may sit in a read-only array.
+  for (const Statement &S : K.Body)
+    if (S.lhs().isArray() && S.lhs().symbol() < K.Arrays.size())
+      K.array(S.lhs().symbol()).ReadOnly = false;
+
+  // Shift 1-D references with negative reach into non-negative territory,
+  // then grow 1-D arrays to cover the largest offset they receive.
+  bool ZeroTrip = false;
+  for (const Loop &L : K.Loops)
+    ZeroTrip |= L.tripCount() == 0;
+  if (!ZeroTrip) {
+    forEachOperand(K, [&](Operand &Op) {
+      if (!Op.isArray() || Op.symbol() >= K.Arrays.size() ||
+          Op.subscripts().size() != 1 ||
+          K.Arrays[Op.symbol()].DimSizes.size() != 1)
+        return;
+      int64_t Min = 0, Max = 0;
+      if (!offsetRange(K, Op, Min, Max))
+        return;
+      if (Min < 0)
+        Op.subscripts()[0].setConstant(Op.subscripts()[0].constant() - Min);
+    });
+    std::vector<int64_t> Needed(K.Arrays.size(), 0);
+    bool Bounded = true;
+    forEachOperandConst(K, [&](const Operand &Op) {
+      if (!Op.isArray() || Op.symbol() >= K.Arrays.size())
+        return;
+      int64_t Min = 0, Max = 0;
+      if (!offsetRange(K, Op, Min, Max)) {
+        Bounded = false;
+        return;
+      }
+      Needed[Op.symbol()] = std::max(Needed[Op.symbol()], Max + 1);
+    });
+    if (Bounded)
+      for (unsigned A = 0; A != K.Arrays.size(); ++A)
+        if (K.Arrays[A].DimSizes.size() == 1 && Needed[A] > 0 &&
+            Needed[A] <= (1 << 22) &&
+            K.Arrays[A].DimSizes[0] < Needed[A])
+          K.Arrays[A].DimSizes[0] = Needed[A];
+  }
+  return validateKernel(K);
+}
+
+std::optional<MutationKind> slp::mutateKernel(Kernel &K, Rng &R) {
+  if (K.Body.empty())
+    return std::nullopt;
+  MutationKind Kind =
+      static_cast<MutationKind>(R.nextBelow(NumMutationKinds));
+  unsigned N = K.Body.size();
+  switch (Kind) {
+  case MutationKind::SwapStatements: {
+    if (N < 2)
+      return std::nullopt;
+    unsigned A = static_cast<unsigned>(R.nextBelow(N));
+    unsigned B = static_cast<unsigned>(R.nextBelow(N));
+    if (A == B)
+      B = (B + 1) % N;
+    std::swap(K.Body.statement(A), K.Body.statement(B));
+    return Kind;
+  }
+  case MutationKind::DuplicateStatement: {
+    if (N >= 24)
+      return std::nullopt; // keep the pipeline runs small
+    unsigned A = static_cast<unsigned>(R.nextBelow(N));
+    K.Body.append(K.Body.statement(A));
+    // Rotate the clone to a random position.
+    unsigned Pos = static_cast<unsigned>(R.nextBelow(N + 1));
+    for (unsigned I = N; I > Pos; --I)
+      std::swap(K.Body.statement(I), K.Body.statement(I - 1));
+    return Kind;
+  }
+  case MutationKind::DeleteStatement: {
+    if (N < 2)
+      return std::nullopt;
+    unsigned A = static_cast<unsigned>(R.nextBelow(N));
+    for (unsigned I = A; I + 1 < N; ++I)
+      std::swap(K.Body.statement(I), K.Body.statement(I + 1));
+    // Rebuild the block one statement shorter.
+    BasicBlock NewBody;
+    for (unsigned I = 0; I + 1 < N; ++I)
+      NewBody.append(K.Body.statement(I));
+    K.Body = std::move(NewBody);
+    return Kind;
+  }
+  case MutationKind::PermuteStatements: {
+    if (N < 3)
+      return std::nullopt;
+    unsigned Lo = static_cast<unsigned>(R.nextBelow(N - 1));
+    unsigned Hi = Lo + 1 +
+                  static_cast<unsigned>(R.nextBelow(N - Lo - 1));
+    for (unsigned I = Hi; I > Lo; --I) {
+      unsigned J = Lo + static_cast<unsigned>(R.nextBelow(I - Lo + 1));
+      std::swap(K.Body.statement(I), K.Body.statement(J));
+    }
+    return Kind;
+  }
+  case MutationKind::PerturbSubscriptConstant:
+  case MutationKind::PerturbSubscriptCoeff: {
+    std::vector<ArrayRefSite> Sites = collectArrayRefs(K, /*IncludeLhs=*/true);
+    if (Sites.empty())
+      return std::nullopt;
+    const ArrayRefSite &Site = Sites[R.nextBelow(Sites.size())];
+    Statement &S = K.Body.statement(Site.Stmt);
+    auto Perturb = [&](Operand &Op) {
+      if (!Op.isArray() || Op.subscripts().empty())
+        return;
+      AffineExpr &Sub =
+          Op.subscripts()[R.nextBelow(Op.subscripts().size())];
+      if (Kind == MutationKind::PerturbSubscriptConstant)
+        Sub.setConstant(Sub.constant() + R.nextInRange(-4, 4));
+      else if (!K.Loops.empty())
+        Sub.setCoeff(static_cast<unsigned>(R.nextBelow(K.Loops.size())),
+                     R.nextInRange(0, 3));
+    };
+    if (Site.IsLhs)
+      Perturb(S.lhs());
+    else
+      mutateRhsLeaf(S, Site.LeafIndex, Perturb);
+    return Kind;
+  }
+  case MutationKind::PerturbLoopBounds: {
+    if (K.Loops.empty())
+      return std::nullopt;
+    Loop &L = K.Loops[R.nextBelow(K.Loops.size())];
+    switch (R.nextBelow(3)) {
+    case 0:
+      L.Lower += R.nextInRange(-4, 4);
+      break;
+    case 1:
+      L.Upper = L.Lower + R.nextInRange(0, 32);
+      break;
+    default:
+      L.Step = R.nextInRange(1, 4);
+      break;
+    }
+    return Kind;
+  }
+  case MutationKind::RetypeSymbol: {
+    uint64_t Total = K.Scalars.size() + K.Arrays.size();
+    if (Total == 0)
+      return std::nullopt;
+    uint64_t Pick = R.nextBelow(Total);
+    if (Pick < K.Scalars.size())
+      K.Scalars[Pick].Ty = randomType(R);
+    else
+      K.Arrays[Pick - K.Scalars.size()].Ty = randomType(R);
+    return Kind;
+  }
+  case MutationKind::SpliceSubexpression: {
+    unsigned Dst = static_cast<unsigned>(R.nextBelow(N));
+    unsigned Src = static_cast<unsigned>(R.nextBelow(N));
+    const Statement &From = K.Body.statement(Src);
+    unsigned FromNodes = countNodes(From.rhs());
+    unsigned Counter = 0;
+    const Expr *Donor = nthNode(From.rhs(), Counter,
+                                static_cast<unsigned>(R.nextBelow(FromNodes)));
+    if (!Donor)
+      return std::nullopt;
+    ExprPtr DonorClone = Donor->clone();
+    Statement &To = K.Body.statement(Dst);
+    unsigned ToNodes = countNodes(To.rhs());
+    if (ToNodes + countNodes(*DonorClone) > 64)
+      return std::nullopt; // cap expression growth
+    unsigned Target = static_cast<unsigned>(R.nextBelow(ToNodes));
+    replaceRhsNode(To, Target,
+                   [&](const Expr &) { return std::move(DonorClone); });
+    return Kind;
+  }
+  case MutationKind::ReplaceOpcode: {
+    unsigned SI = static_cast<unsigned>(R.nextBelow(N));
+    Statement &S = K.Body.statement(SI);
+    unsigned Nodes = countNodes(S.rhs());
+    // Collect interior node indices.
+    std::vector<unsigned> Interior;
+    for (unsigned Idx = 0; Idx != Nodes; ++Idx) {
+      unsigned C = 0;
+      const Expr *Node = nthNode(S.rhs(), C, Idx);
+      if (Node && !Node->isLeaf())
+        Interior.push_back(Idx);
+    }
+    if (Interior.empty())
+      return std::nullopt;
+    unsigned Target = Interior[R.nextBelow(Interior.size())];
+    static const OpCode Binary[] = {OpCode::Add, OpCode::Sub, OpCode::Mul,
+                                    OpCode::Div, OpCode::Min, OpCode::Max};
+    static const OpCode Unary[] = {OpCode::Neg, OpCode::Sqrt, OpCode::Abs};
+    OpCode NewBin = Binary[R.nextBelow(6)];
+    OpCode NewUn = Unary[R.nextBelow(3)];
+    replaceRhsNode(S, Target, [&](const Expr &Old) -> ExprPtr {
+      if (Old.numChildren() == 1)
+        return Expr::makeUnary(NewUn, Old.child(0).clone());
+      return Expr::makeBinary(NewBin, Old.child(0).clone(),
+                              Old.child(1).clone());
+    });
+    return Kind;
+  }
+  case MutationKind::PerturbConstant: {
+    unsigned SI = static_cast<unsigned>(R.nextBelow(N));
+    Statement &S = K.Body.statement(SI);
+    bool Mutated = false;
+    S.rhs().forEachLeafMut([&](Operand &Op) {
+      if (Mutated || !Op.isConstant())
+        return;
+      if (R.nextBelow(2) == 0)
+        return; // skip some constants so later ones get picked too
+      double V = static_cast<double>(R.nextInRange(-16, 16)) * 0.25;
+      Op = Operand::makeConstant(V);
+      Mutated = true;
+    });
+    return Mutated ? std::optional<MutationKind>(Kind) : std::nullopt;
+  }
+  case MutationKind::RedirectOperand: {
+    unsigned SI = static_cast<unsigned>(R.nextBelow(N));
+    Statement &S = K.Body.statement(SI);
+    bool Mutated = false;
+    auto Redirect = [&](Operand &Op) {
+      if (Mutated)
+        return;
+      if (Op.isScalar() && !K.Scalars.empty()) {
+        Op = Operand::makeScalar(
+            static_cast<SymbolId>(R.nextBelow(K.Scalars.size())));
+        Mutated = true;
+      } else if (Op.isArray()) {
+        // Retarget to another array of the same rank.
+        std::vector<SymbolId> SameRank;
+        for (unsigned A = 0; A != K.Arrays.size(); ++A)
+          if (K.Arrays[A].DimSizes.size() == Op.subscripts().size())
+            SameRank.push_back(A);
+        if (SameRank.empty())
+          return;
+        Op = Operand::makeArray(SameRank[R.nextBelow(SameRank.size())],
+                                Op.subscripts());
+        Mutated = true;
+      }
+    };
+    S.rhs().forEachLeafMut(Redirect);
+    return Mutated ? std::optional<MutationKind>(Kind) : std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+std::string slp::mutateSource(const std::string &Source, Rng &R,
+                              std::string *Desc) {
+  std::string Out = Source;
+  auto Describe = [&](const char *What) {
+    if (Desc)
+      *Desc = What;
+  };
+  if (Out.empty()) {
+    Describe("empty-input");
+    return Out;
+  }
+  switch (R.nextBelow(8)) {
+  case 0: { // truncate at a random point (mid-token included)
+    Out.resize(R.nextBelow(Out.size()));
+    Describe("truncate");
+    break;
+  }
+  case 1: { // delete a random span
+    size_t Start = R.nextBelow(Out.size());
+    size_t Len = 1 + R.nextBelow(16);
+    Out.erase(Start, Len);
+    Describe("delete-span");
+    break;
+  }
+  case 2: { // duplicate a random span
+    size_t Start = R.nextBelow(Out.size());
+    size_t Len = std::min<size_t>(1 + R.nextBelow(24), Out.size() - Start);
+    Out.insert(Start, Out.substr(Start, Len));
+    Describe("duplicate-span");
+    break;
+  }
+  case 3: { // flip one character to a random printable
+    size_t At = R.nextBelow(Out.size());
+    Out[At] = static_cast<char>(' ' + R.nextBelow(95));
+    Describe("flip-char");
+    break;
+  }
+  case 4: { // insert structural punctuation
+    static const char Punct[] = "[]{}();=*+-.,";
+    size_t At = R.nextBelow(Out.size() + 1);
+    Out.insert(Out.begin() + static_cast<ptrdiff_t>(At),
+               Punct[R.nextBelow(sizeof(Punct) - 1)]);
+    Describe("insert-punct");
+    break;
+  }
+  case 5: { // replace the first digit run with an overlong literal
+    size_t At = Out.find_first_of("0123456789");
+    if (At == std::string::npos) {
+      Describe("overlong-literal-skip");
+      break;
+    }
+    size_t End = Out.find_first_not_of("0123456789", At);
+    static const char *Longs[] = {
+        "123456789012345678901234567890",
+        "99999999999999999999",
+        "1e99999",
+        "184467440737095516159",
+    };
+    Out.replace(At, End == std::string::npos ? Out.size() - At : End - At,
+                Longs[R.nextBelow(4)]);
+    Describe("overlong-literal");
+    break;
+  }
+  case 6: { // strip every closing brace (unterminated nest)
+    Out.erase(std::remove(Out.begin(), Out.end(), '}'), Out.end());
+    Describe("strip-braces");
+    break;
+  }
+  default: { // duplicate a whole line
+    size_t LineStart = R.nextBelow(Out.size());
+    LineStart = Out.rfind('\n', LineStart);
+    LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+    size_t LineEnd = Out.find('\n', LineStart);
+    LineEnd = LineEnd == std::string::npos ? Out.size() : LineEnd + 1;
+    Out.insert(LineStart, Out.substr(LineStart, LineEnd - LineStart));
+    Describe("duplicate-line");
+    break;
+  }
+  }
+  return Out;
+}

@@ -1,0 +1,88 @@
+//===- fuzz/Mutator.h - Structural and textual kernel mutation -*- C++ -*-===//
+///
+/// \file
+/// Seeded mutation operators for the differential fuzzer. Structural
+/// mutations rewrite a Kernel in place (swap/duplicate/permute statements,
+/// perturb affine subscripts and loop bounds, retype symbols, splice
+/// sub-expressions between statements, replace opcodes and constants);
+/// they deliberately change the kernel's *meaning* — the fuzzer compares
+/// the optimized program against scalar execution of the same mutant — but
+/// must never produce an ill-formed kernel, so every mutation is followed
+/// by sanitizeKernel/validateKernel. The textual mutator corrupts `.slp`
+/// source to stress the parser's error paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_FUZZ_MUTATOR_H
+#define SLP_FUZZ_MUTATOR_H
+
+#include "ir/Kernel.h"
+#include "support/Rng.h"
+
+#include <optional>
+#include <string>
+
+namespace slp {
+
+/// The structural mutation taxonomy (docs/fuzzing.md).
+enum class MutationKind : uint8_t {
+  SwapStatements,          ///< exchange two statements (breaks/creates deps)
+  DuplicateStatement,      ///< clone a statement to a random position
+  DeleteStatement,         ///< remove a statement (block must stay nonempty)
+  PermuteStatements,       ///< shuffle a random statement subrange
+  PerturbSubscriptConstant,///< nudge an array subscript's additive constant
+  PerturbSubscriptCoeff,   ///< rewrite an index coefficient (stride change)
+  PerturbLoopBounds,       ///< change a loop's bounds or step
+  RetypeSymbol,            ///< flip a scalar/array element type
+  SpliceSubexpression,     ///< graft a subtree of one rhs into another
+  ReplaceOpcode,           ///< change one interior node's operation
+  PerturbConstant,         ///< change a constant leaf's value
+  RedirectOperand,         ///< point a leaf at a different symbol
+};
+
+/// Number of structural mutation kinds (for stats arrays).
+constexpr unsigned NumMutationKinds =
+    static_cast<unsigned>(MutationKind::RedirectOperand) + 1;
+
+/// Stable, human-readable name of \p Kind (used in stats and repro files).
+const char *mutationKindName(MutationKind Kind);
+
+/// Computes the [Min, Max] range of the flattened element offset of the
+/// array reference \p Op over \p K's whole iteration domain. Returns false
+/// when \p Op is not an array reference, references a depth outside the
+/// loop nest, or the nest has a zero-trip loop (the body never runs).
+bool offsetRange(const Kernel &K, const Operand &Op, int64_t &Min,
+                 int64_t &Max);
+
+/// Structural well-formedness: symbol ids in range, subscript arity
+/// matching array rank, positive steps, a bounded iteration count, every
+/// array reference in bounds over the whole domain, and no store to a
+/// read-only array. \p Why (when non-null) receives the first violation.
+/// Kernels that fail this check would trip interpreter assertions, so the
+/// fuzzer never feeds them to the pipeline.
+bool validateKernel(const Kernel &K, std::string *Why = nullptr);
+
+/// Repairs the common damage mutations cause instead of rejecting the
+/// mutant: clears ReadOnly on stored-to arrays, shifts 1-D subscripts with
+/// negative reach, grows 1-D arrays to cover their subscript range, and
+/// clamps loop bounds to a bounded iteration count. Returns
+/// validateKernel(K) afterwards.
+bool sanitizeKernel(Kernel &K);
+
+/// Applies one random structural mutation drawn from \p R. Returns the
+/// kind applied, or std::nullopt when the drawn mutation was inapplicable
+/// (e.g. DeleteStatement on a single-statement block); the kernel is
+/// unchanged in that case. The caller is responsible for sanitizing.
+std::optional<MutationKind> mutateKernel(Kernel &K, Rng &R);
+
+/// Corrupts `.slp` source text: truncation, span deletion/duplication,
+/// character flips, inserted punctuation, overlong numeric literals,
+/// deleted braces. \p Desc (when non-null) receives a short description of
+/// the corruption. The result is fed to the parser, which must fail
+/// cleanly or parse something the validator can vet — never crash.
+std::string mutateSource(const std::string &Source, Rng &R,
+                         std::string *Desc = nullptr);
+
+} // namespace slp
+
+#endif // SLP_FUZZ_MUTATOR_H

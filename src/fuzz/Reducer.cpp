@@ -1,0 +1,344 @@
+//===- fuzz/Reducer.cpp ---------------------------------------*- C++ -*-===//
+
+#include "fuzz/Reducer.h"
+
+#include "fuzz/Mutator.h"
+
+#include <algorithm>
+
+using namespace slp;
+
+namespace {
+
+/// Tries \p Candidate against validity + predicate; on success replaces
+/// \p Best and returns true.
+bool accept(Kernel &Best, Kernel Candidate, const FailurePredicate &Fails,
+            ReductionStats &Stats) {
+  ++Stats.CandidatesTried;
+  if (!validateKernel(Candidate) || !Fails(Candidate))
+    return false;
+  Best = std::move(Candidate);
+  ++Stats.CandidatesAccepted;
+  return true;
+}
+
+/// Rebuilds \p K keeping only statements whose index satisfies \p Keep.
+Kernel withStatements(const Kernel &K,
+                      const std::function<bool(unsigned)> &Keep) {
+  Kernel Out = K.clone();
+  BasicBlock Body;
+  for (unsigned I = 0; I != K.Body.size(); ++I)
+    if (Keep(I))
+      Body.append(K.Body.statement(I));
+  Out.Body = std::move(Body);
+  return Out;
+}
+
+/// Classic ddmin over the statement list: remove chunks of shrinking size
+/// while the failure persists.
+bool ddminStatements(Kernel &Best, const FailurePredicate &Fails,
+                     ReductionStats &Stats) {
+  bool Changed = false;
+  unsigned Chunk = std::max(1u, Best.Body.size() / 2);
+  while (Chunk >= 1) {
+    bool Removed = false;
+    for (unsigned Start = 0; Start < Best.Body.size();) {
+      if (Best.Body.size() <= 1)
+        break;
+      unsigned End = std::min(Start + Chunk, Best.Body.size());
+      Kernel Candidate = withStatements(
+          Best, [&](unsigned I) { return I < Start || I >= End; });
+      if (!Candidate.Body.empty() &&
+          accept(Best, std::move(Candidate), Fails, Stats)) {
+        Removed = Changed = true; // indices shifted; retry same Start
+      } else {
+        Start += Chunk;
+      }
+    }
+    if (Chunk == 1)
+      break;
+    Chunk = Removed ? std::max(1u, Best.Body.size() / 2) : Chunk / 2;
+  }
+  return Changed;
+}
+
+bool shrinkLoops(Kernel &Best, const FailurePredicate &Fails,
+                 ReductionStats &Stats) {
+  bool Changed = false;
+  for (unsigned D = 0; D != Best.Loops.size(); ++D) {
+    // Halve the trip count, down to a single iteration.
+    for (;;) {
+      const Loop &L = Best.Loops[D];
+      int64_t Trip = L.tripCount();
+      if (Trip <= 1)
+        break;
+      Kernel Candidate = Best.clone();
+      Loop &CL = Candidate.Loops[D];
+      CL.Upper = CL.Lower + CL.Step * std::max<int64_t>(1, Trip / 2);
+      if (!accept(Best, std::move(Candidate), Fails, Stats))
+        break;
+      Changed = true;
+    }
+    // Normalize to lower bound 0 / step 1 when possible.
+    if (Best.Loops[D].Lower != 0 || Best.Loops[D].Step != 1) {
+      Kernel Candidate = Best.clone();
+      Loop &CL = Candidate.Loops[D];
+      int64_t Trip = CL.tripCount();
+      CL.Lower = 0;
+      CL.Step = 1;
+      CL.Upper = std::max<int64_t>(Trip, 1);
+      Changed |= accept(Best, std::move(Candidate), Fails, Stats);
+    }
+  }
+  // Drop loops no subscript references (coefficient zero everywhere).
+  for (unsigned D = 0; D != Best.Loops.size();) {
+    bool Used = false;
+    for (const Statement &S : Best.Body) {
+      auto Check = [&](const Operand &Op) {
+        if (!Op.isArray())
+          return;
+        for (const AffineExpr &Sub : Op.subscripts())
+          Used |= Sub.coeff(D) != 0;
+      };
+      Check(S.lhs());
+      S.rhs().forEachLeaf(Check);
+      if (Used)
+        break;
+    }
+    if (Used) {
+      ++D;
+      continue;
+    }
+    Kernel Candidate = Best.clone();
+    Candidate.Loops.erase(Candidate.Loops.begin() + D);
+    // Shift coefficients above the dropped depth down by one.
+    for (Statement &S : Candidate.Body) {
+      auto Shift = [&](Operand &Op) {
+        if (!Op.isArray())
+          return;
+        for (AffineExpr &Sub : Op.subscripts()) {
+          AffineExpr NewSub(Sub.constant());
+          for (unsigned DD = 0; DD != Sub.numDims(); ++DD) {
+            if (DD == D)
+              continue;
+            NewSub.setCoeff(DD > D ? DD - 1 : DD, Sub.coeff(DD));
+          }
+          Sub = NewSub;
+        }
+      };
+      Shift(S.lhs());
+      S.rhs().forEachLeafMut(Shift);
+    }
+    if (!accept(Best, std::move(Candidate), Fails, Stats))
+      ++D;
+  }
+  return Changed;
+}
+
+unsigned countNodes(const Expr &E) {
+  unsigned N = 1;
+  for (unsigned I = 0; I != E.numChildren(); ++I)
+    N += countNodes(E.child(I));
+  return N;
+}
+
+/// Rebuilds \p E with the node at pre-order index \p Target replaced by
+/// \p Make(node); other nodes are cloned.
+ExprPtr rebuild(const Expr &E, unsigned &Counter, unsigned Target,
+                const std::function<ExprPtr(const Expr &)> &Make) {
+  if (Counter++ == Target)
+    return Make(E);
+  if (E.isLeaf())
+    return Expr::makeLeaf(E.leaf());
+  if (E.numChildren() == 1)
+    return Expr::makeUnary(E.opcode(),
+                           rebuild(E.child(0), Counter, Target, Make));
+  ExprPtr L = rebuild(E.child(0), Counter, Target, Make);
+  ExprPtr R = rebuild(E.child(1), Counter, Target, Make);
+  return Expr::makeBinary(E.opcode(), std::move(L), std::move(R));
+}
+
+bool simplifyExpressions(Kernel &Best, const FailurePredicate &Fails,
+                         ReductionStats &Stats) {
+  bool Changed = false;
+  for (unsigned SI = 0; SI != Best.Body.size(); ++SI) {
+    bool Retry = true;
+    while (Retry) {
+      Retry = false;
+      const Statement &S = Best.Body.statement(SI);
+      unsigned Nodes = countNodes(S.rhs());
+      for (unsigned Idx = 0; Idx != Nodes && !Retry; ++Idx) {
+        // Candidate rewrites at this node, cheapest-first: hoist a child
+        // over an interior node, or collapse a non-constant leaf to 1.0.
+        for (unsigned Action = 0; Action != 3 && !Retry; ++Action) {
+          unsigned Counter = 0;
+          bool Applicable = true;
+          ExprPtr NewRhs = rebuild(
+              S.rhs(), Counter, Idx, [&](const Expr &Node) -> ExprPtr {
+                if (!Node.isLeaf() && Action < Node.numChildren())
+                  return Node.child(Action).clone();
+                if (Node.isLeaf() && Action == 2 &&
+                    !Node.leaf().isConstant())
+                  return Expr::makeLeaf(Operand::makeConstant(1.0));
+                Applicable = false;
+                return Node.clone();
+              });
+          if (!Applicable)
+            continue;
+          Kernel Candidate = Best.clone();
+          Candidate.Body.statement(SI) =
+              Statement(S.lhs(), std::move(NewRhs));
+          if (accept(Best, std::move(Candidate), Fails, Stats))
+            Retry = Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+bool simplifySubscripts(Kernel &Best, const FailurePredicate &Fails,
+                        ReductionStats &Stats) {
+  bool Changed = false;
+  // Try zeroing additive constants and normalizing coefficients to 1,
+  // one reference at a time.
+  for (unsigned SI = 0; SI != Best.Body.size(); ++SI) {
+    for (unsigned Which = 0;; ++Which) {
+      // Enumerate array operands of statement SI: 0 = lhs, 1.. = leaves.
+      Kernel Candidate = Best.clone();
+      Statement &S = Candidate.Body.statement(SI);
+      unsigned Seen = 0;
+      bool Found = false, Mutated = false;
+      auto Simplify = [&](Operand &Op) {
+        if (!Op.isArray())
+          return;
+        if (Seen++ != Which)
+          return;
+        Found = true;
+        for (AffineExpr &Sub : Op.subscripts()) {
+          if (Sub.constant() != 0) {
+            Sub.setConstant(0);
+            Mutated = true;
+          }
+          for (unsigned D = 0; D != Sub.numDims(); ++D)
+            if (Sub.coeff(D) != 0 && Sub.coeff(D) != 1) {
+              Sub.setCoeff(D, 1);
+              Mutated = true;
+            }
+        }
+      };
+      Simplify(S.lhs());
+      S.rhs().forEachLeafMut(Simplify);
+      if (!Found)
+        break;
+      if (Mutated)
+        Changed |= accept(Best, std::move(Candidate), Fails, Stats);
+    }
+  }
+  return Changed;
+}
+
+/// Removes scalars and arrays no operand references, remapping symbol ids.
+bool gcSymbols(Kernel &Best, const FailurePredicate &Fails,
+               ReductionStats &Stats) {
+  std::vector<char> ScalarUsed(Best.Scalars.size(), 0);
+  std::vector<char> ArrayUsed(Best.Arrays.size(), 0);
+  for (const Statement &S : Best.Body) {
+    auto Mark = [&](const Operand &Op) {
+      if (Op.isScalar())
+        ScalarUsed[Op.symbol()] = 1;
+      else if (Op.isArray())
+        ArrayUsed[Op.symbol()] = 1;
+    };
+    Mark(S.lhs());
+    S.rhs().forEachLeaf(Mark);
+  }
+  bool AnyUnused =
+      std::count(ScalarUsed.begin(), ScalarUsed.end(), 0) > 0 ||
+      std::count(ArrayUsed.begin(), ArrayUsed.end(), 0) > 0;
+  if (!AnyUnused)
+    return false;
+
+  Kernel Candidate = Best.clone();
+  std::vector<SymbolId> ScalarMap(Best.Scalars.size(), 0);
+  std::vector<SymbolId> ArrayMap(Best.Arrays.size(), 0);
+  std::vector<ScalarSymbol> NewScalars;
+  std::vector<ArraySymbol> NewArrays;
+  for (unsigned I = 0; I != Best.Scalars.size(); ++I)
+    if (ScalarUsed[I]) {
+      ScalarMap[I] = static_cast<SymbolId>(NewScalars.size());
+      NewScalars.push_back(Best.Scalars[I]);
+    }
+  for (unsigned I = 0; I != Best.Arrays.size(); ++I)
+    if (ArrayUsed[I]) {
+      ArrayMap[I] = static_cast<SymbolId>(NewArrays.size());
+      NewArrays.push_back(Best.Arrays[I]);
+    }
+  Candidate.Scalars = std::move(NewScalars);
+  Candidate.Arrays = std::move(NewArrays);
+  for (Statement &S : Candidate.Body) {
+    auto Remap = [&](Operand &Op) {
+      if (Op.isScalar())
+        Op = Operand::makeScalar(ScalarMap[Op.symbol()]);
+      else if (Op.isArray())
+        Op = Operand::makeArray(ArrayMap[Op.symbol()], Op.subscripts());
+    };
+    Remap(S.lhs());
+    S.rhs().forEachLeafMut(Remap);
+  }
+  return accept(Best, std::move(Candidate), Fails, Stats);
+}
+
+/// Tightens 1-D array extents to exactly the elements referenced.
+bool shrinkArrays(Kernel &Best, const FailurePredicate &Fails,
+                  ReductionStats &Stats) {
+  std::vector<int64_t> Needed(Best.Arrays.size(), 1);
+  bool Bounded = true;
+  for (const Statement &S : Best.Body) {
+    auto Scan = [&](const Operand &Op) {
+      if (!Op.isArray())
+        return;
+      int64_t Min = 0, Max = 0;
+      if (!offsetRange(Best, Op, Min, Max)) {
+        Bounded = false;
+        return;
+      }
+      Needed[Op.symbol()] = std::max(Needed[Op.symbol()], Max + 1);
+    };
+    Scan(S.lhs());
+    S.rhs().forEachLeaf(Scan);
+  }
+  if (!Bounded)
+    return false;
+  Kernel Candidate = Best.clone();
+  bool Mutated = false;
+  for (unsigned A = 0; A != Candidate.Arrays.size(); ++A)
+    if (Candidate.Arrays[A].DimSizes.size() == 1 &&
+        Candidate.Arrays[A].DimSizes[0] > Needed[A]) {
+      Candidate.Arrays[A].DimSizes[0] = Needed[A];
+      Mutated = true;
+    }
+  return Mutated && accept(Best, std::move(Candidate), Fails, Stats);
+}
+
+} // namespace
+
+Kernel slp::reduceKernel(const Kernel &Seed, const FailurePredicate &Fails,
+                         ReductionStats *Stats, unsigned MaxRounds) {
+  ReductionStats Local;
+  ReductionStats &S = Stats ? *Stats : Local;
+  Kernel Best = Seed.clone();
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    ++S.Rounds;
+    bool Changed = false;
+    Changed |= ddminStatements(Best, Fails, S);
+    Changed |= shrinkLoops(Best, Fails, S);
+    Changed |= simplifyExpressions(Best, Fails, S);
+    Changed |= simplifySubscripts(Best, Fails, S);
+    Changed |= shrinkArrays(Best, Fails, S);
+    Changed |= gcSymbols(Best, Fails, S);
+    if (!Changed)
+      break;
+  }
+  return Best;
+}

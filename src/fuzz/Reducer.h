@@ -1,0 +1,45 @@
+//===- fuzz/Reducer.h - Delta-debugging failure reduction ------*- C++ -*-===//
+///
+/// \file
+/// Shrinks a failing fuzz kernel while preserving its failure predicate:
+/// ddmin-style statement removal, loop-bound shrinking, expression
+/// simplification, subscript simplification, array-extent tightening, and
+/// unused-symbol garbage collection, iterated to a fixed point. The
+/// predicate re-runs whatever check failed (schedule verification,
+/// execution equivalence, engine agreement), so the reducer works for any
+/// failure class the fuzzer can detect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_FUZZ_REDUCER_H
+#define SLP_FUZZ_REDUCER_H
+
+#include "ir/Kernel.h"
+
+#include <functional>
+
+namespace slp {
+
+/// Returns true when the (well-formed) candidate kernel still exhibits the
+/// failure being reduced.
+using FailurePredicate = std::function<bool(const Kernel &)>;
+
+/// Instrumentation of one reduction run (reported in the slp-fuzz JSON
+/// summary).
+struct ReductionStats {
+  uint64_t CandidatesTried = 0;
+  uint64_t CandidatesAccepted = 0;
+  unsigned Rounds = 0;
+};
+
+/// Reduces \p Seed with respect to \p StillFails. Candidates are vetted
+/// with validateKernel before the predicate runs, so the predicate only
+/// ever sees kernels the pipeline can safely consume; \p Seed itself is
+/// assumed to be valid and failing. Stops at a fixed point or after
+/// \p MaxRounds full passes.
+Kernel reduceKernel(const Kernel &Seed, const FailurePredicate &StillFails,
+                    ReductionStats *Stats = nullptr, unsigned MaxRounds = 8);
+
+} // namespace slp
+
+#endif // SLP_FUZZ_REDUCER_H

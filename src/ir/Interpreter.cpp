@@ -48,6 +48,14 @@ void Environment::addArrayStorage(int64_t NumElements) {
   ArrayBufs.emplace_back(static_cast<size_t>(NumElements), 0.0);
 }
 
+/// Equality up to NaN: two locations agree when they hold equal values or
+/// are both NaN. A plain `!=` would flag every NaN-producing kernel (e.g.
+/// Inf - Inf after overflow) as a divergence even when scalar and vector
+/// execution computed the identical result.
+static bool sameValue(double A, double B) {
+  return A == B || (std::isnan(A) && std::isnan(B));
+}
+
 bool Environment::matches(const Environment &Other, unsigned NumScalars,
                           unsigned NumArrays) const {
   assert(NumScalars <= ScalarVals.size() &&
@@ -55,11 +63,15 @@ bool Environment::matches(const Environment &Other, unsigned NumScalars,
   assert(NumArrays <= ArrayBufs.size() &&
          NumArrays <= Other.ArrayBufs.size() && "array count out of range");
   for (unsigned I = 0; I != NumScalars; ++I)
-    if (ScalarVals[I] != Other.ScalarVals[I])
+    if (!sameValue(ScalarVals[I], Other.ScalarVals[I]))
       return false;
-  for (unsigned A = 0; A != NumArrays; ++A)
-    if (ArrayBufs[A] != Other.ArrayBufs[A])
+  for (unsigned A = 0; A != NumArrays; ++A) {
+    if (ArrayBufs[A].size() != Other.ArrayBufs[A].size())
       return false;
+    for (size_t I = 0, E = ArrayBufs[A].size(); I != E; ++I)
+      if (!sameValue(ArrayBufs[A][I], Other.ArrayBufs[A][I]))
+        return false;
+  }
   return true;
 }
 

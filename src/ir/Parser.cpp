@@ -146,6 +146,7 @@ public:
     while (!Failed && Lex.current().Kind != TokKind::End) {
       K = Kernel();
       LoopDepths.clear();
+      ExprDepth = 0;
       parseKernelDef();
       if (!Failed)
         R.Kernels.push_back(std::move(K));
@@ -167,6 +168,9 @@ private:
   std::string Message;
   unsigned ErrLine = 0;
   std::map<std::string, unsigned> LoopDepths;
+  /// Current expression nesting depth (parens / unary-minus chains).
+  unsigned ExprDepth = 0;
+  static constexpr unsigned MaxExprDepth = 64;
 
   void error(const std::string &Msg) {
     if (Failed)
@@ -220,12 +224,7 @@ private:
       Negative = true;
       Lex.advance();
     }
-    if (tok().Kind != TokKind::Number || !tok().IsInteger) {
-      error("expected integer, found '" + tok().Text + "'");
-      return 0;
-    }
-    int64_t V = static_cast<int64_t>(tok().NumValue);
-    Lex.advance();
+    int64_t V = parseIntegerNoSign();
     return Negative ? -V : V;
   }
 
@@ -303,11 +302,26 @@ private:
       return;
     }
     std::vector<int64_t> Dims;
+    int64_t TotalElements = 1;
     while (!Failed && isPunct("[")) {
       Lex.advance();
-      Dims.push_back(parseInteger());
+      int64_t Dim = parseInteger();
+      if (!Failed && Dim <= 0) {
+        error("array '" + Name + "' dimension must be positive");
+        return;
+      }
+      // Cap the total allocation so a hostile declaration cannot overflow
+      // the element-count product or exhaust memory at environment setup.
+      if (!Failed && (Dim > (int64_t{1} << 40) / TotalElements)) {
+        error("array '" + Name + "' too large");
+        return;
+      }
+      TotalElements *= Dim;
+      Dims.push_back(Dim);
       expectPunct("]");
     }
+    if (Failed)
+      return;
     if (Dims.empty()) {
       error("array '" + Name + "' requires at least one dimension");
       return;
@@ -447,6 +461,13 @@ private:
       error("expected integer, found '" + tok().Text + "'");
       return 0;
     }
+    // The lexer stores numbers as doubles; above 2^53 the value is no
+    // longer exactly representable and the conversion to int64_t would be
+    // lossy (and UB past 2^63), so reject oversized literals outright.
+    if (tok().NumValue > 9007199254740992.0) {
+      error("integer literal '" + tok().Text + "' too large");
+      return 0;
+    }
     int64_t V = static_cast<int64_t>(tok().NumValue);
     Lex.advance();
     return V;
@@ -454,15 +475,28 @@ private:
 
   /// expr := mulExpr (('+'|'-') mulExpr)*
   ExprPtr parseExpr() {
+    // Parenthesized and unary-minus nesting recurse through here; bound
+    // the depth so deeply nested input fails cleanly instead of
+    // overflowing the stack.
+    if (++ExprDepth > MaxExprDepth) {
+      error("expression nested too deeply");
+      --ExprDepth;
+      return Expr::makeLeaf(Operand::makeConstant(0));
+    }
+    // The depth stays elevated across the operator loop: operands in RHS
+    // position nest inside this call and must count against the guard.
     ExprPtr Lhs = parseMulExpr();
     while (!Failed && (isPunct("+") || isPunct("-"))) {
       OpCode Op = isPunct("+") ? OpCode::Add : OpCode::Sub;
       Lex.advance();
       ExprPtr Rhs = parseMulExpr();
       if (Failed)
-        return Expr::makeLeaf(Operand::makeConstant(0));
+        break;
       Lhs = Expr::makeBinary(Op, std::move(Lhs), std::move(Rhs));
     }
+    --ExprDepth;
+    if (Failed)
+      return Expr::makeLeaf(Operand::makeConstant(0));
     return Lhs;
   }
 
@@ -490,7 +524,16 @@ private:
         Lex.advance();
         return Expr::makeLeaf(Operand::makeConstant(-V));
       }
-      return Expr::makeUnary(OpCode::Neg, parseUnary());
+      // Chains of unary minus recurse without passing through parseExpr;
+      // bound them with the same depth counter.
+      if (++ExprDepth > MaxExprDepth) {
+        error("expression nested too deeply");
+        --ExprDepth;
+        return Expr::makeLeaf(Operand::makeConstant(0));
+      }
+      ExprPtr E = Expr::makeUnary(OpCode::Neg, parseUnary());
+      --ExprDepth;
+      return E;
     }
     return parsePrimary();
   }

@@ -322,8 +322,22 @@ void CodeGenerator::genGroup(const ScheduleItem &Item) {
           return true;
       return false;
     });
-  // The freshly computed result is live and reusable under its lhs name.
-  registerPack(Result, LhsLanes, /*IsResult=*/true);
+  // The freshly computed result is live and reusable under its lhs name —
+  // unless a lane stores to an integer-typed location: those truncate the
+  // value on the way to memory, so the register no longer matches what a
+  // load would see and forwarding it would resurrect the untruncated
+  // float (found by slp-fuzz, pinned in tests/fuzz/corpus).
+  bool TruncatingStore = false;
+  for (const Operand *O : LhsLanes) {
+    ScalarType Ty =
+        O->isScalar() ? K.scalar(O->symbol()).Ty : K.array(O->symbol()).Ty;
+    if (!isFloatType(Ty)) {
+      TruncatingStore = true;
+      break;
+    }
+  }
+  if (!TruncatingStore)
+    registerPack(Result, LhsLanes, /*IsResult=*/true);
 }
 
 void CodeGenerator::genSingle(unsigned StmtId) {

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 using namespace slp;
 
 namespace {
@@ -131,6 +134,93 @@ TEST(Interpreter, EnvironmentDeterminism) {
   Environment E1(K, 42), E2(K, 42), E3(K, 43);
   EXPECT_TRUE(E1.matches(E2, 1, 1));
   EXPECT_FALSE(E1.matches(E3, 1, 1));
+}
+
+TEST(Interpreter, MatchesTreatsNaNAsEqual) {
+  // NaN != NaN in IEEE comparison, but two executions that both computed
+  // NaN in the same location DID agree — matches() must not flag them.
+  Kernel K = parse("kernel k { scalar float a; array float A[4]; a = 1.0; }");
+  Environment E1(K, 7), E2(K, 7);
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  E1.setScalarValue(0, NaN);
+  E2.setScalarValue(0, NaN);
+  E1.arrayBuffer(0)[2] = NaN;
+  E2.arrayBuffer(0)[2] = NaN;
+  EXPECT_TRUE(E1.matches(E2, 1, 1));
+  // NaN against a number is still a mismatch, in either direction.
+  E2.setScalarValue(0, 1.0);
+  EXPECT_FALSE(E1.matches(E2, 1, 1));
+  EXPECT_FALSE(E2.matches(E1, 1, 1));
+  E2.setScalarValue(0, NaN);
+  E1.arrayBuffer(0)[2] = 0.0;
+  EXPECT_FALSE(E1.matches(E2, 1, 1));
+}
+
+TEST(Interpreter, MatchesDistinguishesInfSigns) {
+  Kernel K = parse("kernel k { scalar float a; a = 1.0; }");
+  Environment E1(K, 7), E2(K, 7);
+  double Inf = std::numeric_limits<double>::infinity();
+  E1.setScalarValue(0, Inf);
+  E2.setScalarValue(0, Inf);
+  EXPECT_TRUE(E1.matches(E2, 1, 0));
+  E2.setScalarValue(0, -Inf);
+  EXPECT_FALSE(E1.matches(E2, 1, 0));
+}
+
+TEST(Interpreter, AliasingLoadSeesEarlierStoreSameIteration) {
+  // A[i] is written by statement 0 and read back by statement 1 through a
+  // syntactically different subscript (2*i - i): the interpreter must
+  // execute statements in order against the same storage.
+  Kernel K = parse(R"(
+    kernel k { array float A[16]; array float B[16];
+      loop i = 0 .. 16 {
+        A[i] = 7.0;
+        B[i] = A[2*i - i] + 1.0;
+      }
+    })");
+  Environment Env(K, 11);
+  runKernelScalar(K, Env);
+  for (unsigned I = 0; I != 16; ++I) {
+    EXPECT_DOUBLE_EQ(Env.arrayBuffer(0)[I], 7.0);
+    EXPECT_DOUBLE_EQ(Env.arrayBuffer(1)[I], 8.0);
+  }
+}
+
+TEST(Interpreter, AliasingStoreAfterLoadKeepsOldValue) {
+  // Statement 0 reads A[i] before statement 1 overwrites it: B must
+  // capture the pre-store value.
+  Kernel K = parse(R"(
+    kernel k { array float A[8]; array float B[8];
+      loop i = 0 .. 8 {
+        B[i] = A[i] * 2.0;
+        A[i] = 0.0;
+      }
+    })");
+  Environment Env(K, 23);
+  Environment Ref = Env;
+  runKernelScalar(K, Env);
+  for (unsigned I = 0; I != 8; ++I) {
+    EXPECT_DOUBLE_EQ(Env.arrayBuffer(1)[I], Ref.arrayBuffer(0)[I] * 2.0);
+    EXPECT_DOUBLE_EQ(Env.arrayBuffer(0)[I], 0.0);
+  }
+}
+
+TEST(Interpreter, NaNAndInfArithmetic) {
+  // 0/0 -> NaN, 1/0 -> +Inf, Inf - Inf -> NaN: IEEE special values must
+  // flow through the evaluator untouched.
+  Kernel K = parse(R"(
+    kernel k { scalar float zero, nan, inf, diff;
+      zero = 0.0;
+      nan = zero / zero;
+      inf = 1.0 / zero;
+      diff = inf - inf;
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  EXPECT_TRUE(std::isnan(Env.scalarValue(1)));
+  EXPECT_TRUE(std::isinf(Env.scalarValue(2)));
+  EXPECT_GT(Env.scalarValue(2), 0.0);
+  EXPECT_TRUE(std::isnan(Env.scalarValue(3)));
 }
 
 TEST(Interpreter, StatsCountLoadsAndOps) {

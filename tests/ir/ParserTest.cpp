@@ -137,6 +137,150 @@ TEST(Parser, ErrorReportsLine) {
   EXPECT_EQ(R.ErrorLine, 3u);
 }
 
+// Malformed-input suite: every case must come back as a clean ParseResult
+// error — non-empty message, no crash, no kernel. The textual fuzzer
+// (src/fuzz/Mutator.cpp mutateSource) generates exactly these shapes.
+
+namespace {
+
+void expectCleanError(const std::string &Src,
+                      const std::string &MsgFragment = "") {
+  ParseResult R = parseKernel(Src);
+  EXPECT_FALSE(R.succeeded()) << "accepted: " << Src;
+  EXPECT_FALSE(R.ErrorMessage.empty()) << "empty diagnostic for: " << Src;
+  EXPECT_FALSE(R.TheKernel.has_value());
+  if (!MsgFragment.empty())
+    EXPECT_NE(R.ErrorMessage.find(MsgFragment), std::string::npos)
+        << "diagnostic '" << R.ErrorMessage << "' lacks '" << MsgFragment
+        << "'";
+}
+
+} // namespace
+
+TEST(ParserMalformed, TruncatedStatement) {
+  expectCleanError("kernel k { scalar float a; a = ");
+  expectCleanError("kernel k { scalar float a; a =");
+  expectCleanError("kernel k { scalar float a; a ");
+  expectCleanError("kernel k { scalar float a; a = 1.0 + ; }");
+}
+
+TEST(ParserMalformed, TruncatedDeclaration) {
+  expectCleanError("kernel k { scalar float ");
+  expectCleanError("kernel k { array float A[");
+  expectCleanError("kernel k { array float A[8] ");
+  expectCleanError("kernel k { scalar ; }");
+}
+
+TEST(ParserMalformed, TruncatedLoopHeader) {
+  expectCleanError("kernel k { array float A[8]; loop i = 0 ..");
+  expectCleanError("kernel k { array float A[8]; loop i = 0 .. 4");
+  expectCleanError("kernel k { array float A[8]; loop = 0 .. 4 { } }");
+}
+
+TEST(ParserMalformed, MissingBraces) {
+  expectCleanError("kernel k { scalar float a; a = 1.0;");
+  expectCleanError("kernel k scalar float a; a = 1.0; }");
+  expectCleanError("kernel k {");
+  expectCleanError("");
+}
+
+TEST(ParserMalformed, BadSubscripts) {
+  expectCleanError(
+      "kernel k { array float A[8]; loop i = 0..4 { A[i + ] = 1.0; } }");
+  expectCleanError(
+      "kernel k { array float A[8]; loop i = 0..4 { A[i][i] = 1.0; } }");
+  expectCleanError(
+      "kernel k { array float A[8]; loop i = 0..4 { A[1.5] = 1.0; } }",
+      "integer");
+  expectCleanError(
+      "kernel k { array float A[8]; loop i = 0..4 { A[i*j] = 1.0; } }");
+}
+
+TEST(ParserMalformed, DuplicateSymbols) {
+  expectCleanError("kernel k { scalar float a; scalar int a; a = 1.0; }",
+                   "duplicate");
+  expectCleanError("kernel k { scalar float a, a; a = 1.0; }", "duplicate");
+  expectCleanError(
+      "kernel k { array float A[4]; array int A[8]; A[0] = 1.0; }",
+      "duplicate");
+  expectCleanError(
+      "kernel k { array float A[4]; loop i = 0..2 { loop i = 0..2 { "
+      "A[i] = 1.0; } } }",
+      "duplicate");
+}
+
+TEST(ParserMalformed, OverlongIntegerLiteral) {
+  // The lexer stores numbers as doubles; above 2^53 the int64_t
+  // conversion would be lossy (UB past 2^63), so the parser must reject
+  // the literal instead of wrapping or crashing.
+  expectCleanError("kernel k { array float A[184467440737095516159]; "
+                   "A[0] = 1.0; }",
+                   "too large");
+  expectCleanError("kernel k { array float A[8]; loop i = 0 .. "
+                   "99999999999999999999 { A[0] = 1.0; } }",
+                   "too large");
+}
+
+TEST(ParserMalformed, NonPositiveArrayDimension) {
+  expectCleanError("kernel k { array float A[0]; A[0] = 1.0; }",
+                   "positive");
+  expectCleanError("kernel k { array float A[-4]; A[0] = 1.0; }",
+                   "positive");
+  expectCleanError("kernel k { array float A[4][0]; A[0][0] = 1.0; }",
+                   "positive");
+}
+
+TEST(ParserMalformed, OversizedArrayAllocation) {
+  // Individually fine dimensions whose product would overflow the
+  // element count (or exhaust memory building an Environment).
+  expectCleanError("kernel k { array float A[2000000][2000000][2000000]; "
+                   "A[0][0][0] = 1.0; }",
+                   "too large");
+}
+
+TEST(ParserMalformed, DeeplyNestedExpression) {
+  // 500 nested parens / unary minuses: must fail via the depth guard, not
+  // by overflowing the parser's stack.
+  std::string Deep = "kernel k { scalar float a; a = ";
+  for (int I = 0; I != 500; ++I)
+    Deep += "(1.0 + ";
+  Deep += "1.0";
+  for (int I = 0; I != 500; ++I)
+    Deep += ")";
+  Deep += "; }";
+  expectCleanError(Deep, "too deeply");
+
+  std::string Minus = "kernel k { scalar float a; a = ";
+  // A non-literal after the minus chain so constant folding can't absorb
+  // the minuses.
+  for (int I = 0; I != 500; ++I)
+    Minus += "- (";
+  Minus += "a";
+  for (int I = 0; I != 500; ++I)
+    Minus += ")";
+  Minus += "; }";
+  expectCleanError(Minus, "too deeply");
+}
+
+TEST(ParserMalformed, GarbageTokens) {
+  expectCleanError("kernel k { scalar float a; a = #? ; }");
+  expectCleanError("kernel \x01\x02 { }");
+  expectCleanError("kernel k { scalar float a; a ~ 1.0; }");
+}
+
+TEST(Parser, AcceptsDepthJustUnderTheGuard) {
+  // 32 nested parens stay comfortably under the 64-level guard.
+  std::string Src = "kernel k { scalar float a; a = ";
+  for (int I = 0; I != 32; ++I)
+    Src += "(";
+  Src += "1.0";
+  for (int I = 0; I != 32; ++I)
+    Src += ")";
+  Src += "; }";
+  Kernel K = parseOk(Src);
+  EXPECT_EQ(K.Body.size(), 1u);
+}
+
 TEST(Parser, RoundTripThroughPrinter) {
   const char *Src = R"(
     kernel round {

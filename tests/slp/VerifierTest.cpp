@@ -124,6 +124,89 @@ TEST(Verifier, RejectsOverwideGroup) {
   EXPECT_TRUE(verifySchedule(K, D, make({{0, 1, 2}}), 256).empty());
 }
 
+// Exact diagnostic text for every §4.1 constraint violation and the
+// permutation (coverage) check. These strings are load-bearing: the fuzz
+// harness and corpus replay classify failures by them, so a wording change
+// must update both this test and any recorded corpus reasons.
+
+TEST(VerifierDiagnostics, MissingStatementExactText) {
+  Kernel K = fourIndependent();
+  DependenceInfo D(K);
+  auto Issues = verifySchedule(K, D, make({{0, 1}, {3}}), 128);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0], "statement 2 missing from the schedule");
+}
+
+TEST(VerifierDiagnostics, DuplicateStatementExactText) {
+  Kernel K = fourIndependent();
+  DependenceInfo D(K);
+  auto Issues = verifySchedule(K, D, make({{0, 1}, {1, 2}, {3}}), 128);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0], "statement 1 scheduled more than once");
+}
+
+TEST(VerifierDiagnostics, OutOfRangeStatementExactText) {
+  Kernel K = fourIndependent();
+  DependenceInfo D(K);
+  auto Issues = verifySchedule(K, D, make({{0, 1, 2, 3}, {9}}), 128);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0], "item 1 references statement 9 outside the block");
+}
+
+TEST(VerifierDiagnostics, IntraGroupDependenceExactText) {
+  // Constraint 1: statements of one superword must be independent.
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c;
+      a = c * 2.0;
+      b = a * 2.0;
+    })");
+  DependenceInfo D(K);
+  auto Issues = verifySchedule(K, D, make({{0, 1}}), 128);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_EQ(Issues.back(), "item 0 groups dependent statements 0 and 1");
+}
+
+TEST(VerifierDiagnostics, OrderViolationExactText) {
+  // Constraint 2: dependences must be preserved across items.
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = 1.0;
+      b = a + 1.0;
+    })");
+  DependenceInfo D(K);
+  auto Issues = verifySchedule(K, D, make({{1}, {0}}), 128);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0], "dependence 0 -> 1 violated by the schedule order");
+}
+
+TEST(VerifierDiagnostics, NonIsomorphicExactText) {
+  // Constraint 3: grouped statements must be isomorphic.
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = 1.0 + 2.0;
+      b = 1.0 * 2.0;
+    })");
+  DependenceInfo D(K);
+  auto Issues = verifySchedule(K, D, make({{0, 1}}), 128);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0], "item 0 groups non-isomorphic statements");
+}
+
+TEST(VerifierDiagnostics, DatapathWidthExactText) {
+  // Constraint 4: the superword must fit the datapath.
+  Kernel K = parse(R"(
+    kernel k { scalar double a, b, c;
+      a = 1.0;
+      b = 2.0;
+      c = 3.0;
+    })");
+  DependenceInfo D(K);
+  auto Issues = verifySchedule(K, D, make({{0, 1, 2}}), 128);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_EQ(Issues[0],
+            "item 0 is 192 bits wide, exceeding the 128-bit datapath");
+}
+
 TEST(Verifier, AggregatesMultipleIssues) {
   Kernel K = parse(R"(
     kernel k { scalar float a, b;

@@ -1,0 +1,110 @@
+//===- tests/support/RngTest.cpp - Pinned PRNG streams ----------*- C++ -*-===//
+//
+// Pins the exact xorshift64* output streams. Recorded seeds everywhere —
+// random-kernel tests, benchmark tables, grouping tie-breaks, and the fuzz
+// corpus — depend on these bit patterns: any change to Rng (including
+// "fixing" nextBelow's documented modulo bias with rejection sampling,
+// which consumes a data-dependent number of raw draws) invalidates them
+// all. If a test here fails, the generator changed; regenerate every
+// recorded seed or revert.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace slp;
+
+namespace {
+
+TEST(RngTest, RawStreamSeed1) {
+  Rng R(1);
+  const uint64_t Expected[] = {
+      0x4b46a55df3611b9bULL, 0xd7e1f1410e763ef4ULL, 0x5f14ec66975f9b06ULL,
+      0x3b2c74fad44d6cdbULL, 0xdbea40d60760f050ULL, 0x8645ca872e0cd2ULL,
+  };
+  for (uint64_t Value : Expected)
+    EXPECT_EQ(R.next(), Value);
+}
+
+TEST(RngTest, RawStreamSeed2) {
+  // A neighboring seed must give an unrelated stream (splitmix64
+  // scrambling in the constructor).
+  Rng R(2);
+  const uint64_t Expected[] = {
+      0x87c7ff51a98d6f8cULL, 0x4736c78f08d3c41bULL, 0xf1ab6fee32b2b36bULL,
+  };
+  for (uint64_t Value : Expected)
+    EXPECT_EQ(R.next(), Value);
+}
+
+TEST(RngTest, RawStreamDefaultSeed) {
+  Rng R;
+  const uint64_t Expected[] = {
+      0x4f9b02d21cd5c0a7ULL, 0xeec189b8caeb464dULL, 0x13a5cfaf410a8524ULL,
+  };
+  for (uint64_t Value : Expected)
+    EXPECT_EQ(R.next(), Value);
+}
+
+TEST(RngTest, NextBelowStreamSeed1) {
+  Rng R(1);
+  const uint64_t Expected[] = {5, 4, 0, 5, 4, 8, 9, 0, 3, 6};
+  for (uint64_t Value : Expected)
+    EXPECT_EQ(R.nextBelow(10), Value);
+}
+
+TEST(RngTest, NextBelowConsumesExactlyOneDraw) {
+  // nextBelow must stay a single modulo reduction of one raw draw: a
+  // rejection-sampling "fix" of the modulo bias would consume extra draws
+  // on some calls and desynchronize every downstream seed.
+  Rng A(123), B(123);
+  for (int I = 0; I != 50; ++I)
+    EXPECT_EQ(A.nextBelow(7), B.next() % 7);
+  EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, NextInRangeStreamSeed42) {
+  Rng R(42);
+  const int64_t Expected[] = {4, -4, 2, 0, -3, 5, -3, 0, 5, 0};
+  for (int64_t Value : Expected)
+    EXPECT_EQ(R.nextInRange(-5, 5), Value);
+}
+
+TEST(RngTest, NextDoubleStreamSeed7) {
+  Rng R(7);
+  const double Expected[] = {
+      0.081705559503605585,
+      0.25826439633890563,
+      0.35408453546622098,
+      0.55337435629744314,
+  };
+  for (double Value : Expected)
+    EXPECT_DOUBLE_EQ(R.nextDouble(), Value);
+}
+
+TEST(RngTest, NextDoubleStaysInUnitInterval) {
+  Rng R(99);
+  for (int I = 0; I != 1000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversFullRange) {
+  // Sanity: over many draws every residue of a small bound appears. The
+  // documented modulo bias (< 2^-44 per value for bounds this small) is
+  // far too small to observe here.
+  Rng R(5);
+  std::vector<unsigned> Hits(8, 0);
+  for (int I = 0; I != 4000; ++I)
+    ++Hits[R.nextBelow(8)];
+  for (unsigned H : Hits)
+    EXPECT_GT(H, 0u);
+}
+
+} // namespace

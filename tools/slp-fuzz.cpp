@@ -1,0 +1,226 @@
+//===- tools/slp-fuzz.cpp - Differential fuzzing driver ----------*- C++ -*-===//
+//
+// Command-line front end for the differential fuzzer: generates and mutates
+// kernels, runs every optimizer pipeline under several configurations,
+// cross-checks schedules against the Section 4.1 verifier and vector
+// execution against the scalar reference, shrinks failures with the
+// delta-debugging reducer, and maintains the replayable regression corpus.
+//
+//   slp-fuzz [options]
+//     --seed N            campaign seed (default 1)
+//     --iters N           iteration count; 0 = run until the time budget
+//     --time-budget S     wall-clock budget in seconds (0 = none)
+//     --corpus-dir DIR    where reduced repros are written
+//     --replay DIR        replay every corpus case under DIR and exit
+//     --inject-bug KIND   none|drop-item|dup-lane|swap-dependent —
+//                         mutation-test the harness: corrupt each schedule
+//                         and demand the verifier catches it
+//     --no-reduce         record failures without delta-debugging them
+//     --max-failures N    stop after N recorded failures (default 8)
+//     --quiet             suppress the JSON stats summary
+//
+// Options accept both `--flag value` and `--flag=value`. Exit status: 0 on
+// a clean campaign or replay, 1 on recorded failures, 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace slp;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: slp-fuzz [options]\n"
+      "  --seed N           campaign seed (default 1)\n"
+      "  --iters N          iterations; 0 = run until --time-budget\n"
+      "  --time-budget S    wall-clock budget in seconds (0 = none)\n"
+      "  --corpus-dir DIR   write reduced repros into DIR\n"
+      "  --replay DIR       replay every .slp case under DIR and exit\n"
+      "  --inject-bug KIND  none|drop-item|dup-lane|swap-dependent\n"
+      "                     corrupt schedules on purpose and demand the\n"
+      "                     verifier catches every applicable corruption\n"
+      "  --no-reduce        skip delta-debugging reduction of failures\n"
+      "  --max-failures N   stop after N recorded failures (default 8)\n"
+      "  --quiet            suppress the JSON stats summary\n");
+}
+
+/// Splits `--flag=value` / `--flag value` argument forms. Returns false
+/// when the flag needs a value and none is present.
+bool argValue(int Argc, char **Argv, int &I, const char *Flag,
+              std::string &Out, bool &Matched) {
+  Matched = false;
+  size_t FlagLen = std::strlen(Flag);
+  if (std::strncmp(Argv[I], Flag, FlagLen) != 0)
+    return true;
+  const char *Rest = Argv[I] + FlagLen;
+  if (*Rest == '=') {
+    Out = Rest + 1;
+    Matched = true;
+    return true;
+  }
+  if (*Rest != '\0')
+    return true; // a longer flag sharing the prefix
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr, "slp-fuzz: %s requires a value\n", Flag);
+    return false;
+  }
+  Out = Argv[++I];
+  Matched = true;
+  return true;
+}
+
+bool parseU64(const std::string &V, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(V.c_str(), &End, 10);
+  return End != V.c_str() && *End == '\0';
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzConfig Config;
+  Config.Iterations = 1000;
+  std::string ReplayDir;
+  bool Quiet = false;
+  bool IterationsSet = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    std::string Value;
+    bool Matched = false;
+    if (!argValue(Argc, Argv, I, "--seed", Value, Matched))
+      return 2;
+    if (Matched) {
+      if (!parseU64(Value, Config.Seed)) {
+        std::fprintf(stderr, "slp-fuzz: bad --seed '%s'\n", Value.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (!argValue(Argc, Argv, I, "--iters", Value, Matched))
+      return 2;
+    if (Matched) {
+      if (!parseU64(Value, Config.Iterations)) {
+        std::fprintf(stderr, "slp-fuzz: bad --iters '%s'\n", Value.c_str());
+        return 2;
+      }
+      IterationsSet = true;
+      continue;
+    }
+    if (!argValue(Argc, Argv, I, "--time-budget", Value, Matched))
+      return 2;
+    if (Matched) {
+      char *End = nullptr;
+      Config.TimeBudgetSeconds = std::strtod(Value.c_str(), &End);
+      if (End == Value.c_str() || *End != '\0' ||
+          Config.TimeBudgetSeconds < 0) {
+        std::fprintf(stderr, "slp-fuzz: bad --time-budget '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      // A budget without an explicit --iters means "run until the budget".
+      if (!IterationsSet)
+        Config.Iterations = 0;
+      continue;
+    }
+    if (!argValue(Argc, Argv, I, "--corpus-dir", Value, Matched))
+      return 2;
+    if (Matched) {
+      Config.CorpusDir = Value;
+      continue;
+    }
+    if (!argValue(Argc, Argv, I, "--replay", Value, Matched))
+      return 2;
+    if (Matched) {
+      ReplayDir = Value;
+      continue;
+    }
+    if (!argValue(Argc, Argv, I, "--inject-bug", Value, Matched))
+      return 2;
+    if (Matched) {
+      if (!parseBugInjection(Value, Config.Inject)) {
+        std::fprintf(stderr, "slp-fuzz: unknown --inject-bug '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (!argValue(Argc, Argv, I, "--max-failures", Value, Matched))
+      return 2;
+    if (Matched) {
+      uint64_t N = 0;
+      if (!parseU64(Value, N) || N == 0) {
+        std::fprintf(stderr, "slp-fuzz: bad --max-failures '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      Config.MaxFailures = static_cast<unsigned>(N);
+      continue;
+    }
+    if (Arg == "--no-reduce") {
+      Config.Reduce = false;
+      continue;
+    }
+    if (Arg == "--quiet") {
+      Quiet = true;
+      continue;
+    }
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    }
+    std::fprintf(stderr, "slp-fuzz: unknown option '%s'\n", Arg.c_str());
+    printUsage();
+    return 2;
+  }
+
+  if (!ReplayDir.empty()) {
+    std::vector<std::string> Errors;
+    unsigned Count = replayCorpusDir(ReplayDir, Errors);
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "FAIL %s\n", E.c_str());
+    if (!Quiet)
+      std::printf("{\n  \"replayed\": %u,\n  \"failed\": %zu\n}\n", Count,
+                  Errors.size());
+    return Errors.empty() ? 0 : 1;
+  }
+
+  FuzzOutcome Outcome = runFuzzer(Config);
+
+  for (const FuzzFailure &F : Outcome.Failures) {
+    std::fprintf(stderr, "FAILURE: %s\n", F.Reason.c_str());
+    std::fprintf(stderr, "  statements: %u -> %u (reduced)\n",
+                 F.OriginalStatements, F.ReducedStatements);
+    if (!F.FilePath.empty())
+      std::fprintf(stderr, "  repro: %s\n", F.FilePath.c_str());
+  }
+  for (const FuzzFailure &F : Outcome.InjectedDemos)
+    if (!F.FilePath.empty())
+      std::fprintf(stderr, "injected-bug demo recorded: %s\n",
+                   F.FilePath.c_str());
+
+  if (!Quiet)
+    std::printf("%s", Outcome.Stats.toJson().c_str());
+
+  if (Config.Inject != BugInjection::None && !Quiet)
+    std::fprintf(stderr,
+                 "injection '%s': %llu caught, %llu missed, %llu "
+                 "inapplicable\n",
+                 bugInjectionName(Config.Inject),
+                 static_cast<unsigned long long>(Outcome.Stats.InjectedCaught),
+                 static_cast<unsigned long long>(Outcome.Stats.InjectedMissed),
+                 static_cast<unsigned long long>(
+                     Outcome.Stats.InjectionInapplicable));
+
+  return Outcome.clean() ? 0 : 1;
+}
