@@ -1,0 +1,318 @@
+//===- bench/bench_exec_engine.cpp - Execution engine speedup ---*- C++ -*-===//
+//
+// Charts compile-once/run-many execution wall-clock for the flat-tape
+// engine versus the retained tree-walking reference interpreters, over
+// generated streaming loop kernels swept by statement count (64 → 512)
+// and SIMD datapath width (128/256 bits), for both scalar kernels and the
+// emitted vector programs. Before timing, both engines run once from
+// identical environments and the results are compared — the speedup claim
+// is only meaningful if execution is bit-identical.
+//
+// The acceptance gate of the engine work lives here: the geomean speedup
+// over kernels of >= 256 statements must be at least 5x, or the binary
+// exits non-zero. Also registers google-benchmark entries
+// (exec/<path>/<engine>/<size>[/<bits>]) so CI can track the numbers as
+// JSON; bench/exec_engine_baseline.json holds the checked-in reference
+// numbers the compile-time smoke job gates on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecEngine.h"
+#include "ir/Builder.h"
+#include "layout/Layout.h"
+#include "slp/Pipeline.h"
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace slp;
+
+namespace {
+
+// Iteration space of every generated kernel: a 2-deep nest, so the tape's
+// odometer exercises carry propagation, with enough trips that per-run
+// compile work amortizes away under both engines.
+constexpr unsigned OuterTrip = 16;
+constexpr unsigned InnerTrip = 8;
+
+// Statements per isomorphism class (before unrolling) and classes
+// sharing one operand pool. Kept tiny so the candidate set and reuse
+// graph of the grouping stage stay linear in N — the point of this
+// benchmark is execution cost, not grouping scalability.
+constexpr unsigned ClassSize = 2;
+constexpr unsigned BlockClasses = 4;
+
+/// Generates a streaming kernel of \p N statements: every statement reads
+/// the read-only pool arrays and writes a distinct per-class output array,
+/// so repeated runs reproduce identical values (timed runs reuse one
+/// environment) and class lanes form contiguous superwords. Each class
+/// gets a globally unique expression shape (opcode pair x tail kind x tail
+/// side x depth tier), so statements are isomorphic only within their
+/// class. The subscripts mix both loop indices so strength reduction has
+/// real affine work to kill.
+Kernel makeStreamKernel(unsigned N) {
+  unsigned NumClasses = N / ClassSize;
+  int64_t Elems =
+      static_cast<int64_t>(ClassSize) * OuterTrip * InnerTrip + ClassSize;
+
+  KernelBuilder B("exec" + std::to_string(N));
+  using ST = ScalarType;
+  unsigned NumBlocks = (NumClasses + BlockClasses - 1) / BlockClasses;
+  std::vector<std::array<SymbolId, 3>> Pools;
+  for (unsigned Blk = 0; Blk != NumBlocks; ++Blk) {
+    std::array<SymbolId, 3> Pool;
+    for (unsigned P = 0; P != 3; ++P)
+      Pool[P] = B.array("p" + std::to_string(Blk) + "_" + std::to_string(P),
+                        ST::Float32, {Elems}, /*ReadOnly=*/true);
+    Pools.push_back(Pool);
+  }
+  std::vector<SymbolId> Outs;
+  for (unsigned C = 0; C != NumClasses; ++C)
+    Outs.push_back(B.array("o" + std::to_string(C), ST::Float32, {Elems}));
+
+  unsigned I = B.loop("i", 0, OuterTrip);
+  unsigned J = B.loop("j", 0, InnerTrip);
+
+  static const OpCode Ops[] = {OpCode::Add, OpCode::Sub, OpCode::Mul};
+  for (unsigned S = 0; S != N; ++S) {
+    unsigned C = S / ClassSize;
+    unsigned L = S % ClassSize;
+    unsigned ShapeId = C % 36;
+    unsigned DepthTier = C / 36;
+    OpCode Op1 = Ops[ShapeId % 3];
+    OpCode Op2 = Ops[(ShapeId / 3) % 3];
+    bool ConstTail = (ShapeId / 9) % 2;
+    bool TailLeft = (ShapeId / 18) % 2;
+
+    const std::array<SymbolId, 3> &Pool = Pools[C / BlockClasses];
+
+    // Flattened lane-contiguous index: ClassSize * (InnerTrip*i + j) + L.
+    AffineExpr Idx =
+        B.idx(I, static_cast<int64_t>(ClassSize) * InnerTrip) +
+        B.idx(J, ClassSize, L);
+    ExprPtr Base = Expr::makeBinary(Op1, B.load(Pool[0], {Idx}),
+                                    B.load(Pool[1], {Idx}));
+    ExprPtr Tail = ConstTail ? B.c(0.75) : B.load(Pool[2], {Idx});
+    ExprPtr Rhs = TailLeft
+                      ? Expr::makeBinary(Op2, std::move(Tail),
+                                         std::move(Base))
+                      : Expr::makeBinary(Op2, std::move(Base),
+                                         std::move(Tail));
+    for (unsigned D = 0; D != DepthTier; ++D)
+      Rhs = B.add(std::move(Rhs), B.load(Pool[2], {Idx}));
+    B.assign(B.arrayRef(Outs[C], {Idx}), std::move(Rhs));
+  }
+  return B.take();
+}
+
+/// The candidate environment for vector execution (the equivalence
+/// check's recipe): seeded from the source kernel, extended with unroll
+/// clones and layout replicas of the final kernel.
+Environment makeVectorEnv(const Kernel &Source, const PipelineResult &R,
+                          uint64_t Seed) {
+  Environment Env(Source, Seed);
+  for (unsigned S = static_cast<unsigned>(Source.Scalars.size()),
+                E = static_cast<unsigned>(R.Final.Scalars.size());
+       S != E; ++S)
+    Env.addScalarStorage(0);
+  for (unsigned A = static_cast<unsigned>(Source.Arrays.size()),
+                E = static_cast<unsigned>(R.Final.Arrays.size());
+       A != E; ++A)
+    Env.addArrayStorage(R.Final.Arrays[A].numElements());
+  if (R.LayoutApplied)
+    initializeReplicas(R.Final, R.Layout, Env);
+  return Env;
+}
+
+/// One benchmark configuration, pipeline run once up front.
+struct ExecConfig {
+  unsigned N = 0;
+  unsigned Bits = 0;
+  Kernel K;
+  PipelineResult R;
+};
+
+ExecConfig makeConfig(unsigned N, unsigned Bits) {
+  ExecConfig C;
+  C.N = N;
+  C.Bits = Bits;
+  C.K = makeStreamKernel(N);
+  PipelineOptions Options;
+  Options.Machine = MachineModel::hypothetical(Bits);
+  // Schedule *quality* is irrelevant here (any valid vector program
+  // exercises the engines identically); skip the reuse-aware scheduling
+  // and per-group pruning so the one-time pipeline setup of the largest
+  // configurations stays fast.
+  Options.Ablation.ReuseAwareScheduling = false;
+  Options.Ablation.GroupPruning = false;
+  C.R = runPipeline(C.K, OptimizerKind::Global, Options);
+  if (!C.R.TransformationApplied) {
+    std::fprintf(stderr,
+                 "FATAL: %u-statement kernel was not vectorized at %u "
+                 "bits — the vector timing would be meaningless\n",
+                 N, Bits);
+    std::exit(1);
+  }
+  return C;
+}
+
+void assertBitIdentity(const ExecConfig &C) {
+  ExecEngine Opt(ExecEngineKind::Optimized);
+  ExecEngine Ref(ExecEngineKind::Reference);
+  Environment OptEnv(C.K, 1);
+  Environment RefEnv(C.K, 1);
+  ScalarExecStats OS = Opt.runKernel(C.K, OptEnv);
+  ScalarExecStats RS = Ref.runKernel(C.K, RefEnv);
+  if (!OptEnv.matches(RefEnv, static_cast<unsigned>(C.K.Scalars.size()),
+                      static_cast<unsigned>(C.K.Arrays.size())) ||
+      OS.AluOps != RS.AluOps || OS.ArrayLoads != RS.ArrayLoads ||
+      OS.ArrayStores != RS.ArrayStores) {
+    std::fprintf(stderr,
+                 "FATAL: engines disagree on scalar execution of the "
+                 "%u-statement kernel\n",
+                 C.N);
+    std::exit(1);
+  }
+  Environment OptVec = makeVectorEnv(C.K, C.R, 1);
+  Environment RefVec = makeVectorEnv(C.K, C.R, 1);
+  Opt.runProgram(C.R.Final, C.R.Program, OptVec);
+  Ref.runProgram(C.R.Final, C.R.Program, RefVec);
+  if (!OptVec.matches(RefVec,
+                      static_cast<unsigned>(C.R.Final.Scalars.size()),
+                      static_cast<unsigned>(C.R.Final.Arrays.size()))) {
+    std::fprintf(stderr,
+                 "FATAL: engines disagree on vector execution of the "
+                 "%u-statement kernel at %u bits\n",
+                 C.N, C.Bits);
+    std::exit(1);
+  }
+}
+
+unsigned repsFor(unsigned N) { return N <= 64 ? 60 : (N <= 256 ? 15 : 4); }
+
+/// Times compile-once/run-many scalar execution under \p Kind.
+double timeScalar(const ExecConfig &C, ExecEngineKind Kind, unsigned Reps) {
+  ExecEngine Engine(Kind);
+  CompiledScalarKernel Compiled = Engine.compileScalar(C.K);
+  Environment Env(C.K, 1);
+  uint64_t Sink = 0;
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I != Reps; ++I)
+    Sink += Engine.runScalar(Compiled, Env).AluOps;
+  auto End = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(Sink);
+  return std::chrono::duration<double>(End - Start).count() / Reps;
+}
+
+/// Times compile-once/run-many vector-program execution under \p Kind.
+double timeVector(const ExecConfig &C, ExecEngineKind Kind, unsigned Reps) {
+  ExecEngine Engine(Kind);
+  CompiledVectorKernel Compiled =
+      Engine.compileVector(C.R.Final, C.R.Program);
+  Environment Env = makeVectorEnv(C.K, C.R, 1);
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I != Reps; ++I)
+    Engine.runVector(Compiled, Env);
+  auto End = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(Env.scalarData());
+  return std::chrono::duration<double>(End - Start).count() / Reps;
+}
+
+/// Prints the sweep table and enforces the >= 5x geomean gate over
+/// kernels of >= 256 statements.
+void printSweepAndGate(const std::vector<ExecConfig> &Configs) {
+  std::printf("Execution wall-clock per run: flat-tape engine vs "
+              "tree-walking reference (bit-identity asserted per "
+              "configuration)\n");
+  std::printf("%6s %5s %13s %13s %8s %13s %13s %8s\n", "stmts", "bits",
+              "scal-ref(ms)", "scal-opt(ms)", "speedup", "vec-ref(ms)",
+              "vec-opt(ms)", "speedup");
+  double LogSum = 0;
+  unsigned LogCount = 0;
+  for (const ExecConfig &C : Configs) {
+    assertBitIdentity(C);
+    unsigned Reps = repsFor(C.N);
+    double ScalRef = timeScalar(C, ExecEngineKind::Reference, Reps);
+    double ScalOpt = timeScalar(C, ExecEngineKind::Optimized, Reps);
+    double VecRef = timeVector(C, ExecEngineKind::Reference, Reps);
+    double VecOpt = timeVector(C, ExecEngineKind::Optimized, Reps);
+    double ScalSpeedup = ScalRef / ScalOpt;
+    double VecSpeedup = VecRef / VecOpt;
+    std::printf("%6u %5u %13.3f %13.3f %7.1fx %13.3f %13.3f %7.1fx\n",
+                C.N, C.Bits, 1e3 * ScalRef, 1e3 * ScalOpt, ScalSpeedup,
+                1e3 * VecRef, 1e3 * VecOpt, VecSpeedup);
+    if (C.N >= 256) {
+      LogSum += std::log(ScalSpeedup) + std::log(VecSpeedup);
+      LogCount += 2;
+    }
+  }
+  double Geomean = std::exp(LogSum / LogCount);
+  std::printf("\ngeomean speedup (kernels >= 256 statements): %.1fx "
+              "(gate: >= 5x)\n\n",
+              Geomean);
+  if (Geomean < 5.0) {
+    std::fprintf(stderr,
+                 "FATAL: geomean speedup %.2fx is below the 5x "
+                 "acceptance gate\n",
+                 Geomean);
+    std::exit(1);
+  }
+}
+
+void registerExecBench(const ExecConfig *C, ExecEngineKind Kind) {
+  std::string Scalar = std::string("exec/scalar/") + execEngineName(Kind) +
+                       "/" + std::to_string(C->N);
+  // Scalar execution is datapath-independent; register it once.
+  if (C->Bits == 128)
+    benchmark::RegisterBenchmark(
+        Scalar.c_str(), [C, Kind](benchmark::State &S) {
+          ExecEngine Engine(Kind);
+          CompiledScalarKernel Compiled = Engine.compileScalar(C->K);
+          Environment Env(C->K, 1);
+          for (auto _ : S) {
+            ScalarExecStats Stats = Engine.runScalar(Compiled, Env);
+            benchmark::DoNotOptimize(Stats.AluOps);
+          }
+        });
+  std::string Vector = std::string("exec/vector/") + execEngineName(Kind) +
+                       "/" + std::to_string(C->N) + "/" +
+                       std::to_string(C->Bits);
+  benchmark::RegisterBenchmark(
+      Vector.c_str(), [C, Kind](benchmark::State &S) {
+        ExecEngine Engine(Kind);
+        CompiledVectorKernel Compiled =
+            Engine.compileVector(C->R.Final, C->R.Program);
+        Environment Env = makeVectorEnv(C->K, C->R, 1);
+        for (auto _ : S) {
+          Engine.runVector(Compiled, Env);
+          benchmark::DoNotOptimize(Env.scalarData());
+        }
+      });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<ExecConfig> Configs;
+  for (unsigned N : {64u, 256u, 512u})
+    for (unsigned Bits : {128u, 256u})
+      Configs.push_back(makeConfig(N, Bits));
+
+  printSweepAndGate(Configs);
+
+  for (const ExecConfig &C : Configs)
+    for (ExecEngineKind Kind :
+         {ExecEngineKind::Optimized, ExecEngineKind::Reference})
+      registerExecBench(&C, Kind);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

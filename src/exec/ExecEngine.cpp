@@ -1,0 +1,107 @@
+//===- exec/ExecEngine.cpp ------------------------------------*- C++ -*-===//
+
+#include "exec/ExecEngine.h"
+
+#include "support/Statistics.h"
+#include "vector/VectorInterp.h"
+
+#include <cstdlib>
+
+using namespace slp;
+
+const char *slp::execEngineName(ExecEngineKind Kind) {
+  switch (Kind) {
+  case ExecEngineKind::Optimized:
+    return "optimized";
+  case ExecEngineKind::Reference:
+    return "reference";
+  }
+  return "<invalid>";
+}
+
+std::optional<ExecEngineKind>
+slp::parseExecEngineName(const std::string &Name) {
+  if (Name == "optimized")
+    return ExecEngineKind::Optimized;
+  if (Name == "reference")
+    return ExecEngineKind::Reference;
+  return std::nullopt;
+}
+
+ExecEngineKind slp::defaultExecEngineKind() {
+  if (const char *Env = std::getenv("SLP_EXEC_ENGINE"))
+    if (std::optional<ExecEngineKind> Kind = parseExecEngineName(Env))
+      return *Kind;
+  return ExecEngineKind::Optimized;
+}
+
+Environment &EnvironmentPool::acquire(const Kernel &K, uint64_t Seed) {
+  if (InUse < Slots.size()) {
+    Environment &Env = *Slots[InUse++];
+    Env.reset(K, Seed);
+    if (Counters)
+      ++Counters->EnvReuses;
+    return Env;
+  }
+  Slots.push_back(std::make_unique<Environment>(K, Seed));
+  ++InUse;
+  if (Counters)
+    ++Counters->EnvConstructions;
+  return *Slots.back();
+}
+
+CompiledScalarKernel ExecEngine::compileScalar(const Kernel &K) {
+  CompiledScalarKernel C;
+  C.K = &K;
+  if (Kind == ExecEngineKind::Optimized) {
+    C.Tape = compileScalarTape(K);
+    C.UseTape = true;
+    ++Counters.ScalarTapesCompiled;
+  }
+  return C;
+}
+
+CompiledVectorKernel ExecEngine::compileVector(const Kernel &K,
+                                               const VectorProgram &Program) {
+  CompiledVectorKernel C;
+  C.K = &K;
+  C.Program = &Program;
+  if (Kind == ExecEngineKind::Optimized) {
+    C.Tape = compileVectorTape(K, Program);
+    C.UseTape = true;
+    ++Counters.VectorTapesCompiled;
+  }
+  return C;
+}
+
+ScalarExecStats ExecEngine::runScalar(const CompiledScalarKernel &C,
+                                      Environment &Env) {
+  if (C.UseTape)
+    return runTape(*C.K, C.Tape, Env, Arena, &Counters);
+  ++Counters.ReferenceRuns;
+  return runKernelScalar(*C.K, Env);
+}
+
+void ExecEngine::runVector(const CompiledVectorKernel &C, Environment &Env) {
+  if (C.UseTape) {
+    runTape(*C.K, C.Tape, Env, Arena, &Counters);
+    return;
+  }
+  ++Counters.ReferenceRuns;
+  runVectorProgram(*C.K, *C.Program, Env);
+}
+
+void slp::reportExecCounters(const ExecCounters &C, Statistics &S) {
+  S.add("exec.scalar-tapes-compiled", C.ScalarTapesCompiled);
+  S.add("exec.vector-tapes-compiled", C.VectorTapesCompiled);
+  S.add("exec.tape-runs", C.TapeRuns);
+  S.add("exec.tape-ops-executed", C.TapeOpsExecuted);
+  S.add("exec.block-iterations", C.BlockIterations);
+  S.add("exec.addr-full-evals", C.AddrFullEvals);
+  S.add("exec.addr-increments", C.AddrIncrements);
+  S.add("exec.arena-reuses", C.ArenaReuses);
+  S.add("exec.arena-growths", C.ArenaGrowths);
+  S.add("exec.env-reuses", C.EnvReuses);
+  S.add("exec.env-constructions", C.EnvConstructions);
+  S.add("exec.reference-runs", C.ReferenceRuns);
+}

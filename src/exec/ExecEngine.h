@@ -1,0 +1,153 @@
+//===- exec/ExecEngine.h - Optimized/Reference execution engines -*- C++ -*-===//
+///
+/// \file
+/// The compile-once/run-many execution engine behind `--exec-engine=`,
+/// mirroring the grouping subsystem's Optimized/Reference split:
+///
+///  * `ExecEngineKind::Optimized` lowers kernels and vector programs to
+///    flat tapes (exec/Tape.h) and executes them out of pooled arenas —
+///    strength-reduced addressing, no tree walking, no per-run allocation.
+///  * `ExecEngineKind::Reference` delegates every run to the tree-walking
+///    interpreters (`runKernelScalar`, `runVectorProgram`), which remain
+///    the semantic ground truth.
+///
+/// Both engines are bit-identical by contract; the differential test suite
+/// (tests/exec/ExecEngineDifferentialTest.cpp) holds them to it. The engine
+/// also owns an `EnvironmentPool` so hot callers (the fuzzer, equivalence
+/// checking) reset environments in place instead of reconstructing them,
+/// and an `ExecCounters` block surfaced through `--stats`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_EXEC_EXECENGINE_H
+#define SLP_EXEC_EXECENGINE_H
+
+#include "exec/Tape.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace slp {
+
+class Statistics;
+
+/// Which execution engine runs kernels and vector programs.
+enum class ExecEngineKind : uint8_t {
+  Optimized, ///< flat-tape compiled execution (the default)
+  Reference, ///< tree-walking interpreters (ground truth)
+};
+
+/// CLI spelling of \p Kind ("optimized" / "reference").
+const char *execEngineName(ExecEngineKind Kind);
+
+/// Parses a CLI spelling; nullopt when unrecognized.
+std::optional<ExecEngineKind> parseExecEngineName(const std::string &Name);
+
+/// Engine used when the caller does not choose one: Optimized, unless the
+/// SLP_EXEC_ENGINE environment variable overrides it (exported by CI to
+/// run existing equivalence-heavy test shards under either engine).
+ExecEngineKind defaultExecEngineKind();
+
+/// A pool of reusable Environments. `acquire` returns an environment
+/// freshly seeded for a kernel — bit-identical to `Environment(K, Seed)`
+/// — reusing a previously released pool slot when one exists.
+///
+/// Release is scope-based, not per-object: record `mark()` before a batch
+/// of acquires and `releaseTo(Mark)` afterwards. References returned by
+/// `acquire` are invalidated by `releaseTo`/`releaseAll`, not by further
+/// `acquire` calls.
+class EnvironmentPool {
+public:
+  Environment &acquire(const Kernel &K, uint64_t Seed);
+
+  size_t mark() const { return InUse; }
+  void releaseTo(size_t Mark) {
+    assert(Mark <= InUse && "releasing environments never acquired");
+    InUse = Mark;
+  }
+  void releaseAll() { InUse = 0; }
+
+  /// Points the pool's reuse/construction telemetry at \p C.
+  void setCounters(ExecCounters *C) { Counters = C; }
+
+private:
+  std::vector<std::unique_ptr<Environment>> Slots;
+  size_t InUse = 0;
+  ExecCounters *Counters = nullptr;
+};
+
+/// A kernel compiled for repeated scalar execution. Holds a pointer to the
+/// kernel, which must outlive the compiled form.
+struct CompiledScalarKernel {
+  const Kernel *K = nullptr;
+  CompiledTape Tape;
+  bool UseTape = false;
+};
+
+/// A vector program compiled for repeated execution. Kernel and program
+/// must outlive the compiled form.
+struct CompiledVectorKernel {
+  const Kernel *K = nullptr;
+  const VectorProgram *Program = nullptr;
+  CompiledTape Tape;
+  bool UseTape = false;
+};
+
+/// One execution engine: a kind, the pooled run-time arena, an
+/// environment pool, and counters. Engines are cheap to construct but
+/// meant to be long-lived so arenas amortize; they are not thread-safe —
+/// use one per thread.
+class ExecEngine {
+public:
+  explicit ExecEngine(ExecEngineKind Kind = defaultExecEngineKind())
+      : Kind(Kind) {
+    Pool.setCounters(&Counters);
+  }
+
+  ExecEngineKind kind() const { return Kind; }
+
+  /// Compiles \p K for scalar execution (a no-op wrapper under Reference).
+  CompiledScalarKernel compileScalar(const Kernel &K);
+
+  /// Compiles \p Program over \p K for vector execution.
+  CompiledVectorKernel compileVector(const Kernel &K,
+                                     const VectorProgram &Program);
+
+  /// Executes a compiled scalar kernel, mutating \p Env.
+  ScalarExecStats runScalar(const CompiledScalarKernel &C, Environment &Env);
+
+  /// Executes a compiled vector program, mutating \p Env.
+  void runVector(const CompiledVectorKernel &C, Environment &Env);
+
+  /// One-shot convenience: compile + run scalar.
+  ScalarExecStats runKernel(const Kernel &K, Environment &Env) {
+    CompiledScalarKernel C = compileScalar(K);
+    return runScalar(C, Env);
+  }
+
+  /// One-shot convenience: compile + run vector.
+  void runProgram(const Kernel &K, const VectorProgram &Program,
+                  Environment &Env) {
+    CompiledVectorKernel C = compileVector(K, Program);
+    runVector(C, Env);
+  }
+
+  EnvironmentPool &envPool() { return Pool; }
+  ExecCounters &counters() { return Counters; }
+  const ExecCounters &counters() const { return Counters; }
+
+private:
+  ExecEngineKind Kind;
+  ExecArena Arena;
+  EnvironmentPool Pool;
+  ExecCounters Counters;
+};
+
+/// Publishes \p C into \p S under "exec."-prefixed counter names
+/// (`--stats`).
+void reportExecCounters(const ExecCounters &C, Statistics &S);
+
+} // namespace slp
+
+#endif // SLP_EXEC_EXECENGINE_H

@@ -1,0 +1,647 @@
+//===- exec/Tape.cpp ------------------------------------------*- C++ -*-===//
+
+#include "exec/Tape.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+using namespace slp;
+
+namespace {
+
+/// Shared lowering state: address-slot interning, the constant pool, and
+/// the op stream under construction.
+class TapeBuilder {
+public:
+  explicit TapeBuilder(const Kernel &K) : K(K) {
+    T.Depth = static_cast<unsigned>(K.Loops.size());
+    T.TotalIterations = K.totalIterations();
+    for (const Loop &L : K.Loops)
+      T.TripCounts.push_back(L.tripCount());
+  }
+
+  /// Interns an address slot for the array operand \p Op: one full affine
+  /// flattening at compile time, evaluated at the nest's lower bounds,
+  /// plus the per-level odometer carry deltas.
+  uint32_t addrSlot(const Operand &Op) {
+    assert(Op.isArray() && "address slots are for array references");
+    const ArraySymbol &A = K.array(Op.symbol());
+    AffineExpr Flat = flattenArrayRef(A, Op.subscripts());
+    std::string Key = std::to_string(Op.symbol()) + "|" + Flat.key();
+    auto [It, Inserted] =
+        SlotOf.try_emplace(Key, static_cast<uint32_t>(T.AddrArray.size()));
+    if (!Inserted)
+      return It->second;
+
+    unsigned Depth = T.Depth;
+    assert(Flat.numDims() <= Depth &&
+           "array subscript references a deeper loop than the nest has");
+    int64_t Base = Flat.constant();
+    for (unsigned D = 0; D != Depth; ++D)
+      Base += Flat.coeff(D) * K.Loops[D].Lower;
+    T.AddrArray.push_back(Op.symbol());
+    T.AddrBase.push_back(Base);
+    T.AddrLimit.push_back(A.numElements());
+    // Carry into level D: index D steps once while every inner index
+    // rewinds from its last value back to its lower bound.
+    for (unsigned D = 0; D != Depth; ++D) {
+      int64_t Delta = Flat.coeff(D) * K.Loops[D].Step;
+      for (unsigned Inner = D + 1; Inner != Depth; ++Inner)
+        Delta -= Flat.coeff(Inner) * K.Loops[Inner].Step *
+                 (K.Loops[Inner].tripCount() - 1);
+      T.AddrCarryDelta.push_back(Delta);
+    }
+    return It->second;
+  }
+
+  uint32_t constSlot(double Value) {
+    T.ConstPool.push_back(Value);
+    return static_cast<uint32_t>(T.ConstPool.size() - 1);
+  }
+
+  void emit(TapeOp Op) { T.Ops.push_back(Op); }
+
+  /// Lowers \p E with an explicit evaluation stack rooted at value slot
+  /// \p SP; the result lands in slot SP. Emission order matches the
+  /// recursive reference evaluator (left subtree, right subtree, op), so
+  /// loads hit memory in the identical order.
+  void emitExpr(const Expr &E, unsigned SP) {
+    noteValueSlot(SP);
+    if (E.isLeaf()) {
+      const Operand &Op = E.leaf();
+      TapeOp O;
+      O.Dst = SP;
+      switch (Op.kind()) {
+      case Operand::Kind::Constant:
+        O.Opc = TapeOpc::Const;
+        O.A = constSlot(Op.constantValue());
+        break;
+      case Operand::Kind::Scalar:
+        O.Opc = TapeOpc::LoadScalar;
+        O.A = Op.symbol();
+        break;
+      case Operand::Kind::Array:
+        O.Opc = TapeOpc::LoadArray;
+        O.A = Op.symbol();
+        O.B = addrSlot(Op);
+        ++T.ArrayLoadsPerIter;
+        break;
+      }
+      emit(O);
+      return;
+    }
+    emitExpr(E.child(0), SP);
+    if (E.numChildren() > 1)
+      emitExpr(E.child(1), SP + 1);
+    TapeOp O;
+    O.Dst = SP;
+    O.A = SP;
+    O.B = SP + 1;
+    switch (E.opcode()) {
+    case OpCode::Add:
+      O.Opc = TapeOpc::Add;
+      break;
+    case OpCode::Sub:
+      O.Opc = TapeOpc::Sub;
+      break;
+    case OpCode::Mul:
+      O.Opc = TapeOpc::Mul;
+      break;
+    case OpCode::Div:
+      O.Opc = TapeOpc::Div;
+      break;
+    case OpCode::Min:
+      O.Opc = TapeOpc::Min;
+      break;
+    case OpCode::Max:
+      O.Opc = TapeOpc::Max;
+      break;
+    case OpCode::Neg:
+      O.Opc = TapeOpc::Neg;
+      break;
+    case OpCode::Sqrt:
+      O.Opc = TapeOpc::Sqrt;
+      break;
+    case OpCode::Abs:
+      O.Opc = TapeOpc::Abs;
+      break;
+    }
+    ++T.AluOpsPerIter;
+    emit(O);
+  }
+
+  /// Lowers one whole statement: rhs into value slot 0, then the store.
+  void emitStatement(const Statement &S) {
+    emitExpr(S.rhs(), 0);
+    const Operand &Lhs = S.lhs();
+    TapeOp O;
+    O.Dst = 0;
+    if (Lhs.isScalar()) {
+      bool Float = isFloatType(K.scalar(Lhs.symbol()).Ty);
+      O.Opc = Float ? TapeOpc::StoreScalar : TapeOpc::StoreScalarInt;
+      O.A = Lhs.symbol();
+    } else {
+      assert(Lhs.isArray() && "cannot store to a constant");
+      bool Float = isFloatType(K.array(Lhs.symbol()).Ty);
+      O.Opc = Float ? TapeOpc::StoreArray : TapeOpc::StoreArrayInt;
+      O.A = Lhs.symbol();
+      O.B = addrSlot(Lhs);
+      ++T.ArrayStoresPerIter;
+    }
+    emit(O);
+  }
+
+  void noteValueSlot(unsigned SP) {
+    if (SP + 1 > T.NumValueSlots)
+      T.NumValueSlots = SP + 1;
+  }
+
+  size_t permStart() const { return T.PermPool.size(); }
+
+  void appendPerm(const std::vector<unsigned> &Perm) {
+    T.PermPool.insert(T.PermPool.end(), Perm.begin(), Perm.end());
+  }
+
+  CompiledTape take() { return std::move(T); }
+
+  const Kernel &K;
+
+private:
+  CompiledTape T;
+  std::unordered_map<std::string, uint32_t> SlotOf;
+};
+
+/// True when \p LaneOps are the lanes of one contiguous stride-1 run over
+/// a single array: lane l's flattened offset equals lane 0's plus l, with
+/// identical loop-index coefficients. Such packs execute as one vector
+/// memory operation on the tape.
+bool isContiguousRun(const Kernel &K, const std::vector<Operand> &LaneOps) {
+  if (LaneOps.empty() || !LaneOps[0].isArray())
+    return false;
+  const ArraySymbol &A = K.array(LaneOps[0].symbol());
+  AffineExpr Flat0 = flattenArrayRef(A, LaneOps[0].subscripts());
+  for (unsigned L = 1, E = static_cast<unsigned>(LaneOps.size()); L != E;
+       ++L) {
+    if (!LaneOps[L].isArray() || LaneOps[L].symbol() != LaneOps[0].symbol())
+      return false;
+    AffineExpr Diff =
+        flattenArrayRef(A, LaneOps[L].subscripts()) - Flat0;
+    if (!Diff.isConstant() || Diff.constant() != static_cast<int64_t>(L))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+CompiledTape slp::compileScalarTape(const Kernel &K) {
+  TapeBuilder B(K);
+  for (const Statement &S : K.Body)
+    B.emitStatement(S);
+  return B.take();
+}
+
+CompiledTape slp::compileVectorTape(const Kernel &K,
+                                    const VectorProgram &Program) {
+  TapeBuilder B(K);
+
+  unsigned MaxLanes = 1;
+  for (const VInst &I : Program.Insts)
+    MaxLanes = std::max(MaxLanes, I.Lanes);
+
+  // Static width of each vector register as the straight-line program
+  // executes, mirroring the reference interpreter's resize-on-write
+  // semantics so its width assertions hold at compile time instead.
+  std::vector<unsigned> Width(Program.NumVRegs, 0);
+
+  for (const VInst &I : Program.Insts) {
+    switch (I.Kind) {
+    case VInstKind::LoadPack: {
+      assert(I.LaneOps.size() == I.Lanes && "lane operand count mismatch");
+      if (isContiguousRun(K, I.LaneOps)) {
+        TapeOp O;
+        O.Opc = TapeOpc::VLoadContig;
+        O.Lanes = static_cast<uint16_t>(I.Lanes);
+        O.NoAlias = 1;
+        O.Dst = I.Dst;
+        O.A = I.LaneOps[0].symbol();
+        O.B = B.addrSlot(I.LaneOps[0]);
+        B.emit(O);
+      } else {
+        for (unsigned L = 0; L != I.Lanes; ++L) {
+          const Operand &Op = I.LaneOps[L];
+          TapeOp O;
+          O.Lane = static_cast<uint8_t>(L);
+          O.Dst = I.Dst;
+          switch (Op.kind()) {
+          case Operand::Kind::Constant:
+            O.Opc = TapeOpc::VInsertConst;
+            O.A = B.constSlot(Op.constantValue());
+            break;
+          case Operand::Kind::Scalar:
+            O.Opc = TapeOpc::VInsertScalar;
+            O.A = Op.symbol();
+            break;
+          case Operand::Kind::Array:
+            O.Opc = TapeOpc::VInsertArray;
+            O.A = Op.symbol();
+            O.B = B.addrSlot(Op);
+            break;
+          }
+          B.emit(O);
+        }
+      }
+      Width[I.Dst] = I.Lanes;
+      break;
+    }
+    case VInstKind::StorePack: {
+      assert(I.LaneOps.size() == I.Lanes && "lane operand count mismatch");
+      assert(Width[I.Src0] == I.Lanes && "register width mismatch");
+      bool Contig = isContiguousRun(K, I.LaneOps);
+      if (Contig) {
+        bool Float = isFloatType(K.array(I.LaneOps[0].symbol()).Ty);
+        TapeOp O;
+        O.Opc = Float ? TapeOpc::VStoreContig : TapeOpc::VStoreContigInt;
+        O.Lanes = static_cast<uint16_t>(I.Lanes);
+        O.NoAlias = 1;
+        O.Dst = I.Src0;
+        O.A = I.LaneOps[0].symbol();
+        O.B = B.addrSlot(I.LaneOps[0]);
+        B.emit(O);
+      } else {
+        for (unsigned L = 0; L != I.Lanes; ++L) {
+          const Operand &Target = I.LaneOps[L];
+          TapeOp O;
+          O.Lane = static_cast<uint8_t>(L);
+          O.Dst = I.Src0;
+          if (Target.isScalar()) {
+            bool Float = isFloatType(K.scalar(Target.symbol()).Ty);
+            O.Opc = Float ? TapeOpc::VExtractScalar
+                          : TapeOpc::VExtractScalarInt;
+            O.A = Target.symbol();
+          } else {
+            assert(Target.isArray() && "cannot store to a constant");
+            bool Float = isFloatType(K.array(Target.symbol()).Ty);
+            O.Opc =
+                Float ? TapeOpc::VExtractArray : TapeOpc::VExtractArrayInt;
+            O.A = Target.symbol();
+            O.B = B.addrSlot(Target);
+          }
+          B.emit(O);
+        }
+      }
+      break;
+    }
+    case VInstKind::Shuffle: {
+      assert(I.Perm.size() == I.Lanes && "permutation width mismatch");
+      TapeOp O;
+      O.Opc = I.Dst == I.Src0 ? TapeOpc::VShuffleInPlace : TapeOpc::VShuffle;
+      O.NoAlias = I.Dst != I.Src0;
+      O.Lanes = static_cast<uint16_t>(I.Lanes);
+      O.Dst = I.Dst;
+      O.A = I.Src0;
+      O.B = static_cast<uint32_t>(B.permStart());
+      for (unsigned P : I.Perm) {
+        assert(P < Width[I.Src0] && "shuffle lane out of range");
+        (void)P;
+      }
+      B.appendPerm(I.Perm);
+      B.emit(O);
+      Width[I.Dst] = I.Lanes;
+      break;
+    }
+    case VInstKind::VectorOp: {
+      assert(Width[I.Src0] >= I.Lanes && "source register too narrow");
+      TapeOp O;
+      O.Lanes = static_cast<uint16_t>(I.Lanes);
+      O.Dst = I.Dst;
+      O.A = I.Src0;
+      if (I.UnaryOp) {
+        O.NoAlias = I.Dst != I.Src0;
+        switch (I.Op) {
+        case OpCode::Neg:
+          O.Opc = TapeOpc::VNeg;
+          break;
+        case OpCode::Sqrt:
+          O.Opc = TapeOpc::VSqrt;
+          break;
+        case OpCode::Abs:
+          O.Opc = TapeOpc::VAbs;
+          break;
+        default:
+          slpUnreachable("binary opcode marked unary");
+        }
+      } else {
+        assert(Width[I.Src1] >= I.Lanes && "source register too narrow");
+        O.B = I.Src1;
+        O.NoAlias = I.Dst != I.Src0 && I.Dst != I.Src1;
+        switch (I.Op) {
+        case OpCode::Add:
+          O.Opc = TapeOpc::VAdd;
+          break;
+        case OpCode::Sub:
+          O.Opc = TapeOpc::VSub;
+          break;
+        case OpCode::Mul:
+          O.Opc = TapeOpc::VMul;
+          break;
+        case OpCode::Div:
+          O.Opc = TapeOpc::VDiv;
+          break;
+        case OpCode::Min:
+          O.Opc = TapeOpc::VMin;
+          break;
+        case OpCode::Max:
+          O.Opc = TapeOpc::VMax;
+          break;
+        default:
+          slpUnreachable("unary opcode marked binary");
+        }
+      }
+      B.emit(O);
+      Width[I.Dst] = I.Lanes;
+      break;
+    }
+    case VInstKind::ScalarExec:
+      B.emitStatement(K.Body.statement(I.StmtId));
+      break;
+    }
+  }
+
+  CompiledTape T = B.take();
+  T.NumVRegs = Program.NumVRegs;
+  T.VRegStride = MaxLanes;
+  return T;
+}
+
+namespace {
+
+inline double truncStore(double V) { return std::trunc(V); }
+
+} // namespace
+
+ScalarExecStats slp::runTape(const Kernel &K, const CompiledTape &T,
+                             Environment &Env, ExecArena &Arena,
+                             ExecCounters *Counters) {
+  ScalarExecStats Stats;
+  const int64_t Total = T.TotalIterations;
+  if (Counters)
+    ++Counters->TapeRuns;
+  if (Total == 0)
+    return Stats;
+
+  // -- bind the arena (grow-only; steady state allocates nothing) --------
+  bool Grew = false;
+  auto EnsureSize = [&Grew](auto &Vec, size_t N) {
+    if (Vec.size() < N) {
+      Vec.resize(N);
+      Grew = true;
+    }
+  };
+  EnsureSize(Arena.Values, T.NumValueSlots);
+  EnsureSize(Arena.VLanes,
+             static_cast<size_t>(T.NumVRegs + 1) * T.VRegStride);
+  EnsureSize(Arena.Addrs, T.numAddrSlots());
+  EnsureSize(Arena.ArrayBases, K.Arrays.size());
+  EnsureSize(Arena.OdoPos, T.Depth);
+
+  const unsigned NumSlots = T.numAddrSlots();
+  for (unsigned S = 0; S != NumSlots; ++S)
+    Arena.Addrs[S] = T.AddrBase[S];
+  for (unsigned A = 0, E = static_cast<unsigned>(K.Arrays.size()); A != E;
+       ++A)
+    Arena.ArrayBases[A] = Env.arrayBuffer(A).data();
+  for (unsigned D = 0; D != T.Depth; ++D)
+    Arena.OdoPos[D] = 0;
+
+  if (Counters) {
+    ++(Grew ? Counters->ArenaGrowths : Counters->ArenaReuses);
+    Counters->AddrFullEvals += NumSlots;
+  }
+
+  const TapeOp *const Ops = T.Ops.data();
+  const size_t NumOps = T.Ops.size();
+  double *const V = Arena.Values.data();
+  double *const VL = Arena.VLanes.data();
+  int64_t *const Addr = Arena.Addrs.data();
+  double *const *const Bases = Arena.ArrayBases.data();
+  double *const Scalars = Env.scalarData();
+  const double *const CP = T.ConstPool.data();
+  const unsigned *const PP = T.PermPool.data();
+  const size_t Stride = T.VRegStride;
+  double *const Scratch = VL + static_cast<size_t>(T.NumVRegs) * Stride;
+  int64_t *const Pos = Arena.OdoPos.data();
+  const int64_t *const Trips = T.TripCounts.data();
+  const int64_t *const Limits = T.AddrLimit.data();
+  (void)Limits;
+
+  int64_t Iter = 0;
+  while (true) {
+    for (size_t I = 0; I != NumOps; ++I) {
+      const TapeOp &O = Ops[I];
+      switch (O.Opc) {
+      case TapeOpc::Const:
+        V[O.Dst] = CP[O.A];
+        break;
+      case TapeOpc::LoadScalar:
+        V[O.Dst] = Scalars[O.A];
+        break;
+      case TapeOpc::LoadArray:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        V[O.Dst] = Bases[O.A][Addr[O.B]];
+        break;
+      case TapeOpc::Add:
+        V[O.Dst] = V[O.A] + V[O.B];
+        break;
+      case TapeOpc::Sub:
+        V[O.Dst] = V[O.A] - V[O.B];
+        break;
+      case TapeOpc::Mul:
+        V[O.Dst] = V[O.A] * V[O.B];
+        break;
+      case TapeOpc::Div:
+        V[O.Dst] = V[O.A] / V[O.B];
+        break;
+      case TapeOpc::Min:
+        V[O.Dst] = std::fmin(V[O.A], V[O.B]);
+        break;
+      case TapeOpc::Max:
+        V[O.Dst] = std::fmax(V[O.A], V[O.B]);
+        break;
+      case TapeOpc::Neg:
+        V[O.Dst] = -V[O.A];
+        break;
+      case TapeOpc::Sqrt:
+        // Matches the interpreters: sqrt of the magnitude stays real.
+        V[O.Dst] = std::sqrt(std::fabs(V[O.A]));
+        break;
+      case TapeOpc::Abs:
+        V[O.Dst] = std::fabs(V[O.A]);
+        break;
+      case TapeOpc::StoreScalar:
+        Scalars[O.A] = V[O.Dst];
+        break;
+      case TapeOpc::StoreScalarInt:
+        Scalars[O.A] = truncStore(V[O.Dst]);
+        break;
+      case TapeOpc::StoreArray:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        Bases[O.A][Addr[O.B]] = V[O.Dst];
+        break;
+      case TapeOpc::StoreArrayInt:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        Bases[O.A][Addr[O.B]] = truncStore(V[O.Dst]);
+        break;
+      case TapeOpc::VLoadContig: {
+        assert(Addr[O.B] >= 0 && Addr[O.B] + O.Lanes <= Limits[O.B] &&
+               "vector load out of bounds");
+        const double *__restrict Src = Bases[O.A] + Addr[O.B];
+        double *__restrict Dst = VL + O.Dst * Stride;
+        for (unsigned L = 0; L != O.Lanes; ++L)
+          Dst[L] = Src[L];
+        break;
+      }
+      case TapeOpc::VStoreContig: {
+        assert(Addr[O.B] >= 0 && Addr[O.B] + O.Lanes <= Limits[O.B] &&
+               "vector store out of bounds");
+        const double *__restrict Src = VL + O.Dst * Stride;
+        double *__restrict Dst = Bases[O.A] + Addr[O.B];
+        for (unsigned L = 0; L != O.Lanes; ++L)
+          Dst[L] = Src[L];
+        break;
+      }
+      case TapeOpc::VStoreContigInt: {
+        assert(Addr[O.B] >= 0 && Addr[O.B] + O.Lanes <= Limits[O.B] &&
+               "vector store out of bounds");
+        const double *__restrict Src = VL + O.Dst * Stride;
+        double *__restrict Dst = Bases[O.A] + Addr[O.B];
+        for (unsigned L = 0; L != O.Lanes; ++L)
+          Dst[L] = truncStore(Src[L]);
+        break;
+      }
+      case TapeOpc::VInsertConst:
+        VL[O.Dst * Stride + O.Lane] = CP[O.A];
+        break;
+      case TapeOpc::VInsertScalar:
+        VL[O.Dst * Stride + O.Lane] = Scalars[O.A];
+        break;
+      case TapeOpc::VInsertArray:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        VL[O.Dst * Stride + O.Lane] = Bases[O.A][Addr[O.B]];
+        break;
+      case TapeOpc::VExtractScalar:
+        Scalars[O.A] = VL[O.Dst * Stride + O.Lane];
+        break;
+      case TapeOpc::VExtractScalarInt:
+        Scalars[O.A] = truncStore(VL[O.Dst * Stride + O.Lane]);
+        break;
+      case TapeOpc::VExtractArray:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        Bases[O.A][Addr[O.B]] = VL[O.Dst * Stride + O.Lane];
+        break;
+      case TapeOpc::VExtractArrayInt:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        Bases[O.A][Addr[O.B]] = truncStore(VL[O.Dst * Stride + O.Lane]);
+        break;
+      case TapeOpc::VShuffle: {
+        const double *__restrict Src = VL + O.A * Stride;
+        double *__restrict Dst = VL + O.Dst * Stride;
+        const unsigned *__restrict Perm = PP + O.B;
+        for (unsigned L = 0; L != O.Lanes; ++L)
+          Dst[L] = Src[Perm[L]];
+        break;
+      }
+      case TapeOpc::VShuffleInPlace: {
+        double *Reg = VL + O.Dst * Stride;
+        const unsigned *Perm = PP + O.B;
+        for (unsigned L = 0; L != O.Lanes; ++L)
+          Scratch[L] = Reg[L];
+        for (unsigned L = 0; L != O.Lanes; ++L)
+          Reg[L] = Scratch[Perm[L]];
+        break;
+      }
+
+#define SLP_VECTOR_BINOP(CASE, EXPR)                                       \
+  case TapeOpc::CASE: {                                                    \
+    if (O.NoAlias) {                                                       \
+      const double *__restrict A = VL + O.A * Stride;                      \
+      const double *__restrict B = VL + O.B * Stride;                      \
+      double *__restrict D = VL + O.Dst * Stride;                          \
+      for (unsigned L = 0; L != O.Lanes; ++L)                              \
+        D[L] = EXPR;                                                       \
+    } else {                                                               \
+      const double *A = VL + O.A * Stride;                                 \
+      const double *B = VL + O.B * Stride;                                 \
+      double *D = VL + O.Dst * Stride;                                     \
+      for (unsigned L = 0; L != O.Lanes; ++L)                              \
+        D[L] = EXPR;                                                       \
+    }                                                                      \
+    break;                                                                 \
+  }
+        SLP_VECTOR_BINOP(VAdd, A[L] + B[L])
+        SLP_VECTOR_BINOP(VSub, A[L] - B[L])
+        SLP_VECTOR_BINOP(VMul, A[L] * B[L])
+        SLP_VECTOR_BINOP(VDiv, A[L] / B[L])
+        SLP_VECTOR_BINOP(VMin, std::fmin(A[L], B[L]))
+        SLP_VECTOR_BINOP(VMax, std::fmax(A[L], B[L]))
+#undef SLP_VECTOR_BINOP
+
+#define SLP_VECTOR_UNOP(CASE, EXPR)                                        \
+  case TapeOpc::CASE: {                                                    \
+    if (O.NoAlias) {                                                       \
+      const double *__restrict A = VL + O.A * Stride;                      \
+      double *__restrict D = VL + O.Dst * Stride;                          \
+      for (unsigned L = 0; L != O.Lanes; ++L)                              \
+        D[L] = EXPR;                                                       \
+    } else {                                                               \
+      const double *A = VL + O.A * Stride;                                 \
+      double *D = VL + O.Dst * Stride;                                     \
+      for (unsigned L = 0; L != O.Lanes; ++L)                              \
+        D[L] = EXPR;                                                       \
+    }                                                                      \
+    break;                                                                 \
+  }
+        SLP_VECTOR_UNOP(VNeg, -A[L])
+        SLP_VECTOR_UNOP(VSqrt, std::sqrt(std::fabs(A[L])))
+        SLP_VECTOR_UNOP(VAbs, std::fabs(A[L]))
+#undef SLP_VECTOR_UNOP
+      }
+    }
+
+    if (++Iter == Total)
+      break;
+
+    // Odometer: bump the innermost level; on wrap-around carry outward.
+    // Iter < Total guarantees some level still has iterations left, so D
+    // never underflows. The single carry level then advances every
+    // address slot by one precomputed delta — the strength reduction.
+    unsigned D = T.Depth - 1;
+    while (++Pos[D] == Trips[D]) {
+      Pos[D] = 0;
+      --D;
+    }
+    const int64_t *Delta = T.AddrCarryDelta.data() + D;
+    for (unsigned S = 0; S != NumSlots; ++S)
+      Addr[S] += Delta[static_cast<size_t>(S) * T.Depth];
+  }
+
+  Stats.AluOps = T.AluOpsPerIter * static_cast<uint64_t>(Total);
+  Stats.ArrayLoads = T.ArrayLoadsPerIter * static_cast<uint64_t>(Total);
+  Stats.ArrayStores = T.ArrayStoresPerIter * static_cast<uint64_t>(Total);
+  if (Counters) {
+    Counters->TapeOpsExecuted += NumOps * static_cast<uint64_t>(Total);
+    Counters->BlockIterations += static_cast<uint64_t>(Total);
+    Counters->AddrIncrements +=
+        static_cast<uint64_t>(NumSlots) * static_cast<uint64_t>(Total - 1);
+  }
+  return Stats;
+}

@@ -1,0 +1,196 @@
+//===- exec/Tape.h - Flat-tape compiled kernel execution --------*- C++ -*-===//
+///
+/// \file
+/// The compiled form behind the optimized execution engine: a kernel (or a
+/// vector program) is lowered ONCE into a flat linear tape of fixed-size
+/// ops with pre-resolved operand slots, then executed MANY times with no
+/// `Expr` tree walking, no `AffineExpr` re-evaluation, and no per-call
+/// allocation.
+///
+/// Three ideas carry the speedup:
+///
+///  1. **Flat tape.** Every expression node, memory access, and vector
+///     instruction becomes one `TapeOp` in a contiguous vector, dispatched
+///     by a dense switch — no recursion, no virtual calls, no
+///     `std::function`.
+///
+///  2. **Strength-reduced addressing.** Each distinct affine array
+///     reference gets one *address slot*. Its row-major flattened offset
+///     is evaluated in full exactly once per kernel run (at the loop
+///     nest's lower bounds); afterwards the interpreter's odometer adds a
+///     precomputed per-loop-level carry delta to every slot — one integer
+///     add per slot per iteration instead of a full `flattenArrayRef` +
+///     `AffineExpr::evaluate` per access per iteration.
+///
+///  3. **Contiguous lane arena.** Vector registers live in one pooled
+///     `double` arena with lanes stored contiguously, so lane-wise op
+///     bodies compile to tight `__restrict` loops the host compiler
+///     auto-vectorizes — the modeled SIMD executes as genuine hardware
+///     SIMD.
+///
+/// Bit-identity with the reference interpreters (`runKernelScalar`,
+/// `runVectorProgram`) is a hard invariant: the tape performs exactly the
+/// same double-precision operations on the same values in a semantically
+/// equivalent order (see tests/exec/ExecEngineDifferentialTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_EXEC_TAPE_H
+#define SLP_EXEC_TAPE_H
+
+#include "ir/Interpreter.h"
+#include "vector/VectorIR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace slp {
+
+/// Opcode of one tape op. Scalar ops read/write double *value slots*;
+/// vector ops read/write lane-contiguous *vector registers*. Memory ops
+/// address environments through pre-resolved array ids and address slots.
+enum class TapeOpc : uint8_t {
+  // -- scalar value ops ---------------------------------------------------
+  Const,       ///< V[Dst] = ConstPool[A]
+  LoadScalar,  ///< V[Dst] = Scalars[A]
+  LoadArray,   ///< V[Dst] = Array[A][Addr[B]]
+  Add,         ///< V[Dst] = V[A] + V[B]
+  Sub,         ///< V[Dst] = V[A] - V[B]
+  Mul,         ///< V[Dst] = V[A] * V[B]
+  Div,         ///< V[Dst] = V[A] / V[B]
+  Min,         ///< V[Dst] = fmin(V[A], V[B])
+  Max,         ///< V[Dst] = fmax(V[A], V[B])
+  Neg,         ///< V[Dst] = -V[A]
+  Sqrt,        ///< V[Dst] = sqrt(fabs(V[A]))  (the interpreter's contract)
+  Abs,         ///< V[Dst] = fabs(V[A])
+  StoreScalar, ///< Scalars[A] = V[Dst]
+  StoreScalarInt, ///< Scalars[A] = trunc(V[Dst])
+  StoreArray,     ///< Array[A][Addr[B]] = V[Dst]
+  StoreArrayInt,  ///< Array[A][Addr[B]] = trunc(V[Dst])
+  // -- vector ops ---------------------------------------------------------
+  VLoadContig,    ///< R[Dst][l] = Array[A][Addr[B] + l], l in [0, Lanes)
+  VStoreContig,   ///< Array[A][Addr[B] + l] = R[Dst][l]
+  VStoreContigInt, ///< same, truncating toward zero per lane
+  VInsertConst,   ///< R[Dst][Lane] = ConstPool[A]
+  VInsertScalar,  ///< R[Dst][Lane] = Scalars[A]
+  VInsertArray,   ///< R[Dst][Lane] = Array[A][Addr[B]]
+  VExtractScalar, ///< Scalars[A] = R[Dst][Lane]
+  VExtractScalarInt, ///< Scalars[A] = trunc(R[Dst][Lane])
+  VExtractArray,     ///< Array[A][Addr[B]] = R[Dst][Lane]
+  VExtractArrayInt,  ///< Array[A][Addr[B]] = trunc(R[Dst][Lane])
+  VShuffle,       ///< R[Dst][l] = R[A][PermPool[B + l]] (Dst != A)
+  VShuffleInPlace, ///< same with Dst == A (permutes via the scratch reg)
+  VAdd,           ///< R[Dst][l] = R[A][l] + R[B][l]
+  VSub,
+  VMul,
+  VDiv,
+  VMin,
+  VMax,
+  VNeg, ///< R[Dst][l] = -R[A][l]
+  VSqrt,
+  VAbs,
+};
+
+/// One fixed-size tape op. Interpretation of the fields depends on the
+/// opcode (documented on TapeOpc); unused fields are zero.
+struct TapeOp {
+  TapeOpc Opc = TapeOpc::Const;
+  /// Lane index for VInsert*/VExtract* ops.
+  uint8_t Lane = 0;
+  /// Set when Dst aliases neither source register, allowing the lane loop
+  /// to promise `__restrict` to the host compiler.
+  uint8_t NoAlias = 0;
+  /// Lane count for vector ops.
+  uint16_t Lanes = 1;
+  uint32_t Dst = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+};
+
+/// A compiled tape: the op stream for one execution of the innermost
+/// block, plus everything needed to run it over a whole loop nest.
+struct CompiledTape {
+  std::vector<TapeOp> Ops;
+  std::vector<double> ConstPool;
+  std::vector<unsigned> PermPool; ///< concatenated shuffle permutations
+
+  // Address slots (strength-reduced array addressing).
+  /// Array symbol of each slot (for environment binding / bounds checks).
+  std::vector<uint32_t> AddrArray;
+  /// Flattened element offset of each slot at the nest's lower bounds.
+  std::vector<int64_t> AddrBase;
+  /// Row-major NumSlots x Depth matrix: the delta added to each slot when
+  /// the iteration odometer carries into loop level d (innermost = the
+  /// plain per-iteration stride increment).
+  std::vector<int64_t> AddrCarryDelta;
+  /// Element count of each slot's array (debug bounds assertions).
+  std::vector<int64_t> AddrLimit;
+
+  /// Trip count of each loop level, cached so the run loop never touches
+  /// the Kernel's Loop objects.
+  std::vector<int64_t> TripCounts;
+
+  unsigned Depth = 0;         ///< loop-nest depth the tape was compiled for
+  unsigned NumValueSlots = 0; ///< scalar evaluation-stack slots needed
+  unsigned NumVRegs = 0;      ///< vector registers (excluding the scratch)
+  unsigned VRegStride = 0;    ///< lanes reserved per vector register
+  int64_t TotalIterations = 1; ///< block executions (0 for zero-trip nests)
+
+  // Static per-iteration operation counts, used to reproduce the
+  // reference interpreter's ScalarExecStats without dynamic counting.
+  uint64_t AluOpsPerIter = 0;
+  uint64_t ArrayLoadsPerIter = 0;
+  uint64_t ArrayStoresPerIter = 0;
+
+  unsigned numAddrSlots() const {
+    return static_cast<unsigned>(AddrArray.size());
+  }
+};
+
+/// Pooled run-time scratch shared by every tape execution of one engine:
+/// scalar value slots, the lane-contiguous vector register arena, current
+/// address-slot offsets, and per-run array base pointers. Reused across
+/// runs so steady-state execution allocates nothing.
+struct ExecArena {
+  std::vector<double> Values;
+  std::vector<double> VLanes;
+  std::vector<int64_t> Addrs;
+  std::vector<double *> ArrayBases;
+  std::vector<int64_t> OdoPos; ///< odometer iteration counters per level
+};
+
+/// Execution counters of one engine (`--stats`, slp-fuzz JSON).
+struct ExecCounters {
+  uint64_t ScalarTapesCompiled = 0;
+  uint64_t VectorTapesCompiled = 0;
+  uint64_t TapeRuns = 0;          ///< whole-nest tape executions
+  uint64_t TapeOpsExecuted = 0;   ///< tape ops dispatched
+  uint64_t BlockIterations = 0;   ///< innermost-block executions
+  uint64_t AddrFullEvals = 0;     ///< full affine evaluations (run setup)
+  uint64_t AddrIncrements = 0;    ///< incremental address updates instead
+  uint64_t ArenaReuses = 0;       ///< runs served from pre-sized arenas
+  uint64_t ArenaGrowths = 0;      ///< runs that had to grow an arena
+  uint64_t EnvReuses = 0;         ///< pooled environments reset in place
+  uint64_t EnvConstructions = 0;  ///< environments built from scratch
+  uint64_t ReferenceRuns = 0;     ///< executions delegated to the
+                                  ///< tree-walking reference interpreters
+};
+
+/// Lowers \p K's innermost block (scalar semantics) into a tape.
+CompiledTape compileScalarTape(const Kernel &K);
+
+/// Lowers \p Program (lane semantics over \p K's loop nest) into a tape.
+CompiledTape compileVectorTape(const Kernel &K, const VectorProgram &Program);
+
+/// Executes \p T over \p K's entire loop nest, mutating \p Env. \p Arena
+/// provides pooled scratch; \p Counters (when non-null) accrues execution
+/// telemetry. Returns the reference interpreter's dynamic operation
+/// counts (zeros for vector tapes, whose stats the caller ignores —
+/// matching `runVectorProgram`, which counts nothing).
+ScalarExecStats runTape(const Kernel &K, const CompiledTape &T,
+                        Environment &Env, ExecArena &Arena,
+                        ExecCounters *Counters = nullptr);
+
+} // namespace slp
+
+#endif // SLP_EXEC_TAPE_H

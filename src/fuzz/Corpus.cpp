@@ -94,6 +94,10 @@ std::string slp::serializeFuzzCase(const FuzzCase &Case) {
   for (unsigned I = 0; I != Case.Config.EnvSeeds.size(); ++I)
     Out << (I ? "," : "") << Case.Config.EnvSeeds[I];
   Out << "\n";
+  // Defaults stay implicit so pre-engine corpus files round-trip byte-
+  // identically.
+  if (Case.Config.Exec != ExecEngineKind::Optimized)
+    Out << "// fuzz: exec=" << execEngineName(Case.Config.Exec) << "\n";
   if (Case.Config.Inject != BugInjection::None)
     Out << "// fuzz: inject=" << bugInjectionName(Case.Config.Inject)
         << "\n";
@@ -170,6 +174,11 @@ bool slp::parseFuzzCase(const std::string &Text, FuzzCase &Out,
           if (Out.Config.EnvSeeds.empty())
             return Fail("env-seeds requires at least one seed");
           SawSeeds = true;
+        } else if (Key == "exec") {
+          std::optional<ExecEngineKind> Kind = parseExecEngineName(Value);
+          if (!Kind)
+            return Fail("unknown exec engine '" + Value + "'");
+          Out.Config.Exec = *Kind;
         } else if (Key == "inject") {
           if (!parseBugInjection(Value, Out.Config.Inject))
             return Fail("unknown injection '" + Value + "'");

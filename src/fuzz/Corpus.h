@@ -12,14 +12,20 @@
 /// Header format (first comment lines of the file):
 ///   // fuzz: opt=global+layout bits=128 grouping=optimized threads=1
 ///   // fuzz: env-seeds=12648430,16435934
+///   // fuzz: exec=reference
 ///   // fuzz: inject=none
 ///   // reason: <free text describing the original failure>
+///
+/// `exec=` selects the execution engine the replay runs under
+/// (optimized/reference, exec/ExecEngine.h); absent means optimized, so
+/// pre-existing corpus files keep their meaning.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLP_FUZZ_CORPUS_H
 #define SLP_FUZZ_CORPUS_H
 
+#include "exec/ExecEngine.h"
 #include "slp/Pipeline.h"
 
 #include <string>
@@ -47,6 +53,8 @@ struct FuzzCaseConfig {
   GroupingImpl Grouping = GroupingImpl::Optimized;
   unsigned Threads = 1;
   std::vector<uint64_t> EnvSeeds = {0xC0FFEE, 0xFACADE};
+  /// Execution engine the case's kernels run under.
+  ExecEngineKind Exec = ExecEngineKind::Optimized;
   BugInjection Inject = BugInjection::None;
 };
 

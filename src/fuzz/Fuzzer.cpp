@@ -10,11 +10,32 @@
 
 #include <cctype>
 #include <chrono>
+#include <memory>
 #include <sstream>
 
 using namespace slp;
 
 namespace {
+
+/// Adds the scope's wall-clock duration to a FuzzTimings bucket (no-op
+/// with a null target, e.g. inside the reducer's predicate).
+class ScopedTimer {
+public:
+  explicit ScopedTimer(double *Acc)
+      : Acc(Acc), Start(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (Acc)
+      *Acc += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  double *Acc;
+  std::chrono::steady_clock::time_point Start;
+};
 
 PipelineOptions optionsFor(const FuzzCaseConfig &C) {
   PipelineOptions Options;
@@ -82,12 +103,20 @@ bool sameSchedule(const Schedule &A, const Schedule &B) {
 
 /// Runs the full check battery for one (kernel, configuration) pair.
 /// Returns an empty string on pass. \p Stats (when non-null) receives
-/// pipeline-run accounting. With an injection configured, the expectation
-/// inverts: the corrupted schedule must be flagged by the verifier.
+/// pipeline-run accounting and the compile/execute timing split; kernels
+/// and programs execute through \p Engine. With an injection configured,
+/// the expectation inverts: the corrupted schedule must be flagged by the
+/// verifier.
 std::string checkConfig(const Kernel &K, const FuzzCaseConfig &C,
-                        FuzzStats *Stats) {
+                        FuzzStats *Stats, ExecEngine &Engine) {
+  double *CompileAcc = Stats ? &Stats->Timings.CompileSeconds : nullptr;
+  double *ExecuteAcc = Stats ? &Stats->Timings.ExecuteSeconds : nullptr;
+
+  PipelineResult R = [&] {
+    ScopedTimer T(CompileAcc);
+    return runPipeline(K, C.Kind, optionsFor(C));
+  }();
   PipelineOptions Options = optionsFor(C);
-  PipelineResult R = runPipeline(K, C.Kind, Options);
   if (Stats)
     ++Stats->PipelineRuns;
   DependenceInfo Deps(R.Preprocessed);
@@ -105,23 +134,25 @@ std::string checkConfig(const Kernel &K, const FuzzCaseConfig &C,
     return ""; // caught, as demanded
   }
 
-  std::vector<std::string> Issues = verifySchedule(
-      R.Preprocessed, Deps, R.TheSchedule, Options.Machine.DatapathBits);
-  if (!Issues.empty())
-    return "schedule verification failed: " + Issues.front();
+  {
+    ScopedTimer T(ExecuteAcc);
+    std::vector<std::string> Issues = verifySchedule(
+        R.Preprocessed, Deps, R.TheSchedule, Options.Machine.DatapathBits);
+    if (!Issues.empty())
+      return "schedule verification failed: " + Issues.front();
 
-  for (uint64_t Seed : C.EnvSeeds) {
     std::string Error;
-    if (!checkEquivalence(K, R, Seed, &Error))
-      return "execution mismatch (env seed " + std::to_string(Seed) +
-             "): " + Error;
+    if (!checkEquivalenceAcrossSeeds(K, R, C.EnvSeeds, Engine, &Error))
+      return "execution mismatch: " + Error;
   }
 
   if (C.Threads > 1) {
     PipelineOptions MT = Options;
     MT.Threads = C.Threads;
-    ModulePipelineResult Module =
-        runPipelineOverModule({K}, C.Kind, MT);
+    ModulePipelineResult Module = [&] {
+      ScopedTimer T(CompileAcc);
+      return runPipelineOverModule({K}, C.Kind, MT);
+    }();
     if (Stats)
       ++Stats->PipelineRuns;
     if (Module.PerKernel.size() != 1 ||
@@ -210,15 +241,17 @@ Kernel makeBaseKernel(Rng &R) {
 }
 
 /// Builds the predicate that re-detects a failure of \p C on a candidate
-/// kernel (used by the reducer).
+/// kernel (used by the reducer). The predicate owns its engine so reduced
+/// candidates replay under the same engine kind that found the failure.
 FailurePredicate makePredicate(const FuzzCaseConfig &C) {
-  return [C](const Kernel &K) {
+  auto Engine = std::make_shared<ExecEngine>(C.Exec);
+  return [C, Engine](const Kernel &K) {
     if (C.Inject != BugInjection::None) {
       // The demonstration is preserved only while the injection still
       // applies AND is still caught.
-      return checkConfig(K, C, nullptr).empty();
+      return checkConfig(K, C, nullptr, *Engine).empty();
     }
-    return !checkConfig(K, C, nullptr).empty();
+    return !checkConfig(K, C, nullptr, *Engine).empty();
   };
 }
 
@@ -238,6 +271,49 @@ std::string checkEngineAgreement(const Kernel &K, uint64_t Seed1,
     Stats->PipelineRuns += 2;
   if (!sameSchedule(A.TheSchedule, B.TheSchedule))
     return "grouping engines disagree on the schedule";
+  return "";
+}
+
+/// Extra cross-engine check for the *execution* engines: the flat-tape
+/// engine and the tree-walking reference must produce bit-identical
+/// environments for scalar kernels (including identical dynamic operation
+/// counts), and the same equivalence verdict for the vector program.
+/// Returns empty on agreement.
+std::string checkExecEngineAgreement(const Kernel &K, uint64_t Seed1,
+                                     uint64_t Seed2, FuzzStats *Stats) {
+  ExecEngine Opt(ExecEngineKind::Optimized);
+  ExecEngine Ref(ExecEngineKind::Reference);
+
+  // Direct scalar differential: same values AND same op counts.
+  for (uint64_t Seed : {Seed1, Seed2}) {
+    Environment EOpt(K, Seed);
+    Environment ERef(K, Seed);
+    ScalarExecStats SOpt = Opt.runKernel(K, EOpt);
+    ScalarExecStats SRef = Ref.runKernel(K, ERef);
+    if (SOpt.AluOps != SRef.AluOps ||
+        SOpt.ArrayLoads != SRef.ArrayLoads ||
+        SOpt.ArrayStores != SRef.ArrayStores)
+      return "exec engines disagree on scalar operation counts";
+    if (!EOpt.matches(ERef, static_cast<unsigned>(K.Scalars.size()),
+                      static_cast<unsigned>(K.Arrays.size())))
+      return "exec engines diverged on scalar kernel execution";
+  }
+
+  // The emitted vector program must get the same verdict from both.
+  FuzzCaseConfig C;
+  C.Kind = OptimizerKind::Global;
+  PipelineResult R = runPipeline(K, C.Kind, optionsFor(C));
+  if (Stats)
+    ++Stats->PipelineRuns;
+  bool OkOpt =
+      checkEquivalenceAcrossSeeds(K, R, {Seed1, Seed2}, Opt, nullptr);
+  bool OkRef =
+      checkEquivalenceAcrossSeeds(K, R, {Seed1, Seed2}, Ref, nullptr);
+  if (OkOpt != OkRef)
+    return std::string("exec engines disagree on the equivalence verdict "
+                       "(optimized=") +
+           (OkOpt ? "pass" : "fail") + ", reference=" +
+           (OkRef ? "pass" : "fail") + ")";
   return "";
 }
 
@@ -269,6 +345,7 @@ std::string FuzzStats::toJson() const {
   Out << "  \"equivalence_failures\": " << EquivalenceFailures << ",\n";
   Out << "  \"determinism_failures\": " << DeterminismFailures << ",\n";
   Out << "  \"engine_disagreements\": " << EngineDisagreements << ",\n";
+  Out << "  \"exec_disagreements\": " << ExecDisagreements << ",\n";
   Out << "  \"injected_caught\": " << InjectedCaught << ",\n";
   Out << "  \"injected_missed\": " << InjectedMissed << ",\n";
   Out << "  \"injection_inapplicable\": " << InjectionInapplicable << ",\n";
@@ -277,6 +354,14 @@ std::string FuzzStats::toJson() const {
       << ", \"accepted\": " << Reduction.CandidatesAccepted
       << ", \"rounds\": " << Reduction.Rounds << "},\n";
   Out << "  \"elapsed_seconds\": " << ElapsedSeconds << ",\n";
+  Out << "  \"iters_per_sec\": " << ItersPerSec << ",\n";
+  Out << "  \"exec_engine\": \"" << ExecEngine << "\",\n";
+  Out << "  \"timing_seconds\": {\"mutate\": " << Timings.MutateSeconds
+      << ", \"compile\": " << Timings.CompileSeconds
+      << ", \"execute\": " << Timings.ExecuteSeconds
+      << ", \"reduce\": " << Timings.ReduceSeconds << "},\n";
+  Out << "  \"env_reuses\": " << EnvReuses << ",\n";
+  Out << "  \"env_constructions\": " << EnvConstructions << ",\n";
   Out << "  \"mutations\": {";
   bool First = true;
   for (const auto &[Name, Count] : MutationCounts) {
@@ -301,14 +386,21 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
   FuzzOutcome Out;
   Rng R(Cfg.Seed);
 
+  // One engine for the whole campaign: arenas and the environment pool
+  // amortize across every iteration.
+  ExecEngine Engine(Cfg.Exec);
+  Out.Stats.ExecEngine = execEngineName(Cfg.Exec);
+
   auto RecordFailure = [&](const Kernel &K, const FuzzCaseConfig &C,
                            const std::string &Reason) {
     FuzzFailure F;
     F.Reason = Reason;
     F.OriginalStatements = K.Body.size();
     Kernel Reduced = K.clone();
-    if (Cfg.Reduce)
+    if (Cfg.Reduce) {
+      ScopedTimer T(&Out.Stats.Timings.ReduceSeconds);
       Reduced = reduceKernel(K, makePredicate(C), &Out.Stats.Reduction);
+    }
     F.ReducedStatements = Reduced.Body.size();
     F.Case.Config = C;
     F.Case.Source = printKernel(Reduced);
@@ -337,23 +429,27 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
     ++Out.Stats.Iterations;
 
     // 1. Generate a base kernel and mutate it.
-    Kernel K = makeBaseKernel(R);
-    unsigned Mutations =
-        Cfg.MaxMutationsPerKernel == 0
-            ? 0
-            : static_cast<unsigned>(
-                  R.nextBelow(Cfg.MaxMutationsPerKernel + 1));
-    for (unsigned M = 0; M != Mutations; ++M) {
-      Kernel Backup = K.clone();
-      std::optional<MutationKind> Applied = mutateKernel(K, R);
-      if (Applied && sanitizeKernel(K)) {
-        ++Out.Stats.MutationsApplied;
-        ++Out.Stats.MutationCounts[mutationKindName(*Applied)];
-      } else {
-        K = std::move(Backup);
-        ++Out.Stats.MutantsRejected;
+    Kernel K = [&] {
+      ScopedTimer T(&Out.Stats.Timings.MutateSeconds);
+      Kernel Base = makeBaseKernel(R);
+      unsigned Mutations =
+          Cfg.MaxMutationsPerKernel == 0
+              ? 0
+              : static_cast<unsigned>(
+                    R.nextBelow(Cfg.MaxMutationsPerKernel + 1));
+      for (unsigned M = 0; M != Mutations; ++M) {
+        Kernel Backup = Base.clone();
+        std::optional<MutationKind> Applied = mutateKernel(Base, R);
+        if (Applied && sanitizeKernel(Base)) {
+          ++Out.Stats.MutationsApplied;
+          ++Out.Stats.MutationCounts[mutationKindName(*Applied)];
+        } else {
+          Base = std::move(Backup);
+          ++Out.Stats.MutantsRejected;
+        }
       }
-    }
+      return Base;
+    }();
     if (!validateKernel(K))
       continue; // base generator emitted something out of policy (rare)
     ++Out.Stats.KernelsTested;
@@ -362,9 +458,10 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
     uint64_t Seed1 = Cfg.Seed * 0x9E3779B97F4A7C15ULL + Iter;
     uint64_t Seed2 = Iter * 31 + 7;
     for (FuzzCaseConfig C : configsForIteration(Iter, Seed1, Seed2)) {
+      C.Exec = Cfg.Exec;
       C.Inject = Cfg.Inject;
       ++Out.Stats.ConfigsExercised;
-      std::string Reason = checkConfig(K, C, &Out.Stats);
+      std::string Reason = checkConfig(K, C, &Out.Stats, Engine);
       if (C.Inject != BugInjection::None) {
         if (Reason.empty()) {
           ++Out.Stats.InjectedCaught;
@@ -407,16 +504,39 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
         C.Kind = OptimizerKind::Global;
         C.Grouping = GroupingImpl::Reference;
         C.EnvSeeds = {Seed1, Seed2};
+        C.Exec = Cfg.Exec;
+        RecordFailure(K, C, Reason);
+      }
+    }
+
+    // 3b. Execution-engine agreement: flat tapes vs tree walking, staggered
+    // against the grouping-engine check so both sample distinct kernels.
+    if (Cfg.Inject == BugInjection::None && Iter % 4 == 3 &&
+        Out.Failures.size() < Cfg.MaxFailures) {
+      std::string Reason = [&] {
+        ScopedTimer T(&Out.Stats.Timings.ExecuteSeconds);
+        return checkExecEngineAgreement(K, Seed1, Seed2, &Out.Stats);
+      }();
+      if (!Reason.empty()) {
+        ++Out.Stats.ExecDisagreements;
+        FuzzCaseConfig C;
+        C.Kind = OptimizerKind::Global;
+        C.EnvSeeds = {Seed1, Seed2};
+        C.Exec = ExecEngineKind::Optimized;
         RecordFailure(K, C, Reason);
       }
     }
 
     // 4. Textual fuzzing of the parser's error paths.
     if (Cfg.TextualEvery != 0 && Iter % Cfg.TextualEvery == 0) {
-      std::string Source = printKernel(K);
-      unsigned Rounds = 1 + static_cast<unsigned>(R.nextBelow(3));
-      for (unsigned T = 0; T != Rounds; ++T)
-        Source = mutateSource(Source, R);
+      std::string Source = [&] {
+        ScopedTimer T(&Out.Stats.Timings.MutateSeconds);
+        std::string S = printKernel(K);
+        unsigned Rounds = 1 + static_cast<unsigned>(R.nextBelow(3));
+        for (unsigned I = 0; I != Rounds; ++I)
+          S = mutateSource(S, R);
+        return S;
+      }();
       ++Out.Stats.TextCases;
       ModuleParseResult Parsed = parseModule(Source);
       if (!Parsed.succeeded()) {
@@ -435,8 +555,9 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
           FuzzCaseConfig C;
           C.Kind = OptimizerKind::Global;
           C.EnvSeeds = {Seed2};
+          C.Exec = Cfg.Exec;
           ++Out.Stats.ConfigsExercised;
-          std::string Reason = checkConfig(PK, C, &Out.Stats);
+          std::string Reason = checkConfig(PK, C, &Out.Stats, Engine);
           if (!Reason.empty()) {
             ++Out.Stats.EquivalenceFailures;
             RecordFailure(PK, C, "textual mutant: " + Reason);
@@ -459,6 +580,12 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
   }
 
   Out.Stats.ElapsedSeconds = Elapsed();
+  Out.Stats.ItersPerSec = Out.Stats.ElapsedSeconds > 0
+                              ? static_cast<double>(Out.Stats.Iterations) /
+                                    Out.Stats.ElapsedSeconds
+                              : 0;
+  Out.Stats.EnvReuses = Engine.counters().EnvReuses;
+  Out.Stats.EnvConstructions = Engine.counters().EnvConstructions;
   return Out;
 }
 
@@ -474,11 +601,12 @@ bool slp::runFuzzCase(const FuzzCase &Case, std::string *Error) {
                 ": " + Parsed.ErrorMessage);
   if (Parsed.Kernels.empty())
     return Fail("corpus case defines no kernel");
+  ExecEngine Engine(Case.Config.Exec);
   for (const Kernel &K : Parsed.Kernels) {
     std::string Why;
     if (!validateKernel(K, &Why))
       return Fail("corpus kernel '" + K.Name + "' is invalid: " + Why);
-    std::string Reason = checkConfig(K, Case.Config, nullptr);
+    std::string Reason = checkConfig(K, Case.Config, nullptr, Engine);
     if (!Reason.empty())
       return Fail("kernel '" + K.Name + "': " + Reason);
   }

@@ -38,6 +38,10 @@ struct FuzzConfig {
   bool Reduce = true;
   /// Directory reduced repros are written to ("" = keep in memory only).
   std::string CorpusDir;
+  /// Execution engine kernels run under (`slp-fuzz --exec-engine=`). The
+  /// campaign additionally cross-checks the engines against each other on
+  /// a sample of iterations regardless of this choice.
+  ExecEngineKind Exec = ExecEngineKind::Optimized;
   /// Harness mutation test: corrupt every schedule this way and demand
   /// the verifier catches it.
   BugInjection Inject = BugInjection::None;
@@ -48,6 +52,17 @@ struct FuzzConfig {
   unsigned TextualEvery = 4;
   /// Stop after this many recorded failures.
   unsigned MaxFailures = 8;
+};
+
+/// Wall-clock breakdown of where a campaign spent its time, so execution
+/// regressions are visible from nightly artifacts: kernel generation and
+/// mutation, pipeline compilation, kernel/program execution (verification,
+/// equivalence, engine cross-checks), and failure reduction.
+struct FuzzTimings {
+  double MutateSeconds = 0;
+  double CompileSeconds = 0;
+  double ExecuteSeconds = 0;
+  double ReduceSeconds = 0;
 };
 
 /// Counters of one campaign (the `slp-fuzz` JSON summary).
@@ -65,6 +80,7 @@ struct FuzzStats {
   uint64_t EquivalenceFailures = 0;
   uint64_t DeterminismFailures = 0;
   uint64_t EngineDisagreements = 0;
+  uint64_t ExecDisagreements = 0;
   uint64_t InjectedCaught = 0;
   uint64_t InjectedMissed = 0;
   uint64_t InjectionInapplicable = 0;
@@ -72,6 +88,15 @@ struct FuzzStats {
   ReductionStats Reduction;
   std::map<std::string, uint64_t> MutationCounts;
   double ElapsedSeconds = 0;
+  /// Iterations completed per wall-clock second; the headline throughput
+  /// number `--exec-engine=` choices are compared by.
+  double ItersPerSec = 0;
+  /// Engine the campaign ran under ("optimized"/"reference").
+  std::string ExecEngine;
+  FuzzTimings Timings;
+  /// Environment-pool effectiveness (exec/ExecEngine.h counters).
+  uint64_t EnvReuses = 0;
+  uint64_t EnvConstructions = 0;
 
   std::string toJson() const;
 };

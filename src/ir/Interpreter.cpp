@@ -23,10 +23,14 @@ AffineExpr slp::flattenArrayRef(const ArraySymbol &A,
   return Flat;
 }
 
-Environment::Environment(const Kernel &K, uint64_t Seed) {
+Environment::Environment(const Kernel &K, uint64_t Seed) { reset(K, Seed); }
+
+void Environment::reset(const Kernel &K, uint64_t Seed) {
   Rng R(Seed);
   // Integer-typed locations start with integral contents; float-typed
   // locations get exact quarter values so all arithmetic stays exact.
+  // Stream consumption order (scalars, then each array in full) is part
+  // of the contract: pooled resets must replay the constructor exactly.
   auto Fill = [&R](ScalarType Ty) {
     double V = static_cast<double>(R.nextInRange(-64, 64));
     return isFloatType(Ty) ? V * 0.25 : V;

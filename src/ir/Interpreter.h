@@ -31,6 +31,12 @@ public:
   /// contents derived from \p Seed.
   Environment(const Kernel &K, uint64_t Seed);
 
+  /// Re-seeds this environment for \p K, producing contents bit-identical
+  /// to a freshly constructed `Environment(K, Seed)` while reusing the
+  /// existing buffers' capacity. This is what makes environment pooling
+  /// (exec/ExecEngine.h) observationally equivalent to reconstruction.
+  void reset(const Kernel &K, uint64_t Seed);
+
   double scalarValue(SymbolId Id) const { return ScalarVals[Id]; }
   void setScalarValue(SymbolId Id, double V) { ScalarVals[Id] = V; }
 
@@ -38,6 +44,11 @@ public:
     return ArrayBufs[Id];
   }
   std::vector<double> &arrayBuffer(SymbolId Id) { return ArrayBufs[Id]; }
+
+  /// Raw pointer to the scalar value array (the compiled execution
+  /// engine's pre-resolved scalar slots). Invalidated by
+  /// addScalarStorage/reset.
+  double *scalarData() { return ScalarVals.data(); }
 
   unsigned numScalars() const {
     return static_cast<unsigned>(ScalarVals.size());

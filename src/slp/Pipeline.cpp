@@ -2,6 +2,7 @@
 
 #include "slp/Pipeline.h"
 
+#include "exec/ExecEngine.h"
 #include "slp/Passes.h"
 #include "vector/VectorInterp.h"
 
@@ -101,17 +102,27 @@ slp::runPipelineOverModule(const std::vector<Kernel> &Module,
   return M;
 }
 
-bool slp::checkEquivalence(const Kernel &Source, const PipelineResult &R,
-                           uint64_t Seed, std::string *Error) {
+namespace {
+
+/// One scalar-vs-vector comparison at \p Seed using pre-compiled kernels.
+/// Environments come from \p Engine's pool and are released on exit.
+bool checkEquivalenceCompiled(const Kernel &Source, const PipelineResult &R,
+                              const CompiledScalarKernel &Scalar,
+                              const CompiledVectorKernel &Vector,
+                              uint64_t Seed, ExecEngine &Engine,
+                              std::string *Error) {
+  EnvironmentPool &Pool = Engine.envPool();
+  size_t Mark = Pool.mark();
+
   // Reference: the original kernel under scalar semantics.
-  Environment Reference(Source, Seed);
-  runKernelScalar(Source, Reference);
+  Environment &Reference = Pool.acquire(Source, Seed);
+  Engine.runScalar(Scalar, Reference);
 
   // Candidate: the final (unrolled and possibly layout-transformed) kernel
   // under the emitted vector program. Build its environment from the
   // *original* kernel so the shared symbols start with identical values,
   // then append unroll-clone scalars and replica arrays.
-  Environment Candidate(Source, Seed);
+  Environment &Candidate = Pool.acquire(Source, Seed);
   for (unsigned S = static_cast<unsigned>(Source.Scalars.size()),
                 E = static_cast<unsigned>(R.Final.Scalars.size());
        S != E; ++S)
@@ -123,16 +134,45 @@ bool slp::checkEquivalence(const Kernel &Source, const PipelineResult &R,
   if (R.LayoutApplied)
     initializeReplicas(R.Final, R.Layout, Candidate);
 
-  runVectorProgram(R.Final, R.Program, Candidate);
+  Engine.runVector(Vector, Candidate);
 
-  if (Candidate.matches(Reference,
-                        static_cast<unsigned>(Source.Scalars.size()),
-                        static_cast<unsigned>(Source.Arrays.size())))
-    return true;
-  if (Error) {
+  bool Ok = Candidate.matches(Reference,
+                              static_cast<unsigned>(Source.Scalars.size()),
+                              static_cast<unsigned>(Source.Arrays.size()));
+  Pool.releaseTo(Mark);
+  if (!Ok && Error) {
     *Error = "vectorized kernel '" + Source.Name + "' (" +
              optimizerName(R.Kind) +
              ") diverged from the scalar reference";
   }
-  return false;
+  return Ok;
+}
+
+} // namespace
+
+bool slp::checkEquivalence(const Kernel &Source, const PipelineResult &R,
+                           uint64_t Seed, std::string *Error,
+                           ExecEngine *Engine) {
+  if (Engine)
+    return checkEquivalenceAcrossSeeds(Source, R, {Seed}, *Engine, Error);
+  ExecEngine Local;
+  return checkEquivalenceAcrossSeeds(Source, R, {Seed}, Local, Error);
+}
+
+bool slp::checkEquivalenceAcrossSeeds(const Kernel &Source,
+                                      const PipelineResult &R,
+                                      const std::vector<uint64_t> &Seeds,
+                                      ExecEngine &Engine,
+                                      std::string *Error) {
+  // Compile once; every seed then reruns the same tapes.
+  CompiledScalarKernel Scalar = Engine.compileScalar(Source);
+  CompiledVectorKernel Vector = Engine.compileVector(R.Final, R.Program);
+  for (uint64_t Seed : Seeds)
+    if (!checkEquivalenceCompiled(Source, R, Scalar, Vector, Seed, Engine,
+                                  Error)) {
+      if (Error)
+        *Error += " (env seed " + std::to_string(Seed) + ")";
+      return false;
+    }
+  return true;
 }

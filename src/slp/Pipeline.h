@@ -32,6 +32,8 @@
 
 namespace slp {
 
+class ExecEngine;
+
 /// The schemes compared in the paper's evaluation.
 enum class OptimizerKind : uint8_t {
   Scalar,       ///< no SLP optimization (the normalization baseline)
@@ -119,8 +121,22 @@ PipelineResult runPipeline(const Kernel &Source, OptimizerKind Kind,
 /// semantics from identical initial environments (seeded by \p Seed), and
 /// returns true when all original scalars and arrays match exactly.
 /// On mismatch \p Error (when non-null) receives a description.
+///
+/// Execution goes through \p Engine when provided (reusing its compiled
+/// tapes' arena and environment pool); otherwise a transient engine of
+/// `defaultExecEngineKind()` is used.
 bool checkEquivalence(const Kernel &Source, const PipelineResult &R,
-                      uint64_t Seed, std::string *Error = nullptr);
+                      uint64_t Seed, std::string *Error = nullptr,
+                      ExecEngine *Engine = nullptr);
+
+/// `checkEquivalence` over several environment seeds, compiling the
+/// kernel and program once. Returns false on the first mismatching seed
+/// (reported through \p Error with the seed value when non-null).
+bool checkEquivalenceAcrossSeeds(const Kernel &Source,
+                                 const PipelineResult &R,
+                                 const std::vector<uint64_t> &Seeds,
+                                 ExecEngine &Engine,
+                                 std::string *Error = nullptr);
 
 /// Result of optimizing a whole module (the paper's input: a set of basic
 /// blocks of a program, processed one by one).

@@ -33,10 +33,15 @@ static double applyOp(OpCode Op, double A, double B) {
   slpUnreachable("invalid opcode");
 }
 
-void slp::runVectorProgramOnce(const Kernel &K, const VectorProgram &Program,
-                               Environment &Env,
-                               const std::vector<int64_t> &Indices,
-                               std::vector<std::vector<double>> &Regs) {
+namespace {
+
+/// Shared body of the two entry points: executes one iteration using the
+/// caller-provided register scratch (so the whole-nest runner reuses one
+/// set of registers across iterations).
+void runOnceWithScratch(const Kernel &K, const VectorProgram &Program,
+                        Environment &Env,
+                        const std::vector<int64_t> &Indices,
+                        std::vector<std::vector<double>> &Regs) {
   if (Regs.size() < Program.NumVRegs)
     Regs.resize(Program.NumVRegs);
 
@@ -87,10 +92,19 @@ void slp::runVectorProgramOnce(const Kernel &K, const VectorProgram &Program,
   }
 }
 
+} // namespace
+
+void slp::runVectorProgramOnce(const Kernel &K, const VectorProgram &Program,
+                               Environment &Env,
+                               const std::vector<int64_t> &Indices) {
+  std::vector<std::vector<double>> Regs;
+  runOnceWithScratch(K, Program, Env, Indices, Regs);
+}
+
 void slp::runVectorProgram(const Kernel &K, const VectorProgram &Program,
                            Environment &Env) {
   std::vector<std::vector<double>> Regs;
   forEachIteration(K, [&](const std::vector<int64_t> &Indices) {
-    runVectorProgramOnce(K, Program, Env, Indices, Regs);
+    runOnceWithScratch(K, Program, Env, Indices, Regs);
   });
 }

@@ -23,11 +23,13 @@ namespace slp {
 void runVectorProgram(const Kernel &K, const VectorProgram &Program,
                       Environment &Env);
 
-/// Executes \p Program for a single iteration \p Indices.
+/// Executes \p Program for a single iteration \p Indices. Register
+/// scratch is interpreter-owned; callers that execute a program many
+/// times should go through an ExecEngine (exec/ExecEngine.h), whose
+/// pooled arena amortizes the scratch across runs.
 void runVectorProgramOnce(const Kernel &K, const VectorProgram &Program,
                           Environment &Env,
-                          const std::vector<int64_t> &Indices,
-                          std::vector<std::vector<double>> &RegScratch);
+                          const std::vector<int64_t> &Indices);
 
 } // namespace slp
 

@@ -1,0 +1,307 @@
+//===- tests/exec/ExecEngineDifferentialTest.cpp --------------*- C++ -*-===//
+//
+// Holds the two execution engines (exec/ExecEngine.h) to their
+// bit-identity contract: the optimized flat-tape engine must produce
+// exactly the same environment contents and dynamic operation counts as
+// the tree-walking reference interpreters, over the full 16-workload
+// suite, every recorded fuzz repro, zero-trip loops, aliasing kernels,
+// and a random-kernel sweep. Also pins the EnvironmentPool's
+// reset-equals-fresh-construction contract and sanity-checks the
+// ExecCounters telemetry.
+//
+// SLP_FUZZ_CORPUS_DIR is injected by CMake (same as CorpusReplayTest).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecEngine.h"
+#include "fuzz/Fuzzer.h"
+#include "ir/Parser.h"
+#include "layout/Layout.h"
+#include "slp/Pipeline.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+#ifndef SLP_FUZZ_CORPUS_DIR
+#error "CMake must define SLP_FUZZ_CORPUS_DIR"
+#endif
+
+namespace {
+
+/// Runs \p K under scalar semantics on both engines from identical
+/// environments and demands bit-identical results and identical dynamic
+/// operation counts.
+void expectScalarAgreement(const Kernel &K, uint64_t Seed,
+                           const std::string &Label) {
+  ExecEngine Opt(ExecEngineKind::Optimized);
+  ExecEngine Ref(ExecEngineKind::Reference);
+  Environment OptEnv(K, Seed);
+  Environment RefEnv(K, Seed);
+  ScalarExecStats OptStats = Opt.runKernel(K, OptEnv);
+  ScalarExecStats RefStats = Ref.runKernel(K, RefEnv);
+  EXPECT_TRUE(OptEnv.matches(RefEnv, static_cast<unsigned>(K.Scalars.size()), static_cast<unsigned>(K.Arrays.size())))
+      << Label << " seed " << Seed
+      << ": engines diverged on scalar execution";
+  EXPECT_EQ(OptStats.AluOps, RefStats.AluOps) << Label << " seed " << Seed;
+  EXPECT_EQ(OptStats.ArrayLoads, RefStats.ArrayLoads)
+      << Label << " seed " << Seed;
+  EXPECT_EQ(OptStats.ArrayStores, RefStats.ArrayStores)
+      << Label << " seed " << Seed;
+}
+
+/// Builds the candidate environment the equivalence check uses for vector
+/// execution: seeded from the *original* kernel, extended with
+/// unroll-clone scalars and layout-replica arrays of the final kernel.
+Environment makeVectorEnv(const Kernel &Source, const PipelineResult &R,
+                          uint64_t Seed) {
+  Environment Env(Source, Seed);
+  for (unsigned S = static_cast<unsigned>(Source.Scalars.size()),
+                E = static_cast<unsigned>(R.Final.Scalars.size());
+       S != E; ++S)
+    Env.addScalarStorage(0);
+  for (unsigned A = static_cast<unsigned>(Source.Arrays.size()),
+                E = static_cast<unsigned>(R.Final.Arrays.size());
+       A != E; ++A)
+    Env.addArrayStorage(R.Final.Arrays[A].numElements());
+  if (R.LayoutApplied)
+    initializeReplicas(R.Final, R.Layout, Env);
+  return Env;
+}
+
+/// Runs \p R's vector program on both engines from identical environments
+/// and demands bit-identical final contents (including replicas).
+void expectVectorAgreement(const Kernel &Source, const PipelineResult &R,
+                           uint64_t Seed, const std::string &Label) {
+  ExecEngine Opt(ExecEngineKind::Optimized);
+  ExecEngine Ref(ExecEngineKind::Reference);
+  Environment OptEnv = makeVectorEnv(Source, R, Seed);
+  Environment RefEnv = makeVectorEnv(Source, R, Seed);
+  Opt.runProgram(R.Final, R.Program, OptEnv);
+  Ref.runProgram(R.Final, R.Program, RefEnv);
+  EXPECT_TRUE(OptEnv.matches(RefEnv,
+                             static_cast<unsigned>(R.Final.Scalars.size()),
+                             static_cast<unsigned>(R.Final.Arrays.size())))
+      << Label << " seed " << Seed
+      << ": engines diverged on vector execution";
+}
+
+/// Full differential over one kernel: scalar agreement on the source,
+/// then vector agreement on each optimizer's emitted program, then the
+/// end-to-end equivalence verdict under both engines.
+void expectFullAgreement(const Kernel &K, const std::string &Label) {
+  for (uint64_t Seed : {uint64_t(1), uint64_t(77), uint64_t(0xC0FFEE)})
+    expectScalarAgreement(K, Seed, Label);
+  for (OptimizerKind Kind :
+       {OptimizerKind::LarsenSlp, OptimizerKind::Global,
+        OptimizerKind::GlobalLayout}) {
+    PipelineResult R = runPipeline(K, Kind, PipelineOptions());
+    std::string Name = Label + "/" + optimizerName(Kind);
+    for (uint64_t Seed : {uint64_t(1), uint64_t(0xFACADE)})
+      expectVectorAgreement(K, R, Seed, Name);
+    for (ExecEngineKind EK :
+         {ExecEngineKind::Optimized, ExecEngineKind::Reference}) {
+      ExecEngine Engine(EK);
+      std::string Error;
+      EXPECT_TRUE(checkEquivalence(K, R, /*Seed=*/1234, &Error, &Engine))
+          << Name << " under " << execEngineName(EK) << ": " << Error;
+    }
+  }
+}
+
+Kernel parse(const std::string &Src) {
+  ParseResult P = parseKernel(Src);
+  EXPECT_TRUE(P.succeeded()) << P.ErrorMessage;
+  return *P.TheKernel;
+}
+
+} // namespace
+
+TEST(ExecDifferential, WorkloadScalarBitIdentity) {
+  for (const Workload &W : standardWorkloads())
+    for (uint64_t Seed : {uint64_t(1), uint64_t(0xC0FFEE)})
+      expectScalarAgreement(W.TheKernel, Seed, W.Name);
+}
+
+TEST(ExecDifferential, WorkloadVectorBitIdentity) {
+  for (const Workload &W : standardWorkloads()) {
+    for (OptimizerKind Kind :
+         {OptimizerKind::Global, OptimizerKind::GlobalLayout}) {
+      PipelineResult R = runPipeline(W.TheKernel, Kind, PipelineOptions());
+      expectVectorAgreement(W.TheKernel, R, /*Seed=*/1234,
+                            W.Name + "/" + optimizerName(Kind));
+    }
+  }
+}
+
+TEST(ExecDifferential, WorkloadEquivalenceUnderBothEngines) {
+  for (const Workload &W : standardWorkloads()) {
+    PipelineResult R =
+        runPipeline(W.TheKernel, OptimizerKind::GlobalLayout,
+                    PipelineOptions());
+    for (ExecEngineKind EK :
+         {ExecEngineKind::Optimized, ExecEngineKind::Reference}) {
+      ExecEngine Engine(EK);
+      std::string Error;
+      EXPECT_TRUE(checkEquivalence(W.TheKernel, R, /*Seed=*/42, &Error,
+                                   &Engine))
+          << W.Name << " under " << execEngineName(EK) << ": " << Error;
+    }
+  }
+}
+
+TEST(ExecDifferential, CorpusReplaysUnderBothEngines) {
+  // Every recorded repro — including the NaN and int-store-reuse
+  // regressions — must replay cleanly no matter which engine executes it.
+  std::vector<std::string> Files = listCorpusFiles(SLP_FUZZ_CORPUS_DIR);
+  ASSERT_FALSE(Files.empty())
+      << "no corpus cases under " << SLP_FUZZ_CORPUS_DIR;
+  for (const std::string &Path : Files) {
+    std::string Text;
+    ASSERT_TRUE(readFile(Path, Text)) << Path;
+    FuzzCase Case;
+    std::string Error;
+    ASSERT_TRUE(parseFuzzCase(Text, Case, &Error)) << Path << ": " << Error;
+    for (ExecEngineKind EK :
+         {ExecEngineKind::Optimized, ExecEngineKind::Reference}) {
+      Case.Config.Exec = EK;
+      EXPECT_TRUE(runFuzzCase(Case, &Error))
+          << Path << " under " << execEngineName(EK) << ": " << Error;
+    }
+  }
+}
+
+TEST(ExecDifferential, ZeroTripLoops) {
+  // A zero-trip nest must leave the environment untouched and report zero
+  // dynamic operations on both engines.
+  Kernel Outer = parse(R"(
+    kernel zerotrip { array float A[8]; scalar float s;
+      loop i = 4 .. 4 { A[i] = 2.0; s = A[i] + 1.0; }
+    })");
+  expectFullAgreement(Outer, "zerotrip");
+  ExecEngine Opt(ExecEngineKind::Optimized);
+  Environment Before(Outer, 7);
+  Environment After(Outer, 7);
+  ScalarExecStats Stats = Opt.runKernel(Outer, After);
+  EXPECT_TRUE(After.matches(Before, static_cast<unsigned>(Outer.Scalars.size()), static_cast<unsigned>(Outer.Arrays.size())));
+  EXPECT_EQ(Stats.totalInstructions(), 0u);
+
+  Kernel Inner = parse(R"(
+    kernel zeroinner { array float A[64];
+      loop i = 0 .. 8 { loop j = 3 .. 3 { A[8*i + j] = 1.0; } }
+    })");
+  expectFullAgreement(Inner, "zeroinner");
+}
+
+TEST(ExecDifferential, AliasingKernels) {
+  // Aliasing through distinct affine forms: the tape's strength-reduced
+  // address slots must respect the same store -> load order the reference
+  // interpreter executes.
+  expectFullAgreement(parse(R"(
+    kernel aliasload { array float A[16]; array float B[16];
+      loop i = 0 .. 16 {
+        A[i] = 7.0;
+        B[i] = A[2*i - i] + 1.0;
+      }
+    })"), "aliasload");
+  expectFullAgreement(parse(R"(
+    kernel crosslane { array float A[24]; array float B[16];
+      loop i = 0 .. 16 {
+        B[i] = A[i] + 1.0;
+        A[i + 1] = B[i] * 0.5;
+      }
+    })"), "crosslane");
+}
+
+TEST(ExecDifferential, NaNAndIntSemantics) {
+  // 0/0 NaN everywhere, and truncating integer stores with reuse.
+  expectFullAgreement(parse(R"(
+    kernel nanprop { array float A[16] readonly; array float B[16];
+      loop i = 0 .. 16 {
+        B[i] = (A[i] - A[i]) / (A[i] - A[i]);
+      }
+    })"), "nanprop");
+  expectFullAgreement(parse(R"(
+    kernel intreuse { array int I[16]; array float B[16];
+      loop i = 0 .. 16 {
+        I[i] = I[i] / 3.0;
+        B[i] = I[i] * 0.5;
+      }
+    })"), "intreuse");
+}
+
+TEST(ExecDifferential, RandomKernelSweep) {
+  Rng R(20260806);
+  RandomKernelOptions Options;
+  Options.MaxStatements = 12;
+  for (unsigned I = 0; I != 40; ++I) {
+    Options.NumLoops = 1 + (I % 2);
+    Kernel K = randomKernel(R, Options);
+    for (uint64_t Seed : {uint64_t(1), uint64_t(99)})
+      expectScalarAgreement(K, Seed, "random#" + std::to_string(I));
+    PipelineResult Res =
+        runPipeline(K, OptimizerKind::GlobalLayout, PipelineOptions());
+    expectVectorAgreement(K, Res, /*Seed=*/1234,
+                          "random#" + std::to_string(I));
+  }
+}
+
+TEST(ExecDifferential, EnvironmentPoolResetMatchesFresh) {
+  // Pool acquire after release must be observationally identical to fresh
+  // construction, even when the slot previously held a different kernel's
+  // (larger) environment.
+  Kernel Big = workloadByName("milc").TheKernel;
+  Kernel Small = parse(R"(
+    kernel tiny { array float A[4]; scalar float s;
+      loop i = 0 .. 4 { A[i] = A[i] + 1.0; s = A[i]; }
+    })");
+  ExecEngine Engine(ExecEngineKind::Optimized);
+  EnvironmentPool &Pool = Engine.envPool();
+
+  size_t Mark = Pool.mark();
+  Environment &First = Pool.acquire(Big, 5);
+  Engine.runKernel(Big, First); // dirty the buffers
+  Pool.releaseTo(Mark);
+
+  Environment &Reused = Pool.acquire(Small, 123);
+  Environment Fresh(Small, 123);
+  EXPECT_TRUE(Reused.matches(Fresh, static_cast<unsigned>(Small.Scalars.size()), static_cast<unsigned>(Small.Arrays.size())))
+      << "pooled reset is not bit-identical to fresh construction";
+  Pool.releaseTo(Mark);
+
+  EXPECT_GE(Engine.counters().EnvReuses, 1u);
+  EXPECT_GE(Engine.counters().EnvConstructions, 1u);
+}
+
+TEST(ExecDifferential, CountersAccountForTapeWork) {
+  Kernel K = workloadByName("milc").TheKernel;
+  ExecEngine Opt(ExecEngineKind::Optimized);
+  CompiledScalarKernel C = Opt.compileScalar(K);
+  ASSERT_TRUE(C.UseTape);
+  Environment EnvA(K, 1);
+  Environment EnvB(K, 1);
+  Opt.runScalar(C, EnvA);
+  Opt.runScalar(C, EnvB);
+  const ExecCounters &OC = Opt.counters();
+  EXPECT_EQ(OC.ScalarTapesCompiled, 1u);
+  EXPECT_EQ(OC.TapeRuns, 2u);
+  EXPECT_GT(OC.TapeOpsExecuted, 0u);
+  EXPECT_GT(OC.BlockIterations, 0u);
+  // Strength reduction: one full address evaluation per slot per run, and
+  // one incremental update per slot per subsequent iteration — far fewer
+  // full evaluations than increments for a multi-iteration kernel.
+  EXPECT_GT(OC.AddrIncrements, OC.AddrFullEvals);
+  // Second run reuses the grown arena.
+  EXPECT_GE(OC.ArenaReuses, 1u);
+  EXPECT_EQ(OC.ReferenceRuns, 0u);
+
+  ExecEngine Ref(ExecEngineKind::Reference);
+  Environment EnvC(K, 1);
+  Ref.runKernel(K, EnvC);
+  const ExecCounters &RC = Ref.counters();
+  EXPECT_EQ(RC.ScalarTapesCompiled, 0u);
+  EXPECT_EQ(RC.TapeRuns, 0u);
+  EXPECT_EQ(RC.ReferenceRuns, 1u);
+}

@@ -154,8 +154,7 @@ TEST(VectorInterp, RunOnceMatchesManualEvaluation) {
   VectorProgram P = generateVectorProgram(K, make({{0, 1}}), CG, L);
   Environment Env(K, 30);
   double A0 = Env.arrayBuffer(0)[0], A1 = Env.arrayBuffer(0)[1];
-  std::vector<std::vector<double>> Regs;
-  runVectorProgramOnce(K, P, Env, {}, Regs);
+  runVectorProgramOnce(K, P, Env, {});
   EXPECT_DOUBLE_EQ(Env.arrayBuffer(1)[0], A0 + 10.0);
   EXPECT_DOUBLE_EQ(Env.arrayBuffer(1)[1], A1 + 10.0);
 }

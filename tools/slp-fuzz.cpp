@@ -12,6 +12,9 @@
 //     --time-budget S     wall-clock budget in seconds (0 = none)
 //     --corpus-dir DIR    where reduced repros are written
 //     --replay DIR        replay every corpus case under DIR and exit
+//     --exec-engine E     optimized|reference — execution engine kernels
+//                         run under (default: optimized, or the
+//                         SLP_EXEC_ENGINE environment variable)
 //     --inject-bug KIND   none|drop-item|dup-lane|swap-dependent —
 //                         mutation-test the harness: corrupt each schedule
 //                         and demand the verifier catches it
@@ -30,6 +33,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +50,8 @@ void printUsage() {
       "  --time-budget S    wall-clock budget in seconds (0 = none)\n"
       "  --corpus-dir DIR   write reduced repros into DIR\n"
       "  --replay DIR       replay every .slp case under DIR and exit\n"
+      "  --exec-engine E    optimized|reference execution engine\n"
+      "                     (default: optimized, or $SLP_EXEC_ENGINE)\n"
       "  --inject-bug KIND  none|drop-item|dup-lane|swap-dependent\n"
       "                     corrupt schedules on purpose and demand the\n"
       "                     verifier catches every applicable corruption\n"
@@ -90,6 +96,7 @@ bool parseU64(const std::string &V, uint64_t &Out) {
 int main(int Argc, char **Argv) {
   FuzzConfig Config;
   Config.Iterations = 1000;
+  Config.Exec = defaultExecEngineKind();
   std::string ReplayDir;
   bool Quiet = false;
   bool IterationsSet = false;
@@ -143,6 +150,18 @@ int main(int Argc, char **Argv) {
       return 2;
     if (Matched) {
       ReplayDir = Value;
+      continue;
+    }
+    if (!argValue(Argc, Argv, I, "--exec-engine", Value, Matched))
+      return 2;
+    if (Matched) {
+      std::optional<ExecEngineKind> Kind = parseExecEngineName(Value);
+      if (!Kind) {
+        std::fprintf(stderr, "slp-fuzz: unknown --exec-engine '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      Config.Exec = *Kind;
       continue;
     }
     if (!argValue(Argc, Argv, I, "--inject-bug", Value, Matched))

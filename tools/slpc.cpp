@@ -11,6 +11,9 @@
 //     --machine=intel|amd                            (default intel)
 //     --bits=N             override the SIMD datapath width
 //     --grouping-impl=optimized|reference   grouping engine (default optimized)
+//     --exec-engine=optimized|reference     execution engine used by the
+//                                           equivalence check (default
+//                                           optimized, or $SLP_EXEC_ENGINE)
 //     --passes=<list>      run a custom comma-separated pass list
 //     --time-passes        print per-pass wall-clock timing
 //     --stats              print the named statistic counters
@@ -24,6 +27,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "exec/ExecEngine.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "slp/Passes.h"
@@ -35,6 +39,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,6 +53,7 @@ struct CliOptions {
   OptimizerKind Kind = OptimizerKind::GlobalLayout;
   MachineModel Machine = MachineModel::intelDunnington();
   GroupingImpl GroupingEngine = GroupingImpl::Optimized;
+  ExecEngineKind ExecEngine = defaultExecEngineKind();
   std::vector<std::string> Passes; ///< empty = canonical pipeline
   unsigned Threads = 1;
   bool TimePasses = false;
@@ -72,6 +78,11 @@ void printUsage() {
       "                        grouping engine; both give identical\n"
       "                        groupings, 'reference' is the slow Figure 10\n"
       "                        transcription (default optimized)\n"
+      "  --exec-engine=optimized|reference\n"
+      "                        execution engine for the equivalence check;\n"
+      "                        'optimized' compiles kernels to flat tapes,\n"
+      "                        'reference' walks the expression trees\n"
+      "                        (default optimized, or $SLP_EXEC_ENGINE)\n"
       "  --passes=<list>       run a custom comma-separated pass list\n"
       "                        (see docs/pass-pipeline.md for pass names)\n"
       "  --time-passes         print per-pass wall-clock timing\n"
@@ -188,6 +199,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                      V.c_str());
         return false;
       }
+    } else if (Arg.rfind("--exec-engine=", 0) == 0) {
+      std::string V = Arg.substr(14);
+      std::optional<ExecEngineKind> Kind = parseExecEngineName(V);
+      if (!Kind) {
+        std::fprintf(stderr, "slpc: unknown exec engine '%s'\n", V.c_str());
+        return false;
+      }
+      Opts.ExecEngine = *Kind;
     } else if (Arg.rfind("--passes=", 0) == 0) {
       Opts.Passes = splitList(Arg.substr(9));
       if (Opts.Passes.empty()) {
@@ -274,6 +293,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  ExecEngine Engine(Opts.ExecEngine);
+
   ModuleParseResult Parsed = parseModule(Source);
   if (!Parsed.succeeded()) {
     std::fprintf(stderr, "slpc: %s:%u: error: %s\n", Opts.InputPath.c_str(),
@@ -349,7 +370,7 @@ int main(int Argc, char **Argv) {
                      K.Name.c_str());
       } else {
         std::string Error;
-        if (!checkEquivalence(K, R, /*Seed=*/0xC0FFEE, &Error)) {
+        if (!checkEquivalence(K, R, /*Seed=*/0xC0FFEE, &Error, &Engine)) {
           std::fprintf(stderr, "slpc: VERIFICATION FAILED: %s\n",
                        Error.c_str());
           return 1;
@@ -377,8 +398,10 @@ int main(int Argc, char **Argv) {
                 "%zu kernels\n",
                 100.0 * Module.improvement(), Parsed.Kernels.size());
 
-  if (Opts.Stats)
+  if (Opts.Stats) {
+    reportExecCounters(Engine.counters(), Module.Stats);
     std::printf("%s", Module.Stats.str("statistics").c_str());
+  }
   if (Opts.TimePasses)
     std::printf("%s", Module.PassTimings.str("pass timing (wall clock)")
                           .c_str());
