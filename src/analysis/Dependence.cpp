@@ -8,21 +8,55 @@
 
 using namespace slp;
 
+namespace {
+
+/// Overflow-checked signed-64-bit helpers for the Banerjee bounds fold.
+/// Each returns false on overflow, in which case the caller must degrade
+/// to the conservative may-be-zero answer rather than reason from a
+/// wrapped value.
+bool checkedAdd(int64_t A, int64_t B, int64_t &Out) {
+  return !__builtin_add_overflow(A, B, &Out);
+}
+
+bool checkedMul(int64_t A, int64_t B, int64_t &Out) {
+  return !__builtin_mul_overflow(A, B, &Out);
+}
+
+bool checkedNeg(int64_t A, int64_t &Out) {
+  return !__builtin_sub_overflow(int64_t{0}, A, &Out);
+}
+
+} // namespace
+
 /// Banerjee-style feasibility of `Diff(i) == 0` over the rectangular
 /// iteration domain of \p K. Returns true when a zero is possible
 /// (may-alias) and false when provably impossible.
-static bool affineCanBeZero(const Kernel &K, const AffineExpr &Diff) {
+bool slp::affineMayBeZero(const Kernel &K, const AffineExpr &Diff) {
   if (Diff.isConstant())
     return Diff.constant() == 0;
 
   // GCD test: c + sum a_d * i_d == 0 requires gcd(a_d) | c.
+  // std::gcd(INT64_MIN, x) overflows when negating; route coefficients
+  // through a checked negation and stay conservative when one is INT64_MIN.
   int64_t Gcd = 0;
-  for (unsigned D = 0, E = Diff.numDims(); D != E; ++D)
-    Gcd = std::gcd(Gcd, Diff.coeff(D));
-  if (Gcd != 0 && Diff.constant() % Gcd != 0)
+  bool GcdValid = true;
+  for (unsigned D = 0, E = Diff.numDims(); D != E; ++D) {
+    int64_t C = Diff.coeff(D);
+    int64_t Mag;
+    if (C >= 0)
+      Mag = C;
+    else if (!checkedNeg(C, Mag)) {
+      GcdValid = false;
+      break;
+    }
+    Gcd = std::gcd(Gcd, Mag);
+  }
+  if (GcdValid && Gcd != 0 && Diff.constant() % Gcd != 0)
     return false;
 
-  // Bounds test: the variable part must be able to reach -c.
+  // Bounds test: the variable part must be able to reach -c. Every step of
+  // the fold is overflow-checked; a single overflow makes the bounds
+  // unusable, so the test degrades to "may be zero".
   int64_t Min = 0, Max = 0;
   for (unsigned D = 0, E = Diff.numDims(); D != E; ++D) {
     int64_t C = Diff.coeff(D);
@@ -34,16 +68,21 @@ static bool affineCanBeZero(const Kernel &K, const AffineExpr &Diff) {
     if (L.tripCount() == 0)
       return false;
     int64_t Lo = L.Lower;
-    int64_t Hi = L.Lower + (L.tripCount() - 1) * L.Step;
-    if (C > 0) {
-      Min += C * Lo;
-      Max += C * Hi;
-    } else {
-      Min += C * Hi;
-      Max += C * Lo;
-    }
+    int64_t Extent, Hi;
+    if (!checkedMul(L.tripCount() - 1, L.Step, Extent) ||
+        !checkedAdd(L.Lower, Extent, Hi))
+      return true;
+    int64_t TermLo, TermHi;
+    if (!checkedMul(C, Lo, TermLo) || !checkedMul(C, Hi, TermHi))
+      return true;
+    if (C < 0)
+      std::swap(TermLo, TermHi);
+    if (!checkedAdd(Min, TermLo, Min) || !checkedAdd(Max, TermHi, Max))
+      return true;
   }
-  int64_t Target = -Diff.constant();
+  int64_t Target;
+  if (!checkedNeg(Diff.constant(), Target))
+    return true;
   return Target >= Min && Target <= Max;
 }
 
@@ -60,7 +99,7 @@ bool DependenceInfo::mayAlias(const Kernel &K, const Operand &A,
   const ArraySymbol &Arr = K.array(A.symbol());
   AffineExpr Diff = flattenArrayRef(Arr, A.subscripts()) -
                     flattenArrayRef(Arr, B.subscripts());
-  return affineCanBeZero(K, Diff);
+  return affineMayBeZero(K, Diff);
 }
 
 DependenceInfo::DependenceInfo(const Kernel &K) {

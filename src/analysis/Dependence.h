@@ -23,6 +23,15 @@
 
 namespace slp {
 
+/// May the affine expression \p Diff evaluate to zero somewhere in the
+/// rectangular iteration domain of \p K? Runs a GCD divisibility test and
+/// Banerjee-style bounds over each loop's range; answers true (may be
+/// zero) whenever neither test can refute feasibility. All internal
+/// arithmetic is overflow-checked: any signed-64-bit overflow while
+/// folding coefficients against loop bounds degrades the answer to the
+/// conservative `true` instead of wrapping into a wrong refutation.
+bool affineMayBeZero(const Kernel &K, const AffineExpr &Diff);
+
 /// Classic dependence kinds between an earlier and a later statement.
 enum class DepKind : uint8_t { Flow, Anti, Output };
 

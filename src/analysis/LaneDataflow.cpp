@@ -1,0 +1,230 @@
+//===- analysis/LaneDataflow.cpp ------------------------------*- C++ -*-===//
+
+#include "analysis/LaneDataflow.h"
+
+#include "analysis/Dependence.h"
+#include "ir/Interpreter.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace slp;
+
+//===----------------------------------------------------------------------===//
+// LocationTable
+//===----------------------------------------------------------------------===//
+
+LocId LocationTable::intern(const Operand &Op) {
+  assert(!Op.isConstant() && "constants are not memory locations");
+  Loc L;
+  std::string Key;
+  if (Op.isScalar()) {
+    L.IsScalar = true;
+    L.Sym = Op.symbol();
+    Key = 's';
+    Key += std::to_string(Op.symbol());
+  } else {
+    L.IsScalar = false;
+    L.Sym = Op.symbol();
+    L.Offset = flattenArrayRef(K.array(Op.symbol()), Op.subscripts());
+    Key = 'a';
+    Key += std::to_string(Op.symbol());
+    Key += ':';
+    Key += L.Offset.key();
+  }
+  auto [It, Inserted] =
+      Interned.emplace(std::move(Key), static_cast<LocId>(Locs.size()));
+  if (Inserted)
+    Locs.push_back(std::move(L));
+  return It->second;
+}
+
+LocAlias LocationTable::alias(LocId A, LocId B) {
+  if (A == B)
+    return LocAlias::Must;
+  const Loc &LA = Locs[A];
+  const Loc &LB = Locs[B];
+  if (LA.IsScalar != LB.IsScalar || LA.Sym != LB.Sym)
+    return LocAlias::None;
+  if (LA.IsScalar)
+    return LocAlias::None; // same symbol would have interned to one id
+  uint64_t CacheKey = (static_cast<uint64_t>(std::min(A, B)) << 32) |
+                      std::max(A, B);
+  auto It = AliasCache.find(CacheKey);
+  if (It != AliasCache.end())
+    return It->second;
+  // Distinct flattened offsets of one array: can they coincide in some
+  // iteration? Offsets of interned locations are modest (they came from a
+  // real kernel's flattening), so the subtraction itself is safe; the
+  // feasibility test uses checked arithmetic internally.
+  LocAlias Result = affineMayBeZero(K, LA.Offset - LB.Offset)
+                        ? LocAlias::May
+                        : LocAlias::None;
+  AliasCache.emplace(CacheKey, Result);
+  return Result;
+}
+
+ScalarType LocationTable::locType(LocId L) const {
+  const Loc &TheLoc = Locs[L];
+  return TheLoc.IsScalar ? K.scalar(TheLoc.Sym).Ty : K.array(TheLoc.Sym).Ty;
+}
+
+std::string LocationTable::locName(LocId L) const {
+  const Loc &TheLoc = Locs[L];
+  if (TheLoc.IsScalar)
+    return K.scalar(TheLoc.Sym).Name;
+  return K.array(TheLoc.Sym).Name + "[" +
+         TheLoc.Offset.toString(K.indexNames()) + "]";
+}
+
+//===----------------------------------------------------------------------===//
+// TermTable
+//===----------------------------------------------------------------------===//
+
+TermId TermTable::intern(Term T, std::string Key) {
+  auto [It, Inserted] =
+      Interned.emplace(std::move(Key), static_cast<TermId>(Terms.size()));
+  if (Inserted)
+    Terms.push_back(std::move(T));
+  return It->second;
+}
+
+TermId TermTable::makeConst(double Value) {
+  Term T;
+  T.TheKind = Kind::Const;
+  std::memcpy(&T.Payload, &Value, sizeof(Value));
+  std::string Key{'c'};
+  Key += std::to_string(T.Payload);
+  return intern(std::move(T), std::move(Key));
+}
+
+TermId TermTable::makeInitial(LocId Loc) {
+  Term T;
+  T.TheKind = Kind::Initial;
+  T.Loc = Loc;
+  std::string Key{'i'};
+  Key += std::to_string(Loc);
+  return intern(std::move(T), std::move(Key));
+}
+
+TermId TermTable::makeTrunc(TermId Child) {
+  // trunc is idempotent; keep terms canonical so a double truncation
+  // (store then reload through an integer location) compares equal.
+  if (term(Child).TheKind == Kind::Trunc)
+    return Child;
+  Term T;
+  T.TheKind = Kind::Trunc;
+  T.Children = {Child};
+  std::string Key{'t'};
+  Key += std::to_string(Child);
+  return intern(std::move(T), std::move(Key));
+}
+
+TermId TermTable::makeApply(OpCode Op, const std::vector<TermId> &Children) {
+  Term T;
+  T.TheKind = Kind::Apply;
+  T.Op = Op;
+  T.Children = Children;
+  std::string Key{'o'};
+  Key += std::to_string(static_cast<int>(Op));
+  for (TermId C : Children) {
+    Key += ',';
+    Key += std::to_string(C);
+  }
+  return intern(std::move(T), std::move(Key));
+}
+
+TermId TermTable::makeAmbig(LocId Loc, const VersionToken &Token) {
+  Term T;
+  T.TheKind = Kind::Ambig;
+  T.Loc = Loc;
+  T.Def = Token.Def;
+  T.MayWriters = Token.MayWriters;
+  std::string Key{'m'};
+  Key += std::to_string(Loc);
+  Key += ':';
+  Key += std::to_string(Token.Def);
+  for (int W : Token.MayWriters) {
+    Key += ',';
+    Key += std::to_string(W);
+  }
+  return intern(std::move(T), std::move(Key));
+}
+
+TermId TermTable::makeClobber() {
+  Term T;
+  T.TheKind = Kind::Clobber;
+  T.Payload = NextClobber++;
+  std::string Key{'x'};
+  Key += std::to_string(T.Payload);
+  return intern(std::move(T), std::move(Key));
+}
+
+std::string TermTable::str(TermId Id, const LocationTable &Locs) const {
+  if (Id == InvalidTerm)
+    return "<undef>";
+  const Term &T = term(Id);
+  switch (T.TheKind) {
+  case Kind::Const: {
+    double Value;
+    std::memcpy(&Value, &T.Payload, sizeof(Value));
+    return "const(" + std::to_string(Value) + ")";
+  }
+  case Kind::Initial:
+    return "init(" + Locs.locName(T.Loc) + ")";
+  case Kind::Trunc:
+    return "trunc(" + str(T.Children[0], Locs) + ")";
+  case Kind::Apply: {
+    std::string Out = opcodeName(T.Op);
+    Out += '(';
+    for (unsigned I = 0; I != T.Children.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += str(T.Children[I], Locs);
+    }
+    Out += ')';
+    return Out;
+  }
+  case Kind::Ambig: {
+    std::string Out = "ambig(" + Locs.locName(T.Loc) +
+                      ", def=" + std::to_string(T.Def) + ", may={";
+    for (unsigned I = 0; I != T.MayWriters.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += std::to_string(T.MayWriters[I]);
+    }
+    Out += "})";
+    return Out;
+  }
+  case Kind::Clobber:
+    return "clobber#" + std::to_string(T.Payload);
+  }
+  slpUnreachable("invalid term kind");
+}
+
+//===----------------------------------------------------------------------===//
+// WriteLog
+//===----------------------------------------------------------------------===//
+
+VersionToken WriteLog::tokenFor(LocId Loc, LocationTable &Locs) const {
+  VersionToken Token;
+  // Scan backwards to the most recent must-write; everything after it that
+  // may alias contributes ambiguity.
+  for (unsigned I = static_cast<unsigned>(Writes.size()); I != 0;) {
+    --I;
+    const Write &W = Writes[I];
+    LocAlias A = Locs.alias(Loc, W.Loc);
+    if (A == LocAlias::Must) {
+      Token.Def = W.Stmt;
+      break;
+    }
+    if (A == LocAlias::May)
+      Token.MayWriters.push_back(W.Stmt);
+  }
+  std::sort(Token.MayWriters.begin(), Token.MayWriters.end());
+  Token.MayWriters.erase(
+      std::unique(Token.MayWriters.begin(), Token.MayWriters.end()),
+      Token.MayWriters.end());
+  return Token;
+}

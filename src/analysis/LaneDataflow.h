@@ -1,0 +1,187 @@
+//===- analysis/LaneDataflow.h - Symbolic lane provenance -------*- C++ -*-===//
+///
+/// \file
+/// The abstract domain of the vector translation validator
+/// (analysis/VectorVerifier.h): hash-consed symbolic terms describing what
+/// value a lane holds, interned memory locations (scalar symbols and
+/// flattened affine array elements), and version tokens describing what a
+/// location contains at a point of a symbolic execution.
+///
+/// The provenance lattice per lane is, from bottom to top:
+///
+///   Const(c)           a literal constant
+///   Initial(loc)       the pre-block content of a memory location
+///   Stmt terms         the (untruncated) right-hand side of a block
+///                      statement, as Apply/Trunc trees over the above
+///   Ambig(loc, ...)    a read whose producing write is ambiguous
+///                      (may-aliasing writes intervened) — the top element,
+///                      comparable only against the identically ambiguous
+///                      read of the other execution
+///
+/// Terms are hash-consed, so abstract-value equality is integer identity.
+/// Two symbolic executions (the scalar reference and the vector program)
+/// that resolve reads through identical version tokens build identical
+/// term ids for identical dynamic values; see docs/static-analysis.md for
+/// the soundness argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_LANEDATAFLOW_H
+#define SLP_ANALYSIS_LANEDATAFLOW_H
+
+#include "ir/Expr.h"
+#include "ir/Kernel.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace slp {
+
+/// Interned id of a memory location (scalar symbol or array element).
+using LocId = uint32_t;
+
+/// Interned id of a symbolic term. Equality of ids is equality of terms.
+using TermId = uint32_t;
+
+constexpr TermId InvalidTerm = ~0u;
+
+/// How two interned locations may overlap.
+enum class LocAlias : uint8_t {
+  None, ///< provably distinct in every iteration
+  May,  ///< may coincide in some iteration (Banerjee/GCD could not refute)
+  Must, ///< the same location in every iteration (identical id)
+};
+
+/// Interns the memory locations a kernel's block touches. Array references
+/// are keyed by their row-major flattened affine offset, so syntactically
+/// different subscripts denoting the same element share one id, and id
+/// equality is must-alias. May-alias between distinct ids is decided by
+/// the dependence machinery (affineMayBeZero) and cached pairwise.
+class LocationTable {
+public:
+  explicit LocationTable(const Kernel &K) : K(K) {}
+
+  /// Interns the scalar/array operand \p Op (asserts on constants).
+  LocId intern(const Operand &Op);
+
+  /// Aliasing relation between two interned locations.
+  LocAlias alias(LocId A, LocId B);
+
+  bool isScalarLoc(LocId L) const { return Locs[L].IsScalar; }
+  SymbolId locSymbol(LocId L) const { return Locs[L].Sym; }
+
+  /// Element type stored at the location (drives store truncation).
+  ScalarType locType(LocId L) const;
+
+  /// "g" or "A[4*i + 1]" for diagnostics.
+  std::string locName(LocId L) const;
+
+  unsigned size() const { return static_cast<unsigned>(Locs.size()); }
+
+private:
+  struct Loc {
+    bool IsScalar = false;
+    SymbolId Sym = 0;
+    AffineExpr Offset; ///< flattened element offset (arrays only)
+  };
+
+  const Kernel &K;
+  std::vector<Loc> Locs;
+  std::unordered_map<std::string, LocId> Interned;
+  std::unordered_map<uint64_t, LocAlias> AliasCache;
+};
+
+/// What a location contains at a point of a symbolic execution: the last
+/// must-write (a block statement id, or Initial for the pre-block
+/// content) plus every may-aliasing write since. Tokens are comparable
+/// across the scalar-reference and vector executions: equal tokens over
+/// the same location imply equal dynamic contents, provided the writes
+/// they name stored the statements' intended values and every pair of
+/// may-aliasing writes executed in the same relative order (both checked
+/// separately by the verifier).
+struct VersionToken {
+  static constexpr int Initial = -1;
+  /// Statement id of the last must-write. Ids <= -2 are synthetic writer
+  /// ids minted during error recovery; they compare equal to nothing the
+  /// reference execution produces.
+  int Def = Initial;
+  std::vector<int> MayWriters; ///< sorted, deduplicated writer ids
+
+  bool operator==(const VersionToken &O) const {
+    return Def == O.Def && MayWriters == O.MayWriters;
+  }
+};
+
+/// Hash-consed symbolic term table.
+class TermTable {
+public:
+  enum class Kind : uint8_t {
+    Const,   ///< literal constant (Payload = bit pattern)
+    Initial, ///< pre-block content of location Loc
+    Trunc,   ///< integer store/load truncation of Child[0]
+    Apply,   ///< OpCode Op over Child terms
+    Ambig,   ///< ambiguous read: location Loc, token (Def, MayWriters)
+    Clobber, ///< unique unknown introduced by an already-diagnosed error
+  };
+
+  struct Term {
+    Kind TheKind = Kind::Const;
+    OpCode Op = OpCode::Add;
+    uint64_t Payload = 0; ///< Const: value bits; Clobber: unique id
+    LocId Loc = 0;
+    int Def = VersionToken::Initial; ///< Ambig only
+    std::vector<int> MayWriters;     ///< Ambig only
+    std::vector<TermId> Children;
+  };
+
+  TermId makeConst(double Value);
+  TermId makeInitial(LocId Loc);
+  TermId makeTrunc(TermId Child);
+  TermId makeApply(OpCode Op, const std::vector<TermId> &Children);
+  /// An ambiguous read of \p Loc under \p Token (non-empty MayWriters).
+  TermId makeAmbig(LocId Loc, const VersionToken &Token);
+  /// A fresh term equal to nothing else (error recovery).
+  TermId makeClobber();
+
+  const Term &term(TermId Id) const { return Terms[Id]; }
+  unsigned size() const { return static_cast<unsigned>(Terms.size()); }
+
+  /// Debug rendering ("trunc(add(init(A[i]), const(1)))").
+  std::string str(TermId Id, const LocationTable &Locs) const;
+
+private:
+  TermId intern(Term T, std::string Key);
+
+  std::vector<Term> Terms;
+  std::unordered_map<std::string, TermId> Interned;
+  uint64_t NextClobber = 0;
+};
+
+/// A chronological write log over interned locations; one per symbolic
+/// execution. Version tokens are derived by scanning the log backwards, so
+/// locations first mentioned late still observe earlier may-aliasing
+/// writes.
+class WriteLog {
+public:
+  /// Records that writer \p Stmt (a statement id, or a synthetic negative
+  /// id minted during error recovery) wrote location \p Loc.
+  void recordWrite(LocId Loc, int Stmt) { Writes.push_back({Loc, Stmt}); }
+
+  /// The version token an immediate read of \p Loc would observe.
+  VersionToken tokenFor(LocId Loc, LocationTable &Locs) const;
+
+  unsigned size() const { return static_cast<unsigned>(Writes.size()); }
+
+private:
+  struct Write {
+    LocId Loc;
+    int Stmt;
+  };
+  std::vector<Write> Writes;
+};
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_LANEDATAFLOW_H

@@ -1,0 +1,707 @@
+//===- analysis/VectorVerifier.cpp ----------------------------*- C++ -*-===//
+
+#include "analysis/VectorVerifier.h"
+
+#include "analysis/Dependence.h"
+#include "analysis/LaneDataflow.h"
+
+#include <algorithm>
+#include <optional>
+
+using namespace slp;
+
+namespace {
+
+/// One verification run: the reference symbolic execution of the kernel's
+/// block followed by the abstract interpretation of the vector program.
+class Verifier {
+public:
+  Verifier(const Kernel &K, const VectorProgram &P,
+           const VectorVerifyOptions &Options)
+      : K(K), P(P), Options(Options), Locs(K), Deps(K),
+        NumStmts(K.Body.size()) {}
+
+  VectorVerifyResult run();
+
+private:
+  // --- diagnostics -------------------------------------------------------
+  void diag(const char *Code, DiagSeverity Severity, std::string Message,
+            DiagLocation Loc = {});
+  void error(const char *Code, std::string Message, DiagLocation Loc = {}) {
+    diag(Code, DiagSeverity::Error, std::move(Message), Loc);
+  }
+  void lint(const char *Code, std::string Message, DiagLocation Loc = {}) {
+    if (Options.Lint)
+      diag(Code, DiagSeverity::Warning, std::move(Message), Loc);
+  }
+
+  // --- symbolic machinery ------------------------------------------------
+  /// The term an immediate read of \p Loc observes under \p Log.
+  TermId resolveRead(const WriteLog &Log, LocId Loc);
+  /// Symbolic value of expression \p E with reads resolved through \p Log.
+  TermId buildExprTerm(const Expr &E, const WriteLog &Log);
+  /// Runs the scalar reference: statement order, recording RefTerm/LhsLoc.
+  void runReference();
+
+  // --- vector abstract interpretation ------------------------------------
+  void computeLastUses();
+  const std::vector<TermId> *useReg(unsigned Reg, unsigned Inst);
+  void defReg(unsigned Reg, std::vector<TermId> Lanes, unsigned Inst);
+  void execLoadPack(const VInst &I, unsigned Inst);
+  void execStorePack(const VInst &I, unsigned Inst);
+  void execShuffle(const VInst &I, unsigned Inst);
+  void execVectorOp(const VInst &I, unsigned Inst);
+  void execScalarExec(const VInst &I, unsigned Inst);
+  /// Marks statement \p Stmt as executed by instruction \p Inst and logs
+  /// its write.
+  void commitStatement(unsigned Stmt, unsigned Inst);
+  void checkDependenceOrder();
+  void lintDeadLanes();
+  void lintScalarReload(const VInst &I, unsigned Inst);
+
+  std::string describeTerm(TermId T) const { return Terms.str(T, Locs); }
+
+  const Kernel &K;
+  const VectorProgram &P;
+  const VectorVerifyOptions &Options;
+  LocationTable Locs;
+  DependenceInfo Deps;
+  TermTable Terms;
+  unsigned NumStmts;
+
+  VectorVerifyResult Result;
+  bool SuppressionNoted = false;
+
+  // Reference-execution products.
+  std::vector<TermId> RefTerm; ///< untruncated RHS term per statement
+  std::vector<LocId> LhsLoc;   ///< interned lhs location per statement
+
+  // Vector-execution state.
+  WriteLog VLog;
+  std::vector<int> ExecInst; ///< instruction that executed stmt, -1 = none
+  std::vector<std::optional<std::vector<TermId>>> Regs;
+  std::vector<int> LastUse; ///< last instruction reading each vreg, -1 none
+  /// Defining shuffle per vreg (src reg + perm) for the
+  /// permutes-compose-to-identity lint; cleared on any other def.
+  struct ShuffleDef {
+    unsigned Src;
+    std::vector<unsigned> Perm;
+  };
+  std::vector<std::optional<ShuffleDef>> ShuffleDefs;
+  int NextSynthetic = -2; ///< writer ids for error recovery
+};
+
+void Verifier::diag(const char *Code, DiagSeverity Severity,
+                    std::string Message, DiagLocation Loc) {
+  if (Options.WarningsAsErrors && Severity == DiagSeverity::Warning)
+    Severity = DiagSeverity::Error;
+  if (Severity == DiagSeverity::Error)
+    ++Result.Errors;
+  else if (Severity == DiagSeverity::Warning)
+    ++Result.Warnings;
+  if (Result.Diags.size() >= Options.MaxDiagnostics) {
+    if (!SuppressionNoted) {
+      SuppressionNoted = true;
+      Diagnostic Note;
+      Note.Code = "VV00";
+      Note.Severity = DiagSeverity::Note;
+      Note.Message = "further diagnostics suppressed (limit " +
+                     std::to_string(Options.MaxDiagnostics) +
+                     " reached); severity counters remain exact";
+      Result.Diags.push_back(std::move(Note));
+    }
+    return;
+  }
+  Diagnostic D;
+  D.Code = Code;
+  D.Severity = Severity;
+  D.Message = std::move(Message);
+  D.Loc = Loc;
+  Result.Diags.push_back(std::move(D));
+}
+
+TermId Verifier::resolveRead(const WriteLog &Log, LocId Loc) {
+  VersionToken Token = Log.tokenFor(Loc, Locs);
+  if (Token.MayWriters.empty() && Token.Def == VersionToken::Initial)
+    return Terms.makeInitial(Loc);
+  if (Token.MayWriters.empty() && Token.Def >= 0) {
+    TermId Value = RefTerm[Token.Def];
+    // Integer-typed locations truncate on store, so a reload observes the
+    // truncated value (ir/Interpreter storeToOperand semantics).
+    return isFloatType(Locs.locType(Loc)) ? Value : Terms.makeTrunc(Value);
+  }
+  // Ambiguous (may-aliasing writes intervened) or synthetic writer from
+  // error recovery: the token itself is the abstract value.
+  return Terms.makeAmbig(Loc, Token);
+}
+
+TermId Verifier::buildExprTerm(const Expr &E, const WriteLog &Log) {
+  if (E.isLeaf()) {
+    const Operand &Op = E.leaf();
+    if (Op.isConstant())
+      return Terms.makeConst(Op.constantValue());
+    return resolveRead(Log, Locs.intern(Op));
+  }
+  std::vector<TermId> Children;
+  Children.reserve(E.numChildren());
+  for (unsigned C = 0; C != E.numChildren(); ++C)
+    Children.push_back(buildExprTerm(E.child(C), Log));
+  return Terms.makeApply(E.opcode(), Children);
+}
+
+void Verifier::runReference() {
+  RefTerm.resize(NumStmts, InvalidTerm);
+  LhsLoc.resize(NumStmts, 0);
+  WriteLog RLog;
+  for (unsigned S = 0; S != NumStmts; ++S) {
+    const Statement &Stmt = K.Body.statement(S);
+    RefTerm[S] = buildExprTerm(Stmt.rhs(), RLog);
+    LhsLoc[S] = Locs.intern(Stmt.lhs());
+    RLog.recordWrite(LhsLoc[S], static_cast<int>(S));
+  }
+}
+
+void Verifier::computeLastUses() {
+  LastUse.assign(P.NumVRegs, -1);
+  auto Use = [this](unsigned Reg, unsigned Inst) {
+    if (Reg < LastUse.size())
+      LastUse[Reg] = static_cast<int>(Inst);
+  };
+  for (unsigned I = 0; I != P.Insts.size(); ++I) {
+    const VInst &Inst = P.Insts[I];
+    switch (Inst.Kind) {
+    case VInstKind::StorePack:
+    case VInstKind::Shuffle:
+      Use(Inst.Src0, I);
+      break;
+    case VInstKind::VectorOp:
+      Use(Inst.Src0, I);
+      if (!Inst.UnaryOp)
+        Use(Inst.Src1, I);
+      break;
+    case VInstKind::LoadPack:
+    case VInstKind::ScalarExec:
+      break;
+    }
+  }
+}
+
+const std::vector<TermId> *Verifier::useReg(unsigned Reg, unsigned Inst) {
+  DiagLocation Loc;
+  Loc.Inst = static_cast<int>(Inst);
+  Loc.VReg = static_cast<int>(Reg);
+  if (Reg >= Regs.size()) {
+    error("VV10",
+          "instruction reads vreg " + std::to_string(Reg) +
+              " outside the program's register space (" +
+              std::to_string(P.NumVRegs) + " vregs)",
+          Loc);
+    return nullptr;
+  }
+  if (!Regs[Reg]) {
+    error("VV06",
+          "vreg " + std::to_string(Reg) + " is read before any definition",
+          Loc);
+    return nullptr;
+  }
+  return &*Regs[Reg];
+}
+
+void Verifier::defReg(unsigned Reg, std::vector<TermId> Lanes,
+                      unsigned Inst) {
+  DiagLocation Loc;
+  Loc.Inst = static_cast<int>(Inst);
+  Loc.VReg = static_cast<int>(Reg);
+  if (Reg >= Regs.size()) {
+    error("VV10",
+          "instruction defines vreg " + std::to_string(Reg) +
+              " outside the program's register space (" +
+              std::to_string(P.NumVRegs) + " vregs)",
+          Loc);
+    return;
+  }
+  if (Regs[Reg] && Reg < LastUse.size() &&
+      LastUse[Reg] > static_cast<int>(Inst))
+    error("VV11",
+          "vreg " + std::to_string(Reg) +
+              " is redefined while still live (next read at inst " +
+              std::to_string(LastUse[Reg]) + ")",
+          Loc);
+  Regs[Reg] = std::move(Lanes);
+  if (Reg < ShuffleDefs.size())
+    ShuffleDefs[Reg].reset();
+}
+
+void Verifier::execLoadPack(const VInst &I, unsigned Inst) {
+  DiagLocation Loc;
+  Loc.Inst = static_cast<int>(Inst);
+  Loc.VReg = static_cast<int>(I.Dst);
+  if (I.LaneOps.size() != I.Lanes) {
+    error("VV07",
+          "load pack declares " + std::to_string(I.Lanes) +
+              " lane(s) but carries " + std::to_string(I.LaneOps.size()) +
+              " operand(s)",
+          Loc);
+    defReg(I.Dst, std::vector<TermId>(I.Lanes, Terms.makeClobber()), Inst);
+    return;
+  }
+  std::vector<TermId> Lanes;
+  Lanes.reserve(I.LaneOps.size());
+  for (const Operand &Op : I.LaneOps) {
+    if (Op.isConstant())
+      Lanes.push_back(Terms.makeConst(Op.constantValue()));
+    else
+      Lanes.push_back(resolveRead(VLog, Locs.intern(Op)));
+  }
+  if (I.Mode == PackMode::ContiguousUnaligned ||
+      I.Mode == PackMode::PermutedContiguous)
+    lint("VL03",
+         "unaligned contiguous load pack; the data layout stage could "
+         "replicate the array into an aligned copy",
+         Loc);
+  else if (I.Mode == PackMode::GatherScalar) {
+    bool AllScalars = true;
+    for (const Operand &Op : I.LaneOps)
+      AllScalars &= Op.isScalar();
+    if (AllScalars && I.LaneOps.size() > 1)
+      lint("VL03",
+           "element-wise gather of scalar variables; the data layout "
+           "stage could place them contiguously",
+           Loc);
+  }
+  defReg(I.Dst, std::move(Lanes), Inst);
+}
+
+void Verifier::execShuffle(const VInst &I, unsigned Inst) {
+  DiagLocation Loc;
+  Loc.Inst = static_cast<int>(Inst);
+  Loc.VReg = static_cast<int>(I.Dst);
+  const std::vector<TermId> *Src = useReg(I.Src0, Inst);
+  if (I.Perm.size() != I.Lanes)
+    error("VV07",
+          "shuffle declares " + std::to_string(I.Lanes) +
+              " lane(s) but its permutation has " +
+              std::to_string(I.Perm.size()) + " entr(ies)",
+          Loc);
+  std::vector<TermId> Lanes(I.Lanes, InvalidTerm);
+  for (unsigned L = 0; L != I.Lanes; ++L) {
+    unsigned From = L < I.Perm.size() ? I.Perm[L] : ~0u;
+    if (!Src || From >= Src->size()) {
+      if (Src && L < I.Perm.size()) {
+        DiagLocation LaneLoc = Loc;
+        LaneLoc.Lane = static_cast<int>(L);
+        error("VV08",
+              "shuffle lane selects source lane " + std::to_string(From) +
+                  " of a " + std::to_string(Src->size()) +
+                  "-lane register",
+              LaneLoc);
+      }
+      Lanes[L] = Terms.makeClobber();
+      continue;
+    }
+    Lanes[L] = (*Src)[From];
+  }
+
+  // Lint tier: identity permutes and adjacent permutes composing to the
+  // identity are wasted work (the source register could be used as-is).
+  if (Src && I.Perm.size() == I.Lanes && Src->size() == I.Lanes) {
+    bool Identity = true;
+    for (unsigned L = 0; L != I.Lanes; ++L)
+      Identity &= I.Perm[L] == L;
+    if (Identity)
+      lint("VL02",
+           "shuffle applies the identity permutation of vreg " +
+               std::to_string(I.Src0),
+           Loc);
+    else if (I.Src0 < ShuffleDefs.size() && ShuffleDefs[I.Src0] &&
+             ShuffleDefs[I.Src0]->Perm.size() == I.Lanes) {
+      bool ComposesToId = true;
+      for (unsigned L = 0; L != I.Lanes; ++L) {
+        unsigned Through = ShuffleDefs[I.Src0]->Perm[I.Perm[L]];
+        ComposesToId &= Through == L;
+      }
+      if (ComposesToId)
+        lint("VL02",
+             "shuffle composes with the shuffle defining vreg " +
+                 std::to_string(I.Src0) +
+                 " to the identity permutation of vreg " +
+                 std::to_string(ShuffleDefs[I.Src0]->Src),
+             Loc);
+    }
+  }
+
+  defReg(I.Dst, std::move(Lanes), Inst);
+  if (I.Dst < ShuffleDefs.size() && Src)
+    ShuffleDefs[I.Dst] = ShuffleDef{I.Src0, I.Perm};
+}
+
+void Verifier::execVectorOp(const VInst &I, unsigned Inst) {
+  DiagLocation Loc;
+  Loc.Inst = static_cast<int>(Inst);
+  Loc.VReg = static_cast<int>(I.Dst);
+  const std::vector<TermId> *A = useReg(I.Src0, Inst);
+  const std::vector<TermId> *B = I.UnaryOp ? nullptr : useReg(I.Src1, Inst);
+  if (A && A->size() != I.Lanes) {
+    error("VV07",
+          "vector op declares " + std::to_string(I.Lanes) +
+              " lane(s) but vreg " + std::to_string(I.Src0) + " holds " +
+              std::to_string(A->size()),
+          Loc);
+    A = nullptr;
+  }
+  if (!I.UnaryOp && B && B->size() != I.Lanes) {
+    error("VV07",
+          "vector op declares " + std::to_string(I.Lanes) +
+              " lane(s) but vreg " + std::to_string(I.Src1) + " holds " +
+              std::to_string(B->size()),
+          Loc);
+    B = nullptr;
+  }
+  std::vector<TermId> Lanes(I.Lanes, InvalidTerm);
+  for (unsigned L = 0; L != I.Lanes; ++L) {
+    if (!A || (!I.UnaryOp && !B)) {
+      Lanes[L] = Terms.makeClobber();
+      continue;
+    }
+    if (I.UnaryOp)
+      Lanes[L] = Terms.makeApply(I.Op, {(*A)[L]});
+    else
+      Lanes[L] = Terms.makeApply(I.Op, {(*A)[L], (*B)[L]});
+  }
+  defReg(I.Dst, std::move(Lanes), Inst);
+}
+
+void Verifier::commitStatement(unsigned Stmt, unsigned Inst) {
+  ExecInst[Stmt] = static_cast<int>(Inst);
+  VLog.recordWrite(LhsLoc[Stmt], static_cast<int>(Stmt));
+}
+
+void Verifier::lintScalarReload(const VInst &I, unsigned Inst) {
+  if (!Options.Lint)
+    return;
+  bool Reported = false;
+  K.Body.statement(I.StmtId).rhs().forEachLeaf([&](const Operand &Op) {
+    if (Reported || Op.isConstant())
+      return;
+    TermId Value = resolveRead(VLog, Locs.intern(Op));
+    for (unsigned R = 0; R != Regs.size() && !Reported; ++R) {
+      if (!Regs[R])
+        continue;
+      for (unsigned L = 0; L != Regs[R]->size(); ++L) {
+        if ((*Regs[R])[L] != Value)
+          continue;
+        DiagLocation Loc;
+        Loc.Inst = static_cast<int>(Inst);
+        Loc.Stmt = static_cast<int>(I.StmtId);
+        Loc.VReg = static_cast<int>(R);
+        Loc.Lane = static_cast<int>(L);
+        lint("VL04",
+             "scalar execution reloads a value still live in a superword "
+             "register",
+             Loc);
+        Reported = true;
+        break;
+      }
+    }
+  });
+}
+
+void Verifier::execScalarExec(const VInst &I, unsigned Inst) {
+  DiagLocation Loc;
+  Loc.Inst = static_cast<int>(Inst);
+  Loc.Stmt = static_cast<int>(I.StmtId);
+  if (I.StmtId >= NumStmts) {
+    error("VV10",
+          "scalar-exec references statement " + std::to_string(I.StmtId) +
+              " outside the block",
+          Loc);
+    return;
+  }
+  ++Result.ScalarStmtsChecked;
+  if (ExecInst[I.StmtId] != -1) {
+    error("VV02",
+          "statement " + std::to_string(I.StmtId) +
+              " is executed more than once (previously by inst " +
+              std::to_string(ExecInst[I.StmtId]) + ")",
+          Loc);
+    // Error recovery: the duplicate write gets a synthetic writer id so
+    // downstream reads become ambiguous instead of silently matching.
+    VLog.recordWrite(LhsLoc[I.StmtId], NextSynthetic--);
+    return;
+  }
+  lintScalarReload(I, Inst);
+  TermId Value = buildExprTerm(K.Body.statement(I.StmtId).rhs(), VLog);
+  if (Value != RefTerm[I.StmtId])
+    error("VV04",
+          "scalar execution of statement " + std::to_string(I.StmtId) +
+              " computes " + describeTerm(Value) +
+              " but the kernel's statement computes " +
+              describeTerm(RefTerm[I.StmtId]),
+          Loc);
+  // Continue with the intended value: the mismatch is already diagnosed.
+  commitStatement(I.StmtId, Inst);
+}
+
+void Verifier::execStorePack(const VInst &I, unsigned Inst) {
+  DiagLocation InstLoc;
+  InstLoc.Inst = static_cast<int>(Inst);
+  const std::vector<TermId> *Src = useReg(I.Src0, Inst);
+  if (I.LaneOps.size() != I.Lanes)
+    error("VV07",
+          "store pack declares " + std::to_string(I.Lanes) +
+              " lane(s) but carries " + std::to_string(I.LaneOps.size()) +
+              " operand(s)",
+          InstLoc);
+  if (Src && Src->size() != I.Lanes) {
+    error("VV07",
+          "store pack declares " + std::to_string(I.Lanes) +
+              " lane(s) but vreg " + std::to_string(I.Src0) + " holds " +
+              std::to_string(Src->size()),
+          InstLoc);
+    Src = nullptr;
+  }
+  if (I.Mode == PackMode::ContiguousUnaligned ||
+      I.Mode == PackMode::PermutedContiguous)
+    lint("VL03",
+         "unaligned contiguous store pack; the data layout stage could "
+         "replicate the array into an aligned copy",
+         InstLoc);
+
+  std::vector<int> Matched(I.LaneOps.size(), -1);
+  for (unsigned L = 0; L != I.LaneOps.size(); ++L) {
+    DiagLocation Loc = InstLoc;
+    Loc.Lane = static_cast<int>(L);
+    const Operand &Op = I.LaneOps[L];
+    if (Op.isConstant()) {
+      error("VV10", "store lane targets a constant operand", Loc);
+      continue;
+    }
+    ++Result.StoreLanesChecked;
+    LocId Target = Locs.intern(Op);
+    TermId Value = Src && L < Src->size() ? (*Src)[L] : Terms.makeClobber();
+
+    // Match the lane to a block statement: same target location, same
+    // (untruncated) value, not yet executed. The code generator's claimed
+    // statement ids serve as a hint; the earliest unexecuted candidate is
+    // the fallback, so hand-built programs verify too.
+    auto Matches = [&](unsigned S) {
+      return ExecInst[S] == -1 && LhsLoc[S] == Target &&
+             RefTerm[S] == Value;
+    };
+    int Match = -1;
+    if (I.StmtIds.size() == I.LaneOps.size() && I.StmtIds[L] < NumStmts &&
+        Matches(I.StmtIds[L]))
+      Match = static_cast<int>(I.StmtIds[L]);
+    for (unsigned S = 0; Match < 0 && S != NumStmts; ++S)
+      if (Matches(S))
+        Match = static_cast<int>(S);
+
+    if (Match < 0) {
+      // Distinguish the failure shape for the diagnostic.
+      int PendingSameLoc = -1, ExecutedSameLoc = -1;
+      for (unsigned S = 0; S != NumStmts; ++S) {
+        if (LhsLoc[S] != Target)
+          continue;
+        if (ExecInst[S] == -1 && PendingSameLoc < 0)
+          PendingSameLoc = static_cast<int>(S);
+        if (ExecInst[S] != -1 && ExecutedSameLoc < 0)
+          ExecutedSameLoc = static_cast<int>(S);
+      }
+      if (PendingSameLoc >= 0) {
+        Loc.Stmt = PendingSameLoc;
+        error("VV04",
+              "store lane writes " + describeTerm(Value) + " to " +
+                  Locs.locName(Target) + " but statement " +
+                  std::to_string(PendingSameLoc) + " would store " +
+                  describeTerm(RefTerm[PendingSameLoc]),
+              Loc);
+      } else if (ExecutedSameLoc >= 0) {
+        Loc.Stmt = ExecutedSameLoc;
+        error("VV02",
+              "store lane rewrites " + Locs.locName(Target) +
+                  ", already written for statement " +
+                  std::to_string(ExecutedSameLoc),
+              Loc);
+      } else {
+        error("VV03",
+              "store lane writes " + Locs.locName(Target) +
+                  ", which no block statement writes",
+              Loc);
+      }
+      VLog.recordWrite(Target, NextSynthetic--);
+      continue;
+    }
+    Matched[L] = Match;
+    commitStatement(static_cast<unsigned>(Match), Inst);
+  }
+
+  // Lanes of one store pack write simultaneously: the matched statements
+  // must be pairwise independent (paper Section 4.1, constraint 1).
+  for (unsigned A = 0; A != Matched.size(); ++A)
+    for (unsigned B = A + 1; B != Matched.size(); ++B) {
+      if (Matched[A] < 0 || Matched[B] < 0 || Matched[A] == Matched[B])
+        continue;
+      if (!Deps.independent(static_cast<unsigned>(Matched[A]),
+                            static_cast<unsigned>(Matched[B]))) {
+        DiagLocation Loc = InstLoc;
+        Loc.Lane = static_cast<int>(B);
+        error("VV09",
+              "store pack packs dependent statements " +
+                  std::to_string(Matched[A]) + " and " +
+                  std::to_string(Matched[B]) + " into one superword",
+              Loc);
+      }
+    }
+}
+
+void Verifier::checkDependenceOrder() {
+  for (const Dep &D : Deps.dependences()) {
+    int A = ExecInst[D.Src], B = ExecInst[D.Dst];
+    if (A < 0 || B < 0 || A == B)
+      continue; // missing statements / same-pack pairs reported elsewhere
+    if (A > B) {
+      DiagLocation Loc;
+      Loc.Inst = A;
+      error("VV05",
+            "dependence " + std::to_string(D.Src) + " -> " +
+                std::to_string(D.Dst) +
+                " is violated by the write order (inst " +
+                std::to_string(A) + " after inst " + std::to_string(B) +
+                ")",
+            Loc);
+    }
+  }
+}
+
+void Verifier::lintDeadLanes() {
+  if (!Options.Lint)
+    return;
+  // Backward lane liveness seeded by store packs; a materialized load lane
+  // that never reaches any store did useless memory work.
+  std::vector<std::vector<bool>> Live(P.NumVRegs);
+  auto MarkLive = [&](unsigned Reg, unsigned Lane) {
+    if (Reg >= Live.size())
+      return;
+    if (Live[Reg].size() <= Lane)
+      Live[Reg].resize(Lane + 1, false);
+    Live[Reg][Lane] = true;
+  };
+  auto IsLive = [&](unsigned Reg, unsigned Lane) {
+    return Reg < Live.size() && Lane < Live[Reg].size() && Live[Reg][Lane];
+  };
+  for (unsigned Idx = static_cast<unsigned>(P.Insts.size()); Idx != 0;) {
+    --Idx;
+    const VInst &I = P.Insts[Idx];
+    switch (I.Kind) {
+    case VInstKind::StorePack:
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        MarkLive(I.Src0, L);
+      break;
+    case VInstKind::VectorOp: {
+      std::vector<bool> Out =
+          I.Dst < Live.size() ? Live[I.Dst] : std::vector<bool>();
+      if (I.Dst < Live.size())
+        Live[I.Dst].clear();
+      for (unsigned L = 0; L != Out.size(); ++L) {
+        if (!Out[L])
+          continue;
+        MarkLive(I.Src0, L);
+        if (!I.UnaryOp)
+          MarkLive(I.Src1, L);
+      }
+      break;
+    }
+    case VInstKind::Shuffle: {
+      std::vector<bool> Out =
+          I.Dst < Live.size() ? Live[I.Dst] : std::vector<bool>();
+      if (I.Dst < Live.size())
+        Live[I.Dst].clear();
+      for (unsigned L = 0; L != Out.size() && L < I.Perm.size(); ++L)
+        if (Out[L])
+          MarkLive(I.Src0, I.Perm[L]);
+      break;
+    }
+    case VInstKind::LoadPack: {
+      for (unsigned L = 0; L != I.Lanes; ++L) {
+        if (IsLive(I.Dst, L))
+          continue;
+        DiagLocation Loc;
+        Loc.Inst = static_cast<int>(Idx);
+        Loc.VReg = static_cast<int>(I.Dst);
+        Loc.Lane = static_cast<int>(L);
+        lint("VL01",
+             "pack lane is loaded but never reaches a store (dead lane)",
+             Loc);
+      }
+      if (I.Dst < Live.size())
+        Live[I.Dst].clear();
+      break;
+    }
+    case VInstKind::ScalarExec:
+      break;
+    }
+  }
+}
+
+VectorVerifyResult Verifier::run() {
+  runReference();
+
+  Regs.assign(P.NumVRegs, std::nullopt);
+  ShuffleDefs.assign(P.NumVRegs, std::nullopt);
+  ExecInst.assign(NumStmts, -1);
+  computeLastUses();
+
+  for (unsigned Idx = 0; Idx != P.Insts.size(); ++Idx) {
+    const VInst &I = P.Insts[Idx];
+    switch (I.Kind) {
+    case VInstKind::LoadPack:
+      execLoadPack(I, Idx);
+      break;
+    case VInstKind::StorePack:
+      execStorePack(I, Idx);
+      break;
+    case VInstKind::Shuffle:
+      execShuffle(I, Idx);
+      break;
+    case VInstKind::VectorOp:
+      execVectorOp(I, Idx);
+      break;
+    case VInstKind::ScalarExec:
+      execScalarExec(I, Idx);
+      break;
+    }
+  }
+
+  for (unsigned S = 0; S != NumStmts; ++S)
+    if (ExecInst[S] == -1) {
+      DiagLocation Loc;
+      Loc.Stmt = static_cast<int>(S);
+      error("VV01",
+            "statement " + std::to_string(S) +
+                " is never executed by the vector program",
+            Loc);
+    }
+
+  checkDependenceOrder();
+  lintDeadLanes();
+
+  Result.TermsInterned = Terms.size();
+  Result.LocationsTracked = Locs.size();
+  return std::move(Result);
+}
+
+} // namespace
+
+std::string VectorVerifyResult::firstError() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == DiagSeverity::Error)
+      return D.render();
+  return Errors ? "error diagnostics suppressed by the cap" : "";
+}
+
+VectorVerifyResult slp::verifyVectorProgram(const Kernel &Final,
+                                            const VectorProgram &Program,
+                                            const VectorVerifyOptions &Options) {
+  Verifier V(Final, Program, Options);
+  return V.run();
+}

@@ -1,0 +1,77 @@
+//===- analysis/VectorVerifier.h - Vector IR translation validation -*- C++ -*-===//
+///
+/// \file
+/// Static translation validation of an emitted vector program against the
+/// scalar semantics of the kernel it was generated for. The verifier
+/// abstractly interprets the VectorIR instruction stream with symbolic
+/// per-lane provenance terms (analysis/LaneDataflow.h) and proves, for one
+/// symbolic execution of the block (hence for every iteration of the loop
+/// nest):
+///
+///  * every vector store lane writes exactly the value the matching block
+///    statement's right-hand side computes, to exactly the location its
+///    left-hand side denotes (VV03/VV04);
+///  * the statements executed (by store lanes and ScalarExec instructions)
+///    are a bijection onto the block (VV01/VV02);
+///  * the order of writes preserves the scalar dependence graph, reusing
+///    the GCD/Banerjee machinery of analysis/Dependence.h (VV05/VV09);
+///  * no vector register is read before it is defined, redefined while
+///    live, or used with inconsistent lane widths (VV06/VV07/VV08/VV11).
+///
+/// A lint tier (VL01-VL04 warnings) flags code that is correct but
+/// wasteful: dead pack lanes, permutes composing to the identity,
+/// unaligned/gathered memory packs the layout stage could fix, and scalar
+/// execution reloading values still live in a superword register.
+///
+/// The full diagnostic code table lives in docs/static-analysis.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_VECTORVERIFIER_H
+#define SLP_ANALYSIS_VECTORVERIFIER_H
+
+#include "support/Diagnostic.h"
+#include "vector/VectorIR.h"
+
+namespace slp {
+
+struct VectorVerifyOptions {
+  /// Emit the lint tier (VL* warnings) in addition to correctness errors.
+  bool Lint = true;
+  /// Promote warnings to errors (`--werror`).
+  bool WarningsAsErrors = false;
+  /// Cap on emitted diagnostics; a closing note reports suppression.
+  /// Severity counters below stay exact regardless.
+  unsigned MaxDiagnostics = 64;
+};
+
+/// Outcome of one verification: diagnostics plus the counters surfaced as
+/// `verify.*` statistics.
+struct VectorVerifyResult {
+  std::vector<Diagnostic> Diags;
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+  unsigned StoreLanesChecked = 0;
+  unsigned ScalarStmtsChecked = 0;
+  unsigned TermsInterned = 0;
+  unsigned LocationsTracked = 0;
+
+  /// True when the program provably implements the kernel (no errors;
+  /// warnings do not affect validity).
+  bool ok() const { return Errors == 0; }
+
+  /// Rendered first error ("" when ok).
+  std::string firstError() const;
+};
+
+/// Statically verifies \p Program against the scalar semantics of
+/// \p Final (the kernel the program runs on — after unrolling, and after
+/// layout rewriting when the layout stage fired). Dependences are
+/// recomputed over \p Final internally.
+VectorVerifyResult verifyVectorProgram(const Kernel &Final,
+                                       const VectorProgram &Program,
+                                       const VectorVerifyOptions &Options = {});
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_VECTORVERIFIER_H

@@ -1,0 +1,38 @@
+//===- analysis/VectorVerifyPass.cpp --------------------------*- C++ -*-===//
+
+#include "analysis/VectorVerifyPass.h"
+
+#include "analysis/VectorVerifier.h"
+#include "slp/PipelineState.h"
+
+using namespace slp;
+
+void VectorVerifyPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  S.VerifyDiags.clear();
+  S.Verified = false;
+  if (!S.Options.VerifyVector || !S.ProgramReady)
+    return;
+
+  VectorVerifyOptions VO;
+  VO.Lint = S.Options.VerifyLint;
+  VO.WarningsAsErrors = S.Options.VerifyWerror;
+  VectorVerifyResult R = verifyVectorProgram(S.Final, S.Program, VO);
+
+  S.VerifyDiags = std::move(R.Diags);
+  S.Verified = R.ok();
+
+  Ctx.Stats.add("verify.programs");
+  Ctx.Stats.add("verify.insts", S.Program.Insts.size());
+  Ctx.Stats.add("verify.store-lanes", R.StoreLanesChecked);
+  Ctx.Stats.add("verify.terms", R.TermsInterned);
+  if (R.Errors)
+    Ctx.Stats.add("verify.errors", R.Errors);
+  if (R.Warnings)
+    Ctx.Stats.add("verify.warnings", R.Warnings);
+
+  if (!R.ok())
+    Ctx.Remarks.missed(name(),
+                       "vector program failed translation validation: " +
+                           R.firstError());
+}

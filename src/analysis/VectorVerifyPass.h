@@ -1,0 +1,29 @@
+//===- analysis/VectorVerifyPass.h - Translation validation pass -*- C++ -*-===//
+///
+/// \file
+/// The pipeline's final stage: runs the static translation validator
+/// (analysis/VectorVerifier.h) over the vector program the earlier stages
+/// emitted, against the kernel it runs on (`State.Final`). Gated by
+/// `PipelineOptions::VerifyVector`; diagnostics land in
+/// `State.VerifyDiags` and surface as `verify.*` statistics, a remark on
+/// failure, and `PipelineResult::VerifyDiags` for front ends
+/// (`slpc --verify-vector`) and the fuzzer's third oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_VECTORVERIFYPASS_H
+#define SLP_ANALYSIS_VECTORVERIFYPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class VectorVerifyPass : public KernelPass {
+public:
+  const char *name() const override { return "verify-vector"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_VECTORVERIFYPASS_H

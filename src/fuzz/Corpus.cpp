@@ -101,6 +101,8 @@ std::string slp::serializeFuzzCase(const FuzzCase &Case) {
   if (Case.Config.Inject != BugInjection::None)
     Out << "// fuzz: inject=" << bugInjectionName(Case.Config.Inject)
         << "\n";
+  if (!Case.Config.VerifyVector)
+    Out << "// fuzz: verify-vector=off\n";
   if (!Case.Reason.empty()) {
     // Keep the reason one comment line per source line.
     std::istringstream In(Case.Reason);
@@ -182,6 +184,13 @@ bool slp::parseFuzzCase(const std::string &Text, FuzzCase &Out,
         } else if (Key == "inject") {
           if (!parseBugInjection(Value, Out.Config.Inject))
             return Fail("unknown injection '" + Value + "'");
+        } else if (Key == "verify-vector") {
+          if (Value == "on")
+            Out.Config.VerifyVector = true;
+          else if (Value == "off")
+            Out.Config.VerifyVector = false;
+          else
+            return Fail("bad verify-vector value '" + Value + "'");
         } else {
           return Fail("unknown fuzz header key '" + Key + "'");
         }

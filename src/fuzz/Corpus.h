@@ -18,7 +18,10 @@
 ///
 /// `exec=` selects the execution engine the replay runs under
 /// (optimized/reference, exec/ExecEngine.h); absent means optimized, so
-/// pre-existing corpus files keep their meaning.
+/// pre-existing corpus files keep their meaning. `verify-vector=off`
+/// disables the static translation validator oracle for the replay;
+/// absent means on, so pre-existing corpus files gain the static check
+/// without being rewritten.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,6 +59,9 @@ struct FuzzCaseConfig {
   /// Execution engine the case's kernels run under.
   ExecEngineKind Exec = ExecEngineKind::Optimized;
   BugInjection Inject = BugInjection::None;
+  /// Cross-check the static translation validator against the dynamic
+  /// equivalence verdict when replaying (see FuzzConfig::VerifyVector).
+  bool VerifyVector = true;
 };
 
 /// One replayable case: configuration + kernel source + provenance.

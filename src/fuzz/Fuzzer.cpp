@@ -3,6 +3,7 @@
 #include "fuzz/Fuzzer.h"
 
 #include "analysis/Dependence.h"
+#include "analysis/VectorVerifier.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "slp/Verifier.h"
@@ -43,6 +44,10 @@ PipelineOptions optionsFor(const FuzzCaseConfig &C) {
   Options.Machine.DatapathBits = C.DatapathBits;
   Options.GroupingEngine = C.Grouping;
   Options.Threads = 1; // module-driver threading is checked separately
+  // The campaign runs the static translation validator itself (as an
+  // oracle cross-checked against dynamic equivalence), so the pipeline's
+  // own verify-vector stage stays off regardless of build type.
+  Options.VerifyVector = false;
   return Options;
 }
 
@@ -131,6 +136,31 @@ std::string checkConfig(const Kernel &K, const FuzzCaseConfig &C,
             .empty())
       return std::string("injected bug '") + bugInjectionName(C.Inject) +
              "' NOT caught by the verifier";
+    if (C.VerifyVector) {
+      // The corruption must also be visible statically: lower the
+      // corrupted schedule the way the pipeline would and demand the
+      // translation validator rejects the resulting program.
+      CodeGenOptions CG;
+      CG.DatapathBits = Options.Machine.DatapathBits;
+      CG.NumVectorRegisters = Options.Machine.NumVectorRegisters;
+      bool Holistic = C.Kind == OptimizerKind::Global ||
+                      C.Kind == OptimizerKind::GlobalLayout;
+      CG.EnablePermutedReuse = Holistic;
+      CG.CacheLoadedPacks = Holistic;
+      VectorProgram Corrupt = generateVectorProgram(
+          R.Preprocessed, Corrupted, CG,
+          ScalarLayout::defaultLayout(
+              static_cast<unsigned>(R.Preprocessed.Scalars.size())));
+      if (Stats)
+        ++Stats->StaticVerifyRuns;
+      VectorVerifyOptions VO;
+      VO.Lint = false;
+      if (verifyVectorProgram(R.Preprocessed, Corrupt, VO).ok())
+        return std::string("injected bug '") + bugInjectionName(C.Inject) +
+               "' NOT caught by the static verifier";
+      if (Stats)
+        ++Stats->StaticVerifyRejects;
+    }
     return ""; // caught, as demanded
   }
 
@@ -141,8 +171,38 @@ std::string checkConfig(const Kernel &K, const FuzzCaseConfig &C,
     if (!Issues.empty())
       return "schedule verification failed: " + Issues.front();
 
+    // Third oracle: static translation validation, cross-checked against
+    // the dynamic equivalence verdict below. The two must agree on every
+    // program — a split verdict is itself a recorded bug no matter which
+    // oracle turns out to be the wrong one.
+    bool StaticOk = true;
+    std::string StaticError;
+    if (C.VerifyVector) {
+      if (Stats)
+        ++Stats->StaticVerifyRuns;
+      VectorVerifyOptions VO;
+      VO.Lint = false;
+      VectorVerifyResult V = verifyVectorProgram(R.Final, R.Program, VO);
+      StaticOk = V.ok();
+      if (!StaticOk) {
+        StaticError = V.firstError();
+        if (Stats)
+          ++Stats->StaticVerifyRejects;
+      }
+    }
+
     std::string Error;
-    if (!checkEquivalenceAcrossSeeds(K, R, C.EnvSeeds, Engine, &Error))
+    bool DynamicOk =
+        checkEquivalenceAcrossSeeds(K, R, C.EnvSeeds, Engine, &Error);
+    if (!StaticOk && DynamicOk)
+      return "static/dynamic oracle disagreement: the static verifier "
+             "rejected a dynamically-equivalent program: " +
+             StaticError;
+    if (StaticOk && !DynamicOk && C.VerifyVector)
+      return "static/dynamic oracle disagreement: execution mismatch not "
+             "caught by the static verifier: " +
+             Error;
+    if (!DynamicOk)
       return "execution mismatch: " + Error;
   }
 
@@ -344,6 +404,9 @@ std::string FuzzStats::toJson() const {
   Out << "  \"verifier_failures\": " << VerifierFailures << ",\n";
   Out << "  \"equivalence_failures\": " << EquivalenceFailures << ",\n";
   Out << "  \"determinism_failures\": " << DeterminismFailures << ",\n";
+  Out << "  \"static_verify_runs\": " << StaticVerifyRuns << ",\n";
+  Out << "  \"static_verify_rejects\": " << StaticVerifyRejects << ",\n";
+  Out << "  \"oracle_disagreements\": " << OracleDisagreements << ",\n";
   Out << "  \"engine_disagreements\": " << EngineDisagreements << ",\n";
   Out << "  \"exec_disagreements\": " << ExecDisagreements << ",\n";
   Out << "  \"injected_caught\": " << InjectedCaught << ",\n";
@@ -460,6 +523,7 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
     for (FuzzCaseConfig C : configsForIteration(Iter, Seed1, Seed2)) {
       C.Exec = Cfg.Exec;
       C.Inject = Cfg.Inject;
+      C.VerifyVector = Cfg.VerifyVector;
       ++Out.Stats.ConfigsExercised;
       std::string Reason = checkConfig(K, C, &Out.Stats, Engine);
       if (C.Inject != BugInjection::None) {
@@ -482,7 +546,11 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
       }
       if (Reason.empty())
         continue;
-      if (Reason.find("verification failed") != std::string::npos)
+      // Classify "oracle disagreement" first: those reasons embed the
+      // underlying mismatch/verifier text and would misclassify below.
+      if (Reason.find("oracle disagreement") != std::string::npos)
+        ++Out.Stats.OracleDisagreements;
+      else if (Reason.find("verification failed") != std::string::npos)
         ++Out.Stats.VerifierFailures;
       else if (Reason.find("mismatch") != std::string::npos)
         ++Out.Stats.EquivalenceFailures;
@@ -505,6 +573,7 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
         C.Grouping = GroupingImpl::Reference;
         C.EnvSeeds = {Seed1, Seed2};
         C.Exec = Cfg.Exec;
+        C.VerifyVector = Cfg.VerifyVector;
         RecordFailure(K, C, Reason);
       }
     }
@@ -523,6 +592,7 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
         C.Kind = OptimizerKind::Global;
         C.EnvSeeds = {Seed1, Seed2};
         C.Exec = ExecEngineKind::Optimized;
+        C.VerifyVector = Cfg.VerifyVector;
         RecordFailure(K, C, Reason);
       }
     }
@@ -556,10 +626,14 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
           C.Kind = OptimizerKind::Global;
           C.EnvSeeds = {Seed2};
           C.Exec = Cfg.Exec;
+          C.VerifyVector = Cfg.VerifyVector;
           ++Out.Stats.ConfigsExercised;
           std::string Reason = checkConfig(PK, C, &Out.Stats, Engine);
           if (!Reason.empty()) {
-            ++Out.Stats.EquivalenceFailures;
+            if (Reason.find("oracle disagreement") != std::string::npos)
+              ++Out.Stats.OracleDisagreements;
+            else
+              ++Out.Stats.EquivalenceFailures;
             RecordFailure(PK, C, "textual mutant: " + Reason);
           }
         }

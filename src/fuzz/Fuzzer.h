@@ -6,7 +6,10 @@
 /// several datapath/engine/thread configurations, check the schedule
 /// against the paper's Section 4.1 validity constraints (slp/Verifier),
 /// and execute the emitted vector program against the scalar reference
-/// over multiple environments (checkEquivalence). Failures are shrunk by
+/// over multiple environments (checkEquivalence). The static translation
+/// validator (analysis/VectorVerifier) runs as a third oracle whose
+/// accept/reject verdict must agree with dynamic equivalence on every
+/// program. Failures are shrunk by
 /// the delta-debugging reducer and written to the corpus so they replay as
 /// tier-1 regression tests forever. A bug-injection mode corrupts
 /// schedules on purpose to mutation-test the harness itself.
@@ -45,6 +48,12 @@ struct FuzzConfig {
   /// Harness mutation test: corrupt every schedule this way and demand
   /// the verifier catches it.
   BugInjection Inject = BugInjection::None;
+  /// Run the static translation validator (analysis/VectorVerifier.h) as a
+  /// third oracle next to the schedule verifier and dynamic equivalence:
+  /// any accept/reject disagreement between the static and dynamic verdicts
+  /// is itself a recorded failure, and injected bugs must be flagged
+  /// statically too (`slp-fuzz --no-verify-vector` opts out).
+  bool VerifyVector = true;
   /// Structural mutations applied per generated kernel (0..Max).
   unsigned MaxMutationsPerKernel = 3;
   /// Every Nth iteration additionally corrupts `.slp` text and stresses
@@ -79,6 +88,9 @@ struct FuzzStats {
   uint64_t VerifierFailures = 0;
   uint64_t EquivalenceFailures = 0;
   uint64_t DeterminismFailures = 0;
+  uint64_t StaticVerifyRuns = 0;
+  uint64_t StaticVerifyRejects = 0;
+  uint64_t OracleDisagreements = 0;
   uint64_t EngineDisagreements = 0;
   uint64_t ExecDisagreements = 0;
   uint64_t InjectedCaught = 0;

@@ -3,6 +3,7 @@
 #include "slp/Passes.h"
 
 #include "analysis/AlignmentPass.h"
+#include "analysis/VectorVerifyPass.h"
 #include "layout/LayoutPass.h"
 #include "machine/CostGuardPass.h"
 #include "machine/SimulatePass.h"
@@ -33,12 +34,15 @@ std::unique_ptr<KernelPass> slp::createKernelPass(const std::string &Name) {
     return std::make_unique<LayoutPass>();
   if (Name == "cost-guard")
     return std::make_unique<CostGuardPass>();
+  if (Name == "verify-vector")
+    return std::make_unique<VectorVerifyPass>();
   return nullptr;
 }
 
 std::vector<std::string> slp::allPassNames() {
-  return {"unroll",  "alignment", "grouping", "scheduling", "group-prune",
-          "codegen", "simulate",  "layout",   "cost-guard"};
+  return {"unroll",  "alignment", "grouping", "scheduling",
+          "group-prune", "codegen", "simulate", "layout",
+          "cost-guard", "verify-vector"};
 }
 
 std::vector<std::string> slp::canonicalPassNames(OptimizerKind Kind) {
@@ -48,6 +52,10 @@ std::vector<std::string> slp::canonicalPassNames(OptimizerKind Kind) {
   if (Kind == OptimizerKind::GlobalLayout)
     Names.push_back("layout");
   Names.push_back("cost-guard");
+  // Translation validation runs last, over the exact program the pipeline
+  // hands out (layout and the cost guard both regenerate it). Whether it
+  // does anything is PipelineOptions::VerifyVector's call at run time.
+  Names.push_back("verify-vector");
   return Names;
 }
 
@@ -107,6 +115,8 @@ PipelineResult slp::runPassPipeline(const Kernel &Source, OptimizerKind Kind,
   R.ScalarSim = State.ScalarSim;
   R.VectorSim = State.VectorSim;
   R.Simulated = State.Simulated;
+  R.VerifyDiags = std::move(State.VerifyDiags);
+  R.Verified = State.Verified;
   R.Stats = std::move(Stats);
   R.Remarks = Remarks.take();
   R.PassTimings = std::move(Timing);

@@ -24,7 +24,7 @@ namespace slp {
 
 /// Creates the pass registered under \p Name ("unroll", "alignment",
 /// "grouping", "scheduling", "group-prune", "codegen", "simulate",
-/// "layout", "cost-guard"); null for unknown names.
+/// "layout", "cost-guard", "verify-vector"); null for unknown names.
 std::unique_ptr<KernelPass> createKernelPass(const std::string &Name);
 
 /// Every registered pass name, in canonical pipeline order.

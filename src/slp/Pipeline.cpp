@@ -7,9 +7,21 @@
 #include "vector/VectorInterp.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
 using namespace slp;
+
+bool slp::defaultVerifyVector() {
+  if (const char *Env = std::getenv("SLP_VERIFY_VECTOR"))
+    return *Env != '\0' && std::strcmp(Env, "0") != 0;
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
 
 const char *slp::optimizerName(OptimizerKind Kind) {
   switch (Kind) {

@@ -25,6 +25,7 @@
 #include "layout/Layout.h"
 #include "machine/Simulator.h"
 #include "slp/Scheduling.h"
+#include "support/Diagnostic.h"
 #include "support/PassManager.h"
 #include "vector/CodeGen.h"
 
@@ -45,6 +46,11 @@ enum class OptimizerKind : uint8_t {
 
 /// Returns the scheme name used in the paper's figures.
 const char *optimizerName(OptimizerKind Kind);
+
+/// Default for PipelineOptions::VerifyVector: the SLP_VERIFY_VECTOR
+/// environment variable when set ("0"/"" disable, anything else enables),
+/// otherwise on in debug (!NDEBUG) builds and off in release builds.
+bool defaultVerifyVector();
 
 /// Switches for the ablation study (bench_ablation): each disables one
 /// mechanism of the holistic framework while keeping the rest intact.
@@ -80,6 +86,15 @@ struct PipelineOptions {
   /// workers, and 0 asks for one worker per hardware thread. Results are
   /// deterministic and identical to the serial ones in every case.
   unsigned Threads = 1;
+  /// Run the static translation validator (analysis/VectorVerifier.h) over
+  /// the emitted vector program as the pipeline's final stage. Defaults on
+  /// in debug builds (and CI, which exports SLP_VERIFY_VECTOR=1); see
+  /// defaultVerifyVector().
+  bool VerifyVector = defaultVerifyVector();
+  /// Emit the verifier's lint tier (VL* warnings) too.
+  bool VerifyLint = false;
+  /// Promote verifier warnings to errors (`slpc --werror`).
+  bool VerifyWerror = false;
   /// Mechanism switches for Global/GlobalLayout (ablation study only).
   HolisticAblation Ablation;
 };
@@ -103,6 +118,12 @@ struct PipelineResult {
   /// False only when a hand-built `--passes=` list omitted the simulate
   /// stage; ScalarSim/VectorSim are then meaningless.
   bool Simulated = false;
+  /// Diagnostics from the static translation validator (empty when
+  /// `Options.VerifyVector` was off or verification passed clean).
+  std::vector<Diagnostic> VerifyDiags;
+  /// True when the verifier ran and proved the emitted program implements
+  /// the kernel.
+  bool Verified = false;
 
   // Instrumentation collected by the pass manager.
   Statistics Stats;            ///< named counters (packs formed, ...)

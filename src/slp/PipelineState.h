@@ -78,6 +78,14 @@ struct PipelineState {
   LayoutResult Layout;
   bool LayoutApplied = false;
 
+  // --- produced by VectorVerifyPass --------------------------------------
+  /// Structured diagnostics from the static translation validator (empty
+  /// when the verifier was off, the program is all-scalar, or verification
+  /// passed clean).
+  std::vector<Diagnostic> VerifyDiags;
+  /// True when the verifier ran and proved the program correct.
+  bool Verified = false;
+
   /// True for the paper's own schemes (as opposed to the baselines).
   bool isHolistic() const {
     return Kind == OptimizerKind::Global || Kind == OptimizerKind::GlobalLayout;

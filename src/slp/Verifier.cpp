@@ -4,15 +4,39 @@
 
 #include "analysis/Isomorphism.h"
 
-#include <set>
-
 using namespace slp;
 
-std::vector<std::string> slp::verifySchedule(const Kernel &K,
-                                             const DependenceInfo &Deps,
-                                             const Schedule &S,
-                                             unsigned DatapathBits) {
-  std::vector<std::string> Issues;
+namespace {
+
+void issue(std::vector<Diagnostic> &Diags, const char *Code,
+           std::string Message, DiagLocation Loc) {
+  Diagnostic D;
+  D.Code = Code;
+  D.Severity = DiagSeverity::Error;
+  D.Message = std::move(Message);
+  D.Loc = Loc;
+  Diags.push_back(std::move(D));
+}
+
+DiagLocation itemLoc(unsigned Item) {
+  DiagLocation Loc;
+  Loc.Item = static_cast<int>(Item);
+  return Loc;
+}
+
+DiagLocation stmtLoc(unsigned Stmt) {
+  DiagLocation Loc;
+  Loc.Stmt = static_cast<int>(Stmt);
+  return Loc;
+}
+
+} // namespace
+
+std::vector<Diagnostic> slp::verifyScheduleDiags(const Kernel &K,
+                                                 const DependenceInfo &Deps,
+                                                 const Schedule &S,
+                                                 unsigned DatapathBits) {
+  std::vector<Diagnostic> Diags;
   unsigned NumStmts = K.Body.size();
 
   // Coverage: each statement scheduled exactly once.
@@ -21,21 +45,29 @@ std::vector<std::string> slp::verifySchedule(const Kernel &K,
        ++I) {
     for (unsigned Stmt : S.Items[I].Lanes) {
       if (Stmt >= NumStmts) {
-        Issues.push_back("item " + std::to_string(I) +
-                         " references statement " + std::to_string(Stmt) +
-                         " outside the block");
+        issue(Diags, "SV03",
+              "item " + std::to_string(I) + " references statement " +
+                  std::to_string(Stmt) + " outside the block",
+              itemLoc(I));
         continue;
       }
-      if (ItemOf[Stmt] != -1)
-        Issues.push_back("statement " + std::to_string(Stmt) +
-                         " scheduled more than once");
+      if (ItemOf[Stmt] != -1) {
+        DiagLocation Loc = stmtLoc(Stmt);
+        Loc.Item = static_cast<int>(I);
+        issue(Diags, "SV02",
+              "statement " + std::to_string(Stmt) +
+                  " scheduled more than once",
+              Loc);
+      }
       ItemOf[Stmt] = static_cast<int>(I);
     }
   }
   for (unsigned Stmt = 0; Stmt != NumStmts; ++Stmt)
     if (ItemOf[Stmt] == -1)
-      Issues.push_back("statement " + std::to_string(Stmt) +
-                       " missing from the schedule");
+      issue(Diags, "SV01",
+            "statement " + std::to_string(Stmt) +
+                " missing from the schedule",
+            stmtLoc(Stmt));
 
   for (unsigned I = 0, E = static_cast<unsigned>(S.Items.size()); I != E;
        ++I) {
@@ -46,26 +78,35 @@ std::vector<std::string> slp::verifySchedule(const Kernel &K,
     // Constraint 3: isomorphism within the superword statement.
     const Statement &First = K.Body.statement(Item.Lanes.front());
     for (unsigned L = 1; L != Item.width(); ++L)
-      if (!areIsomorphic(K, First, K.Body.statement(Item.Lanes[L])))
-        Issues.push_back("item " + std::to_string(I) +
-                         " groups non-isomorphic statements");
+      if (!areIsomorphic(K, First, K.Body.statement(Item.Lanes[L]))) {
+        DiagLocation Loc = itemLoc(I);
+        Loc.Lane = static_cast<int>(L);
+        issue(Diags, "SV04",
+              "item " + std::to_string(I) +
+                  " groups non-isomorphic statements",
+              Loc);
+      }
 
     // Constraint 4: datapath width.
     unsigned Bits =
         Item.width() * bitSizeOf(statementElementType(K, First));
     if (Bits > DatapathBits)
-      Issues.push_back("item " + std::to_string(I) + " is " +
-                       std::to_string(Bits) + " bits wide, exceeding the " +
-                       std::to_string(DatapathBits) + "-bit datapath");
+      issue(Diags, "SV05",
+            "item " + std::to_string(I) + " is " + std::to_string(Bits) +
+                " bits wide, exceeding the " +
+                std::to_string(DatapathBits) + "-bit datapath",
+            itemLoc(I));
 
     // Constraint 1: no intra-group dependence.
     for (unsigned A = 0; A != Item.width(); ++A)
       for (unsigned B = A + 1; B != Item.width(); ++B)
         if (!Deps.independent(Item.Lanes[A], Item.Lanes[B]))
-          Issues.push_back("item " + std::to_string(I) +
-                           " groups dependent statements " +
-                           std::to_string(Item.Lanes[A]) + " and " +
-                           std::to_string(Item.Lanes[B]));
+          issue(Diags, "SV06",
+                "item " + std::to_string(I) +
+                    " groups dependent statements " +
+                    std::to_string(Item.Lanes[A]) + " and " +
+                    std::to_string(Item.Lanes[B]),
+                itemLoc(I));
   }
 
   // Constraint 2: dependences preserved across items.
@@ -73,10 +114,24 @@ std::vector<std::string> slp::verifySchedule(const Kernel &K,
     int A = ItemOf[D.Src], B = ItemOf[D.Dst];
     if (A < 0 || B < 0 || A == B)
       continue; // missing statements / intra-group reported above
-    if (A > B)
-      Issues.push_back("dependence " + std::to_string(D.Src) + " -> " +
-                       std::to_string(D.Dst) +
-                       " violated by the schedule order");
+    if (A > B) {
+      DiagLocation Loc = stmtLoc(D.Dst);
+      Loc.Item = B;
+      issue(Diags, "SV07",
+            "dependence " + std::to_string(D.Src) + " -> " +
+                std::to_string(D.Dst) + " violated by the schedule order",
+            Loc);
+    }
   }
+  return Diags;
+}
+
+std::vector<std::string> slp::verifySchedule(const Kernel &K,
+                                             const DependenceInfo &Deps,
+                                             const Schedule &S,
+                                             unsigned DatapathBits) {
+  std::vector<std::string> Issues;
+  for (const Diagnostic &D : verifyScheduleDiags(K, Deps, S, DatapathBits))
+    Issues.push_back(D.Message);
   return Issues;
 }

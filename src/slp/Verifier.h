@@ -8,20 +8,39 @@
 /// exceeds the datapath width. Also checks that the schedule is a
 /// permutation of the block (every statement exactly once).
 ///
+/// Violations are structured Diagnostics with stable SV* codes (the full
+/// table lives in docs/static-analysis.md):
+///
+///   SV01  statement missing from the schedule
+///   SV02  statement scheduled more than once
+///   SV03  item references a statement outside the block
+///   SV04  item groups non-isomorphic statements
+///   SV05  item exceeds the datapath width
+///   SV06  item groups dependent statements
+///   SV07  dependence violated by the schedule order
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLP_SLP_VERIFIER_H
 #define SLP_SLP_VERIFIER_H
 
 #include "slp/Scheduling.h"
+#include "support/Diagnostic.h"
 
 #include <string>
 #include <vector>
 
 namespace slp {
 
-/// Returns human-readable descriptions of every constraint violation in
-/// \p S; an empty vector means the schedule is valid.
+/// Returns a structured diagnostic (severity Error, code SV01-SV07) for
+/// every constraint violation in \p S; an empty vector means the schedule
+/// is valid.
+std::vector<Diagnostic> verifyScheduleDiags(const Kernel &K,
+                                            const DependenceInfo &Deps,
+                                            const Schedule &S,
+                                            unsigned DatapathBits);
+
+/// `verifyScheduleDiags` rendered down to the bare violation messages.
 std::vector<std::string> verifySchedule(const Kernel &K,
                                         const DependenceInfo &Deps,
                                         const Schedule &S,

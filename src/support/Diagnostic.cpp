@@ -1,0 +1,162 @@
+//===- support/Diagnostic.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/Diagnostic.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace slp;
+
+const char *slp::diagSeverityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "<invalid>";
+}
+
+std::string DiagLocation::str() const {
+  std::string Out;
+  auto Append = [&Out](const char *Name, int Value) {
+    if (Value < 0)
+      return;
+    if (!Out.empty())
+      Out += ", ";
+    Out += Name;
+    Out += ' ';
+    Out += std::to_string(Value);
+  };
+  Append("inst", Inst);
+  Append("lane", Lane);
+  Append("vreg", VReg);
+  Append("statement", Stmt);
+  Append("item", Item);
+  return Out;
+}
+
+std::string Diagnostic::render() const {
+  std::string Out = diagSeverityName(Severity);
+  Out += " [";
+  Out += Code;
+  Out += ']';
+  std::string Where = Loc.str();
+  if (!Where.empty()) {
+    Out += " (";
+    Out += Where;
+    Out += ')';
+  }
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+/// JSON string escaping for message text (codes and severities are plain
+/// identifiers and need none).
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string Diagnostic::toJson() const {
+  std::ostringstream Out;
+  Out << "{\"code\":\"" << Code << "\",\"severity\":\""
+      << diagSeverityName(Severity) << "\",\"message\":\""
+      << jsonEscape(Message) << "\"";
+  if (!Loc.empty()) {
+    Out << ",\"loc\":{";
+    bool First = true;
+    auto Field = [&](const char *Name, int Value) {
+      if (Value < 0)
+        return;
+      if (!First)
+        Out << ',';
+      First = false;
+      Out << '"' << Name << "\":" << Value;
+    };
+    Field("stmt", Loc.Stmt);
+    Field("inst", Loc.Inst);
+    Field("vreg", Loc.VReg);
+    Field("lane", Loc.Lane);
+    Field("item", Loc.Item);
+    Out << '}';
+  }
+  Out << '}';
+  return Out.str();
+}
+
+Diagnostic &DiagnosticEngine::report(std::string Code, DiagSeverity Severity,
+                                     std::string Message) {
+  Diagnostic D;
+  D.Code = std::move(Code);
+  D.Severity = Severity;
+  D.Message = std::move(Message);
+  add(std::move(D));
+  return Diags.back();
+}
+
+void DiagnosticEngine::add(Diagnostic Diag) {
+  if (WarningsAsErrors && Diag.Severity == DiagSeverity::Warning)
+    Diag.Severity = DiagSeverity::Error;
+  Diags.push_back(std::move(Diag));
+}
+
+unsigned DiagnosticEngine::count(DiagSeverity Severity) const {
+  return countDiagnostics(Diags, Severity);
+}
+
+std::string slp::renderDiagnostics(const std::vector<Diagnostic> &Diags) {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string slp::diagnosticsToJson(const std::vector<Diagnostic> &Diags) {
+  std::string Out = "[";
+  for (unsigned I = 0; I != Diags.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += Diags[I].toJson();
+  }
+  Out += ']';
+  return Out;
+}
+
+unsigned slp::countDiagnostics(const std::vector<Diagnostic> &Diags,
+                               DiagSeverity Severity) {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Severity == Severity;
+  return N;
+}

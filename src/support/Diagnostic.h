@@ -1,0 +1,115 @@
+//===- support/Diagnostic.h - Structured analysis diagnostics ---*- C++ -*-===//
+///
+/// \file
+/// Structured diagnostics for the static analyses (schedule verifier,
+/// lane-provenance vector verifier, lint pass). Each diagnostic carries a
+/// stable code ("SV01", "VV04", "VL02", ...), a severity, a free-text
+/// message, and an optional location naming the block statement, vector
+/// instruction, register and lane it is about. Diagnostics render both as
+/// human-readable text and as JSON, and a DiagnosticEngine collects them
+/// with severity counting and warnings-as-errors promotion.
+///
+/// The code table lives in docs/static-analysis.md; codes are part of the
+/// stable interface (tests and downstream tooling match on them), so codes
+/// are never renumbered or reused.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_DIAGNOSTIC_H
+#define SLP_SUPPORT_DIAGNOSTIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// Severity of a diagnostic, from advisory to correctness-relevant.
+enum class DiagSeverity : uint8_t {
+  Note,    ///< neutral information attached to another diagnostic
+  Warning, ///< lint tier: suspicious but not incorrect
+  Error,   ///< the analyzed artifact is provably wrong
+};
+
+/// Returns "note"/"warning"/"error".
+const char *diagSeverityName(DiagSeverity Severity);
+
+/// Where a diagnostic points. All fields are optional (-1 = absent); a
+/// diagnostic may name any combination of a block statement, a vector
+/// instruction index, a virtual register, a lane within it, and a schedule
+/// item.
+struct DiagLocation {
+  int Stmt = -1; ///< block statement id
+  int Inst = -1; ///< vector-program instruction index
+  int VReg = -1; ///< virtual vector register number
+  int Lane = -1; ///< lane within the instruction/register
+  int Item = -1; ///< schedule item index
+
+  bool empty() const {
+    return Stmt < 0 && Inst < 0 && VReg < 0 && Lane < 0 && Item < 0;
+  }
+
+  /// "inst 4, lane 2, vreg 7, statement 3" (present fields only; "" when
+  /// empty).
+  std::string str() const;
+};
+
+/// One structured diagnostic.
+struct Diagnostic {
+  std::string Code; ///< stable code, e.g. "VV04"
+  DiagSeverity Severity = DiagSeverity::Error;
+  std::string Message; ///< human text without location or severity prefix
+  DiagLocation Loc;
+
+  /// "error [VV04] (inst 4, lane 2): message".
+  std::string render() const;
+
+  /// One JSON object: {"code":..,"severity":..,"message":..,"loc":{..}}.
+  std::string toJson() const;
+};
+
+/// Collects diagnostics for one analysis run: severity counters, a
+/// warnings-as-errors switch, and whole-set rendering.
+class DiagnosticEngine {
+public:
+  /// Promote warnings to errors (`--werror`). Affects subsequently
+  /// reported diagnostics, not already-collected ones.
+  void setWarningsAsErrors(bool Enable) { WarningsAsErrors = Enable; }
+
+  /// Reports a diagnostic and returns a reference for attaching a
+  /// location. Warnings are promoted to errors under warnings-as-errors.
+  Diagnostic &report(std::string Code, DiagSeverity Severity,
+                     std::string Message);
+
+  /// Appends an already-built diagnostic (applying promotion).
+  void add(Diagnostic Diag);
+
+  unsigned count(DiagSeverity Severity) const;
+  unsigned errorCount() const { return count(DiagSeverity::Error); }
+  unsigned warningCount() const { return count(DiagSeverity::Warning); }
+  bool hasErrors() const { return errorCount() != 0; }
+
+  bool empty() const { return Diags.empty(); }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Takes the collected diagnostics out of the engine.
+  std::vector<Diagnostic> take() { return std::move(Diags); }
+
+private:
+  bool WarningsAsErrors = false;
+  std::vector<Diagnostic> Diags;
+};
+
+/// Renders every diagnostic of \p Diags, one per line.
+std::string renderDiagnostics(const std::vector<Diagnostic> &Diags);
+
+/// Renders \p Diags as a JSON array.
+std::string diagnosticsToJson(const std::vector<Diagnostic> &Diags);
+
+/// Number of diagnostics in \p Diags with exactly severity \p Severity.
+unsigned countDiagnostics(const std::vector<Diagnostic> &Diags,
+                          DiagSeverity Severity);
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_DIAGNOSTIC_H

@@ -304,6 +304,7 @@ void CodeGenerator::genGroup(const ScheduleItem &Item) {
     Store.Mode = PackMode::GatherScalar;
   for (const Operand *O : LhsLanes)
     Store.LaneOps.push_back(*O);
+  Store.StmtIds.assign(Item.Lanes.begin(), Item.Lanes.end());
   Program.Insts.push_back(std::move(Store));
   ++Program.Stats.SuperwordStatements;
 

@@ -65,6 +65,11 @@ struct VInst {
   std::vector<Operand> LaneOps;
   std::vector<unsigned> Perm;
   unsigned StmtId = 0;
+  /// StorePack only: the block statement each lane implements, parallel to
+  /// LaneOps. A provenance hint for the static verifier; empty on
+  /// hand-built programs, in which case the verifier matches lanes to
+  /// statements by location and value instead.
+  std::vector<unsigned> StmtIds;
 };
 
 /// Book-keeping from code generation, reported in the paper's figures.

@@ -191,3 +191,62 @@ TEST(Dependence, ChainAcrossThreeStatements) {
   // No direct dependence 0 -> 2 (c uses only b).
   EXPECT_FALSE(D.depends(0, 2));
 }
+
+TEST(Dependence, AffineMayBeZeroBasics) {
+  Kernel K = parse(R"(
+    kernel k { scalar float s; array float A[32];
+      loop i = 0 .. 8 { A[i] = s; }
+    })");
+  EXPECT_TRUE(affineMayBeZero(K, AffineExpr(int64_t{0})));
+  EXPECT_FALSE(affineMayBeZero(K, AffineExpr(int64_t{5})));
+  // i - 3 hits zero at i = 3; i + 9 stays positive over i in [0, 8).
+  EXPECT_TRUE(affineMayBeZero(K, AffineExpr::term(0, 1, -3)));
+  EXPECT_FALSE(affineMayBeZero(K, AffineExpr::term(0, 1, 9)));
+  // GCD test: 2i - 3 is always odd.
+  EXPECT_FALSE(affineMayBeZero(K, AffineExpr::term(0, 2, -3)));
+  // Bounds test with a large but non-overflowing stride: 2^59 * i + 2^59
+  // is at least 2^59 over the iteration space (7 * 2^59 still fits).
+  EXPECT_FALSE(affineMayBeZero(
+      K, AffineExpr::term(0, int64_t{1} << 59, int64_t{1} << 59)));
+}
+
+TEST(Dependence, AffineMayBeZeroOverflowIsConservative) {
+  // Strides near INT64_MAX overflow the Banerjee bounds fold; the checked
+  // arithmetic must degrade to "may be zero" instead of wrapping (which
+  // could prove independence that does not hold).
+  Kernel K = parse(R"(
+    kernel k { scalar float s; array float A[32];
+      loop i = 0 .. 8 { A[i] = s; }
+    })");
+  // The GCD filter still separates this pair precisely (no overflow in
+  // the magnitude path): INT64_MAX never divides 1.
+  EXPECT_FALSE(affineMayBeZero(K, AffineExpr::term(0, INT64_MAX, -1)));
+  // INT64_MIN cannot be negated for the GCD, and INT64_MIN * 7 overflows
+  // the bounds fold: conservative acceptance.
+  EXPECT_TRUE(affineMayBeZero(K, AffineExpr::term(0, INT64_MIN, 1)));
+  // INT64_MAX * i + INT64_MAX is never zero for i in [0, 8), but the fold
+  // endpoint INT64_MAX * 7 overflows: conservative acceptance, not UB.
+  EXPECT_TRUE(affineMayBeZero(K, AffineExpr::term(0, INT64_MAX, INT64_MAX)));
+  // Negating the INT64_MIN constant for the target overflows too.
+  EXPECT_TRUE(affineMayBeZero(K, AffineExpr::term(0, 1, INT64_MIN)));
+}
+
+TEST(Dependence, MayAliasNearInt64Strides) {
+  Kernel K = parse(R"(
+    kernel k { scalar float s; array float A[32];
+      loop i = 0 .. 8 { A[i] = s; }
+    })");
+  // Pathological subscripts (hand-built, not expressible in the surface
+  // language): the difference INT64_MAX - 2 stays representable, but the
+  // Banerjee fold over the iteration space overflows, so the answer must
+  // degrade to may-alias instead of wrapping.
+  Operand Huge1 = Operand::makeArray(0, {AffineExpr::term(0, INT64_MAX)});
+  Operand Huge2 = Operand::makeArray(0, {AffineExpr::term(0, 2)});
+  EXPECT_TRUE(DependenceInfo::mayAlias(K, Huge1, Huge1));
+  EXPECT_TRUE(DependenceInfo::mayAlias(K, Huge1, Huge2));
+  // And a provably disjoint near-limit pair still separates cleanly.
+  Operand Far1 = Operand::makeArray(0, {AffineExpr::term(0, 1, 0)});
+  Operand Far2 =
+      Operand::makeArray(0, {AffineExpr::term(0, 1, int64_t{1} << 61)});
+  EXPECT_FALSE(DependenceInfo::mayAlias(K, Far1, Far2));
+}

@@ -82,6 +82,30 @@ TEST(CorpusReplay, SerializeParseRoundTrip) {
   EXPECT_EQ(Back.Reason, Case.Reason);
 }
 
+TEST(CorpusReplay, VerifyVectorKeyRoundTrip) {
+  // Default (on) stays implicit so pre-oracle corpus files round-trip
+  // byte-identically; only the opt-out is serialized.
+  FuzzCase Case;
+  Case.Source = "kernel k {\n  scalar float a;\n  a = 1.0;\n}\n";
+  EXPECT_EQ(serializeFuzzCase(Case).find("verify-vector"),
+            std::string::npos);
+
+  Case.Config.VerifyVector = false;
+  std::string Text = serializeFuzzCase(Case);
+  EXPECT_NE(Text.find("// fuzz: verify-vector=off"), std::string::npos);
+  FuzzCase Back;
+  std::string Error;
+  ASSERT_TRUE(parseFuzzCase(Text, Back, &Error)) << Error;
+  EXPECT_FALSE(Back.Config.VerifyVector);
+
+  // Absent key means on; a bad value is a header error.
+  ASSERT_TRUE(parseFuzzCase(Case.Source, Back, &Error)) << Error;
+  EXPECT_TRUE(Back.Config.VerifyVector);
+  EXPECT_FALSE(parseFuzzCase(
+      "// fuzz: verify-vector=maybe\nkernel k { }\n", Back, &Error));
+  EXPECT_NE(Error.find("verify-vector"), std::string::npos);
+}
+
 TEST(FuzzCampaign, ShortRunIsClean) {
   FuzzConfig Config;
   Config.Seed = 20260806;
@@ -93,6 +117,11 @@ TEST(FuzzCampaign, ShortRunIsClean) {
   EXPECT_EQ(Outcome.Stats.Iterations, 40u);
   EXPECT_GT(Outcome.Stats.PipelineRuns, 40u * 4);
   EXPECT_GT(Outcome.Stats.TextCases, 0u);
+  // The static translation validator ran as a third oracle on every
+  // config and never disagreed with the dynamic equivalence verdict.
+  EXPECT_GT(Outcome.Stats.StaticVerifyRuns, 0u);
+  EXPECT_EQ(Outcome.Stats.StaticVerifyRejects, 0u);
+  EXPECT_EQ(Outcome.Stats.OracleDisagreements, 0u);
 }
 
 TEST(FuzzCampaign, InjectedBugIsCaughtAndReducedSmall) {
@@ -111,6 +140,12 @@ TEST(FuzzCampaign, InjectedBugIsCaughtAndReducedSmall) {
     EXPECT_EQ(Outcome.Stats.InjectedMissed, 0u)
         << bugInjectionName(Inject);
     EXPECT_GT(Outcome.Stats.InjectedCaught, 0u) << bugInjectionName(Inject);
+    // Every applicable corruption must be rejected statically too: the
+    // lane-provenance verifier is an independent oracle over the emitted
+    // program, not a restatement of the schedule checks.
+    EXPECT_GT(Outcome.Stats.StaticVerifyRuns, 0u) << bugInjectionName(Inject);
+    EXPECT_EQ(Outcome.Stats.StaticVerifyRuns, Outcome.Stats.StaticVerifyRejects)
+        << bugInjectionName(Inject);
     ASSERT_FALSE(Outcome.InjectedDemos.empty()) << bugInjectionName(Inject);
     const FuzzFailure &Demo = Outcome.InjectedDemos.front();
     EXPECT_LE(Demo.ReducedStatements, 10u) << bugInjectionName(Inject);

@@ -207,6 +207,104 @@ TEST(VerifierDiagnostics, DatapathWidthExactText) {
             "item 0 is 192 bits wide, exceeding the 128-bit datapath");
 }
 
+// Structured form: every violation carries a stable SV code and a
+// location, so tooling (slpc --analyze, the fuzz harness, CI triage) can
+// classify failures without parsing the prose.
+
+TEST(VerifierDiagnostics, CodesAndLocations) {
+  Kernel K = fourIndependent();
+  DependenceInfo D(K);
+
+  // SV01: statement missing, located at the statement.
+  auto Diags = verifyScheduleDiags(K, D, make({{0, 1}, {3}}), 128);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Code, "SV01");
+  EXPECT_EQ(Diags[0].Severity, DiagSeverity::Error);
+  EXPECT_EQ(Diags[0].Loc.Stmt, 2);
+  EXPECT_EQ(Diags[0].render(),
+            "error [SV01] (statement 2): statement 2 missing from the "
+            "schedule");
+
+  // SV02: duplicate, located at the statement and the re-scheduling item.
+  Diags = verifyScheduleDiags(K, D, make({{0, 1}, {1, 2}, {3}}), 128);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Code, "SV02");
+  EXPECT_EQ(Diags[0].Loc.Stmt, 1);
+  EXPECT_EQ(Diags[0].Loc.Item, 1);
+
+  // SV03: out-of-range statement, located at the item.
+  Diags = verifyScheduleDiags(K, D, make({{0, 1, 2, 3}, {9}}), 128);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Code, "SV03");
+  EXPECT_EQ(Diags[0].Loc.Item, 1);
+}
+
+TEST(VerifierDiagnostics, GroupConstraintCodes) {
+  // SV04: non-isomorphic group, located at item and offending lane.
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b;
+      a = 1.0 + 2.0;
+      b = 1.0 * 2.0;
+    })");
+  DependenceInfo D(K);
+  auto Diags = verifyScheduleDiags(K, D, make({{0, 1}}), 128);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Code, "SV04");
+  EXPECT_EQ(Diags[0].Loc.Item, 0);
+  EXPECT_EQ(Diags[0].Loc.Lane, 1);
+
+  // SV05: over-wide group, located at the item.
+  Kernel W = parse(R"(
+    kernel k { scalar double a, b, c;
+      a = 1.0;
+      b = 2.0;
+      c = 3.0;
+    })");
+  DependenceInfo WD(W);
+  Diags = verifyScheduleDiags(W, WD, make({{0, 1, 2}}), 128);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Code, "SV05");
+  EXPECT_EQ(Diags[0].Loc.Item, 0);
+
+  // SV06: intra-group dependence, located at the item.
+  Kernel G = parse(R"(
+    kernel k { scalar float a, b, c;
+      a = c * 2.0;
+      b = a * 2.0;
+    })");
+  DependenceInfo GD(G);
+  Diags = verifyScheduleDiags(G, GD, make({{0, 1}}), 128);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_EQ(Diags.back().Code, "SV06");
+  EXPECT_EQ(Diags.back().Loc.Item, 0);
+
+  // SV07: order violation, located at the consumer statement/item.
+  Kernel O = parse(R"(
+    kernel k { scalar float a, b;
+      a = 1.0;
+      b = a + 1.0;
+    })");
+  DependenceInfo OD(O);
+  Diags = verifyScheduleDiags(O, OD, make({{1}, {0}}), 128);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Code, "SV07");
+  EXPECT_EQ(Diags[0].Loc.Stmt, 1);
+  EXPECT_EQ(Diags[0].Loc.Item, 0);
+}
+
+TEST(VerifierDiagnostics, StringShimMatchesDiagMessages) {
+  // verifySchedule is a rendering of verifyScheduleDiags: same issues, in
+  // the same order, message-for-message.
+  Kernel K = fourIndependent();
+  DependenceInfo D(K);
+  Schedule S = make({{0, 1}, {1, 2}});
+  auto Diags = verifyScheduleDiags(K, D, S, 128);
+  auto Strings = verifySchedule(K, D, S, 128);
+  ASSERT_EQ(Diags.size(), Strings.size());
+  for (size_t I = 0; I != Diags.size(); ++I)
+    EXPECT_EQ(Diags[I].Message, Strings[I]);
+}
+
 TEST(Verifier, AggregatesMultipleIssues) {
   Kernel K = parse(R"(
     kernel k { scalar float a, b;

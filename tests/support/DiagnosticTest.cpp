@@ -1,0 +1,137 @@
+//===- tests/support/DiagnosticTest.cpp -----------------------*- C++ -*-===//
+//
+// The structured diagnostics framework backing the schedule verifier, the
+// lane-provenance vector verifier, and the lint tier: rendering, JSON
+// emission, location formatting, and the DiagnosticEngine's severity
+// accounting with warnings-as-errors promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+TEST(DiagLocation, EmptyAndStr) {
+  DiagLocation Loc;
+  EXPECT_TRUE(Loc.empty());
+  EXPECT_EQ(Loc.str(), "");
+
+  Loc.Inst = 4;
+  Loc.Lane = 2;
+  EXPECT_FALSE(Loc.empty());
+  EXPECT_EQ(Loc.str(), "inst 4, lane 2");
+
+  Loc.VReg = 7;
+  Loc.Stmt = 3;
+  Loc.Item = 1;
+  EXPECT_EQ(Loc.str(), "inst 4, lane 2, vreg 7, statement 3, item 1");
+}
+
+TEST(Diagnostic, RenderWithAndWithoutLocation) {
+  Diagnostic D;
+  D.Code = "VV04";
+  D.Severity = DiagSeverity::Error;
+  D.Message = "lane value mismatch";
+  EXPECT_EQ(D.render(), "error [VV04]: lane value mismatch");
+
+  D.Loc.Inst = 4;
+  D.Loc.Lane = 2;
+  EXPECT_EQ(D.render(), "error [VV04] (inst 4, lane 2): lane value mismatch");
+
+  D.Severity = DiagSeverity::Warning;
+  D.Code = "VL01";
+  EXPECT_EQ(D.render(), "warning [VL01] (inst 4, lane 2): lane value mismatch");
+}
+
+TEST(Diagnostic, ToJsonEscapesAndIncludesLocation) {
+  Diagnostic D;
+  D.Code = "SV05";
+  D.Severity = DiagSeverity::Error;
+  D.Message = "width \"256\" exceeded";
+  D.Loc.Item = 3;
+  std::string Json = D.toJson();
+  EXPECT_NE(Json.find("\"code\":\"SV05\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"severity\":\"error\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\\\"256\\\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"loc\":{\"item\":3}"), std::string::npos) << Json;
+}
+
+TEST(DiagnosticEngine, CountsBySeverity) {
+  DiagnosticEngine Engine;
+  EXPECT_TRUE(Engine.empty());
+  Engine.report("VV01", DiagSeverity::Error, "never executed");
+  Engine.report("VL02", DiagSeverity::Warning, "identity permute");
+  Engine.report("VV00", DiagSeverity::Note, "suppressed");
+  EXPECT_EQ(Engine.errorCount(), 1u);
+  EXPECT_EQ(Engine.warningCount(), 1u);
+  EXPECT_EQ(Engine.count(DiagSeverity::Note), 1u);
+  EXPECT_TRUE(Engine.hasErrors());
+  EXPECT_EQ(Engine.all().size(), 3u);
+}
+
+TEST(DiagnosticEngine, ReportReturnsReferenceForLocation) {
+  DiagnosticEngine Engine;
+  Engine.report("VV06", DiagSeverity::Error, "use before def").Loc.VReg = 5;
+  EXPECT_EQ(Engine.all().front().Loc.VReg, 5);
+  EXPECT_EQ(Engine.all().front().render(),
+            "error [VV06] (vreg 5): use before def");
+}
+
+TEST(DiagnosticEngine, WarningsAsErrorsPromotesOnlySubsequent) {
+  DiagnosticEngine Engine;
+  Engine.report("VL01", DiagSeverity::Warning, "before the switch");
+  Engine.setWarningsAsErrors(true);
+  Engine.report("VL02", DiagSeverity::Warning, "after the switch");
+  Engine.report("VV00", DiagSeverity::Note, "notes are never promoted");
+  EXPECT_EQ(Engine.warningCount(), 1u);
+  EXPECT_EQ(Engine.errorCount(), 1u);
+  EXPECT_EQ(Engine.all()[1].Severity, DiagSeverity::Error);
+  EXPECT_EQ(Engine.all()[2].Severity, DiagSeverity::Note);
+
+  Diagnostic D;
+  D.Code = "VL03";
+  D.Severity = DiagSeverity::Warning;
+  D.Message = "added pre-built";
+  Engine.add(std::move(D));
+  EXPECT_EQ(Engine.errorCount(), 2u);
+}
+
+TEST(DiagnosticEngine, TakeDrainsTheEngine) {
+  DiagnosticEngine Engine;
+  Engine.report("SV01", DiagSeverity::Error, "missing statement");
+  std::vector<Diagnostic> Taken = Engine.take();
+  ASSERT_EQ(Taken.size(), 1u);
+  EXPECT_EQ(Taken.front().Code, "SV01");
+  EXPECT_TRUE(Engine.empty());
+}
+
+TEST(DiagnosticFreeFunctions, RenderAndCount) {
+  std::vector<Diagnostic> Diags;
+  Diagnostic A;
+  A.Code = "VV03";
+  A.Severity = DiagSeverity::Error;
+  A.Message = "store to unwritten location";
+  Diagnostic B;
+  B.Code = "VL04";
+  B.Severity = DiagSeverity::Warning;
+  B.Message = "scalar reload of a live superword";
+  Diags.push_back(A);
+  Diags.push_back(B);
+
+  std::string Text = renderDiagnostics(Diags);
+  EXPECT_NE(Text.find("error [VV03]"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("warning [VL04]"), std::string::npos) << Text;
+  EXPECT_EQ(countDiagnostics(Diags, DiagSeverity::Error), 1u);
+  EXPECT_EQ(countDiagnostics(Diags, DiagSeverity::Warning), 1u);
+
+  std::string Json = diagnosticsToJson(Diags);
+  EXPECT_EQ(Json.front(), '[');
+  EXPECT_NE(Json.find("\"VV03\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"VL04\""), std::string::npos) << Json;
+}
+
+} // namespace

@@ -202,7 +202,7 @@ TEST(PassRegistry, CanonicalPipelinesPerKind) {
         OptimizerKind::LarsenSlp, OptimizerKind::Global}) {
     std::vector<std::string> Names = canonicalPassNames(Kind);
     EXPECT_EQ(Names.front(), "unroll") << optimizerName(Kind);
-    EXPECT_EQ(Names.back(), "cost-guard");
+    EXPECT_EQ(Names.back(), "verify-vector");
     EXPECT_EQ(std::count(Names.begin(), Names.end(), "layout"), 0)
         << optimizerName(Kind);
     EXPECT_EQ(buildCanonicalPipeline(Kind).passNames(), Names);
@@ -210,7 +210,9 @@ TEST(PassRegistry, CanonicalPipelinesPerKind) {
   std::vector<std::string> Layout =
       canonicalPassNames(OptimizerKind::GlobalLayout);
   EXPECT_EQ(std::count(Layout.begin(), Layout.end(), "layout"), 1);
-  EXPECT_EQ(Layout.back(), "cost-guard");
+  // Translation validation must be the final stage: the layout stage and
+  // the cost guard both regenerate the vector program.
+  EXPECT_EQ(Layout.back(), "verify-vector");
 }
 
 TEST(PassRegistry, BuildFromNamesRejectsUnknown) {

@@ -18,6 +18,9 @@
 //     --inject-bug KIND   none|drop-item|dup-lane|swap-dependent —
 //                         mutation-test the harness: corrupt each schedule
 //                         and demand the verifier catches it
+//     --verify-vector     run the static translation validator as a third
+//                         oracle next to dynamic equivalence (default on);
+//                         --no-verify-vector opts out
 //     --no-reduce         record failures without delta-debugging them
 //     --max-failures N    stop after N recorded failures (default 8)
 //     --quiet             suppress the JSON stats summary
@@ -55,6 +58,9 @@ void printUsage() {
       "  --inject-bug KIND  none|drop-item|dup-lane|swap-dependent\n"
       "                     corrupt schedules on purpose and demand the\n"
       "                     verifier catches every applicable corruption\n"
+      "  --verify-vector    cross-check the static translation validator\n"
+      "                     against dynamic equivalence (default on)\n"
+      "  --no-verify-vector disable the static verifier oracle\n"
       "  --no-reduce        skip delta-debugging reduction of failures\n"
       "  --max-failures N   stop after N recorded failures (default 8)\n"
       "  --quiet            suppress the JSON stats summary\n");
@@ -184,6 +190,14 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Config.MaxFailures = static_cast<unsigned>(N);
+      continue;
+    }
+    if (Arg == "--verify-vector") {
+      Config.VerifyVector = true;
+      continue;
+    }
+    if (Arg == "--no-verify-vector") {
+      Config.VerifyVector = false;
       continue;
     }
     if (Arg == "--no-reduce") {

@@ -23,6 +23,12 @@
 //     --dump-schedule      print the superword statement schedule
 //     --dump-vector        print the generated vector program
 //     --no-verify          skip the execution-based equivalence check
+//     --verify-vector      statically verify the vector program (lane
+//                          provenance translation validation)
+//     --no-verify-vector   force the static verifier off
+//     --analyze            static-analysis mode: verifier + lint tier,
+//                          print every diagnostic, skip execution
+//     --werror             treat analyzer warnings as errors
 //     --quiet              only print the performance summary
 //
 //===----------------------------------------------------------------------===//
@@ -63,6 +69,9 @@ struct CliOptions {
   bool DumpSchedule = false;
   bool DumpVector = false;
   bool Verify = true;
+  std::optional<bool> VerifyVector; ///< unset = build-type default
+  bool Analyze = false;
+  bool Werror = false;
   bool Quiet = false;
 };
 
@@ -94,6 +103,15 @@ void printUsage() {
       "  --dump-schedule       print the superword statement schedule\n"
       "  --dump-vector         print the generated vector program\n"
       "  --no-verify           skip the equivalence check\n"
+      "  --verify-vector       statically verify the vector program against\n"
+      "                        the kernel's scalar semantics (lane\n"
+      "                        provenance translation validation; on by\n"
+      "                        default in debug builds)\n"
+      "  --no-verify-vector    force the static verifier off\n"
+      "  --analyze             static-analysis mode: run the verifier with\n"
+      "                        its lint tier, print every diagnostic, and\n"
+      "                        skip the execution-based check\n"
+      "  --werror              treat analyzer warnings as errors\n"
       "  --quiet               only print the performance summary\n");
 }
 
@@ -240,6 +258,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.DumpVector = true;
     } else if (Arg == "--no-verify") {
       Opts.Verify = false;
+    } else if (Arg == "--verify-vector") {
+      Opts.VerifyVector = true;
+    } else if (Arg == "--no-verify-vector") {
+      Opts.VerifyVector = false;
+    } else if (Arg == "--analyze") {
+      Opts.Analyze = true;
+    } else if (Arg == "--werror") {
+      Opts.Werror = true;
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -306,6 +332,12 @@ int main(int Argc, char **Argv) {
   Options.Machine = Opts.Machine;
   Options.Threads = Opts.Threads;
   Options.GroupingEngine = Opts.GroupingEngine;
+  if (Opts.Analyze)
+    Options.VerifyVector = true;
+  else if (Opts.VerifyVector)
+    Options.VerifyVector = *Opts.VerifyVector;
+  Options.VerifyLint = Opts.Analyze;
+  Options.VerifyWerror = Opts.Werror;
 
   ModulePipelineResult Module;
   if (Opts.Passes.empty()) {
@@ -328,9 +360,20 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  bool VerifyErrors = false;
   for (unsigned KI = 0; KI != Parsed.Kernels.size(); ++KI) {
     const Kernel &K = Parsed.Kernels[KI];
     const PipelineResult &R = Module.PerKernel[KI];
+
+    // Static-verifier diagnostics: all of them in --analyze mode, errors
+    // always.
+    for (const Diagnostic &D : R.VerifyDiags) {
+      bool IsError = D.Severity == DiagSeverity::Error;
+      VerifyErrors |= IsError;
+      if (Opts.Analyze || IsError)
+        std::fprintf(stderr, "slpc: %s: %s\n", K.Name.c_str(),
+                     D.render().c_str());
+    }
 
     if (Opts.DumpKernel && !Opts.Quiet)
       std::printf("== unrolled kernel ==\n%s\n",
@@ -362,7 +405,7 @@ int main(int Argc, char **Argv) {
       for (const Remark &Rem : R.Remarks)
         std::printf("%s\n", Rem.str().c_str());
 
-    if (Opts.Verify) {
+    if (Opts.Verify && !Opts.Analyze) {
       if (!R.Simulated) {
         std::fprintf(stderr,
                      "slpc: note: skipping verification for '%s' (the "
@@ -405,5 +448,11 @@ int main(int Argc, char **Argv) {
   if (Opts.TimePasses)
     std::printf("%s", Module.PassTimings.str("pass timing (wall clock)")
                           .c_str());
+  if (VerifyErrors) {
+    std::fprintf(stderr,
+                 "slpc: STATIC VERIFICATION FAILED: the vector program "
+                 "does not provably implement the kernel\n");
+    return 1;
+  }
   return 0;
 }
