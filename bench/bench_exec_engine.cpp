@@ -6,7 +6,11 @@
 // and SIMD datapath width (128/256 bits), for both scalar kernels and the
 // emitted vector programs. Before timing, both engines run once from
 // identical environments and the results are compared — the speedup claim
-// is only meaningful if execution is bit-identical.
+// is only meaningful if execution is bit-identical. The three predicated
+// workloads (memcpy_cond / dotprod_cond / mmm_cond) run the same protocol
+// through if-conversion and the masked tape opcodes, so the masked
+// execution path is timed and bit-identity-checked next to the
+// straight-line sweep.
 //
 // The acceptance gate of the engine work lives here: the geomean speedup
 // over kernels of >= 256 statements must be at least 5x, or the binary
@@ -21,6 +25,7 @@
 #include "ir/Builder.h"
 #include "layout/Layout.h"
 #include "slp/Pipeline.h"
+#include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
 
@@ -163,45 +168,49 @@ ExecConfig makeConfig(unsigned N, unsigned Bits) {
   return C;
 }
 
-void assertBitIdentity(const ExecConfig &C) {
+void assertEnginesAgree(const Kernel &K, const PipelineResult &R,
+                        const std::string &What) {
   ExecEngine Opt(ExecEngineKind::Optimized);
   ExecEngine Ref(ExecEngineKind::Reference);
-  Environment OptEnv(C.K, 1);
-  Environment RefEnv(C.K, 1);
-  ScalarExecStats OS = Opt.runKernel(C.K, OptEnv);
-  ScalarExecStats RS = Ref.runKernel(C.K, RefEnv);
-  if (!OptEnv.matches(RefEnv, static_cast<unsigned>(C.K.Scalars.size()),
-                      static_cast<unsigned>(C.K.Arrays.size())) ||
+  Environment OptEnv(K, 1);
+  Environment RefEnv(K, 1);
+  ScalarExecStats OS = Opt.runKernel(K, OptEnv);
+  ScalarExecStats RS = Ref.runKernel(K, RefEnv);
+  if (!OptEnv.matches(RefEnv, static_cast<unsigned>(K.Scalars.size()),
+                      static_cast<unsigned>(K.Arrays.size())) ||
       OS.AluOps != RS.AluOps || OS.ArrayLoads != RS.ArrayLoads ||
       OS.ArrayStores != RS.ArrayStores) {
     std::fprintf(stderr,
-                 "FATAL: engines disagree on scalar execution of the "
-                 "%u-statement kernel\n",
-                 C.N);
+                 "FATAL: engines disagree on scalar execution of %s\n",
+                 What.c_str());
     std::exit(1);
   }
-  Environment OptVec = makeVectorEnv(C.K, C.R, 1);
-  Environment RefVec = makeVectorEnv(C.K, C.R, 1);
-  Opt.runProgram(C.R.Final, C.R.Program, OptVec);
-  Ref.runProgram(C.R.Final, C.R.Program, RefVec);
-  if (!OptVec.matches(RefVec,
-                      static_cast<unsigned>(C.R.Final.Scalars.size()),
-                      static_cast<unsigned>(C.R.Final.Arrays.size()))) {
+  Environment OptVec = makeVectorEnv(K, R, 1);
+  Environment RefVec = makeVectorEnv(K, R, 1);
+  Opt.runProgram(R.Final, R.Program, OptVec);
+  Ref.runProgram(R.Final, R.Program, RefVec);
+  if (!OptVec.matches(RefVec, static_cast<unsigned>(R.Final.Scalars.size()),
+                      static_cast<unsigned>(R.Final.Arrays.size()))) {
     std::fprintf(stderr,
-                 "FATAL: engines disagree on vector execution of the "
-                 "%u-statement kernel at %u bits\n",
-                 C.N, C.Bits);
+                 "FATAL: engines disagree on vector execution of %s\n",
+                 What.c_str());
     std::exit(1);
   }
+}
+
+void assertBitIdentity(const ExecConfig &C) {
+  assertEnginesAgree(C.K, C.R,
+                     "the " + std::to_string(C.N) + "-statement kernel at " +
+                         std::to_string(C.Bits) + " bits");
 }
 
 unsigned repsFor(unsigned N) { return N <= 64 ? 60 : (N <= 256 ? 15 : 4); }
 
 /// Times compile-once/run-many scalar execution under \p Kind.
-double timeScalar(const ExecConfig &C, ExecEngineKind Kind, unsigned Reps) {
+double timeScalar(const Kernel &K, ExecEngineKind Kind, unsigned Reps) {
   ExecEngine Engine(Kind);
-  CompiledScalarKernel Compiled = Engine.compileScalar(C.K);
-  Environment Env(C.K, 1);
+  CompiledScalarKernel Compiled = Engine.compileScalar(K);
+  Environment Env(K, 1);
   uint64_t Sink = 0;
   auto Start = std::chrono::steady_clock::now();
   for (unsigned I = 0; I != Reps; ++I)
@@ -212,17 +221,102 @@ double timeScalar(const ExecConfig &C, ExecEngineKind Kind, unsigned Reps) {
 }
 
 /// Times compile-once/run-many vector-program execution under \p Kind.
-double timeVector(const ExecConfig &C, ExecEngineKind Kind, unsigned Reps) {
+double timeVector(const Kernel &K, const PipelineResult &R,
+                  ExecEngineKind Kind, unsigned Reps) {
   ExecEngine Engine(Kind);
-  CompiledVectorKernel Compiled =
-      Engine.compileVector(C.R.Final, C.R.Program);
-  Environment Env = makeVectorEnv(C.K, C.R, 1);
+  CompiledVectorKernel Compiled = Engine.compileVector(R.Final, R.Program);
+  Environment Env = makeVectorEnv(K, R, 1);
   auto Start = std::chrono::steady_clock::now();
   for (unsigned I = 0; I != Reps; ++I)
     Engine.runVector(Compiled, Env);
   auto End = std::chrono::steady_clock::now();
   benchmark::DoNotOptimize(Env.scalarData());
   return std::chrono::duration<double>(End - Start).count() / Reps;
+}
+
+/// One predicated (branchy) workload, pipeline run once up front: the
+/// kernel goes through if-conversion and executes through the masked tape
+/// opcodes, so masked loads/stores and suppressed guarded stores get
+/// wall-clock coverage next to the straight-line sweep.
+struct PredConfig {
+  std::string Name;
+  Kernel K;
+  PipelineResult R;
+};
+
+std::vector<PredConfig> makePredConfigs() {
+  std::vector<PredConfig> Out;
+  std::vector<Workload> Pool = predicatedWorkloads();
+  for (Workload &W : Pool) {
+    PredConfig C;
+    C.Name = W.Name;
+    C.K = std::move(W.TheKernel);
+    PipelineOptions Options;
+    Options.Machine = MachineModel::hypothetical(128);
+    C.R = runPipeline(C.K, OptimizerKind::Global, Options);
+    if (!C.R.TransformationApplied) {
+      std::fprintf(stderr,
+                   "FATAL: predicated workload '%s' was not vectorized — "
+                   "the masked timing would be meaningless\n",
+                   C.Name.c_str());
+      std::exit(1);
+    }
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+/// Prints the predicated-workload table. No speedup gate here: the point
+/// is coverage and trend-tracking of the masked execution path, and the
+/// CI baseline (bench/exec_engine_baseline.json) gates absolute wall-clock
+/// on the registered benchmark entries instead.
+void printPredicatedSweep(const std::vector<PredConfig> &Configs) {
+  std::printf("Predicated workloads (if-converted, masked vector "
+              "execution; bit-identity asserted per workload)\n");
+  std::printf("%14s %13s %13s %8s %13s %13s %8s\n", "workload",
+              "scal-ref(ms)", "scal-opt(ms)", "speedup", "vec-ref(ms)",
+              "vec-opt(ms)", "speedup");
+  for (const PredConfig &C : Configs) {
+    assertEnginesAgree(C.K, C.R, "predicated workload '" + C.Name + "'");
+    constexpr unsigned Reps = 15;
+    double ScalRef = timeScalar(C.K, ExecEngineKind::Reference, Reps);
+    double ScalOpt = timeScalar(C.K, ExecEngineKind::Optimized, Reps);
+    double VecRef = timeVector(C.K, C.R, ExecEngineKind::Reference, Reps);
+    double VecOpt = timeVector(C.K, C.R, ExecEngineKind::Optimized, Reps);
+    std::printf("%14s %13.3f %13.3f %7.1fx %13.3f %13.3f %7.1fx\n",
+                C.Name.c_str(), 1e3 * ScalRef, 1e3 * ScalOpt,
+                ScalRef / ScalOpt, 1e3 * VecRef, 1e3 * VecOpt,
+                VecRef / VecOpt);
+  }
+  std::printf("\n");
+}
+
+void registerPredBench(const PredConfig *C, ExecEngineKind Kind) {
+  std::string Scalar = std::string("exec/pred/") + C->Name + "/scalar/" +
+                       execEngineName(Kind);
+  benchmark::RegisterBenchmark(
+      Scalar.c_str(), [C, Kind](benchmark::State &S) {
+        ExecEngine Engine(Kind);
+        CompiledScalarKernel Compiled = Engine.compileScalar(C->K);
+        Environment Env(C->K, 1);
+        for (auto _ : S) {
+          ScalarExecStats Stats = Engine.runScalar(Compiled, Env);
+          benchmark::DoNotOptimize(Stats.AluOps);
+        }
+      });
+  std::string Vector = std::string("exec/pred/") + C->Name + "/vector/" +
+                       execEngineName(Kind);
+  benchmark::RegisterBenchmark(
+      Vector.c_str(), [C, Kind](benchmark::State &S) {
+        ExecEngine Engine(Kind);
+        CompiledVectorKernel Compiled =
+            Engine.compileVector(C->R.Final, C->R.Program);
+        Environment Env = makeVectorEnv(C->K, C->R, 1);
+        for (auto _ : S) {
+          Engine.runVector(Compiled, Env);
+          benchmark::DoNotOptimize(Env.scalarData());
+        }
+      });
 }
 
 /// Prints the sweep table and enforces the >= 5x geomean gate over
@@ -239,10 +333,10 @@ void printSweepAndGate(const std::vector<ExecConfig> &Configs) {
   for (const ExecConfig &C : Configs) {
     assertBitIdentity(C);
     unsigned Reps = repsFor(C.N);
-    double ScalRef = timeScalar(C, ExecEngineKind::Reference, Reps);
-    double ScalOpt = timeScalar(C, ExecEngineKind::Optimized, Reps);
-    double VecRef = timeVector(C, ExecEngineKind::Reference, Reps);
-    double VecOpt = timeVector(C, ExecEngineKind::Optimized, Reps);
+    double ScalRef = timeScalar(C.K, ExecEngineKind::Reference, Reps);
+    double ScalOpt = timeScalar(C.K, ExecEngineKind::Optimized, Reps);
+    double VecRef = timeVector(C.K, C.R, ExecEngineKind::Reference, Reps);
+    double VecOpt = timeVector(C.K, C.R, ExecEngineKind::Optimized, Reps);
     double ScalSpeedup = ScalRef / ScalOpt;
     double VecSpeedup = VecRef / VecOpt;
     std::printf("%6u %5u %13.3f %13.3f %7.1fx %13.3f %13.3f %7.1fx\n",
@@ -304,13 +398,19 @@ int main(int argc, char **argv) {
   for (unsigned N : {64u, 256u, 512u})
     for (unsigned Bits : {128u, 256u})
       Configs.push_back(makeConfig(N, Bits));
+  std::vector<PredConfig> PredConfigs = makePredConfigs();
 
   printSweepAndGate(Configs);
+  printPredicatedSweep(PredConfigs);
 
   for (const ExecConfig &C : Configs)
     for (ExecEngineKind Kind :
          {ExecEngineKind::Optimized, ExecEngineKind::Reference})
       registerExecBench(&C, Kind);
+  for (const PredConfig &C : PredConfigs)
+    for (ExecEngineKind Kind :
+         {ExecEngineKind::Optimized, ExecEngineKind::Reference})
+      registerPredBench(&C, Kind);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

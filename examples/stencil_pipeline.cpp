@@ -33,6 +33,23 @@ static void describeProgram(const Kernel &K, const VectorProgram &P) {
                     printOperand(K, I.LaneOps[L]).c_str());
       std::printf(">\n");
       break;
+    case VInstKind::MaskedLoadPack:
+      std::printf("  [%2u] vmload %-13s <- <", Idx, packModeName(I.Mode));
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        std::printf("%s%s", L ? ", " : "",
+                    printOperand(K, I.LaneOps[L]).c_str());
+      std::printf(">\n");
+      break;
+    case VInstKind::MaskedStorePack:
+      std::printf("  [%2u] vmstore %-12s -> <", Idx, packModeName(I.Mode));
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        std::printf("%s%s", L ? ", " : "",
+                    printOperand(K, I.LaneOps[L]).c_str());
+      std::printf(">\n");
+      break;
+    case VInstKind::Blend:
+      std::printf("  [%2u] vblend\n", Idx);
+      break;
     case VInstKind::Shuffle:
       std::printf("  [%2u] vshuffle\n", Idx);
       break;

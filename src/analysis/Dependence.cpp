@@ -112,8 +112,9 @@ DependenceInfo::DependenceInfo(const Kernel &K) {
   for (unsigned I = 0; I != N; ++I) {
     const Statement &S = K.Body.statement(I);
     Defs[I] = &S.lhs();
-    S.rhs().forEachLeaf(
-        [&Uses, I](const Operand &O) { Uses[I].push_back(&O); });
+    // Guard reads count as uses; guarded defs stay unconditional defs
+    // (conservative but safe for ordering).
+    S.forEachUse([&Uses, I](const Operand &O) { Uses[I].push_back(&O); });
   }
 
   for (unsigned P = 0; P != N; ++P) {

@@ -135,6 +135,17 @@ TermId TermTable::makeApply(OpCode Op, const std::vector<TermId> &Children) {
   return intern(std::move(T), std::move(Key));
 }
 
+TermId TermTable::makeGuarded(TermId Pred, TermId Value) {
+  Term T;
+  T.TheKind = Kind::Guarded;
+  T.Children = {Pred, Value};
+  std::string Key{'g'};
+  Key += std::to_string(Pred);
+  Key += ',';
+  Key += std::to_string(Value);
+  return intern(std::move(T), std::move(Key));
+}
+
 TermId TermTable::makeAmbig(LocId Loc, const VersionToken &Token) {
   Term T;
   T.TheKind = Kind::Ambig;
@@ -186,6 +197,9 @@ std::string TermTable::str(TermId Id, const LocationTable &Locs) const {
     Out += ')';
     return Out;
   }
+  case Kind::Guarded:
+    return "guard(" + str(T.Children[0], Locs) + ", " +
+           str(T.Children[1], Locs) + ")";
   case Kind::Ambig: {
     std::string Out = "ambig(" + Locs.locName(T.Loc) +
                       ", def=" + std::to_string(T.Def) + ", may={";
@@ -215,11 +229,15 @@ VersionToken WriteLog::tokenFor(LocId Loc, LocationTable &Locs) const {
     --I;
     const Write &W = Writes[I];
     LocAlias A = Locs.alias(Loc, W.Loc);
-    if (A == LocAlias::Must) {
+    // A conditional (guarded) write may not happen at run time, so even a
+    // must-aliasing one cannot serve as the defining write: it joins the
+    // may-writer set and the scan continues to the unconditional write (or
+    // the initial content) still visible underneath.
+    if (A == LocAlias::Must && !W.Conditional) {
       Token.Def = W.Stmt;
       break;
     }
-    if (A == LocAlias::May)
+    if (A != LocAlias::None)
       Token.MayWriters.push_back(W.Stmt);
   }
   std::sort(Token.MayWriters.begin(), Token.MayWriters.end());

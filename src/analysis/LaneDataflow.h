@@ -122,6 +122,8 @@ public:
     Initial, ///< pre-block content of location Loc
     Trunc,   ///< integer store/load truncation of Child[0]
     Apply,   ///< OpCode Op over Child terms
+    Guarded, ///< conditional store obligation: value Child[1] under
+             ///< predicate Child[0] (if-converted statements)
     Ambig,   ///< ambiguous read: location Loc, token (Def, MayWriters)
     Clobber, ///< unique unknown introduced by an already-diagnosed error
   };
@@ -140,6 +142,9 @@ public:
   TermId makeInitial(LocId Loc);
   TermId makeTrunc(TermId Child);
   TermId makeApply(OpCode Op, const std::vector<TermId> &Children);
+  /// The store obligation of a guarded statement: \p Value is written only
+  /// where \p Pred is non-zero.
+  TermId makeGuarded(TermId Pred, TermId Value);
   /// An ambiguous read of \p Loc under \p Token (non-empty MayWriters).
   TermId makeAmbig(LocId Loc, const VersionToken &Token);
   /// A fresh term equal to nothing else (error recovery).
@@ -166,8 +171,14 @@ private:
 class WriteLog {
 public:
   /// Records that writer \p Stmt (a statement id, or a synthetic negative
-  /// id minted during error recovery) wrote location \p Loc.
-  void recordWrite(LocId Loc, int Stmt) { Writes.push_back({Loc, Stmt}); }
+  /// id minted during error recovery) wrote location \p Loc. A
+  /// \p Conditional write (a guarded statement's store) may or may not
+  /// happen at run time: it never becomes a token's must-write Def — a
+  /// later read observes it only as a may-writer, with the preceding
+  /// unconditional write still visible underneath.
+  void recordWrite(LocId Loc, int Stmt, bool Conditional = false) {
+    Writes.push_back({Loc, Stmt, Conditional});
+  }
 
   /// The version token an immediate read of \p Loc would observe.
   VersionToken tokenFor(LocId Loc, LocationTable &Locs) const;
@@ -178,6 +189,7 @@ private:
   struct Write {
     LocId Loc;
     int Stmt;
+    bool Conditional;
   };
   std::vector<Write> Writes;
 };

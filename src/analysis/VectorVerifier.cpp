@@ -49,6 +49,9 @@ private:
   void defReg(unsigned Reg, std::vector<TermId> Lanes, unsigned Inst);
   void execLoadPack(const VInst &I, unsigned Inst);
   void execStorePack(const VInst &I, unsigned Inst);
+  void execMaskedLoadPack(const VInst &I, unsigned Inst);
+  void execMaskedStorePack(const VInst &I, unsigned Inst);
+  void execBlend(const VInst &I, unsigned Inst);
   void execShuffle(const VInst &I, unsigned Inst);
   void execVectorOp(const VInst &I, unsigned Inst);
   void execScalarExec(const VInst &I, unsigned Inst);
@@ -74,7 +77,13 @@ private:
 
   // Reference-execution products.
   std::vector<TermId> RefTerm; ///< untruncated RHS term per statement
-  std::vector<LocId> LhsLoc;   ///< interned lhs location per statement
+  /// Guard term per statement (InvalidTerm for unguarded statements).
+  std::vector<TermId> GuardTerm;
+  /// Store obligation per statement: Guarded(guard, rhs) for predicated
+  /// statements, the plain RHS term otherwise. This is what a store lane
+  /// must prove it writes.
+  std::vector<TermId> StoredTerm;
+  std::vector<LocId> LhsLoc; ///< interned lhs location per statement
 
   // Vector-execution state.
   WriteLog VLog;
@@ -151,13 +160,23 @@ TermId Verifier::buildExprTerm(const Expr &E, const WriteLog &Log) {
 
 void Verifier::runReference() {
   RefTerm.resize(NumStmts, InvalidTerm);
+  GuardTerm.resize(NumStmts, InvalidTerm);
+  StoredTerm.resize(NumStmts, InvalidTerm);
   LhsLoc.resize(NumStmts, 0);
   WriteLog RLog;
   for (unsigned S = 0; S != NumStmts; ++S) {
     const Statement &Stmt = K.Body.statement(S);
+    // If-converted semantics: the guard is evaluated first, the rhs always.
+    if (Stmt.hasGuard())
+      GuardTerm[S] = buildExprTerm(Stmt.guard(), RLog);
     RefTerm[S] = buildExprTerm(Stmt.rhs(), RLog);
+    StoredTerm[S] = Stmt.hasGuard()
+                        ? Terms.makeGuarded(GuardTerm[S], RefTerm[S])
+                        : RefTerm[S];
     LhsLoc[S] = Locs.intern(Stmt.lhs());
-    RLog.recordWrite(LhsLoc[S], static_cast<int>(S));
+    // A guarded statement's store is conditional: later reads see it only
+    // as a may-writer (mirrored by the vector log in commitStatement).
+    RLog.recordWrite(LhsLoc[S], static_cast<int>(S), Stmt.hasGuard());
   }
 }
 
@@ -173,6 +192,18 @@ void Verifier::computeLastUses() {
     case VInstKind::StorePack:
     case VInstKind::Shuffle:
       Use(Inst.Src0, I);
+      break;
+    case VInstKind::MaskedStorePack:
+      Use(Inst.Src0, I);
+      Use(Inst.Src1, I); // mask
+      break;
+    case VInstKind::MaskedLoadPack:
+      Use(Inst.Src1, I); // mask
+      break;
+    case VInstKind::Blend:
+      Use(Inst.Src0, I);
+      Use(Inst.Src1, I);
+      Use(Inst.Src2, I);
       break;
     case VInstKind::VectorOp:
       Use(Inst.Src0, I);
@@ -373,7 +404,8 @@ void Verifier::execVectorOp(const VInst &I, unsigned Inst) {
 
 void Verifier::commitStatement(unsigned Stmt, unsigned Inst) {
   ExecInst[Stmt] = static_cast<int>(Inst);
-  VLog.recordWrite(LhsLoc[Stmt], static_cast<int>(Stmt));
+  VLog.recordWrite(LhsLoc[Stmt], static_cast<int>(Stmt),
+                   K.Body.statement(Stmt).hasGuard());
 }
 
 void Verifier::lintScalarReload(const VInst &I, unsigned Inst) {
@@ -430,7 +462,18 @@ void Verifier::execScalarExec(const VInst &I, unsigned Inst) {
     return;
   }
   lintScalarReload(I, Inst);
-  TermId Value = buildExprTerm(K.Body.statement(I.StmtId).rhs(), VLog);
+  const Statement &Stmt = K.Body.statement(I.StmtId);
+  if (Stmt.hasGuard()) {
+    TermId Guard = buildExprTerm(Stmt.guard(), VLog);
+    if (Guard != GuardTerm[I.StmtId])
+      error("VV13",
+            "scalar execution of guarded statement " +
+                std::to_string(I.StmtId) + " evaluates predicate " +
+                describeTerm(Guard) + " but the statement's guard is " +
+                describeTerm(GuardTerm[I.StmtId]),
+            Loc);
+  }
+  TermId Value = buildExprTerm(Stmt.rhs(), VLog);
   if (Value != RefTerm[I.StmtId])
     error("VV04",
           "scalar execution of statement " + std::to_string(I.StmtId) +
@@ -481,12 +524,15 @@ void Verifier::execStorePack(const VInst &I, unsigned Inst) {
     TermId Value = Src && L < Src->size() ? (*Src)[L] : Terms.makeClobber();
 
     // Match the lane to a block statement: same target location, same
-    // (untruncated) value, not yet executed. The code generator's claimed
-    // statement ids serve as a hint; the earliest unexecuted candidate is
-    // the fallback, so hand-built programs verify too.
+    // (untruncated) store obligation, not yet executed. Matching against
+    // StoredTerm (not RefTerm) means a guarded statement — whose
+    // obligation is Guarded(guard, rhs) — can never be discharged by an
+    // unconditional store lane. The code generator's claimed statement
+    // ids serve as a hint; the earliest unexecuted candidate is the
+    // fallback, so hand-built programs verify too.
     auto Matches = [&](unsigned S) {
       return ExecInst[S] == -1 && LhsLoc[S] == Target &&
-             RefTerm[S] == Value;
+             StoredTerm[S] == Value;
     };
     int Match = -1;
     if (I.StmtIds.size() == I.LaneOps.size() && I.StmtIds[L] < NumStmts &&
@@ -498,22 +544,34 @@ void Verifier::execStorePack(const VInst &I, unsigned Inst) {
 
     if (Match < 0) {
       // Distinguish the failure shape for the diagnostic.
-      int PendingSameLoc = -1, ExecutedSameLoc = -1;
+      int PendingSameLoc = -1, ExecutedSameLoc = -1, GuardedValueMatch = -1;
       for (unsigned S = 0; S != NumStmts; ++S) {
         if (LhsLoc[S] != Target)
           continue;
         if (ExecInst[S] == -1 && PendingSameLoc < 0)
           PendingSameLoc = static_cast<int>(S);
+        if (ExecInst[S] == -1 && GuardedValueMatch < 0 &&
+            K.Body.statement(S).hasGuard() && RefTerm[S] == Value)
+          GuardedValueMatch = static_cast<int>(S);
         if (ExecInst[S] != -1 && ExecutedSameLoc < 0)
           ExecutedSameLoc = static_cast<int>(S);
       }
-      if (PendingSameLoc >= 0) {
+      if (GuardedValueMatch >= 0) {
+        Loc.Stmt = GuardedValueMatch;
+        error("VV13",
+              "store lane writes " + Locs.locName(Target) +
+                  " unconditionally, but statement " +
+                  std::to_string(GuardedValueMatch) +
+                  " is guarded by " + describeTerm(GuardTerm[GuardedValueMatch]) +
+                  " and must store through a matching mask",
+              Loc);
+      } else if (PendingSameLoc >= 0) {
         Loc.Stmt = PendingSameLoc;
         error("VV04",
               "store lane writes " + describeTerm(Value) + " to " +
                   Locs.locName(Target) + " but statement " +
                   std::to_string(PendingSameLoc) + " would store " +
-                  describeTerm(RefTerm[PendingSameLoc]),
+                  describeTerm(StoredTerm[PendingSameLoc]),
               Loc);
       } else if (ExecutedSameLoc >= 0) {
         Loc.Stmt = ExecutedSameLoc;
@@ -547,6 +605,245 @@ void Verifier::execStorePack(const VInst &I, unsigned Inst) {
         Loc.Lane = static_cast<int>(B);
         error("VV09",
               "store pack packs dependent statements " +
+                  std::to_string(Matched[A]) + " and " +
+                  std::to_string(Matched[B]) + " into one superword",
+              Loc);
+      }
+    }
+}
+
+void Verifier::execMaskedLoadPack(const VInst &I, unsigned Inst) {
+  DiagLocation Loc;
+  Loc.Inst = static_cast<int>(Inst);
+  Loc.VReg = static_cast<int>(I.Dst);
+  const std::vector<TermId> *Mask = useReg(I.Src1, Inst);
+  if (Mask && Mask->size() != I.Lanes) {
+    error("VV12",
+          "masked load declares " + std::to_string(I.Lanes) +
+              " lane(s) but its mask vreg " + std::to_string(I.Src1) +
+              " holds " + std::to_string(Mask->size()),
+          Loc);
+    Mask = nullptr;
+  }
+  if (I.LaneOps.size() != I.Lanes) {
+    error("VV07",
+          "masked load pack declares " + std::to_string(I.Lanes) +
+              " lane(s) but carries " + std::to_string(I.LaneOps.size()) +
+              " operand(s)",
+          Loc);
+    defReg(I.Dst, std::vector<TermId>(I.Lanes, Terms.makeClobber()), Inst);
+    return;
+  }
+  // Lane semantics: mask != 0 ? memory : 0.0. The lane term is the Select
+  // over the mask lane — execMaskedStorePack strips it back off when the
+  // value flows to a store under the same mask.
+  TermId Zero = Terms.makeConst(0.0);
+  std::vector<TermId> Lanes;
+  Lanes.reserve(I.LaneOps.size());
+  for (unsigned L = 0; L != I.LaneOps.size(); ++L) {
+    const Operand &Op = I.LaneOps[L];
+    TermId Mem = Op.isConstant() ? Terms.makeConst(Op.constantValue())
+                                 : resolveRead(VLog, Locs.intern(Op));
+    TermId MaskLane = Mask ? (*Mask)[L] : Terms.makeClobber();
+    Lanes.push_back(Terms.makeApply(OpCode::Select, {MaskLane, Mem, Zero}));
+  }
+  if (I.Mode == PackMode::ContiguousUnaligned ||
+      I.Mode == PackMode::PermutedContiguous)
+    lint("VL03",
+         "unaligned contiguous load pack; the data layout stage could "
+         "replicate the array into an aligned copy",
+         Loc);
+  defReg(I.Dst, std::move(Lanes), Inst);
+}
+
+void Verifier::execBlend(const VInst &I, unsigned Inst) {
+  DiagLocation Loc;
+  Loc.Inst = static_cast<int>(Inst);
+  Loc.VReg = static_cast<int>(I.Dst);
+  const std::vector<TermId> *C = useReg(I.Src0, Inst);
+  const std::vector<TermId> *A = useReg(I.Src1, Inst);
+  const std::vector<TermId> *B = useReg(I.Src2, Inst);
+  auto CheckWidth = [&](const std::vector<TermId> *&Reg, unsigned Num) {
+    if (Reg && Reg->size() != I.Lanes) {
+      error("VV07",
+            "blend declares " + std::to_string(I.Lanes) +
+                " lane(s) but vreg " + std::to_string(Num) + " holds " +
+                std::to_string(Reg->size()),
+            Loc);
+      Reg = nullptr;
+    }
+  };
+  CheckWidth(C, I.Src0);
+  CheckWidth(A, I.Src1);
+  CheckWidth(B, I.Src2);
+  std::vector<TermId> Lanes(I.Lanes, InvalidTerm);
+  for (unsigned L = 0; L != I.Lanes; ++L) {
+    if (!C || !A || !B) {
+      Lanes[L] = Terms.makeClobber();
+      continue;
+    }
+    Lanes[L] =
+        Terms.makeApply(OpCode::Select, {(*C)[L], (*A)[L], (*B)[L]});
+  }
+  defReg(I.Dst, std::move(Lanes), Inst);
+}
+
+void Verifier::execMaskedStorePack(const VInst &I, unsigned Inst) {
+  DiagLocation InstLoc;
+  InstLoc.Inst = static_cast<int>(Inst);
+  const std::vector<TermId> *Src = useReg(I.Src0, Inst);
+  const std::vector<TermId> *Mask = useReg(I.Src1, Inst);
+  if (I.LaneOps.size() != I.Lanes)
+    error("VV07",
+          "masked store pack declares " + std::to_string(I.Lanes) +
+              " lane(s) but carries " + std::to_string(I.LaneOps.size()) +
+              " operand(s)",
+          InstLoc);
+  if (Src && Src->size() != I.Lanes) {
+    error("VV07",
+          "masked store pack declares " + std::to_string(I.Lanes) +
+              " lane(s) but vreg " + std::to_string(I.Src0) + " holds " +
+              std::to_string(Src->size()),
+          InstLoc);
+    Src = nullptr;
+  }
+  if (Mask && Mask->size() != I.Lanes) {
+    error("VV12",
+          "masked store declares " + std::to_string(I.Lanes) +
+              " lane(s) but its mask vreg " + std::to_string(I.Src1) +
+              " holds " + std::to_string(Mask->size()),
+          InstLoc);
+    Mask = nullptr;
+  }
+  if (I.Mode == PackMode::ContiguousUnaligned ||
+      I.Mode == PackMode::PermutedContiguous)
+    lint("VL03",
+         "unaligned contiguous store pack; the data layout stage could "
+         "replicate the array into an aligned copy",
+         InstLoc);
+
+  std::vector<int> Matched(I.LaneOps.size(), -1);
+  for (unsigned L = 0; L != I.LaneOps.size(); ++L) {
+    DiagLocation Loc = InstLoc;
+    Loc.Lane = static_cast<int>(L);
+    const Operand &Op = I.LaneOps[L];
+    if (Op.isConstant()) {
+      error("VV10", "masked store lane targets a constant operand", Loc);
+      continue;
+    }
+    ++Result.StoreLanesChecked;
+    LocId Target = Locs.intern(Op);
+    TermId Value = Src && L < Src->size() ? (*Src)[L] : Terms.makeClobber();
+    TermId MaskLane =
+        Mask && L < Mask->size() ? (*Mask)[L] : Terms.makeClobber();
+
+    // The lane discharges a guarded statement whose guard term equals the
+    // mask lane and whose rhs term equals the stored value. The stored
+    // value may carry Select(mask, x, 0) wrappers introduced by masked
+    // loads / blends under the SAME mask: wherever the mask is non-zero —
+    // the only lanes this store writes — Select(mask, x, y) equals x, so
+    // each wrapper is peeled and the match retried.
+    int Match = -1;
+    TermId Cur = Value;
+    for (;;) {
+      TermId Obligation = Terms.makeGuarded(MaskLane, Cur);
+      auto Matches = [&](unsigned S) {
+        return ExecInst[S] == -1 && LhsLoc[S] == Target &&
+               StoredTerm[S] == Obligation;
+      };
+      if (I.StmtIds.size() == I.LaneOps.size() && I.StmtIds[L] < NumStmts &&
+          Matches(I.StmtIds[L]))
+        Match = static_cast<int>(I.StmtIds[L]);
+      for (unsigned S = 0; Match < 0 && S != NumStmts; ++S)
+        if (Matches(S))
+          Match = static_cast<int>(S);
+      if (Match >= 0)
+        break;
+      const TermTable::Term &T = Terms.term(Cur);
+      if (T.TheKind == TermTable::Kind::Apply && T.Op == OpCode::Select &&
+          T.Children.size() == 3 && T.Children[0] == MaskLane)
+        Cur = T.Children[1];
+      else
+        break;
+    }
+
+    if (Match < 0) {
+      // Distinguish the failure shape for the diagnostic.
+      int PendingSameLoc = -1, ExecutedSameLoc = -1;
+      int UnguardedValueMatch = -1, WrongMask = -1;
+      for (unsigned S = 0; S != NumStmts; ++S) {
+        if (LhsLoc[S] != Target)
+          continue;
+        if (ExecInst[S] == -1) {
+          if (PendingSameLoc < 0)
+            PendingSameLoc = static_cast<int>(S);
+          const Statement &Stmt = K.Body.statement(S);
+          if (RefTerm[S] == Cur) {
+            if (!Stmt.hasGuard() && UnguardedValueMatch < 0)
+              UnguardedValueMatch = static_cast<int>(S);
+            if (Stmt.hasGuard() && GuardTerm[S] != MaskLane && WrongMask < 0)
+              WrongMask = static_cast<int>(S);
+          }
+        } else if (ExecutedSameLoc < 0) {
+          ExecutedSameLoc = static_cast<int>(S);
+        }
+      }
+      if (UnguardedValueMatch >= 0) {
+        Loc.Stmt = UnguardedValueMatch;
+        error("VV13",
+              "masked store lane writes " + Locs.locName(Target) +
+                  " under mask " + describeTerm(MaskLane) +
+                  ", but statement " + std::to_string(UnguardedValueMatch) +
+                  " has no guard and must store unconditionally",
+              Loc);
+      } else if (WrongMask >= 0) {
+        Loc.Stmt = WrongMask;
+        error("VV13",
+              "masked store lane writes " + Locs.locName(Target) +
+                  " under mask " + describeTerm(MaskLane) +
+                  ", but statement " + std::to_string(WrongMask) +
+                  " is guarded by " + describeTerm(GuardTerm[WrongMask]),
+              Loc);
+      } else if (PendingSameLoc >= 0) {
+        Loc.Stmt = PendingSameLoc;
+        error("VV04",
+              "masked store lane writes " + describeTerm(Cur) + " to " +
+                  Locs.locName(Target) + " but statement " +
+                  std::to_string(PendingSameLoc) + " would store " +
+                  describeTerm(StoredTerm[PendingSameLoc]),
+              Loc);
+      } else if (ExecutedSameLoc >= 0) {
+        Loc.Stmt = ExecutedSameLoc;
+        error("VV02",
+              "masked store lane rewrites " + Locs.locName(Target) +
+                  ", already written for statement " +
+                  std::to_string(ExecutedSameLoc),
+              Loc);
+      } else {
+        error("VV03",
+              "masked store lane writes " + Locs.locName(Target) +
+                  ", which no block statement writes",
+              Loc);
+      }
+      VLog.recordWrite(Target, NextSynthetic--);
+      continue;
+    }
+    Matched[L] = Match;
+    commitStatement(static_cast<unsigned>(Match), Inst);
+  }
+
+  // Lanes of one masked store pack write simultaneously: the matched
+  // statements must be pairwise independent, as for unmasked packs.
+  for (unsigned A = 0; A != Matched.size(); ++A)
+    for (unsigned B = A + 1; B != Matched.size(); ++B) {
+      if (Matched[A] < 0 || Matched[B] < 0 || Matched[A] == Matched[B])
+        continue;
+      if (!Deps.independent(static_cast<unsigned>(Matched[A]),
+                            static_cast<unsigned>(Matched[B]))) {
+        DiagLocation Loc = InstLoc;
+        Loc.Lane = static_cast<int>(B);
+        error("VV09",
+              "masked store pack packs dependent statements " +
                   std::to_string(Matched[A]) + " and " +
                   std::to_string(Matched[B]) + " into one superword",
               Loc);
@@ -597,6 +894,26 @@ void Verifier::lintDeadLanes() {
       for (unsigned L = 0; L != I.Lanes; ++L)
         MarkLive(I.Src0, L);
       break;
+    case VInstKind::MaskedStorePack:
+      for (unsigned L = 0; L != I.Lanes; ++L) {
+        MarkLive(I.Src0, L);
+        MarkLive(I.Src1, L); // the mask decides the lane's fate
+      }
+      break;
+    case VInstKind::Blend: {
+      std::vector<bool> Out =
+          I.Dst < Live.size() ? Live[I.Dst] : std::vector<bool>();
+      if (I.Dst < Live.size())
+        Live[I.Dst].clear();
+      for (unsigned L = 0; L != Out.size(); ++L) {
+        if (!Out[L])
+          continue;
+        MarkLive(I.Src0, L);
+        MarkLive(I.Src1, L);
+        MarkLive(I.Src2, L);
+      }
+      break;
+    }
     case VInstKind::VectorOp: {
       std::vector<bool> Out =
           I.Dst < Live.size() ? Live[I.Dst] : std::vector<bool>();
@@ -621,10 +938,14 @@ void Verifier::lintDeadLanes() {
           MarkLive(I.Src0, I.Perm[L]);
       break;
     }
+    case VInstKind::MaskedLoadPack:
     case VInstKind::LoadPack: {
       for (unsigned L = 0; L != I.Lanes; ++L) {
-        if (IsLive(I.Dst, L))
+        if (IsLive(I.Dst, L)) {
+          if (I.Kind == VInstKind::MaskedLoadPack)
+            MarkLive(I.Src1, L); // live lane keeps its mask lane live
           continue;
+        }
         DiagLocation Loc;
         Loc.Inst = static_cast<int>(Idx);
         Loc.VReg = static_cast<int>(I.Dst);
@@ -659,6 +980,15 @@ VectorVerifyResult Verifier::run() {
       break;
     case VInstKind::StorePack:
       execStorePack(I, Idx);
+      break;
+    case VInstKind::MaskedLoadPack:
+      execMaskedLoadPack(I, Idx);
+      break;
+    case VInstKind::MaskedStorePack:
+      execMaskedStorePack(I, Idx);
+      break;
+    case VInstKind::Blend:
+      execBlend(I, Idx);
       break;
     case VInstKind::Shuffle:
       execShuffle(I, Idx);

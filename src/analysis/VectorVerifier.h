@@ -16,7 +16,11 @@
 ///  * the order of writes preserves the scalar dependence graph, reusing
 ///    the GCD/Banerjee machinery of analysis/Dependence.h (VV05/VV09);
 ///  * no vector register is read before it is defined, redefined while
-///    live, or used with inconsistent lane widths (VV06/VV07/VV08/VV11).
+///    live, or used with inconsistent lane widths (VV06/VV07/VV08/VV11);
+///  * predicated (if-converted) statements store through a mask whose
+///    per-lane term equals the statement's guard — a mask of the wrong
+///    width is VV12, an unguarded store of a guarded statement (or a
+///    masked store under the wrong mask) is VV13.
 ///
 /// A lint tier (VL01-VL04 warnings) flags code that is correct but
 /// wasteful: dead pack lanes, permutes composing to the identity,

@@ -96,10 +96,13 @@ public:
     emitExpr(E.child(0), SP);
     if (E.numChildren() > 1)
       emitExpr(E.child(1), SP + 1);
+    if (E.numChildren() > 2)
+      emitExpr(E.child(2), SP + 2);
     TapeOp O;
     O.Dst = SP;
     O.A = SP;
     O.B = SP + 1;
+    O.C = SP + 2;
     switch (E.opcode()) {
     case OpCode::Add:
       O.Opc = TapeOpc::Add;
@@ -128,27 +131,66 @@ public:
     case OpCode::Abs:
       O.Opc = TapeOpc::Abs;
       break;
+    case OpCode::CmpLT:
+      O.Opc = TapeOpc::CmpLT;
+      break;
+    case OpCode::CmpLE:
+      O.Opc = TapeOpc::CmpLE;
+      break;
+    case OpCode::CmpGT:
+      O.Opc = TapeOpc::CmpGT;
+      break;
+    case OpCode::CmpGE:
+      O.Opc = TapeOpc::CmpGE;
+      break;
+    case OpCode::CmpEQ:
+      O.Opc = TapeOpc::CmpEQ;
+      break;
+    case OpCode::CmpNE:
+      O.Opc = TapeOpc::CmpNE;
+      break;
+    case OpCode::Select:
+      O.Opc = TapeOpc::SelectVal;
+      break;
     }
     ++T.AluOpsPerIter;
     emit(O);
   }
 
-  /// Lowers one whole statement: rhs into value slot 0, then the store.
+  /// Lowers one whole statement. Unguarded: rhs into value slot 0, then
+  /// the store. Guarded: guard into slot 0 first (the reference evaluates
+  /// the guard before the rhs, so loads must hit memory in that order),
+  /// rhs into slot 1, then a guarded store reading the guard from slot 0.
   void emitStatement(const Statement &S) {
-    emitExpr(S.rhs(), 0);
+    bool Guarded = S.hasGuard();
+    unsigned ValueSlot = 0;
+    if (Guarded) {
+      emitExpr(S.guard(), 0);
+      ValueSlot = 1;
+    }
+    emitExpr(S.rhs(), ValueSlot);
     const Operand &Lhs = S.lhs();
     TapeOp O;
-    O.Dst = 0;
+    O.Dst = ValueSlot;
+    O.C = 0; // guard slot (guarded opcodes only)
     if (Lhs.isScalar()) {
       bool Float = isFloatType(K.scalar(Lhs.symbol()).Ty);
-      O.Opc = Float ? TapeOpc::StoreScalar : TapeOpc::StoreScalarInt;
+      if (Guarded)
+        O.Opc = Float ? TapeOpc::StoreScalarIf : TapeOpc::StoreScalarIntIf;
+      else
+        O.Opc = Float ? TapeOpc::StoreScalar : TapeOpc::StoreScalarInt;
       O.A = Lhs.symbol();
     } else {
       assert(Lhs.isArray() && "cannot store to a constant");
       bool Float = isFloatType(K.array(Lhs.symbol()).Ty);
-      O.Opc = Float ? TapeOpc::StoreArray : TapeOpc::StoreArrayInt;
+      if (Guarded)
+        O.Opc = Float ? TapeOpc::StoreArrayIf : TapeOpc::StoreArrayIntIf;
+      else
+        O.Opc = Float ? TapeOpc::StoreArray : TapeOpc::StoreArrayInt;
       O.A = Lhs.symbol();
       O.B = addrSlot(Lhs);
+      // Attempted-store counting: the reference counts a suppressed array
+      // store too, keeping the static per-iteration accounting exact.
       ++T.ArrayStoresPerIter;
     }
     emit(O);
@@ -357,6 +399,24 @@ CompiledTape slp::compileVectorTape(const Kernel &K,
         case OpCode::Max:
           O.Opc = TapeOpc::VMax;
           break;
+        case OpCode::CmpLT:
+          O.Opc = TapeOpc::VCmpLT;
+          break;
+        case OpCode::CmpLE:
+          O.Opc = TapeOpc::VCmpLE;
+          break;
+        case OpCode::CmpGT:
+          O.Opc = TapeOpc::VCmpGT;
+          break;
+        case OpCode::CmpGE:
+          O.Opc = TapeOpc::VCmpGE;
+          break;
+        case OpCode::CmpEQ:
+          O.Opc = TapeOpc::VCmpEQ;
+          break;
+        case OpCode::CmpNE:
+          O.Opc = TapeOpc::VCmpNE;
+          break;
         default:
           slpUnreachable("unary opcode marked binary");
         }
@@ -368,6 +428,98 @@ CompiledTape slp::compileVectorTape(const Kernel &K,
     case VInstKind::ScalarExec:
       B.emitStatement(K.Body.statement(I.StmtId));
       break;
+    case VInstKind::MaskedLoadPack: {
+      assert(I.LaneOps.size() == I.Lanes && "lane operand count mismatch");
+      assert(Width[I.Src1] == I.Lanes && "mask width mismatch");
+      // Load every lane as usual, then zero the untaken lanes — exactly
+      // the reference interpreter's masked-load semantics.
+      if (isContiguousRun(K, I.LaneOps)) {
+        TapeOp O;
+        O.Opc = TapeOpc::VLoadContig;
+        O.Lanes = static_cast<uint16_t>(I.Lanes);
+        O.NoAlias = 1;
+        O.Dst = I.Dst;
+        O.A = I.LaneOps[0].symbol();
+        O.B = B.addrSlot(I.LaneOps[0]);
+        B.emit(O);
+      } else {
+        for (unsigned L = 0; L != I.Lanes; ++L) {
+          const Operand &Op = I.LaneOps[L];
+          assert(Op.isArray() && "masked loads pack array lanes");
+          TapeOp O;
+          O.Lane = static_cast<uint8_t>(L);
+          O.Dst = I.Dst;
+          O.Opc = TapeOpc::VInsertArray;
+          O.A = Op.symbol();
+          O.B = B.addrSlot(Op);
+          B.emit(O);
+        }
+      }
+      TapeOp Mask;
+      Mask.Opc = TapeOpc::VMaskZero;
+      Mask.Lanes = static_cast<uint16_t>(I.Lanes);
+      Mask.NoAlias = I.Dst != I.Src1;
+      Mask.Dst = I.Dst;
+      Mask.A = I.Src1;
+      B.emit(Mask);
+      Width[I.Dst] = I.Lanes;
+      break;
+    }
+    case VInstKind::MaskedStorePack: {
+      assert(I.LaneOps.size() == I.Lanes && "lane operand count mismatch");
+      assert(Width[I.Src0] == I.Lanes && "register width mismatch");
+      assert(Width[I.Src1] == I.Lanes && "mask width mismatch");
+      if (isContiguousRun(K, I.LaneOps)) {
+        bool Float = isFloatType(K.array(I.LaneOps[0].symbol()).Ty);
+        TapeOp O;
+        O.Opc = Float ? TapeOpc::VMStoreContig : TapeOpc::VMStoreContigInt;
+        O.Lanes = static_cast<uint16_t>(I.Lanes);
+        O.Dst = I.Src0;
+        O.A = I.LaneOps[0].symbol();
+        O.B = B.addrSlot(I.LaneOps[0]);
+        O.C = I.Src1;
+        B.emit(O);
+      } else {
+        for (unsigned L = 0; L != I.Lanes; ++L) {
+          const Operand &Target = I.LaneOps[L];
+          TapeOp O;
+          O.Lane = static_cast<uint8_t>(L);
+          O.Dst = I.Src0;
+          O.C = I.Src1;
+          if (Target.isScalar()) {
+            bool Float = isFloatType(K.scalar(Target.symbol()).Ty);
+            O.Opc = Float ? TapeOpc::VExtractScalarIf
+                          : TapeOpc::VExtractScalarIntIf;
+            O.A = Target.symbol();
+          } else {
+            assert(Target.isArray() && "cannot store to a constant");
+            bool Float = isFloatType(K.array(Target.symbol()).Ty);
+            O.Opc = Float ? TapeOpc::VExtractArrayIf
+                          : TapeOpc::VExtractArrayIntIf;
+            O.A = Target.symbol();
+            O.B = B.addrSlot(Target);
+          }
+          B.emit(O);
+        }
+      }
+      break;
+    }
+    case VInstKind::Blend: {
+      assert(Width[I.Src0] >= I.Lanes && "condition register too narrow");
+      assert(Width[I.Src1] >= I.Lanes && "source register too narrow");
+      assert(Width[I.Src2] >= I.Lanes && "source register too narrow");
+      TapeOp O;
+      O.Opc = TapeOpc::VBlend;
+      O.Lanes = static_cast<uint16_t>(I.Lanes);
+      O.NoAlias = I.Dst != I.Src0 && I.Dst != I.Src1 && I.Dst != I.Src2;
+      O.Dst = I.Dst;
+      O.A = I.Src0;
+      O.B = I.Src1;
+      O.C = I.Src2;
+      B.emit(O);
+      Width[I.Dst] = I.Lanes;
+      break;
+    }
     }
   }
 
@@ -482,6 +634,47 @@ ScalarExecStats slp::runTape(const Kernel &K, const CompiledTape &T,
       case TapeOpc::Abs:
         V[O.Dst] = std::fabs(V[O.A]);
         break;
+      case TapeOpc::CmpLT:
+        V[O.Dst] = V[O.A] < V[O.B] ? 1.0 : 0.0;
+        break;
+      case TapeOpc::CmpLE:
+        V[O.Dst] = V[O.A] <= V[O.B] ? 1.0 : 0.0;
+        break;
+      case TapeOpc::CmpGT:
+        V[O.Dst] = V[O.A] > V[O.B] ? 1.0 : 0.0;
+        break;
+      case TapeOpc::CmpGE:
+        V[O.Dst] = V[O.A] >= V[O.B] ? 1.0 : 0.0;
+        break;
+      case TapeOpc::CmpEQ:
+        V[O.Dst] = V[O.A] == V[O.B] ? 1.0 : 0.0;
+        break;
+      case TapeOpc::CmpNE:
+        V[O.Dst] = V[O.A] != V[O.B] ? 1.0 : 0.0;
+        break;
+      case TapeOpc::SelectVal:
+        V[O.Dst] = V[O.A] != 0.0 ? V[O.B] : V[O.C];
+        break;
+      case TapeOpc::StoreScalarIf:
+        if (V[O.C] != 0.0)
+          Scalars[O.A] = V[O.Dst];
+        break;
+      case TapeOpc::StoreScalarIntIf:
+        if (V[O.C] != 0.0)
+          Scalars[O.A] = truncStore(V[O.Dst]);
+        break;
+      case TapeOpc::StoreArrayIf:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        if (V[O.C] != 0.0)
+          Bases[O.A][Addr[O.B]] = V[O.Dst];
+        break;
+      case TapeOpc::StoreArrayIntIf:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        if (V[O.C] != 0.0)
+          Bases[O.A][Addr[O.B]] = truncStore(V[O.Dst]);
+        break;
       case TapeOpc::StoreScalar:
         Scalars[O.A] = V[O.Dst];
         break;
@@ -593,7 +786,81 @@ ScalarExecStats slp::runTape(const Kernel &K, const CompiledTape &T,
         SLP_VECTOR_BINOP(VDiv, A[L] / B[L])
         SLP_VECTOR_BINOP(VMin, std::fmin(A[L], B[L]))
         SLP_VECTOR_BINOP(VMax, std::fmax(A[L], B[L]))
+        SLP_VECTOR_BINOP(VCmpLT, A[L] < B[L] ? 1.0 : 0.0)
+        SLP_VECTOR_BINOP(VCmpLE, A[L] <= B[L] ? 1.0 : 0.0)
+        SLP_VECTOR_BINOP(VCmpGT, A[L] > B[L] ? 1.0 : 0.0)
+        SLP_VECTOR_BINOP(VCmpGE, A[L] >= B[L] ? 1.0 : 0.0)
+        SLP_VECTOR_BINOP(VCmpEQ, A[L] == B[L] ? 1.0 : 0.0)
+        SLP_VECTOR_BINOP(VCmpNE, A[L] != B[L] ? 1.0 : 0.0)
 #undef SLP_VECTOR_BINOP
+
+      case TapeOpc::VBlend: {
+        if (O.NoAlias) {
+          const double *__restrict Cond = VL + O.A * Stride;
+          const double *__restrict A = VL + O.B * Stride;
+          const double *__restrict B = VL + O.C * Stride;
+          double *__restrict D = VL + O.Dst * Stride;
+          for (unsigned L = 0; L != O.Lanes; ++L)
+            D[L] = Cond[L] != 0.0 ? A[L] : B[L];
+        } else {
+          const double *Cond = VL + O.A * Stride;
+          const double *A = VL + O.B * Stride;
+          const double *B = VL + O.C * Stride;
+          double *D = VL + O.Dst * Stride;
+          for (unsigned L = 0; L != O.Lanes; ++L)
+            D[L] = Cond[L] != 0.0 ? A[L] : B[L];
+        }
+        break;
+      }
+      case TapeOpc::VMaskZero: {
+        const double *Mask = VL + O.A * Stride;
+        double *D = VL + O.Dst * Stride;
+        for (unsigned L = 0; L != O.Lanes; ++L)
+          D[L] = Mask[L] != 0.0 ? D[L] : 0.0;
+        break;
+      }
+      case TapeOpc::VMStoreContig: {
+        assert(Addr[O.B] >= 0 && Addr[O.B] + O.Lanes <= Limits[O.B] &&
+               "vector store out of bounds");
+        const double *__restrict Src = VL + O.Dst * Stride;
+        const double *__restrict Mask = VL + O.C * Stride;
+        double *__restrict Dst = Bases[O.A] + Addr[O.B];
+        for (unsigned L = 0; L != O.Lanes; ++L)
+          if (Mask[L] != 0.0)
+            Dst[L] = Src[L];
+        break;
+      }
+      case TapeOpc::VMStoreContigInt: {
+        assert(Addr[O.B] >= 0 && Addr[O.B] + O.Lanes <= Limits[O.B] &&
+               "vector store out of bounds");
+        const double *__restrict Src = VL + O.Dst * Stride;
+        const double *__restrict Mask = VL + O.C * Stride;
+        double *__restrict Dst = Bases[O.A] + Addr[O.B];
+        for (unsigned L = 0; L != O.Lanes; ++L)
+          if (Mask[L] != 0.0)
+            Dst[L] = truncStore(Src[L]);
+        break;
+      }
+      case TapeOpc::VExtractScalarIf:
+        if (VL[O.C * Stride + O.Lane] != 0.0)
+          Scalars[O.A] = VL[O.Dst * Stride + O.Lane];
+        break;
+      case TapeOpc::VExtractScalarIntIf:
+        if (VL[O.C * Stride + O.Lane] != 0.0)
+          Scalars[O.A] = truncStore(VL[O.Dst * Stride + O.Lane]);
+        break;
+      case TapeOpc::VExtractArrayIf:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        if (VL[O.C * Stride + O.Lane] != 0.0)
+          Bases[O.A][Addr[O.B]] = VL[O.Dst * Stride + O.Lane];
+        break;
+      case TapeOpc::VExtractArrayIntIf:
+        assert(Addr[O.B] >= 0 && Addr[O.B] < Limits[O.B] &&
+               "array reference out of bounds");
+        if (VL[O.C * Stride + O.Lane] != 0.0)
+          Bases[O.A][Addr[O.B]] = truncStore(VL[O.Dst * Stride + O.Lane]);
+        break;
 
 #define SLP_VECTOR_UNOP(CASE, EXPR)                                        \
   case TapeOpc::CASE: {                                                    \

@@ -63,10 +63,24 @@ enum class TapeOpc : uint8_t {
   Neg,         ///< V[Dst] = -V[A]
   Sqrt,        ///< V[Dst] = sqrt(fabs(V[A]))  (the interpreter's contract)
   Abs,         ///< V[Dst] = fabs(V[A])
+  CmpLT,       ///< V[Dst] = V[A] < V[B] ? 1.0 : 0.0
+  CmpLE,       ///< V[Dst] = V[A] <= V[B] ? 1.0 : 0.0
+  CmpGT,       ///< V[Dst] = V[A] > V[B] ? 1.0 : 0.0
+  CmpGE,       ///< V[Dst] = V[A] >= V[B] ? 1.0 : 0.0
+  CmpEQ,       ///< V[Dst] = V[A] == V[B] ? 1.0 : 0.0
+  CmpNE,       ///< V[Dst] = V[A] != V[B] ? 1.0 : 0.0
+  SelectVal,   ///< V[Dst] = V[A] != 0 ? V[B] : V[C]
   StoreScalar, ///< Scalars[A] = V[Dst]
   StoreScalarInt, ///< Scalars[A] = trunc(V[Dst])
   StoreArray,     ///< Array[A][Addr[B]] = V[Dst]
   StoreArrayInt,  ///< Array[A][Addr[B]] = trunc(V[Dst])
+  // Guarded stores (if-converted statements): the store happens only when
+  // the guard value slot C is non-zero. Static store counters still count
+  // these as attempted stores, matching the reference interpreter.
+  StoreScalarIf,    ///< if (V[C] != 0) Scalars[A] = V[Dst]
+  StoreScalarIntIf, ///< if (V[C] != 0) Scalars[A] = trunc(V[Dst])
+  StoreArrayIf,     ///< if (V[C] != 0) Array[A][Addr[B]] = V[Dst]
+  StoreArrayIntIf,  ///< if (V[C] != 0) Array[A][Addr[B]] = trunc(V[Dst])
   // -- vector ops ---------------------------------------------------------
   VLoadContig,    ///< R[Dst][l] = Array[A][Addr[B] + l], l in [0, Lanes)
   VStoreContig,   ///< Array[A][Addr[B] + l] = R[Dst][l]
@@ -89,6 +103,22 @@ enum class TapeOpc : uint8_t {
   VNeg, ///< R[Dst][l] = -R[A][l]
   VSqrt,
   VAbs,
+  VCmpLT, ///< R[Dst][l] = R[A][l] < R[B][l] ? 1.0 : 0.0
+  VCmpLE,
+  VCmpGT,
+  VCmpGE,
+  VCmpEQ,
+  VCmpNE,
+  VBlend,    ///< R[Dst][l] = R[A][l] != 0 ? R[B][l] : R[C][l]
+  VMaskZero, ///< R[Dst][l] = R[A][l] != 0 ? R[Dst][l] : 0  (masked load)
+  // Masked stores: mask register in C; lanes with a zero mask keep their
+  // prior memory contents.
+  VMStoreContig,      ///< if (R[C][l] != 0) Array[A][Addr[B] + l] = R[Dst][l]
+  VMStoreContigInt,   ///< same, truncating toward zero per lane
+  VExtractScalarIf,   ///< if (R[C][Lane] != 0) Scalars[A] = R[Dst][Lane]
+  VExtractScalarIntIf, ///< same, truncating
+  VExtractArrayIf,     ///< if (R[C][Lane] != 0) Array[A][Addr[B]] = R[Dst][Lane]
+  VExtractArrayIntIf,  ///< same, truncating
 };
 
 /// One fixed-size tape op. Interpretation of the fields depends on the
@@ -105,6 +135,9 @@ struct TapeOp {
   uint32_t Dst = 0;
   uint32_t A = 0;
   uint32_t B = 0;
+  /// Guard value slot (scalar *If stores), mask register (masked vector
+  /// ops), or third source (SelectVal / VBlend).
+  uint32_t C = 0;
 };
 
 /// A compiled tape: the op stream for one execution of the innermost

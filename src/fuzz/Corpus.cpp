@@ -103,6 +103,8 @@ std::string slp::serializeFuzzCase(const FuzzCase &Case) {
         << "\n";
   if (!Case.Config.VerifyVector)
     Out << "// fuzz: verify-vector=off\n";
+  if (Case.Config.Predication)
+    Out << "// fuzz: predication=on\n";
   if (!Case.Reason.empty()) {
     // Keep the reason one comment line per source line.
     std::istringstream In(Case.Reason);
@@ -191,6 +193,13 @@ bool slp::parseFuzzCase(const std::string &Text, FuzzCase &Out,
             Out.Config.VerifyVector = false;
           else
             return Fail("bad verify-vector value '" + Value + "'");
+        } else if (Key == "predication") {
+          if (Value == "on")
+            Out.Config.Predication = true;
+          else if (Value == "off")
+            Out.Config.Predication = false;
+          else
+            return Fail("bad predication value '" + Value + "'");
         } else {
           return Fail("unknown fuzz header key '" + Key + "'");
         }

@@ -21,7 +21,11 @@
 /// pre-existing corpus files keep their meaning. `verify-vector=off`
 /// disables the static translation validator oracle for the replay;
 /// absent means on, so pre-existing corpus files gain the static check
-/// without being rewritten.
+/// without being rewritten. `predication=on` marks a case found by a
+/// predication campaign (guarded statements / masked vector paths);
+/// absent means off. The flag is provenance — the replay semantics are
+/// fully determined by the kernel source — but it lets tooling select the
+/// masked-path corpus subset.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +66,9 @@ struct FuzzCaseConfig {
   /// Cross-check the static translation validator against the dynamic
   /// equivalence verdict when replaying (see FuzzConfig::VerifyVector).
   bool VerifyVector = true;
+  /// Provenance: the case came from a predication (`--predication`)
+  /// campaign and exercises guarded statements / masked vector code.
+  bool Predication = false;
 };
 
 /// One replayable case: configuration + kernel source + provenance.

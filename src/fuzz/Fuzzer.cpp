@@ -272,8 +272,24 @@ const std::vector<Kernel> &smallWorkloadKernels() {
   return Kernels;
 }
 
-Kernel makeBaseKernel(Rng &R) {
+/// Branchy seed kernels for --predication campaigns.
+const std::vector<Kernel> &predicatedSeedKernels() {
+  static const std::vector<Kernel> Kernels = [] {
+    std::vector<Kernel> Out;
+    for (const Workload &W : predicatedWorkloads())
+      if (W.TheKernel.totalIterations() <= 4096)
+        Out.push_back(W.TheKernel.clone());
+    return Out;
+  }();
+  return Kernels;
+}
+
+Kernel makeBaseKernel(Rng &R, bool Predication) {
   uint64_t Pick = R.nextBelow(8);
+  if (Predication && Pick == 2 && !predicatedSeedKernels().empty()) {
+    const std::vector<Kernel> &Pool = predicatedSeedKernels();
+    return Pool[R.nextBelow(Pool.size())].clone();
+  }
   if (Pick == 0) {
     SyntheticBlockOptions O;
     O.NumStatements = 12 + static_cast<unsigned>(R.nextBelow(21));
@@ -297,6 +313,8 @@ Kernel makeBaseKernel(Rng &R) {
   O.NumLoops = R.nextBelow(3) == 0 ? 2 : 1;
   O.AllowDoubles = R.nextBelow(2) == 0;
   O.AllowInts = R.nextBelow(2) == 0;
+  if (Predication)
+    O.GuardProbability = 0.4;
   return randomKernel(R, O);
 }
 
@@ -494,7 +512,7 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
     // 1. Generate a base kernel and mutate it.
     Kernel K = [&] {
       ScopedTimer T(&Out.Stats.Timings.MutateSeconds);
-      Kernel Base = makeBaseKernel(R);
+      Kernel Base = makeBaseKernel(R, Cfg.Predication);
       unsigned Mutations =
           Cfg.MaxMutationsPerKernel == 0
               ? 0
@@ -524,6 +542,7 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
       C.Exec = Cfg.Exec;
       C.Inject = Cfg.Inject;
       C.VerifyVector = Cfg.VerifyVector;
+      C.Predication = Cfg.Predication;
       ++Out.Stats.ConfigsExercised;
       std::string Reason = checkConfig(K, C, &Out.Stats, Engine);
       if (C.Inject != BugInjection::None) {

@@ -54,6 +54,12 @@ struct FuzzConfig {
   /// is itself a recorded failure, and injected bugs must be flagged
   /// statically too (`slp-fuzz --no-verify-vector` opts out).
   bool VerifyVector = true;
+  /// Seed the campaign with predicated kernels: base kernels draw from
+  /// the branchy workload pool and the random generator emits guarded
+  /// statements, so if-conversion and the masked vector path are
+  /// exercised every iteration (`slp-fuzz --predication`). Guard-related
+  /// mutations (add/drop/flip/compose) fire regardless of this flag.
+  bool Predication = false;
   /// Structural mutations applied per generated kernel (0..Max).
   unsigned MaxMutationsPerKernel = 3;
   /// Every Nth iteration additionally corrupts `.slp` text and stresses

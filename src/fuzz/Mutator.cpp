@@ -15,12 +15,12 @@ namespace {
 /// the execution-based equivalence check fast and the reducer snappy.
 constexpr int64_t MaxFuzzIterations = 4096;
 
-/// Invokes \p Fn on every operand of \p K: each statement's lhs and every
-/// rhs leaf, in statement order.
+/// Invokes \p Fn on every operand of \p K: each statement's lhs, every
+/// rhs leaf, and every guard leaf, in statement order.
 void forEachOperand(Kernel &K, const std::function<void(Operand &)> &Fn) {
   for (Statement &S : K.Body) {
     Fn(S.lhs());
-    S.rhs().forEachLeafMut(Fn);
+    S.forEachUseMut(Fn);
   }
 }
 
@@ -28,7 +28,7 @@ void forEachOperandConst(const Kernel &K,
                          const std::function<void(const Operand &)> &Fn) {
   for (const Statement &S : K.Body) {
     Fn(S.lhs());
-    S.rhs().forEachLeaf(Fn);
+    S.forEachUse(Fn);
   }
 }
 
@@ -60,17 +60,25 @@ ExprPtr rebuildWithReplacement(
   if (E.numChildren() == 1)
     return Expr::makeUnary(
         E.opcode(), rebuildWithReplacement(E.child(0), Counter, Target, Make));
+  if (E.numChildren() == 3) {
+    ExprPtr C0 = rebuildWithReplacement(E.child(0), Counter, Target, Make);
+    ExprPtr C1 = rebuildWithReplacement(E.child(1), Counter, Target, Make);
+    ExprPtr C2 = rebuildWithReplacement(E.child(2), Counter, Target, Make);
+    return Expr::makeTernary(E.opcode(), std::move(C0), std::move(C1),
+                             std::move(C2));
+  }
   ExprPtr L = rebuildWithReplacement(E.child(0), Counter, Target, Make);
   ExprPtr R = rebuildWithReplacement(E.child(1), Counter, Target, Make);
   return Expr::makeBinary(E.opcode(), std::move(L), std::move(R));
 }
 
-/// Replaces the pre-order node \p Target of statement \p S's rhs.
+/// Replaces the pre-order node \p Target of statement \p S's rhs,
+/// preserving the statement's guard.
 void replaceRhsNode(Statement &S, unsigned Target,
                     const std::function<ExprPtr(const Expr &)> &Make) {
   unsigned Counter = 0;
   ExprPtr NewRhs = rebuildWithReplacement(S.rhs(), Counter, Target, Make);
-  S = Statement(S.lhs(), std::move(NewRhs));
+  S = Statement(S.lhs(), std::move(NewRhs), S.cloneGuard());
 }
 
 /// Collects (statement index, pre-order leaf index among *operands*) for
@@ -148,6 +156,14 @@ const char *slp::mutationKindName(MutationKind Kind) {
     return "perturb-constant";
   case MutationKind::RedirectOperand:
     return "redirect-operand";
+  case MutationKind::AddGuard:
+    return "add-guard";
+  case MutationKind::DropGuard:
+    return "drop-guard";
+  case MutationKind::FlipComparison:
+    return "flip-comparison";
+  case MutationKind::ComposeGuard:
+    return "compose-guard";
   }
   return "<invalid>";
 }
@@ -516,6 +532,118 @@ std::optional<MutationKind> slp::mutateKernel(Kernel &K, Rng &R) {
     };
     S.rhs().forEachLeafMut(Redirect);
     return Mutated ? std::optional<MutationKind>(Kind) : std::nullopt;
+  }
+  case MutationKind::AddGuard: {
+    std::vector<unsigned> Cands;
+    for (unsigned I = 0; I != N; ++I)
+      if (!K.Body.statement(I).hasGuard())
+        Cands.push_back(I);
+    if (Cands.empty())
+      return std::nullopt;
+    Statement &S = K.Body.statement(Cands[R.nextBelow(Cands.size())]);
+    // Predicate on a clone of a random rhs leaf compared against a small
+    // constant; constant leaves yield constant guards, which exercises the
+    // if-converter's folding paths.
+    std::vector<Operand> Leaves;
+    S.rhs().forEachLeaf([&](const Operand &Op) { Leaves.push_back(Op); });
+    if (Leaves.empty())
+      return std::nullopt;
+    static const OpCode Cmps[] = {OpCode::CmpLT, OpCode::CmpLE,
+                                  OpCode::CmpGT, OpCode::CmpGE,
+                                  OpCode::CmpEQ, OpCode::CmpNE};
+    double Threshold = static_cast<double>(R.nextInRange(-4, 4)) * 0.5;
+    S.setGuard(Expr::makeBinary(
+        Cmps[R.nextBelow(6)],
+        Expr::makeLeaf(Leaves[R.nextBelow(Leaves.size())]),
+        Expr::makeLeaf(Operand::makeConstant(Threshold))));
+    return Kind;
+  }
+  case MutationKind::DropGuard: {
+    std::vector<unsigned> Cands;
+    for (unsigned I = 0; I != N; ++I)
+      if (K.Body.statement(I).hasGuard())
+        Cands.push_back(I);
+    if (Cands.empty())
+      return std::nullopt;
+    K.Body.statement(Cands[R.nextBelow(Cands.size())]).setGuard(nullptr);
+    return Kind;
+  }
+  case MutationKind::FlipComparison: {
+    struct CmpSite {
+      unsigned Stmt;
+      bool InGuard;
+      unsigned Node;
+    };
+    std::vector<CmpSite> Sites;
+    for (unsigned I = 0; I != N; ++I) {
+      const Statement &S = K.Body.statement(I);
+      auto Collect = [&](const Expr &E, bool InGuard) {
+        unsigned Nodes = countNodes(E);
+        for (unsigned Idx = 0; Idx != Nodes; ++Idx) {
+          unsigned C = 0;
+          const Expr *Node = nthNode(E, C, Idx);
+          if (Node && !Node->isLeaf() && isCompareOp(Node->opcode()))
+            Sites.push_back({I, InGuard, Idx});
+        }
+      };
+      Collect(S.rhs(), false);
+      if (S.hasGuard())
+        Collect(S.guard(), true);
+    }
+    if (Sites.empty())
+      return std::nullopt;
+    const CmpSite &Site = Sites[R.nextBelow(Sites.size())];
+    Statement &S = K.Body.statement(Site.Stmt);
+    static const OpCode Cmps[] = {OpCode::CmpLT, OpCode::CmpLE,
+                                  OpCode::CmpGT, OpCode::CmpGE,
+                                  OpCode::CmpEQ, OpCode::CmpNE};
+    OpCode Random = Cmps[R.nextBelow(6)];
+    bool Negate = R.nextBelow(2) == 0;
+    auto Flip = [&](const Expr &Old) -> ExprPtr {
+      OpCode NewOp = Negate ? negatedCompare(Old.opcode()) : Random;
+      return Expr::makeBinary(NewOp, Old.child(0).clone(),
+                              Old.child(1).clone());
+    };
+    if (Site.InGuard) {
+      unsigned Counter = 0;
+      S.setGuard(rebuildWithReplacement(S.guard(), Counter, Site.Node, Flip));
+    } else {
+      replaceRhsNode(S, Site.Node, Flip);
+    }
+    return Kind;
+  }
+  case MutationKind::ComposeGuard: {
+    std::vector<unsigned> Cands;
+    for (unsigned I = 0; I != N; ++I)
+      if (K.Body.statement(I).hasGuard())
+        Cands.push_back(I);
+    if (Cands.empty())
+      return std::nullopt;
+    Statement &S = K.Body.statement(Cands[R.nextBelow(Cands.size())]);
+    if (countNodes(S.guard()) > 24)
+      return std::nullopt; // cap guard growth
+    std::vector<Operand> Leaves;
+    S.forEachUse([&](const Operand &Op) { Leaves.push_back(Op); });
+    if (Leaves.empty())
+      return std::nullopt;
+    static const OpCode Cmps[] = {OpCode::CmpLT, OpCode::CmpLE,
+                                  OpCode::CmpGT, OpCode::CmpGE,
+                                  OpCode::CmpEQ, OpCode::CmpNE};
+    ExprPtr Atom = Expr::makeBinary(
+        Cmps[R.nextBelow(6)],
+        Expr::makeLeaf(Leaves[R.nextBelow(Leaves.size())]),
+        Expr::makeLeaf(Operand::makeConstant(
+            static_cast<double>(R.nextInRange(-4, 4)) * 0.5)));
+    // Conjunction: select(old, atom, 0); disjunction: select(old, 1, atom).
+    if (R.nextBelow(2) == 0)
+      S.setGuard(Expr::makeSelect(
+          S.cloneGuard(), std::move(Atom),
+          Expr::makeLeaf(Operand::makeConstant(0.0))));
+    else
+      S.setGuard(Expr::makeSelect(
+          S.cloneGuard(), Expr::makeLeaf(Operand::makeConstant(1.0)),
+          std::move(Atom)));
+    return Kind;
   }
   }
   return std::nullopt;

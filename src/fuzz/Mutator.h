@@ -38,11 +38,15 @@ enum class MutationKind : uint8_t {
   ReplaceOpcode,           ///< change one interior node's operation
   PerturbConstant,         ///< change a constant leaf's value
   RedirectOperand,         ///< point a leaf at a different symbol
+  AddGuard,                ///< predicate an unguarded statement
+  DropGuard,               ///< strip the guard off a predicated statement
+  FlipComparison,          ///< negate/replace a comparison node
+  ComposeGuard,            ///< and/or a new comparison into a guard
 };
 
 /// Number of structural mutation kinds (for stats arrays).
 constexpr unsigned NumMutationKinds =
-    static_cast<unsigned>(MutationKind::RedirectOperand) + 1;
+    static_cast<unsigned>(MutationKind::ComposeGuard) + 1;
 
 /// Stable, human-readable name of \p Kind (used in stats and repro files).
 const char *mutationKindName(MutationKind Kind);

@@ -101,7 +101,7 @@ bool shrinkLoops(Kernel &Best, const FailurePredicate &Fails,
           Used |= Sub.coeff(D) != 0;
       };
       Check(S.lhs());
-      S.rhs().forEachLeaf(Check);
+      S.forEachUse(Check);
       if (Used)
         break;
     }
@@ -127,7 +127,7 @@ bool shrinkLoops(Kernel &Best, const FailurePredicate &Fails,
         }
       };
       Shift(S.lhs());
-      S.rhs().forEachLeafMut(Shift);
+      S.forEachUseMut(Shift);
     }
     if (!accept(Best, std::move(Candidate), Fails, Stats))
       ++D;
@@ -155,44 +155,87 @@ ExprPtr rebuild(const Expr &E, unsigned &Counter, unsigned Target,
                            rebuild(E.child(0), Counter, Target, Make));
   ExprPtr L = rebuild(E.child(0), Counter, Target, Make);
   ExprPtr R = rebuild(E.child(1), Counter, Target, Make);
+  if (E.numChildren() == 3) {
+    ExprPtr C = rebuild(E.child(2), Counter, Target, Make);
+    return Expr::makeTernary(E.opcode(), std::move(L), std::move(R),
+                             std::move(C));
+  }
   return Expr::makeBinary(E.opcode(), std::move(L), std::move(R));
+}
+
+/// One fixed-point pass of node rewrites over \p Get()'s expression,
+/// installing accepted rewrites with \p Set. Shared between rhs and guard
+/// simplification.
+bool simplifyExprOf(
+    Kernel &Best, unsigned SI, const FailurePredicate &Fails,
+    ReductionStats &Stats,
+    const std::function<const Expr &(const Statement &)> &Get,
+    const std::function<void(Statement &, ExprPtr)> &Set) {
+  bool Changed = false;
+  bool Retry = true;
+  while (Retry) {
+    Retry = false;
+    const Statement &S = Best.Body.statement(SI);
+    unsigned Nodes = countNodes(Get(S));
+    for (unsigned Idx = 0; Idx != Nodes && !Retry; ++Idx) {
+      // Candidate rewrites at this node, cheapest-first: hoist a child
+      // over an interior node, or collapse a non-constant leaf to 1.0.
+      for (unsigned Action = 0; Action != 3 && !Retry; ++Action) {
+        unsigned Counter = 0;
+        bool Applicable = true;
+        ExprPtr NewExpr = rebuild(
+            Get(S), Counter, Idx, [&](const Expr &Node) -> ExprPtr {
+              if (!Node.isLeaf() && Action < Node.numChildren())
+                return Node.child(Action).clone();
+              if (Node.isLeaf() && Action == 2 && !Node.leaf().isConstant())
+                return Expr::makeLeaf(Operand::makeConstant(1.0));
+              Applicable = false;
+              return Node.clone();
+            });
+        if (!Applicable)
+          continue;
+        Kernel Candidate = Best.clone();
+        Set(Candidate.Body.statement(SI), std::move(NewExpr));
+        if (accept(Best, std::move(Candidate), Fails, Stats))
+          Retry = Changed = true;
+      }
+    }
+  }
+  return Changed;
 }
 
 bool simplifyExpressions(Kernel &Best, const FailurePredicate &Fails,
                          ReductionStats &Stats) {
   bool Changed = false;
   for (unsigned SI = 0; SI != Best.Body.size(); ++SI) {
-    bool Retry = true;
-    while (Retry) {
-      Retry = false;
-      const Statement &S = Best.Body.statement(SI);
-      unsigned Nodes = countNodes(S.rhs());
-      for (unsigned Idx = 0; Idx != Nodes && !Retry; ++Idx) {
-        // Candidate rewrites at this node, cheapest-first: hoist a child
-        // over an interior node, or collapse a non-constant leaf to 1.0.
-        for (unsigned Action = 0; Action != 3 && !Retry; ++Action) {
-          unsigned Counter = 0;
-          bool Applicable = true;
-          ExprPtr NewRhs = rebuild(
-              S.rhs(), Counter, Idx, [&](const Expr &Node) -> ExprPtr {
-                if (!Node.isLeaf() && Action < Node.numChildren())
-                  return Node.child(Action).clone();
-                if (Node.isLeaf() && Action == 2 &&
-                    !Node.leaf().isConstant())
-                  return Expr::makeLeaf(Operand::makeConstant(1.0));
-                Applicable = false;
-                return Node.clone();
-              });
-          if (!Applicable)
-            continue;
-          Kernel Candidate = Best.clone();
-          Candidate.Body.statement(SI) =
-              Statement(S.lhs(), std::move(NewRhs));
-          if (accept(Best, std::move(Candidate), Fails, Stats))
-            Retry = Changed = true;
-        }
-      }
-    }
+    Changed |= simplifyExprOf(
+        Best, SI, Fails, Stats,
+        [](const Statement &S) -> const Expr & { return S.rhs(); },
+        [](Statement &S, ExprPtr NewRhs) {
+          S = Statement(S.lhs(), std::move(NewRhs), S.cloneGuard());
+        });
+    if (Best.Body.statement(SI).hasGuard())
+      Changed |= simplifyExprOf(
+          Best, SI, Fails, Stats,
+          [](const Statement &S) -> const Expr & { return S.guard(); },
+          [](Statement &S, ExprPtr NewGuard) {
+            S.setGuard(std::move(NewGuard));
+          });
+  }
+  return Changed;
+}
+
+/// Tries to delete each statement's guard outright; a repro that does not
+/// depend on predication reduces to a straight-line kernel.
+bool dropGuards(Kernel &Best, const FailurePredicate &Fails,
+                ReductionStats &Stats) {
+  bool Changed = false;
+  for (unsigned SI = 0; SI != Best.Body.size(); ++SI) {
+    if (!Best.Body.statement(SI).hasGuard())
+      continue;
+    Kernel Candidate = Best.clone();
+    Candidate.Body.statement(SI).setGuard(nullptr);
+    Changed |= accept(Best, std::move(Candidate), Fails, Stats);
   }
   return Changed;
 }
@@ -228,7 +271,7 @@ bool simplifySubscripts(Kernel &Best, const FailurePredicate &Fails,
         }
       };
       Simplify(S.lhs());
-      S.rhs().forEachLeafMut(Simplify);
+      S.forEachUseMut(Simplify);
       if (!Found)
         break;
       if (Mutated)
@@ -251,7 +294,7 @@ bool gcSymbols(Kernel &Best, const FailurePredicate &Fails,
         ArrayUsed[Op.symbol()] = 1;
     };
     Mark(S.lhs());
-    S.rhs().forEachLeaf(Mark);
+    S.forEachUse(Mark);
   }
   bool AnyUnused =
       std::count(ScalarUsed.begin(), ScalarUsed.end(), 0) > 0 ||
@@ -284,7 +327,7 @@ bool gcSymbols(Kernel &Best, const FailurePredicate &Fails,
         Op = Operand::makeArray(ArrayMap[Op.symbol()], Op.subscripts());
     };
     Remap(S.lhs());
-    S.rhs().forEachLeafMut(Remap);
+    S.forEachUseMut(Remap);
   }
   return accept(Best, std::move(Candidate), Fails, Stats);
 }
@@ -306,7 +349,7 @@ bool shrinkArrays(Kernel &Best, const FailurePredicate &Fails,
       Needed[Op.symbol()] = std::max(Needed[Op.symbol()], Max + 1);
     };
     Scan(S.lhs());
-    S.rhs().forEachLeaf(Scan);
+    S.forEachUse(Scan);
   }
   if (!Bounded)
     return false;
@@ -332,6 +375,7 @@ Kernel slp::reduceKernel(const Kernel &Seed, const FailurePredicate &Fails,
     ++S.Rounds;
     bool Changed = false;
     Changed |= ddminStatements(Best, Fails, S);
+    Changed |= dropGuards(Best, Fails, S);
     Changed |= shrinkLoops(Best, Fails, S);
     Changed |= simplifyExpressions(Best, Fails, S);
     Changed |= simplifySubscripts(Best, Fails, S);

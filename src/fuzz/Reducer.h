@@ -2,9 +2,11 @@
 ///
 /// \file
 /// Shrinks a failing fuzz kernel while preserving its failure predicate:
-/// ddmin-style statement removal, loop-bound shrinking, expression
-/// simplification, subscript simplification, array-extent tightening, and
-/// unused-symbol garbage collection, iterated to a fixed point. The
+/// ddmin-style statement removal, guard dropping (a repro that does not
+/// need predication reduces to a straight-line kernel), loop-bound
+/// shrinking, expression simplification (rhs and guard alike), subscript
+/// simplification, array-extent tightening, and unused-symbol garbage
+/// collection, iterated to a fixed point. The
 /// predicate re-runs whatever check failed (schedule verification,
 /// execution equivalence, engine agreement), so the reducer works for any
 /// failure class the fuzzer can detect.

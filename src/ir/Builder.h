@@ -91,10 +91,32 @@ public:
   ExprPtr sqrt(ExprPtr E) const {
     return Expr::makeUnary(OpCode::Sqrt, std::move(E));
   }
+  ExprPtr cmp(OpCode Op, ExprPtr L, ExprPtr R) const {
+    assert(isCompareOp(Op) && "cmp requires a comparison opcode");
+    return Expr::makeBinary(Op, std::move(L), std::move(R));
+  }
+  ExprPtr lt(ExprPtr L, ExprPtr R) const {
+    return Expr::makeBinary(OpCode::CmpLT, std::move(L), std::move(R));
+  }
+  ExprPtr ge(ExprPtr L, ExprPtr R) const {
+    return Expr::makeBinary(OpCode::CmpGE, std::move(L), std::move(R));
+  }
+  ExprPtr ne(ExprPtr L, ExprPtr R) const {
+    return Expr::makeBinary(OpCode::CmpNE, std::move(L), std::move(R));
+  }
+  ExprPtr select(ExprPtr Cond, ExprPtr A, ExprPtr B) const {
+    return Expr::makeSelect(std::move(Cond), std::move(A), std::move(B));
+  }
 
   /// Appends the statement `Lhs = Rhs` to the kernel body.
   void assign(Operand Lhs, ExprPtr Rhs) {
     K.Body.append(Statement(std::move(Lhs), std::move(Rhs)));
+  }
+
+  /// Appends the guarded statement `if (Guard) Lhs = Rhs;`.
+  void assignIf(ExprPtr Guard, Operand Lhs, ExprPtr Rhs) {
+    K.Body.append(
+        Statement(std::move(Lhs), std::move(Rhs), std::move(Guard)));
   }
 
   const Kernel &kernel() const { return K; }

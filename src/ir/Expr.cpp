@@ -26,8 +26,41 @@ const char *slp::opcodeName(OpCode Op) {
     return "sqrt";
   case OpCode::Abs:
     return "abs";
+  case OpCode::CmpLT:
+    return "<";
+  case OpCode::CmpLE:
+    return "<=";
+  case OpCode::CmpGT:
+    return ">";
+  case OpCode::CmpGE:
+    return ">=";
+  case OpCode::CmpEQ:
+    return "==";
+  case OpCode::CmpNE:
+    return "!=";
+  case OpCode::Select:
+    return "select";
   }
   return "<invalid>";
+}
+
+OpCode slp::negatedCompare(OpCode Op) {
+  switch (Op) {
+  case OpCode::CmpLT:
+    return OpCode::CmpGE;
+  case OpCode::CmpLE:
+    return OpCode::CmpGT;
+  case OpCode::CmpGT:
+    return OpCode::CmpLE;
+  case OpCode::CmpGE:
+    return OpCode::CmpLT;
+  case OpCode::CmpEQ:
+    return OpCode::CmpNE;
+  case OpCode::CmpNE:
+    return OpCode::CmpEQ;
+  default:
+    slpUnreachable("negatedCompare of a non-comparison opcode");
+  }
 }
 
 ExprPtr Expr::makeLeaf(Operand Op) {
@@ -45,11 +78,22 @@ ExprPtr Expr::makeUnary(OpCode Op, ExprPtr Child) {
 }
 
 ExprPtr Expr::makeBinary(OpCode Op, ExprPtr Lhs, ExprPtr Rhs) {
-  assert(!isUnaryOp(Op) && "unary opcode passed to makeBinary");
+  assert(!isUnaryOp(Op) && !isTernaryOp(Op) &&
+         "non-binary opcode passed to makeBinary");
   auto E = std::unique_ptr<Expr>(new Expr());
   E->Op = Op;
   E->Children.push_back(std::move(Lhs));
   E->Children.push_back(std::move(Rhs));
+  return E;
+}
+
+ExprPtr Expr::makeTernary(OpCode Op, ExprPtr C0, ExprPtr C1, ExprPtr C2) {
+  assert(isTernaryOp(Op) && "non-ternary opcode passed to makeTernary");
+  auto E = std::unique_ptr<Expr>(new Expr());
+  E->Op = Op;
+  E->Children.push_back(std::move(C0));
+  E->Children.push_back(std::move(C1));
+  E->Children.push_back(std::move(C2));
   return E;
 }
 

@@ -31,12 +31,34 @@ enum class OpCode : uint8_t {
   Neg,  // unary
   Sqrt, // unary
   Abs,  // unary
+  // Comparisons produce 1.0 (true) or 0.0 (false); they are the building
+  // blocks of statement guards and select conditions.
+  CmpLT,
+  CmpLE,
+  CmpGT,
+  CmpGE,
+  CmpEQ,
+  CmpNE,
+  Select, // ternary: Select(cond, a, b) = cond != 0 ? a : b
 };
 
 /// Returns true for single-operand opcodes.
 inline bool isUnaryOp(OpCode Op) {
   return Op == OpCode::Neg || Op == OpCode::Sqrt || Op == OpCode::Abs;
 }
+
+/// Returns true for the comparison opcodes (result is always 0.0/1.0).
+inline bool isCompareOp(OpCode Op) {
+  return Op == OpCode::CmpLT || Op == OpCode::CmpLE || Op == OpCode::CmpGT ||
+         Op == OpCode::CmpGE || Op == OpCode::CmpEQ || Op == OpCode::CmpNE;
+}
+
+/// Returns true for three-operand opcodes (only Select today).
+inline bool isTernaryOp(OpCode Op) { return Op == OpCode::Select; }
+
+/// The comparison testing the opposite outcome (CmpLT <-> CmpGE, ...).
+/// Asserts on non-comparison opcodes.
+OpCode negatedCompare(OpCode Op);
 
 /// Returns the spelling of \p Op in the textual kernel language.
 const char *opcodeName(OpCode Op);
@@ -56,6 +78,20 @@ public:
   static std::unique_ptr<Expr> makeBinary(OpCode Op,
                                           std::unique_ptr<Expr> Lhs,
                                           std::unique_ptr<Expr> Rhs);
+
+  /// Creates a ternary interior node (only Select today).
+  static std::unique_ptr<Expr> makeTernary(OpCode Op,
+                                           std::unique_ptr<Expr> C0,
+                                           std::unique_ptr<Expr> C1,
+                                           std::unique_ptr<Expr> C2);
+
+  /// Creates Select(Cond, A, B): lane-wise Cond != 0 ? A : B.
+  static std::unique_ptr<Expr> makeSelect(std::unique_ptr<Expr> Cond,
+                                          std::unique_ptr<Expr> A,
+                                          std::unique_ptr<Expr> B) {
+    return makeTernary(OpCode::Select, std::move(Cond), std::move(A),
+                       std::move(B));
+  }
 
   bool isLeaf() const { return Children.empty(); }
 

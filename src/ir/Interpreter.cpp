@@ -142,6 +142,45 @@ double slp::evalExprValue(const Kernel &K, Environment &Env, const Expr &E,
         std::fabs(evalExprValue(K, Env, E.child(0), Indices, Stats)));
   case OpCode::Abs:
     return std::fabs(evalExprValue(K, Env, E.child(0), Indices, Stats));
+  case OpCode::CmpLT:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) <
+                   evalExprValue(K, Env, E.child(1), Indices, Stats)
+               ? 1.0
+               : 0.0;
+  case OpCode::CmpLE:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) <=
+                   evalExprValue(K, Env, E.child(1), Indices, Stats)
+               ? 1.0
+               : 0.0;
+  case OpCode::CmpGT:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) >
+                   evalExprValue(K, Env, E.child(1), Indices, Stats)
+               ? 1.0
+               : 0.0;
+  case OpCode::CmpGE:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) >=
+                   evalExprValue(K, Env, E.child(1), Indices, Stats)
+               ? 1.0
+               : 0.0;
+  case OpCode::CmpEQ:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) ==
+                   evalExprValue(K, Env, E.child(1), Indices, Stats)
+               ? 1.0
+               : 0.0;
+  case OpCode::CmpNE:
+    return evalExprValue(K, Env, E.child(0), Indices, Stats) !=
+                   evalExprValue(K, Env, E.child(1), Indices, Stats)
+               ? 1.0
+               : 0.0;
+  case OpCode::Select: {
+    // If-converted semantics: both arms are evaluated (so both engines
+    // and the vector lowering perform identical work), the untaken value
+    // is discarded.
+    double Cond = evalExprValue(K, Env, E.child(0), Indices, Stats);
+    double A = evalExprValue(K, Env, E.child(1), Indices, Stats);
+    double B = evalExprValue(K, Env, E.child(2), Indices, Stats);
+    return Cond != 0.0 ? A : B;
+  }
   }
   slpUnreachable("invalid opcode");
 }
@@ -177,8 +216,20 @@ void slp::execStatementScalar(const Kernel &K, Environment &Env,
                               const Statement &S,
                               const std::vector<int64_t> &Indices,
                               ScalarExecStats *Stats) {
+  // If-converted semantics: the guard and the right-hand side are always
+  // evaluated; a false guard only suppresses the store. Store counters
+  // count *attempted* stores so that the compiled engines' static per-
+  // iteration accounting (which cannot see data-dependent masks) agrees
+  // with the reference on every kernel.
+  bool Taken = true;
+  if (S.hasGuard())
+    Taken = evalExprValue(K, Env, S.guard(), Indices, Stats) != 0.0;
   double Value = evalExprValue(K, Env, S.rhs(), Indices, Stats);
-  storeToOperand(K, Env, S.lhs(), Value, Indices, Stats);
+  if (Taken) {
+    storeToOperand(K, Env, S.lhs(), Value, Indices, Stats);
+  } else if (Stats && S.lhs().isArray()) {
+    ++Stats->ArrayStores;
+  }
 }
 
 void slp::forEachIteration(

@@ -89,6 +89,14 @@ public:
       Pos += 2;
       return;
     }
+    // Two-character comparison operators (the lone '=' stays assignment).
+    if ((C == '<' || C == '>' || C == '=' || C == '!') &&
+        Pos + 1 < Src.size() && Src[Pos + 1] == '=') {
+      Cur.Kind = TokKind::Punct;
+      Cur.Text = std::string(1, C) + "=";
+      Pos += 2;
+      return;
+    }
     Cur.Kind = TokKind::Punct;
     Cur.Text = std::string(1, C);
     ++Pos;
@@ -366,6 +374,49 @@ private:
   }
 
   void parseStatement() {
+    if (isIdent("if")) {
+      parseIfStatement();
+      return;
+    }
+    parseSimpleStatement(nullptr);
+  }
+
+  /// if := 'if' '(' expr ')' (simpleStmt | '{' simpleStmt+ '}')
+  /// Every statement under the guard gets its own clone of the condition
+  /// (the block form is sugar for repeating the guard).
+  void parseIfStatement() {
+    expectIdent("if");
+    expectPunct("(");
+    ExprPtr Cond = parseExpr();
+    expectPunct(")");
+    if (Failed)
+      return;
+    if (isPunct("{")) {
+      Lex.advance();
+      unsigned Count = 0;
+      while (!Failed && !isPunct("}") && tok().Kind != TokKind::End) {
+        if (isIdent("if")) {
+          error("nested 'if' is not supported; compose the condition with "
+                "'*' instead");
+          return;
+        }
+        parseSimpleStatement(&Cond);
+        ++Count;
+      }
+      expectPunct("}");
+      if (!Failed && Count == 0)
+        error("empty 'if' block");
+      return;
+    }
+    if (isIdent("if")) {
+      error("nested 'if' is not supported; compose the condition with '*' "
+            "instead");
+      return;
+    }
+    parseSimpleStatement(&Cond);
+  }
+
+  void parseSimpleStatement(const ExprPtr *Guard) {
     Operand Lhs = parseLvalue();
     if (Failed)
       return;
@@ -373,7 +424,8 @@ private:
     ExprPtr Rhs = parseExpr();
     expectPunct(";");
     if (!Failed)
-      K.Body.append(Statement(std::move(Lhs), std::move(Rhs)));
+      K.Body.append(Statement(std::move(Lhs), std::move(Rhs),
+                              Guard ? (*Guard)->clone() : nullptr));
   }
 
   Operand parseLvalue() {
@@ -473,7 +525,7 @@ private:
     return V;
   }
 
-  /// expr := mulExpr (('+'|'-') mulExpr)*
+  /// expr := addExpr (cmpOp addExpr)?   -- comparisons do not associate
   ExprPtr parseExpr() {
     // Parenthesized and unary-minus nesting recurse through here; bound
     // the depth so deeply nested input fails cleanly instead of
@@ -483,8 +535,45 @@ private:
       --ExprDepth;
       return Expr::makeLeaf(Operand::makeConstant(0));
     }
-    // The depth stays elevated across the operator loop: operands in RHS
-    // position nest inside this call and must count against the guard.
+    // The depth stays elevated across the operator parsing: operands in
+    // RHS position nest inside this call and must count against the guard.
+    ExprPtr Lhs = parseAddExpr();
+    if (!Failed) {
+      std::optional<OpCode> Cmp;
+      if (isPunct("<"))
+        Cmp = OpCode::CmpLT;
+      else if (isPunct("<="))
+        Cmp = OpCode::CmpLE;
+      else if (isPunct(">"))
+        Cmp = OpCode::CmpGT;
+      else if (isPunct(">="))
+        Cmp = OpCode::CmpGE;
+      else if (isPunct("=="))
+        Cmp = OpCode::CmpEQ;
+      else if (isPunct("!="))
+        Cmp = OpCode::CmpNE;
+      if (Cmp) {
+        Lex.advance();
+        ExprPtr Rhs = parseAddExpr();
+        if (!Failed) {
+          Lhs = Expr::makeBinary(*Cmp, std::move(Lhs), std::move(Rhs));
+          // Comparisons are non-associative: `a < b < c` is rejected
+          // (parenthesize to compare against a comparison's 0/1 result).
+          if (isPunct("<") || isPunct("<=") || isPunct(">") ||
+              isPunct(">=") || isPunct("==") || isPunct("!="))
+            error("comparisons do not chain; parenthesize the left "
+                  "comparison");
+        }
+      }
+    }
+    --ExprDepth;
+    if (Failed)
+      return Expr::makeLeaf(Operand::makeConstant(0));
+    return Lhs;
+  }
+
+  /// addExpr := mulExpr (('+'|'-') mulExpr)*
+  ExprPtr parseAddExpr() {
     ExprPtr Lhs = parseMulExpr();
     while (!Failed && (isPunct("+") || isPunct("-"))) {
       OpCode Op = isPunct("+") ? OpCode::Add : OpCode::Sub;
@@ -494,7 +583,6 @@ private:
         break;
       Lhs = Expr::makeBinary(Op, std::move(Lhs), std::move(Rhs));
     }
-    --ExprDepth;
     if (Failed)
       return Expr::makeLeaf(Operand::makeConstant(0));
     return Lhs;
@@ -563,6 +651,19 @@ private:
       if (Failed)
         return Expr::makeLeaf(Operand::makeConstant(0));
       return Expr::makeBinary(Op, std::move(L), std::move(R));
+    }
+    if (isIdent("select")) {
+      Lex.advance();
+      expectPunct("(");
+      ExprPtr Cond = parseExpr();
+      expectPunct(",");
+      ExprPtr A = parseExpr();
+      expectPunct(",");
+      ExprPtr B = parseExpr();
+      expectPunct(")");
+      if (Failed)
+        return Expr::makeLeaf(Operand::makeConstant(0));
+      return Expr::makeSelect(std::move(Cond), std::move(A), std::move(B));
     }
     if (isIdent("sqrt") || isIdent("abs")) {
       OpCode Op = isIdent("sqrt") ? OpCode::Sqrt : OpCode::Abs;

@@ -39,15 +39,17 @@ std::string slp::printOperand(const Kernel &K, const Operand &Op) {
 
 /// Operator precedence for parenthesization: higher binds tighter.
 static int precedenceOf(OpCode Op) {
+  if (isCompareOp(Op))
+    return 1;
   switch (Op) {
   case OpCode::Add:
   case OpCode::Sub:
-    return 1;
+    return 2;
   case OpCode::Mul:
   case OpCode::Div:
-    return 2;
+    return 3;
   default:
-    return 3; // function-call syntax; never needs parens
+    return 4; // function-call syntax; never needs parens
   }
 }
 
@@ -62,15 +64,23 @@ static std::string printExprPrec(const Kernel &K, const Expr &E,
            printExprPrec(K, E.child(0), 0) + ", " +
            printExprPrec(K, E.child(1), 0) + ")";
   }
+  if (Op == OpCode::Select) {
+    return "select(" + printExprPrec(K, E.child(0), 0) + ", " +
+           printExprPrec(K, E.child(1), 0) + ", " +
+           printExprPrec(K, E.child(2), 0) + ")";
+  }
   if (Op == OpCode::Sqrt || Op == OpCode::Abs) {
     return std::string(opcodeName(Op)) + "(" +
            printExprPrec(K, E.child(0), 0) + ")";
   }
   if (Op == OpCode::Neg)
-    return "-" + printExprPrec(K, E.child(0), 3);
+    return "-" + printExprPrec(K, E.child(0), 4);
 
   int Prec = precedenceOf(Op);
-  std::string Out = printExprPrec(K, E.child(0), Prec) + " " +
+  // Comparisons are non-associative in the grammar, so a comparison child
+  // of a comparison always prints parenthesized (Prec+1 on both sides).
+  int ChildPrec = isCompareOp(Op) ? Prec + 1 : Prec;
+  std::string Out = printExprPrec(K, E.child(0), ChildPrec) + " " +
                     opcodeName(Op) + " " +
                     printExprPrec(K, E.child(1), Prec + 1);
   if (Prec < ParentPrec)
@@ -83,7 +93,11 @@ std::string slp::printExpr(const Kernel &K, const Expr &E) {
 }
 
 std::string slp::printStatement(const Kernel &K, const Statement &S) {
-  return printOperand(K, S.lhs()) + " = " + printExpr(K, S.rhs()) + ";";
+  std::string Out;
+  if (S.hasGuard())
+    Out += "if (" + printExpr(K, S.guard()) + ") ";
+  Out += printOperand(K, S.lhs()) + " = " + printExpr(K, S.rhs()) + ";";
+  return Out;
 }
 
 std::string slp::printKernel(const Kernel &K) {

@@ -7,12 +7,16 @@ using namespace slp;
 std::vector<const Operand *> Statement::operandPositions() const {
   std::vector<const Operand *> Result;
   Result.push_back(&Lhs);
-  Rhs->forEachLeaf([&Result](const Operand &O) { Result.push_back(&O); });
+  forEachUse([&Result](const Operand &O) { Result.push_back(&O); });
   return Result;
 }
 
 std::string Statement::isomorphismSignature() const {
   std::string Sig = Lhs.isScalar() ? "S=" : "A=";
   Sig += Rhs->shapeSignature();
+  if (Guard) {
+    Sig += "|G=";
+    Sig += Guard->shapeSignature();
+  }
   return Sig;
 }

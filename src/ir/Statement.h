@@ -1,8 +1,11 @@
 //===- ir/Statement.h - Assignment statements -------------------*- C++ -*-===//
 ///
 /// \file
-/// A kernel statement `lhs = rhs-expression`. Statements are the unit the
-/// SLP optimizers group into superword statements.
+/// A kernel statement `lhs = rhs-expression`, optionally predicated by a
+/// guard expression (`if (guard) lhs = rhs;`). Statements are the unit the
+/// SLP optimizers group into superword statements; a guarded statement
+/// always evaluates its right-hand side (if-converted semantics) but only
+/// commits the store when the guard is non-zero.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,21 +18,24 @@ namespace slp {
 
 /// An assignment statement. The left-hand side is a scalar or array
 /// operand (never a constant); the right-hand side is an expression tree.
+/// An optional guard predicates the store.
 class Statement {
 public:
-  Statement(Operand Lhs, ExprPtr Rhs) : Lhs(std::move(Lhs)),
-                                        Rhs(std::move(Rhs)) {
+  Statement(Operand Lhs, ExprPtr Rhs, ExprPtr Guard = nullptr)
+      : Lhs(std::move(Lhs)), Rhs(std::move(Rhs)), Guard(std::move(Guard)) {
     assert(!this->Lhs.isConstant() && "cannot assign to a constant");
     assert(this->Rhs && "statement requires a right-hand side");
   }
 
   Statement(const Statement &Other)
-      : Lhs(Other.Lhs), Rhs(Other.Rhs->clone()) {}
+      : Lhs(Other.Lhs), Rhs(Other.Rhs->clone()),
+        Guard(Other.Guard ? Other.Guard->clone() : nullptr) {}
 
   Statement &operator=(const Statement &Other) {
     if (this != &Other) {
       Lhs = Other.Lhs;
       Rhs = Other.Rhs->clone();
+      Guard = Other.Guard ? Other.Guard->clone() : nullptr;
     }
     return *this;
   }
@@ -43,19 +49,57 @@ public:
   const Expr &rhs() const { return *Rhs; }
   Expr &rhs() { return *Rhs; }
 
-  /// The operand positions of this statement: the left-hand side followed
-  /// by every right-hand-side leaf in pre-order. Position indices returned
-  /// here define the variable packs formed when statements are grouped.
+  bool hasGuard() const { return Guard != nullptr; }
+
+  const Expr &guard() const {
+    assert(Guard && "statement is unguarded");
+    return *Guard;
+  }
+
+  Expr &guard() {
+    assert(Guard && "statement is unguarded");
+    return *Guard;
+  }
+
+  /// Installs (or, with nullptr, removes) the guard.
+  void setGuard(ExprPtr G) { Guard = std::move(G); }
+
+  /// Deep copy of the guard (nullptr when unguarded).
+  ExprPtr cloneGuard() const { return Guard ? Guard->clone() : nullptr; }
+
+  /// Invokes \p Fn on every operand this statement reads: the rhs leaves
+  /// in pre-order, then the guard leaves in pre-order.
+  void forEachUse(const std::function<void(const Operand &)> &Fn) const {
+    Rhs->forEachLeaf(Fn);
+    if (Guard)
+      Guard->forEachLeaf(Fn);
+  }
+
+  /// Mutable variant of forEachUse.
+  void forEachUseMut(const std::function<void(Operand &)> &Fn) {
+    Rhs->forEachLeafMut(Fn);
+    if (Guard)
+      Guard->forEachLeafMut(Fn);
+  }
+
+  /// The operand positions of this statement: the left-hand side, every
+  /// right-hand-side leaf in pre-order, then every guard leaf in pre-order.
+  /// Position indices returned here define the variable packs formed when
+  /// statements are grouped — guard leaves participating makes the mask a
+  /// variable pack like any other.
   std::vector<const Operand *> operandPositions() const;
 
-  /// Isomorphism signature: lhs kind + rhs shape. Two statements with equal
-  /// signatures perform the same operations in the same order on operands
-  /// of the same kinds (paper Section 4.1, constraint 3).
+  /// Isomorphism signature: lhs kind + rhs shape + guard shape. Two
+  /// statements with equal signatures perform the same operations in the
+  /// same order on operands of the same kinds (paper Section 4.1,
+  /// constraint 3); including the guard shape keeps differently-predicated
+  /// statements out of one superword statement.
   std::string isomorphismSignature() const;
 
 private:
   Operand Lhs;
   ExprPtr Rhs;
+  ExprPtr Guard; ///< nullptr when unguarded
 };
 
 } // namespace slp

@@ -68,15 +68,16 @@ std::vector<PackUse> collectPacks(const Kernel &K, const Schedule &S,
   return Packs;
 }
 
-/// Replaces the rhs leaf of \p S that sits at operand position \p Position
-/// (position 0 is the lhs) with \p Replacement.
+/// Replaces the use leaf of \p S that sits at operand position \p Position
+/// (position 0 is the lhs; rhs leaves come first, then guard leaves) with
+/// \p Replacement.
 void rewriteLeafAt(Statement &S, unsigned Position,
                    const Operand &Replacement) {
   assert(Position >= 1 && "cannot rewrite the lhs with a replica");
   unsigned LeafIdx = 0;
   unsigned Target = Position - 1;
   bool Done = false;
-  S.rhs().forEachLeafMut([&](Operand &O) {
+  S.forEachUseMut([&](Operand &O) {
     if (LeafIdx++ == Target) {
       O = Replacement;
       Done = true;

@@ -42,6 +42,13 @@ void addScalarStatement(const Kernel &K, const Statement &S,
         walk(E.child(C));
     }
   } W{M, Cost};
+  if (S.hasGuard()) {
+    // The guard is evaluated every iteration (if-converted semantics),
+    // plus one compare-and-branch-free predicated-store overhead.
+    W.walk(S.guard());
+    Cost.Cycles += M.ScalarAlu;
+    ++Cost.CoreInstrs;
+  }
   W.walk(S.rhs());
   Cost.Cycles += M.ScalarStore;
   ++Cost.CoreInstrs;
@@ -184,6 +191,21 @@ BlockCost slp::costVectorProgram(const Kernel &K,
       break;
     case VInstKind::ScalarExec:
       addScalarStatement(K, K.Body.statement(I.StmtId), M, Cost);
+      break;
+    case VInstKind::MaskedLoadPack:
+      // Priced like the unmasked load plus one lane-wise mask merge.
+      addLoadPack(I, M, Cost);
+      Cost.Cycles += M.SimdAlu;
+      ++Cost.CoreInstrs;
+      break;
+    case VInstKind::MaskedStorePack:
+      // Priced like the unmasked store; the mask rides along for free on
+      // hardware with predicated stores (the model's simplification).
+      addStorePack(I, M, Cost);
+      break;
+    case VInstKind::Blend:
+      Cost.Cycles += M.SimdAlu;
+      ++Cost.CoreInstrs;
       break;
     }
   }

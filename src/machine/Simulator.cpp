@@ -17,7 +17,7 @@ double slp::uniqueBytesPerIteration(const Kernel &K) {
   };
   for (const Statement &S : K.Body) {
     Visit(S.lhs());
-    S.rhs().forEachLeaf(Visit);
+    S.forEachUse(Visit); // rhs leaves plus guard leaves
   }
   return Bytes;
 }

@@ -10,12 +10,15 @@
 #include "slp/GroupingPass.h"
 #include "slp/PipelineState.h"
 #include "slp/SchedulingPass.h"
+#include "transform/IfConvertPass.h"
 #include "transform/UnrollPass.h"
 #include "vector/CodeGenPass.h"
 
 using namespace slp;
 
 std::unique_ptr<KernelPass> slp::createKernelPass(const std::string &Name) {
+  if (Name == "if-convert")
+    return std::make_unique<IfConvertPass>();
   if (Name == "unroll")
     return std::make_unique<UnrollPass>();
   if (Name == "alignment")
@@ -40,15 +43,15 @@ std::unique_ptr<KernelPass> slp::createKernelPass(const std::string &Name) {
 }
 
 std::vector<std::string> slp::allPassNames() {
-  return {"unroll",  "alignment", "grouping", "scheduling",
+  return {"if-convert", "unroll",  "alignment", "grouping", "scheduling",
           "group-prune", "codegen", "simulate", "layout",
           "cost-guard", "verify-vector"};
 }
 
 std::vector<std::string> slp::canonicalPassNames(OptimizerKind Kind) {
-  std::vector<std::string> Names = {"unroll",      "alignment", "grouping",
-                                    "scheduling",  "group-prune", "codegen",
-                                    "simulate"};
+  std::vector<std::string> Names = {"if-convert",  "unroll",      "alignment",
+                                    "grouping",    "scheduling",  "group-prune",
+                                    "codegen",     "simulate"};
   if (Kind == OptimizerKind::GlobalLayout)
     Names.push_back("layout");
   Names.push_back("cost-guard");

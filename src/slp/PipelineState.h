@@ -44,6 +44,12 @@ struct PipelineState {
   /// Code-generation parameters derived from Kind + Options.
   CodeGenOptions CG;
 
+  // --- produced by IfConvertPass -----------------------------------------
+  /// Source kernel with constant guards folded; the unroll stage consumes
+  /// this when IfConvertReady is set and the raw Source otherwise.
+  Kernel IfConverted;
+  bool IfConvertReady = false;
+
   // --- produced by UnrollPass --------------------------------------------
   Kernel Preprocessed;
   bool PreprocessedReady = false;

@@ -1,0 +1,51 @@
+//===- transform/IfConvert.cpp --------------------------------*- C++ -*-===//
+
+#include "transform/IfConvert.h"
+
+using namespace slp;
+
+namespace {
+
+/// Classifies a guard expression: +1 constant-true, 0 constant-false,
+/// -1 data-dependent.
+int classifyGuard(const Expr &G) {
+  if (!G.isLeaf())
+    return -1;
+  const Operand &O = G.leaf();
+  if (!O.isConstant())
+    return -1;
+  return O.constantValue() != 0.0 ? 1 : 0;
+}
+
+} // namespace
+
+Kernel slp::ifConvertKernel(const Kernel &K, IfConvertStats *Stats) {
+  Kernel Out;
+  Out.Name = K.Name;
+  Out.Scalars = K.Scalars;
+  Out.Arrays = K.Arrays;
+  Out.Loops = K.Loops;
+  for (const Statement &S : K.Body) {
+    if (!S.hasGuard()) {
+      Out.Body.append(S);
+      continue;
+    }
+    switch (classifyGuard(S.guard())) {
+    case 1: // constant-true: the store is unconditional.
+      Out.Body.append(Statement(S.lhs(), S.rhs().clone()));
+      if (Stats)
+        ++Stats->FoldedTrue;
+      break;
+    case 0: // constant-false: the store never happens; RHS is pure.
+      if (Stats)
+        ++Stats->FoldedFalse;
+      break;
+    default:
+      Out.Body.append(S);
+      if (Stats)
+        ++Stats->GuardedStatements;
+      break;
+    }
+  }
+  return Out;
+}

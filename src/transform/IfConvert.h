@@ -1,0 +1,44 @@
+//===- transform/IfConvert.h - Guard canonicalization -----------*- C++ -*-===//
+///
+/// \file
+/// If-conversion for the kernel language. The parser already lowers
+/// `if (c) { ... }` blocks to per-statement guards, so structurally every
+/// kernel is straight-line by the time it reaches the pipeline; this stage
+/// canonicalizes those guards so the SLP stages see the simplest possible
+/// predicated form:
+///
+///  - a guard that is a literal non-zero constant is dropped (the store is
+///    unconditional),
+///  - a statement whose guard is a literal zero is deleted (the store can
+///    never happen; its RHS has no side effects),
+///  - `if (a) if-composed guards` produced by mutation (guard of the form
+///    `g * 1.0` etc.) are left alone — only whole-guard constants fold.
+///
+/// Everything downstream (grouping, scheduling, codegen, the verifier)
+/// then only ever sees guards that are genuinely data-dependent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TRANSFORM_IFCONVERT_H
+#define SLP_TRANSFORM_IFCONVERT_H
+
+#include "ir/Kernel.h"
+
+namespace slp {
+
+/// Counters reported by ifConvertKernel.
+struct IfConvertStats {
+  /// Statements that still carry a (data-dependent) guard afterwards.
+  unsigned GuardedStatements = 0;
+  /// Guards folded away because they were constant-true.
+  unsigned FoldedTrue = 0;
+  /// Statements deleted because their guard was constant-false.
+  unsigned FoldedFalse = 0;
+};
+
+/// Returns a copy of \p K with constant guards folded as described above.
+Kernel ifConvertKernel(const Kernel &K, IfConvertStats *Stats = nullptr);
+
+} // namespace slp
+
+#endif // SLP_TRANSFORM_IFCONVERT_H

@@ -1,0 +1,30 @@
+//===- transform/IfConvertPass.cpp ----------------------------*- C++ -*-===//
+
+#include "transform/IfConvertPass.h"
+
+#include "slp/PipelineState.h"
+#include "transform/IfConvert.h"
+
+using namespace slp;
+
+void IfConvertPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  IfConvertStats Stats;
+  S.IfConverted = ifConvertKernel(S.Source, &Stats);
+  S.IfConvertReady = true;
+
+  Ctx.Stats.set("if-convert.guarded-statements", Stats.GuardedStatements);
+  Ctx.Stats.set("if-convert.folded-true", Stats.FoldedTrue);
+  Ctx.Stats.set("if-convert.folded-false", Stats.FoldedFalse);
+  if (Stats.FoldedTrue + Stats.FoldedFalse > 0)
+    Ctx.Remarks.applied(name(),
+                        "folded " + std::to_string(Stats.FoldedTrue) +
+                            " constant-true and " +
+                            std::to_string(Stats.FoldedFalse) +
+                            " constant-false guard(s)");
+  else if (Stats.GuardedStatements > 0)
+    Ctx.Remarks.note(name(), std::to_string(Stats.GuardedStatements) +
+                                 " statement(s) carry data-dependent guards");
+  else
+    Ctx.Remarks.note(name(), "no guarded statements");
+}

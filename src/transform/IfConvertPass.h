@@ -1,0 +1,26 @@
+//===- transform/IfConvertPass.h - Guard canonicalization pass --*- C++ -*-===//
+///
+/// \file
+/// If-conversion as a KernelPass. Runs before the unroll stage so that the
+/// entire SLP pipeline only ever sees canonical predicated straight-line
+/// code: constant guards are folded, data-dependent guards are kept and
+/// become per-lane masks during vector code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TRANSFORM_IFCONVERTPASS_H
+#define SLP_TRANSFORM_IFCONVERTPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class IfConvertPass : public KernelPass {
+public:
+  const char *name() const override { return "if-convert"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_TRANSFORM_IFCONVERTPASS_H

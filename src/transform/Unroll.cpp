@@ -28,13 +28,18 @@ std::vector<bool> findExpandableScalars(const Kernel &K) {
   std::vector<bool> Accessed(K.Scalars.size(), false);
   for (const Statement &S : K.Body) {
     // Uses come first within a statement: `a = a + 1` reads the old value.
-    S.rhs().forEachLeaf([&](const Operand &O) {
+    // Guard reads count as uses too.
+    S.forEachUse([&](const Operand &O) {
       if (O.isScalar())
         Accessed[O.symbol()] = true;
     });
     const Operand &Lhs = S.lhs();
     if (Lhs.isScalar() && !Accessed[Lhs.symbol()]) {
-      Expandable[Lhs.symbol()] = true;
+      // A guarded definition is conditional: when the guard is false the
+      // scalar keeps its live-in value, so per-instance clones (which
+      // start uninitialized) would change semantics. Leave it unexpanded.
+      if (!S.hasGuard())
+        Expandable[Lhs.symbol()] = true;
       Accessed[Lhs.symbol()] = true;
     }
   }
@@ -94,7 +99,7 @@ Kernel slp::unrollInnermost(const Kernel &K, unsigned Factor) {
         }
       };
       Rewrite(Copy.lhs());
-      Copy.rhs().forEachLeafMut(Rewrite);
+      Copy.forEachUseMut(Rewrite);
       Out.Body.append(std::move(Copy));
     }
   }

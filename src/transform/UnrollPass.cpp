@@ -35,9 +35,10 @@ unsigned preprocessUnrollFactor(const Kernel &K, unsigned DatapathBits) {
 
 void UnrollPass::run(PassContext &Ctx) {
   PipelineState &S = Ctx.State;
+  const Kernel &In = S.IfConvertReady ? S.IfConverted : S.Source;
   unsigned Factor =
-      preprocessUnrollFactor(S.Source, S.Options.Machine.DatapathBits);
-  S.Preprocessed = unrollInnermost(S.Source, Factor);
+      preprocessUnrollFactor(In, S.Options.Machine.DatapathBits);
+  S.Preprocessed = unrollInnermost(In, Factor);
   S.PreprocessedReady = true;
   S.UnrollFactor = Factor;
   // The unrolled kernel invalidates every downstream analysis product.

@@ -268,6 +268,18 @@ unsigned CodeGenerator::genExprPack(const std::vector<const Expr *> &Nodes) {
     ChildRegs.push_back(genExprPack(Children));
   }
 
+  if (Op == OpCode::Select) {
+    VInst BlendInst;
+    BlendInst.Kind = VInstKind::Blend;
+    BlendInst.Lanes = static_cast<unsigned>(Nodes.size());
+    BlendInst.Src0 = ChildRegs[0];
+    BlendInst.Src1 = ChildRegs[1];
+    BlendInst.Src2 = ChildRegs[2];
+    BlendInst.Dst = freshReg();
+    Program.Insts.push_back(std::move(BlendInst));
+    return Program.Insts.back().Dst;
+  }
+
   VInst OpInst;
   OpInst.Kind = VInstKind::VectorOp;
   OpInst.Lanes = static_cast<unsigned>(Nodes.size());
@@ -289,12 +301,56 @@ void CodeGenerator::genGroup(const ScheduleItem &Item) {
     LhsLanes.push_back(&K.Body.statement(S).lhs());
   }
 
-  unsigned Result = genExprPack(Roots);
+  // Grouping only packs statements with identical isomorphism signatures,
+  // and the signature includes the guard shape — so either every lane is
+  // guarded or none is. The guard lanes become an ordinary mask vector
+  // (0.0/1.0 per lane) computed before the RHS, so it can gate a masked
+  // load of the RHS as well as the store.
+  bool Guarded = K.Body.statement(Item.Lanes.front()).hasGuard();
+  unsigned MaskReg = 0;
+  if (Guarded) {
+    std::vector<const Expr *> GuardRoots;
+    GuardRoots.reserve(Item.Lanes.size());
+    for (unsigned S : Item.Lanes)
+      GuardRoots.push_back(&K.Body.statement(S).guard());
+    MaskReg = genExprPack(GuardRoots);
+  }
+
+  // Guarded copy shape (`if (m) dst[i] = src[i];`): the whole RHS is one
+  // array pack, so fold the mask into the load itself. The masked load
+  // zeroes untaken lanes; the masked store below discards exactly those
+  // lanes, so memory semantics are unchanged. The result is deliberately
+  // NOT registered in the pack cache — its untaken lanes differ from
+  // memory.
+  unsigned Result;
+  if (Guarded && Roots.front()->isLeaf() &&
+      std::all_of(Roots.begin(), Roots.end(),
+                  [](const Expr *N) { return N->leaf().isArray(); })) {
+    std::vector<const Operand *> RhsLanes;
+    RhsLanes.reserve(Roots.size());
+    for (const Expr *N : Roots)
+      RhsLanes.push_back(&N->leaf());
+    VInst Load;
+    Load.Kind = VInstKind::MaskedLoadPack;
+    Load.Lanes = Item.width();
+    Load.Dst = freshReg();
+    Load.Src1 = MaskReg;
+    Load.Mode = classify(RhsLanes);
+    for (const Operand *O : RhsLanes)
+      Load.LaneOps.push_back(*O);
+    Program.Insts.push_back(std::move(Load));
+    ++Program.Stats.MaterializedPacks;
+    Result = Program.Insts.back().Dst;
+  } else {
+    Result = genExprPack(Roots);
+  }
 
   VInst Store;
-  Store.Kind = VInstKind::StorePack;
+  Store.Kind = Guarded ? VInstKind::MaskedStorePack : VInstKind::StorePack;
   Store.Lanes = Item.width();
   Store.Src0 = Result;
+  if (Guarded)
+    Store.Src1 = MaskReg;
   Store.Mode = classify(LhsLanes);
   // Broadcast makes no sense for a store destination; distinct dependent
   // lanes were excluded by grouping, so same-location lanes degrade to a
@@ -323,6 +379,11 @@ void CodeGenerator::genGroup(const ScheduleItem &Item) {
           return true;
       return false;
     });
+  // A masked store leaves untaken lanes' memory at its prior contents, so
+  // the result register does NOT match what a load of the lhs would see;
+  // never forward it.
+  if (Guarded)
+    return;
   // The freshly computed result is live and reusable under its lhs name —
   // unless a lane stores to an integer-typed location: those truncate the
   // value on the way to memory, so the register no longer matches what a

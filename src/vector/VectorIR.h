@@ -49,7 +49,17 @@ enum class VInstKind : uint8_t {
   StorePack, ///< lane locations in LaneOps <- Src0
   Shuffle,   ///< Dst[l] <- Src0[Perm[l]]
   VectorOp,  ///< Dst <- Op(Src0 [, Src1]) lane-wise
-  ScalarExec ///< execute block statement StmtId with scalar semantics
+  ScalarExec, ///< execute block statement StmtId with scalar semantics
+  /// Dst[l] <- Src1[l] != 0 ? load(LaneOps[l]) : 0.0. The mask register
+  /// (Src1) suppresses the untaken lanes' loaded values; the memory access
+  /// itself still happens on every lane (if-converted semantics — all
+  /// addresses are in bounds by construction).
+  MaskedLoadPack,
+  /// lane locations in LaneOps <- Src0[l] where Src1[l] != 0; lanes with a
+  /// zero mask keep their prior memory contents.
+  MaskedStorePack,
+  /// Dst[l] <- Src0[l] != 0 ? Src1[l] : Src2[l] (vector select).
+  Blend,
 };
 
 /// One vector instruction. Fields are meaningful per VInstKind.
@@ -59,6 +69,8 @@ struct VInst {
   unsigned Dst = 0;
   unsigned Src0 = 0;
   unsigned Src1 = 0;
+  /// Blend only: the false-arm vector register.
+  unsigned Src2 = 0;
   OpCode Op = OpCode::Add;
   bool UnaryOp = false;
   PackMode Mode = PackMode::GatherScalar;

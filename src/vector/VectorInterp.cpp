@@ -29,6 +29,20 @@ static double applyOp(OpCode Op, double A, double B) {
     return std::sqrt(std::fabs(A));
   case OpCode::Abs:
     return std::fabs(A);
+  case OpCode::CmpLT:
+    return A < B ? 1.0 : 0.0;
+  case OpCode::CmpLE:
+    return A <= B ? 1.0 : 0.0;
+  case OpCode::CmpGT:
+    return A > B ? 1.0 : 0.0;
+  case OpCode::CmpGE:
+    return A >= B ? 1.0 : 0.0;
+  case OpCode::CmpEQ:
+    return A == B ? 1.0 : 0.0;
+  case OpCode::CmpNE:
+    return A != B ? 1.0 : 0.0;
+  case OpCode::Select:
+    break; // ternary: lowered to Blend, never a VectorOp
   }
   slpUnreachable("invalid opcode");
 }
@@ -88,6 +102,39 @@ void runOnceWithScratch(const Kernel &K, const VectorProgram &Program,
     case VInstKind::ScalarExec:
       execStatementScalar(K, Env, K.Body.statement(I.StmtId), Indices);
       break;
+    case VInstKind::MaskedLoadPack: {
+      const std::vector<double> &Mask = Regs[I.Src1];
+      assert(Mask.size() == I.Lanes && "mask width mismatch");
+      std::vector<double> &Dst = Regs[I.Dst];
+      Dst.resize(I.Lanes);
+      // The load happens on every lane (addresses are in bounds by
+      // construction); the mask zeroes the untaken lanes' values.
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        Dst[L] = Mask[L] != 0.0
+                     ? evalOperandValue(K, Env, I.LaneOps[L], Indices)
+                     : 0.0;
+      break;
+    }
+    case VInstKind::MaskedStorePack: {
+      const std::vector<double> &Src = Regs[I.Src0];
+      const std::vector<double> &Mask = Regs[I.Src1];
+      assert(Src.size() == I.Lanes && "register width mismatch");
+      assert(Mask.size() == I.Lanes && "mask width mismatch");
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        if (Mask[L] != 0.0)
+          storeToOperand(K, Env, I.LaneOps[L], Src[L], Indices);
+      break;
+    }
+    case VInstKind::Blend: {
+      const std::vector<double> &Cond = Regs[I.Src0];
+      const std::vector<double> &A = Regs[I.Src1];
+      const std::vector<double> &B = Regs[I.Src2];
+      std::vector<double> Result(I.Lanes);
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        Result[L] = Cond[L] != 0.0 ? A[L] : B[L];
+      Regs[I.Dst] = std::move(Result);
+      break;
+    }
     }
   }
 }

@@ -53,6 +53,18 @@ std::string slp::printVInst(const Kernel &K, const VInst &I) {
     return Buf;
   case VInstKind::ScalarExec:
     return "scalar " + printStatement(K, K.Body.statement(I.StmtId));
+  case VInstKind::MaskedLoadPack:
+    std::snprintf(Buf, sizeof(Buf), "v%u <- vmload.%s v%u, ", I.Dst,
+                  packModeName(I.Mode), I.Src1);
+    return Buf + laneList(K, I);
+  case VInstKind::MaskedStorePack:
+    std::snprintf(Buf, sizeof(Buf), "vmstore.%s v%u ? v%u -> ",
+                  packModeName(I.Mode), I.Src1, I.Src0);
+    return Buf + laneList(K, I);
+  case VInstKind::Blend:
+    std::snprintf(Buf, sizeof(Buf), "v%u <- vblend v%u ? v%u : v%u", I.Dst,
+                  I.Src0, I.Src1, I.Src2);
+    return Buf;
   }
   slpUnreachable("invalid instruction kind");
 }

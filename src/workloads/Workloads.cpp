@@ -434,7 +434,71 @@ Workload makeCg() {
   return Workload{"cg", "Conjugate gradient", true, B.take(), {0.05, 0.003}};
 }
 
+/// Conditional copy (branchy memcpy): lanes move only where the mask
+/// array is positive. If-converts into one masked load / masked store
+/// pair per superword.
+Workload makeMemcpyCond() {
+  KernelBuilder B("memcpy_cond");
+  SymbolId Src = B.array("src", ST::Float32, {4096}, /*ReadOnly=*/true);
+  SymbolId Msk = B.array("msk", ST::Float32, {4096}, /*ReadOnly=*/true);
+  SymbolId Dst = B.array("dst", ST::Float32, {4096});
+  unsigned I = B.loop("i", 0, 4096);
+  B.assignIf(B.cmp(OpCode::CmpGT, B.load(Msk, {B.idx(I)}), B.c(0.0)),
+             B.arrayRef(Dst, {B.idx(I)}), B.load(Src, {B.idx(I)}));
+  return Workload{"memcpy_cond",
+                  "Conditional stream copy (predicated memcpy)", false,
+                  B.take(), {0.02, 0.002}};
+}
+
+/// Masked product accumulation (branchy dot product): each element's
+/// partial product lands in the accumulator array only where the weight
+/// passes a threshold; the untaken lanes keep their running value.
+Workload makeDotprodCond() {
+  KernelBuilder B("dotprod_cond");
+  SymbolId A = B.array("a", ST::Float32, {4096}, /*ReadOnly=*/true);
+  SymbolId Bv = B.array("b", ST::Float32, {4096}, /*ReadOnly=*/true);
+  SymbolId W = B.array("w", ST::Float32, {4096}, /*ReadOnly=*/true);
+  SymbolId Acc = B.array("acc", ST::Float32, {4096});
+  unsigned I = B.loop("i", 0, 4096);
+  B.assignIf(B.cmp(OpCode::CmpGE, B.load(W, {B.idx(I)}), B.c(0.5)),
+             B.arrayRef(Acc, {B.idx(I)}),
+             B.add(B.load(Acc, {B.idx(I)}),
+                   B.mul(B.load(A, {B.idx(I)}), B.load(Bv, {B.idx(I)}))));
+  return Workload{"dotprod_cond",
+                  "Thresholded elementwise product accumulation", false,
+                  B.take(), {0.03, 0.002}};
+}
+
+/// Sparsity-masked matrix multiply step: a 2-level nest updating a 64x64
+/// tile, skipping columns whose mask is zero (the branchy inner loop of a
+/// sparse-aware GEMM).
+Workload makeMmmCond() {
+  KernelBuilder B("mmm_cond");
+  SymbolId Am = B.array("Am", ST::Float32, {4096}, /*ReadOnly=*/true);
+  SymbolId Bm = B.array("Bm", ST::Float32, {64}, /*ReadOnly=*/true);
+  SymbolId Msk = B.array("colmask", ST::Float32, {64}, /*ReadOnly=*/true);
+  SymbolId Cm = B.array("Cm", ST::Float32, {4096});
+  unsigned I = B.loop("i", 0, 64);
+  unsigned J = B.loop("j", 0, 64);
+  AffineExpr Flat = B.idx(I, 64) + B.idx(J);
+  B.assignIf(B.ne(B.load(Msk, {B.idx(J)}), B.c(0.0)),
+             B.arrayRef(Cm, {Flat}),
+             B.add(B.load(Cm, {Flat}),
+                   B.mul(B.load(Am, {Flat}), B.load(Bm, {B.idx(J)}))));
+  return Workload{"mmm_cond",
+                  "Column-masked matrix-multiply tile update", false,
+                  B.take(), {0.04, 0.003}};
+}
+
 } // namespace
+
+std::vector<Workload> slp::predicatedWorkloads() {
+  std::vector<Workload> All;
+  All.push_back(makeMemcpyCond());
+  All.push_back(makeDotprodCond());
+  All.push_back(makeMmmCond());
+  return All;
+}
 
 std::vector<Workload> slp::standardWorkloads() {
   std::vector<Workload> All;
@@ -459,6 +523,9 @@ std::vector<Workload> slp::standardWorkloads() {
 
 Workload slp::workloadByName(const std::string &Name) {
   for (Workload &W : standardWorkloads())
+    if (W.Name == Name)
+      return W;
+  for (Workload &W : predicatedWorkloads())
     if (W.Name == Name)
       return W;
   reportFatalError("unknown workload: " + Name);
@@ -529,6 +596,14 @@ Kernel slp::randomKernel(Rng &R, const RandomKernelOptions &Options) {
     return Expr::makeBinary(Op, RandomExpr(Depth - 1), RandomExpr(Depth - 1));
   };
 
+  auto RandomGuard = [&]() {
+    static const OpCode Cmps[] = {OpCode::CmpLT, OpCode::CmpLE,
+                                  OpCode::CmpGT, OpCode::CmpGE,
+                                  OpCode::CmpEQ, OpCode::CmpNE};
+    return B.cmp(Cmps[R.nextBelow(6)], RandomExpr(0),
+                 B.c(static_cast<double>(R.nextInRange(-4, 4)) * 0.5));
+  };
+
   unsigned NumStmts = static_cast<unsigned>(R.nextInRange(
       Options.MinStatements, Options.MaxStatements));
   for (unsigned S = 0; S != NumStmts; ++S) {
@@ -537,7 +612,12 @@ Kernel slp::randomKernel(Rng &R, const RandomKernelOptions &Options) {
                       : B.arrayRef(RandomArrayThatIs(true), {RandomAffine()});
     // Note: the builder asserts lhs is not readonly through our chooser;
     // a readonly lhs would break the replication legality assumptions.
-    B.assign(std::move(Lhs), RandomExpr(2));
+    if (Options.GuardProbability > 0 &&
+        R.nextBelow(1000) <
+            static_cast<uint64_t>(Options.GuardProbability * 1000))
+      B.assignIf(RandomGuard(), std::move(Lhs), RandomExpr(2));
+    else
+      B.assign(std::move(Lhs), RandomExpr(2));
   }
   return B.take();
 }

@@ -36,7 +36,14 @@ struct Workload {
 /// All 16 benchmarks, in Table 3 order (SPEC2006 then NAS).
 std::vector<Workload> standardWorkloads();
 
-/// Finds a benchmark by its Table 3 name; aborts if unknown.
+/// Predicated (branchy) kernels exercising the if-conversion and masked
+/// vector paths: conditional copy, masked product accumulation, and a
+/// sparsity-masked matrix multiply. Kept separate from the Table 3 suite
+/// so the paper-figure benchmarks stay untouched.
+std::vector<Workload> predicatedWorkloads();
+
+/// Finds a benchmark by its Table 3 name (predicated kernels included);
+/// aborts if unknown.
 Workload workloadByName(const std::string &Name);
 
 /// Parameters of the random-kernel generator used by property tests.
@@ -52,6 +59,9 @@ struct RandomKernelOptions {
   /// Mix in integer-typed arrays/scalars (exercising the truncating
   /// store semantics).
   bool AllowInts = true;
+  /// Probability (0..1) that a generated statement carries a guard
+  /// (`if (cmp) lhs = rhs`), exercising if-conversion and masked stores.
+  double GuardProbability = 0;
 };
 
 /// Generates a random (but always well-formed, in-bounds) kernel. The

@@ -354,4 +354,164 @@ TEST(VectorVerifier, RandomSweepAgreesWithDynamicOracle) {
   EXPECT_EQ(Checked, 40u);
 }
 
+// Predication: masked packs carry store obligations of the form
+// guard(mask, value); VV12 pins mask-width mismatches, VV13 pins
+// guard/mask disagreements between the scalar block and the program.
+
+namespace {
+
+/// The canonical guarded kernel: four if-converted clones group into one
+/// superword statement whose store leaves as a MaskedStorePack.
+Kernel guardedMemcpy() {
+  return parse(R"(
+    kernel gm {
+      array float src[16] readonly;
+      array float msk[16] readonly;
+      array float dst[16];
+      loop i = 0 .. 16 {
+        if (msk[i] > 0.0) dst[i] = src[i];
+      }
+    })");
+}
+
+/// Guarded store of a splat constant. The stored value vector carries no
+/// Select(mask, x, 0) wrapper (unlike guardedMemcpy, whose value flows
+/// through a masked load), so mutations of the store surface as the
+/// guard/mask disagreement VV13 rather than the generic stored-term
+/// mismatch VV04.
+Kernel guardedConstStore() {
+  return parse(R"(
+    kernel gc {
+      array float m[16] readonly;
+      array float dst[16];
+      loop i = 0 .. 16 {
+        if (m[i] > 0.0) dst[i] = 2.5;
+      }
+    })");
+}
+
+/// Runs the full pipeline on \p K and returns the result (expected to
+/// vectorize and verify).
+PipelineResult pipelineOf(const Kernel &K) {
+  PipelineOptions Options;
+  Options.VerifyVector = true;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, Options);
+  EXPECT_TRUE(R.TransformationApplied);
+  EXPECT_TRUE(R.Verified) << renderDiagnostics(R.VerifyDiags);
+  return R;
+}
+
+int findInst(const VectorProgram &P, VInstKind Kind) {
+  for (unsigned I = 0; I != P.Insts.size(); ++I)
+    if (P.Insts[I].Kind == Kind)
+      return static_cast<int>(I);
+  return -1;
+}
+
+} // namespace
+
+TEST(VectorVerifier, AcceptsGuardedKernelEndToEnd) {
+  Kernel K = guardedMemcpy();
+  PipelineResult R = pipelineOf(K);
+  // The emitted program must actually take the masked path.
+  EXPECT_GE(findInst(R.Program, VInstKind::MaskedStorePack), 0);
+}
+
+TEST(VectorVerifier, AcceptsPredicatedWorkloadSuite) {
+  PipelineOptions Options;
+  Options.VerifyVector = true;
+  Options.VerifyLint = true;
+  for (const Workload &W : predicatedWorkloads()) {
+    for (OptimizerKind Kind :
+         {OptimizerKind::Native, OptimizerKind::LarsenSlp,
+          OptimizerKind::Global, OptimizerKind::GlobalLayout}) {
+      PipelineResult R = runPipeline(W.TheKernel, Kind, Options);
+      EXPECT_EQ(countDiagnostics(R.VerifyDiags, DiagSeverity::Error), 0u)
+          << W.Name << " (" << optimizerName(Kind) << "):\n"
+          << renderDiagnostics(R.VerifyDiags);
+      EXPECT_TRUE(R.Verified) << W.Name << " (" << optimizerName(Kind) << ")";
+    }
+  }
+}
+
+TEST(VectorVerifier, RejectsCorruptedStoreMask) {
+  // Rewire the masked store's mask register to its value register: the
+  // mask lane term no longer matches the statements' guard terms (VV13).
+  Kernel K = guardedConstStore();
+  PipelineResult R = pipelineOf(K);
+  VectorProgram P = R.Program;
+  int At = findInst(P, VInstKind::MaskedStorePack);
+  ASSERT_GE(At, 0);
+  P.Insts[At].Src1 = P.Insts[At].Src0;
+  VectorVerifyResult V = verifyVectorProgram(R.Final, P);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(hasCode(V, "VV13")) << codes(V);
+}
+
+TEST(VectorVerifier, RejectsUnguardedStoreOfGuardedStatements) {
+  // Demote the masked store to a plain StorePack: the lanes now write
+  // unconditionally, but the scalar block says the stores are guarded.
+  Kernel K = guardedConstStore();
+  PipelineResult R = pipelineOf(K);
+  VectorProgram P = R.Program;
+  int At = findInst(P, VInstKind::MaskedStorePack);
+  ASSERT_GE(At, 0);
+  P.Insts[At].Kind = VInstKind::StorePack;
+  VectorVerifyResult V = verifyVectorProgram(R.Final, P);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(hasCode(V, "VV13")) << codes(V);
+}
+
+TEST(VectorVerifier, RejectsMaskWidthMismatch) {
+  // Narrow the masked store to two lanes while its mask register stays
+  // four wide: mask-width mismatch (VV12). The two no-longer-covered
+  // statements additionally surface as coverage errors; VV12 must be
+  // among the diagnostics.
+  Kernel K = guardedMemcpy();
+  PipelineResult R = pipelineOf(K);
+  VectorProgram P = R.Program;
+  int At = findInst(P, VInstKind::MaskedStorePack);
+  ASSERT_GE(At, 0);
+  VInst &Store = P.Insts[At];
+  ASSERT_EQ(Store.Lanes, 4u);
+  Store.Lanes = 2;
+  Store.LaneOps.resize(2);
+  if (Store.StmtIds.size() > 2)
+    Store.StmtIds.resize(2);
+  VectorVerifyResult V = verifyVectorProgram(R.Final, P);
+  EXPECT_FALSE(V.ok());
+  EXPECT_TRUE(hasCode(V, "VV12")) << codes(V);
+}
+
+TEST(VectorVerifier, PredicatedRandomSweepAgreesWithDynamicOracle) {
+  // Randomized guarded kernels: static accept must track dynamic
+  // equivalence exactly, as it does for straight-line kernels.
+  Rng R(0xBADC0DE5);
+  PipelineOptions Options;
+  Options.VerifyVector = true;
+  unsigned Checked = 0;
+  for (unsigned I = 0; I != 30; ++I) {
+    RandomKernelOptions O;
+    O.MinStatements = 2;
+    O.MaxStatements = 8;
+    O.TripCount = 8;
+    O.GuardProbability = 0.5;
+    O.NumLoops = I % 3 == 0 ? 2 : 1;
+    Kernel K = randomKernel(R, O);
+    OptimizerKind Kind =
+        I % 2 ? OptimizerKind::Global : OptimizerKind::GlobalLayout;
+    PipelineResult Result = runPipeline(K, Kind, Options);
+    std::string Error;
+    bool DynOk = checkEquivalence(K, Result, 0xFACE + I, &Error);
+    EXPECT_TRUE(DynOk) << Error;
+    if (DynOk) {
+      EXPECT_TRUE(Result.Verified)
+          << optimizerName(Kind) << " kernel rejected statically:\n"
+          << renderDiagnostics(Result.VerifyDiags);
+      ++Checked;
+    }
+  }
+  EXPECT_EQ(Checked, 30u);
+}
+
 } // namespace

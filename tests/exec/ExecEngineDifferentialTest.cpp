@@ -305,3 +305,52 @@ TEST(ExecDifferential, CountersAccountForTapeWork) {
   EXPECT_EQ(RC.TapeRuns, 0u);
   EXPECT_EQ(RC.ReferenceRuns, 1u);
 }
+
+TEST(ExecDifferential, PredicatedWorkloadBitIdentity) {
+  // The guarded suite (memcpy_cond, dotprod_cond, mmm_cond) must survive
+  // the full differential: scalar bit-identity, vector bit-identity under
+  // every optimizer, and the end-to-end equivalence verdict on both
+  // engines. Masked stores flow through the optimized tape here.
+  for (const Workload &W : predicatedWorkloads())
+    expectFullAgreement(W.TheKernel, W.Name);
+}
+
+TEST(ExecDifferential, AllFalseMaskPreservesDestination) {
+  // A constant-false comparison guard is deliberately NOT folded by
+  // if-convert, so the vector program executes a masked store with every
+  // lane's mask zero. Both engines must leave dst untouched while still
+  // accounting for the attempted (suppressed) stores.
+  Kernel K = parse(R"(
+    kernel allfalse { array float src[32] readonly; array float dst[32];
+      loop i = 0 .. 32 { if (1.0 < 0.5) dst[i] = src[i] * 2.0; }
+    })");
+  expectFullAgreement(K, "allfalse");
+  ExecEngine Opt(ExecEngineKind::Optimized);
+  Environment Before(K, 9);
+  Environment After(K, 9);
+  ScalarExecStats Stats = Opt.runKernel(K, After);
+  EXPECT_TRUE(After.matches(Before, static_cast<unsigned>(K.Scalars.size()), static_cast<unsigned>(K.Arrays.size())))
+      << "all-false guard wrote to the environment";
+  EXPECT_EQ(Stats.ArrayStores, 32u)
+      << "suppressed stores must still count as attempted stores";
+}
+
+TEST(ExecDifferential, PredicatedRandomSweep) {
+  // Random kernels where half the statements carry guards: scalar
+  // bit-identity on both engines, then vector bit-identity on the fully
+  // optimized pipeline output.
+  Rng R(20260807);
+  RandomKernelOptions Options;
+  Options.MaxStatements = 10;
+  Options.GuardProbability = 0.5;
+  for (unsigned I = 0; I != 30; ++I) {
+    Options.NumLoops = 1 + (I % 2);
+    Kernel K = randomKernel(R, Options);
+    std::string Label = "pred-random#" + std::to_string(I);
+    for (uint64_t Seed : {uint64_t(1), uint64_t(99)})
+      expectScalarAgreement(K, Seed, Label);
+    PipelineResult Res =
+        runPipeline(K, OptimizerKind::GlobalLayout, PipelineOptions());
+    expectVectorAgreement(K, Res, /*Seed=*/1234, Label);
+  }
+}

@@ -260,3 +260,126 @@ TEST(Interpreter, ForEachIterationOrder) {
   EXPECT_EQ(Seen[1], (std::vector<int64_t>{0, 1}));
   EXPECT_EQ(Seen.back(), (std::vector<int64_t>{1, 2}));
 }
+
+// Predication: if-converted semantics — the guard and the right-hand side
+// are always evaluated; a false guard only suppresses the store.
+
+TEST(Interpreter, GuardSuppressesStoreOnly) {
+  Kernel K = parse(R"(
+    kernel g {
+      array float m[8] readonly;
+      array float src[8] readonly;
+      array float dst[8];
+      loop i = 0 .. 8 {
+        if (m[i] > 0.0) dst[i] = src[i];
+      }
+    })");
+  Environment Env(K, 11);
+  // Pin the mask: even lanes taken, odd lanes suppressed.
+  for (unsigned I = 0; I != 8; ++I)
+    Env.arrayBuffer(0)[I] = (I % 2 == 0) ? 1.0 : -1.0;
+  Environment Orig = Env;
+  ScalarExecStats Stats = runKernelScalar(K, Env);
+  for (unsigned I = 0; I != 8; ++I) {
+    if (I % 2 == 0)
+      EXPECT_DOUBLE_EQ(Env.arrayBuffer(2)[I], Orig.arrayBuffer(1)[I]);
+    else
+      EXPECT_DOUBLE_EQ(Env.arrayBuffer(2)[I], Orig.arrayBuffer(2)[I]);
+  }
+  // Suppressed stores still count as attempted stores, so the compiled
+  // engines' static per-iteration accounting agrees with the reference.
+  EXPECT_EQ(Stats.ArrayStores, 8u);
+}
+
+TEST(Interpreter, AllFalseGuardLeavesEnvironmentUntouched) {
+  Kernel K = parse(R"(
+    kernel af {
+      array float src[8] readonly;
+      array float dst[8];
+      loop i = 0 .. 8 {
+        if (1.0 < 0.5) dst[i] = src[i] * 2.0;
+      }
+    })");
+  Environment Env(K, 5);
+  Environment Orig = Env;
+  ScalarExecStats Stats = runKernelScalar(K, Env);
+  EXPECT_TRUE(Env.matches(Orig, 0, 2));
+  EXPECT_EQ(Stats.ArrayStores, 8u);
+}
+
+TEST(Interpreter, ZeroTripLoopSkipsGuardedBody) {
+  Kernel K = parse(R"(
+    kernel zt {
+      array float m[8] readonly;
+      array float dst[8];
+      loop i = 6 .. 6 {
+        if (m[i] != 0.0) dst[i] = 1.0;
+      }
+    })");
+  Environment Env(K, 13);
+  Environment Orig = Env;
+  ScalarExecStats Stats = runKernelScalar(K, Env);
+  EXPECT_TRUE(Env.matches(Orig, 0, 2));
+  EXPECT_EQ(Stats.ArrayStores, 0u);
+}
+
+TEST(Interpreter, NaNInUntakenBranchDoesNotLeak) {
+  // The rhs is always evaluated (if-converted semantics), so sqrt(-1)
+  // produces a NaN on every iteration — but the false guard suppresses
+  // the store, and the NaN must never reach dst.
+  Kernel K = parse(R"(
+    kernel nan {
+      array float dst[4];
+      loop i = 0 .. 4 {
+        if (0.5 > 1.0) dst[i] = sqrt(0.0 - 1.0);
+      }
+    })");
+  Environment Env(K, 23);
+  Environment Orig = Env;
+  runKernelScalar(K, Env);
+  for (unsigned I = 0; I != 4; ++I) {
+    EXPECT_FALSE(std::isnan(Env.arrayBuffer(0)[I]));
+    EXPECT_DOUBLE_EQ(Env.arrayBuffer(0)[I], Orig.arrayBuffer(0)[I]);
+  }
+}
+
+TEST(Interpreter, SelectEvaluatesBothArmsChoosesByCondition) {
+  Kernel K = parse(R"(
+    kernel sel { scalar float a, b;
+      a = select(2.0 > 1.0, 3.0, sqrt(0.0 - 1.0));
+      b = select(2.0 < 1.0, 3.0, 4.0);
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  // NaN in the untaken arm does not propagate through select.
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), 3.0);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(1), 4.0);
+}
+
+TEST(Interpreter, ComparisonsYieldOneOrZero) {
+  Kernel K = parse(R"(
+    kernel cmp { scalar float a, b, c, d;
+      a = select(3.0 >= 3.0, 1.0, 0.0) + select(3.0 != 3.0, 1.0, 0.0);
+      b = select(2.0 <= 1.0, 1.0, 0.0);
+      c = select(1.0 == 1.0, 5.0, 6.0);
+      d = select(0.0 < 1.0, 7.0, 8.0);
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), 1.0);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(1), 0.0);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(2), 5.0);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(3), 7.0);
+}
+
+TEST(Interpreter, GuardedScalarStoreKeepsOldValue) {
+  Kernel K = parse(R"(
+    kernel gs { scalar float s;
+      s = 2.0;
+      if (s < 0.0) s = 9.0;
+      if (s > 0.0) s = s + 1.0;
+    })");
+  Environment Env(K, 1);
+  runKernelScalar(K, Env);
+  EXPECT_DOUBLE_EQ(Env.scalarValue(0), 3.0);
+}

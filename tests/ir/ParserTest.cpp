@@ -315,3 +315,79 @@ TEST(Parser, NegativeSubscriptConstant) {
   EXPECT_EQ(Rhs.child(0).leaf().subscripts()[0],
             AffineExpr::term(0, 2, -1));
 }
+
+// Predication: `if (cmp) lhs = rhs;` guards, comparisons, and select.
+
+TEST(Parser, GuardedStatement) {
+  Kernel K = parseOk(R"(
+    kernel g {
+      array float m[16] readonly;
+      array float a[16];
+      array float b[16] readonly;
+      loop i = 0 .. 16 {
+        if (m[i] > 0.0) a[i] = b[i];
+      }
+    })");
+  ASSERT_EQ(K.Body.size(), 1u);
+  const Statement &S = K.Body.statement(0);
+  ASSERT_TRUE(S.hasGuard());
+  EXPECT_EQ(S.guard().opcode(), OpCode::CmpGT);
+  EXPECT_TRUE(S.lhs().isArray());
+}
+
+TEST(Parser, AllComparisonOperators) {
+  Kernel K = parseOk(R"(
+    kernel cmps { scalar float a, b, c;
+      a = select(b < c, 1.0, 0.0);
+      a = select(b <= c, 1.0, 0.0);
+      a = select(b > c, 1.0, 0.0);
+      a = select(b >= c, 1.0, 0.0);
+      a = select(b == c, 1.0, 0.0);
+      a = select(b != c, 1.0, 0.0);
+    })");
+  static const OpCode Expected[] = {OpCode::CmpLT, OpCode::CmpLE,
+                                    OpCode::CmpGT, OpCode::CmpGE,
+                                    OpCode::CmpEQ, OpCode::CmpNE};
+  ASSERT_EQ(K.Body.size(), 6u);
+  for (unsigned I = 0; I != 6; ++I) {
+    const Expr &Rhs = K.Body.statement(I).rhs();
+    EXPECT_EQ(Rhs.opcode(), OpCode::Select);
+    EXPECT_EQ(Rhs.child(0).opcode(), Expected[I]);
+  }
+}
+
+TEST(Parser, SelectNestsAsOrdinaryExpression) {
+  Kernel K = parseOk(R"(
+    kernel sel { scalar float a, b, c;
+      a = select(b > c, b + 1.0, select(c != 0.0, c, 2.0)) * 0.5;
+    })");
+  const Expr &Rhs = K.Body.statement(0).rhs();
+  EXPECT_EQ(Rhs.opcode(), OpCode::Mul);
+  EXPECT_EQ(Rhs.child(0).opcode(), OpCode::Select);
+  EXPECT_EQ(Rhs.child(0).child(2).opcode(), OpCode::Select);
+}
+
+TEST(ParserMalformed, BadPredicates) {
+  // Missing opening paren.
+  expectCleanError(
+      "kernel k { scalar float a, m; if m > 0.0 a = 1.0; }");
+  // Empty predicate.
+  expectCleanError("kernel k { scalar float a; if () a = 1.0; }");
+  // Truncated comparison inside the predicate.
+  expectCleanError("kernel k { scalar float a, m; if (m >) a = 1.0; }");
+  // Unclosed predicate.
+  expectCleanError("kernel k { scalar float a, m; if (m > 0.0 a = 1.0; }");
+  // Guard with no statement to guard.
+  expectCleanError("kernel k { scalar float a, m; if (m > 0.0); }");
+  // Truncated at the guard keyword.
+  expectCleanError("kernel k { scalar float a, m; if ");
+}
+
+TEST(ParserMalformed, BadSelect) {
+  // Wrong arity.
+  expectCleanError("kernel k { scalar float a, b; a = select(b > 0.0); }");
+  expectCleanError(
+      "kernel k { scalar float a, b; a = select(b > 0.0, b); }");
+  // Truncated argument list.
+  expectCleanError("kernel k { scalar float a, b; a = select(b > 0.0, ");
+}

@@ -37,6 +37,10 @@ void expectStructurallyEqual(const Kernel &A, const Kernel &B) {
   for (unsigned I = 0; I != A.Body.size(); ++I) {
     EXPECT_TRUE(A.Body.statement(I).lhs() == B.Body.statement(I).lhs());
     EXPECT_TRUE(A.Body.statement(I).rhs().equals(B.Body.statement(I).rhs()));
+    ASSERT_EQ(A.Body.statement(I).hasGuard(), B.Body.statement(I).hasGuard());
+    if (A.Body.statement(I).hasGuard())
+      EXPECT_TRUE(
+          A.Body.statement(I).guard().equals(B.Body.statement(I).guard()));
   }
 }
 
@@ -66,8 +70,49 @@ TEST_P(PrintParseRoundTrip, RandomKernels) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PrintParseRoundTrip,
                          testing::Range<uint64_t>(100, 140));
 
+// Same property over kernels where half the statements carry guards, so
+// `if (cmp) lhs = rhs;`, comparisons, and select all survive the
+// print/parse cycle.
+class PredicatedRoundTrip : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicatedRoundTrip, RandomGuardedKernels) {
+  Rng R(GetParam());
+  RandomKernelOptions Options;
+  Options.GuardProbability = 0.5;
+  Kernel K = randomKernel(R, Options);
+
+  std::string Text = printKernel(K);
+  ParseResult Reparsed = parseKernel(Text);
+  ASSERT_TRUE(Reparsed.succeeded())
+      << Reparsed.ErrorMessage << "\nsource:\n"
+      << Text;
+  expectStructurallyEqual(K, *Reparsed.TheKernel);
+  // Printing the reparse must reproduce the text exactly (fixpoint).
+  EXPECT_EQ(Text, printKernel(*Reparsed.TheKernel));
+
+  Environment EnvA(K, GetParam());
+  runKernelScalar(K, EnvA);
+  Environment EnvB(*Reparsed.TheKernel, GetParam());
+  runKernelScalar(*Reparsed.TheKernel, EnvB);
+  EXPECT_TRUE(EnvA.matches(EnvB, static_cast<unsigned>(K.Scalars.size()),
+                           static_cast<unsigned>(K.Arrays.size())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicatedRoundTrip,
+                         testing::Range<uint64_t>(200, 230));
+
 TEST(PrintParseRoundTrip, SuiteKernels) {
   for (const Workload &W : standardWorkloads()) {
+    std::string Text = printKernel(W.TheKernel);
+    ParseResult Reparsed = parseKernel(Text);
+    ASSERT_TRUE(Reparsed.succeeded()) << W.Name << ": "
+                                      << Reparsed.ErrorMessage;
+    expectStructurallyEqual(W.TheKernel, *Reparsed.TheKernel);
+  }
+}
+
+TEST(PrintParseRoundTrip, PredicatedSuiteKernels) {
+  for (const Workload &W : predicatedWorkloads()) {
     std::string Text = printKernel(W.TheKernel);
     ParseResult Reparsed = parseKernel(Text);
     ASSERT_TRUE(Reparsed.succeeded()) << W.Name << ": "

@@ -12,6 +12,7 @@
 #include "slp/Grouping.h"
 
 #include "slp/Pipeline.h"
+#include "transform/IfConvert.h"
 #include "transform/Unroll.h"
 #include "vector/VectorPrinter.h"
 #include "workloads/Workloads.h"
@@ -151,6 +152,64 @@ TEST(GroupingDifferential, PipelineBitIdenticalAcrossEnginesAndThreads) {
           << "kernel " << I << " item " << S;
     // The printed program faithfully renders every instruction, so string
     // equality is program equality.
+    EXPECT_EQ(printVectorProgram(X.Final, X.Program),
+              printVectorProgram(Y.Final, Y.Program))
+        << I;
+  }
+}
+
+// Predicated kernels: guards participate in the isomorphism signatures and
+// the mask operands become variable packs, so both engines must agree on
+// guarded inputs exactly as they do on straight-line ones.
+TEST(GroupingDifferential, PredicatedRandomKernelsAgree) {
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    Rng R(Seed * 104729);
+    RandomKernelOptions RK;
+    RK.GuardProbability = 0.5;
+    RK.NumLoops = Seed % 3 == 0 ? 2 : 1;
+    Kernel K = randomKernel(R, RK);
+    Kernel Conv = ifConvertKernel(K);
+    Kernel Unrolled = unrollInnermost(Conv, chooseUnrollFactor(Conv, 4));
+    GroupingOptions GO;
+    GO.DatapathBits = Seed % 2 ? 128 : 256;
+    expectEnginesAgree(Unrolled, GO,
+                       "predicated kernel seed " + std::to_string(Seed));
+  }
+}
+
+TEST(GroupingDifferential, PredicatedWorkloadSuiteMatchesReference) {
+  for (const Workload &W : predicatedWorkloads()) {
+    Kernel Conv = ifConvertKernel(W.TheKernel);
+    Kernel Unrolled = unrollInnermost(Conv, chooseUnrollFactor(Conv, 4));
+    GroupingOptions GO;
+    expectEnginesAgree(Unrolled, GO, "predicated workload " + W.Name);
+  }
+}
+
+/// End-to-end on the branchy suite: masked vector programs must be
+/// bit-identical across grouping engines and thread counts.
+TEST(GroupingDifferential, PredicatedPipelineBitIdenticalAcrossEngines) {
+  std::vector<Kernel> Module;
+  for (const Workload &W : predicatedWorkloads())
+    Module.push_back(W.TheKernel);
+
+  PipelineOptions RefOpts;
+  RefOpts.GroupingEngine = GroupingImpl::Reference;
+  RefOpts.Threads = 1;
+  ModulePipelineResult Ref =
+      runPipelineOverModule(Module, OptimizerKind::Global, RefOpts);
+
+  PipelineOptions OptOpts;
+  OptOpts.GroupingEngine = GroupingImpl::Optimized;
+  OptOpts.Threads = 4;
+  ModulePipelineResult Opt =
+      runPipelineOverModule(Module, OptimizerKind::Global, OptOpts);
+
+  ASSERT_EQ(Opt.PerKernel.size(), Ref.PerKernel.size());
+  for (unsigned I = 0; I != Opt.PerKernel.size(); ++I) {
+    const PipelineResult &X = Opt.PerKernel[I];
+    const PipelineResult &Y = Ref.PerKernel[I];
+    EXPECT_EQ(X.TransformationApplied, Y.TransformationApplied) << I;
     EXPECT_EQ(printVectorProgram(X.Final, X.Program),
               printVectorProgram(Y.Final, Y.Program))
         << I;

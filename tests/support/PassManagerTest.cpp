@@ -201,7 +201,8 @@ TEST(PassRegistry, CanonicalPipelinesPerKind) {
        {OptimizerKind::Scalar, OptimizerKind::Native,
         OptimizerKind::LarsenSlp, OptimizerKind::Global}) {
     std::vector<std::string> Names = canonicalPassNames(Kind);
-    EXPECT_EQ(Names.front(), "unroll") << optimizerName(Kind);
+    EXPECT_EQ(Names.front(), "if-convert") << optimizerName(Kind);
+    EXPECT_EQ(Names[1], "unroll") << optimizerName(Kind);
     EXPECT_EQ(Names.back(), "verify-vector");
     EXPECT_EQ(std::count(Names.begin(), Names.end(), "layout"), 0)
         << optimizerName(Kind);

@@ -1,0 +1,118 @@
+//===- tests/transform/IfConvertTest.cpp ----------------------*- C++ -*-===//
+//
+// Guard canonicalization (transform/IfConvert.h): literal constant guards
+// fold (true drops the guard, false deletes the statement), everything
+// data-dependent survives untouched, and the folded kernel stays
+// semantically equivalent to the original.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/IfConvert.h"
+
+#include "ir/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+void expectEquivalent(const Kernel &A, const Kernel &B, uint64_t Seed) {
+  Environment EnvA(A, Seed);
+  runKernelScalar(A, EnvA);
+  Environment EnvB(B, Seed);
+  runKernelScalar(B, EnvB);
+  EXPECT_TRUE(EnvA.matches(EnvB, static_cast<unsigned>(A.Scalars.size()),
+                           static_cast<unsigned>(A.Arrays.size())));
+}
+
+} // namespace
+
+TEST(IfConvert, DataDependentGuardSurvives) {
+  Kernel K = parse(R"(
+    kernel g {
+      array float m[8] readonly;
+      array float a[8];
+      loop i = 0 .. 8 { if (m[i] > 0.0) a[i] = 1.0; }
+    })");
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats);
+  EXPECT_EQ(Stats.GuardedStatements, 1u);
+  EXPECT_EQ(Stats.FoldedTrue, 0u);
+  EXPECT_EQ(Stats.FoldedFalse, 0u);
+  ASSERT_EQ(Out.Body.size(), 1u);
+  EXPECT_TRUE(Out.Body.statement(0).hasGuard());
+  expectEquivalent(K, Out, 3);
+}
+
+TEST(IfConvert, ConstantTrueGuardDropped) {
+  Kernel K = parse(R"(
+    kernel t {
+      array float a[8];
+      loop i = 0 .. 8 { if (2.0) a[i] = 1.0; }
+    })");
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats);
+  EXPECT_EQ(Stats.FoldedTrue, 1u);
+  EXPECT_EQ(Stats.GuardedStatements, 0u);
+  ASSERT_EQ(Out.Body.size(), 1u);
+  EXPECT_FALSE(Out.Body.statement(0).hasGuard());
+  expectEquivalent(K, Out, 5);
+}
+
+TEST(IfConvert, ConstantFalseStatementDeleted) {
+  Kernel K = parse(R"(
+    kernel f {
+      array float a[8];
+      loop i = 0 .. 8 {
+        if (0.0) a[i] = 9.0;
+        a[i] = 2.0;
+      }
+    })");
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats);
+  EXPECT_EQ(Stats.FoldedFalse, 1u);
+  ASSERT_EQ(Out.Body.size(), 1u);
+  EXPECT_FALSE(Out.Body.statement(0).hasGuard());
+  expectEquivalent(K, Out, 7);
+}
+
+TEST(IfConvert, ConstantComparisonGuardIsNotFolded) {
+  // Only whole-guard literal constants fold; a comparison node — even one
+  // over constants — stays a runtime guard, so an all-lanes-false masked
+  // store remains exercisable downstream.
+  Kernel K = parse(R"(
+    kernel c {
+      array float a[8];
+      loop i = 0 .. 8 { if (1.0 < 0.5) a[i] = 1.0; }
+    })");
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats);
+  EXPECT_EQ(Stats.GuardedStatements, 1u);
+  EXPECT_EQ(Stats.FoldedFalse, 0u);
+  ASSERT_EQ(Out.Body.size(), 1u);
+  EXPECT_TRUE(Out.Body.statement(0).hasGuard());
+  expectEquivalent(K, Out, 11);
+}
+
+TEST(IfConvert, StraightLineKernelUnchanged) {
+  Kernel K = parse(R"(
+    kernel s {
+      array float a[8];
+      loop i = 0 .. 8 { a[i] = a[i] + 1.0; }
+    })");
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats);
+  EXPECT_EQ(Stats.GuardedStatements, 0u);
+  EXPECT_EQ(Stats.FoldedTrue, 0u);
+  EXPECT_EQ(Stats.FoldedFalse, 0u);
+  EXPECT_EQ(printKernel(K), printKernel(Out));
+}

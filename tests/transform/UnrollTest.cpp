@@ -169,3 +169,24 @@ TEST(Unroll, ChooseFactorPrime) {
     kernel k { array float A[7]; loop i = 0 .. 7 { A[i] = 1.0; } })");
   EXPECT_EQ(chooseUnrollFactor(K, 4), 1u);
 }
+
+TEST(Unroll, GuardClonedPerIterationCopy) {
+  Kernel K = parse(R"(
+    kernel g {
+      array float m[16] readonly;
+      array float a[16];
+      loop i = 0 .. 16 { if (m[i] > 0.5) a[i] = a[i] + 1.0; }
+    })");
+  Kernel U = unrollInnermost(K, 4);
+  ASSERT_EQ(U.Body.size(), 4u);
+  for (unsigned I = 0; I != 4; ++I) {
+    const Statement &S = U.Body.statement(I);
+    ASSERT_TRUE(S.hasGuard()) << "clone " << I << " lost its guard";
+    EXPECT_EQ(S.guard().opcode(), OpCode::CmpGT);
+    // Each clone's guard reads its own lane of the mask array.
+    const Operand &MaskRef = S.guard().child(0).leaf();
+    ASSERT_TRUE(MaskRef.isArray());
+    EXPECT_EQ(MaskRef.subscripts()[0].constant(), static_cast<int64_t>(I));
+  }
+  expectEquivalent(K, U, 31);
+}

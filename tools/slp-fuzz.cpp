@@ -21,6 +21,10 @@
 //     --verify-vector     run the static translation validator as a third
 //                         oracle next to dynamic equivalence (default on);
 //                         --no-verify-vector opts out
+//     --predication       seed base kernels from the predicated workload
+//                         pool and generate guarded statements, so
+//                         if-conversion and the masked vector path are
+//                         exercised every iteration
 //     --no-reduce         record failures without delta-debugging them
 //     --max-failures N    stop after N recorded failures (default 8)
 //     --quiet             suppress the JSON stats summary
@@ -61,6 +65,8 @@ void printUsage() {
       "  --verify-vector    cross-check the static translation validator\n"
       "                     against dynamic equivalence (default on)\n"
       "  --no-verify-vector disable the static verifier oracle\n"
+      "  --predication      seed predicated kernels and emit guarded\n"
+      "                     statements (masked vector path every iteration)\n"
       "  --no-reduce        skip delta-debugging reduction of failures\n"
       "  --max-failures N   stop after N recorded failures (default 8)\n"
       "  --quiet            suppress the JSON stats summary\n");
@@ -198,6 +204,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--no-verify-vector") {
       Config.VerifyVector = false;
+      continue;
+    }
+    if (Arg == "--predication") {
+      Config.Predication = true;
       continue;
     }
     if (Arg == "--no-reduce") {
