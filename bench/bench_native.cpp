@@ -1,0 +1,256 @@
+//===- bench/bench_native.cpp - Measured native SIMD speedup ----*- C++ -*-===//
+//
+// The ground-truth counterpart of the simulator's predicted speedups: every
+// standard workload (the paper's 16 benchmark kernels) and every predicated
+// workload is lowered to portable C by the native backend, compiled with
+// the host compiler, and timed compile-once/run-many — the scalar baseline
+// (host auto-vectorization disabled) against the emitted vector program
+// (GCC/Clang vector extensions). The table prints the measured wall-clock
+// speedup next to the cost model's predicted speedup (ScalarSim cycles /
+// VectorSim cycles) so the model's fidelity is inspectable per workload.
+//
+// Before timing, the native engine must reproduce the flat-tape engine
+// bit-for-bit on each workload (scalar and vector) — a measured speedup is
+// only meaningful if the machine code computes the same values. When no
+// host compiler is available the binary prints an explicit skip line and
+// exits 0, so the bench suite stays green on bare containers.
+//
+// Also registers google-benchmark entries (native/scalar/<workload>,
+// native/vector/<workload>) whose vector entries carry measured_speedup /
+// predicted_speedup counters; bench/native_baseline.json pins the measured
+// speedups and CI gates them with
+//   tools/check_bench_regression.py --counter measured_speedup --min-ratio
+// so a lowering regression that halves a real speedup fails the build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecEngine.h"
+#include "layout/Layout.h"
+#include "native/NativeBackend.h"
+#include "slp/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace slp;
+
+namespace {
+
+/// The candidate environment for vector execution (the equivalence
+/// check's recipe): seeded from the source kernel, extended with unroll
+/// clones and layout replicas of the final kernel.
+Environment makeVectorEnv(const Kernel &Source, const PipelineResult &R,
+                          uint64_t Seed) {
+  Environment Env(Source, Seed);
+  for (unsigned S = static_cast<unsigned>(Source.Scalars.size()),
+                E = static_cast<unsigned>(R.Final.Scalars.size());
+       S != E; ++S)
+    Env.addScalarStorage(0);
+  for (unsigned A = static_cast<unsigned>(Source.Arrays.size()),
+                E = static_cast<unsigned>(R.Final.Arrays.size());
+       A != E; ++A)
+    Env.addArrayStorage(R.Final.Arrays[A].numElements());
+  if (R.LayoutApplied)
+    initializeReplicas(R.Final, R.Layout, Env);
+  return Env;
+}
+
+/// One workload, pipeline run once up front. The cost model guard is off:
+/// this benchmark exists to measure what the transformation actually does
+/// to wall-clock, including on workloads the model would decline.
+struct NativeConfig {
+  std::string Name;
+  bool Predicated = false;
+  Kernel K;
+  PipelineResult R;
+  double Predicted = 0;  ///< ScalarSim cycles / VectorSim cycles
+  double Measured = 0;   ///< scalar-native ms / vector-native ms
+};
+
+std::vector<NativeConfig> makeConfigs() {
+  std::vector<NativeConfig> Out;
+  auto Add = [&](Workload &W, bool Predicated) {
+    NativeConfig C;
+    C.Name = W.Name;
+    C.Predicated = Predicated;
+    C.K = std::move(W.TheKernel);
+    PipelineOptions Options;
+    Options.Machine = MachineModel::intelDunnington();
+    Options.CostModelGuard = false;
+    C.R = runPipeline(C.K, OptimizerKind::Global, Options);
+    if (C.R.VectorSim.Cycles > 0)
+      C.Predicted = C.R.ScalarSim.Cycles / C.R.VectorSim.Cycles;
+    Out.push_back(std::move(C));
+  };
+  std::vector<Workload> Standard = standardWorkloads();
+  for (Workload &W : Standard)
+    Add(W, /*Predicated=*/false);
+  std::vector<Workload> Pred = predicatedWorkloads();
+  for (Workload &W : Pred)
+    Add(W, /*Predicated=*/true);
+  return Out;
+}
+
+/// Demands bit-identical scalar and vector execution between the native
+/// engine and the flat-tape engine, and that the native lowering did not
+/// silently fall back to the tape (a fallback would time the wrong thing).
+void assertNativeBitIdentity(const NativeConfig &C) {
+  ExecEngine Tape(ExecEngineKind::Optimized);
+  ExecEngine Native(ExecEngineKind::Native);
+
+  Environment TapeEnv(C.K, 1);
+  Environment NativeEnv(C.K, 1);
+  ScalarExecStats TS = Tape.runKernel(C.K, TapeEnv);
+  ScalarExecStats NS = Native.runKernel(C.K, NativeEnv);
+  if (!NativeEnv.matches(TapeEnv,
+                         static_cast<unsigned>(C.K.Scalars.size()),
+                         static_cast<unsigned>(C.K.Arrays.size())) ||
+      TS.AluOps != NS.AluOps || TS.ArrayLoads != NS.ArrayLoads ||
+      TS.ArrayStores != NS.ArrayStores) {
+    std::fprintf(stderr,
+                 "FATAL: native engine diverged on scalar execution of "
+                 "'%s'\n",
+                 C.Name.c_str());
+    std::exit(1);
+  }
+
+  if (C.R.TransformationApplied) {
+    Environment TapeVec = makeVectorEnv(C.K, C.R, 1);
+    Environment NativeVec = makeVectorEnv(C.K, C.R, 1);
+    Tape.runProgram(C.R.Final, C.R.Program, TapeVec);
+    Native.runProgram(C.R.Final, C.R.Program, NativeVec);
+    if (!NativeVec.matches(TapeVec,
+                           static_cast<unsigned>(C.R.Final.Scalars.size()),
+                           static_cast<unsigned>(C.R.Final.Arrays.size()))) {
+      std::fprintf(stderr,
+                   "FATAL: native engine diverged on vector execution of "
+                   "'%s'\n",
+                   C.Name.c_str());
+      std::exit(1);
+    }
+  }
+
+  if (Native.counters().NativeFallbacks != 0) {
+    std::fprintf(stderr,
+                 "FATAL: native lowering of '%s' fell back to the tape: "
+                 "%s\n",
+                 C.Name.c_str(), Native.nativeDiagnostic().c_str());
+    std::exit(1);
+  }
+}
+
+/// Repetitions scaled to the workload's iteration space so every timing
+/// covers at least a few milliseconds of native execution.
+unsigned repsFor(const Kernel &K) {
+  int64_t Iters = K.totalIterations();
+  return Iters <= 1024 ? 400 : Iters <= 16384 ? 80 : 20;
+}
+
+double timeScalarNative(const Kernel &K, unsigned Reps) {
+  ExecEngine Engine(ExecEngineKind::Native);
+  CompiledScalarKernel Compiled = Engine.compileScalar(K);
+  Environment Env(K, 1);
+  uint64_t Sink = 0;
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I != Reps; ++I)
+    Sink += Engine.runScalar(Compiled, Env).AluOps;
+  auto End = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(Sink);
+  return std::chrono::duration<double>(End - Start).count() / Reps;
+}
+
+double timeVectorNative(const Kernel &K, const PipelineResult &R,
+                        unsigned Reps) {
+  ExecEngine Engine(ExecEngineKind::Native);
+  CompiledVectorKernel Compiled = Engine.compileVector(R.Final, R.Program);
+  Environment Env = makeVectorEnv(K, R, 1);
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I != Reps; ++I)
+    Engine.runVector(Compiled, Env);
+  auto End = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(Env.scalarData());
+  return std::chrono::duration<double>(End - Start).count() / Reps;
+}
+
+void printMeasuredVsPredicted(std::vector<NativeConfig> &Configs) {
+  std::printf("Native SIMD wall-clock: host-compiled scalar baseline "
+              "(auto-vectorization disabled) vs emitted vector program\n");
+  std::printf("(bit-identity vs the flat-tape engine asserted per "
+              "workload; predicted = cost-model cycle ratio)\n");
+  std::printf("%16s %13s %13s %9s %10s\n", "workload", "scalar(ms)",
+              "vector(ms)", "measured", "predicted");
+  for (NativeConfig &C : Configs) {
+    assertNativeBitIdentity(C);
+    if (!C.R.TransformationApplied) {
+      std::printf("%16s %13s %13s %9s %9.2fx  (not vectorized)\n",
+                  C.Name.c_str(), "-", "-", "-", C.Predicted);
+      continue;
+    }
+    unsigned Reps = repsFor(C.K);
+    double Scalar = timeScalarNative(C.K, Reps);
+    double Vector = timeVectorNative(C.K, C.R, Reps);
+    C.Measured = Vector > 0 ? Scalar / Vector : 0;
+    std::printf("%16s %13.4f %13.4f %8.2fx %9.2fx%s\n", C.Name.c_str(),
+                1e3 * Scalar, 1e3 * Vector, C.Measured, C.Predicted,
+                C.Predicated ? "  (predicated)" : "");
+  }
+  std::printf("\n");
+}
+
+void registerNativeBench(const NativeConfig *C) {
+  std::string Scalar = std::string("native/scalar/") + C->Name;
+  benchmark::RegisterBenchmark(Scalar.c_str(), [C](benchmark::State &S) {
+    ExecEngine Engine(ExecEngineKind::Native);
+    CompiledScalarKernel Compiled = Engine.compileScalar(C->K);
+    Environment Env(C->K, 1);
+    for (auto _ : S) {
+      ScalarExecStats Stats = Engine.runScalar(Compiled, Env);
+      benchmark::DoNotOptimize(Stats.AluOps);
+    }
+  });
+  if (!C->R.TransformationApplied)
+    return;
+  std::string Vector = std::string("native/vector/") + C->Name;
+  benchmark::RegisterBenchmark(Vector.c_str(), [C](benchmark::State &S) {
+    ExecEngine Engine(ExecEngineKind::Native);
+    CompiledVectorKernel Compiled =
+        Engine.compileVector(C->R.Final, C->R.Program);
+    Environment Env = makeVectorEnv(C->K, C->R, 1);
+    for (auto _ : S) {
+      Engine.runVector(Compiled, Env);
+      benchmark::DoNotOptimize(Env.scalarData());
+    }
+    // The table's one-shot measurement, exported so the JSON artifact
+    // (and the min-ratio CI gate) carries the speedups per workload.
+    S.counters["measured_speedup"] = C->Measured;
+    S.counters["predicted_speedup"] = C->Predicted;
+  });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Why;
+  if (!nativeBackendAvailable(&Why)) {
+    std::printf("bench_native: native backend unavailable (%s); skipping "
+                "wall-clock measurement\n",
+                Why.c_str());
+    return 0;
+  }
+
+  std::vector<NativeConfig> Configs = makeConfigs();
+  printMeasuredVsPredicted(Configs);
+
+  for (const NativeConfig &C : Configs)
+    registerNativeBench(&C);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

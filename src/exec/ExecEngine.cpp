@@ -2,6 +2,8 @@
 
 #include "exec/ExecEngine.h"
 
+#include "native/CEmitter.h"
+#include "native/NativeBackend.h"
 #include "support/Statistics.h"
 #include "vector/VectorInterp.h"
 
@@ -15,6 +17,8 @@ const char *slp::execEngineName(ExecEngineKind Kind) {
     return "optimized";
   case ExecEngineKind::Reference:
     return "reference";
+  case ExecEngineKind::Native:
+    return "native";
   }
   return "<invalid>";
 }
@@ -25,6 +29,8 @@ slp::parseExecEngineName(const std::string &Name) {
     return ExecEngineKind::Optimized;
   if (Name == "reference")
     return ExecEngineKind::Reference;
+  if (Name == "native")
+    return ExecEngineKind::Native;
   return std::nullopt;
 }
 
@@ -53,11 +59,15 @@ Environment &EnvironmentPool::acquire(const Kernel &K, uint64_t Seed) {
 CompiledScalarKernel ExecEngine::compileScalar(const Kernel &K) {
   CompiledScalarKernel C;
   C.K = &K;
-  if (Kind == ExecEngineKind::Optimized) {
+  if (Kind == ExecEngineKind::Optimized || Kind == ExecEngineKind::Native) {
+    // Native keeps the tape too: it is the graceful-degradation path and
+    // the source of the statically-known ScalarExecStats.
     C.Tape = compileScalarTape(K);
     C.UseTape = true;
     ++Counters.ScalarTapesCompiled;
   }
+  if (Kind == ExecEngineKind::Native)
+    C.Native = lowerNative(emitScalarKernelC(K), /*ScalarBaseline=*/true);
   return C;
 }
 
@@ -66,16 +76,58 @@ CompiledVectorKernel ExecEngine::compileVector(const Kernel &K,
   CompiledVectorKernel C;
   C.K = &K;
   C.Program = &Program;
-  if (Kind == ExecEngineKind::Optimized) {
+  if (Kind == ExecEngineKind::Optimized || Kind == ExecEngineKind::Native) {
     C.Tape = compileVectorTape(K, Program);
     C.UseTape = true;
     ++Counters.VectorTapesCompiled;
   }
+  if (Kind == ExecEngineKind::Native)
+    C.Native =
+        lowerNative(emitVectorProgramC(K, Program), /*ScalarBaseline=*/false);
   return C;
+}
+
+std::shared_ptr<const NativeObject>
+ExecEngine::lowerNative(const std::string &Source, bool ScalarBaseline) {
+  NativeCompileResult R = compileNativeTU(Source, ScalarBaseline);
+  if (!R.Object) {
+    ++Counters.NativeFallbacks;
+    NativeDiag = R.Error;
+    return nullptr;
+  }
+  if (R.MemoryHit)
+    ++Counters.NativeMemoryHits;
+  if (R.CacheHit)
+    ++Counters.NativeCacheHits;
+  else
+    ++Counters.NativeCompiles;
+  return R.Object;
+}
+
+void ExecEngine::runNative(const NativeObject &Native, const Kernel &K,
+                           Environment &Env) {
+  NativeBases.clear();
+  for (unsigned A = 0, E = static_cast<unsigned>(K.Arrays.size()); A != E;
+       ++A)
+    NativeBases.push_back(Env.arrayBuffer(A).data());
+  ++Counters.NativeRuns;
+  Native.run(Env.scalarData(), NativeBases.data());
 }
 
 ScalarExecStats ExecEngine::runScalar(const CompiledScalarKernel &C,
                                       Environment &Env) {
+  if (C.Native) {
+    runNative(*C.Native, *C.K, Env);
+    // The tape's static per-iteration counts reproduce the reference
+    // interpreter's ScalarExecStats exactly (suppressed guarded stores
+    // included), so native runs report identical stats.
+    ScalarExecStats S;
+    uint64_t Iters = static_cast<uint64_t>(C.Tape.TotalIterations);
+    S.AluOps = C.Tape.AluOpsPerIter * Iters;
+    S.ArrayLoads = C.Tape.ArrayLoadsPerIter * Iters;
+    S.ArrayStores = C.Tape.ArrayStoresPerIter * Iters;
+    return S;
+  }
   if (C.UseTape)
     return runTape(*C.K, C.Tape, Env, Arena, &Counters);
   ++Counters.ReferenceRuns;
@@ -83,6 +135,10 @@ ScalarExecStats ExecEngine::runScalar(const CompiledScalarKernel &C,
 }
 
 void ExecEngine::runVector(const CompiledVectorKernel &C, Environment &Env) {
+  if (C.Native) {
+    runNative(*C.Native, *C.K, Env);
+    return;
+  }
   if (C.UseTape) {
     runTape(*C.K, C.Tape, Env, Arena, &Counters);
     return;
@@ -104,4 +160,9 @@ void slp::reportExecCounters(const ExecCounters &C, Statistics &S) {
   S.add("exec.env-reuses", C.EnvReuses);
   S.add("exec.env-constructions", C.EnvConstructions);
   S.add("exec.reference-runs", C.ReferenceRuns);
+  S.add("exec.native-compiles", C.NativeCompiles);
+  S.add("exec.native-cache-hits", C.NativeCacheHits);
+  S.add("exec.native-memory-hits", C.NativeMemoryHits);
+  S.add("exec.native-fallbacks", C.NativeFallbacks);
+  S.add("exec.native-runs", C.NativeRuns);
 }

@@ -10,9 +10,15 @@
 ///  * `ExecEngineKind::Reference` delegates every run to the tree-walking
 ///    interpreters (`runKernelScalar`, `runVectorProgram`), which remain
 ///    the semantic ground truth.
+///  * `ExecEngineKind::Native` lowers to portable C (native/CEmitter.h),
+///    compiles it with the host compiler into a content-addressed object
+///    cache, and runs the dlopened machine code (native/NativeBackend.h).
+///    When no host compiler is available (or a compile fails) it degrades
+///    to the Optimized tape with a diagnostic — never an error.
 ///
-/// Both engines are bit-identical by contract; the differential test suite
-/// (tests/exec/ExecEngineDifferentialTest.cpp) holds them to it. The engine
+/// All engines are bit-identical by contract; the differential test suites
+/// (tests/exec/ExecEngineDifferentialTest.cpp,
+/// tests/native/NativeBackendTest.cpp) hold them to it. The engine
 /// also owns an `EnvironmentPool` so hot callers (the fuzzer, equivalence
 /// checking) reset environments in place instead of reconstructing them,
 /// and an `ExecCounters` block surfaced through `--stats`.
@@ -32,13 +38,16 @@ namespace slp {
 
 class Statistics;
 
+class NativeObject;
+
 /// Which execution engine runs kernels and vector programs.
 enum class ExecEngineKind : uint8_t {
   Optimized, ///< flat-tape compiled execution (the default)
   Reference, ///< tree-walking interpreters (ground truth)
+  Native,    ///< host-compiled shared objects (real SIMD wall-clock)
 };
 
-/// CLI spelling of \p Kind ("optimized" / "reference").
+/// CLI spelling of \p Kind ("optimized" / "reference" / "native").
 const char *execEngineName(ExecEngineKind Kind);
 
 /// Parses a CLI spelling; nullopt when unrecognized.
@@ -83,6 +92,9 @@ struct CompiledScalarKernel {
   const Kernel *K = nullptr;
   CompiledTape Tape;
   bool UseTape = false;
+  /// Under ExecEngineKind::Native: the dlopened object (null when the
+  /// lowering fell back; the tape then runs instead).
+  std::shared_ptr<const NativeObject> Native;
 };
 
 /// A vector program compiled for repeated execution. Kernel and program
@@ -92,6 +104,9 @@ struct CompiledVectorKernel {
   const VectorProgram *Program = nullptr;
   CompiledTape Tape;
   bool UseTape = false;
+  /// Under ExecEngineKind::Native: the dlopened object (null when the
+  /// lowering fell back; the tape then runs instead).
+  std::shared_ptr<const NativeObject> Native;
 };
 
 /// One execution engine: a kind, the pooled run-time arena, an
@@ -137,11 +152,28 @@ public:
   ExecCounters &counters() { return Counters; }
   const ExecCounters &counters() const { return Counters; }
 
+  /// Under ExecEngineKind::Native: why the most recent lowering fell back
+  /// to the tape (empty when every lowering produced native code). Other
+  /// kinds always report empty.
+  const std::string &nativeDiagnostic() const { return NativeDiag; }
+
 private:
+  /// Compiles one emitted TU through the native backend, updating the
+  /// native counters and the fallback diagnostic. Null on fallback.
+  std::shared_ptr<const NativeObject> lowerNative(const std::string &Source,
+                                                  bool ScalarBaseline);
+
+  /// Runs \p Native over \p Env's buffers (binding array base pointers
+  /// into the NativeBases scratch).
+  void runNative(const NativeObject &Native, const Kernel &K,
+                 Environment &Env);
+
   ExecEngineKind Kind;
   ExecArena Arena;
   EnvironmentPool Pool;
   ExecCounters Counters;
+  std::string NativeDiag;
+  std::vector<double *> NativeBases;
 };
 
 /// Publishes \p C into \p S under "exec."-prefixed counter names

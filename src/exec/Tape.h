@@ -207,6 +207,13 @@ struct ExecCounters {
   uint64_t EnvConstructions = 0;  ///< environments built from scratch
   uint64_t ReferenceRuns = 0;     ///< executions delegated to the
                                   ///< tree-walking reference interpreters
+
+  // Native-backend telemetry (ExecEngineKind::Native only).
+  uint64_t NativeCompiles = 0;    ///< host-compiler invocations
+  uint64_t NativeCacheHits = 0;   ///< objects served from the disk cache
+  uint64_t NativeMemoryHits = 0;  ///< objects served from the in-process map
+  uint64_t NativeFallbacks = 0;   ///< lowerings that fell back to the tape
+  uint64_t NativeRuns = 0;        ///< executions through dlopened objects
 };
 
 /// Lowers \p K's innermost block (scalar semantics) into a tape.

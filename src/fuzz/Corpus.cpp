@@ -105,6 +105,8 @@ std::string slp::serializeFuzzCase(const FuzzCase &Case) {
     Out << "// fuzz: verify-vector=off\n";
   if (Case.Config.Predication)
     Out << "// fuzz: predication=on\n";
+  if (Case.Config.Native)
+    Out << "// fuzz: native=on\n";
   if (!Case.Reason.empty()) {
     // Keep the reason one comment line per source line.
     std::istringstream In(Case.Reason);
@@ -200,6 +202,13 @@ bool slp::parseFuzzCase(const std::string &Text, FuzzCase &Out,
             Out.Config.Predication = false;
           else
             return Fail("bad predication value '" + Value + "'");
+        } else if (Key == "native") {
+          if (Value == "on")
+            Out.Config.Native = true;
+          else if (Value == "off")
+            Out.Config.Native = false;
+          else
+            return Fail("bad native value '" + Value + "'");
         } else {
           return Fail("unknown fuzz header key '" + Key + "'");
         }

@@ -25,7 +25,11 @@
 /// predication campaign (guarded statements / masked vector paths);
 /// absent means off. The flag is provenance — the replay semantics are
 /// fully determined by the kernel source — but it lets tooling select the
-/// masked-path corpus subset.
+/// masked-path corpus subset. `native=on` makes the replay additionally
+/// cross-check the host-compiled native engine (ExecEngineKind::Native)
+/// against the base engine — bit-identical values, operation counts, and
+/// equivalence verdict; absent means off, and the check silently skips
+/// when no host compiler is available so the corpus replays everywhere.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,6 +73,9 @@ struct FuzzCaseConfig {
   /// Provenance: the case came from a predication (`--predication`)
   /// campaign and exercises guarded statements / masked vector code.
   bool Predication = false;
+  /// Replay additionally cross-checks ExecEngineKind::Native against the
+  /// base engine (skipped with no host compiler; see FuzzConfig::Native).
+  bool Native = false;
 };
 
 /// One replayable case: configuration + kernel source + provenance.

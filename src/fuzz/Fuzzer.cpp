@@ -6,6 +6,7 @@
 #include "analysis/VectorVerifier.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "native/NativeBackend.h"
 #include "slp/Verifier.h"
 #include "workloads/Workloads.h"
 
@@ -106,6 +107,51 @@ bool sameSchedule(const Schedule &A, const Schedule &B) {
   return true;
 }
 
+/// Fourth oracle, armed by FuzzCaseConfig::Native: the host-compiled
+/// native engine (real SIMD machine code) must reproduce the base engine
+/// bit-for-bit — scalar values, dynamic operation counts, and the
+/// equivalence verdict for \p R's vector program. Returns empty on
+/// agreement, and silently skips (counted) when no host compiler exists.
+std::string checkNativeAgreement(const Kernel &K, const FuzzCaseConfig &C,
+                                 const PipelineResult &R, FuzzStats *Stats,
+                                 ExecEngine &Base) {
+  if (!nativeBackendAvailable()) {
+    if (Stats)
+      ++Stats->NativeSkips;
+    return "";
+  }
+  if (Stats)
+    ++Stats->NativeChecks;
+  ExecEngine Native(ExecEngineKind::Native);
+
+  // Direct scalar differential: same values AND same op counts.
+  for (uint64_t Seed : C.EnvSeeds) {
+    Environment EBase(K, Seed);
+    Environment ENat(K, Seed);
+    ScalarExecStats SBase = Base.runKernel(K, EBase);
+    ScalarExecStats SNat = Native.runKernel(K, ENat);
+    if (SBase.AluOps != SNat.AluOps ||
+        SBase.ArrayLoads != SNat.ArrayLoads ||
+        SBase.ArrayStores != SNat.ArrayStores)
+      return "native engine disagrees on scalar operation counts";
+    if (!EBase.matches(ENat, static_cast<unsigned>(K.Scalars.size()),
+                       static_cast<unsigned>(K.Arrays.size())))
+      return "native engine diverged on scalar kernel execution";
+  }
+
+  // The emitted vector program must get the same verdict from both.
+  bool OkBase =
+      checkEquivalenceAcrossSeeds(K, R, C.EnvSeeds, Base, nullptr);
+  bool OkNat =
+      checkEquivalenceAcrossSeeds(K, R, C.EnvSeeds, Native, nullptr);
+  if (OkBase != OkNat)
+    return std::string("native engine disagrees on the equivalence "
+                       "verdict (base=") +
+           (OkBase ? "pass" : "fail") + ", native=" +
+           (OkNat ? "pass" : "fail") + ")";
+  return "";
+}
+
 /// Runs the full check battery for one (kernel, configuration) pair.
 /// Returns an empty string on pass. \p Stats (when non-null) receives
 /// pipeline-run accounting and the compile/execute timing split; kernels
@@ -204,6 +250,14 @@ std::string checkConfig(const Kernel &K, const FuzzCaseConfig &C,
              Error;
     if (!DynamicOk)
       return "execution mismatch: " + Error;
+
+    // Fourth oracle (injection never reaches here): the native engine.
+    if (C.Native) {
+      std::string NativeReason =
+          checkNativeAgreement(K, C, R, Stats, Engine);
+      if (!NativeReason.empty())
+        return NativeReason;
+    }
   }
 
   if (C.Threads > 1) {
@@ -427,6 +481,9 @@ std::string FuzzStats::toJson() const {
   Out << "  \"oracle_disagreements\": " << OracleDisagreements << ",\n";
   Out << "  \"engine_disagreements\": " << EngineDisagreements << ",\n";
   Out << "  \"exec_disagreements\": " << ExecDisagreements << ",\n";
+  Out << "  \"native_checks\": " << NativeChecks << ",\n";
+  Out << "  \"native_disagreements\": " << NativeDisagreements << ",\n";
+  Out << "  \"native_skips\": " << NativeSkips << ",\n";
   Out << "  \"injected_caught\": " << InjectedCaught << ",\n";
   Out << "  \"injected_missed\": " << InjectedMissed << ",\n";
   Out << "  \"injection_inapplicable\": " << InjectionInapplicable << ",\n";
@@ -543,6 +600,10 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
       C.Inject = Cfg.Inject;
       C.VerifyVector = Cfg.VerifyVector;
       C.Predication = Cfg.Predication;
+      // Native runs invoke the host compiler, so the oracle samples a
+      // subset of iterations (the content-addressed object cache absorbs
+      // repeats, but each fresh kernel costs two real compiles).
+      C.Native = Cfg.Native && Iter % 8 == 5;
       ++Out.Stats.ConfigsExercised;
       std::string Reason = checkConfig(K, C, &Out.Stats, Engine);
       if (C.Inject != BugInjection::None) {
@@ -569,6 +630,8 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
       // underlying mismatch/verifier text and would misclassify below.
       if (Reason.find("oracle disagreement") != std::string::npos)
         ++Out.Stats.OracleDisagreements;
+      else if (Reason.find("native engine") != std::string::npos)
+        ++Out.Stats.NativeDisagreements;
       else if (Reason.find("verification failed") != std::string::npos)
         ++Out.Stats.VerifierFailures;
       else if (Reason.find("mismatch") != std::string::npos)

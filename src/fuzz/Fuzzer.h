@@ -60,6 +60,14 @@ struct FuzzConfig {
   /// exercised every iteration (`slp-fuzz --predication`). Guard-related
   /// mutations (add/drop/flip/compose) fire regardless of this flag.
   bool Predication = false;
+  /// Cross-check the host-compiled native engine (`slp-fuzz --native`):
+  /// on a sample of iterations (and on every corpus case carrying
+  /// `native=on`) kernels and vector programs additionally run under
+  /// `ExecEngineKind::Native`, which must reproduce the base engine
+  /// bit-for-bit — values, operation counts, and the equivalence verdict.
+  /// Silently skipped (counted in FuzzStats::NativeSkips) when no host
+  /// compiler is available, so campaigns stay green on bare containers.
+  bool Native = false;
   /// Structural mutations applied per generated kernel (0..Max).
   unsigned MaxMutationsPerKernel = 3;
   /// Every Nth iteration additionally corrupts `.slp` text and stresses
@@ -99,6 +107,9 @@ struct FuzzStats {
   uint64_t OracleDisagreements = 0;
   uint64_t EngineDisagreements = 0;
   uint64_t ExecDisagreements = 0;
+  uint64_t NativeChecks = 0;
+  uint64_t NativeDisagreements = 0;
+  uint64_t NativeSkips = 0;
   uint64_t InjectedCaught = 0;
   uint64_t InjectedMissed = 0;
   uint64_t InjectionInapplicable = 0;

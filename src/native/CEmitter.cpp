@@ -1,0 +1,440 @@
+//===- native/CEmitter.cpp ------------------------------------*- C++ -*-===//
+
+#include "native/CEmitter.h"
+
+#include "ir/Interpreter.h"
+#include "ir/Type.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace slp;
+
+namespace {
+
+/// Renders \p V exactly: hexfloat for finite values (no decimal
+/// round-tripping), explicit expressions for infinities and NaN so the TU
+/// stays portable C without compiler-specific builtins.
+std::string fmtDouble(double V) {
+  if (std::isnan(V))
+    return "(0.0/0.0)";
+  if (std::isinf(V))
+    return V > 0 ? "(1.0/0.0)" : "(-1.0/0.0)";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%a", V);
+  return Buf;
+}
+
+/// Renders an affine expression over the emitted loop variables i0..iN.
+std::string affineC(const AffineExpr &E) {
+  std::ostringstream Out;
+  Out << "(" << E.constant() << "LL";
+  for (unsigned D = 0; D != E.numDims(); ++D)
+    if (int64_t C = E.coeff(D))
+      Out << " + " << C << "LL*i" << D;
+  Out << ")";
+  return Out.str();
+}
+
+/// The flattened element offset of the array reference \p Op.
+std::string arrayAddrC(const Kernel &K, const Operand &Op) {
+  return affineC(flattenArrayRef(K.array(Op.symbol()), Op.subscripts()));
+}
+
+/// An rvalue reading the location (or constant) \p Op denotes.
+std::string operandC(const Kernel &K, const Operand &Op) {
+  switch (Op.kind()) {
+  case Operand::Kind::Constant:
+    return fmtDouble(Op.constantValue());
+  case Operand::Kind::Scalar:
+    return "s[" + std::to_string(Op.symbol()) + "]";
+  case Operand::Kind::Array:
+    return "a" + std::to_string(Op.symbol()) + "[" + arrayAddrC(K, Op) + "]";
+  }
+  return "";
+}
+
+/// An lvalue for the scalar-or-array store target \p Op.
+std::string lvalueC(const Kernel &K, const Operand &Op) {
+  assert(!Op.isConstant() && "cannot store to a constant");
+  return operandC(K, Op);
+}
+
+/// True when stores to \p Op must truncate (integer-typed target).
+bool isIntTarget(const Kernel &K, const Operand &Op) {
+  ScalarType Ty =
+      Op.isArray() ? K.array(Op.symbol()).Ty : K.scalar(Op.symbol()).Ty;
+  return !isFloatType(Ty);
+}
+
+/// Renders the expression tree \p E as one C expression. Every leaf is a
+/// pure load, so C's unspecified evaluation order cannot change values.
+std::string exprC(const Kernel &K, const Expr &E) {
+  if (E.isLeaf())
+    return operandC(K, E.leaf());
+  const OpCode Op = E.opcode();
+  if (isUnaryOp(Op)) {
+    std::string A = exprC(K, E.child(0));
+    switch (Op) {
+    case OpCode::Neg:
+      return "(-" + A + ")";
+    case OpCode::Sqrt:
+      return "sqrt(fabs(" + A + "))";
+    case OpCode::Abs:
+      return "fabs(" + A + ")";
+    default:
+      break;
+    }
+  }
+  if (isTernaryOp(Op)) {
+    std::string C = exprC(K, E.child(0));
+    std::string A = exprC(K, E.child(1));
+    std::string B = exprC(K, E.child(2));
+    return "((" + C + ") != 0.0 ? " + A + " : " + B + ")";
+  }
+  std::string A = exprC(K, E.child(0));
+  std::string B = exprC(K, E.child(1));
+  switch (Op) {
+  case OpCode::Add:
+    return "(" + A + " + " + B + ")";
+  case OpCode::Sub:
+    return "(" + A + " - " + B + ")";
+  case OpCode::Mul:
+    return "(" + A + " * " + B + ")";
+  case OpCode::Div:
+    return "(" + A + " / " + B + ")";
+  case OpCode::Min:
+    return "fmin(" + A + ", " + B + ")";
+  case OpCode::Max:
+    return "fmax(" + A + ", " + B + ")";
+  case OpCode::CmpLT:
+    return "((" + A + " < " + B + ") ? 1.0 : 0.0)";
+  case OpCode::CmpLE:
+    return "((" + A + " <= " + B + ") ? 1.0 : 0.0)";
+  case OpCode::CmpGT:
+    return "((" + A + " > " + B + ") ? 1.0 : 0.0)";
+  case OpCode::CmpGE:
+    return "((" + A + " >= " + B + ") ? 1.0 : 0.0)";
+  case OpCode::CmpEQ:
+    return "((" + A + " == " + B + ") ? 1.0 : 0.0)";
+  case OpCode::CmpNE:
+    return "((" + A + " != " + B + ") ? 1.0 : 0.0)";
+  default:
+    assert(false && "unhandled opcode");
+  }
+  return "";
+}
+
+/// Emits one statement with if-converted scalar semantics: the guard is
+/// evaluated first, the right-hand side unconditionally, and a false guard
+/// suppresses only the store — matching the interpreters and the tapes.
+void emitStatement(std::ostringstream &Out, const Kernel &K,
+                   const Statement &S, const std::string &Indent,
+                   unsigned &Tmp) {
+  unsigned Id = Tmp++;
+  Out << Indent << "{\n";
+  if (S.hasGuard())
+    Out << Indent << "  const double g" << Id << " = "
+        << exprC(K, S.guard()) << ";\n";
+  Out << Indent << "  const double v" << Id << " = " << exprC(K, S.rhs())
+      << ";\n";
+  std::string Value = "v" + std::to_string(Id);
+  if (isIntTarget(K, S.lhs()))
+    Value = "trunc(" + Value + ")";
+  Out << Indent << "  ";
+  if (S.hasGuard())
+    Out << "if (g" << Id << " != 0.0) ";
+  Out << lvalueC(K, S.lhs()) << " = " << Value << ";\n";
+  Out << Indent << "}\n";
+}
+
+/// Emits the TU prologue: headers and the entry function opening, with one
+/// restrict-qualified local pointer per array symbol (Environment buffers
+/// are always distinct allocations, so restrict is sound).
+void emitPrologue(std::ostringstream &Out, const Kernel &K,
+                  const char *What) {
+  Out << "/* " << What << " for kernel '" << K.Name
+      << "' — generated by the SLP native backend. Do not edit; see\n"
+         "   docs/native-backend.md for the semantics contract. */\n"
+         "#include <math.h>\n"
+         "#include <stdint.h>\n\n";
+}
+
+void emitEntryOpen(std::ostringstream &Out, const Kernel &K) {
+  Out << "void " << NativeEntrySymbol
+      << "(double *restrict s, double *const *restrict a) {\n"
+         "  (void)s;\n"
+         "  (void)a;\n";
+  for (unsigned A = 0; A != K.Arrays.size(); ++A) {
+    if (K.array(A).ReadOnly)
+      Out << "  const double *restrict a" << A << " = a[" << A << "];\n";
+    else
+      Out << "  double *restrict a" << A << " = a[" << A << "];\n";
+    Out << "  (void)a" << A << ";\n";
+  }
+}
+
+/// Opens the kernel's loop nest (depth-indexed variables i0..iN) and
+/// returns the body indentation. Zero-trip nests emit no loops at all —
+/// C's `for` would mishandle Step <= 0.
+std::string emitLoopsOpen(std::ostringstream &Out, const Kernel &K) {
+  std::string Indent = "  ";
+  for (unsigned D = 0; D != K.Loops.size(); ++D) {
+    const Loop &L = K.Loops[D];
+    Out << Indent << "for (int64_t i" << D << " = " << L.Lower << "; i" << D
+        << " < " << L.Upper << "; i" << D << " += " << L.Step << ") {\n";
+    Indent += "  ";
+  }
+  return Indent;
+}
+
+void emitLoopsClose(std::ostringstream &Out, const Kernel &K) {
+  for (unsigned D = static_cast<unsigned>(K.Loops.size()); D != 0; --D)
+    Out << std::string(2 * D, ' ') << "}\n";
+}
+
+/// True when the pack lanes read/write adjacent elements of one array in
+/// lane order (lane l's flattened offset is lane 0's plus l) — the same
+/// check the tape compiler uses for its VLoadContig/VStoreContig forms.
+bool isContiguousLaneRun(const Kernel &K,
+                         const std::vector<Operand> &LaneOps) {
+  if (LaneOps.empty() || !LaneOps[0].isArray())
+    return false;
+  SymbolId Sym = LaneOps[0].symbol();
+  AffineExpr Base = flattenArrayRef(K.array(Sym), LaneOps[0].subscripts());
+  for (unsigned L = 1; L != LaneOps.size(); ++L) {
+    if (!LaneOps[L].isArray() || LaneOps[L].symbol() != Sym)
+      return false;
+    AffineExpr Diff =
+        flattenArrayRef(K.array(Sym), LaneOps[L].subscripts()) - Base;
+    if (!Diff.isConstant() || Diff.constant() != static_cast<int64_t>(L))
+      return false;
+  }
+  return true;
+}
+
+unsigned nextPow2(unsigned N) {
+  unsigned P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+/// Vector register spelling.
+std::string reg(unsigned R) { return "r" + std::to_string(R); }
+
+std::string lane(unsigned R, unsigned L) {
+  return reg(R) + "[" + std::to_string(L) + "]";
+}
+
+/// Emits one vector instruction. \p VS is the (power-of-two) C vector
+/// width; full-width contiguous packs and full-width arithmetic lower to
+/// single vector operations, everything else to constant-index lane
+/// assignments (lane-wise forms never cross lanes, so destination/source
+/// aliasing is safe; only Shuffle needs a temporary).
+void emitVInst(std::ostringstream &Out, const Kernel &K, const VInst &I,
+               const std::string &Indent, unsigned VS, unsigned &Tmp) {
+  switch (I.Kind) {
+  case VInstKind::ScalarExec:
+    emitStatement(Out, K, K.Body.statement(I.StmtId), Indent, Tmp);
+    return;
+  case VInstKind::LoadPack:
+    if (I.Lanes == VS && isContiguousLaneRun(K, I.LaneOps)) {
+      Out << Indent << reg(I.Dst) << " = *(const slp_vecu *)&a"
+          << I.LaneOps[0].symbol() << "[" << arrayAddrC(K, I.LaneOps[0])
+          << "];\n";
+      return;
+    }
+    for (unsigned L = 0; L != I.Lanes; ++L)
+      Out << Indent << lane(I.Dst, L) << " = " << operandC(K, I.LaneOps[L])
+          << ";\n";
+    return;
+  case VInstKind::StorePack: {
+    bool AllFloat = true;
+    for (const Operand &Op : I.LaneOps)
+      AllFloat &= !isIntTarget(K, Op);
+    if (I.Lanes == VS && AllFloat && isContiguousLaneRun(K, I.LaneOps)) {
+      Out << Indent << "*(slp_vecu *)&a" << I.LaneOps[0].symbol() << "["
+          << arrayAddrC(K, I.LaneOps[0]) << "] = " << reg(I.Src0) << ";\n";
+      return;
+    }
+    for (unsigned L = 0; L != I.Lanes; ++L) {
+      std::string V = lane(I.Src0, L);
+      if (isIntTarget(K, I.LaneOps[L]))
+        V = "trunc(" + V + ")";
+      Out << Indent << lvalueC(K, I.LaneOps[L]) << " = " << V << ";\n";
+    }
+    return;
+  }
+  case VInstKind::Shuffle: {
+    unsigned T = Tmp++;
+    Out << Indent << "{ const slp_vec t" << T << " = " << reg(I.Src0)
+        << ";";
+    for (unsigned L = 0; L != I.Lanes; ++L)
+      Out << " " << lane(I.Dst, L) << " = t" << T << "[" << I.Perm[L]
+          << "];";
+    Out << " }\n";
+    return;
+  }
+  case VInstKind::VectorOp:
+    if (I.UnaryOp) {
+      switch (I.Op) {
+      case OpCode::Neg:
+        if (I.Lanes == VS) {
+          Out << Indent << reg(I.Dst) << " = -" << reg(I.Src0) << ";\n";
+        } else {
+          for (unsigned L = 0; L != I.Lanes; ++L)
+            Out << Indent << lane(I.Dst, L) << " = -" << lane(I.Src0, L)
+                << ";\n";
+        }
+        return;
+      case OpCode::Sqrt:
+        for (unsigned L = 0; L != I.Lanes; ++L)
+          Out << Indent << lane(I.Dst, L) << " = sqrt(fabs("
+              << lane(I.Src0, L) << "));\n";
+        return;
+      case OpCode::Abs:
+        for (unsigned L = 0; L != I.Lanes; ++L)
+          Out << Indent << lane(I.Dst, L) << " = fabs(" << lane(I.Src0, L)
+              << ");\n";
+        return;
+      default:
+        assert(false && "unhandled unary vector opcode");
+        return;
+      }
+    }
+    switch (I.Op) {
+    case OpCode::Add:
+    case OpCode::Sub:
+    case OpCode::Mul:
+    case OpCode::Div: {
+      const char *Sym = I.Op == OpCode::Add   ? "+"
+                        : I.Op == OpCode::Sub ? "-"
+                        : I.Op == OpCode::Mul ? "*"
+                                              : "/";
+      if (I.Lanes == VS) {
+        Out << Indent << reg(I.Dst) << " = " << reg(I.Src0) << " " << Sym
+            << " " << reg(I.Src1) << ";\n";
+      } else {
+        for (unsigned L = 0; L != I.Lanes; ++L)
+          Out << Indent << lane(I.Dst, L) << " = " << lane(I.Src0, L) << " "
+              << Sym << " " << lane(I.Src1, L) << ";\n";
+      }
+      return;
+    }
+    case OpCode::Min:
+    case OpCode::Max: {
+      const char *Fn = I.Op == OpCode::Min ? "fmin" : "fmax";
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        Out << Indent << lane(I.Dst, L) << " = " << Fn << "("
+            << lane(I.Src0, L) << ", " << lane(I.Src1, L) << ");\n";
+      return;
+    }
+    case OpCode::CmpLT:
+    case OpCode::CmpLE:
+    case OpCode::CmpGT:
+    case OpCode::CmpGE:
+    case OpCode::CmpEQ:
+    case OpCode::CmpNE: {
+      const char *Sym = I.Op == OpCode::CmpLT   ? "<"
+                        : I.Op == OpCode::CmpLE ? "<="
+                        : I.Op == OpCode::CmpGT ? ">"
+                        : I.Op == OpCode::CmpGE ? ">="
+                        : I.Op == OpCode::CmpEQ ? "=="
+                                                : "!=";
+      for (unsigned L = 0; L != I.Lanes; ++L)
+        Out << Indent << lane(I.Dst, L) << " = (" << lane(I.Src0, L) << " "
+            << Sym << " " << lane(I.Src1, L) << ") ? 1.0 : 0.0;\n";
+      return;
+    }
+    default:
+      assert(false && "unhandled binary vector opcode");
+      return;
+    }
+  case VInstKind::MaskedLoadPack:
+    // Tape semantics load every lane then zero the untaken ones; all
+    // addresses are in bounds by construction, so the value-identical
+    // per-lane select is safe even if the untaken load is elided.
+    for (unsigned L = 0; L != I.Lanes; ++L)
+      Out << Indent << lane(I.Dst, L) << " = (" << lane(I.Src1, L)
+          << " != 0.0) ? " << operandC(K, I.LaneOps[L]) << " : 0.0;\n";
+    return;
+  case VInstKind::MaskedStorePack:
+    // Zero-mask lanes keep their prior memory contents.
+    for (unsigned L = 0; L != I.Lanes; ++L) {
+      std::string V = lane(I.Src0, L);
+      if (isIntTarget(K, I.LaneOps[L]))
+        V = "trunc(" + V + ")";
+      Out << Indent << "if (" << lane(I.Src1, L) << " != 0.0) "
+          << lvalueC(K, I.LaneOps[L]) << " = " << V << ";\n";
+    }
+    return;
+  case VInstKind::Blend:
+    for (unsigned L = 0; L != I.Lanes; ++L)
+      Out << Indent << lane(I.Dst, L) << " = (" << lane(I.Src0, L)
+          << " != 0.0) ? " << lane(I.Src1, L) << " : " << lane(I.Src2, L)
+          << ";\n";
+    return;
+  }
+}
+
+} // namespace
+
+std::string slp::emitScalarKernelC(const Kernel &K) {
+  std::ostringstream Out;
+  emitPrologue(Out, K, "Scalar baseline");
+  emitEntryOpen(Out, K);
+  if (K.totalIterations() > 0) {
+    std::string Indent = emitLoopsOpen(Out, K);
+    unsigned Tmp = 0;
+    for (const Statement &S : K.Body)
+      emitStatement(Out, K, S, Indent, Tmp);
+    emitLoopsClose(Out, K);
+  } else {
+    Out << "  /* zero-trip loop nest: no iterations */\n";
+  }
+  Out << "}\n";
+  return Out.str();
+}
+
+std::string slp::emitVectorProgramC(const Kernel &K,
+                                    const VectorProgram &Program) {
+  // The C vector width: the widest pack rounded up to a power of two
+  // (vector_size demands one). Narrower packs use lane assignments within
+  // the same register type.
+  unsigned MaxLanes = 2;
+  for (const VInst &I : Program.Insts)
+    if (I.Kind != VInstKind::ScalarExec && I.Lanes > MaxLanes)
+      MaxLanes = I.Lanes;
+  const unsigned VS = nextPow2(MaxLanes);
+
+  std::ostringstream Out;
+  emitPrologue(Out, K, "Vector program");
+  if (Program.NumVRegs > 0)
+    Out << "typedef double slp_vec __attribute__((vector_size(" << VS * 8
+        << ")));\n"
+           "typedef double slp_vecu __attribute__((vector_size("
+        << VS * 8
+        << "), aligned(8), may_alias));\n\n";
+  emitEntryOpen(Out, K);
+  if (K.totalIterations() > 0) {
+    std::string Indent = emitLoopsOpen(Out, K);
+    // Registers are per-block-execution (the static verifier proves no
+    // read-before-def within one execution), so they live inside the
+    // innermost body; {0} keeps unused tail lanes deterministic.
+    for (unsigned R = 0; R != Program.NumVRegs; ++R)
+      Out << Indent << "slp_vec " << reg(R) << " = {0}; (void)" << reg(R)
+          << ";\n";
+    unsigned Tmp = 0;
+    for (const VInst &I : Program.Insts)
+      emitVInst(Out, K, I, Indent, VS, Tmp);
+    emitLoopsClose(Out, K);
+  } else {
+    Out << "  /* zero-trip loop nest: no iterations */\n";
+  }
+  Out << "}\n";
+  return Out.str();
+}

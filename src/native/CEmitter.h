@@ -1,0 +1,54 @@
+//===- native/CEmitter.h - Kernel/VectorProgram to portable C ---*- C++ -*-===//
+///
+/// \file
+/// Lowers kernels and vector programs to portable C translation units that
+/// the native backend (native/NativeBackend.h) hands to the host compiler.
+/// Two entry points, one per engine path:
+///
+///  * `emitScalarKernelC` renders a kernel with original scalar semantics —
+///    the honest baseline (its TU is compiled with auto-vectorization off).
+///  * `emitVectorProgramC` renders an emitted VectorProgram using GCC/Clang
+///    vector extensions: full-width packs become real vector loads/stores
+///    and vector arithmetic, everything else (partial widths, compares,
+///    min/max/sqrt/abs, shuffles, masked loads/stores, blends, gathers)
+///    becomes constant-bound lane assignments the host compiler folds.
+///
+/// The emitted C is bit-identical to the interpreters by construction: all
+/// values are doubles, `sqrt` lowers to `sqrt(fabs(x))`, integer-typed
+/// stores truncate with `trunc`, comparisons produce 1.0/0.0, guards are
+/// evaluated before (and independently of) the right-hand side, and masked
+/// stores preserve prior memory on zero-mask lanes. Floating-point
+/// contraction is disabled by the backend's flags, not here. Constants are
+/// rendered as hexfloat literals so no value is perturbed by decimal
+/// round-tripping. See docs/native-backend.md for the full contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_NATIVE_CEMITTER_H
+#define SLP_NATIVE_CEMITTER_H
+
+#include "ir/Kernel.h"
+#include "vector/VectorIR.h"
+
+#include <string>
+
+namespace slp {
+
+/// The exported symbol every emitted translation unit defines:
+/// `void slp_native_entry(double *restrict s, double *const *restrict a)`
+/// where `s` is the kernel's scalar slot array and `a[k]` the base pointer
+/// of array symbol k.
+inline constexpr const char *NativeEntrySymbol = "slp_native_entry";
+
+/// Renders \p K as a C translation unit executing the kernel with scalar
+/// semantics over its whole loop nest.
+std::string emitScalarKernelC(const Kernel &K);
+
+/// Renders \p Program (emitted over \p K, the pipeline's Final kernel) as
+/// a C translation unit executing the program once per iteration of the
+/// nest, with vector registers lowered to GCC/Clang vector extensions.
+std::string emitVectorProgramC(const Kernel &K, const VectorProgram &Program);
+
+} // namespace slp
+
+#endif // SLP_NATIVE_CEMITTER_H

@@ -1,0 +1,297 @@
+//===- native/NativeBackend.cpp -------------------------------*- C++ -*-===//
+
+#include "native/NativeBackend.h"
+
+#include "native/CEmitter.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unistd.h>
+#include <unordered_map>
+
+#include <dlfcn.h>
+
+using namespace slp;
+
+namespace fs = std::filesystem;
+
+NativeObject::~NativeObject() {
+  if (Handle)
+    dlclose(Handle);
+}
+
+namespace {
+
+/// True when \p Path names an executable file.
+bool isExecutable(const std::string &Path) {
+  return !Path.empty() && ::access(Path.c_str(), X_OK) == 0 &&
+         fs::is_regular_file(fs::path(Path));
+}
+
+/// Resolves \p Name against PATH; empty when not found.
+std::string findOnPath(const std::string &Name) {
+  if (Name.find('/') != std::string::npos)
+    return isExecutable(Name) ? Name : std::string();
+  const char *Path = std::getenv("PATH");
+  if (!Path)
+    return {};
+  std::istringstream In(Path);
+  std::string Dir;
+  while (std::getline(In, Dir, ':')) {
+    if (Dir.empty())
+      continue;
+    std::string Candidate = Dir + "/" + Name;
+    if (isExecutable(Candidate))
+      return Candidate;
+  }
+  return {};
+}
+
+/// The PATH-discovered default compiler (no $SLP_NATIVE_CC override),
+/// memoized: PATH does not change under us, but the env override might.
+const std::string &defaultCompiler() {
+  static const std::string Found = [] {
+    for (const char *Name : {"cc", "gcc", "clang"}) {
+      std::string Resolved = findOnPath(Name);
+      if (!Resolved.empty())
+        return Resolved;
+    }
+    return std::string();
+  }();
+  return Found;
+}
+
+/// FNV-1a 64-bit over \p Data, continuing from \p H.
+uint64_t fnv1a(const std::string &Data, uint64_t H) {
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+std::string hex64(uint64_t H) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+/// The flag set for one TU kind. The scalar baseline disables the host
+/// auto-vectorizers (clang accepts the GCC spellings as aliases) so the
+/// measured scalar-vs-vector speedup is not diluted by the host compiler
+/// vectorizing the baseline itself. -ffp-contract=off keeps a*b+c from
+/// fusing into FMA (bit-identity with the interpreters); -fno-math-errno
+/// lets sqrt/fabs/trunc/fmin/fmax inline to instructions.
+std::string compileFlags(bool ScalarBaseline) {
+  std::string Flags =
+      "-O3 -fPIC -shared -std=gnu11 -ffp-contract=off -fno-math-errno";
+  if (ScalarBaseline)
+    Flags += " -fno-tree-vectorize -fno-tree-slp-vectorize";
+  if (const char *Extra = std::getenv("SLP_NATIVE_CFLAGS"))
+    if (*Extra) {
+      Flags += ' ';
+      Flags += Extra;
+    }
+  return Flags;
+}
+
+/// Writes \p Data to \p Path atomically (temp + rename).
+bool writeFileAtomic(const fs::path &Path, const std::string &Data) {
+  fs::path Tmp = Path;
+  Tmp += ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << Data;
+    if (!Out.flush())
+      return false;
+  }
+  std::error_code Ec;
+  fs::rename(Tmp, Path, Ec);
+  if (Ec)
+    fs::remove(Tmp, Ec);
+  return !Ec || fs::exists(Path);
+}
+
+/// First ~400 bytes of the compiler's captured output, for diagnostics.
+std::string logExcerpt(const fs::path &LogPath) {
+  std::ifstream In(LogPath, std::ios::binary);
+  if (!In)
+    return {};
+  std::string Buf(400, '\0');
+  In.read(Buf.data(), static_cast<std::streamsize>(Buf.size()));
+  Buf.resize(static_cast<size_t>(In.gcount()));
+  while (!Buf.empty() && (Buf.back() == '\n' || Buf.back() == '\0'))
+    Buf.pop_back();
+  return Buf;
+}
+
+/// dlopens \p SoPath and resolves the entry; null + \p Error on failure.
+std::shared_ptr<const NativeObject> loadObject(const std::string &SoPath,
+                                               std::string &Error) {
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    const char *Why = dlerror();
+    Error = "dlopen('" + SoPath + "') failed: " + (Why ? Why : "unknown");
+    return nullptr;
+  }
+  void *Sym = dlsym(Handle, NativeEntrySymbol);
+  if (!Sym) {
+    const char *Why = dlerror();
+    Error = "dlsym('" + std::string(NativeEntrySymbol) +
+            "') failed: " + (Why ? Why : "unknown");
+    dlclose(Handle);
+    return nullptr;
+  }
+  return std::make_shared<NativeObject>(
+      Handle, reinterpret_cast<NativeObject::EntryFn>(Sym), SoPath);
+}
+
+std::mutex MemoryCacheMutex;
+std::unordered_map<std::string, std::shared_ptr<const NativeObject>>
+    &memoryCache() {
+  static std::unordered_map<std::string, std::shared_ptr<const NativeObject>>
+      Cache;
+  return Cache;
+}
+
+} // namespace
+
+std::string slp::nativeHostCompiler() {
+  if (const char *Env = std::getenv("SLP_NATIVE_CC"))
+    if (*Env)
+      return Env;
+  return defaultCompiler();
+}
+
+bool slp::nativeBackendAvailable(std::string *Why) {
+  if (const char *Env = std::getenv("SLP_NATIVE_CC")) {
+    if (*Env) {
+      std::string Resolved = findOnPath(Env);
+      if (!Resolved.empty())
+        return true;
+      if (Why)
+        *Why = "SLP_NATIVE_CC='" + std::string(Env) +
+               "' is not an executable host compiler";
+      return false;
+    }
+  }
+  if (!defaultCompiler().empty())
+    return true;
+  if (Why)
+    *Why = "no host C compiler (cc/gcc/clang) found on PATH";
+  return false;
+}
+
+std::string slp::nativeCacheDir() {
+  if (const char *Env = std::getenv("SLP_NATIVE_CACHE_DIR"))
+    if (*Env)
+      return Env;
+  std::error_code Ec;
+  fs::path Tmp = fs::temp_directory_path(Ec);
+  if (Ec)
+    Tmp = "/tmp";
+  return (Tmp / "slp-native-cache").string();
+}
+
+NativeCompileResult slp::compileNativeTU(const std::string &Source,
+                                         bool ScalarBaseline) {
+  NativeCompileResult R;
+  std::string Why;
+  if (!nativeBackendAvailable(&Why)) {
+    R.Error = Why;
+    return R;
+  }
+  std::string Compiler = nativeHostCompiler();
+  std::string CompilerPath = findOnPath(Compiler);
+  std::string Flags = compileFlags(ScalarBaseline);
+
+  uint64_t H = 1469598103934665603ULL;
+  H = fnv1a(Source, H);
+  H = fnv1a(Flags, H);
+  H = fnv1a(CompilerPath, H);
+  std::string Stem = "slp_" + hex64(H);
+
+  std::string Dir = nativeCacheDir();
+  std::string Key = Dir + "/" + Stem;
+  {
+    std::lock_guard<std::mutex> Lock(MemoryCacheMutex);
+    auto It = memoryCache().find(Key);
+    if (It != memoryCache().end()) {
+      R.Object = It->second;
+      R.CacheHit = true;
+      R.MemoryHit = true;
+      return R;
+    }
+  }
+
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    R.Error = "cannot create cache dir '" + Dir + "': " + Ec.message();
+    return R;
+  }
+  fs::path SrcPath = fs::path(Dir) / (Stem + ".c");
+  fs::path SoPath = fs::path(Dir) / (Stem + ".so");
+  fs::path LogPath = fs::path(Dir) / (Stem + ".log");
+
+  // Warm disk hit: load the cached object without invoking the compiler.
+  // A corrupt cached object (truncated, overwritten) is deleted and falls
+  // through to a fresh compile.
+  if (fs::exists(SoPath, Ec) && !Ec) {
+    std::string LoadError;
+    if (std::shared_ptr<const NativeObject> Obj =
+            loadObject(SoPath.string(), LoadError)) {
+      R.Object = std::move(Obj);
+      R.CacheHit = true;
+      std::lock_guard<std::mutex> Lock(MemoryCacheMutex);
+      memoryCache().emplace(Key, R.Object);
+      return R;
+    }
+    fs::remove(SoPath, Ec);
+  }
+
+  if (!writeFileAtomic(SrcPath, Source)) {
+    R.Error = "cannot write '" + SrcPath.string() + "'";
+    return R;
+  }
+  fs::path SoTmp = SoPath;
+  SoTmp += ".tmp." + std::to_string(::getpid());
+  std::string Cmd = "'" + CompilerPath + "' " + Flags + " -o '" +
+                    SoTmp.string() + "' '" + SrcPath.string() + "' -lm > '" +
+                    LogPath.string() + "' 2>&1";
+  int Rc = std::system(Cmd.c_str());
+  if (Rc != 0) {
+    fs::remove(SoTmp, Ec);
+    R.Error = "host compiler failed (status " + std::to_string(Rc) + "): " +
+              logExcerpt(LogPath);
+    return R;
+  }
+  fs::rename(SoTmp, SoPath, Ec);
+  if (Ec && !fs::exists(SoPath)) {
+    R.Error = "cannot move object into cache: " + Ec.message();
+    return R;
+  }
+
+  std::string LoadError;
+  R.Object = loadObject(SoPath.string(), LoadError);
+  if (!R.Object) {
+    R.Error = LoadError;
+    return R;
+  }
+  std::lock_guard<std::mutex> Lock(MemoryCacheMutex);
+  memoryCache().emplace(Key, R.Object);
+  return R;
+}
+
+void slp::nativeClearMemoryCacheForTesting() {
+  std::lock_guard<std::mutex> Lock(MemoryCacheMutex);
+  memoryCache().clear();
+}

@@ -1,0 +1,98 @@
+//===- native/NativeBackend.h - Host-compiled shared objects ----*- C++ -*-===//
+///
+/// \file
+/// Turns the C emitted by native/CEmitter.h into callable machine code:
+/// write the translation unit to a content-addressed cache, invoke the
+/// host C compiler (gcc/clang/cc) to produce a shared object, `dlopen` it,
+/// and resolve the `slp_native_entry` symbol. Everything is cached at two
+/// levels so repeated lowerings of identical kernels are warm:
+///
+///  * an on-disk object cache keyed by FNV-1a of (emitted C + compiler
+///    flags + compiler path) — `$SLP_NATIVE_CACHE_DIR` or a per-user
+///    directory under the system temp dir; `<hash>.c` sits next to
+///    `<hash>.so` for post-mortem inspection, and objects are built under
+///    a temporary name then renamed so concurrent producers are safe;
+///  * an in-process handle map, so one process never re-dlopens (or
+///    re-hashes a compile of) the same object twice.
+///
+/// Every failure path (no host compiler, compile error, corrupt cached
+/// object) reports through NativeCompileResult::Error and never throws or
+/// aborts — the execution engine falls back to its tape. A cached `.so`
+/// that fails to dlopen/dlsym is deleted and rebuilt once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_NATIVE_NATIVEBACKEND_H
+#define SLP_NATIVE_NATIVEBACKEND_H
+
+#include <memory>
+#include <string>
+
+namespace slp {
+
+/// A loaded shared object holding one emitted translation unit. Closes the
+/// dlopen handle on destruction; hold it through shared_ptr so compiled
+/// kernels can share one object.
+class NativeObject {
+public:
+  /// The emitted entry: scalar slots + one base pointer per array symbol.
+  using EntryFn = void (*)(double *, double *const *);
+
+  NativeObject(void *Handle, EntryFn Entry, std::string ObjectPath)
+      : Handle(Handle), Entry(Entry), ObjectPath(std::move(ObjectPath)) {}
+  ~NativeObject();
+  NativeObject(const NativeObject &) = delete;
+  NativeObject &operator=(const NativeObject &) = delete;
+
+  void run(double *Scalars, double *const *ArrayBases) const {
+    Entry(Scalars, ArrayBases);
+  }
+
+  const std::string &objectPath() const { return ObjectPath; }
+
+private:
+  void *Handle = nullptr;
+  EntryFn Entry = nullptr;
+  std::string ObjectPath;
+};
+
+/// Outcome of one lowering. Exactly one of Object/Error is meaningful.
+struct NativeCompileResult {
+  std::shared_ptr<const NativeObject> Object;
+  /// Served from the on-disk cache: no host-compiler invocation happened.
+  bool CacheHit = false;
+  /// Served from the in-process map: no dlopen either.
+  bool MemoryHit = false;
+  /// Why Object is null (empty on success).
+  std::string Error;
+};
+
+/// The host C compiler the backend invokes: `$SLP_NATIVE_CC` when set
+/// (re-read on every call, so tests can point it at a nonexistent binary),
+/// otherwise the first of cc/gcc/clang found on PATH (memoized). Empty
+/// when none is available.
+std::string nativeHostCompiler();
+
+/// True when a host compiler is available; otherwise fills \p Why with a
+/// one-line explanation suitable for skip-log lines.
+bool nativeBackendAvailable(std::string *Why = nullptr);
+
+/// The object cache directory: `$SLP_NATIVE_CACHE_DIR` when set, else
+/// `<system-temp>/slp-native-cache`. Created on demand by compileNativeTU.
+std::string nativeCacheDir();
+
+/// Compiles \p Source into a loaded shared object. \p ScalarBaseline
+/// selects the baseline flag set (host auto-vectorization disabled so the
+/// "scalar" side of measured speedups is honestly scalar); flags are part
+/// of the cache key. `$SLP_NATIVE_CFLAGS` appends extra flags to either
+/// set.
+NativeCompileResult compileNativeTU(const std::string &Source,
+                                    bool ScalarBaseline);
+
+/// Drops the in-process handle map so tests can force disk-cache paths
+/// (warm-hit and corruption recovery) deterministically.
+void nativeClearMemoryCacheForTesting();
+
+} // namespace slp
+
+#endif // SLP_NATIVE_NATIVEBACKEND_H

@@ -22,6 +22,7 @@
 #ifndef SLP_SLP_PIPELINE_H
 #define SLP_SLP_PIPELINE_H
 
+#include "exec/ExecEngine.h"
 #include "layout/Layout.h"
 #include "machine/Simulator.h"
 #include "slp/Scheduling.h"
@@ -32,8 +33,6 @@
 #include <string>
 
 namespace slp {
-
-class ExecEngine;
 
 /// The schemes compared in the paper's evaluation.
 enum class OptimizerKind : uint8_t {
@@ -95,6 +94,13 @@ struct PipelineOptions {
   bool VerifyLint = false;
   /// Promote verifier warnings to errors (`slpc --werror`).
   bool VerifyWerror = false;
+  /// Execution engine the caller runs kernels/programs under
+  /// (`slpc --exec-engine=`, `SLP_EXEC_ENGINE`). The pipeline itself only
+  /// transforms; this names the engine its clients (equivalence checks,
+  /// benches, the fuzzer) should construct — note
+  /// `ExecEngineKind::Native` (how emitted code *executes*) is unrelated
+  /// to `OptimizerKind::Native` (which *optimizer scheme* runs).
+  ExecEngineKind Exec = defaultExecEngineKind();
   /// Mechanism switches for Global/GlobalLayout (ablation study only).
   HolisticAblation Ablation;
 };

@@ -1,0 +1,382 @@
+//===- tests/native/NativeBackendTest.cpp ---------------------*- C++ -*-===//
+//
+// Holds the host-compiled native engine (native/CEmitter.h +
+// native/NativeBackend.h, ExecEngineKind::Native) to the same bit-identity
+// contract the tape/reference differential enforces: identical environment
+// contents and dynamic operation counts over the full 16-workload suite,
+// the predicated workloads, every recorded fuzz repro, and a random-kernel
+// sweep. Also pins the backend's operational contract — a second lowering
+// of an identical kernel is served from the content-addressed object cache
+// without invoking the host compiler, a missing compiler degrades to the
+// tape with a diagnostic (never a crash), and a corrupted cached object is
+// rebuilt transparently.
+//
+// Tests run against a private cache directory (SLP_NATIVE_CACHE_DIR is
+// pointed at a per-process temp dir) so they neither see nor pollute the
+// user's cache. Functional tests GTEST_SKIP with an explicit line when the
+// container has no host compiler; the missing-compiler test runs anywhere.
+//
+// SLP_FUZZ_CORPUS_DIR is injected by CMake (same as CorpusReplayTest).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ExecEngine.h"
+#include "fuzz/Fuzzer.h"
+#include "ir/Parser.h"
+#include "layout/Layout.h"
+#include "native/NativeBackend.h"
+#include "slp/Pipeline.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+using namespace slp;
+
+#ifndef SLP_FUZZ_CORPUS_DIR
+#error "CMake must define SLP_FUZZ_CORPUS_DIR"
+#endif
+
+namespace {
+
+/// Points SLP_NATIVE_CACHE_DIR at a per-process directory (ctest runs each
+/// test in its own process, so tests stay hermetic) and clears the
+/// in-process handle map so every test starts from a known cache state.
+class NativeBackendTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    CacheDir = (std::filesystem::temp_directory_path() /
+                ("slp-native-test-" + std::to_string(getpid())))
+                   .string();
+    setenv("SLP_NATIVE_CACHE_DIR", CacheDir.c_str(), /*overwrite=*/1);
+    unsetenv("SLP_NATIVE_CC");
+    nativeClearMemoryCacheForTesting();
+  }
+
+  void TearDown() override {
+    unsetenv("SLP_NATIVE_CC");
+    std::error_code Ec;
+    std::filesystem::remove_all(CacheDir, Ec);
+  }
+
+  /// Skips the test (with the backend's own explanation) when the
+  /// container has no host C compiler.
+  void requireHostCompiler() {
+    std::string Why;
+    if (!nativeBackendAvailable(&Why))
+      GTEST_SKIP() << "native backend unavailable: " << Why;
+  }
+
+  std::string CacheDir;
+};
+
+/// Runs \p K under scalar semantics on the native and flat-tape engines
+/// from identical environments and demands bit-identical results and
+/// identical dynamic operation counts. Also demands the native lowering
+/// actually produced machine code (no silent tape fallback).
+void expectScalarAgreement(const Kernel &K, uint64_t Seed,
+                           const std::string &Label) {
+  ExecEngine Tape(ExecEngineKind::Optimized);
+  ExecEngine Native(ExecEngineKind::Native);
+  Environment TapeEnv(K, Seed);
+  Environment NativeEnv(K, Seed);
+  ScalarExecStats TS = Tape.runKernel(K, TapeEnv);
+  ScalarExecStats NS = Native.runKernel(K, NativeEnv);
+  EXPECT_EQ(Native.counters().NativeFallbacks, 0u)
+      << Label << ": lowering fell back: " << Native.nativeDiagnostic();
+  EXPECT_TRUE(NativeEnv.matches(TapeEnv,
+                                static_cast<unsigned>(K.Scalars.size()),
+                                static_cast<unsigned>(K.Arrays.size())))
+      << Label << " seed " << Seed
+      << ": native engine diverged on scalar execution";
+  EXPECT_EQ(TS.AluOps, NS.AluOps) << Label << " seed " << Seed;
+  EXPECT_EQ(TS.ArrayLoads, NS.ArrayLoads) << Label << " seed " << Seed;
+  EXPECT_EQ(TS.ArrayStores, NS.ArrayStores) << Label << " seed " << Seed;
+}
+
+/// The equivalence check's candidate environment for vector execution.
+Environment makeVectorEnv(const Kernel &Source, const PipelineResult &R,
+                          uint64_t Seed) {
+  Environment Env(Source, Seed);
+  for (unsigned S = static_cast<unsigned>(Source.Scalars.size()),
+                E = static_cast<unsigned>(R.Final.Scalars.size());
+       S != E; ++S)
+    Env.addScalarStorage(0);
+  for (unsigned A = static_cast<unsigned>(Source.Arrays.size()),
+                E = static_cast<unsigned>(R.Final.Arrays.size());
+       A != E; ++A)
+    Env.addArrayStorage(R.Final.Arrays[A].numElements());
+  if (R.LayoutApplied)
+    initializeReplicas(R.Final, R.Layout, Env);
+  return Env;
+}
+
+/// Runs \p R's vector program on the native and flat-tape engines from
+/// identical environments and demands bit-identical final contents.
+void expectVectorAgreement(const Kernel &Source, const PipelineResult &R,
+                           uint64_t Seed, const std::string &Label) {
+  ExecEngine Tape(ExecEngineKind::Optimized);
+  ExecEngine Native(ExecEngineKind::Native);
+  Environment TapeEnv = makeVectorEnv(Source, R, Seed);
+  Environment NativeEnv = makeVectorEnv(Source, R, Seed);
+  Tape.runProgram(R.Final, R.Program, TapeEnv);
+  Native.runProgram(R.Final, R.Program, NativeEnv);
+  EXPECT_EQ(Native.counters().NativeFallbacks, 0u)
+      << Label << ": lowering fell back: " << Native.nativeDiagnostic();
+  EXPECT_TRUE(NativeEnv.matches(TapeEnv,
+                                static_cast<unsigned>(R.Final.Scalars.size()),
+                                static_cast<unsigned>(R.Final.Arrays.size())))
+      << Label << " seed " << Seed
+      << ": native engine diverged on vector execution";
+}
+
+Kernel parse(const std::string &Src) {
+  ParseResult P = parseKernel(Src);
+  EXPECT_TRUE(P.succeeded()) << P.ErrorMessage;
+  return *P.TheKernel;
+}
+
+} // namespace
+
+TEST_F(NativeBackendTest, WorkloadScalarBitIdentity) {
+  requireHostCompiler();
+  for (const Workload &W : standardWorkloads())
+    for (uint64_t Seed : {uint64_t(1), uint64_t(0xC0FFEE)})
+      expectScalarAgreement(W.TheKernel, Seed, W.Name);
+}
+
+TEST_F(NativeBackendTest, WorkloadVectorBitIdentity) {
+  requireHostCompiler();
+  for (const Workload &W : standardWorkloads()) {
+    for (OptimizerKind Kind :
+         {OptimizerKind::Global, OptimizerKind::GlobalLayout}) {
+      PipelineResult R = runPipeline(W.TheKernel, Kind, PipelineOptions());
+      expectVectorAgreement(W.TheKernel, R, /*Seed=*/1234,
+                            W.Name + "/" + optimizerName(Kind));
+    }
+  }
+}
+
+TEST_F(NativeBackendTest, WorkloadEquivalenceUnderNativeEngine) {
+  requireHostCompiler();
+  for (const Workload &W : standardWorkloads()) {
+    PipelineResult R = runPipeline(W.TheKernel, OptimizerKind::GlobalLayout,
+                                   PipelineOptions());
+    ExecEngine Engine(ExecEngineKind::Native);
+    std::string Error;
+    EXPECT_TRUE(checkEquivalence(W.TheKernel, R, /*Seed=*/42, &Error,
+                                 &Engine))
+        << W.Name << " under native: " << Error;
+    EXPECT_EQ(Engine.counters().NativeFallbacks, 0u)
+        << W.Name << ": " << Engine.nativeDiagnostic();
+  }
+}
+
+TEST_F(NativeBackendTest, PredicatedWorkloadBitIdentity) {
+  // The guarded suite flows through the masked lowering: per-lane selects
+  // for vmload, prior-memory-preserving lane stores for vmstore, and
+  // guard blocks in the scalar baseline.
+  requireHostCompiler();
+  for (const Workload &W : predicatedWorkloads()) {
+    for (uint64_t Seed : {uint64_t(1), uint64_t(0xC0FFEE)})
+      expectScalarAgreement(W.TheKernel, Seed, W.Name);
+    for (OptimizerKind Kind :
+         {OptimizerKind::Global, OptimizerKind::GlobalLayout}) {
+      PipelineResult R = runPipeline(W.TheKernel, Kind, PipelineOptions());
+      expectVectorAgreement(W.TheKernel, R, /*Seed=*/1234,
+                            W.Name + "/" + optimizerName(Kind));
+    }
+  }
+}
+
+TEST_F(NativeBackendTest, CorpusReplaysUnderNativeEngine) {
+  // Every recorded repro — NaN propagation, int-store truncation,
+  // aliasing, masked stores — must replay cleanly with the native engine
+  // executing all kernels and programs.
+  requireHostCompiler();
+  std::vector<std::string> Files = listCorpusFiles(SLP_FUZZ_CORPUS_DIR);
+  ASSERT_FALSE(Files.empty())
+      << "no corpus cases under " << SLP_FUZZ_CORPUS_DIR;
+  for (const std::string &Path : Files) {
+    std::string Text;
+    ASSERT_TRUE(readFile(Path, Text)) << Path;
+    FuzzCase Case;
+    std::string Error;
+    ASSERT_TRUE(parseFuzzCase(Text, Case, &Error)) << Path << ": " << Error;
+    Case.Config.Exec = ExecEngineKind::Native;
+    EXPECT_TRUE(runFuzzCase(Case, &Error))
+        << Path << " under native: " << Error;
+  }
+}
+
+TEST_F(NativeBackendTest, RandomKernelSweep) {
+  requireHostCompiler();
+  Rng R(20260808);
+  RandomKernelOptions Options;
+  Options.MaxStatements = 10;
+  Options.GuardProbability = 0.3;
+  for (unsigned I = 0; I != 12; ++I) {
+    Options.NumLoops = 1 + (I % 2);
+    Kernel K = randomKernel(R, Options);
+    std::string Label = "native-random#" + std::to_string(I);
+    expectScalarAgreement(K, /*Seed=*/99, Label);
+    PipelineResult Res =
+        runPipeline(K, OptimizerKind::GlobalLayout, PipelineOptions());
+    expectVectorAgreement(K, Res, /*Seed=*/1234, Label);
+  }
+}
+
+TEST_F(NativeBackendTest, ZeroTripAndIntSemantics) {
+  requireHostCompiler();
+  // A zero-trip nest lowers to a body-less entry; the environment must
+  // stay untouched.
+  Kernel ZeroTrip = parse(R"(
+    kernel zerotrip { array float A[8]; scalar float s;
+      loop i = 4 .. 4 { A[i] = 2.0; s = A[i] + 1.0; }
+    })");
+  expectScalarAgreement(ZeroTrip, /*Seed=*/7, "zerotrip");
+  // Truncating integer stores with reuse of the truncated value.
+  Kernel IntReuse = parse(R"(
+    kernel intreuse { array int I[16]; array float B[16];
+      loop i = 0 .. 16 {
+        I[i] = I[i] / 3.0;
+        B[i] = I[i] * 0.5;
+      }
+    })");
+  expectScalarAgreement(IntReuse, /*Seed=*/1, "intreuse");
+  PipelineResult R =
+      runPipeline(IntReuse, OptimizerKind::Global, PipelineOptions());
+  expectVectorAgreement(IntReuse, R, /*Seed=*/1234, "intreuse");
+}
+
+TEST_F(NativeBackendTest, WarmCacheSkipsHostCompiler) {
+  // The acceptance criterion of the object cache: a second lowering of an
+  // identical kernel must NOT invoke the host compiler. The first engine
+  // populates the disk cache; dropping the in-process handle map then
+  // forces the second engine through the disk path, where it must count
+  // cache hits and zero compiles.
+  requireHostCompiler();
+  Kernel K = workloadByName("milc").TheKernel;
+
+  ExecEngine First(ExecEngineKind::Native);
+  Environment Env1(K, 1);
+  First.runKernel(K, Env1);
+  ASSERT_EQ(First.counters().NativeFallbacks, 0u)
+      << First.nativeDiagnostic();
+  EXPECT_EQ(First.counters().NativeCompiles, 1u);
+  EXPECT_EQ(First.counters().NativeCacheHits, 0u);
+
+  nativeClearMemoryCacheForTesting();
+
+  ExecEngine Second(ExecEngineKind::Native);
+  Environment Env2(K, 1);
+  Second.runKernel(K, Env2);
+  ASSERT_EQ(Second.counters().NativeFallbacks, 0u)
+      << Second.nativeDiagnostic();
+  EXPECT_EQ(Second.counters().NativeCompiles, 0u)
+      << "second lowering of an identical kernel invoked the compiler";
+  EXPECT_GE(Second.counters().NativeCacheHits, 1u);
+  EXPECT_TRUE(Env2.matches(Env1, static_cast<unsigned>(K.Scalars.size()),
+                           static_cast<unsigned>(K.Arrays.size())));
+
+  // Within one engine, the in-process map short-circuits even the disk
+  // path: recompiling the same kernel is a memory hit.
+  CompiledScalarKernel Again = Second.compileScalar(K);
+  EXPECT_TRUE(Again.Native);
+  EXPECT_GE(Second.counters().NativeMemoryHits, 1u);
+}
+
+TEST_F(NativeBackendTest, MissingCompilerFallsBackToTape) {
+  // With SLP_NATIVE_CC pointing at a nonexistent binary the engine must
+  // degrade to the tape — correct results, a diagnostic, a fallback
+  // counter, and no crash. This test runs even on compiler-less hosts.
+  setenv("SLP_NATIVE_CC", "/nonexistent/slp-no-such-cc", /*overwrite=*/1);
+  std::string Why;
+  EXPECT_FALSE(nativeBackendAvailable(&Why));
+  EXPECT_FALSE(Why.empty());
+
+  Kernel K = workloadByName("milc").TheKernel;
+  ExecEngine Native(ExecEngineKind::Native);
+  ExecEngine Tape(ExecEngineKind::Optimized);
+  Environment NativeEnv(K, 5);
+  Environment TapeEnv(K, 5);
+  ScalarExecStats NS = Native.runKernel(K, NativeEnv);
+  ScalarExecStats TS = Tape.runKernel(K, TapeEnv);
+  EXPECT_GE(Native.counters().NativeFallbacks, 1u);
+  EXPECT_EQ(Native.counters().NativeCompiles, 0u);
+  EXPECT_FALSE(Native.nativeDiagnostic().empty());
+  EXPECT_TRUE(NativeEnv.matches(TapeEnv,
+                                static_cast<unsigned>(K.Scalars.size()),
+                                static_cast<unsigned>(K.Arrays.size())))
+      << "tape fallback diverged from the tape engine";
+  EXPECT_EQ(NS.AluOps, TS.AluOps);
+
+  // The full equivalence check must also pass through the fallback.
+  PipelineResult R =
+      runPipeline(K, OptimizerKind::Global, PipelineOptions());
+  std::string Error;
+  EXPECT_TRUE(checkEquivalence(K, R, /*Seed=*/42, &Error, &Native))
+      << Error;
+}
+
+TEST_F(NativeBackendTest, CorruptedCacheObjectIsRebuilt) {
+  // Truncate every cached .so, drop the handle map, and demand the next
+  // lowering recovers by rebuilding — correct results, no crash.
+  requireHostCompiler();
+  Kernel K = workloadByName("milc").TheKernel;
+
+  ExecEngine First(ExecEngineKind::Native);
+  Environment Env1(K, 1);
+  First.runKernel(K, Env1);
+  ASSERT_EQ(First.counters().NativeFallbacks, 0u)
+      << First.nativeDiagnostic();
+
+  // Drop the handle map first: truncating a still-mapped object would
+  // make the dlclose inside the clear fault on the vanished pages.
+  nativeClearMemoryCacheForTesting();
+  unsigned Truncated = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(CacheDir)) {
+    if (Entry.path().extension() != ".so")
+      continue;
+    std::ofstream Out(Entry.path(), std::ios::trunc);
+    ++Truncated;
+  }
+  ASSERT_GE(Truncated, 1u) << "no cached objects under " << CacheDir;
+
+  ExecEngine Second(ExecEngineKind::Native);
+  Environment Env2(K, 1);
+  Second.runKernel(K, Env2);
+  EXPECT_EQ(Second.counters().NativeFallbacks, 0u)
+      << Second.nativeDiagnostic();
+  EXPECT_GE(Second.counters().NativeCompiles, 1u)
+      << "corrupt cached object was not rebuilt";
+  EXPECT_TRUE(Env2.matches(Env1, static_cast<unsigned>(K.Scalars.size()),
+                           static_cast<unsigned>(K.Arrays.size())))
+      << "rebuild after corruption diverged";
+}
+
+TEST_F(NativeBackendTest, CountersAccountForNativeWork) {
+  requireHostCompiler();
+  Kernel K = workloadByName("milc").TheKernel;
+  ExecEngine Engine(ExecEngineKind::Native);
+  CompiledScalarKernel C = Engine.compileScalar(K);
+  ASSERT_TRUE(C.Native);
+  Environment EnvA(K, 1);
+  Environment EnvB(K, 1);
+  Engine.runScalar(C, EnvA);
+  Engine.runScalar(C, EnvB);
+  const ExecCounters &EC = Engine.counters();
+  EXPECT_EQ(EC.NativeCompiles, 1u);
+  EXPECT_EQ(EC.NativeRuns, 2u);
+  EXPECT_EQ(EC.NativeFallbacks, 0u);
+  // The tape is still compiled (it is the fallback and the stats source)
+  // but native runs never execute it.
+  EXPECT_EQ(EC.ScalarTapesCompiled, 1u);
+  EXPECT_EQ(EC.TapeRuns, 0u);
+}

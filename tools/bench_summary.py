@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Merge google-benchmark --benchmark_out JSONs into one trajectory file.
+
+Usage:
+  bench_summary.py --out BENCH_native.json [--label pr7] \
+      bench_native.json [more.json ...]
+
+Each input is the --benchmark_out JSON of a bench_* binary. The output is
+a compact machine-readable summary: one record per benchmark entry with
+its real_time (in seconds) and every user counter (measured_speedup,
+predicted_speedup, ...), plus the reporting context (host, CPU count,
+library build type) of the run that produced it.
+
+When --out already exists and is a trajectory file, the new run is
+APPENDED to its "runs" list instead of replacing it — so committing the
+file across PRs (or uploading it as a CI artifact keyed by commit)
+accumulates a perf history that plotting/regression tooling can consume
+without re-parsing raw benchmark dumps.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+# Keys of a benchmark entry that are structural, not user counters.
+_STRUCTURAL = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+    "label", "error_occurred", "error_message",
+}
+
+
+def summarize(path):
+    with open(path) as f:
+        report = json.load(f)
+    context = report.get("context", {})
+    entries = []
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = _TIME_UNIT_SECONDS.get(bench.get("time_unit", "ns"))
+        if unit is None:
+            sys.exit(f"{path}: unknown time_unit in "
+                     f"'{bench.get('name')}': {bench.get('time_unit')!r}")
+        entry = {
+            "name": bench["name"],
+            "real_time_s": bench["real_time"] * unit,
+            "cpu_time_s": bench.get("cpu_time", 0) * unit,
+            "iterations": bench.get("iterations", 0),
+        }
+        counters = {k: v for k, v in bench.items()
+                    if k not in _STRUCTURAL and isinstance(v, (int, float))}
+        if counters:
+            entry["counters"] = counters
+        entries.append(entry)
+    return {
+        "source": os.path.basename(path),
+        "date": context.get("date"),
+        "host": context.get("host_name"),
+        "num_cpus": context.get("num_cpus"),
+        "build_type": context.get("library_build_type"),
+        "benchmarks": entries,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True,
+                        help="trajectory file to create or append to")
+    parser.add_argument("--label",
+                        help="tag for this run (e.g. a PR number or commit)")
+    parser.add_argument("inputs", nargs="+",
+                        help="--benchmark_out JSON files to merge")
+    args = parser.parse_args()
+
+    run = {"inputs": [summarize(p) for p in args.inputs]}
+    if args.label:
+        run["label"] = args.label
+
+    trajectory = {"format": "slp-bench-trajectory-v1", "runs": []}
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            existing = json.load(f)
+        if existing.get("format") == "slp-bench-trajectory-v1":
+            trajectory = existing
+        else:
+            sys.exit(f"{args.out} exists but is not a trajectory file; "
+                     f"refusing to overwrite")
+    trajectory["runs"].append(run)
+
+    with open(args.out, "w") as f:
+        json.dump(trajectory, f, indent=1)
+        f.write("\n")
+    total = sum(len(i["benchmarks"]) for i in run["inputs"])
+    print(f"{args.out}: appended run with {total} benchmark entries "
+          f"from {len(args.inputs)} file(s) "
+          f"({len(trajectory['runs'])} run(s) total)")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,12 +4,25 @@
 Usage:
   check_bench_regression.py --current BENCH.json --baseline BASELINE.json \
       --benchmark grouping/optimized/1024 [--max-ratio 2.0]
+  check_bench_regression.py --current BENCH.json --baseline BASELINE.json \
+      --benchmark native/vector/gromacs --counter measured_speedup \
+      --min-ratio 0.5
 
 BENCH.json is the --benchmark_out JSON of a bench_* binary. BASELINE.json
 maps benchmark names to wall-clock seconds (keys starting with "_" are
-ignored). Exits non-zero when current/baseline exceeds --max-ratio for the
-named benchmark, so CI fails on large compile-time regressions while
-absorbing ordinary runner-speed variance.
+ignored). Without --counter, the gate compares the benchmark's real_time:
+exiting non-zero when current/baseline exceeds --max-ratio, so CI fails on
+large compile-time regressions while absorbing ordinary runner-speed
+variance.
+
+With --counter NAME, the gate reads the named user counter of the
+benchmark entry instead (baseline key "<benchmark>:<counter>") and
+--min-ratio applies: the run fails when current/baseline falls BELOW the
+floor. That is the shape for gauges where bigger is better — e.g. the
+native backend's measured_speedup must stay at least half its checked-in
+baseline (--min-ratio 0.5). --max-ratio may be combined to bound the
+ratio from above too; when --min-ratio is given, the upper bound is only
+enforced if --max-ratio was passed explicitly.
 """
 
 import argparse
@@ -19,16 +32,28 @@ import sys
 _TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 
 
-def current_seconds(report, name):
+def find_benchmark(report, name):
     for bench in report.get("benchmarks", []):
         if bench.get("name") == name:
-            unit = _TIME_UNIT_SECONDS.get(bench.get("time_unit", "ns"))
-            if unit is None:
-                sys.exit(f"unknown time_unit in '{name}': "
-                         f"{bench.get('time_unit')!r}")
-            return bench["real_time"] * unit
+            return bench
     sys.exit(f"benchmark '{name}' not found in the current results "
              f"(ran with the wrong --benchmark_filter?)")
+
+
+def current_seconds(report, name):
+    bench = find_benchmark(report, name)
+    unit = _TIME_UNIT_SECONDS.get(bench.get("time_unit", "ns"))
+    if unit is None:
+        sys.exit(f"unknown time_unit in '{name}': "
+                 f"{bench.get('time_unit')!r}")
+    return bench["real_time"] * unit
+
+
+def current_counter(report, name, counter):
+    bench = find_benchmark(report, name)
+    if counter not in bench:
+        sys.exit(f"benchmark '{name}' carries no counter '{counter}'")
+    return float(bench[counter])
 
 
 def main():
@@ -36,7 +61,15 @@ def main():
     parser.add_argument("--current", required=True)
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--benchmark", required=True)
-    parser.add_argument("--max-ratio", type=float, default=2.0)
+    parser.add_argument("--counter",
+                        help="gate this user counter instead of real_time "
+                             "(baseline key '<benchmark>:<counter>')")
+    parser.add_argument("--max-ratio", type=float, default=None,
+                        help="fail when current/baseline exceeds this "
+                             "(default 2.0 unless --min-ratio is given)")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="fail when current/baseline falls below this "
+                             "(for bigger-is-better counters)")
     args = parser.parse_args()
 
     with open(args.current) as f:
@@ -44,18 +77,39 @@ def main():
     with open(args.baseline) as f:
         baseline = json.load(f)
 
-    if args.benchmark not in baseline:
-        sys.exit(f"benchmark '{args.benchmark}' has no baseline entry in "
-                 f"{args.baseline}")
+    if args.counter:
+        key = f"{args.benchmark}:{args.counter}"
+        cur = current_counter(report, args.benchmark, args.counter)
+        what = args.counter
+        fmt = lambda v: f"{v:.3f}"
+    else:
+        key = args.benchmark
+        cur = current_seconds(report, args.benchmark)
+        what = "real_time"
+        fmt = lambda v: f"{v * 1e3:.1f} ms"
 
-    base = float(baseline[args.benchmark])
-    cur = current_seconds(report, args.benchmark)
+    if key not in baseline:
+        sys.exit(f"'{key}' has no baseline entry in {args.baseline}")
+
+    max_ratio = args.max_ratio
+    if max_ratio is None and args.min_ratio is None:
+        max_ratio = 2.0
+
+    base = float(baseline[key])
     ratio = cur / base
-    verdict = "OK" if ratio <= args.max_ratio else "REGRESSION"
-    print(f"{args.benchmark}: current {cur * 1e3:.1f} ms, baseline "
-          f"{base * 1e3:.1f} ms, ratio {ratio:.2f}x "
-          f"(limit {args.max_ratio:.2f}x) -> {verdict}")
-    if ratio > args.max_ratio:
+    ok = True
+    limits = []
+    if max_ratio is not None:
+        limits.append(f"<= {max_ratio:.2f}x")
+        ok = ok and ratio <= max_ratio
+    if args.min_ratio is not None:
+        limits.append(f">= {args.min_ratio:.2f}x")
+        ok = ok and ratio >= args.min_ratio
+    verdict = "OK" if ok else "REGRESSION"
+    print(f"{args.benchmark} [{what}]: current {fmt(cur)}, baseline "
+          f"{fmt(base)}, ratio {ratio:.2f}x "
+          f"(limit {', '.join(limits)}) -> {verdict}")
+    if not ok:
         sys.exit(1)
 
 

@@ -25,6 +25,9 @@
 //                         pool and generate guarded statements, so
 //                         if-conversion and the masked vector path are
 //                         exercised every iteration
+//     --native            cross-check the host-compiled native engine on
+//                         a sample of iterations (skipped with a counter
+//                         when no host compiler is available)
 //     --no-reduce         record failures without delta-debugging them
 //     --max-failures N    stop after N recorded failures (default 8)
 //     --quiet             suppress the JSON stats summary
@@ -67,6 +70,8 @@ void printUsage() {
       "  --no-verify-vector disable the static verifier oracle\n"
       "  --predication      seed predicated kernels and emit guarded\n"
       "                     statements (masked vector path every iteration)\n"
+      "  --native           cross-check the host-compiled native engine\n"
+      "                     on a sample of iterations\n"
       "  --no-reduce        skip delta-debugging reduction of failures\n"
       "  --max-failures N   stop after N recorded failures (default 8)\n"
       "  --quiet            suppress the JSON stats summary\n");
@@ -208,6 +213,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--predication") {
       Config.Predication = true;
+      continue;
+    }
+    if (Arg == "--native") {
+      Config.Native = true;
       continue;
     }
     if (Arg == "--no-reduce") {

@@ -11,9 +11,12 @@
 //     --machine=intel|amd                            (default intel)
 //     --bits=N             override the SIMD datapath width
 //     --grouping-impl=optimized|reference   grouping engine (default optimized)
-//     --exec-engine=optimized|reference     execution engine used by the
-//                                           equivalence check (default
-//                                           optimized, or $SLP_EXEC_ENGINE)
+//     --exec-engine=optimized|reference|native
+//                          execution engine used by the equivalence check
+//                          (default optimized, or $SLP_EXEC_ENGINE);
+//                          'native' runs host-compiled SIMD shared objects
+//     --emit-c             print the C the native backend emits (scalar
+//                          baseline + vector program) for every kernel
 //     --passes=<list>      run a custom comma-separated pass list
 //     --time-passes        print per-pass wall-clock timing
 //     --stats              print the named statistic counters
@@ -35,6 +38,7 @@
 
 #include "exec/ExecEngine.h"
 #include "ir/Parser.h"
+#include "native/CEmitter.h"
 #include "ir/Printer.h"
 #include "slp/Passes.h"
 #include "slp/Pipeline.h"
@@ -68,6 +72,7 @@ struct CliOptions {
   bool DumpKernel = false;
   bool DumpSchedule = false;
   bool DumpVector = false;
+  bool EmitC = false;
   bool Verify = true;
   std::optional<bool> VerifyVector; ///< unset = build-type default
   bool Analyze = false;
@@ -87,11 +92,16 @@ void printUsage() {
       "                        grouping engine; both give identical\n"
       "                        groupings, 'reference' is the slow Figure 10\n"
       "                        transcription (default optimized)\n"
-      "  --exec-engine=optimized|reference\n"
+      "  --exec-engine=optimized|reference|native\n"
       "                        execution engine for the equivalence check;\n"
       "                        'optimized' compiles kernels to flat tapes,\n"
-      "                        'reference' walks the expression trees\n"
+      "                        'reference' walks the expression trees,\n"
+      "                        'native' emits C, compiles it with the host\n"
+      "                        compiler, and runs real SIMD (falls back to\n"
+      "                        'optimized' when no host compiler exists)\n"
       "                        (default optimized, or $SLP_EXEC_ENGINE)\n"
+      "  --emit-c              print the native backend's C for every\n"
+      "                        kernel (scalar baseline + vector program)\n"
       "  --passes=<list>       run a custom comma-separated pass list\n"
       "                        (see docs/pass-pipeline.md for pass names)\n"
       "  --time-passes         print per-pass wall-clock timing\n"
@@ -256,6 +266,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.DumpSchedule = true;
     } else if (Arg == "--dump-vector") {
       Opts.DumpVector = true;
+    } else if (Arg == "--emit-c") {
+      Opts.EmitC = true;
     } else if (Arg == "--no-verify") {
       Opts.Verify = false;
     } else if (Arg == "--verify-vector") {
@@ -332,6 +344,7 @@ int main(int Argc, char **Argv) {
   Options.Machine = Opts.Machine;
   Options.Threads = Opts.Threads;
   Options.GroupingEngine = Opts.GroupingEngine;
+  Options.Exec = Opts.ExecEngine;
   if (Opts.Analyze)
     Options.VerifyVector = true;
   else if (Opts.VerifyVector)
@@ -405,6 +418,17 @@ int main(int Argc, char **Argv) {
       for (const Remark &Rem : R.Remarks)
         std::printf("%s\n", Rem.str().c_str());
 
+    if (Opts.EmitC && !Opts.Quiet) {
+      std::printf("== native C: scalar baseline ==\n%s\n",
+                  emitScalarKernelC(K).c_str());
+      if (R.TransformationApplied)
+        std::printf("== native C: vector program ==\n%s\n",
+                    emitVectorProgramC(R.Final, R.Program).c_str());
+      else
+        std::printf("== native C: vector program ==\n"
+                    "/* transformation skipped: no vector program */\n\n");
+    }
+
     if (Opts.Verify && !Opts.Analyze) {
       if (!R.Simulated) {
         std::fprintf(stderr,
@@ -440,6 +464,12 @@ int main(int Argc, char **Argv) {
     std::printf("module: %.2f%% predicted improvement over scalar across "
                 "%zu kernels\n",
                 100.0 * Module.improvement(), Parsed.Kernels.size());
+
+  if (Engine.kind() == ExecEngineKind::Native &&
+      !Engine.nativeDiagnostic().empty())
+    std::fprintf(stderr,
+                 "slpc: warning: native engine fell back to the tape: %s\n",
+                 Engine.nativeDiagnostic().c_str());
 
   if (Opts.Stats) {
     reportExecCounters(Engine.counters(), Module.Stats);
