@@ -86,9 +86,8 @@ bool slp::parseBugInjection(const std::string &Name, BugInjection &Out) {
 std::string slp::serializeFuzzCase(const FuzzCase &Case) {
   std::ostringstream Out;
   Out << "// fuzz: opt=" << optName(Case.Config.Kind)
-      << " bits=" << Case.Config.DatapathBits << " grouping="
-      << (Case.Config.Grouping == GroupingImpl::Reference ? "reference"
-                                                          : "optimized")
+      << " bits=" << Case.Config.DatapathBits
+      << " grouping=" << groupingImplName(Case.Config.Grouping)
       << " threads=" << Case.Config.Threads << "\n";
   Out << "// fuzz: env-seeds=";
   for (unsigned I = 0; I != Case.Config.EnvSeeds.size(); ++I)
@@ -161,6 +160,8 @@ bool slp::parseFuzzCase(const std::string &Text, FuzzCase &Out,
             Out.Config.Grouping = GroupingImpl::Optimized;
           else if (Value == "reference")
             Out.Config.Grouping = GroupingImpl::Reference;
+          else if (Value == "exact")
+            Out.Config.Grouping = GroupingImpl::Exact;
           else
             return Fail("unknown grouping engine '" + Value + "'");
         } else if (Key == "threads") {

@@ -44,6 +44,11 @@ PipelineOptions optionsFor(const FuzzCaseConfig &C) {
   Options.Machine = MachineModel::intelDunnington();
   Options.Machine.DatapathBits = C.DatapathBits;
   Options.GroupingEngine = C.Grouping;
+  // The exact engine's default node budget is sized for slpc/bench runs;
+  // a campaign runs thousands of pipelines, so exact configs get a small
+  // deterministic budget — random kernels that exceed it just exercise
+  // the fallback path, which is part of what the campaign checks.
+  Options.ExactBudget = 1 << 14;
   Options.Threads = 1; // module-driver threading is checked separately
   // The campaign runs the static translation validator itself (as an
   // oracle cross-checked against dynamic equivalence), so the pipeline's
@@ -280,7 +285,7 @@ std::string checkConfig(const Kernel &K, const FuzzCaseConfig &C,
 
 /// The per-iteration configuration matrix. Kept small and deterministic:
 /// every optimizer at 128 bits each iteration, wider datapaths and the
-/// reference grouping engine on alternating iterations.
+/// reference/exact grouping engines on alternating iterations.
 std::vector<FuzzCaseConfig> configsForIteration(uint64_t Iter,
                                                 uint64_t Seed1,
                                                 uint64_t Seed2) {
@@ -305,8 +310,12 @@ std::vector<FuzzCaseConfig> configsForIteration(uint64_t Iter,
   }
   if (Iter % 4 == 1)
     Push(OptimizerKind::Global, 128, GroupingImpl::Reference, 1);
+  if (Iter % 4 == 2)
+    Push(OptimizerKind::Global, 128, GroupingImpl::Exact, 1);
   if (Iter % 8 == 3)
     Push(OptimizerKind::GlobalLayout, 128, GroupingImpl::Optimized, 3);
+  if (Iter % 8 == 6)
+    Push(OptimizerKind::GlobalLayout, 128, GroupingImpl::Exact, 1);
   return Configs;
 }
 
@@ -596,6 +605,8 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
     uint64_t Seed1 = Cfg.Seed * 0x9E3779B97F4A7C15ULL + Iter;
     uint64_t Seed2 = Iter * 31 + 7;
     for (FuzzCaseConfig C : configsForIteration(Iter, Seed1, Seed2)) {
+      if (Cfg.GroupingOverride)
+        C.Grouping = *Cfg.GroupingOverride;
       C.Exec = Cfg.Exec;
       C.Inject = Cfg.Inject;
       C.VerifyVector = Cfg.VerifyVector;

@@ -24,6 +24,7 @@
 #include "fuzz/Reducer.h"
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,13 @@ struct FuzzConfig {
   /// Silently skipped (counted in FuzzStats::NativeSkips) when no host
   /// compiler is available, so campaigns stay green on bare containers.
   bool Native = false;
+  /// Force one grouping engine onto every configuration of the matrix
+  /// (`slp-fuzz --grouping-impl=`), e.g. an exact-engine campaign. Unset
+  /// runs the default mix: Optimized everywhere, Reference and Exact on
+  /// alternating iterations. The Optimized-vs-Reference bit-identity
+  /// cross-check is unaffected (the Exact engine may legitimately pick a
+  /// different packing, so it is checked semantically, not bit-for-bit).
+  std::optional<GroupingImpl> GroupingOverride;
   /// Structural mutations applied per generated kernel (0..Max).
   unsigned MaxMutationsPerKernel = 3;
   /// Every Nth iteration additionally corrupts `.slp` text and stresses

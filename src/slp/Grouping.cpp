@@ -1,6 +1,6 @@
 //===- slp/Grouping.cpp ---------------------------------------*- C++ -*-===//
 //
-// Two engines implement the Figure 10 algorithm:
+// Three engines implement the Figure 10 algorithm:
 //
 //  * GroupingImpl::Reference is the direct transcription: a dense
 //    candidate-pair conflict matrix and a from-scratch auxiliary graph
@@ -21,6 +21,13 @@
 //    auxiliary-graph state lives in reusable scratch arenas; and the
 //    greedy conflict elimination of Figure 7 pops nodes from a lazy
 //    max-heap instead of rescanning every node per removal.
+//
+//  * GroupingImpl::Exact (docs/exact-grouping.md) replaces the greedy
+//    per-round selection with a goSLP-style branch-and-bound over the
+//    Optimized engine's candidate list and conflict bitsets: it maximizes
+//    the *total* selection weight (selectionWeightOf) under a
+//    deterministic node budget, falling back to the greedy selection for
+//    any round that exhausts it.
 //
 // The incremental weight uses the identity (all terms integral, so the
 // floating-point result is exactly the reference's):
@@ -59,6 +66,8 @@ const char *slp::groupingImplName(GroupingImpl Impl) {
     return "optimized";
   case GroupingImpl::Reference:
     return "reference";
+  case GroupingImpl::Exact:
+    return "exact";
   }
   return "<invalid>";
 }
@@ -251,6 +260,39 @@ bool keepsGroupedDepsAcyclic(const DependenceInfo &Deps,
   }
   return Visited == NumNodes;
 }
+
+/// Total weight of a committed selection, the quantity the Exact engine
+/// maximizes per round and the common currency of the heuristic-regret
+/// table (bench_grouping_scale --regret): each pack-key occurrence of a
+/// selected candidate contributes 1 when its key was already present
+/// (i.e. the total superword reuse the selection creates, the sum the
+/// paper's per-decision weight averages), plus the epsilon-scaled pack
+/// quality of every selected candidate. Reported identically for all
+/// three engines via GroupingTelemetry::SelectionWeight.
+double selectionWeightOf(const GroupingOptions &Options,
+                         const std::vector<Candidate> &Candidates,
+                         const std::vector<unsigned> &Selected,
+                         size_t NumKeys) {
+  std::vector<unsigned> Count(NumKeys, 0);
+  double W = 0;
+  for (unsigned CI : Selected) {
+    const Candidate &C = Candidates[CI];
+    if (Options.UseReuseWeight)
+      for (unsigned Key : C.PackKeyIds)
+        if (Count[Key]++ > 0)
+          W += 1.0;
+    W += Options.PackQualityEpsilon * C.PackQuality;
+  }
+  return W;
+}
+
+/// What one exact round produced (file-local; the public testing hook
+/// repackages this as ExactRoundResult).
+struct ExactOutcome {
+  std::vector<std::pair<unsigned, unsigned>> Merges; // item-index pairs
+  double Weight = 0;
+  bool Exhausted = false;
+};
 
 //===----------------------------------------------------------------------===//
 // Reference engine (the paper's transcription, kept as the baseline)
@@ -513,6 +555,10 @@ std::vector<std::pair<unsigned, unsigned>> GroupingRound::run() {
         Candidates[CI].Alive = false;
     }
   }
+  if (T)
+    T->SelectionWeight +=
+        selectionWeightOf(Options, Candidates, DecidedCandidates,
+                          KeyIds.size());
   return Merges;
 }
 
@@ -569,9 +615,28 @@ public:
       : K(K), Deps(Deps), Options(Options), Items(Items), Scratch(Scratch),
         TieBreaker(Options.TieBreakSeed), T(T) {}
 
-  std::vector<std::pair<unsigned, unsigned>> run();
+  std::vector<std::pair<unsigned, unsigned>> run() {
+    prepare();
+    return runGreedy();
+  }
+
+  /// Exact per-round selection: branch-and-bound over this engine's
+  /// candidate list and conflict bitsets, maximizing the total selection
+  /// weight (selectionWeightOf). Consumes no RNG and leaves the greedy
+  /// state untouched, so runGreedyFallback() after an exhausted search is
+  /// bit-identical to a plain run().
+  ExactOutcome runExact(uint64_t NodeBudget);
+
+  /// The greedy selection on the already-prepared round; only valid after
+  /// runExact() returned with Exhausted set.
+  std::vector<std::pair<unsigned, unsigned>> runGreedyFallback() {
+    assert(Prepared && "fallback without a prepared round");
+    return runGreedy();
+  }
 
 private:
+  void prepare();
+  std::vector<std::pair<unsigned, unsigned>> runGreedy();
   void buildItemDependences();
   void identifyCandidates();
   void buildConflictBitsets();
@@ -614,6 +679,37 @@ private:
   std::vector<bool> ItemTaken;
   Rng TieBreaker;
   GroupingTelemetry *T;
+  bool Prepared = false;
+
+  // Branch-and-bound state (runExact / bbDfs). The search never mutates
+  // the greedy state above: availability lives in the Avail bitset, not
+  // the Alive flags, and all weight accounting is local to these members.
+  void bbDfs(unsigned Pos);
+  bool bbAvail(unsigned C) const {
+    return (Avail[C >> 6] >> (C & 63)) & 1;
+  }
+  void bbMask(unsigned C) { Avail[C >> 6] &= ~(uint64_t(1) << (C & 63)); }
+  void bbUnmask(unsigned C) { Avail[C >> 6] |= uint64_t(1) << (C & 63); }
+  std::vector<double> Ub;        ///< per-candidate admissible bound
+  std::vector<unsigned> Order;   ///< candidates by descending bound
+  std::vector<uint64_t> Avail;   ///< candidates still selectable
+  std::vector<unsigned> KeyCount;///< pack-key occurrences in SelStack
+  std::vector<unsigned> SelStack, BestSel;
+  std::vector<bool> BBItemTaken;
+  std::vector<unsigned> MaskedStack; ///< undo log of bbMask'd candidates
+  double CurW = 0, BestW = 0, AvailUb = 0;
+  uint64_t BBNodes = 0, BBBudget = 0;
+  bool BBExhausted = false;
+
+  // Allocation-free equivalent of keepsGroupedDepsAcyclic for the search
+  // hot path: same contracted-graph predicate over SelStack + C + untaken
+  // items, but with reused arenas and Kahn over a CSR adjacency (parallel
+  // edges need no dedup). One call per include attempt, so its constant
+  // factor bounds the whole search.
+  bool bbKeepsAcyclic(const Candidate &C);
+  std::vector<int> BBNodeOf;
+  std::vector<std::pair<unsigned, unsigned>> BBEdges;
+  std::vector<unsigned> BBInDeg, BBOfs, BBAdj, BBWork;
 };
 
 void OptimizedRound::buildItemDependences() {
@@ -884,12 +980,18 @@ void OptimizedRound::markDirtySharers(unsigned CandIdx) {
     }
 }
 
-std::vector<std::pair<unsigned, unsigned>> OptimizedRound::run() {
+void OptimizedRound::prepare() {
+  if (Prepared)
+    return;
+  Prepared = true;
   buildItemDependences();
   identifyCandidates();
   if (T)
     T->Candidates += Candidates.size();
   buildConflictBitsets();
+}
+
+std::vector<std::pair<unsigned, unsigned>> OptimizedRound::runGreedy() {
   ItemTaken.assign(Items.size(), false);
 
   unsigned NC = static_cast<unsigned>(Candidates.size());
@@ -968,7 +1070,246 @@ std::vector<std::pair<unsigned, unsigned>> OptimizedRound::run() {
     }
     markDirtySharers(Chosen);
   }
+  if (T)
+    T->SelectionWeight +=
+        selectionWeightOf(Options, Candidates, DecidedCandidates,
+                          KeyIds.size());
   return Merges;
+}
+
+/// Hard cap on the candidate count the branch-and-bound will attempt: the
+/// DFS recurses one frame per candidate, and blocks this wide exhaust any
+/// sane node budget anyway, so treat them as an immediate fallback rather
+/// than risking deep recursion.
+constexpr unsigned MaxExactCandidates = 4096;
+
+ExactOutcome OptimizedRound::runExact(uint64_t NodeBudget) {
+  prepare();
+  ExactOutcome O;
+  unsigned NC = static_cast<unsigned>(Candidates.size());
+  if (NC == 0)
+    return O; // nothing to decide: the empty selection is trivially optimal
+  if (NodeBudget == 0 || NC > MaxExactCandidates) {
+    O.Exhausted = true;
+    return O;
+  }
+
+  // Admissible per-candidate bound: including c can add at most one reuse
+  // per pack-key occurrence (an occurrence scores iff its key is already
+  // present), and an occurrence whose key appears exactly once across
+  // *all* candidates can never score (nothing else could have brought the
+  // key in), plus the epsilon-scaled quality. Searching candidates in
+  // descending bound order makes the suffix bound CurW + AvailUb tight
+  // early.
+  Ub.assign(NC, 0);
+  for (unsigned C = 0; C != NC; ++C) {
+    if (Options.UseReuseWeight)
+      for (unsigned Key : Candidates[C].PackKeyIds)
+        if (KeyPostings[Key].size() >= 2)
+          Ub[C] += 1.0;
+    Ub[C] += Options.PackQualityEpsilon * Candidates[C].PackQuality;
+  }
+  Order.resize(NC);
+  for (unsigned C = 0; C != NC; ++C)
+    Order[C] = C;
+  std::sort(Order.begin(), Order.end(), [this](unsigned A, unsigned B) {
+    if (Ub[A] != Ub[B])
+      return Ub[A] > Ub[B];
+    return A < B;
+  });
+
+  Avail.assign(RowWords, ~uint64_t(0));
+  if (NC & 63)
+    Avail[RowWords - 1] = (uint64_t(1) << (NC & 63)) - 1;
+  AvailUb = 0;
+  for (unsigned C = 0; C != NC; ++C)
+    AvailUb += Ub[C];
+  KeyCount.assign(KeyIds.size(), 0);
+  SelStack.clear();
+  BestSel.clear();
+  BBItemTaken.assign(Items.size(), false);
+  MaskedStack.clear();
+  CurW = 0;
+  BestW = -1; // the empty selection (weight 0) always beats this
+  BBNodes = 0;
+  BBBudget = NodeBudget;
+  BBExhausted = false;
+
+  bbDfs(0);
+
+  if (T)
+    T->ExactNodes += BBNodes;
+  if (BBExhausted) {
+    O.Exhausted = true;
+    return O;
+  }
+
+  // Canonical order: ascending candidate index (deterministic, and stable
+  // under any DFS exploration order).
+  std::sort(BestSel.begin(), BestSel.end());
+  O.Weight = BestW < 0 ? 0 : BestW;
+  for (unsigned C : BestSel)
+    O.Merges.emplace_back(Candidates[C].ItemA, Candidates[C].ItemB);
+  if (T) {
+    T->Commits += BestSel.size();
+    T->SelectionWeight += O.Weight;
+  }
+  return O;
+}
+
+bool OptimizedRound::bbKeepsAcyclic(const Candidate &C) {
+  if (Deps.dependences().empty())
+    return true; // no edges, trivially a DAG
+  unsigned NumStmts = Deps.numStatements();
+  BBNodeOf.assign(NumStmts, -1);
+  unsigned NumNodes = 0;
+  auto AddGroup = [&](const std::vector<unsigned> &Stmts) {
+    for (unsigned S : Stmts)
+      BBNodeOf[S] = static_cast<int>(NumNodes);
+    ++NumNodes;
+  };
+  for (unsigned DC : SelStack)
+    AddGroup(Candidates[DC].Stmts);
+  AddGroup(C.Stmts);
+  for (unsigned I = 0, E = static_cast<unsigned>(Items.size()); I != E; ++I) {
+    if (BBItemTaken[I])
+      continue;
+    if (BBNodeOf[Items[I].Stmts.front()] >= 0)
+      continue; // part of C
+    AddGroup(Items[I].Stmts);
+  }
+
+  BBEdges.clear();
+  BBInDeg.assign(NumNodes, 0);
+  for (const Dep &D : Deps.dependences()) {
+    int A = BBNodeOf[D.Src], B = BBNodeOf[D.Dst];
+    if (A != B) {
+      BBEdges.emplace_back(static_cast<unsigned>(A),
+                           static_cast<unsigned>(B));
+      ++BBInDeg[static_cast<unsigned>(B)];
+    }
+  }
+
+  // CSR successor lists via counting sort on the source node.
+  BBOfs.assign(NumNodes + 1, 0);
+  for (const auto &E : BBEdges)
+    ++BBOfs[E.first + 1];
+  for (unsigned N = 0; N != NumNodes; ++N)
+    BBOfs[N + 1] += BBOfs[N];
+  BBAdj.resize(BBEdges.size());
+  {
+    BBWork.assign(BBOfs.begin(), BBOfs.end() - 1);
+    for (const auto &E : BBEdges)
+      BBAdj[BBWork[E.first]++] = E.second;
+  }
+
+  // Kahn's algorithm.
+  BBWork.clear();
+  for (unsigned N = 0; N != NumNodes; ++N)
+    if (BBInDeg[N] == 0)
+      BBWork.push_back(N);
+  unsigned Visited = 0;
+  while (!BBWork.empty()) {
+    unsigned N = BBWork.back();
+    BBWork.pop_back();
+    ++Visited;
+    for (unsigned I = BBOfs[N]; I != BBOfs[N + 1]; ++I)
+      if (--BBInDeg[BBAdj[I]] == 0)
+        BBWork.push_back(BBAdj[I]);
+  }
+  return Visited == NumNodes;
+}
+
+void OptimizedRound::bbDfs(unsigned Pos) {
+  if (BBExhausted)
+    return;
+  unsigned NC = static_cast<unsigned>(Candidates.size());
+  while (Pos != NC && !bbAvail(Order[Pos]))
+    ++Pos;
+  if (Pos == NC) {
+    // Leaf: a maximal selection. Strict improvement keeps the first (in
+    // DFS order) of equally heavy optima, so results are deterministic.
+    if (CurW > BestW + 1e-12) {
+      BestW = CurW;
+      BestSel = SelStack;
+    }
+    return;
+  }
+  if (BBNodes >= BBBudget) {
+    BBExhausted = true;
+    return;
+  }
+  ++BBNodes;
+  // Admissible suffix bound: no completion of this prefix can beat the
+  // incumbent. (<= : an equal-weight completion would not replace it.)
+  if (CurW + AvailUb <= BestW + 1e-12) {
+    if (T)
+      ++T->ExactPrunes;
+    return;
+  }
+
+  unsigned C = Order[Pos];
+  const Candidate &Cand = Candidates[C];
+
+  // Include branch. Feasibility of a selection is order-independent, and
+  // contracted-graph acyclicity is monotone downward over selections built
+  // from candidates with mutually independent items (un-contracting the
+  // two halves of such a candidate cannot create a cycle, since any cycle
+  // through both halves survives the contraction and a direct edge
+  // between them would contradict their independence) — so checking it
+  // incrementally on every include prunes no feasible completion.
+  if (bbKeepsAcyclic(Cand)) {
+    double SavedW = CurW, SavedUb = AvailUb;
+    size_t MaskMark = MaskedStack.size();
+    double Delta = Options.PackQualityEpsilon * Cand.PackQuality;
+    if (Options.UseReuseWeight)
+      for (unsigned Key : Cand.PackKeyIds)
+        if (KeyCount[Key]++ > 0)
+          Delta += 1.0;
+    bbMask(C);
+    AvailUb -= Ub[C];
+    MaskedStack.push_back(C);
+    const uint64_t *Row =
+        &Scratch.ConflictRows[static_cast<size_t>(C) * RowWords];
+    for (size_t W = 0; W != RowWords; ++W) {
+      uint64_t Kill = Avail[W] & Row[W];
+      while (Kill) {
+        unsigned B = static_cast<unsigned>(W * 64) +
+                     static_cast<unsigned>(__builtin_ctzll(Kill));
+        Kill &= Kill - 1;
+        bbMask(B);
+        AvailUb -= Ub[B];
+        MaskedStack.push_back(B);
+      }
+    }
+    BBItemTaken[Cand.ItemA] = BBItemTaken[Cand.ItemB] = true;
+    SelStack.push_back(C);
+    CurW += Delta;
+
+    bbDfs(Pos + 1);
+
+    SelStack.pop_back();
+    BBItemTaken[Cand.ItemA] = BBItemTaken[Cand.ItemB] = false;
+    while (MaskedStack.size() > MaskMark) {
+      bbUnmask(MaskedStack.back());
+      MaskedStack.pop_back();
+    }
+    if (Options.UseReuseWeight)
+      for (unsigned Key : Cand.PackKeyIds)
+        --KeyCount[Key];
+    CurW = SavedW; // exact restore, no floating-point drift
+    AvailUb = SavedUb;
+    if (BBExhausted)
+      return;
+  }
+
+  // Exclude branch.
+  double SavedUb = AvailUb;
+  bbMask(C);
+  AvailUb -= Ub[C];
+  bbDfs(Pos + 1);
+  bbUnmask(C);
+  AvailUb = SavedUb;
 }
 
 /// True when some pair of items could still form a candidate on size
@@ -1015,6 +1356,20 @@ GroupingResult slp::groupStatementsGlobal(const Kernel &K,
     if (Options.Impl == GroupingImpl::Reference) {
       GroupingRound Round(K, Deps, Options, Items, Telemetry);
       Merges = Round.run();
+    } else if (Options.Impl == GroupingImpl::Exact) {
+      OptimizedRound Round(K, Deps, Options, Items, Scratch, Telemetry);
+      ExactOutcome O = Round.runExact(Options.ExactNodeBudget);
+      if (O.Exhausted) {
+        // Budget ran out: this round falls back to the greedy selection on
+        // the same prepared candidates/conflicts. The search consumed no
+        // RNG and touched no greedy state, so the fallback is
+        // bit-identical to a plain Optimized round.
+        if (Telemetry)
+          ++Telemetry->ExactFallbacks;
+        Merges = Round.runGreedyFallback();
+      } else {
+        Merges = std::move(O.Merges);
+      }
     } else {
       OptimizedRound Round(K, Deps, Options, Items, Scratch, Telemetry);
       Merges = Round.run();
@@ -1038,6 +1393,9 @@ GroupingResult slp::groupStatementsGlobal(const Kernel &K,
     Items = std::move(Next);
   }
 
+  if (Telemetry && Options.Impl == GroupingImpl::Exact)
+    Telemetry->ExactProvedOptimal = Telemetry->ExactFallbacks == 0 ? 1 : 0;
+
   GroupingResult Result;
   for (Item &I : Items) {
     if (I.Stmts.size() >= 2)
@@ -1051,4 +1409,56 @@ GroupingResult slp::groupStatementsGlobal(const Kernel &K,
               return A.Members.front() < B.Members.front();
             });
   return Result;
+}
+
+ExactRoundResult slp::solveFirstRoundExact(const Kernel &K,
+                                           const DependenceInfo &Deps,
+                                           const GroupingOptions &Options) {
+  std::vector<Item> Items;
+  for (unsigned S = 0, E = K.Body.size(); S != E; ++S)
+    Items.push_back(Item{{S}});
+  GroupingScratch Scratch(K.Body.size());
+  GroupingTelemetry T;
+  OptimizedRound Round(K, Deps, Options, Items, Scratch, &T);
+  ExactOutcome O = Round.runExact(Options.ExactNodeBudget);
+  ExactRoundResult R;
+  R.Weight = O.Weight;
+  R.Nodes = T.ExactNodes;
+  R.Exhausted = O.Exhausted;
+  // Round-one item indices are statement indices.
+  R.Pairs = std::move(O.Merges);
+  return R;
+}
+
+std::vector<FirstRoundCandidate>
+slp::enumerateFirstRoundCandidates(const Kernel &K,
+                                   const DependenceInfo &Deps,
+                                   const GroupingOptions &Options) {
+  std::vector<Item> Items;
+  for (unsigned S = 0, E = K.Body.size(); S != E; ++S)
+    Items.push_back(Item{{S}});
+  GroupingScratch Scratch(K.Body.size());
+  std::map<std::string, unsigned> KeyIds;
+  std::vector<Candidate> Candidates;
+  identifyCandidateGroups(
+      K, Options, Items,
+      [&](unsigned A, unsigned B) { return Scratch.isomorphic(K, A, B); },
+      [&](unsigned A, unsigned B) { return Deps.independent(A, B); },
+      KeyIds, Candidates);
+  std::vector<std::string> KeyNames(KeyIds.size());
+  for (const auto &[Str, Id] : KeyIds)
+    KeyNames[Id] = Str;
+  std::vector<FirstRoundCandidate> Out;
+  Out.reserve(Candidates.size());
+  for (const Candidate &C : Candidates) {
+    FirstRoundCandidate F;
+    // Round-one items are singleton statements.
+    F.StmtA = Items[C.ItemA].Stmts.front();
+    F.StmtB = Items[C.ItemB].Stmts.front();
+    for (unsigned Key : C.PackKeyIds)
+      F.PackKeys.push_back(KeyNames[Key]);
+    F.PackQuality = C.PackQuality;
+    Out.push_back(std::move(F));
+  }
+  return Out;
 }

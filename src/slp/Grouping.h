@@ -42,9 +42,11 @@ struct GroupingResult {
   std::vector<unsigned> Singles;
 };
 
-/// Which grouping engine runs the Figure 10 algorithm. Both produce
-/// bit-identical results (asserted by tests/slp/GroupingDifferentialTest);
-/// they differ only in compile time.
+/// Which grouping engine runs the Figure 10 algorithm. Optimized and
+/// Reference produce bit-identical results (asserted by
+/// tests/slp/GroupingDifferentialTest) and differ only in compile time;
+/// Exact replaces the greedy per-round selection with a provably optimal
+/// one and may therefore pick a different (never lighter) selection.
 enum class GroupingImpl : uint8_t {
   /// Bitset conflict rows, memoized item-level dependences, incrementally
   /// maintained candidate weights with dirty-set propagation, and reusable
@@ -55,9 +57,22 @@ enum class GroupingImpl : uint8_t {
   /// the differential-testing and benchmarking baseline
   /// (`slpc --grouping-impl=reference`).
   Reference,
+  /// goSLP-style exact pack selection (see docs/exact-grouping.md): per
+  /// widen round, a branch-and-bound search over the Optimized engine's
+  /// candidate list and conflict bitsets maximizes the total selection
+  /// weight instead of committing candidates greedily. Bounded by
+  /// GroupingOptions::ExactNodeBudget; a round that exhausts the budget
+  /// falls back to the Optimized greedy selection for that round
+  /// (`slpc --grouping-impl=exact --exact-budget=`).
+  Exact,
 };
 
 const char *groupingImplName(GroupingImpl Impl);
+
+/// Default GroupingOptions::ExactNodeBudget: large enough that the
+/// standard 16-workload suite proves per-round optimality, small enough
+/// that pathological blocks fall back in well under a second.
+constexpr uint64_t DefaultExactNodeBudget = 1u << 20;
 
 /// Per-stage instrumentation of one grouping run, reported through the
 /// pass manager's Statistics by GroupingPass (`--stats`).
@@ -70,6 +85,20 @@ struct GroupingTelemetry {
   uint64_t WeightCacheHits = 0; ///< weights served from the incremental cache
   uint64_t DirtyRecomputes = 0; ///< recomputes forced by dirty-set propagation
   uint64_t ConflictWords = 0;   ///< 64-bit words held by the conflict bitsets
+  // --- Exact engine only (see docs/exact-grouping.md) -------------------
+  uint64_t ExactNodes = 0;     ///< branch-and-bound decision nodes expanded
+  uint64_t ExactPrunes = 0;    ///< subtrees cut by the admissible bound
+  uint64_t ExactFallbacks = 0; ///< rounds abandoned to the greedy selection
+  /// 1 when every round was solved to proven per-round optimality (no
+  /// budget exhaustion), 0 otherwise. Only meaningful for Exact runs.
+  uint64_t ExactProvedOptimal = 0;
+  /// Total committed selection weight over all rounds: for every round,
+  /// the sum over selected candidates of their superword-reuse
+  /// contribution plus PackQualityEpsilon times their pack quality. The
+  /// same formula is reported for all three engines, so
+  /// Exact - Optimized is the heuristic regret tracked by
+  /// bench_grouping_scale --regret.
+  double SelectionWeight = 0;
 };
 
 /// Options controlling grouping.
@@ -89,8 +118,13 @@ struct GroupingOptions {
   /// paper's core idea). Disabled only by the ablation study, which then
   /// groups by packing cheapness alone.
   bool UseReuseWeight = true;
-  /// Which engine runs the algorithm (identical results either way).
+  /// Which engine runs the algorithm.
   GroupingImpl Impl = GroupingImpl::Optimized;
+  /// Exact engine only: branch-and-bound decision nodes allowed per widen
+  /// round before that round falls back to the Optimized greedy selection
+  /// (deterministic — the budget counts nodes, not wall clock). 0 always
+  /// falls back, making Exact behave exactly like Optimized.
+  uint64_t ExactNodeBudget = DefaultExactNodeBudget;
 };
 
 /// Runs the holistic grouping of Section 4.2 on \p K's basic block.
@@ -99,6 +133,50 @@ GroupingResult groupStatementsGlobal(const Kernel &K,
                                      const DependenceInfo &Deps,
                                      const GroupingOptions &Options,
                                      GroupingTelemetry *Telemetry = nullptr);
+
+/// Result of solveFirstRoundExact: the provably max-weight first-round
+/// selection, exposed so tests can cross-check the branch-and-bound
+/// against brute-force enumeration on small kernels.
+struct ExactRoundResult {
+  /// Selected candidate pairs as (statement, statement) indices (round one
+  /// items are single statements), sorted by first member. Empty when the
+  /// budget was exhausted.
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  /// Weight of the selection: sum over the selected candidates' pack-key
+  /// occurrences k (taken in order) of 1 for every occurrence whose key
+  /// was already present, plus PackQualityEpsilon * PackQuality per
+  /// candidate. Meaningless when Exhausted.
+  double Weight = 0;
+  uint64_t Nodes = 0; ///< decision nodes expanded
+  bool Exhausted = false; ///< budget ran out before the proof completed
+};
+
+/// Runs only the first grouping round (every statement its own item)
+/// under the Exact engine's branch-and-bound with
+/// \p Options.ExactNodeBudget. Testing hook for
+/// tests/slp/GroupingExactTest.cpp.
+ExactRoundResult solveFirstRoundExact(const Kernel &K,
+                                      const DependenceInfo &Deps,
+                                      const GroupingOptions &Options);
+
+/// One first-round candidate pair as the engines see it, exposed so the
+/// brute-force cross-check in tests/slp/GroupingExactTest.cpp can
+/// enumerate every conflict-free acyclic selection and recompute its
+/// weight independently of the branch-and-bound.
+struct FirstRoundCandidate {
+  unsigned StmtA = 0, StmtB = 0;
+  /// Multiset pack key per non-degenerate operand position, in position
+  /// order (the string form of Candidate::PackKeyIds).
+  std::vector<std::string> PackKeys;
+  double PackQuality = 0;
+};
+
+/// Enumerates the candidate pairs of the first grouping round exactly as
+/// the engines do (isomorphism, datapath fit, pairwise independence).
+/// Testing hook for tests/slp/GroupingExactTest.cpp.
+std::vector<FirstRoundCandidate>
+enumerateFirstRoundCandidates(const Kernel &K, const DependenceInfo &Deps,
+                              const GroupingOptions &Options);
 
 /// Number of lanes a superword of element type \p Ty holds on a
 /// \p DatapathBits-wide machine.

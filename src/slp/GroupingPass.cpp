@@ -37,6 +37,7 @@ void GroupingPass::run(PassContext &Ctx) {
     GO.TieBreakSeed = Options.TieBreakSeed;
     GO.UseReuseWeight = Options.Ablation.ReuseAwareGrouping;
     GO.Impl = Options.GroupingEngine;
+    GO.ExactNodeBudget = Options.ExactBudget;
     if (!Options.Ablation.PackQualityTieBreak)
       GO.PackQualityEpsilon = 0;
     GroupingTelemetry Telemetry;
@@ -54,6 +55,18 @@ void GroupingPass::run(PassContext &Ctx) {
     Ctx.Stats.add("grouping.weight-cache-hits", Telemetry.WeightCacheHits);
     Ctx.Stats.add("grouping.dirty-recomputes", Telemetry.DirtyRecomputes);
     Ctx.Stats.add("grouping.conflict-words", Telemetry.ConflictWords);
+    // Statistics counters are integral; report the (small, fractional)
+    // selection weight in milli-units so regret is still visible.
+    Ctx.Stats.add("grouping.selection-weight-milli",
+                  static_cast<uint64_t>(Telemetry.SelectionWeight * 1000.0 +
+                                        0.5));
+    if (GO.Impl == GroupingImpl::Exact) {
+      Ctx.Stats.add("grouping.exact-nodes", Telemetry.ExactNodes);
+      Ctx.Stats.add("grouping.exact-prunes", Telemetry.ExactPrunes);
+      Ctx.Stats.add("grouping.exact-fallbacks", Telemetry.ExactFallbacks);
+      Ctx.Stats.add("grouping.exact-proved-optimal",
+                    Telemetry.ExactProvedOptimal);
+    }
     if (S.Groups->Groups.empty())
       Ctx.Remarks.missed(name(),
                          "no isomorphic, dependence-free statement groups "

@@ -77,9 +77,15 @@ struct PipelineOptions {
   bool CostModelGuard = true;
   uint64_t TieBreakSeed = 1;
   /// Which grouping engine runs Section 4.2 (`slpc --grouping-impl=`).
-  /// Both produce bit-identical groupings; Reference exists for
-  /// differential testing and compile-time benchmarking.
+  /// Optimized and Reference produce bit-identical groupings (Reference
+  /// exists for differential testing and compile-time benchmarking);
+  /// Exact solves each round's pack selection to proven optimality under
+  /// ExactBudget (docs/exact-grouping.md).
   GroupingImpl GroupingEngine = GroupingImpl::Optimized;
+  /// Exact engine only (`slpc --exact-budget=`): branch-and-bound nodes
+  /// allowed per grouping round before that round falls back to the
+  /// Optimized greedy selection. Deterministic; 0 always falls back.
+  uint64_t ExactBudget = DefaultExactNodeBudget;
   /// Worker threads used by runPipelineOverModule: 1 runs kernels
   /// serially on the calling thread, N > 1 fans them out over a pool of N
   /// workers, and 0 asks for one worker per hardware thread. Results are

@@ -11,6 +11,7 @@
 
 #include "slp/Grouping.h"
 
+#include "fuzz/Fuzzer.h"
 #include "slp/Pipeline.h"
 #include "transform/IfConvert.h"
 #include "transform/Unroll.h"
@@ -20,6 +21,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+
+#ifndef SLP_FUZZ_CORPUS_DIR
+#error "CMake must define SLP_FUZZ_CORPUS_DIR"
+#endif
 
 using namespace slp;
 
@@ -183,6 +188,83 @@ TEST(GroupingDifferential, PredicatedWorkloadSuiteMatchesReference) {
     Kernel Unrolled = unrollInnermost(Conv, chooseUnrollFactor(Conv, 4));
     GroupingOptions GO;
     expectEnginesAgree(Unrolled, GO, "predicated workload " + W.Name);
+  }
+}
+
+// --- Exact engine -------------------------------------------------------
+//
+// The Exact engine may legitimately pick a different (never lighter)
+// packing than the greedy engines, so it is NOT held to bit-identity.
+// Instead it must be *semantically* interchangeable: every workload
+// still passes the static translation validator and executes
+// equivalently to the scalar reference, and every recorded fuzz repro
+// still replays clean with grouping forced to exact.
+
+/// Runs the full Global pipeline under one grouping engine and demands
+/// the two independent oracles pass: the static verifier accepts the
+/// emitted program and vector execution matches scalar execution.
+void expectPipelineSemanticallySound(const Kernel &K, GroupingImpl Impl,
+                                     const std::string &Context) {
+  PipelineOptions Options;
+  Options.GroupingEngine = Impl;
+  Options.VerifyVector = true;
+  PipelineResult R = runPipeline(K, OptimizerKind::Global, Options);
+  EXPECT_TRUE(R.Verified) << Context << " under "
+                          << groupingImplName(Impl);
+  std::string Error;
+  for (uint64_t Seed : {1234u, 99u})
+    EXPECT_TRUE(checkEquivalence(K, R, Seed, &Error))
+        << Context << " under " << groupingImplName(Impl) << ": " << Error;
+}
+
+TEST(GroupingDifferential, ExactEngineSoundOnFullWorkloadSuite) {
+  for (const Workload &W : standardWorkloads())
+    expectPipelineSemanticallySound(W.TheKernel, GroupingImpl::Exact,
+                                    "workload " + W.Name);
+}
+
+TEST(GroupingDifferential, ExactEngineSoundOnPredicatedSuite) {
+  for (const Workload &W : predicatedWorkloads())
+    expectPipelineSemanticallySound(W.TheKernel, GroupingImpl::Exact,
+                                    "predicated workload " + W.Name);
+}
+
+/// Exact's selection must never be lighter than greedy's on any workload
+/// it proves optimal (the per-commit regret invariant; the CI bench gate
+/// tracks the same ratio over time).
+TEST(GroupingDifferential, ExactSelectionAtLeastGreedyOnWorkloads) {
+  for (const Workload &W : standardWorkloads()) {
+    Kernel Unrolled =
+        unrollInnermost(W.TheKernel, chooseUnrollFactor(W.TheKernel, 4));
+    DependenceInfo Deps(Unrolled);
+    GroupingOptions GO;
+    GroupingTelemetry TOpt, TExact;
+    GO.Impl = GroupingImpl::Optimized;
+    groupStatementsGlobal(Unrolled, Deps, GO, &TOpt);
+    GO.Impl = GroupingImpl::Exact;
+    groupStatementsGlobal(Unrolled, Deps, GO, &TExact);
+    if (TExact.ExactProvedOptimal) {
+      EXPECT_GE(TExact.SelectionWeight, TOpt.SelectionWeight - 1e-9)
+          << W.Name;
+    }
+  }
+}
+
+/// Every recorded fuzz repro replays clean with grouping forced to the
+/// exact engine: the reduced kernels that once broke the pipeline are
+/// exactly the inputs most likely to trip a new selection strategy.
+TEST(GroupingDifferential, CorpusReplaysPassUnderExactEngine) {
+  std::vector<std::string> Files = listCorpusFiles(SLP_FUZZ_CORPUS_DIR);
+  ASSERT_FALSE(Files.empty())
+      << "no corpus cases under " << SLP_FUZZ_CORPUS_DIR;
+  for (const std::string &Path : Files) {
+    std::string Text;
+    ASSERT_TRUE(readFile(Path, Text)) << Path;
+    FuzzCase Case;
+    std::string Error;
+    ASSERT_TRUE(parseFuzzCase(Text, Case, &Error)) << Path << ": " << Error;
+    Case.Config.Grouping = GroupingImpl::Exact;
+    EXPECT_TRUE(runFuzzCase(Case, &Error)) << Path << ": " << Error;
   }
 }
 

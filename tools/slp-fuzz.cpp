@@ -15,6 +15,9 @@
 //     --exec-engine E     optimized|reference — execution engine kernels
 //                         run under (default: optimized, or the
 //                         SLP_EXEC_ENGINE environment variable)
+//     --grouping-impl E   optimized|reference|exact — force one grouping
+//                         engine onto every configuration of the matrix
+//                         (e.g. a dedicated exact-engine campaign)
 //     --inject-bug KIND   none|drop-item|dup-lane|swap-dependent —
 //                         mutation-test the harness: corrupt each schedule
 //                         and demand the verifier catches it
@@ -62,6 +65,9 @@ void printUsage() {
       "  --replay DIR       replay every .slp case under DIR and exit\n"
       "  --exec-engine E    optimized|reference execution engine\n"
       "                     (default: optimized, or $SLP_EXEC_ENGINE)\n"
+      "  --grouping-impl E  optimized|reference|exact — force one grouping\n"
+      "                     engine onto every configuration (default: the\n"
+      "                     mixed matrix)\n"
       "  --inject-bug KIND  none|drop-item|dup-lane|swap-dependent\n"
       "                     corrupt schedules on purpose and demand the\n"
       "                     verifier catches every applicable corruption\n"
@@ -179,6 +185,22 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Config.Exec = *Kind;
+      continue;
+    }
+    if (!argValue(Argc, Argv, I, "--grouping-impl", Value, Matched))
+      return 2;
+    if (Matched) {
+      if (Value == "optimized")
+        Config.GroupingOverride = GroupingImpl::Optimized;
+      else if (Value == "reference")
+        Config.GroupingOverride = GroupingImpl::Reference;
+      else if (Value == "exact")
+        Config.GroupingOverride = GroupingImpl::Exact;
+      else {
+        std::fprintf(stderr, "slp-fuzz: unknown --grouping-impl '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
       continue;
     }
     if (!argValue(Argc, Argv, I, "--inject-bug", Value, Matched))

@@ -10,7 +10,8 @@
 //     --opt=scalar|native|slp|global|global+layout   (default global+layout)
 //     --machine=intel|amd                            (default intel)
 //     --bits=N             override the SIMD datapath width
-//     --grouping-impl=optimized|reference   grouping engine (default optimized)
+//     --grouping-impl=optimized|reference|exact  grouping engine
+//     --exact-budget=N    per-round node budget of the exact engine
 //     --exec-engine=optimized|reference|native
 //                          execution engine used by the equivalence check
 //                          (default optimized, or $SLP_EXEC_ENGINE);
@@ -63,6 +64,7 @@ struct CliOptions {
   OptimizerKind Kind = OptimizerKind::GlobalLayout;
   MachineModel Machine = MachineModel::intelDunnington();
   GroupingImpl GroupingEngine = GroupingImpl::Optimized;
+  uint64_t ExactBudget = DefaultExactNodeBudget;
   ExecEngineKind ExecEngine = defaultExecEngineKind();
   std::vector<std::string> Passes; ///< empty = canonical pipeline
   unsigned Threads = 1;
@@ -88,10 +90,15 @@ void printUsage() {
       "(default global+layout)\n"
       "  --machine=intel|amd   target machine model (default intel)\n"
       "  --bits=N              override the SIMD datapath width\n"
-      "  --grouping-impl=optimized|reference\n"
-      "                        grouping engine; both give identical\n"
-      "                        groupings, 'reference' is the slow Figure 10\n"
-      "                        transcription (default optimized)\n"
+      "  --grouping-impl=optimized|reference|exact\n"
+      "                        grouping engine; 'optimized' and 'reference'\n"
+      "                        give identical groupings ('reference' is the\n"
+      "                        slow Figure 10 transcription), 'exact' solves\n"
+      "                        each round's pack selection to proven\n"
+      "                        optimality (default optimized)\n"
+      "  --exact-budget=N      branch-and-bound nodes allowed per grouping\n"
+      "                        round before 'exact' falls back to the\n"
+      "                        greedy selection (0 = always fall back)\n"
       "  --exec-engine=optimized|reference|native\n"
       "                        execution engine for the equivalence check;\n"
       "                        'optimized' compiles kernels to flat tapes,\n"
@@ -222,11 +229,24 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Opts.GroupingEngine = GroupingImpl::Optimized;
       else if (V == "reference")
         Opts.GroupingEngine = GroupingImpl::Reference;
+      else if (V == "exact")
+        Opts.GroupingEngine = GroupingImpl::Exact;
       else {
         std::fprintf(stderr, "slpc: unknown grouping engine '%s'\n",
                      V.c_str());
         return false;
       }
+    } else if (Arg.rfind("--exact-budget=", 0) == 0) {
+      std::string V = Arg.substr(15);
+      char *End = nullptr;
+      uint64_t Budget = std::strtoull(V.c_str(), &End, 10);
+      if (End == V.c_str() || *End != '\0') {
+        std::fprintf(stderr,
+                     "slpc: --exact-budget expects an integer, got '%s'\n",
+                     V.c_str());
+        return false;
+      }
+      Opts.ExactBudget = Budget;
     } else if (Arg.rfind("--exec-engine=", 0) == 0) {
       std::string V = Arg.substr(14);
       std::optional<ExecEngineKind> Kind = parseExecEngineName(V);
@@ -344,6 +364,7 @@ int main(int Argc, char **Argv) {
   Options.Machine = Opts.Machine;
   Options.Threads = Opts.Threads;
   Options.GroupingEngine = Opts.GroupingEngine;
+  Options.ExactBudget = Opts.ExactBudget;
   Options.Exec = Opts.ExecEngine;
   if (Opts.Analyze)
     Options.VerifyVector = true;
