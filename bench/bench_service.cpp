@@ -1,0 +1,360 @@
+//===- bench/bench_service.cpp - slpd latency/QPS load benchmark -*- C++ -*-===//
+//
+// The load generator for compilation-as-a-service: boots an in-process
+// ServiceServer on a private Unix socket (a real daemon minus the fork),
+// then drives it the way a build farm would — batched compile requests
+// over the framed wire protocol, mixed hit rates, concurrent clients.
+//
+// Phases, in order:
+//
+//  1. **Bit-identity (pre-timing)** — every artifact the daemon serves for
+//     the 16-workload suite must be byte-identical to what
+//     compileServiceArtifact produces directly in this process. A timing
+//     number for a cache that can serve wrong bytes is meaningless, so a
+//     mismatch is fatal, before any clock starts.
+//  2. **Latency** — cold compiles (uniquely renamed kernels, so every one
+//     misses) vs warm hits, single-kernel requests over one connection;
+//     p50/p95/p99 of each. The binary exits non-zero unless warm p50 is
+//     at least 10x better than cold p50 (the ISSUE's acceptance floor).
+//  3. **QPS sweeps** — hit-rate mixes (100/90/50%) x batch sizes (1/8),
+//     four client threads each with its own connection; sustained
+//     requests/s and kernels/s per configuration.
+//  4. **Restart** — stop the daemon, boot a fresh one over the same cache
+//     directory, replay the suite: at least 90% of the prior working set
+//     must come back from the persistent tier (also fatal otherwise).
+//
+// Also registers google-benchmark entries (service/latency, service/qps/*,
+// service/restart) whose counters carry the measured percentiles, QPS,
+// and disk-hit rate; bench/service_baseline.json pins them and CI gates
+// with tools/check_bench_regression.py — --min-ratio for the
+// bigger-is-better gauges (warm_speedup, qps, disk_hit_rate) and
+// --max-ratio for the lower-is-better latency counter (warm_p99_us).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace slp;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void fatal(const std::string &Why) {
+  std::fprintf(stderr, "FATAL: bench_service: %s\n", Why.c_str());
+  std::exit(1);
+}
+
+/// Unique-suffix source for cold kernels: the kernel name is part of the
+/// printed text, and the text is part of the cache key, so renaming is
+/// all it takes to force a miss.
+std::atomic<uint64_t> ColdCounter{0};
+
+std::string coldVariant(const Kernel &K) {
+  Kernel Cold = K;
+  Cold.Name += "_cold" + std::to_string(ColdCounter.fetch_add(1));
+  return printKernel(Cold);
+}
+
+ServiceClient connectOrDie(const std::string &SocketPath) {
+  std::string Err;
+  std::optional<ServiceClient> C = ServiceClient::connect(SocketPath, &Err);
+  if (!C)
+    fatal("cannot connect to '" + SocketPath + "': " + Err);
+  return std::move(*C);
+}
+
+/// One compile round trip; fatal on any transport or server error (this
+/// benchmark has no fallback path — a failed request is a broken daemon).
+ServiceReply compileOrDie(ServiceClient &Client,
+                          std::vector<std::string> Kernels,
+                          const ServiceOptions &Options) {
+  ServiceRequest Request;
+  Request.Type = ServiceRequestType::Compile;
+  Request.Options = Options;
+  Request.Kernels = std::move(Kernels);
+  ServiceReply Reply;
+  std::string Err;
+  if (!Client.roundTrip(Request, Reply, &Err))
+    fatal("round trip failed: " + Err);
+  if (!Reply.Ok)
+    fatal("server error: " + Reply.Error);
+  if (Reply.Results.size() != Request.Kernels.size())
+    fatal("result count mismatch");
+  return Reply;
+}
+
+double percentileUs(std::vector<double> Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Idx = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+using Clock = std::chrono::steady_clock;
+
+double elapsedUs(Clock::time_point Start, Clock::time_point End) {
+  return std::chrono::duration<double, std::micro>(End - Start).count();
+}
+
+struct LatencyStats {
+  double ColdP50 = 0, ColdP95 = 0, ColdP99 = 0;
+  double WarmP50 = 0, WarmP95 = 0, WarmP99 = 0;
+  double warmSpeedup() const {
+    return WarmP50 > 0 ? ColdP50 / WarmP50 : 0;
+  }
+};
+
+struct QpsConfig {
+  unsigned HitPct;
+  unsigned Batch;
+  double Qps = 0;        ///< sustained requests/s across all clients
+  double KernelsPerSec = 0;
+  std::string name() const {
+    return "service/qps/mix" + std::to_string(HitPct) + "/batch" +
+           std::to_string(Batch);
+  }
+};
+
+/// Phase 1: serve the suite cold and demand byte-identity against direct
+/// in-process compiles before any timing happens.
+void assertBitIdentity(ServiceClient &Client,
+                       const std::vector<std::string> &Suite,
+                       const std::vector<std::string> &Names,
+                       const ServiceOptions &Options) {
+  ServiceReply Reply = compileOrDie(Client, Suite, Options);
+  for (size_t I = 0; I != Suite.size(); ++I) {
+    if (Reply.Results[I].Status != CacheStatus::Miss)
+      fatal("expected a cold miss for '" + Names[I] + "', got " +
+            cacheStatusName(Reply.Results[I].Status));
+    std::string Direct, Err;
+    if (!compileServiceArtifact(Suite[I], Options, Direct, &Err))
+      fatal("direct compile of '" + Names[I] + "' failed: " + Err);
+    if (Reply.Results[I].Artifact != Direct)
+      fatal("served artifact for '" + Names[I] +
+            "' is not byte-identical to a direct compile");
+  }
+  std::printf("bit-identity: %zu/%zu served artifacts byte-identical to "
+              "direct compiles\n",
+              Suite.size(), Suite.size());
+}
+
+/// Phase 2: cold vs warm single-kernel latency over one connection.
+LatencyStats measureLatency(ServiceClient &Client,
+                            const std::vector<Kernel> &Kernels,
+                            const std::vector<std::string> &Suite,
+                            const ServiceOptions &Options) {
+  constexpr unsigned ColdPerWorkload = 2;
+  constexpr unsigned WarmSamples = 200;
+
+  std::vector<double> Cold;
+  for (const Kernel &K : Kernels)
+    for (unsigned V = 0; V != ColdPerWorkload; ++V) {
+      std::string Text = coldVariant(K);
+      auto Start = Clock::now();
+      ServiceReply Reply = compileOrDie(Client, {Text}, Options);
+      Cold.push_back(elapsedUs(Start, Clock::now()));
+      if (Reply.Results[0].Status != CacheStatus::Miss)
+        fatal("cold variant unexpectedly hit the cache");
+    }
+
+  std::vector<double> Warm;
+  for (unsigned I = 0; I != WarmSamples; ++I) {
+    const std::string &Text = Suite[I % Suite.size()];
+    auto Start = Clock::now();
+    ServiceReply Reply = compileOrDie(Client, {Text}, Options);
+    Warm.push_back(elapsedUs(Start, Clock::now()));
+    if (Reply.Results[0].Status != CacheStatus::MemoryHit)
+      fatal("warm sample was not a memory hit");
+  }
+
+  LatencyStats S;
+  S.ColdP50 = percentileUs(Cold, 0.50);
+  S.ColdP95 = percentileUs(Cold, 0.95);
+  S.ColdP99 = percentileUs(Cold, 0.99);
+  S.WarmP50 = percentileUs(Warm, 0.50);
+  S.WarmP95 = percentileUs(Warm, 0.95);
+  S.WarmP99 = percentileUs(Warm, 0.99);
+  return S;
+}
+
+/// Phase 3: one QPS configuration — \p Threads clients, each issuing
+/// \p RequestsPerThread batches where ~HitPct% of kernels are warm suite
+/// members and the rest are uniquely renamed (guaranteed cold).
+void measureQps(QpsConfig &C, const std::string &SocketPath,
+                const std::vector<Kernel> &Kernels,
+                const std::vector<std::string> &Suite,
+                const ServiceOptions &Options) {
+  constexpr unsigned Threads = 4;
+  constexpr unsigned RequestsPerThread = 25;
+
+  std::vector<std::thread> Pool;
+  auto Start = Clock::now();
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      ServiceClient Client = connectOrDie(SocketPath);
+      unsigned Stream = T; // de-phases the warm round-robin across clients
+      for (unsigned R = 0; R != RequestsPerThread; ++R) {
+        std::vector<std::string> Batch;
+        for (unsigned J = 0; J != C.Batch; ++J, ++Stream) {
+          bool WantWarm = (Stream * 37 % 100) < C.HitPct;
+          if (WantWarm)
+            Batch.push_back(Suite[Stream % Suite.size()]);
+          else
+            Batch.push_back(coldVariant(Kernels[Stream % Kernels.size()]));
+        }
+        compileOrDie(Client, std::move(Batch), Options);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  double Seconds = elapsedUs(Start, Clock::now()) * 1e-6;
+  double Requests = static_cast<double>(Threads) * RequestsPerThread;
+  C.Qps = Requests / Seconds;
+  C.KernelsPerSec = Requests * C.Batch / Seconds;
+}
+
+/// Phase 4: replay the suite against a daemon rebooted over the same
+/// cache directory; returns the fraction served from the persistent tier.
+double measureRestart(const std::string &SocketPath,
+                      const std::vector<std::string> &Suite,
+                      const ServiceOptions &Options) {
+  ServiceClient Client = connectOrDie(SocketPath);
+  ServiceReply Reply = compileOrDie(Client, Suite, Options);
+  uint64_t Kernels = Reply.counter("service.kernels");
+  uint64_t DiskHits = Reply.counter("service.hits-disk");
+  if (Kernels != Suite.size())
+    fatal("restart pass reported the wrong kernel count");
+  return static_cast<double>(DiskHits) / static_cast<double>(Kernels);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // A private socket + cache directory per run; removed at exit.
+  char Template[] = "/tmp/slp-bench-service-XXXXXX";
+  if (!::mkdtemp(Template))
+    fatal("mkdtemp failed");
+  std::string BaseDir = Template;
+  std::string SocketPath = BaseDir + "/slpd.sock";
+
+  ServerConfig Config;
+  Config.SocketPath = SocketPath;
+  Config.Cache.DiskDir = BaseDir + "/cache";
+  ServiceOptions Options; // defaults: global+layout, equivalence on
+
+  std::vector<Kernel> Kernels;
+  std::vector<std::string> Suite, Names;
+  for (const Workload &W : standardWorkloads()) {
+    Kernels.push_back(W.TheKernel);
+    Suite.push_back(printKernel(W.TheKernel));
+    Names.push_back(W.Name);
+  }
+
+  std::printf("slpd load benchmark: in-process daemon, Unix socket, "
+              "%zu-workload suite\n",
+              Suite.size());
+
+  auto Server = std::make_unique<ServiceServer>(Config);
+  std::string Err;
+  if (!Server->start(&Err))
+    fatal("cannot start server: " + Err);
+
+  ServiceClient Client = connectOrDie(SocketPath);
+  assertBitIdentity(Client, Suite, Names, Options);
+
+  LatencyStats Latency = measureLatency(Client, Kernels, Suite, Options);
+  std::printf("latency (us): cold p50/p95/p99 = %.0f/%.0f/%.0f   "
+              "warm p50/p95/p99 = %.1f/%.1f/%.1f   warm speedup = %.0fx\n",
+              Latency.ColdP50, Latency.ColdP95, Latency.ColdP99,
+              Latency.WarmP50, Latency.WarmP95, Latency.WarmP99,
+              Latency.warmSpeedup());
+  if (Latency.warmSpeedup() < 10.0)
+    fatal("warm p50 is not >= 10x better than cold p50 (got " +
+          std::to_string(Latency.warmSpeedup()) + "x)");
+
+  std::vector<QpsConfig> QpsConfigs = {
+      {100, 1}, {100, 8}, {90, 1}, {90, 8}, {50, 1}, {50, 8}};
+  for (QpsConfig &C : QpsConfigs) {
+    measureQps(C, SocketPath, Kernels, Suite, Options);
+    std::printf("qps: mix=%3u%% batch=%u -> %8.0f req/s (%8.0f kernels/s)\n",
+                C.HitPct, C.Batch, C.Qps, C.KernelsPerSec);
+  }
+
+  // Reboot over the same cache directory: the working set must come back
+  // from disk, not be recompiled.
+  Server->stop();
+  Server = std::make_unique<ServiceServer>(Config);
+  if (!Server->start(&Err))
+    fatal("cannot restart server: " + Err);
+  double DiskHitRate = measureRestart(SocketPath, Suite, Options);
+  std::printf("restart: %.0f%% of the working set served from the "
+              "persistent tier\n",
+              100.0 * DiskHitRate);
+  if (DiskHitRate < 0.9)
+    fatal("daemon restart served < 90% from the persistent tier");
+
+  // google-benchmark entries: the loops time live warm round trips against
+  // the rebooted daemon; the counters export the one-shot phase
+  // measurements so the JSON artifact (and the CI gates) carry them.
+  benchmark::RegisterBenchmark("service/latency", [&](benchmark::State &S) {
+    ServiceClient C = connectOrDie(SocketPath);
+    for (auto _ : S) {
+      ServiceReply Reply = compileOrDie(C, {Suite[0]}, Options);
+      benchmark::DoNotOptimize(Reply.Results[0].Artifact.data());
+    }
+    S.counters["cold_p50_us"] = Latency.ColdP50;
+    S.counters["warm_p50_us"] = Latency.WarmP50;
+    S.counters["warm_p95_us"] = Latency.WarmP95;
+    S.counters["warm_p99_us"] = Latency.WarmP99;
+    S.counters["warm_speedup"] = Latency.warmSpeedup();
+  });
+  for (const QpsConfig &C : QpsConfigs)
+    benchmark::RegisterBenchmark(
+        C.name().c_str(), [&, C](benchmark::State &S) {
+          ServiceClient Conn = connectOrDie(SocketPath);
+          std::vector<std::string> Batch;
+          for (unsigned J = 0; J != C.Batch; ++J)
+            Batch.push_back(Suite[J % Suite.size()]);
+          for (auto _ : S) {
+            ServiceReply Reply = compileOrDie(Conn, Batch, Options);
+            benchmark::DoNotOptimize(Reply.Results[0].Artifact.data());
+          }
+          S.counters["qps"] = C.Qps;
+          S.counters["kernels_per_sec"] = C.KernelsPerSec;
+        });
+  benchmark::RegisterBenchmark("service/restart", [&](benchmark::State &S) {
+    ServiceClient C = connectOrDie(SocketPath);
+    for (auto _ : S) {
+      ServiceReply Reply = compileOrDie(C, {Suite[0]}, Options);
+      benchmark::DoNotOptimize(Reply.Results[0].Artifact.data());
+    }
+    S.counters["disk_hit_rate"] = DiskHitRate;
+  });
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  Server->stop();
+  std::error_code Ec;
+  fs::remove_all(BaseDir, Ec);
+  return 0;
+}

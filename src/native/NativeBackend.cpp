@@ -4,6 +4,7 @@
 
 #include "native/CEmitter.h"
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -101,10 +102,20 @@ std::string compileFlags(bool ScalarBaseline) {
   return Flags;
 }
 
+/// Suffix for temp files that is unique per producer, not just per
+/// process: concurrent lowerings on different threads of one process must
+/// never share a temp path, or a racing compiler run can tear the object
+/// another thread is about to publish.
+std::string uniqueTmpSuffix() {
+  static std::atomic<uint64_t> Counter{0};
+  return ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(Counter.fetch_add(1, std::memory_order_relaxed));
+}
+
 /// Writes \p Data to \p Path atomically (temp + rename).
 bool writeFileAtomic(const fs::path &Path, const std::string &Data) {
   fs::path Tmp = Path;
-  Tmp += ".tmp." + std::to_string(::getpid());
+  Tmp += uniqueTmpSuffix();
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out)
@@ -263,7 +274,7 @@ NativeCompileResult slp::compileNativeTU(const std::string &Source,
     return R;
   }
   fs::path SoTmp = SoPath;
-  SoTmp += ".tmp." + std::to_string(::getpid());
+  SoTmp += uniqueTmpSuffix();
   std::string Cmd = "'" + CompilerPath + "' " + Flags + " -o '" +
                     SoTmp.string() + "' '" + SrcPath.string() + "' -lm > '" +
                     LogPath.string() + "' 2>&1";

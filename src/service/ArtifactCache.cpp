@@ -1,0 +1,226 @@
+//===- service/ArtifactCache.cpp ------------------------------*- C++ -*-===//
+
+#include "service/ArtifactCache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace slp;
+
+namespace fs = std::filesystem;
+
+ArtifactCache::ArtifactCache(ArtifactCacheConfig Config)
+    : Config(std::move(Config)) {}
+
+std::string ArtifactCache::diskPathFor(const std::string &Dir,
+                                       const std::string &KeyMaterial) {
+  return (fs::path(Dir) / ("slpd_" + hex64(fnv1a64(KeyMaterial)) + ".art"))
+      .string();
+}
+
+std::optional<std::string>
+ArtifactCache::memoryLookupLocked(const std::string &Material) {
+  auto It = Index.find(Material);
+  if (It == Index.end())
+    return std::nullopt;
+  Lru.splice(Lru.begin(), Lru, It->second); // promote to most-recent
+  return It->second->Artifact;
+}
+
+void ArtifactCache::insertLocked(const std::string &Material,
+                                 const std::string &Artifact) {
+  if (Index.count(Material))
+    return; // racing loader already inserted it
+  Lru.push_front(Entry{Material, Artifact});
+  Index.emplace(Material, Lru.begin());
+  Counters.MemoryBytes += Artifact.size();
+  Counters.MemoryEntries = Lru.size();
+  // Evict strictly-LRU entries past either budget, but never the entry
+  // just inserted: an oversized artifact lives alone rather than being
+  // unservable.
+  while (Lru.size() > 1 && (Counters.MemoryBytes > Config.MaxMemoryBytes ||
+                            Lru.size() > Config.MaxMemoryEntries)) {
+    Entry &Victim = Lru.back();
+    Counters.MemoryBytes -= Victim.Artifact.size();
+    Index.erase(Victim.Material);
+    Lru.pop_back();
+    ++Counters.Evictions;
+  }
+  Counters.MemoryEntries = Lru.size();
+}
+
+namespace {
+
+/// Disk layout: header line, then the length-prefixed key material and
+/// artifact. Anything that does not parse back (torn write survivor,
+/// truncation, hash collision) reads as a miss.
+constexpr const char *DiskHeader = "slpd-art-file-v1";
+
+bool readBlobAt(std::ifstream &In, const std::string &Key,
+                std::string &Out) {
+  std::string Line;
+  if (!std::getline(In, Line))
+    return false;
+  const std::string Prefix = Key + "-bytes=";
+  if (Line.rfind(Prefix, 0) != 0)
+    return false;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Line.c_str() + Prefix.size(), &End, 10);
+  if (*End != '\0')
+    return false;
+  Out.resize(N);
+  if (N && !In.read(Out.data(), static_cast<std::streamsize>(N)))
+    return false;
+  return In.get() == '\n';
+}
+
+} // namespace
+
+std::optional<std::string>
+ArtifactCache::diskLookup(const std::string &Material) {
+  if (Config.DiskDir.empty())
+    return std::nullopt;
+  fs::path Path = diskPathFor(Config.DiskDir, Material);
+  std::error_code Ec;
+  if (!fs::exists(Path, Ec) || Ec)
+    return std::nullopt;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::string Line, StoredMaterial, Artifact;
+  bool Ok = std::getline(In, Line) && Line == DiskHeader &&
+            readBlobAt(In, "material", StoredMaterial) &&
+            StoredMaterial == Material &&
+            readBlobAt(In, "artifact", Artifact);
+  if (!Ok) {
+    // Corrupt or colliding file: drop it so the recompile can republish.
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.DiskLoadErrors;
+    In.close();
+    fs::remove(Path, Ec);
+    return std::nullopt;
+  }
+  return Artifact;
+}
+
+void ArtifactCache::diskStore(const std::string &Material,
+                              const std::string &Artifact) {
+  if (Config.DiskDir.empty())
+    return;
+  std::error_code Ec;
+  fs::create_directories(Config.DiskDir, Ec);
+  if (Ec)
+    return; // persistence is best-effort; memory tier still serves
+  fs::path Path = diskPathFor(Config.DiskDir, Material);
+  fs::path Tmp = Path;
+  Tmp += ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out << DiskHeader << '\n';
+    Out << "material-bytes=" << Material.size() << '\n'
+        << Material << '\n';
+    Out << "artifact-bytes=" << Artifact.size() << '\n'
+        << Artifact << '\n';
+    if (!Out.flush())
+      return;
+  }
+  fs::rename(Tmp, Path, Ec);
+  if (Ec)
+    fs::remove(Tmp, Ec);
+}
+
+std::optional<std::string>
+ArtifactCache::lookup(const std::string &KeyMaterial, CacheStatus &Status) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (auto Hit = memoryLookupLocked(KeyMaterial)) {
+      ++Counters.MemoryHits;
+      Status = CacheStatus::MemoryHit;
+      return Hit;
+    }
+  }
+  if (auto Hit = diskLookup(KeyMaterial)) {
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.DiskHits;
+    insertLocked(KeyMaterial, *Hit);
+    Status = CacheStatus::DiskHit;
+    return Hit;
+  }
+  Status = CacheStatus::Miss;
+  return std::nullopt;
+}
+
+std::string
+ArtifactCache::getOrCompute(const std::string &KeyMaterial,
+                            const std::function<std::string()> &Compute,
+                            CacheStatus &Status) {
+  std::shared_ptr<InFlight> Flight;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (auto Hit = memoryLookupLocked(KeyMaterial)) {
+      ++Counters.MemoryHits;
+      Status = CacheStatus::MemoryHit;
+      return *Hit;
+    }
+    auto It = InFlightMap.find(KeyMaterial);
+    if (It != InFlightMap.end()) {
+      Flight = It->second;
+    } else {
+      Flight = std::make_shared<InFlight>();
+      InFlightMap.emplace(KeyMaterial, Flight);
+      Leader = true;
+    }
+  }
+
+  if (!Leader) {
+    // Identical compile already running: wait for its result instead of
+    // burning a redundant pipeline run.
+    std::unique_lock<std::mutex> FlightLock(Flight->M);
+    Flight->Cv.wait(FlightLock, [&] { return Flight->Done; });
+    std::lock_guard<std::mutex> Lock(M);
+    ++Counters.Coalesced;
+    Status = CacheStatus::Coalesced;
+    return Flight->Artifact;
+  }
+
+  // Leader: probe the disk tier, then compute. Both happen outside the
+  // cache lock so unrelated keys keep flowing.
+  std::string Artifact;
+  bool FromDisk = false;
+  if (auto Hit = diskLookup(KeyMaterial)) {
+    Artifact = std::move(*Hit);
+    FromDisk = true;
+  } else {
+    Artifact = Compute();
+    diskStore(KeyMaterial, Artifact);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (FromDisk) {
+      ++Counters.DiskHits;
+      Status = CacheStatus::DiskHit;
+    } else {
+      ++Counters.Misses;
+      Status = CacheStatus::Miss;
+    }
+    insertLocked(KeyMaterial, Artifact);
+    InFlightMap.erase(KeyMaterial);
+  }
+  {
+    std::lock_guard<std::mutex> FlightLock(Flight->M);
+    Flight->Artifact = Artifact;
+    Flight->Done = true;
+  }
+  Flight->Cv.notify_all();
+  return Artifact;
+}
+
+ArtifactCacheCounters ArtifactCache::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters;
+}

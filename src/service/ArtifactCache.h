@@ -1,0 +1,119 @@
+//===- service/ArtifactCache.h - Content-addressed result cache -*- C++ -*-===//
+///
+/// \file
+/// The compilation service's memoization layer: a two-tier,
+/// content-addressed cache of serialized compile artifacts keyed by the
+/// exact (pipeline version, canonical options, kernel text) material from
+/// Protocol.h.
+///
+///  * **Memory tier** — an LRU with byte and entry budgets, keyed by the
+///    full material string (exact, collision-free).
+///  * **Disk tier** — one file per artifact under a cache directory, named
+///    by the FNV-1a hash of the material, written with the same
+///    tmp-name+rename discipline as the native backend's object cache so
+///    concurrent writers and crashes never publish a torn file. Each file
+///    stores the full key material and is validated on load (a hash
+///    collision or corrupt file degrades to a recompile, never a wrong
+///    result). A daemon restarted over the same directory serves its
+///    prior working set warm.
+///  * **Singleflight** — concurrent requests for the same uncached key
+///    wait on one in-flight compute instead of compiling redundantly; the
+///    waiters report `CacheStatus::Coalesced`.
+///
+/// Thread-safe; the compute callback runs outside the cache lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SERVICE_ARTIFACTCACHE_H
+#define SLP_SERVICE_ARTIFACTCACHE_H
+
+#include "service/Protocol.h"
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace slp {
+
+struct ArtifactCacheConfig {
+  /// Directory of the persistent tier; empty disables it (memory only).
+  std::string DiskDir;
+  /// Memory-tier budgets: artifact bytes and entry count. Eviction is
+  /// strict LRU; a single artifact larger than the byte budget is still
+  /// admitted (alone) so oversized results remain servable.
+  size_t MaxMemoryBytes = 64u << 20;
+  size_t MaxMemoryEntries = 4096;
+};
+
+/// Monotonic telemetry (also surfaced over the wire as `cache.*`).
+struct ArtifactCacheCounters {
+  uint64_t MemoryHits = 0;
+  uint64_t DiskHits = 0;
+  uint64_t Misses = 0;         ///< computes actually run
+  uint64_t Coalesced = 0;      ///< waits on an identical in-flight compute
+  uint64_t Evictions = 0;
+  uint64_t DiskLoadErrors = 0; ///< corrupt/mismatched files skipped
+  uint64_t MemoryBytes = 0;    ///< current memory-tier payload bytes
+  uint64_t MemoryEntries = 0;
+};
+
+class ArtifactCache {
+public:
+  explicit ArtifactCache(ArtifactCacheConfig Config);
+
+  /// Returns the artifact for \p KeyMaterial, serving from memory, then
+  /// disk, then running \p Compute (at most once across all concurrent
+  /// callers of the same key). \p Status reports which tier answered.
+  std::string getOrCompute(const std::string &KeyMaterial,
+                           const std::function<std::string()> &Compute,
+                           CacheStatus &Status);
+
+  /// Probe without computing (tests, tooling): memory then disk.
+  std::optional<std::string> lookup(const std::string &KeyMaterial,
+                                    CacheStatus &Status);
+
+  ArtifactCacheCounters counters() const;
+
+  const ArtifactCacheConfig &config() const { return Config; }
+
+  /// Path the disk tier uses for \p KeyMaterial under \p Dir (exposed for
+  /// tests that corrupt or inspect files).
+  static std::string diskPathFor(const std::string &Dir,
+                                 const std::string &KeyMaterial);
+
+private:
+  struct Entry {
+    std::string Material;
+    std::string Artifact;
+  };
+  struct InFlight {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool Done = false;
+    std::string Artifact;
+  };
+
+  /// Inserts into the memory LRU and evicts past the budgets. Lock held.
+  void insertLocked(const std::string &Material, const std::string &Artifact);
+  /// Memory probe; promotes on hit. Lock held.
+  std::optional<std::string> memoryLookupLocked(const std::string &Material);
+
+  std::optional<std::string> diskLookup(const std::string &Material);
+  void diskStore(const std::string &Material, const std::string &Artifact);
+
+  ArtifactCacheConfig Config;
+  mutable std::mutex M;
+  std::list<Entry> Lru; ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> Index;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> InFlightMap;
+  ArtifactCacheCounters Counters;
+};
+
+} // namespace slp
+
+#endif // SLP_SERVICE_ARTIFACTCACHE_H

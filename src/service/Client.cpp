@@ -1,0 +1,150 @@
+//===- service/Client.cpp -------------------------------------*- C++ -*-===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace slp;
+
+namespace {
+
+/// `host:port` when the suffix after the last colon is a valid port and
+/// the prefix is non-empty; Unix socket path otherwise (covers absolute
+/// and relative paths, which may themselves contain no colon in
+/// practice).
+bool splitTcpSpec(const std::string &Spec, std::string &Host, int &Port) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 >= Spec.size())
+    return false;
+  const std::string PortText = Spec.substr(Colon + 1);
+  char *End = nullptr;
+  long P = std::strtol(PortText.c_str(), &End, 10);
+  if (End == PortText.c_str() || *End != '\0' || P <= 0 || P > 65535)
+    return false;
+  Host = Spec.substr(0, Colon);
+  Port = static_cast<int>(P);
+  return true;
+}
+
+int connectUnix(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket failed: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    if (Err)
+      *Err = "connect('" + Path + "') failed: " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int connectTcp(const std::string &Host, int Port, std::string *Err) {
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  const std::string Resolved =
+      Host == "localhost" ? std::string("127.0.0.1") : Host;
+  if (::inet_pton(AF_INET, Resolved.c_str(), &Addr.sin_addr) != 1) {
+    if (Err)
+      *Err = "cannot parse host '" + Host +
+             "' (numeric IPv4 or 'localhost' only)";
+    return -1;
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Err)
+      *Err = std::string("socket failed: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    if (Err)
+      *Err = "connect(" + Host + ":" + std::to_string(Port) +
+             ") failed: " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+std::optional<ServiceClient> ServiceClient::connect(const std::string &Spec,
+                                                    std::string *Err) {
+  std::string Host;
+  int Port = 0;
+  int Fd = splitTcpSpec(Spec, Host, Port) ? connectTcp(Host, Port, Err)
+                                          : connectUnix(Spec, Err);
+  if (Fd < 0)
+    return std::nullopt;
+  return ServiceClient(Fd);
+}
+
+ServiceClient &ServiceClient::operator=(ServiceClient &&Other) noexcept {
+  if (this != &Other) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+ServiceClient::~ServiceClient() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool ServiceClient::roundTrip(const ServiceRequest &Request,
+                              ServiceReply &Reply, std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, serializeRequest(Request), Err))
+    return false;
+  std::string Payload;
+  if (!readFrame(Fd, Payload, Err)) {
+    if (Err && Err->empty())
+      *Err = "server closed the connection";
+    return false;
+  }
+  return parseReply(Payload, Reply, Err);
+}
+
+bool ServiceClient::ping(std::string *Err) {
+  ServiceRequest R;
+  R.Type = ServiceRequestType::Ping;
+  ServiceReply Reply;
+  return roundTrip(R, Reply, Err) && Reply.Ok;
+}
+
+bool ServiceClient::shutdownServer(std::string *Err) {
+  ServiceRequest R;
+  R.Type = ServiceRequestType::Shutdown;
+  ServiceReply Reply;
+  return roundTrip(R, Reply, Err) && Reply.Ok;
+}

@@ -1,0 +1,56 @@
+//===- service/Client.h - slpd client connection ----------------*- C++ -*-===//
+///
+/// \file
+/// The thin-client side of the compilation service: connect to a running
+/// `slpd` (Unix-domain socket path, or `host:port` for a TCP daemon),
+/// send framed requests, parse framed replies. `slpc --server=<spec>`
+/// builds on this with transparent local fallback — a daemon that is
+/// down, unreachable, or protocol-incompatible degrades to an ordinary
+/// in-process compile, never an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SERVICE_CLIENT_H
+#define SLP_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <optional>
+#include <string>
+
+namespace slp {
+
+class ServiceClient {
+public:
+  /// Connects to the daemon at \p Spec: a `host:port` spec (last colon,
+  /// numeric port) dials TCP, anything else is a Unix socket path.
+  /// Nullopt (with \p Err) when the connection cannot be established.
+  static std::optional<ServiceClient> connect(const std::string &Spec,
+                                              std::string *Err);
+
+  ServiceClient(ServiceClient &&Other) noexcept : Fd(Other.Fd) {
+    Other.Fd = -1;
+  }
+  ServiceClient &operator=(ServiceClient &&Other) noexcept;
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+  ~ServiceClient();
+
+  /// Sends \p Request and reads the matching reply. False (with \p Err)
+  /// on any socket or protocol failure — the caller should fall back to
+  /// local compilation.
+  bool roundTrip(const ServiceRequest &Request, ServiceReply &Reply,
+                 std::string *Err);
+
+  /// Convenience wrappers for the control request types.
+  bool ping(std::string *Err);
+  bool shutdownServer(std::string *Err);
+
+private:
+  explicit ServiceClient(int Fd) : Fd(Fd) {}
+  int Fd = -1;
+};
+
+} // namespace slp
+
+#endif // SLP_SERVICE_CLIENT_H

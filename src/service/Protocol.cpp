@@ -1,0 +1,710 @@
+//===- service/Protocol.cpp -----------------------------------*- C++ -*-===//
+
+#include "service/Protocol.h"
+
+#include "ir/Printer.h"
+#include "vector/VectorPrinter.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace slp;
+
+uint64_t slp::fnv1a64(const std::string &Data, uint64_t H) {
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+std::string slp::hex64(uint64_t H) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+namespace {
+
+const char *machineName(ServiceMachine M) {
+  return M == ServiceMachine::Intel ? "intel" : "amd";
+}
+
+const char *optimizerCliName(OptimizerKind K) {
+  switch (K) {
+  case OptimizerKind::Scalar:
+    return "scalar";
+  case OptimizerKind::Native:
+    return "native";
+  case OptimizerKind::LarsenSlp:
+    return "slp";
+  case OptimizerKind::Global:
+    return "global";
+  case OptimizerKind::GlobalLayout:
+    return "global+layout";
+  }
+  return "<invalid>";
+}
+
+std::optional<OptimizerKind> parseOptimizerCliName(const std::string &V) {
+  if (V == "scalar")
+    return OptimizerKind::Scalar;
+  if (V == "native")
+    return OptimizerKind::Native;
+  if (V == "slp")
+    return OptimizerKind::LarsenSlp;
+  if (V == "global")
+    return OptimizerKind::Global;
+  if (V == "global+layout")
+    return OptimizerKind::GlobalLayout;
+  return std::nullopt;
+}
+
+std::string hexDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%a", V);
+  return Buf;
+}
+
+void appendLine(std::string &Out, const std::string &Key,
+                const std::string &Value) {
+  Out += Key;
+  Out += '=';
+  Out += Value;
+  Out += '\n';
+}
+
+void appendU64(std::string &Out, const std::string &Key, uint64_t Value) {
+  appendLine(Out, Key, std::to_string(Value));
+}
+
+void appendFlag(std::string &Out, const std::string &Key, bool Value) {
+  appendLine(Out, Key, Value ? "1" : "0");
+}
+
+/// Length-prefixed blob: `key-bytes=N\n` + N raw bytes + `\n`.
+void appendBlob(std::string &Out, const std::string &Key,
+                const std::string &Data) {
+  appendU64(Out, Key + "-bytes", Data.size());
+  Out += Data;
+  Out += '\n';
+}
+
+/// Sequential reader over the line/blob serialization. Every accessor
+/// returns false after setting the error, so parsers read as straight
+/// `if (!C.xxx) return false;` chains.
+struct Cursor {
+  const std::string &S;
+  size_t Pos = 0;
+  std::string *Err;
+
+  Cursor(const std::string &S, std::string *Err) : S(S), Err(Err) {}
+
+  bool fail(const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  }
+
+  bool line(std::string &Out) {
+    if (Pos >= S.size())
+      return fail("unexpected end of payload");
+    size_t Nl = S.find('\n', Pos);
+    if (Nl == std::string::npos)
+      return fail("unterminated line");
+    Out.assign(S, Pos, Nl - Pos);
+    Pos = Nl + 1;
+    return true;
+  }
+
+  /// `key=value` with exactly \p Key.
+  bool keyed(const std::string &Key, std::string &Value) {
+    std::string L;
+    if (!line(L))
+      return false;
+    if (L.rfind(Key + "=", 0) != 0)
+      return fail("expected '" + Key + "=', got '" + L + "'");
+    Value = L.substr(Key.size() + 1);
+    return true;
+  }
+
+  bool u64(const std::string &Key, uint64_t &Value) {
+    std::string V;
+    if (!keyed(Key, V))
+      return false;
+    char *End = nullptr;
+    errno = 0;
+    Value = std::strtoull(V.c_str(), &End, 10);
+    if (End == V.c_str() || *End != '\0' || errno == ERANGE)
+      return fail("'" + Key + "' is not an integer: '" + V + "'");
+    return true;
+  }
+
+  bool flag(const std::string &Key, bool &Value) {
+    std::string V;
+    if (!keyed(Key, V))
+      return false;
+    if (V != "0" && V != "1")
+      return fail("'" + Key + "' is not a flag: '" + V + "'");
+    Value = V == "1";
+    return true;
+  }
+
+  bool real(const std::string &Key, double &Value) {
+    std::string V;
+    if (!keyed(Key, V))
+      return false;
+    char *End = nullptr;
+    Value = std::strtod(V.c_str(), &End);
+    if (End == V.c_str() || *End != '\0')
+      return fail("'" + Key + "' is not a number: '" + V + "'");
+    return true;
+  }
+
+  bool blob(const std::string &Key, std::string &Data) {
+    uint64_t N = 0;
+    if (!u64(Key + "-bytes", N))
+      return false;
+    if (N > ServiceMaxFrameBytes)
+      return fail("'" + Key + "' blob too large");
+    if (Pos + N + 1 > S.size())
+      return fail("'" + Key + "' blob truncated");
+    Data.assign(S, Pos, N);
+    Pos += N;
+    if (S[Pos] != '\n')
+      return fail("'" + Key + "' blob missing terminator");
+    ++Pos;
+    return true;
+  }
+
+  bool done() const { return Pos == S.size(); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Options
+//===----------------------------------------------------------------------===//
+
+std::string ServiceOptions::canonical() const {
+  std::string Out;
+  Out += "slpd-options-v1\n";
+  appendLine(Out, "pipeline-version", ServicePipelineVersion);
+  appendLine(Out, "opt", optimizerCliName(Kind));
+  appendLine(Out, "machine", machineName(Machine));
+  appendU64(Out, "bits", Bits);
+  appendLine(Out, "grouping-impl", groupingImplName(GroupingEngine));
+  appendU64(Out, "exact-budget", ExactBudget);
+  appendLine(Out, "exec-engine", execEngineName(Exec));
+  appendFlag(Out, "verify-vector", VerifyVector);
+  appendFlag(Out, "verify-lint", VerifyLint);
+  appendFlag(Out, "werror", VerifyWerror);
+  appendFlag(Out, "equivalence", Equivalence);
+  return Out;
+}
+
+PipelineOptions ServiceOptions::toPipelineOptions() const {
+  PipelineOptions P;
+  P.Machine = Machine == ServiceMachine::Intel
+                  ? MachineModel::intelDunnington()
+                  : MachineModel::amdPhenomII();
+  if (Bits)
+    P.Machine.DatapathBits = Bits;
+  P.GroupingEngine = GroupingEngine;
+  P.ExactBudget = ExactBudget;
+  P.Exec = Exec;
+  P.VerifyVector = VerifyVector;
+  P.VerifyLint = VerifyLint;
+  P.VerifyWerror = VerifyWerror;
+  // The server shards at kernel granularity; each kernel compiles on one
+  // worker, so the intra-pipeline driver stays serial.
+  P.Threads = 1;
+  return P;
+}
+
+std::optional<ServiceOptions>
+slp::parseServiceOptions(const std::string &Text, std::string *Err) {
+  Cursor C(Text, Err);
+  std::string L;
+  if (!C.line(L))
+    return std::nullopt;
+  if (L != "slpd-options-v1") {
+    C.fail("unknown option block '" + L + "'");
+    return std::nullopt;
+  }
+  ServiceOptions O;
+  std::string V;
+  if (!C.keyed("pipeline-version", V))
+    return std::nullopt;
+  if (V != ServicePipelineVersion) {
+    C.fail("pipeline version mismatch: client '" + V + "', server '" +
+           ServicePipelineVersion + "'");
+    return std::nullopt;
+  }
+  if (!C.keyed("opt", V))
+    return std::nullopt;
+  if (auto K = parseOptimizerCliName(V))
+    O.Kind = *K;
+  else {
+    C.fail("unknown optimizer '" + V + "'");
+    return std::nullopt;
+  }
+  if (!C.keyed("machine", V))
+    return std::nullopt;
+  if (V == "intel")
+    O.Machine = ServiceMachine::Intel;
+  else if (V == "amd")
+    O.Machine = ServiceMachine::Amd;
+  else {
+    C.fail("unknown machine '" + V + "'");
+    return std::nullopt;
+  }
+  uint64_t Bits = 0;
+  if (!C.u64("bits", Bits))
+    return std::nullopt;
+  O.Bits = static_cast<unsigned>(Bits);
+  if (!C.keyed("grouping-impl", V))
+    return std::nullopt;
+  if (V == groupingImplName(GroupingImpl::Optimized))
+    O.GroupingEngine = GroupingImpl::Optimized;
+  else if (V == groupingImplName(GroupingImpl::Reference))
+    O.GroupingEngine = GroupingImpl::Reference;
+  else if (V == groupingImplName(GroupingImpl::Exact))
+    O.GroupingEngine = GroupingImpl::Exact;
+  else {
+    C.fail("unknown grouping engine '" + V + "'");
+    return std::nullopt;
+  }
+  if (!C.u64("exact-budget", O.ExactBudget))
+    return std::nullopt;
+  if (!C.keyed("exec-engine", V))
+    return std::nullopt;
+  if (auto E = parseExecEngineName(V))
+    O.Exec = *E;
+  else {
+    C.fail("unknown exec engine '" + V + "'");
+    return std::nullopt;
+  }
+  if (!C.flag("verify-vector", O.VerifyVector) ||
+      !C.flag("verify-lint", O.VerifyLint) ||
+      !C.flag("werror", O.VerifyWerror) ||
+      !C.flag("equivalence", O.Equivalence))
+    return std::nullopt;
+  return O;
+}
+
+std::string slp::artifactKeyMaterial(const std::string &KernelText,
+                                     const ServiceOptions &Options) {
+  // canonical() embeds the pipeline version; the '\0' separator keeps
+  // (options, kernel) splits unambiguous.
+  std::string M = Options.canonical();
+  M += '\0';
+  M += KernelText;
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Artifacts
+//===----------------------------------------------------------------------===//
+
+const char *slp::cacheStatusName(CacheStatus S) {
+  switch (S) {
+  case CacheStatus::Miss:
+    return "miss";
+  case CacheStatus::MemoryHit:
+    return "hit-mem";
+  case CacheStatus::DiskHit:
+    return "hit-disk";
+  case CacheStatus::Coalesced:
+    return "coalesced";
+  }
+  return "<invalid>";
+}
+
+std::optional<CacheStatus>
+slp::parseCacheStatusName(const std::string &Name) {
+  if (Name == "miss")
+    return CacheStatus::Miss;
+  if (Name == "hit-mem")
+    return CacheStatus::MemoryHit;
+  if (Name == "hit-disk")
+    return CacheStatus::DiskHit;
+  if (Name == "coalesced")
+    return CacheStatus::Coalesced;
+  return std::nullopt;
+}
+
+std::string slp::renderSchedule(const Schedule &S) {
+  std::string Out;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf),
+                "== schedule (%u superword statement(s)) ==\n",
+                S.numGroups());
+  Out += Buf;
+  for (const ScheduleItem &Item : S.Items) {
+    Out += "  ";
+    Out += Item.isGroup() ? "superword <" : "scalar    <";
+    for (unsigned L = 0; L != Item.width(); ++L) {
+      if (L)
+        Out += ", ";
+      std::snprintf(Buf, sizeof(Buf), "S%u", Item.Lanes[L]);
+      Out += Buf;
+    }
+    Out += ">\n";
+  }
+  return Out;
+}
+
+ServiceArtifact slp::makeArtifact(const Kernel &Source,
+                                  const PipelineResult &R, bool EquivChecked,
+                                  bool EquivOk) {
+  (void)Source;
+  ServiceArtifact A;
+  A.KernelName = Source.Name;
+  A.Optimizer = optimizerName(R.Kind);
+  A.Transformed = R.TransformationApplied;
+  A.LayoutApplied = R.LayoutApplied;
+  A.Simulated = R.Simulated;
+  A.Verified = R.Verified;
+  A.EquivChecked = EquivChecked;
+  A.EquivOk = EquivOk;
+  A.Groups = R.TheSchedule.numGroups();
+  A.ScalarCycles = R.ScalarSim.Cycles;
+  A.VectorCycles = R.VectorSim.Cycles;
+  A.LayoutScalarPacks = R.Layout.ScalarPacksPlaced;
+  A.LayoutArrayPacks = R.Layout.ArrayPacksReplicated;
+  A.LayoutReplicatedBytes = R.Layout.ReplicatedBytes;
+  for (const Diagnostic &D : R.VerifyDiags)
+    A.Diags.push_back(D.render());
+  A.PreprocessedText = printKernel(R.Preprocessed);
+  A.FinalText = printKernel(R.Final);
+  A.ScheduleText = renderSchedule(R.TheSchedule);
+  A.ProgramText = printVectorProgram(R.Final, R.Program);
+  return A;
+}
+
+std::string slp::serializeArtifact(const ServiceArtifact &A) {
+  std::string Out;
+  Out += "slpd-artifact-v1\n";
+  appendLine(Out, "name", A.KernelName);
+  appendLine(Out, "optimizer", A.Optimizer);
+  appendFlag(Out, "transformed", A.Transformed);
+  appendFlag(Out, "layout-applied", A.LayoutApplied);
+  appendFlag(Out, "simulated", A.Simulated);
+  appendFlag(Out, "verified", A.Verified);
+  appendFlag(Out, "equiv-checked", A.EquivChecked);
+  appendFlag(Out, "equiv-ok", A.EquivOk);
+  appendU64(Out, "groups", A.Groups);
+  appendLine(Out, "scalar-cycles", hexDouble(A.ScalarCycles));
+  appendLine(Out, "vector-cycles", hexDouble(A.VectorCycles));
+  appendU64(Out, "layout-scalar-packs", A.LayoutScalarPacks);
+  appendU64(Out, "layout-array-packs", A.LayoutArrayPacks);
+  appendLine(Out, "layout-replicated-bytes",
+             hexDouble(A.LayoutReplicatedBytes));
+  appendU64(Out, "diag-count", A.Diags.size());
+  for (const std::string &D : A.Diags)
+    appendBlob(Out, "diag", D);
+  appendBlob(Out, "preprocessed", A.PreprocessedText);
+  appendBlob(Out, "final", A.FinalText);
+  appendBlob(Out, "schedule", A.ScheduleText);
+  appendBlob(Out, "program", A.ProgramText);
+  return Out;
+}
+
+bool slp::parseArtifact(const std::string &Text, ServiceArtifact &A,
+                        std::string *Err) {
+  Cursor C(Text, Err);
+  std::string L;
+  if (!C.line(L))
+    return false;
+  if (L != "slpd-artifact-v1")
+    return C.fail("unknown artifact header '" + L + "'");
+  uint64_t Groups = 0, ScalarPacks = 0, ArrayPacks = 0, DiagCount = 0;
+  if (!C.keyed("name", A.KernelName) ||
+      !C.keyed("optimizer", A.Optimizer) ||
+      !C.flag("transformed", A.Transformed) ||
+      !C.flag("layout-applied", A.LayoutApplied) ||
+      !C.flag("simulated", A.Simulated) ||
+      !C.flag("verified", A.Verified) ||
+      !C.flag("equiv-checked", A.EquivChecked) ||
+      !C.flag("equiv-ok", A.EquivOk) || !C.u64("groups", Groups) ||
+      !C.real("scalar-cycles", A.ScalarCycles) ||
+      !C.real("vector-cycles", A.VectorCycles) ||
+      !C.u64("layout-scalar-packs", ScalarPacks) ||
+      !C.u64("layout-array-packs", ArrayPacks) ||
+      !C.real("layout-replicated-bytes", A.LayoutReplicatedBytes) ||
+      !C.u64("diag-count", DiagCount))
+    return false;
+  A.Groups = static_cast<unsigned>(Groups);
+  A.LayoutScalarPacks = static_cast<unsigned>(ScalarPacks);
+  A.LayoutArrayPacks = static_cast<unsigned>(ArrayPacks);
+  A.Diags.clear();
+  for (uint64_t I = 0; I != DiagCount; ++I) {
+    std::string D;
+    if (!C.blob("diag", D))
+      return false;
+    A.Diags.push_back(std::move(D));
+  }
+  return C.blob("preprocessed", A.PreprocessedText) &&
+         C.blob("final", A.FinalText) &&
+         C.blob("schedule", A.ScheduleText) &&
+         C.blob("program", A.ProgramText);
+}
+
+//===----------------------------------------------------------------------===//
+// Requests and replies
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *requestTypeName(ServiceRequestType T) {
+  switch (T) {
+  case ServiceRequestType::Compile:
+    return "compile";
+  case ServiceRequestType::Ping:
+    return "ping";
+  case ServiceRequestType::Stats:
+    return "stats";
+  case ServiceRequestType::Shutdown:
+    return "shutdown";
+  }
+  return "<invalid>";
+}
+
+std::optional<ServiceRequestType> parseRequestTypeName(const std::string &V) {
+  if (V == "compile")
+    return ServiceRequestType::Compile;
+  if (V == "ping")
+    return ServiceRequestType::Ping;
+  if (V == "stats")
+    return ServiceRequestType::Stats;
+  if (V == "shutdown")
+    return ServiceRequestType::Shutdown;
+  return std::nullopt;
+}
+
+} // namespace
+
+std::string slp::serializeRequest(const ServiceRequest &R) {
+  std::string Out;
+  Out += "slpd-request-v1\n";
+  appendLine(Out, "type", requestTypeName(R.Type));
+  appendBlob(Out, "options", R.Options.canonical());
+  appendU64(Out, "kernel-count", R.Kernels.size());
+  for (const std::string &K : R.Kernels)
+    appendBlob(Out, "kernel", K);
+  return Out;
+}
+
+bool slp::parseRequest(const std::string &Text, ServiceRequest &R,
+                       std::string *Err) {
+  Cursor C(Text, Err);
+  std::string L;
+  if (!C.line(L))
+    return false;
+  if (L != "slpd-request-v1")
+    return C.fail("unknown request header '" + L + "'");
+  std::string V;
+  if (!C.keyed("type", V))
+    return false;
+  if (auto T = parseRequestTypeName(V))
+    R.Type = *T;
+  else
+    return C.fail("unknown request type '" + V + "'");
+  std::string OptionsText;
+  if (!C.blob("options", OptionsText))
+    return false;
+  if (auto O = parseServiceOptions(OptionsText, Err))
+    R.Options = *O;
+  else
+    return false;
+  uint64_t Count = 0;
+  if (!C.u64("kernel-count", Count))
+    return false;
+  R.Kernels.clear();
+  for (uint64_t I = 0; I != Count; ++I) {
+    std::string K;
+    if (!C.blob("kernel", K))
+      return false;
+    R.Kernels.push_back(std::move(K));
+  }
+  return true;
+}
+
+std::string slp::serializeReply(const ServiceReply &R) {
+  std::string Out;
+  Out += "slpd-reply-v1\n";
+  appendLine(Out, "status", R.Ok ? "ok" : "error");
+  if (!R.Ok)
+    appendBlob(Out, "error", R.Error);
+  appendU64(Out, "result-count", R.Results.size());
+  for (const ServiceResult &Res : R.Results) {
+    appendLine(Out, "cache", cacheStatusName(Res.Status));
+    appendBlob(Out, "artifact", Res.Artifact);
+  }
+  appendU64(Out, "counter-count", R.Counters.size());
+  for (const auto &C : R.Counters)
+    appendLine(Out, "counter", C.first + ":" + std::to_string(C.second));
+  return Out;
+}
+
+bool slp::parseReply(const std::string &Text, ServiceReply &R,
+                     std::string *Err) {
+  Cursor C(Text, Err);
+  std::string L;
+  if (!C.line(L))
+    return false;
+  if (L != "slpd-reply-v1")
+    return C.fail("unknown reply header '" + L + "'");
+  std::string V;
+  if (!C.keyed("status", V))
+    return false;
+  R.Ok = V == "ok";
+  if (!R.Ok) {
+    if (V != "error")
+      return C.fail("unknown reply status '" + V + "'");
+    if (!C.blob("error", R.Error))
+      return false;
+  }
+  uint64_t Count = 0;
+  if (!C.u64("result-count", Count))
+    return false;
+  R.Results.clear();
+  for (uint64_t I = 0; I != Count; ++I) {
+    ServiceResult Res;
+    if (!C.keyed("cache", V))
+      return false;
+    if (auto S = parseCacheStatusName(V))
+      Res.Status = *S;
+    else
+      return C.fail("unknown cache status '" + V + "'");
+    if (!C.blob("artifact", Res.Artifact))
+      return false;
+    R.Results.push_back(std::move(Res));
+  }
+  if (!C.u64("counter-count", Count))
+    return false;
+  R.Counters.clear();
+  for (uint64_t I = 0; I != Count; ++I) {
+    if (!C.keyed("counter", V))
+      return false;
+    size_t Colon = V.rfind(':');
+    if (Colon == std::string::npos)
+      return C.fail("malformed counter '" + V + "'");
+    char *End = nullptr;
+    uint64_t Value = std::strtoull(V.c_str() + Colon + 1, &End, 10);
+    if (*End != '\0')
+      return C.fail("malformed counter value '" + V + "'");
+    R.Counters.emplace_back(V.substr(0, Colon), Value);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool sendAll(int Fd, const void *Data, size_t Size, std::string *Err) {
+  const char *P = static_cast<const char *>(Data);
+  while (Size) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as an
+    // error return, not a SIGPIPE kill of the daemon.
+    ssize_t N = ::send(Fd, P, Size, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = std::string("send failed: ") + std::strerror(errno);
+      return false;
+    }
+    P += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads exactly \p Size bytes; \p AtEof reports a clean EOF before the
+/// first byte.
+bool recvAll(int Fd, void *Data, size_t Size, bool &AtEof,
+             std::string *Err) {
+  AtEof = false;
+  char *P = static_cast<char *>(Data);
+  size_t Got = 0;
+  while (Got < Size) {
+    ssize_t N = ::recv(Fd, P + Got, Size - Got, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = std::string("recv failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      if (Got == 0)
+        AtEof = true;
+      else if (Err)
+        *Err = "connection closed mid-frame";
+      return false;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool slp::writeFrame(int Fd, const std::string &Payload, std::string *Err) {
+  if (Payload.size() > ServiceMaxFrameBytes) {
+    if (Err)
+      *Err = "frame payload too large";
+    return false;
+  }
+  unsigned char Header[8];
+  uint32_t Magic = ServiceFrameMagic;
+  uint32_t Size = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I != 4; ++I) {
+    Header[I] = static_cast<unsigned char>(Magic >> (8 * I));
+    Header[4 + I] = static_cast<unsigned char>(Size >> (8 * I));
+  }
+  return sendAll(Fd, Header, sizeof(Header), Err) &&
+         sendAll(Fd, Payload.data(), Payload.size(), Err);
+}
+
+bool slp::readFrame(int Fd, std::string &Payload, std::string *Err) {
+  if (Err)
+    Err->clear();
+  unsigned char Header[8];
+  bool AtEof = false;
+  if (!recvAll(Fd, Header, sizeof(Header), AtEof, Err))
+    return false; // clean EOF leaves *Err empty
+  uint32_t Magic = 0, Size = 0;
+  for (int I = 0; I != 4; ++I) {
+    Magic |= static_cast<uint32_t>(Header[I]) << (8 * I);
+    Size |= static_cast<uint32_t>(Header[4 + I]) << (8 * I);
+  }
+  if (Magic != ServiceFrameMagic) {
+    if (Err)
+      *Err = "bad frame magic (not an slpd peer?)";
+    return false;
+  }
+  if (Size > ServiceMaxFrameBytes) {
+    if (Err)
+      *Err = "frame too large";
+    return false;
+  }
+  Payload.resize(Size);
+  if (Size == 0)
+    return true;
+  if (!recvAll(Fd, Payload.data(), Size, AtEof, Err)) {
+    if (AtEof && Err)
+      *Err = "connection closed mid-frame";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,212 @@
+//===- service/Protocol.h - slpd wire protocol and artifacts ----*- C++ -*-===//
+///
+/// \file
+/// The compilation service's wire protocol (docs/service.md): a client
+/// sends batches of kernel texts plus a canonicalized option block to a
+/// long-running `slpd` daemon, which answers with per-kernel *artifacts* —
+/// the serialized outcome of one pipeline run (vector program text,
+/// schedule, predicted cycles, diagnostics, verification flags).
+///
+/// Three layers live here:
+///
+///  * **Framing** — every message is one length-prefixed frame
+///    (`"SLPF"` magic + little-endian uint32 payload size) so requests and
+///    responses of any size travel over a stream socket without ambiguity.
+///  * **Payloads** — requests, replies, options, and artifacts serialize
+///    to a line-oriented `key=value` text with length-prefixed blobs
+///    (`key-bytes=N` followed by exactly N raw bytes). Doubles are
+///    rendered as hexfloats so parsing round-trips bit-exactly.
+///  * **Cache keys** — `artifactKeyMaterial` concatenates the pipeline
+///    version, the canonical option block, and the kernel text; its
+///    FNV-1a hash names on-disk cache files, while the full material is
+///    the exact (collision-free) in-memory key and is stored inside every
+///    disk artifact for validation on load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SERVICE_PROTOCOL_H
+#define SLP_SERVICE_PROTOCOL_H
+
+#include "slp/Pipeline.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slp {
+
+/// Version tag baked into every cache key. Bump whenever the pipeline's
+/// output for an identical (kernel, options) pair can change — stale
+/// artifacts from an older pipeline then miss instead of serving wrong
+/// results.
+inline constexpr const char *ServicePipelineVersion = "slp-pipeline-v9";
+
+/// Frame magic ("SLPF") + maximum payload a peer may send. The cap bounds
+/// allocation on malformed or hostile input.
+inline constexpr uint32_t ServiceFrameMagic = 0x46504C53u; // "SLPF" LE
+inline constexpr uint32_t ServiceMaxFrameBytes = 256u << 20;
+
+/// FNV-1a 64-bit over \p Data, continuing from \p H (offset basis by
+/// default). The same function the native backend uses for its object
+/// cache, exposed here so every content-addressed tier hashes alike.
+uint64_t fnv1a64(const std::string &Data,
+                 uint64_t H = 1469598103934665603ULL);
+
+/// Lower-case 16-digit hex rendering of \p H (cache file stems).
+std::string hex64(uint64_t H);
+
+/// The two machine models a service request may name. Requests carry the
+/// model by name + datapath override (never raw cost tables), which keeps
+/// the canonical option block — and therefore the cache key — small and
+/// total.
+enum class ServiceMachine : uint8_t { Intel, Amd };
+
+/// Options a compile request carries. A deliberate subset of
+/// PipelineOptions: every field here either changes the emitted artifact
+/// or selects the engine that verifies it, and every field is part of the
+/// cache key (conservative: fields with bit-identical engine contracts,
+/// like the grouping implementation, still key separately).
+struct ServiceOptions {
+  OptimizerKind Kind = OptimizerKind::GlobalLayout;
+  ServiceMachine Machine = ServiceMachine::Intel;
+  /// Datapath width override; 0 keeps the named machine's default.
+  unsigned Bits = 0;
+  GroupingImpl GroupingEngine = GroupingImpl::Optimized;
+  uint64_t ExactBudget = DefaultExactNodeBudget;
+  /// Engine the server runs the execution-based equivalence check under.
+  ExecEngineKind Exec = ExecEngineKind::Optimized;
+  bool VerifyVector = false;
+  bool VerifyLint = false;
+  bool VerifyWerror = false;
+  /// Run the execution-based equivalence check after compiling (cold path
+  /// only; hits reuse the recorded outcome).
+  bool Equivalence = true;
+
+  /// The canonical text block: one `key=value` line per field in a fixed
+  /// order, starting with the pipeline version. Equal blocks == equal
+  /// compile behavior; the block is both the wire encoding and the option
+  /// component of the cache key.
+  std::string canonical() const;
+
+  /// Expands into the PipelineOptions the server compiles under.
+  PipelineOptions toPipelineOptions() const;
+};
+
+/// Parses a canonical option block; nullopt (with \p Err) on unknown
+/// keys/values or missing version line.
+std::optional<ServiceOptions> parseServiceOptions(const std::string &Text,
+                                                  std::string *Err);
+
+/// Exact cache key material for (kernel text, options): pipeline version
+/// and option block followed by the kernel text. Collision-free by
+/// construction (it embeds, not hashes, both components).
+std::string artifactKeyMaterial(const std::string &KernelText,
+                                const ServiceOptions &Options);
+
+/// How a per-kernel result was produced.
+enum class CacheStatus : uint8_t {
+  Miss,      ///< compiled by this request
+  MemoryHit, ///< served from the in-memory LRU
+  DiskHit,   ///< served from the persistent tier (and promoted)
+  Coalesced, ///< waited on an identical in-flight compile
+};
+
+const char *cacheStatusName(CacheStatus S);
+std::optional<CacheStatus> parseCacheStatusName(const std::string &Name);
+
+/// The serialized outcome of one pipeline run — what the cache stores and
+/// the wire carries. Texts are the canonical printer renderings, so byte
+/// equality of two artifacts is result equality.
+struct ServiceArtifact {
+  std::string KernelName;
+  std::string Optimizer; ///< optimizerName() spelling
+  bool Transformed = false;
+  bool LayoutApplied = false;
+  bool Simulated = false;
+  bool Verified = false;     ///< static validator proved the program
+  bool EquivChecked = false; ///< execution-based equivalence ran
+  bool EquivOk = false;
+  unsigned Groups = 0; ///< superword statements in the schedule
+  double ScalarCycles = 0;
+  double VectorCycles = 0;
+  unsigned LayoutScalarPacks = 0; ///< scalar packs the layout pass placed
+  unsigned LayoutArrayPacks = 0;  ///< array packs it replicated
+  double LayoutReplicatedBytes = 0;
+  std::vector<std::string> Diags; ///< rendered verifier diagnostics
+  std::string PreprocessedText;   ///< printKernel after unrolling
+  std::string FinalText;          ///< printKernel of the layout result
+  std::string ScheduleText;       ///< renderSchedule()
+  std::string ProgramText;        ///< printVectorProgram
+
+  double improvement() const {
+    return ScalarCycles > 0 ? 1.0 - VectorCycles / ScalarCycles : 0.0;
+  }
+};
+
+/// Renders the schedule the way `slpc --dump-schedule` prints it (shared
+/// so server artifacts and local dumps are byte-identical).
+std::string renderSchedule(const Schedule &S);
+
+/// Builds the artifact for \p R (compiled from \p Source).
+ServiceArtifact makeArtifact(const Kernel &Source, const PipelineResult &R,
+                             bool EquivChecked, bool EquivOk);
+
+std::string serializeArtifact(const ServiceArtifact &A);
+bool parseArtifact(const std::string &Text, ServiceArtifact &A,
+                   std::string *Err);
+
+/// Request types. Compile is the workhorse; Ping answers readiness
+/// probes; Stats returns the server counter snapshot; Shutdown asks the
+/// daemon to stop accepting and exit its wait loop.
+enum class ServiceRequestType : uint8_t { Compile, Ping, Stats, Shutdown };
+
+struct ServiceRequest {
+  ServiceRequestType Type = ServiceRequestType::Compile;
+  ServiceOptions Options;
+  std::vector<std::string> Kernels; ///< kernel-language texts
+};
+
+std::string serializeRequest(const ServiceRequest &R);
+bool parseRequest(const std::string &Text, ServiceRequest &R,
+                  std::string *Err);
+
+/// One per-kernel reply entry: how it was served plus the raw artifact
+/// bytes (parse with parseArtifact on demand).
+struct ServiceResult {
+  CacheStatus Status = CacheStatus::Miss;
+  std::string Artifact;
+};
+
+struct ServiceReply {
+  bool Ok = false;
+  std::string Error;
+  std::vector<ServiceResult> Results;
+  /// Server-side counters (name -> value), both the per-request tallies
+  /// (`service.hits`, ...) and the daemon-lifetime cache totals.
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+
+  uint64_t counter(const std::string &Name) const {
+    for (const auto &C : Counters)
+      if (C.first == Name)
+        return C.second;
+    return 0;
+  }
+};
+
+std::string serializeReply(const ServiceReply &R);
+bool parseReply(const std::string &Text, ServiceReply &R, std::string *Err);
+
+/// Writes one frame (magic + LE length + \p Payload) to \p Fd, retrying
+/// short writes. False (with \p Err) on any socket error.
+bool writeFrame(int Fd, const std::string &Payload, std::string *Err);
+
+/// Reads one frame from \p Fd into \p Payload. False on EOF before a
+/// header (clean close — \p Err left empty), malformed magic, oversized
+/// length, or a truncated payload (\p Err set).
+bool readFrame(int Fd, std::string &Payload, std::string *Err);
+
+} // namespace slp
+
+#endif // SLP_SERVICE_PROTOCOL_H

@@ -1,0 +1,397 @@
+//===- service/Server.cpp -------------------------------------*- C++ -*-===//
+
+#include "service/Server.h"
+
+#include "exec/ExecEngine.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace slp;
+
+bool slp::compileServiceArtifact(const std::string &KernelText,
+                                 const ServiceOptions &Options,
+                                 std::string &ArtifactOut, std::string *Err) {
+  ParseResult Parsed = parseKernel(KernelText);
+  if (!Parsed.succeeded()) {
+    if (Err)
+      *Err = "line " + std::to_string(Parsed.ErrorLine) + ": " +
+             Parsed.ErrorMessage;
+    return false;
+  }
+  const Kernel &K = *Parsed.TheKernel;
+  PipelineResult R = runPipeline(K, Options.Kind, Options.toPipelineOptions());
+  bool EquivChecked = false, EquivOk = false;
+  if (Options.Equivalence && R.Simulated) {
+    ExecEngine Engine(Options.Exec);
+    EquivChecked = true;
+    EquivOk = checkEquivalence(K, R, /*Seed=*/0xC0FFEE, nullptr, &Engine);
+  }
+  ArtifactOut = serializeArtifact(makeArtifact(K, R, EquivChecked, EquivOk));
+  return true;
+}
+
+ServiceServer::ServiceServer(ServerConfig ConfigIn)
+    : Config(std::move(ConfigIn)), Cache(Config.Cache) {}
+
+ServiceServer::~ServiceServer() { stop(); }
+
+namespace {
+
+unsigned effectiveWorkers(unsigned Requested, size_t NumKernels) {
+  unsigned T = Requested;
+  if (T == 0) {
+    T = std::thread::hardware_concurrency();
+    if (T == 0)
+      T = 1;
+  }
+  if (NumKernels < T)
+    T = static_cast<unsigned>(NumKernels);
+  return T == 0 ? 1 : T;
+}
+
+bool listenOn(int Fd, std::string *Err) {
+  if (::listen(Fd, /*backlog=*/64) != 0) {
+    if (Err)
+      *Err = std::string("listen failed: ") + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool ServiceServer::start(std::string *Err) {
+  if (Started.load()) {
+    if (Err)
+      *Err = "server already started";
+    return false;
+  }
+  if (Config.SocketPath.empty()) {
+    if (Err)
+      *Err = "no socket path configured";
+    return false;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Config.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Config.SocketPath;
+    return false;
+  }
+  std::strncpy(Addr.sun_path, Config.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+
+  UnixFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (UnixFd < 0) {
+    if (Err)
+      *Err = std::string("socket failed: ") + std::strerror(errno);
+    return false;
+  }
+  // A previous daemon's socket file would make bind fail; a live daemon
+  // is indistinguishable from a stale file here, so the operator contract
+  // is one daemon per socket path (slpd --stop shuts the old one down).
+  ::unlink(Config.SocketPath.c_str());
+  if (::bind(UnixFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    if (Err)
+      *Err = "bind('" + Config.SocketPath +
+             "') failed: " + std::strerror(errno);
+    ::close(UnixFd);
+    UnixFd = -1;
+    return false;
+  }
+  if (!listenOn(UnixFd, Err)) {
+    UnixFd = -1;
+    return false;
+  }
+
+  if (Config.TcpPort >= 0) {
+    TcpFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (TcpFd < 0) {
+      if (Err)
+        *Err = std::string("tcp socket failed: ") + std::strerror(errno);
+      stop();
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(TcpFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in TcpAddr{};
+    TcpAddr.sin_family = AF_INET;
+    TcpAddr.sin_port = htons(static_cast<uint16_t>(Config.TcpPort));
+    TcpAddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // localhost only
+    if (::bind(TcpFd, reinterpret_cast<sockaddr *>(&TcpAddr),
+               sizeof(TcpAddr)) != 0) {
+      if (Err)
+        *Err = "tcp bind(127.0.0.1:" + std::to_string(Config.TcpPort) +
+               ") failed: " + std::strerror(errno);
+      stop();
+      return false;
+    }
+    if (!listenOn(TcpFd, Err)) {
+      TcpFd = -1;
+      stop();
+      return false;
+    }
+  }
+
+  Started.store(true);
+  ShuttingDown.store(false);
+  AcceptThreads.emplace_back([this] { acceptLoop(UnixFd); });
+  if (TcpFd >= 0)
+    AcceptThreads.emplace_back([this] { acceptLoop(TcpFd); });
+  return true;
+}
+
+void ServiceServer::acceptLoop(int ListenFd) {
+  while (!ShuttingDown.load()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // listener closed by stop()
+    }
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    if (ShuttingDown.load()) {
+      ::close(Fd);
+      break;
+    }
+    ++Counters.Connections;
+    uint64_t Id = NextConnId++;
+    LiveConnFds.emplace(Id, Fd);
+    ConnThreads.emplace_back([this, Fd, Id] {
+      serveConnection(Fd);
+      // Deregister before closing: stop() may shutdown() any fd still in
+      // the map, which must never be a recycled descriptor.
+      {
+        std::lock_guard<std::mutex> Inner(StateMutex);
+        LiveConnFds.erase(Id);
+      }
+      ::close(Fd);
+    });
+  }
+}
+
+void ServiceServer::serveConnection(int Fd) {
+  std::string Payload, Err;
+  while (!ShuttingDown.load()) {
+    if (!readFrame(Fd, Payload, &Err))
+      break; // clean EOF or error either way ends the connection
+    ServiceRequest Request;
+    ServiceReply Reply;
+    if (!parseRequest(Payload, Request, &Err)) {
+      {
+        std::lock_guard<std::mutex> Lock(StateMutex);
+        ++Counters.ProtocolErrors;
+      }
+      Reply.Ok = false;
+      Reply.Error = "malformed request: " + Err;
+    } else {
+      Reply = handle(Request);
+    }
+    bool Written = writeFrame(Fd, serializeReply(Reply), &Err);
+    // Signal shutdown only after the reply frame is on the wire, so the
+    // requesting client reads a clean acknowledgement instead of a
+    // connection torn down mid-frame by stop().
+    if (Request.Type == ServiceRequestType::Shutdown) {
+      ShuttingDown.store(true);
+      StateCv.notify_all();
+      break;
+    }
+    if (!Written)
+      break;
+  }
+}
+
+ServiceReply ServiceServer::handle(const ServiceRequest &Request) {
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    ++Counters.Requests;
+    Counters.Kernels += Request.Kernels.size();
+  }
+  ServiceReply Reply;
+  switch (Request.Type) {
+  case ServiceRequestType::Ping:
+  case ServiceRequestType::Stats:
+    Reply.Ok = true;
+    break;
+  case ServiceRequestType::Shutdown:
+    // The connection loop signals ShuttingDown after the acknowledgement
+    // is written (see serveConnection); handle() only forms the reply.
+    Reply.Ok = true;
+    break;
+  case ServiceRequestType::Compile:
+    Reply = handleCompile(Request);
+    break;
+  }
+  appendCounters(Reply);
+  return Reply;
+}
+
+ServiceReply ServiceServer::handleCompile(const ServiceRequest &Request) {
+  ServiceReply Reply;
+  const size_t N = Request.Kernels.size();
+  std::vector<ServiceResult> Slots(N);
+  std::vector<std::string> Errors(N);
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> AnyError{false};
+
+  // Same sharding discipline as runPipelineOverModule: workers claim
+  // kernel indices and write into pre-sized slots, so result order is
+  // deterministic no matter how the pool interleaves.
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+         I = Next.fetch_add(1, std::memory_order_relaxed)) {
+      ParseResult Parsed = parseKernel(Request.Kernels[I]);
+      if (!Parsed.succeeded()) {
+        Errors[I] = "kernel " + std::to_string(I) + ": line " +
+                    std::to_string(Parsed.ErrorLine) + ": " +
+                    Parsed.ErrorMessage;
+        AnyError.store(true);
+        continue;
+      }
+      // Key on the canonical printing, not the received bytes: modules
+      // differing only in whitespace or comments share artifacts.
+      std::string Canonical = printKernel(*Parsed.TheKernel);
+      std::string Material = artifactKeyMaterial(Canonical, Request.Options);
+      Slots[I].Artifact = Cache.getOrCompute(
+          Material,
+          [&]() {
+            std::string Artifact, Err;
+            // Parse of a canonical printing cannot fail (round-trip
+            // contract); compile from it so cache peers are bit-equal.
+            compileServiceArtifact(Canonical, Request.Options, Artifact,
+                                   &Err);
+            return Artifact;
+          },
+          Slots[I].Status);
+    }
+  };
+
+  unsigned Threads = effectiveWorkers(Config.Threads, N);
+  if (Threads <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  if (AnyError.load()) {
+    Reply.Ok = false;
+    for (const std::string &E : Errors)
+      if (!E.empty()) {
+        Reply.Error = E; // first failing kernel names the request error
+        break;
+      }
+    return Reply;
+  }
+
+  Reply.Ok = true;
+  Reply.Results = std::move(Slots);
+  // Per-request tallies (what `slpc --stats` reports as service.*).
+  uint64_t Mem = 0, Disk = 0, Coal = 0, Miss = 0;
+  for (const ServiceResult &R : Reply.Results)
+    switch (R.Status) {
+    case CacheStatus::MemoryHit:
+      ++Mem;
+      break;
+    case CacheStatus::DiskHit:
+      ++Disk;
+      break;
+    case CacheStatus::Coalesced:
+      ++Coal;
+      break;
+    case CacheStatus::Miss:
+      ++Miss;
+      break;
+    }
+  Reply.Counters.emplace_back("service.kernels", N);
+  Reply.Counters.emplace_back("service.hits", Mem + Disk + Coal);
+  Reply.Counters.emplace_back("service.hits-memory", Mem);
+  Reply.Counters.emplace_back("service.hits-disk", Disk);
+  Reply.Counters.emplace_back("service.coalesced", Coal);
+  Reply.Counters.emplace_back("service.misses", Miss);
+  return Reply;
+}
+
+void ServiceServer::appendCounters(ServiceReply &Reply) const {
+  ArtifactCacheCounters C = Cache.counters();
+  Reply.Counters.emplace_back("cache.memory-hits", C.MemoryHits);
+  Reply.Counters.emplace_back("cache.disk-hits", C.DiskHits);
+  Reply.Counters.emplace_back("cache.misses", C.Misses);
+  Reply.Counters.emplace_back("cache.coalesced", C.Coalesced);
+  Reply.Counters.emplace_back("cache.evictions", C.Evictions);
+  Reply.Counters.emplace_back("cache.disk-load-errors", C.DiskLoadErrors);
+  Reply.Counters.emplace_back("cache.memory-bytes", C.MemoryBytes);
+  Reply.Counters.emplace_back("cache.memory-entries", C.MemoryEntries);
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  Reply.Counters.emplace_back("server.requests", Counters.Requests);
+  Reply.Counters.emplace_back("server.kernels", Counters.Kernels);
+  Reply.Counters.emplace_back("server.connections", Counters.Connections);
+  Reply.Counters.emplace_back("server.protocol-errors",
+                              Counters.ProtocolErrors);
+}
+
+void ServiceServer::wait(const std::atomic<bool> *ExternalStop) {
+  std::unique_lock<std::mutex> Lock(StateMutex);
+  // Polling keeps the external flag a plain atomic, which a signal
+  // handler may set without async-signal-safety concerns.
+  while (!ShuttingDown.load() && !(ExternalStop && ExternalStop->load()))
+    StateCv.wait_for(Lock, std::chrono::milliseconds(200));
+}
+
+void ServiceServer::stop() {
+  if (!Started.exchange(false))
+    return;
+  ShuttingDown.store(true);
+  StateCv.notify_all();
+  // Closing the listeners unblocks accept(); shutting down live
+  // connections unblocks their recv().
+  if (UnixFd >= 0) {
+    ::shutdown(UnixFd, SHUT_RDWR);
+    ::close(UnixFd);
+    UnixFd = -1;
+  }
+  if (TcpFd >= 0) {
+    ::shutdown(TcpFd, SHUT_RDWR);
+    ::close(TcpFd);
+    TcpFd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    for (const auto &Conn : LiveConnFds)
+      ::shutdown(Conn.second, SHUT_RDWR);
+  }
+  for (std::thread &T : AcceptThreads)
+    T.join();
+  AcceptThreads.clear();
+  // Connection threads may still be appending to ConnThreads via the
+  // accept loop; with accepts joined, the vector is stable now.
+  std::vector<std::thread> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    Conns.swap(ConnThreads);
+  }
+  for (std::thread &T : Conns)
+    T.join();
+  if (!Config.SocketPath.empty())
+    ::unlink(Config.SocketPath.c_str());
+}
+
+ServerCounters ServiceServer::counters() const {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  return Counters;
+}

@@ -1,0 +1,118 @@
+//===- service/Server.h - The slpd compilation service ----------*- C++ -*-===//
+///
+/// \file
+/// The long-running side of compilation-as-a-service: `ServiceServer`
+/// listens on a Unix-domain socket (optionally a localhost TCP port too),
+/// accepts framed requests (service/Protocol.h), shards each compile
+/// batch across a worker pool — the same claim-an-index discipline as the
+/// parallel module driver — and memoizes every per-kernel artifact in a
+/// two-tier content-addressed ArtifactCache. `tools/slpd.cpp` is a thin
+/// flag-parsing wrapper; benches and tests embed the server in-process.
+///
+/// `compileServiceArtifact` is the single compile entry point: the server
+/// workers, the load benchmark's bit-identity oracle, and the cache-key
+/// tests all produce artifacts through it, so "served from cache" and
+/// "compiled directly" are byte-comparable by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SERVICE_SERVER_H
+#define SLP_SERVICE_SERVER_H
+
+#include "service/ArtifactCache.h"
+#include "service/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace slp {
+
+/// Compiles \p KernelText under \p Options and returns the serialized
+/// artifact: parse, run the pipeline, optionally run the execution-based
+/// equivalence check, serialize. Deterministic in its inputs. Returns
+/// false (with \p Err) only on a parse failure.
+bool compileServiceArtifact(const std::string &KernelText,
+                            const ServiceOptions &Options,
+                            std::string &ArtifactOut, std::string *Err);
+
+struct ServerConfig {
+  /// Path of the Unix-domain listening socket (always on; unlinked and
+  /// rebound at start, removed at stop).
+  std::string SocketPath;
+  /// Localhost TCP port to listen on additionally; -1 disables.
+  int TcpPort = -1;
+  /// Worker threads a compile batch fans out over (0 = one per hardware
+  /// thread). Mirrors PipelineOptions::Threads semantics.
+  unsigned Threads = 0;
+  ArtifactCacheConfig Cache;
+};
+
+/// Daemon-lifetime counters, appended to every reply as `server.*`.
+struct ServerCounters {
+  uint64_t Requests = 0;
+  uint64_t Kernels = 0;
+  uint64_t Connections = 0;
+  uint64_t ProtocolErrors = 0;
+};
+
+class ServiceServer {
+public:
+  explicit ServiceServer(ServerConfig Config);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer &) = delete;
+  ServiceServer &operator=(const ServiceServer &) = delete;
+
+  /// Binds the listeners and spawns the accept threads. False (with
+  /// \p Err) when a socket cannot be set up.
+  bool start(std::string *Err);
+
+  /// Blocks until a Shutdown request arrives or stop() is called.
+  /// \p ExternalStop (optional) is polled so a signal handler's atomic
+  /// store also ends the wait.
+  void wait(const std::atomic<bool> *ExternalStop = nullptr);
+
+  /// Stops accepting, unblocks in-flight connections, joins every thread,
+  /// and removes the socket file. Idempotent.
+  void stop();
+
+  /// Handles one already-parsed request (exposed so tests can drive the
+  /// dispatch logic without a socket).
+  ServiceReply handle(const ServiceRequest &Request);
+
+  const ArtifactCache &cache() const { return Cache; }
+  ServerCounters counters() const;
+  const ServerConfig &config() const { return Config; }
+
+private:
+  void acceptLoop(int ListenFd);
+  void serveConnection(int Fd);
+  ServiceReply handleCompile(const ServiceRequest &Request);
+  void appendCounters(ServiceReply &Reply) const;
+
+  ServerConfig Config;
+  ArtifactCache Cache;
+
+  int UnixFd = -1;
+  int TcpFd = -1;
+  std::atomic<bool> ShuttingDown{false};
+  std::atomic<bool> Started{false};
+
+  mutable std::mutex StateMutex;
+  std::condition_variable StateCv;
+  std::vector<std::thread> AcceptThreads;
+  std::vector<std::thread> ConnThreads;
+  std::unordered_map<uint64_t, int> LiveConnFds;
+  uint64_t NextConnId = 0;
+  ServerCounters Counters;
+};
+
+} // namespace slp
+
+#endif // SLP_SERVICE_SERVER_H

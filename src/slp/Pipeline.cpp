@@ -3,6 +3,7 @@
 #include "slp/Pipeline.h"
 
 #include "exec/ExecEngine.h"
+#include "ir/Printer.h"
 #include "slp/Passes.h"
 #include "vector/VectorInterp.h"
 
@@ -10,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <thread>
+#include <unordered_map>
 
 using namespace slp;
 
@@ -77,40 +79,67 @@ slp::runPipelineOverModule(const std::vector<Kernel> &Module,
                            OptimizerKind Kind,
                            const PipelineOptions &Options) {
   ModulePipelineResult M;
-  unsigned Threads = effectiveThreads(Options.Threads, Module.size());
+
+  // Byte-identical kernels compile once: Canonical[I] names the first
+  // kernel with the same canonical printing (which includes the name, so
+  // only true duplicates fold), and later occurrences copy its result.
+  // The copies still carry per-kernel statistics, so every aggregate is
+  // identical to a dedup-free run.
+  std::vector<size_t> Canonical(Module.size());
+  std::vector<size_t> UniqueIdx;
+  UniqueIdx.reserve(Module.size());
+  {
+    std::unordered_map<std::string, size_t> FirstByText;
+    FirstByText.reserve(Module.size());
+    for (size_t I = 0; I != Module.size(); ++I) {
+      auto [It, Inserted] = FirstByText.emplace(printKernel(Module[I]), I);
+      Canonical[I] = It->second;
+      if (Inserted)
+        UniqueIdx.push_back(I);
+    }
+  }
+  const uint64_t DedupHits = Module.size() - UniqueIdx.size();
+
+  std::vector<PipelineResult> Slots(Module.size());
+  unsigned Threads = effectiveThreads(Options.Threads, UniqueIdx.size());
 
   if (Threads <= 1) {
     // Each worker (and the serial path) builds its own pipeline, so pass
     // objects are never shared across threads.
     PassPipeline Pipeline = buildCanonicalPipeline(Kind);
-    for (const Kernel &K : Module)
-      accumulate(M, runPassPipeline(K, Kind, Options, Pipeline));
-    return M;
+    for (size_t I : UniqueIdx)
+      Slots[I] = runPassPipeline(Module[I], Kind, Options, Pipeline);
+  } else {
+    // Fan the unique kernels out over a small worker pool. Workers claim
+    // indices from a shared counter and write into a pre-sized slot
+    // vector, so the result order — and, after the in-order merge below,
+    // every aggregate — is identical to the serial run's.
+    std::atomic<size_t> Next{0};
+    auto Worker = [&] {
+      PassPipeline Pipeline = buildCanonicalPipeline(Kind);
+      for (size_t J = Next.fetch_add(1, std::memory_order_relaxed);
+           J < UniqueIdx.size();
+           J = Next.fetch_add(1, std::memory_order_relaxed))
+        Slots[UniqueIdx[J]] =
+            runPassPipeline(Module[UniqueIdx[J]], Kind, Options, Pipeline);
+    };
+
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
   }
 
-  // Fan the kernels out over a small worker pool. Workers claim kernel
-  // indices from a shared counter and write into a pre-sized slot vector,
-  // so the result order — and, after the in-order merge below, every
-  // aggregate — is identical to the serial run's.
-  std::vector<PipelineResult> Slots(Module.size());
-  std::atomic<size_t> Next{0};
-  auto Worker = [&] {
-    PassPipeline Pipeline = buildCanonicalPipeline(Kind);
-    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-         I < Module.size();
-         I = Next.fetch_add(1, std::memory_order_relaxed))
-      Slots[I] = runPassPipeline(Module[I], Kind, Options, Pipeline);
-  };
-
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
-  for (unsigned T = 0; T != Threads; ++T)
-    Pool.emplace_back(Worker);
-  for (std::thread &T : Pool)
-    T.join();
-
+  // Fill the duplicate slots by copy while every original is still
+  // intact, then merge in kernel order.
+  for (size_t I = 0; I != Module.size(); ++I)
+    if (Canonical[I] != I)
+      Slots[I] = Slots[Canonical[I]];
   for (PipelineResult &R : Slots)
     accumulate(M, std::move(R));
+  M.Stats.set("driver.dedup-hits", DedupHits);
   return M;
 }
 

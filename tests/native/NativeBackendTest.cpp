@@ -32,9 +32,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <unistd.h>
 
 using namespace slp;
@@ -290,6 +292,51 @@ TEST_F(NativeBackendTest, WarmCacheSkipsHostCompiler) {
   CompiledScalarKernel Again = Second.compileScalar(K);
   EXPECT_TRUE(Again.Native);
   EXPECT_GE(Second.counters().NativeMemoryHits, 1u);
+}
+
+TEST_F(NativeBackendTest, ConcurrentLoweringsRaceSafely) {
+  // Several engines lowering the same kernel at once exercise the object
+  // cache's tmp-name+rename discipline: every thread must get a working
+  // entry with bit-identical execution results, no fallbacks, and the
+  // cache must end up with exactly one published object — no torn or
+  // leftover files from racing producers.
+  requireHostCompiler();
+  Kernel K = workloadByName("milc").TheKernel;
+  constexpr unsigned N = 4;
+  std::deque<Environment> Envs;
+  for (unsigned I = 0; I != N; ++I)
+    Envs.emplace_back(K, /*Seed=*/7);
+
+  std::vector<uint64_t> Fallbacks(N, ~0ull);
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([&, I] {
+      ExecEngine Engine(ExecEngineKind::Native); // one engine per thread
+      Engine.runKernel(K, Envs[I]);
+      Fallbacks[I] = Engine.counters().NativeFallbacks;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (unsigned I = 0; I != N; ++I) {
+    EXPECT_EQ(Fallbacks[I], 0u) << "thread " << I << " fell back";
+    EXPECT_TRUE(Envs[I].matches(Envs[0],
+                                static_cast<unsigned>(K.Scalars.size()),
+                                static_cast<unsigned>(K.Arrays.size())))
+        << "thread " << I << " diverged";
+  }
+
+  unsigned Objects = 0, Leftovers = 0;
+  for (const auto &E : std::filesystem::directory_iterator(CacheDir)) {
+    std::string Name = E.path().filename().string();
+    if (Name.size() > 3 && Name.rfind(".so") == Name.size() - 3)
+      ++Objects;
+    else if (Name.rfind(".c") == std::string::npos &&
+             !(Name.size() > 4 && Name.rfind(".log") == Name.size() - 4))
+      ++Leftovers; // temp files a losing producer failed to clean up
+  }
+  EXPECT_EQ(Objects, 1u);
+  EXPECT_EQ(Leftovers, 0u);
 }
 
 TEST_F(NativeBackendTest, MissingCompilerFallsBackToTape) {

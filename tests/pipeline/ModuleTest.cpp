@@ -204,6 +204,87 @@ TEST(ModulePipeline, MoreThreadsThanKernels) {
   EXPECT_GT(M.improvement(), 0.0);
 }
 
+TEST(ModulePipeline, DedupCompilesDuplicateKernelsOnce) {
+  // Two byte-identical kernels (plus a whitespace variant, which
+  // canonical printing folds too) and one distinct one: the driver must
+  // report two dedup hits and still return four full results.
+  ModuleParseResult Parsed = parseModule(R"(
+    kernel twin {
+      array float A[64] readonly; array float B[64];
+      loop i = 0 .. 64 { B[i] = A[i] * 2.0; }
+    }
+    kernel twin {
+      array float A[64] readonly; array float B[64];
+      loop i = 0 .. 64 { B[i] = A[i] * 2.0; }
+    }
+    kernel twin { // reformatted, same canonical printing
+      array float A[64] readonly;
+      array float B[64];
+      loop i = 0 .. 64 {
+        B[i] = A[i] * 2.0;
+      }
+    }
+    kernel other {
+      array float C[64];
+      loop i = 0 .. 64 { C[i] = C[i] + 1.0; }
+    }
+  )");
+  ASSERT_TRUE(Parsed.succeeded()) << Parsed.ErrorMessage;
+  PipelineOptions Options;
+  ModulePipelineResult M = runPipelineOverModule(
+      Parsed.Kernels, OptimizerKind::GlobalLayout, Options);
+  ASSERT_EQ(M.PerKernel.size(), 4u);
+  EXPECT_EQ(M.Stats.get("driver.dedup-hits"), 2u);
+  // Duplicates carry full, identical results.
+  EXPECT_EQ(printVectorProgram(M.PerKernel[0].Final, M.PerKernel[0].Program),
+            printVectorProgram(M.PerKernel[1].Final, M.PerKernel[1].Program));
+  EXPECT_EQ(printVectorProgram(M.PerKernel[0].Final, M.PerKernel[0].Program),
+            printVectorProgram(M.PerKernel[2].Final, M.PerKernel[2].Program));
+  EXPECT_DOUBLE_EQ(M.PerKernel[0].ScalarSim.Cycles,
+                   M.PerKernel[1].ScalarSim.Cycles);
+  // Aggregates count every kernel, deduped or not.
+  EXPECT_DOUBLE_EQ(M.ScalarCycles, 3 * M.PerKernel[0].ScalarSim.Cycles +
+                                       M.PerKernel[3].ScalarSim.Cycles);
+}
+
+TEST(ModulePipeline, DedupKeysOnNameAndBody) {
+  // Same body under different names must NOT fold (results carry the
+  // kernel name); same name with different bodies must not fold either.
+  ModuleParseResult Parsed = parseModule(R"(
+    kernel a { array float A[64]; loop i = 0 .. 64 { A[i] = A[i] + 1.0; } }
+    kernel b { array float A[64]; loop i = 0 .. 64 { A[i] = A[i] + 1.0; } }
+    kernel a { array float A[64]; loop i = 0 .. 64 { A[i] = A[i] + 2.0; } }
+  )");
+  ASSERT_TRUE(Parsed.succeeded()) << Parsed.ErrorMessage;
+  PipelineOptions Options;
+  ModulePipelineResult M = runPipelineOverModule(
+      Parsed.Kernels, OptimizerKind::Global, Options);
+  EXPECT_EQ(M.Stats.get("driver.dedup-hits"), 0u);
+  EXPECT_EQ(M.PerKernel[0].Final.Name, "a");
+  EXPECT_EQ(M.PerKernel[1].Final.Name, "b");
+}
+
+TEST(ModulePipeline, DedupParallelMatchesSerial) {
+  // A module with duplicates, run serial and parallel: bit-identical, and
+  // both report the same dedup count.
+  std::vector<Kernel> Module = workloadSuiteModule();
+  std::vector<Kernel> Doubled;
+  for (const Kernel &K : Module) {
+    Doubled.push_back(K.clone());
+    Doubled.push_back(K.clone());
+  }
+  PipelineOptions Serial;
+  Serial.Threads = 1;
+  PipelineOptions Parallel;
+  Parallel.Threads = 4;
+  ModulePipelineResult A =
+      runPipelineOverModule(Doubled, OptimizerKind::GlobalLayout, Serial);
+  ModulePipelineResult B =
+      runPipelineOverModule(Doubled, OptimizerKind::GlobalLayout, Parallel);
+  EXPECT_EQ(A.Stats.get("driver.dedup-hits"), Module.size());
+  expectModulesIdentical(A, B);
+}
+
 TEST(ModulePipeline, MergedStatsAndTimingsCoverAllKernels) {
   ModuleParseResult Parsed = parseModule(TwoKernels);
   ASSERT_TRUE(Parsed.succeeded());

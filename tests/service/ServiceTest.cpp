@@ -1,0 +1,660 @@
+//===- tests/service/ServiceTest.cpp --------------------------*- C++ -*-===//
+//
+// The compilation service, bottom-up: wire protocol round-trips, frame
+// transport over a socketpair, the two-tier artifact cache (LRU budgets,
+// disk persistence, corrupt-file recovery, singleflight), the cache-key
+// anti-vacuity sweep, and the end-to-end daemon over a real Unix socket
+// (including a restart that must serve from the persistent tier).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ArtifactCache.h"
+#include "service/Client.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace slp;
+
+namespace {
+
+const char *VectorizableKernel = R"(
+  kernel saxpyish {
+    scalar float s;
+    array float A[64] readonly;
+    array float B[64];
+    loop i = 0 .. 64 { B[i] = A[i] * s + 1.0; }
+  }
+)";
+
+const char *SecondKernel = R"(
+  kernel shift {
+    array float C[64];
+    loop i = 0 .. 64 { C[i] = C[i] + 2.0; }
+  }
+)";
+
+std::string canonicalText(const char *Source) {
+  ParseResult P = parseKernel(Source);
+  EXPECT_TRUE(P.succeeded()) << P.ErrorMessage;
+  return printKernel(*P.TheKernel);
+}
+
+/// Fresh directory per test; removed on destruction.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    std::string Templ =
+        (std::filesystem::temp_directory_path() / "slp-service-XXXXXX")
+            .string();
+    char *D = mkdtemp(Templ.data());
+    EXPECT_NE(D, nullptr);
+    Path = D ? D : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code Ec;
+      std::filesystem::remove_all(Path, Ec);
+    }
+  }
+};
+
+ServiceOptions fastOptions() {
+  ServiceOptions S;
+  // Skip the execution stage: cache/protocol tests exercise plumbing, not
+  // the simulator, and stay fast.
+  S.Equivalence = false;
+  S.VerifyVector = false;
+  return S;
+}
+
+std::string compileOrDie(const std::string &Text, const ServiceOptions &S) {
+  std::string Artifact, Err;
+  EXPECT_TRUE(compileServiceArtifact(Text, S, Artifact, &Err)) << Err;
+  return Artifact;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Protocol round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, OptionsCanonicalRoundTrip) {
+  ServiceOptions S;
+  S.Kind = OptimizerKind::Global;
+  S.Machine = ServiceMachine::Amd;
+  S.Bits = 256;
+  S.GroupingEngine = GroupingImpl::Exact;
+  S.ExactBudget = 12345;
+  S.Exec = ExecEngineKind::Reference;
+  S.VerifyVector = true;
+  S.VerifyLint = true;
+  S.VerifyWerror = true;
+  S.Equivalence = false;
+
+  std::string Err;
+  std::optional<ServiceOptions> Back =
+      parseServiceOptions(S.canonical(), &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_EQ(Back->canonical(), S.canonical());
+  EXPECT_EQ(Back->Kind, S.Kind);
+  EXPECT_EQ(Back->Bits, S.Bits);
+  EXPECT_EQ(Back->ExactBudget, S.ExactBudget);
+  EXPECT_EQ(Back->Equivalence, S.Equivalence);
+}
+
+TEST(ServiceProtocol, OptionsCanonicalNamesPipelineVersion) {
+  // The version line is what invalidates every artifact on a pipeline
+  // change; it must lead the canonical block.
+  std::string C = ServiceOptions().canonical();
+  EXPECT_NE(C.find(ServicePipelineVersion), std::string::npos);
+}
+
+TEST(ServiceProtocol, OptionsParserRejectsGarbage) {
+  std::string Err;
+  EXPECT_FALSE(parseServiceOptions("not an option block", &Err).has_value());
+  EXPECT_FALSE(parseServiceOptions("", &Err).has_value());
+}
+
+TEST(ServiceProtocol, ArtifactSerializationRoundTripsByteExactly) {
+  ServiceOptions S; // defaults: equivalence + debug-default verifier
+  S.VerifyVector = true;
+  std::string Bytes = compileOrDie(canonicalText(VectorizableKernel), S);
+
+  ServiceArtifact A;
+  std::string Err;
+  ASSERT_TRUE(parseArtifact(Bytes, A, &Err)) << Err;
+  EXPECT_EQ(A.KernelName, "saxpyish");
+  EXPECT_TRUE(A.Simulated);
+  EXPECT_TRUE(A.Transformed);
+  EXPECT_TRUE(A.EquivChecked);
+  EXPECT_TRUE(A.EquivOk);
+  EXPECT_TRUE(A.Verified);
+  EXPECT_GT(A.Groups, 0u);
+  EXPECT_GT(A.ScalarCycles, A.VectorCycles);
+  EXPECT_NE(A.ProgramText.find("superword"), std::string::npos);
+
+  // Re-serialization is the identity: hexfloat cycles and blob framing
+  // lose nothing.
+  EXPECT_EQ(serializeArtifact(A), Bytes);
+}
+
+TEST(ServiceProtocol, RequestAndReplyRoundTrip) {
+  ServiceRequest R;
+  R.Type = ServiceRequestType::Compile;
+  R.Options.Kind = OptimizerKind::LarsenSlp;
+  R.Kernels = {canonicalText(VectorizableKernel),
+               canonicalText(SecondKernel)};
+
+  ServiceRequest BackR;
+  std::string Err;
+  ASSERT_TRUE(parseRequest(serializeRequest(R), BackR, &Err)) << Err;
+  EXPECT_EQ(BackR.Type, ServiceRequestType::Compile);
+  EXPECT_EQ(BackR.Options.canonical(), R.Options.canonical());
+  EXPECT_EQ(BackR.Kernels, R.Kernels);
+
+  ServiceReply Reply;
+  Reply.Ok = true;
+  Reply.Results.resize(2);
+  Reply.Results[0].Status = CacheStatus::MemoryHit;
+  Reply.Results[0].Artifact = "artifact-bytes\nwith lines";
+  Reply.Results[1].Status = CacheStatus::Miss;
+  Reply.Results[1].Artifact = "";
+  Reply.Counters.emplace_back("service.hits", 1);
+
+  ServiceReply BackReply;
+  ASSERT_TRUE(parseReply(serializeReply(Reply), BackReply, &Err)) << Err;
+  EXPECT_TRUE(BackReply.Ok);
+  ASSERT_EQ(BackReply.Results.size(), 2u);
+  EXPECT_EQ(BackReply.Results[0].Status, CacheStatus::MemoryHit);
+  EXPECT_EQ(BackReply.Results[0].Artifact, Reply.Results[0].Artifact);
+  EXPECT_EQ(BackReply.counter("service.hits"), 1u);
+
+  ServiceReply ErrorReply;
+  ErrorReply.Ok = false;
+  ErrorReply.Error = "kernel 3: line 2: parse error";
+  ASSERT_TRUE(parseReply(serializeReply(ErrorReply), BackReply, &Err));
+  EXPECT_FALSE(BackReply.Ok);
+  EXPECT_EQ(BackReply.Error, ErrorReply.Error);
+}
+
+TEST(ServiceProtocol, FramingOverSocketpair) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+
+  // Payloads with NULs and an empty payload both survive framing. A
+  // megabyte exceeds the socketpair buffer, so the writer runs on its own
+  // thread (also proving sendAll/recvAll handle short transfers).
+  std::string Big(1 << 20, 'x');
+  Big[17] = '\0';
+  for (const std::string &Payload : {std::string("hello"), std::string(),
+                                     Big}) {
+    std::string WriteErr, ReadErr, Back;
+    bool Wrote = false;
+    std::thread Writer(
+        [&] { Wrote = writeFrame(Fds[0], Payload, &WriteErr); });
+    bool Read = readFrame(Fds[1], Back, &ReadErr);
+    Writer.join();
+    ASSERT_TRUE(Wrote) << WriteErr;
+    ASSERT_TRUE(Read) << ReadErr;
+    EXPECT_EQ(Back, Payload);
+  }
+
+  // Clean EOF: peer closes, readFrame returns false with an empty error.
+  ::close(Fds[0]);
+  std::string Err = "sentinel", Back;
+  EXPECT_FALSE(readFrame(Fds[1], Back, &Err));
+  EXPECT_TRUE(Err.empty());
+  ::close(Fds[1]);
+}
+
+TEST(ServiceProtocol, FramingRejectsBadMagic) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  const char Garbage[] = "GARBAGE-NOT-A-FRAME";
+  ASSERT_GT(::send(Fds[0], Garbage, sizeof(Garbage), 0), 0);
+  std::string Err, Back;
+  EXPECT_FALSE(readFrame(Fds[1], Back, &Err));
+  EXPECT_FALSE(Err.empty());
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact cache
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCache, MemoryHitAfterCompute) {
+  ArtifactCache Cache(ArtifactCacheConfig{}); // memory only
+  CacheStatus Status;
+  std::string A =
+      Cache.getOrCompute("key-1", [] { return std::string("art-1"); },
+                         Status);
+  EXPECT_EQ(A, "art-1");
+  EXPECT_EQ(Status, CacheStatus::Miss);
+
+  std::string B = Cache.getOrCompute(
+      "key-1", [] { ADD_FAILURE() << "recompute"; return std::string(); },
+      Status);
+  EXPECT_EQ(B, "art-1");
+  EXPECT_EQ(Status, CacheStatus::MemoryHit);
+  EXPECT_EQ(Cache.counters().MemoryHits, 1u);
+  EXPECT_EQ(Cache.counters().Misses, 1u);
+}
+
+TEST(ArtifactCache, EntryBudgetEvictsLeastRecentlyUsed) {
+  ArtifactCacheConfig Config;
+  Config.MaxMemoryEntries = 2;
+  ArtifactCache Cache(Config);
+  CacheStatus Status;
+  Cache.getOrCompute("a", [] { return std::string("A"); }, Status);
+  Cache.getOrCompute("b", [] { return std::string("B"); }, Status);
+  // Touch "a" so "b" is the LRU victim when "c" arrives.
+  Cache.getOrCompute("a", [] { return std::string("X"); }, Status);
+  EXPECT_EQ(Status, CacheStatus::MemoryHit);
+  Cache.getOrCompute("c", [] { return std::string("C"); }, Status);
+
+  EXPECT_FALSE(Cache.lookup("b", Status).has_value());
+  EXPECT_EQ(Cache.lookup("a", Status).value_or(""), "A");
+  EXPECT_EQ(Cache.lookup("c", Status).value_or(""), "C");
+  EXPECT_EQ(Cache.counters().Evictions, 1u);
+  EXPECT_EQ(Cache.counters().MemoryEntries, 2u);
+}
+
+TEST(ArtifactCache, ByteBudgetEvictsButAdmitsOversized) {
+  ArtifactCacheConfig Config;
+  Config.MaxMemoryBytes = 10;
+  ArtifactCache Cache(Config);
+  CacheStatus Status;
+  Cache.getOrCompute("small", [] { return std::string("12345"); }, Status);
+  // An artifact larger than the whole budget still caches (alone).
+  Cache.getOrCompute("huge",
+                     [] { return std::string(100, 'h'); }, Status);
+  EXPECT_FALSE(Cache.lookup("small", Status).has_value());
+  EXPECT_EQ(Cache.lookup("huge", Status).value_or("").size(), 100u);
+  EXPECT_GE(Cache.counters().Evictions, 1u);
+}
+
+TEST(ArtifactCache, DiskTierSurvivesInstanceRestart) {
+  TempDir Dir;
+  ArtifactCacheConfig Config;
+  Config.DiskDir = Dir.Path;
+  CacheStatus Status;
+  {
+    ArtifactCache First(Config);
+    First.getOrCompute("persist-key",
+                       [] { return std::string("persisted artifact"); },
+                       Status);
+    EXPECT_EQ(Status, CacheStatus::Miss);
+  }
+  // A fresh instance — a daemon restart — serves from disk, then memory.
+  ArtifactCache Second(Config);
+  std::string A = Second.getOrCompute(
+      "persist-key",
+      [] { ADD_FAILURE() << "recompute after restart"; return std::string(); },
+      Status);
+  EXPECT_EQ(A, "persisted artifact");
+  EXPECT_EQ(Status, CacheStatus::DiskHit);
+  // The disk hit promoted into memory.
+  Second.getOrCompute("persist-key", [] { return std::string(); }, Status);
+  EXPECT_EQ(Status, CacheStatus::MemoryHit);
+}
+
+TEST(ArtifactCache, CorruptDiskFileRecomputes) {
+  TempDir Dir;
+  ArtifactCacheConfig Config;
+  Config.DiskDir = Dir.Path;
+  CacheStatus Status;
+  {
+    ArtifactCache First(Config);
+    First.getOrCompute("victim", [] { return std::string("good"); }, Status);
+  }
+  // Truncate the stored file to garbage.
+  std::string Path = ArtifactCache::diskPathFor(Dir.Path, "victim");
+  ASSERT_TRUE(std::filesystem::exists(Path));
+  std::ofstream(Path, std::ios::trunc) << "corrupt";
+
+  ArtifactCache Second(Config);
+  std::string A = Second.getOrCompute(
+      "victim", [] { return std::string("recomputed"); }, Status);
+  EXPECT_EQ(A, "recomputed");
+  EXPECT_EQ(Status, CacheStatus::Miss);
+  EXPECT_EQ(Second.counters().DiskLoadErrors, 1u);
+  // The recompute republished a valid file.
+  ArtifactCache Third(Config);
+  EXPECT_EQ(Third.lookup("victim", Status).value_or(""), "recomputed");
+}
+
+TEST(ArtifactCache, HashCollisionOnDiskDetectedByMaterial) {
+  // Two different materials that map to the same disk file (simulated by
+  // writing A's file under B's path): the stored material mismatches and
+  // the cache must recompute, not serve A's artifact for B.
+  TempDir Dir;
+  ArtifactCacheConfig Config;
+  Config.DiskDir = Dir.Path;
+  CacheStatus Status;
+  {
+    ArtifactCache First(Config);
+    First.getOrCompute("material-A", [] { return std::string("art-A"); },
+                       Status);
+  }
+  std::filesystem::copy_file(
+      ArtifactCache::diskPathFor(Dir.Path, "material-A"),
+      ArtifactCache::diskPathFor(Dir.Path, "material-B"));
+  ArtifactCache Second(Config);
+  std::string B = Second.getOrCompute(
+      "material-B", [] { return std::string("art-B"); }, Status);
+  EXPECT_EQ(B, "art-B");
+  EXPECT_EQ(Status, CacheStatus::Miss);
+  EXPECT_EQ(Second.counters().DiskLoadErrors, 1u);
+}
+
+TEST(ArtifactCache, ConcurrentRequestsCompileOnce) {
+  // Satellite: N threads race getOrCompute on one key. Exactly one
+  // compute may run; everyone gets bit-identical bytes.
+  ArtifactCache Cache(ArtifactCacheConfig{});
+  std::atomic<unsigned> Computes{0};
+  constexpr unsigned N = 8;
+  std::vector<std::string> Results(N);
+  std::vector<CacheStatus> Statuses(N);
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([&, I] {
+      Results[I] = Cache.getOrCompute(
+          "contended",
+          [&] {
+            ++Computes;
+            // Widen the race window so waiters really coalesce.
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+            return std::string("the one artifact");
+          },
+          Statuses[I]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Computes.load(), 1u);
+  unsigned Misses = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    EXPECT_EQ(Results[I], "the one artifact") << I;
+    Misses += Statuses[I] == CacheStatus::Miss;
+  }
+  EXPECT_EQ(Misses, 1u);
+  EXPECT_EQ(Cache.counters().Misses, 1u);
+  EXPECT_EQ(Cache.counters().Coalesced + Cache.counters().MemoryHits,
+            N - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-key correctness (anti-vacuity sweep)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceCacheKey, KernelTextIsPartOfTheKey) {
+  ServiceOptions S = fastOptions();
+  EXPECT_NE(artifactKeyMaterial(canonicalText(VectorizableKernel), S),
+            artifactKeyMaterial(canonicalText(SecondKernel), S));
+}
+
+TEST(ServiceCacheKey, EveryOptionFieldChangesTheKey) {
+  // Anti-vacuity: a field that can change the compile's behavior (or the
+  // engine contract it runs under) must change the key — a sweep over
+  // every ServiceOptions field guards against a refactor silently
+  // dropping one from canonical().
+  const std::string Text = canonicalText(VectorizableKernel);
+  const ServiceOptions Base; // defaults
+  const std::string BaseKey = artifactKeyMaterial(Text, Base);
+
+  struct Variant {
+    const char *Name;
+    void (*Mutate)(ServiceOptions &);
+  };
+  const Variant Variants[] = {
+      {"opt", [](ServiceOptions &S) { S.Kind = OptimizerKind::LarsenSlp; }},
+      {"machine",
+       [](ServiceOptions &S) { S.Machine = ServiceMachine::Amd; }},
+      {"bits", [](ServiceOptions &S) { S.Bits = 256; }},
+      {"grouping-impl",
+       [](ServiceOptions &S) { S.GroupingEngine = GroupingImpl::Exact; }},
+      {"exact-budget", [](ServiceOptions &S) { S.ExactBudget = 7; }},
+      {"exec-engine",
+       [](ServiceOptions &S) { S.Exec = ExecEngineKind::Reference; }},
+      {"verify-vector",
+       [](ServiceOptions &S) { S.VerifyVector = !S.VerifyVector; }},
+      {"verify-lint", [](ServiceOptions &S) { S.VerifyLint = true; }},
+      {"werror", [](ServiceOptions &S) { S.VerifyWerror = true; }},
+      {"equivalence",
+       [](ServiceOptions &S) { S.Equivalence = !S.Equivalence; }},
+  };
+  for (const Variant &V : Variants) {
+    ServiceOptions Mutated = Base;
+    V.Mutate(Mutated);
+    EXPECT_NE(artifactKeyMaterial(Text, Mutated), BaseKey)
+        << "field '" << V.Name << "' is missing from the cache key";
+  }
+}
+
+TEST(ServiceCacheKey, OutputChangingFieldsChangeTheArtifactToo) {
+  // The sweep above proves the key varies; this proves the variation is
+  // not vacuous for fields that actually alter the artifact bytes.
+  const std::string Text = canonicalText(VectorizableKernel);
+  ServiceOptions Base = fastOptions();
+  const std::string BaseArt = compileOrDie(Text, Base);
+
+  { // Optimizer: scalar emits no vector program at all.
+    ServiceOptions S = Base;
+    S.Kind = OptimizerKind::Scalar;
+    EXPECT_NE(compileOrDie(Text, S), BaseArt);
+  }
+  { // Machine model: different cost tables, different predicted cycles.
+    ServiceOptions S = Base;
+    S.Machine = ServiceMachine::Amd;
+    EXPECT_NE(compileOrDie(Text, S), BaseArt);
+  }
+  { // Datapath width: 64-bit datapath fits no float4 superwords.
+    ServiceOptions S = Base;
+    S.Bits = 64;
+    EXPECT_NE(compileOrDie(Text, S), BaseArt);
+  }
+  { // Static verifier: flips the Verified flag in the artifact.
+    ServiceOptions S = Base;
+    S.VerifyVector = true;
+    EXPECT_NE(compileOrDie(Text, S), BaseArt);
+  }
+  { // Equivalence: flips EquivChecked/EquivOk.
+    ServiceOptions S = Base;
+    S.Equivalence = true;
+    EXPECT_NE(compileOrDie(Text, S), BaseArt);
+  }
+}
+
+TEST(ServiceCacheKey, EquivalentEnginesShareArtifactBytesButNotKeys) {
+  // grouping-impl optimized/reference contract: identical groupings,
+  // hence identical artifacts — yet they key separately (conservative).
+  const std::string Text = canonicalText(VectorizableKernel);
+  ServiceOptions Optimized = fastOptions();
+  ServiceOptions Reference = fastOptions();
+  Reference.GroupingEngine = GroupingImpl::Reference;
+  EXPECT_EQ(compileOrDie(Text, Optimized), compileOrDie(Text, Reference));
+  EXPECT_NE(artifactKeyMaterial(Text, Optimized),
+            artifactKeyMaterial(Text, Reference));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end daemon
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ServiceRequest compileRequest(std::vector<std::string> Kernels) {
+  ServiceRequest R;
+  R.Type = ServiceRequestType::Compile;
+  R.Options = fastOptions();
+  R.Kernels = std::move(Kernels);
+  return R;
+}
+
+} // namespace
+
+TEST(ServiceServer, EndToEndOverUnixSocket) {
+  TempDir Dir;
+  ServerConfig Config;
+  Config.SocketPath = Dir.Path + "/sock";
+  Config.Threads = 2;
+  Config.Cache.DiskDir = Dir.Path + "/cache";
+  ServiceServer Server(Config);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  const std::string TextA = canonicalText(VectorizableKernel);
+  const std::string TextB = canonicalText(SecondKernel);
+
+  auto Client = ServiceClient::connect(Config.SocketPath, &Err);
+  ASSERT_TRUE(Client.has_value()) << Err;
+  EXPECT_TRUE(Client->ping(&Err)) << Err;
+
+  // Cold batch: both kernels compile.
+  ServiceReply Reply;
+  ASSERT_TRUE(Client->roundTrip(compileRequest({TextA, TextB}), Reply,
+                                &Err))
+      << Err;
+  ASSERT_TRUE(Reply.Ok) << Reply.Error;
+  ASSERT_EQ(Reply.Results.size(), 2u);
+  EXPECT_EQ(Reply.counter("service.misses"), 2u);
+
+  // Served artifacts are bit-identical to direct in-process compiles.
+  EXPECT_EQ(Reply.Results[0].Artifact,
+            compileOrDie(TextA, fastOptions()));
+  EXPECT_EQ(Reply.Results[1].Artifact,
+            compileOrDie(TextB, fastOptions()));
+
+  // Warm batch over a new connection: all memory hits, same bytes.
+  auto Client2 = ServiceClient::connect(Config.SocketPath, &Err);
+  ASSERT_TRUE(Client2.has_value()) << Err;
+  ServiceReply Warm;
+  ASSERT_TRUE(Client2->roundTrip(compileRequest({TextA, TextB}), Warm,
+                                 &Err))
+      << Err;
+  ASSERT_TRUE(Warm.Ok);
+  EXPECT_EQ(Warm.counter("service.hits-memory"), 2u);
+  EXPECT_EQ(Warm.Results[0].Artifact, Reply.Results[0].Artifact);
+  EXPECT_EQ(Warm.Results[1].Artifact, Reply.Results[1].Artifact);
+
+  // A whitespace/comment variant of the same kernel also hits: the server
+  // keys on the canonical printing.
+  ServiceReply Variant;
+  ASSERT_TRUE(Client2->roundTrip(
+      compileRequest({std::string("// reformatted\n") + VectorizableKernel}),
+      Variant, &Err));
+  ASSERT_TRUE(Variant.Ok);
+  EXPECT_EQ(Variant.counter("service.hits"), 1u);
+
+  Server.stop();
+  EXPECT_FALSE(std::filesystem::exists(Config.SocketPath));
+}
+
+TEST(ServiceServer, RestartServesFromPersistentTier) {
+  TempDir Dir;
+  ServerConfig Config;
+  Config.SocketPath = Dir.Path + "/sock";
+  Config.Cache.DiskDir = Dir.Path + "/cache";
+  const std::string TextA = canonicalText(VectorizableKernel);
+  const std::string TextB = canonicalText(SecondKernel);
+  std::string Err;
+
+  {
+    ServiceServer First(Config);
+    ASSERT_TRUE(First.start(&Err)) << Err;
+    auto Client = ServiceClient::connect(Config.SocketPath, &Err);
+    ASSERT_TRUE(Client.has_value()) << Err;
+    ServiceReply Reply;
+    ASSERT_TRUE(Client->roundTrip(compileRequest({TextA, TextB}), Reply,
+                                  &Err));
+    ASSERT_TRUE(Reply.Ok);
+    First.stop();
+  }
+
+  // The restarted daemon has a cold memory tier but a warm disk tier.
+  ServiceServer Second(Config);
+  ASSERT_TRUE(Second.start(&Err)) << Err;
+  auto Client = ServiceClient::connect(Config.SocketPath, &Err);
+  ASSERT_TRUE(Client.has_value()) << Err;
+  ServiceReply Reply;
+  ASSERT_TRUE(Client->roundTrip(compileRequest({TextA, TextB}), Reply,
+                                &Err));
+  ASSERT_TRUE(Reply.Ok);
+  EXPECT_EQ(Reply.counter("service.hits-disk"), 2u);
+  EXPECT_EQ(Reply.counter("service.misses"), 0u);
+  EXPECT_EQ(Reply.Results[0].Artifact, compileOrDie(TextA, fastOptions()));
+  Second.stop();
+}
+
+TEST(ServiceServer, MalformedKernelFailsTheRequest) {
+  TempDir Dir;
+  ServerConfig Config;
+  Config.SocketPath = Dir.Path + "/sock";
+  ServiceServer Server(Config);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+  auto Client = ServiceClient::connect(Config.SocketPath, &Err);
+  ASSERT_TRUE(Client.has_value()) << Err;
+  ServiceReply Reply;
+  ASSERT_TRUE(Client->roundTrip(
+      compileRequest({"kernel broken { scalar float a; a = ; }"}), Reply,
+      &Err));
+  EXPECT_FALSE(Reply.Ok);
+  EXPECT_FALSE(Reply.Error.empty());
+  Server.stop();
+}
+
+TEST(ServiceServer, ShutdownRequestEndsWait) {
+  TempDir Dir;
+  ServerConfig Config;
+  Config.SocketPath = Dir.Path + "/sock";
+  ServiceServer Server(Config);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  std::thread Stopper([&] {
+    auto Client = ServiceClient::connect(Config.SocketPath, &Err);
+    ASSERT_TRUE(Client.has_value()) << Err;
+    std::string E2;
+    EXPECT_TRUE(Client->shutdownServer(&E2)) << E2;
+  });
+  Server.wait(); // returns once the shutdown request lands
+  Stopper.join();
+  Server.stop();
+}
+
+TEST(ServiceServer, HandleDispatchesWithoutASocket) {
+  ServerConfig Config;
+  Config.SocketPath = "/unused-but-required";
+  ServiceServer Server(Config); // never started
+  ServiceRequest Ping;
+  Ping.Type = ServiceRequestType::Ping;
+  ServiceReply Reply = Server.handle(Ping);
+  EXPECT_TRUE(Reply.Ok);
+  EXPECT_EQ(Reply.counter("server.requests"), 1u);
+
+  ServiceReply Compile =
+      Server.handle(compileRequest({canonicalText(SecondKernel)}));
+  ASSERT_TRUE(Compile.Ok);
+  EXPECT_EQ(Compile.counter("service.misses"), 1u);
+  ServiceReply Again =
+      Server.handle(compileRequest({canonicalText(SecondKernel)}));
+  EXPECT_EQ(Again.counter("service.hits-memory"), 1u);
+}

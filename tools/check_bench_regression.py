@@ -7,22 +7,35 @@ Usage:
   check_bench_regression.py --current BENCH.json --baseline BASELINE.json \
       --benchmark native/vector/gromacs --counter measured_speedup \
       --min-ratio 0.5
+  check_bench_regression.py --current BENCH.json --baseline BASELINE.json \
+      --benchmark service/latency --counter warm_p99_us --max-ratio 4.0
 
 BENCH.json is the --benchmark_out JSON of a bench_* binary. BASELINE.json
 maps benchmark names to wall-clock seconds (keys starting with "_" are
-ignored). Without --counter, the gate compares the benchmark's real_time:
-exiting non-zero when current/baseline exceeds --max-ratio, so CI fails on
-large compile-time regressions while absorbing ordinary runner-speed
-variance.
+ignored). --benchmark may be repeated to gate several entries of the same
+shape in one invocation; every named benchmark is checked and the exit
+status is non-zero if any of them regressed.
+
+Without --counter, the gate compares the benchmark's real_time: exiting
+non-zero when current/baseline exceeds --max-ratio, so CI fails on large
+compile-time regressions while absorbing ordinary runner-speed variance.
 
 With --counter NAME, the gate reads the named user counter of the
-benchmark entry instead (baseline key "<benchmark>:<counter>") and
---min-ratio applies: the run fails when current/baseline falls BELOW the
-floor. That is the shape for gauges where bigger is better — e.g. the
-native backend's measured_speedup must stay at least half its checked-in
-baseline (--min-ratio 0.5). --max-ratio may be combined to bound the
-ratio from above too; when --min-ratio is given, the upper bound is only
-enforced if --max-ratio was passed explicitly.
+benchmark entry instead (baseline key "<benchmark>:<counter>"). Counters
+come in two polarities, selected by which ratio flag you pass:
+
+  * Bigger is better (speedups, QPS, hit rates): --min-ratio FLOOR fails
+    the run when current/baseline falls BELOW the floor — e.g. the native
+    backend's measured_speedup must stay at least half its checked-in
+    baseline (--min-ratio 0.5).
+  * Lower is better (latency percentiles like a p99, byte counts):
+    --max-ratio CAP fails the run when current/baseline rises ABOVE the
+    cap — e.g. the service bench's warm_p99_us may not quadruple
+    (--max-ratio 4.0).
+
+The two may be combined to bound the ratio from both sides. The 2.0
+default max-ratio applies only when neither flag is given (the plain
+real_time mode).
 """
 
 import argparse
@@ -56,44 +69,21 @@ def current_counter(report, name, counter):
     return float(bench[counter])
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--current", required=True)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--benchmark", required=True)
-    parser.add_argument("--counter",
-                        help="gate this user counter instead of real_time "
-                             "(baseline key '<benchmark>:<counter>')")
-    parser.add_argument("--max-ratio", type=float, default=None,
-                        help="fail when current/baseline exceeds this "
-                             "(default 2.0 unless --min-ratio is given)")
-    parser.add_argument("--min-ratio", type=float, default=None,
-                        help="fail when current/baseline falls below this "
-                             "(for bigger-is-better counters)")
-    args = parser.parse_args()
-
-    with open(args.current) as f:
-        report = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-
+def check_one(report, baseline, name, args, max_ratio):
+    """Gates one benchmark entry; returns True when it is within limits."""
     if args.counter:
-        key = f"{args.benchmark}:{args.counter}"
-        cur = current_counter(report, args.benchmark, args.counter)
+        key = f"{name}:{args.counter}"
+        cur = current_counter(report, name, args.counter)
         what = args.counter
         fmt = lambda v: f"{v:.3f}"
     else:
-        key = args.benchmark
-        cur = current_seconds(report, args.benchmark)
+        key = name
+        cur = current_seconds(report, name)
         what = "real_time"
         fmt = lambda v: f"{v * 1e3:.1f} ms"
 
     if key not in baseline:
         sys.exit(f"'{key}' has no baseline entry in {args.baseline}")
-
-    max_ratio = args.max_ratio
-    if max_ratio is None and args.min_ratio is None:
-        max_ratio = 2.0
 
     base = float(baseline[key])
     ratio = cur / base
@@ -106,9 +96,45 @@ def main():
         limits.append(f">= {args.min_ratio:.2f}x")
         ok = ok and ratio >= args.min_ratio
     verdict = "OK" if ok else "REGRESSION"
-    print(f"{args.benchmark} [{what}]: current {fmt(cur)}, baseline "
+    print(f"{name} [{what}]: current {fmt(cur)}, baseline "
           f"{fmt(base)}, ratio {ratio:.2f}x "
           f"(limit {', '.join(limits)}) -> {verdict}")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--benchmark", required=True, action="append",
+                        help="benchmark entry to gate; repeatable — every "
+                             "named entry is checked against the shared "
+                             "--counter/ratio configuration")
+    parser.add_argument("--counter",
+                        help="gate this user counter instead of real_time "
+                             "(baseline key '<benchmark>:<counter>')")
+    parser.add_argument("--max-ratio", type=float, default=None,
+                        help="fail when current/baseline exceeds this — "
+                             "the lower-is-better direction, e.g. latency "
+                             "counters (default 2.0 when no ratio flag is "
+                             "given)")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="fail when current/baseline falls below this "
+                             "(for bigger-is-better counters)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        report = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    max_ratio = args.max_ratio
+    if max_ratio is None and args.min_ratio is None:
+        max_ratio = 2.0
+
+    ok = True
+    for name in args.benchmark:
+        ok = check_one(report, baseline, name, args, max_ratio) and ok
     if not ok:
         sys.exit(1)
 

@@ -41,6 +41,7 @@
 #include "ir/Parser.h"
 #include "native/CEmitter.h"
 #include "ir/Printer.h"
+#include "service/Client.h"
 #include "slp/Passes.h"
 #include "slp/Pipeline.h"
 #include "vector/VectorPrinter.h"
@@ -61,8 +62,11 @@ namespace {
 
 struct CliOptions {
   std::string InputPath;
+  std::string Server; ///< empty = compile in-process
   OptimizerKind Kind = OptimizerKind::GlobalLayout;
   MachineModel Machine = MachineModel::intelDunnington();
+  ServiceMachine ServerMachine = ServiceMachine::Intel;
+  unsigned BitsOverride = 0; ///< 0 = the machine's default datapath
   GroupingImpl GroupingEngine = GroupingImpl::Optimized;
   uint64_t ExactBudget = DefaultExactNodeBudget;
   ExecEngineKind ExecEngine = defaultExecEngineKind();
@@ -90,6 +94,10 @@ void printUsage() {
       "(default global+layout)\n"
       "  --machine=intel|amd   target machine model (default intel)\n"
       "  --bits=N              override the SIMD datapath width\n"
+      "  --server=SPEC         compile through a running slpd daemon\n"
+      "                        (Unix socket path or host:port; falls back\n"
+      "                        to a local compile when unreachable; see\n"
+      "                        docs/service.md)\n"
       "  --grouping-impl=optimized|reference|exact\n"
       "                        grouping engine; 'optimized' and 'reference'\n"
       "                        give identical groupings ('reference' is the\n"
@@ -210,19 +218,32 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
     } else if (Arg.rfind("--machine=", 0) == 0) {
       std::string V = Arg.substr(10);
-      if (V == "intel")
+      if (V == "intel") {
         Opts.Machine = MachineModel::intelDunnington();
-      else if (V == "amd")
+        Opts.ServerMachine = ServiceMachine::Intel;
+      } else if (V == "amd") {
         Opts.Machine = MachineModel::amdPhenomII();
-      else {
+        Opts.ServerMachine = ServiceMachine::Amd;
+      } else {
         std::fprintf(stderr, "slpc: unknown machine '%s'\n", V.c_str());
         return false;
       }
+      // Re-apply an earlier --bits: the override outlives machine choice.
+      if (Opts.BitsOverride)
+        Opts.Machine.DatapathBits = Opts.BitsOverride;
     } else if (Arg.rfind("--bits=", 0) == 0) {
       unsigned Bits = 0;
       if (!parseBits(Arg.substr(7), Bits))
         return false;
       Opts.Machine.DatapathBits = Bits;
+      Opts.BitsOverride = Bits;
+    } else if (Arg.rfind("--server=", 0) == 0) {
+      Opts.Server = Arg.substr(9);
+      if (Opts.Server.empty()) {
+        std::fprintf(stderr,
+                     "slpc: --server needs a socket path or host:port\n");
+        return false;
+      }
     } else if (Arg.rfind("--grouping-impl=", 0) == 0) {
       std::string V = Arg.substr(16);
       if (V == "optimized")
@@ -320,6 +341,164 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return true;
 }
 
+/// Compiles the module through the daemon at Opts.Server, printing the
+/// same output a local run would (byte-identical modulo the execution
+/// stage running server-side). Returns true when the request was fully
+/// served remotely, with \p ExitCode set; false means the daemon was
+/// unreachable or answered garbage and the caller should compile locally
+/// (transparent fallback — nothing has been printed to stdout yet).
+bool runServerMode(const CliOptions &Opts, const ModuleParseResult &Parsed,
+                   int &ExitCode) {
+  std::string Err;
+  std::optional<ServiceClient> Client =
+      ServiceClient::connect(Opts.Server, &Err);
+  if (!Client) {
+    std::fprintf(stderr, "slpc: warning: %s; compiling locally\n",
+                 Err.c_str());
+    return false;
+  }
+
+  ServiceRequest Request;
+  Request.Type = ServiceRequestType::Compile;
+  ServiceOptions &S = Request.Options;
+  S.Kind = Opts.Kind;
+  S.Machine = Opts.ServerMachine;
+  S.Bits = Opts.BitsOverride;
+  S.GroupingEngine = Opts.GroupingEngine;
+  S.ExactBudget = Opts.ExactBudget;
+  S.Exec = Opts.ExecEngine;
+  // Resolve the build-type default client-side: the cache key must name
+  // the behavior, never "whatever the daemon defaults to".
+  S.VerifyVector = Opts.Analyze      ? true
+                   : Opts.VerifyVector ? *Opts.VerifyVector
+                                       : defaultVerifyVector();
+  S.VerifyLint = Opts.Analyze;
+  S.VerifyWerror = Opts.Werror;
+  S.Equivalence = Opts.Verify && !Opts.Analyze;
+  // Canonical printing of the locally parsed kernels: whitespace and
+  // comment variants of the same kernel share one cache entry, and the
+  // daemon compiles exactly what a local run would.
+  for (const Kernel &K : Parsed.Kernels)
+    Request.Kernels.push_back(printKernel(K));
+
+  ServiceReply Reply;
+  if (!Client->roundTrip(Request, Reply, &Err)) {
+    std::fprintf(stderr,
+                 "slpc: warning: server '%s' failed (%s); compiling "
+                 "locally\n",
+                 Opts.Server.c_str(), Err.c_str());
+    return false;
+  }
+  if (!Reply.Ok) {
+    // The daemon understood the request and rejected it (e.g. a kernel
+    // its parser refuses). That verdict is final, not a fallback case.
+    std::fprintf(stderr, "slpc: server error: %s\n", Reply.Error.c_str());
+    ExitCode = 1;
+    return true;
+  }
+  if (Reply.Results.size() != Parsed.Kernels.size()) {
+    std::fprintf(stderr,
+                 "slpc: warning: server returned %zu result(s) for %zu "
+                 "kernel(s); compiling locally\n",
+                 Reply.Results.size(), Parsed.Kernels.size());
+    return false;
+  }
+  // Parse every artifact before printing anything, so a malformed one can
+  // still fall back without duplicating output.
+  std::vector<ServiceArtifact> Artifacts(Reply.Results.size());
+  for (size_t I = 0; I != Reply.Results.size(); ++I) {
+    if (!parseArtifact(Reply.Results[I].Artifact, Artifacts[I], &Err)) {
+      std::fprintf(stderr,
+                   "slpc: warning: malformed artifact from '%s' (%s); "
+                   "compiling locally\n",
+                   Opts.Server.c_str(), Err.c_str());
+      return false;
+    }
+  }
+
+  double ScalarCycles = 0, VectorCycles = 0;
+  bool VerifyErrors = false;
+  for (const ServiceArtifact &A : Artifacts) {
+    ScalarCycles += A.ScalarCycles;
+    VectorCycles += A.VectorCycles;
+
+    for (const std::string &D : A.Diags) {
+      bool IsError = D.rfind("error ", 0) == 0;
+      VerifyErrors |= IsError;
+      if (Opts.Analyze || IsError)
+        std::fprintf(stderr, "slpc: %s: %s\n", A.KernelName.c_str(),
+                     D.c_str());
+    }
+
+    if (Opts.DumpKernel && !Opts.Quiet)
+      std::printf("== unrolled kernel ==\n%s\n", A.PreprocessedText.c_str());
+
+    if (Opts.DumpSchedule && !Opts.Quiet)
+      std::printf("%s\n", A.ScheduleText.c_str());
+
+    if (Opts.DumpVector && !Opts.Quiet) {
+      std::printf("== vector program ==\n%s\n", A.ProgramText.c_str());
+      if (A.LayoutApplied)
+        std::printf("  ; layout: %u scalar pack(s) placed, %u array pack(s) "
+                    "replicated (%.0f bytes)\n\n",
+                    A.LayoutScalarPacks, A.LayoutArrayPacks,
+                    A.LayoutReplicatedBytes);
+    }
+
+    if (Opts.Verify && !Opts.Analyze) {
+      if (!A.Simulated) {
+        std::fprintf(stderr,
+                     "slpc: note: skipping verification for '%s' (the "
+                     "pass list emitted no vector program)\n",
+                     A.KernelName.c_str());
+      } else if (!A.EquivOk) {
+        std::fprintf(stderr,
+                     "slpc: VERIFICATION FAILED: %s: the server-side "
+                     "equivalence check found a scalar/vector mismatch\n",
+                     A.KernelName.c_str());
+        ExitCode = 1;
+        return true;
+      }
+    }
+
+    if (A.Simulated)
+      std::printf("%s: %s: %.2f%% predicted improvement over scalar on %s "
+                  "(%u superword statement(s)%s%s)\n",
+                  A.KernelName.c_str(), A.Optimizer.c_str(),
+                  100.0 * A.improvement(), Opts.Machine.Name.c_str(),
+                  A.Groups, A.Transformed ? "" : ", transformation skipped",
+                  Opts.Verify ? ", verified" : "");
+    else
+      std::printf("%s: %s: pipeline ran without the simulate stage "
+                  "(%u superword statement(s))\n",
+                  A.KernelName.c_str(), A.Optimizer.c_str(), A.Groups);
+  }
+
+  if (Artifacts.size() > 1)
+    std::printf("module: %.2f%% predicted improvement over scalar across "
+                "%zu kernels\n",
+                100.0 * (ScalarCycles > 0 ? 1.0 - VectorCycles / ScalarCycles
+                                          : 0.0),
+                Artifacts.size());
+
+  if (Opts.Stats) {
+    Statistics Stats;
+    for (const auto &C : Reply.Counters)
+      Stats.set(C.first, C.second);
+    std::printf("%s", Stats.str("statistics").c_str());
+  }
+
+  if (VerifyErrors) {
+    std::fprintf(stderr,
+                 "slpc: STATIC VERIFICATION FAILED: the vector program "
+                 "does not provably implement the kernel\n");
+    ExitCode = 1;
+    return true;
+  }
+  ExitCode = 0;
+  return true;
+}
+
 std::string readInput(const std::string &Path, bool &Ok) {
   Ok = true;
   std::ostringstream Buffer;
@@ -351,14 +530,30 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  ExecEngine Engine(Opts.ExecEngine);
-
   ModuleParseResult Parsed = parseModule(Source);
   if (!Parsed.succeeded()) {
     std::fprintf(stderr, "slpc: %s:%u: error: %s\n", Opts.InputPath.c_str(),
                  Parsed.ErrorLine, Parsed.ErrorMessage.c_str());
     return 1;
   }
+
+  if (!Opts.Server.empty()) {
+    if (!Opts.Passes.empty() || Opts.EmitC || Opts.TimePasses ||
+        Opts.Remarks) {
+      std::fprintf(stderr,
+                   "slpc: note: --passes, --emit-c, --time-passes and "
+                   "--remarks need the in-process pipeline; ignoring "
+                   "--server\n");
+    } else {
+      int ExitCode = 0;
+      if (runServerMode(Opts, Parsed, ExitCode))
+        return ExitCode;
+      // Unreachable or misbehaving daemon: fall through to the ordinary
+      // local compile below.
+    }
+  }
+
+  ExecEngine Engine(Opts.ExecEngine);
 
   PipelineOptions Options;
   Options.Machine = Opts.Machine;

@@ -1,0 +1,235 @@
+//===- tools/slpd.cpp - SLP compilation-service daemon ----------*- C++ -*-===//
+//
+// The long-running compilation server (docs/service.md): listens on a
+// Unix-domain socket (and optionally a localhost TCP port), compiles
+// batches of kernels sent by `slpc --server=`, shards each batch across a
+// worker pool, and memoizes artifacts in a content-addressed two-tier
+// cache so repeated builds of the same kernels are served without running
+// the pipeline — warm across restarts via the persistent tier.
+//
+//   slpd --socket=PATH [options]       run the daemon (Ctrl-C to stop)
+//     --tcp=PORT            also listen on 127.0.0.1:PORT
+//     -j N | --threads=N    worker threads per compile batch (0 = auto)
+//     --cache-dir=DIR       persistent artifact tier (default
+//                           $TMPDIR/slpd-cache; --no-disk-cache disables)
+//     --cache-bytes=N       in-memory tier byte budget (default 64 MiB)
+//     --cache-entries=N     in-memory tier entry budget (default 4096)
+//   slpd --ping --socket=PATH          readiness probe (exit 0 when up)
+//   slpd --stop --socket=PATH          ask a running daemon to exit
+//   slpd --dump-workloads              print the 16-workload suite as a
+//                                      module (the CI smoke input)
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "workloads/Workloads.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+using namespace slp;
+
+namespace {
+
+std::atomic<bool> SignalStop{false};
+
+void onSignal(int) { SignalStop.store(true); }
+
+struct DaemonOptions {
+  std::string SocketPath;
+  int TcpPort = -1;
+  unsigned Threads = 0;
+  std::string CacheDir;
+  bool DiskCache = true;
+  size_t CacheBytes = 64u << 20;
+  size_t CacheEntries = 4096;
+  bool Ping = false;
+  bool Stop = false;
+  bool DumpWorkloads = false;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: slpd --socket=PATH [options]\n"
+      "  --socket=PATH        Unix-domain socket to listen on\n"
+      "  --tcp=PORT           also listen on 127.0.0.1:PORT\n"
+      "  -j N, --threads=N    worker threads per compile batch (0 = one\n"
+      "                       per hardware thread; default 0)\n"
+      "  --cache-dir=DIR      persistent artifact cache directory\n"
+      "                       (default $TMPDIR/slpd-cache)\n"
+      "  --no-disk-cache      keep the cache in memory only\n"
+      "  --cache-bytes=N      memory-tier byte budget (default 67108864)\n"
+      "  --cache-entries=N    memory-tier entry budget (default 4096)\n"
+      "  --ping               probe a running daemon and exit\n"
+      "  --stop               ask a running daemon to shut down\n"
+      "  --dump-workloads     print the 16-workload suite as a module\n");
+}
+
+bool parseUnsigned(const std::string &Value, const char *Flag,
+                  uint64_t &Out) {
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtoull(Value.c_str(), &End, 10);
+  if (End == Value.c_str() || *End != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "slpd: %s expects a non-negative integer, got '%s'\n",
+                 Flag, Value.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, DaemonOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    uint64_t N = 0;
+    if (Arg.rfind("--socket=", 0) == 0) {
+      Opts.SocketPath = Arg.substr(9);
+    } else if (Arg.rfind("--tcp=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(6), "--tcp", N) || N == 0 || N > 65535) {
+        std::fprintf(stderr, "slpd: --tcp expects a port (1-65535)\n");
+        return false;
+      }
+      Opts.TcpPort = static_cast<int>(N);
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(10), "--threads", N))
+        return false;
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "-j") {
+      if (I + 1 >= Argc || !parseUnsigned(Argv[++I], "-j", N))
+        return false;
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg.rfind("-j", 0) == 0 && Arg.size() > 2) {
+      if (!parseUnsigned(Arg.substr(2), "-j", N))
+        return false;
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = Arg.substr(12);
+    } else if (Arg == "--no-disk-cache") {
+      Opts.DiskCache = false;
+    } else if (Arg.rfind("--cache-bytes=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(14), "--cache-bytes", N))
+        return false;
+      Opts.CacheBytes = N;
+    } else if (Arg.rfind("--cache-entries=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(16), "--cache-entries", N))
+        return false;
+      Opts.CacheEntries = N;
+    } else if (Arg == "--ping") {
+      Opts.Ping = true;
+    } else if (Arg == "--stop") {
+      Opts.Stop = true;
+    } else if (Arg == "--dump-workloads") {
+      Opts.DumpWorkloads = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "slpd: unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  if (!Opts.DumpWorkloads && Opts.SocketPath.empty()) {
+    printUsage();
+    return false;
+  }
+  return true;
+}
+
+std::string defaultCacheDir() {
+  std::error_code Ec;
+  std::filesystem::path Tmp = std::filesystem::temp_directory_path(Ec);
+  if (Ec)
+    Tmp = "/tmp";
+  return (Tmp / "slpd-cache").string();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DaemonOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 2;
+
+  if (Opts.DumpWorkloads) {
+    // The paper's Table 3 suite as one parseable module — the standing
+    // input of the CI service smoke and a handy local load generator.
+    std::printf("// The 16-workload evaluation suite (Table 3), printed\n"
+                "// canonically; feed to `slpc --server=` or `slpc`.\n");
+    for (const Workload &W : standardWorkloads())
+      std::printf("%s\n", printKernel(W.TheKernel).c_str());
+    return 0;
+  }
+
+  if (Opts.Ping || Opts.Stop) {
+    std::string Err;
+    auto Client = ServiceClient::connect(Opts.SocketPath, &Err);
+    if (!Client) {
+      std::fprintf(stderr, "slpd: %s\n", Err.c_str());
+      return 1;
+    }
+    bool Ok = Opts.Stop ? Client->shutdownServer(&Err) : Client->ping(&Err);
+    if (!Ok) {
+      std::fprintf(stderr, "slpd: %s failed: %s\n",
+                   Opts.Stop ? "--stop" : "--ping", Err.c_str());
+      return 1;
+    }
+    if (Opts.Stop)
+      std::printf("slpd: daemon at '%s' shutting down\n",
+                  Opts.SocketPath.c_str());
+    return 0;
+  }
+
+  ServerConfig Config;
+  Config.SocketPath = Opts.SocketPath;
+  Config.TcpPort = Opts.TcpPort;
+  Config.Threads = Opts.Threads;
+  Config.Cache.DiskDir =
+      Opts.DiskCache ? (Opts.CacheDir.empty() ? defaultCacheDir()
+                                              : Opts.CacheDir)
+                     : std::string();
+  Config.Cache.MaxMemoryBytes = Opts.CacheBytes;
+  Config.Cache.MaxMemoryEntries = Opts.CacheEntries;
+
+  ServiceServer Server(Config);
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "slpd: %s\n", Err.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::printf("slpd: listening on '%s'%s (cache: %s)\n",
+              Config.SocketPath.c_str(),
+              Config.TcpPort >= 0
+                  ? (" and 127.0.0.1:" + std::to_string(Config.TcpPort))
+                        .c_str()
+                  : "",
+              Config.Cache.DiskDir.empty() ? "memory only"
+                                           : Config.Cache.DiskDir.c_str());
+  std::fflush(stdout);
+
+  Server.wait(&SignalStop);
+  Server.stop();
+
+  ServerCounters C = Server.counters();
+  ArtifactCacheCounters Cache = Server.cache().counters();
+  std::printf("slpd: served %llu request(s), %llu kernel(s): "
+              "%llu memory hit(s), %llu disk hit(s), %llu coalesced, "
+              "%llu compile(s)\n",
+              static_cast<unsigned long long>(C.Requests),
+              static_cast<unsigned long long>(C.Kernels),
+              static_cast<unsigned long long>(Cache.MemoryHits),
+              static_cast<unsigned long long>(Cache.DiskHits),
+              static_cast<unsigned long long>(Cache.Coalesced),
+              static_cast<unsigned long long>(Cache.Misses));
+  return 0;
+}
