@@ -1,0 +1,121 @@
+//===- bench/bench_range_dep.cpp - Range-sharpened dependence table -------===//
+//
+// Quantifies the range-sharpened dependence tier (analysis/Dependence.h,
+// docs/kernel-analysis.md): for every workload where the exact
+// `affineFeasibleZero` test or the guard-disjointness analysis refutes at
+// least one base-tier may-alias answer, the table compares the blunt
+// (GCD + Banerjee only) and sharpened dependence graphs and the resulting
+// Global-scheme improvement on the Intel machine.
+//
+// Each sharpening workload is also registered as a benchmark entry
+// `range-dep/<name>` whose counters (`range_disproved`, `guard_disjoint`,
+// `deps_removed`, `improvement_delta_pp`) feed the CI regression gate via
+// check_bench_regression.py --counter ... --min-ratio (baseline:
+// bench/range_dep_baseline.json). A sharpening fix that stops refuting
+// those pairs fails the gate instead of silently regressing to the blunt
+// tier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "analysis/Dependence.h"
+
+using namespace slp;
+using namespace slp::bench;
+
+namespace {
+
+struct RangeRow {
+  std::string Name;
+  unsigned DepsBlunt = 0;
+  unsigned DepsSharp = 0;
+  unsigned RangeDisproved = 0;
+  unsigned GuardDisjoint = 0;
+  double ImprovementBlunt = 0;
+  double ImprovementSharp = 0;
+};
+
+RangeRow measure(const Workload &W) {
+  RangeRow Row;
+  Row.Name = W.Name;
+  DependenceInfo Blunt(W.TheKernel, /*SharpenWithRanges=*/false);
+  DependenceInfo Sharp(W.TheKernel, /*SharpenWithRanges=*/true);
+  Row.DepsBlunt = static_cast<unsigned>(Blunt.dependences().size());
+  Row.DepsSharp = static_cast<unsigned>(Sharp.dependences().size());
+  Row.RangeDisproved = Sharp.rangeDisprovedCount();
+  Row.GuardDisjoint = Sharp.guardDisjointCount();
+
+  PipelineOptions Options;
+  Options.Machine = MachineModel::intelDunnington();
+  Options.RangeSharpenDeps = false;
+  Row.ImprovementBlunt =
+      runPipeline(W.TheKernel, OptimizerKind::Global, Options).improvement();
+  Options.RangeSharpenDeps = true;
+  Row.ImprovementSharp =
+      runPipeline(W.TheKernel, OptimizerKind::Global, Options).improvement();
+  return Row;
+}
+
+std::vector<Workload> allWorkloads() {
+  std::vector<Workload> Suite = standardWorkloads();
+  for (Workload &W : predicatedWorkloads())
+    Suite.push_back(std::move(W));
+  for (Workload &W : rangeWorkloads())
+    Suite.push_back(std::move(W));
+  return Suite;
+}
+
+void printTable() {
+  std::printf("Range-sharpened dependence tier: blunt (GCD+Banerjee) vs "
+              "sharpened graphs, Global improvement (Intel machine)\n");
+  std::printf("%-18s %6s %6s %9s %9s %8s %8s %8s\n", "workload", "blunt",
+              "sharp", "disproved", "disjoint", "blunt%", "sharp%",
+              "delta-pp");
+  for (const Workload &W : allWorkloads()) {
+    RangeRow Row = measure(W);
+    if (Row.RangeDisproved == 0 && Row.GuardDisjoint == 0)
+      continue; // the sharpened tier is a no-op on this workload
+    std::printf("%-18s %6u %6u %9u %9u %7.2f%% %7.2f%% %+7.2f\n",
+                Row.Name.c_str(), Row.DepsBlunt, Row.DepsSharp,
+                Row.RangeDisproved, Row.GuardDisjoint,
+                100.0 * Row.ImprovementBlunt, 100.0 * Row.ImprovementSharp,
+                100.0 * (Row.ImprovementSharp - Row.ImprovementBlunt));
+  }
+  std::printf("\n");
+}
+
+void registerRangeBenches() {
+  for (const Workload &W : allWorkloads()) {
+    RangeRow Probe = measure(W);
+    if (Probe.RangeDisproved == 0 && Probe.GuardDisjoint == 0)
+      continue;
+    std::string Label = "range-dep/" + W.Name;
+    std::string Name = W.Name;
+    benchmark::RegisterBenchmark(
+        Label.c_str(), [Name](benchmark::State &S) {
+          Workload W = workloadByName(Name);
+          RangeRow Row;
+          for (auto _ : S) {
+            Row = measure(W);
+            benchmark::DoNotOptimize(Row.DepsSharp);
+          }
+          S.counters["range_disproved"] = Row.RangeDisproved;
+          S.counters["guard_disjoint"] = Row.GuardDisjoint;
+          S.counters["deps_removed"] =
+              static_cast<double>(Row.DepsBlunt - Row.DepsSharp);
+          S.counters["improvement_delta_pp"] =
+              100.0 * (Row.ImprovementSharp - Row.ImprovementBlunt);
+        });
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  registerRangeBenches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

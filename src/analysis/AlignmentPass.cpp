@@ -10,9 +10,13 @@ using namespace slp;
 void AlignmentPass::run(PassContext &Ctx) {
   PipelineState &S = Ctx.State;
   S.ensurePreprocessed();
-  S.Deps.emplace(S.Preprocessed);
+  S.Deps.emplace(S.Preprocessed, S.Options.RangeSharpenDeps);
 
   Ctx.Stats.set("alignment.dependence-edges", S.Deps->dependences().size());
+  if (S.Deps->rangeDisprovedCount())
+    Ctx.Stats.set("dep.range-disproved", S.Deps->rangeDisprovedCount());
+  if (S.Deps->guardDisjointCount())
+    Ctx.Stats.set("dep.guard-disjoint", S.Deps->guardDisjointCount());
   if (S.Preprocessed.Body.empty())
     Ctx.Remarks.note(name(), "empty block, nothing to analyze");
 }

@@ -1,0 +1,64 @@
+//===- analysis/Dataflow.cpp ----------------------------------*- C++ -*-===//
+
+#include "analysis/Dataflow.h"
+
+using namespace slp;
+
+DataflowResult slp::solveBlockDataflow(const Kernel &K,
+                                       const DataflowProblem &Problem,
+                                       unsigned WidenAfterSweeps,
+                                       unsigned MaxSweeps) {
+  const unsigned N = K.Body.size();
+  DataflowResult R;
+  R.StmtIn.resize(N);
+
+  // The block re-executes (so the back edge carries state) whenever the
+  // nest runs it more than once. totalIterations() == 0 (zero-trip) or 1
+  // makes the block straight-line.
+  const bool BackEdge = K.totalIterations() > 1;
+
+  std::unique_ptr<AbstractState> HeaderIn = Problem.boundaryState();
+
+  // One sweep: propagate HeaderIn through the block, recording the state
+  // before each statement, and return the block-exit state.
+  auto Sweep = [&](bool Record) {
+    std::unique_ptr<AbstractState> Cur = HeaderIn->clone();
+    for (unsigned I = 0; I != N; ++I) {
+      if (Record)
+        R.StmtIn[I] = Cur->clone();
+      Problem.transferStatement(I, *Cur);
+    }
+    return Cur;
+  };
+
+  // Chaotic iteration degenerates to repeated sweeps on this flow graph
+  // (one loop header, sequential interior edges): the only join point is
+  // the header, where the boundary state meets the back edge. Iterate
+  // until the header state stabilizes, widening once the problem has had
+  // WidenAfterSweeps rounds to converge on its own.
+  for (unsigned Round = 0; Round != MaxSweeps; ++Round) {
+    ++R.Sweeps;
+    std::unique_ptr<AbstractState> Exit = Sweep(/*Record=*/false);
+    if (!BackEdge) {
+      R.Converged = true;
+      break;
+    }
+    std::unique_ptr<AbstractState> Prev = HeaderIn->clone();
+    bool Changed = HeaderIn->joinWith(*Exit);
+    if (!Changed) {
+      R.Converged = true;
+      break;
+    }
+    if (Round + 1 >= WidenAfterSweeps) {
+      HeaderIn->widenAgainst(*Prev);
+      R.Widened = true;
+    }
+  }
+  // A non-converged result (MaxSweeps exhausted; possible only with a
+  // broken widening operator) is reported through R.Converged rather than
+  // aborting — clients degrade to their top state.
+
+  // Final recording sweep from the stable header state.
+  R.BlockOut = Sweep(/*Record=*/true);
+  return R;
+}

@@ -1,0 +1,104 @@
+//===- analysis/Dataflow.h - Monotone dataflow framework --------*- C++ -*-===//
+///
+/// \file
+/// A generic monotone dataflow framework over the kernel IR. The kernel
+/// language has no control-flow graph — a kernel is one straight-line
+/// basic block executed once per iteration of a rectangular loop nest —
+/// so the flow graph every analysis runs on is fixed: a virtual entry
+/// edge into the first statement, sequential edges between statements,
+/// and one back edge from the end of the block to its start that models
+/// re-execution on the next loop iteration.
+///
+/// An analysis supplies a `DataflowProblem`: a lattice of abstract states
+/// (`AbstractState`: clone / join / widen / equality) plus a transfer
+/// function per statement. `solveBlockDataflow` iterates transfer sweeps
+/// to a fixpoint with a worklist, applying the problem's widening
+/// operator at the loop header once the state is still changing after
+/// `WidenAfterSweeps` rounds, which guarantees termination on lattices of
+/// unbounded height (interval analysis is the canonical client, see
+/// analysis/ValueRange.h). docs/kernel-analysis.md describes the design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_DATAFLOW_H
+#define SLP_ANALYSIS_DATAFLOW_H
+
+#include "ir/Kernel.h"
+
+#include <memory>
+#include <vector>
+
+namespace slp {
+
+/// One element of a dataflow lattice. Implementations are value-like
+/// objects holding whatever the analysis tracks (e.g. one interval per
+/// scalar symbol); the solver manipulates them only through this
+/// interface.
+class AbstractState {
+public:
+  virtual ~AbstractState() = default;
+
+  /// Deep copy.
+  virtual std::unique_ptr<AbstractState> clone() const = 0;
+
+  /// Joins \p Other into this state (lattice least upper bound). Returns
+  /// true when this state changed. \p Other is guaranteed to come from
+  /// the same DataflowProblem.
+  virtual bool joinWith(const AbstractState &Other) = 0;
+
+  /// Widens this state against \p Previous, its value at the same program
+  /// point one solver round earlier: any part still growing must jump to
+  /// a value it can no longer grow past (intervals jump to +-infinity).
+  /// Called only at the loop header and only after the problem's
+  /// widening threshold, so analyses keep full precision on kernels that
+  /// stabilize quickly.
+  virtual void widenAgainst(const AbstractState &Previous) = 0;
+
+  /// Lattice equality (the solver's convergence test).
+  virtual bool equals(const AbstractState &Other) const = 0;
+};
+
+/// One dataflow analysis: the lattice boundary value plus the per-
+/// statement transfer function.
+class DataflowProblem {
+public:
+  virtual ~DataflowProblem() = default;
+
+  /// The state on entry to the block before the first iteration (for a
+  /// forward analysis over kernel inputs: everything unknown).
+  virtual std::unique_ptr<AbstractState> boundaryState() const = 0;
+
+  /// Applies statement \p StmtIdx's effect to \p State in place. Must be
+  /// monotone: a larger input state may only produce a larger output.
+  virtual void transferStatement(unsigned StmtIdx,
+                                 AbstractState &State) const = 0;
+};
+
+/// Everything the solver produced. `StmtIn[I]` over-approximates every
+/// machine state observable immediately before statement `I` executes, in
+/// any iteration of the loop nest; `BlockOut` over-approximates the state
+/// after the block (end of any iteration, including the last).
+struct DataflowResult {
+  std::vector<std::unique_ptr<AbstractState>> StmtIn;
+  std::unique_ptr<AbstractState> BlockOut;
+  /// Solver telemetry: full sweeps run, whether widening ever fired, and
+  /// whether a true fixpoint was reached (always true in practice; false
+  /// only if MaxSweeps stopped a non-converging problem, in which case
+  /// the result is NOT a sound fixpoint and callers must discard it).
+  unsigned Sweeps = 0;
+  bool Widened = false;
+  bool Converged = false;
+};
+
+/// Solves \p Problem over \p K's basic block. The back edge is included
+/// whenever the nest can execute the block more than once; a zero-trip
+/// nest still yields states (the boundary propagated through one sweep)
+/// so clients need not special-case it.
+DataflowResult solveBlockDataflow(const Kernel &K,
+                                  const DataflowProblem &Problem,
+                                  unsigned WidenAfterSweeps = 3,
+                                  unsigned MaxSweeps = 64);
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_DATAFLOW_H

@@ -4,6 +4,7 @@
 
 #include "ir/Interpreter.h"
 
+#include <cstdlib>
 #include <numeric>
 
 using namespace slp;
@@ -24,6 +25,64 @@ bool checkedMul(int64_t A, int64_t B, int64_t &Out) {
 
 bool checkedNeg(int64_t A, int64_t &Out) {
   return !__builtin_sub_overflow(int64_t{0}, A, &Out);
+}
+
+/// Floor/ceil division for the 128-bit Bezout-line arithmetic of the
+/// two-variable exact test. \p B must be nonzero.
+__int128 floorDiv128(__int128 A, __int128 B) {
+  __int128 Q = A / B, R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+__int128 ceilDiv128(__int128 A, __int128 B) {
+  __int128 Q = A / B, R = A % B;
+  if (R != 0 && ((R < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+/// Extended Euclid over nonnegative inputs: returns g = gcd(A, B) and
+/// Bezout coefficients with A*X + B*Y == g. The coefficients are bounded
+/// by B/g and A/g, so int64 arithmetic cannot overflow.
+int64_t extendedGcd(int64_t A, int64_t B, int64_t &X, int64_t &Y) {
+  int64_t OldR = A, R = B;
+  int64_t OldX = 1, CurX = 0;
+  int64_t OldY = 0, CurY = 1;
+  while (R != 0) {
+    int64_t Q = OldR / R;
+    int64_t T = OldR - Q * R;
+    OldR = R;
+    R = T;
+    T = OldX - Q * CurX;
+    OldX = CurX;
+    CurX = T;
+    T = OldY - Q * CurY;
+    OldY = CurY;
+    CurY = T;
+  }
+  X = OldX;
+  Y = OldY;
+  return OldR;
+}
+
+/// Intersects `Lo <= Base + Coef * k <= Hi` (all 128-bit, Coef != 0) into
+/// the running k-interval [KLo, KHi]. Returns false when the intersection
+/// is empty.
+bool clampSolutionLine(__int128 Base, int64_t Coef, __int128 Lo, __int128 Hi,
+                       __int128 &KLo, __int128 &KHi) {
+  __int128 A, B;
+  if (Coef > 0) {
+    A = ceilDiv128(Lo - Base, Coef);
+    B = floorDiv128(Hi - Base, Coef);
+  } else {
+    A = ceilDiv128(Hi - Base, Coef);
+    B = floorDiv128(Lo - Base, Coef);
+  }
+  KLo = std::max(KLo, A);
+  KHi = std::min(KHi, B);
+  return KLo <= KHi;
 }
 
 } // namespace
@@ -86,6 +145,96 @@ bool slp::affineMayBeZero(const Kernel &K, const AffineExpr &Diff) {
   return Target >= Min && Target <= Max;
 }
 
+bool slp::affineFeasibleZero(const Kernel &K, const AffineExpr &Diff) {
+  // A zero-trip nest executes nothing: no difference is ever evaluated,
+  // constant or not (the nest is perfect, so one empty loop empties it).
+  for (const Loop &L : K.Loops)
+    if (L.tripCount() == 0)
+      return false;
+  if (Diff.isConstant())
+    return Diff.constant() == 0;
+
+  // Normalize every active dimension into its trip space: substituting
+  // i_d = Lower_d + Step_d * t_d (t_d in [0, trip_d)) folds the loop's
+  // lower bound into the constant and its step into the coefficient. This
+  // is where the sharpening over the base tier comes from: the GCD test
+  // sees the raw subscript coefficients, while divisibility really acts on
+  // coefficient * step.
+  int64_t Const = Diff.constant();
+  struct Term {
+    int64_t Coef; // normalized coefficient (nonzero)
+    int64_t Trip; // t ranges over [0, Trip)
+  };
+  Term Terms[2];
+  unsigned NumTerms = 0;
+  for (unsigned D = 0, E = Diff.numDims(); D != E; ++D) {
+    int64_t C = Diff.coeff(D);
+    if (C == 0)
+      continue;
+    if (D >= K.Loops.size())
+      return true; // unknown index range; stay conservative
+    const Loop &L = K.Loops[D];
+    int64_t Trip = L.tripCount();
+    if (Trip == 0)
+      return false; // empty domain: the difference is never evaluated
+    int64_t Base, Coef;
+    if (!checkedMul(C, L.Lower, Base) || !checkedAdd(Const, Base, Const) ||
+        !checkedMul(C, L.Step, Coef))
+      return true;
+    if (Coef == 0)
+      continue; // zero step: the index is constant, already folded
+    if (NumTerms == 2)
+      return true; // three or more active dims: out of scope
+    Terms[NumTerms++] = Term{Coef, Trip};
+  }
+
+  int64_t Target;
+  if (!checkedNeg(Const, Target))
+    return true;
+  if (NumTerms == 0)
+    return Target == 0;
+
+  if (NumTerms == 1) {
+    // Coef * t == Target with t in [0, Trip).
+    int64_t Coef = Terms[0].Coef;
+    if (Target % Coef != 0)
+      return false;
+    int64_t T = Target / Coef;
+    return T >= 0 && T < Terms[0].Trip;
+  }
+
+  // A * x + B * y == Target with x in [0, TripX) and y in [0, TripY).
+  // Solve the Bezout line in 128-bit arithmetic and intersect its
+  // parameter with both box constraints.
+  int64_t A = Terms[0].Coef, B = Terms[1].Coef;
+  int64_t TripX = Terms[0].Trip, TripY = Terms[1].Trip;
+  if (A == INT64_MIN || B == INT64_MIN)
+    return true; // |INT64_MIN| is not representable; stay conservative
+  int64_t X0, Y0;
+  int64_t G = extendedGcd(std::abs(A), std::abs(B), X0, Y0);
+  if (Target % G != 0)
+    return false;
+  if (A < 0)
+    X0 = -X0;
+  if (B < 0)
+    Y0 = -Y0;
+  // One solution of A*x + B*y == Target; the general solution walks the
+  // line with parameter k. The products fit 128 bits (both factors are
+  // 64-bit) and the line stride divides the 64-bit coefficients.
+  __int128 Scale = Target / G;
+  __int128 BaseX = static_cast<__int128>(X0) * Scale;
+  __int128 BaseY = static_cast<__int128>(Y0) * Scale;
+  int64_t StrideX = B / G;
+  int64_t StrideY = -(A / G);
+  // The base point is bounded by 2^126, so any parameter value that lands
+  // in the box is bounded by 2^126 / |stride| + trip; a +-2^126 window
+  // contains every candidate without overflowing the 128-bit divisions.
+  const __int128 Big = static_cast<__int128>(1) << 126;
+  __int128 KLo = -Big, KHi = Big;
+  return clampSolutionLine(BaseX, StrideX, 0, TripX - 1, KLo, KHi) &&
+         clampSolutionLine(BaseY, StrideY, 0, TripY - 1, KLo, KHi);
+}
+
 bool DependenceInfo::mayAlias(const Kernel &K, const Operand &A,
                               const Operand &B) {
   if (A.isConstant() || B.isConstant())
@@ -102,7 +251,69 @@ bool DependenceInfo::mayAlias(const Kernel &K, const Operand &A,
   return affineMayBeZero(K, Diff);
 }
 
-DependenceInfo::DependenceInfo(const Kernel &K) {
+namespace {
+
+/// True when \p Def may write one of the leaf operands of \p Guard.
+bool mayClobberGuard(const Kernel &K, const Operand &Def, const Expr &Guard) {
+  bool Clobbered = false;
+  Guard.forEachLeaf([&](const Operand &O) {
+    if (DependenceInfo::mayAlias(K, Def, O))
+      Clobbered = true;
+  });
+  return Clobbered;
+}
+
+/// True when the guards of \p SP and \p SQ can never both be taken in the
+/// same iteration, assuming their shared operands hold the same values at
+/// both evaluation points (the caller checks for intervening clobbers).
+/// Two patterns are recognized: a comparison and its negation over
+/// structurally identical children, and equality of the same expression
+/// against two distinct constants. Both remain exclusive under NaN
+/// operands: a NaN makes every ordered comparison false, so at most one
+/// guard of a complementary pair is taken (possibly neither).
+bool guardsMutuallyExclusive(const Statement &SP, const Statement &SQ) {
+  if (!SP.hasGuard() || !SQ.hasGuard())
+    return false;
+  const Expr &GP = SP.guard();
+  const Expr &GQ = SQ.guard();
+  if (GP.isLeaf() || GQ.isLeaf())
+    return false;
+  if (!isCompareOp(GP.opcode()) || !isCompareOp(GQ.opcode()))
+    return false;
+  if (negatedCompare(GP.opcode()) == GQ.opcode() &&
+      GP.child(0).equals(GQ.child(0)) && GP.child(1).equals(GQ.child(1)))
+    return true;
+  if (GP.opcode() == OpCode::CmpEQ && GQ.opcode() == OpCode::CmpEQ &&
+      GP.child(0).equals(GQ.child(0)) && GP.child(1).isLeaf() &&
+      GQ.child(1).isLeaf() && GP.child(1).leaf().isConstant() &&
+      GQ.child(1).leaf().isConstant() &&
+      GP.child(1).leaf().constantValue() !=
+          GQ.child(1).leaf().constantValue())
+    return true;
+  return false;
+}
+
+} // namespace
+
+bool DependenceInfo::aliasSharpened(const Kernel &K, const Operand &A,
+                                    const Operand &B) {
+  if (!mayAlias(K, A, B))
+    return false;
+  if (!Sharpen || !A.isArray())
+    return true; // scalar/scalar same-symbol aliasing is already exact
+  const ArraySymbol &Arr = K.array(A.symbol());
+  AffineExpr Diff = flattenArrayRef(Arr, A.subscripts()) -
+                    flattenArrayRef(Arr, B.subscripts());
+  if (Diff.isConstant())
+    return true; // the base tier is exact on constant differences
+  if (affineFeasibleZero(K, Diff))
+    return true;
+  ++RangeDisproved;
+  return false;
+}
+
+DependenceInfo::DependenceInfo(const Kernel &K, bool SharpenWithRanges)
+    : Sharpen(SharpenWithRanges) {
   N = K.Body.size();
   Matrix.assign(static_cast<size_t>(N) * N, 0);
 
@@ -121,16 +332,36 @@ DependenceInfo::DependenceInfo(const Kernel &K) {
     for (unsigned Q = P + 1; Q != N; ++Q) {
       bool Flow = false, Anti = false, Output = false;
       for (const Operand *U : Uses[Q])
-        if (mayAlias(K, *Defs[P], *U)) {
+        if (aliasSharpened(K, *Defs[P], *U)) {
           Flow = true;
           break;
         }
       for (const Operand *U : Uses[P])
-        if (mayAlias(K, *U, *Defs[Q])) {
+        if (aliasSharpened(K, *U, *Defs[Q])) {
           Anti = true;
           break;
         }
-      Output = mayAlias(K, *Defs[P], *Defs[Q]);
+      Output = aliasSharpened(K, *Defs[P], *Defs[Q]);
+      if (Output && Sharpen) {
+        // Stores predicated by provably disjoint guards commit at most one
+        // value per iteration, so their relative order is irrelevant. The
+        // exclusivity argument needs both guards to read the same values:
+        // no statement from P up to (but excluding) Q may write a guard
+        // operand — including P itself, whose own store could feed Q's
+        // guard.
+        const Statement &SP = K.Body.statement(P);
+        const Statement &SQ = K.Body.statement(Q);
+        if (guardsMutuallyExclusive(SP, SQ)) {
+          bool Clobbered = false;
+          for (unsigned I = P; I != Q && !Clobbered; ++I)
+            Clobbered =
+                mayClobberGuard(K, K.Body.statement(I).lhs(), SQ.guard());
+          if (!Clobbered) {
+            Output = false;
+            ++GuardDisjoint;
+          }
+        }
+      }
       if (Flow)
         Edges.push_back(Dep{P, Q, DepKind::Flow});
       if (Anti)

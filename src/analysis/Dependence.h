@@ -12,6 +12,18 @@
 /// and the general case falls back to a GCD + Banerjee-bounds test over the
 /// rectangular iteration domain (conservatively answering may-alias).
 ///
+/// On top of that base tier, the constructor optionally runs a
+/// *range-sharpened* tier (`SharpenWithRanges`, on by default in the
+/// pipeline): an exact Diophantine feasibility test over the normalized
+/// iteration space (`affineFeasibleZero`) that refutes may-alias answers
+/// the GCD and Banerjee tests are too coarse for — non-unit loop steps
+/// folded into the coefficients, and two-variable problems whose Bezout
+/// line misses the iteration box. A second sharpening refutes *output*
+/// dependences between stores predicated by provably disjoint guards.
+/// Refutation counts are exposed as `rangeDisprovedCount()` /
+/// `guardDisjointCount()` and surface as `dep.range-disproved` /
+/// `dep.guard-disjoint` pipeline statistics.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLP_ANALYSIS_DEPENDENCE_H
@@ -32,6 +44,17 @@ namespace slp {
 /// conservative `true` instead of wrapping into a wrong refutation.
 bool affineMayBeZero(const Kernel &K, const AffineExpr &Diff);
 
+/// Exact feasibility of `Diff(i) == 0` over the iteration domain of \p K
+/// for problems with at most two active dimensions. Each active index is
+/// normalized to its trip space (i_d = Lower_d + Step_d * t_d with
+/// t_d in [0, trip_d)), which folds non-unit steps into the coefficients;
+/// one-variable problems reduce to a divisibility-plus-range check and
+/// two-variable problems are solved with the extended Euclidean algorithm
+/// in 128-bit intermediates. Strictly stronger than `affineMayBeZero`
+/// where it applies; three or more active dimensions and any int64
+/// overflow degrade to the conservative `true`.
+bool affineFeasibleZero(const Kernel &K, const AffineExpr &Diff);
+
 /// Classic dependence kinds between an earlier and a later statement.
 enum class DepKind : uint8_t { Flow, Anti, Output };
 
@@ -46,7 +69,11 @@ struct Dep {
 /// Whole-block dependence information.
 class DependenceInfo {
 public:
-  explicit DependenceInfo(const Kernel &K);
+  /// Builds the dependence graph of \p K. When \p SharpenWithRanges is
+  /// set, may-alias answers the base GCD/Banerjee tier cannot refute are
+  /// retried with the exact `affineFeasibleZero` test, and output
+  /// dependences between provably guard-disjoint stores are dropped.
+  explicit DependenceInfo(const Kernel &K, bool SharpenWithRanges = true);
 
   unsigned numStatements() const { return N; }
 
@@ -75,8 +102,23 @@ public:
   /// constants never alias.
   static bool mayAlias(const Kernel &K, const Operand &A, const Operand &B);
 
+  /// Number of operand pairs where the base tier answered may-alias but
+  /// the exact range test proved the subscripts never coincide.
+  unsigned rangeDisprovedCount() const { return RangeDisproved; }
+
+  /// Number of output dependences dropped because the two stores are
+  /// predicated by provably disjoint guards.
+  unsigned guardDisjointCount() const { return GuardDisjoint; }
+
 private:
+  /// `mayAlias` plus the range-sharpened tier (when enabled); bumps
+  /// `RangeDisproved` on each sharpened refutation.
+  bool aliasSharpened(const Kernel &K, const Operand &A, const Operand &B);
+
   unsigned N;
+  bool Sharpen;
+  unsigned RangeDisproved = 0;
+  unsigned GuardDisjoint = 0;
   std::vector<char> Matrix; // row-major [earlier][later]
   std::vector<Dep> Edges;
 };

@@ -1,0 +1,385 @@
+//===- analysis/KernelVerifier.cpp ----------------------------*- C++ -*-===//
+
+#include "analysis/KernelVerifier.h"
+
+#include "ir/Interpreter.h"
+#include "ir/Statement.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace slp;
+
+namespace {
+
+/// Index value of loop \p D after \p T steps.
+int64_t indexAt(const Loop &L, int64_t T) { return L.Lower + T * L.Step; }
+
+/// Renders "i = 4" / "(i = 4, j = 0)" for an index assignment.
+std::string renderPoint(const Kernel &K,
+                        const std::vector<std::pair<unsigned, int64_t>> &P) {
+  std::ostringstream OS;
+  if (P.size() > 1)
+    OS << "(";
+  for (size_t I = 0; I != P.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << K.Loops[P[I].first].IndexName << " = " << P[I].second;
+  }
+  if (P.size() > 1)
+    OS << ")";
+  return OS.str();
+}
+
+/// Describes where a bounds violation happens. For a single active loop
+/// index the violating iterations form a contiguous interval (the offset
+/// is monotone in the index), reported exactly; with several active
+/// indices the corner achieving the extreme offset is reported as a
+/// witness.
+std::string describeOffenders(const Kernel &K, const AffineExpr &Flat,
+                              int64_t NumElements, bool LowSide) {
+  std::vector<unsigned> Active;
+  for (unsigned D = 0; D != Flat.numDims() && D < K.Loops.size(); ++D)
+    if (Flat.coeff(D) != 0)
+      Active.push_back(D);
+
+  if (Active.empty())
+    return "every iteration";
+
+  if (Active.size() == 1) {
+    unsigned D = Active.front();
+    const Loop &L = K.Loops[D];
+    int64_t Trip = L.tripCount();
+    auto Offset = [&](int64_t T) {
+      return Flat.coeff(D) * indexAt(L, T) + Flat.constant();
+    };
+    auto Violates = [&](int64_t T) {
+      int64_t V = Offset(T);
+      return LowSide ? V < 0 : V >= NumElements;
+    };
+    // The offset is monotone in T, so the violating set is a prefix or a
+    // suffix; binary-search the boundary.
+    bool FirstViolates = Violates(0);
+    int64_t Lo = 0, Hi = Trip - 1;
+    while (Lo < Hi) {
+      int64_t Mid = Lo + (Hi - Lo) / 2;
+      // Find the last T with the same verdict as T=0.
+      if (Violates(Mid) == FirstViolates)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    int64_t Boundary = Violates(Lo) == FirstViolates ? Trip : Lo;
+    int64_t FromT = FirstViolates ? 0 : Boundary;
+    int64_t ToT = FirstViolates ? Boundary - 1 : Trip - 1;
+    std::ostringstream OS;
+    OS << "offending iterations: " << L.IndexName << " in ["
+       << indexAt(L, FromT) << ", " << indexAt(L, ToT) << "]";
+    return OS.str();
+  }
+
+  // Multi-index excursion: name the extreme corner as a witness.
+  std::vector<std::pair<unsigned, int64_t>> Corner;
+  int64_t Offset = Flat.constant();
+  for (unsigned D : Active) {
+    const Loop &L = K.Loops[D];
+    int64_t LoIdx = L.Lower;
+    int64_t HiIdx = indexAt(L, L.tripCount() - 1);
+    bool TakeHi = (Flat.coeff(D) > 0) != LowSide;
+    int64_t Idx = TakeHi ? HiIdx : LoIdx;
+    Corner.emplace_back(D, Idx);
+    Offset += Flat.coeff(D) * Idx;
+  }
+  std::ostringstream OS;
+  OS << "e.g. at " << renderPoint(K, Corner) << ", offset " << Offset;
+  return OS.str();
+}
+
+class KernelVerifier {
+public:
+  KernelVerifier(const Kernel &K, const KernelVerifyOptions &Options)
+      : K(K), Options(Options) {
+    Engine.setWarningsAsErrors(Options.WarningsAsErrors);
+  }
+
+  KernelVerifyResult run() {
+    bool ZeroTrip = false;
+    for (const Loop &L : K.Loops)
+      ZeroTrip |= L.tripCount() == 0;
+
+    if (ZeroTrip) {
+      if (Options.Lints)
+        Engine.report("SK14", DiagSeverity::Warning,
+                      "loop nest never executes (zero trip count); array "
+                      "references are unreachable");
+    } else {
+      for (unsigned I = 0; I != K.Body.size(); ++I)
+        checkStatementBounds(I);
+    }
+
+    if (Options.Lints)
+      runLints();
+
+    KernelVerifyResult R;
+    R.BoundsProven = BoundsProven;
+    R.RefsChecked = RefsChecked;
+    R.Diags = Engine.take();
+    return R;
+  }
+
+private:
+  void checkStatementBounds(unsigned StmtId) {
+    const Statement &S = K.Body.statement(StmtId);
+    if (S.lhs().isArray()) {
+      const char *Code = S.hasGuard() ? "SK03" : "SK02";
+      const char *What = S.hasGuard() ? "guarded store to" : "store to";
+      checkRef(StmtId, S.lhs(), Code, What);
+    }
+    S.forEachUse([&](const Operand &Op) {
+      if (Op.isArray())
+        checkRef(StmtId, Op, "SK01", "load from");
+    });
+  }
+
+  void checkRef(unsigned StmtId, const Operand &Op, const char *Code,
+                const char *What) {
+    ++RefsChecked;
+    const ArraySymbol &A = K.array(Op.symbol());
+    if (Op.subscripts().size() != A.DimSizes.size()) {
+      error("SK05", StmtId,
+            "reference to '" + A.Name + "' has " +
+                std::to_string(Op.subscripts().size()) +
+                " subscripts, array has rank " +
+                std::to_string(A.DimSizes.size()));
+      return;
+    }
+    for (const AffineExpr &Sub : Op.subscripts())
+      if (Sub.numDims() > K.Loops.size()) {
+        error("SK04", StmtId,
+              "subscript of '" + A.Name +
+                  "' references a loop depth outside the nest");
+        return;
+      }
+    AffineExpr Flat = flattenArrayRef(A, Op.subscripts());
+    OffsetInterval Range = affineRangeOverDomain(K, Flat);
+    if (!Range.Known) {
+      error("SK04", StmtId,
+            "cannot bound " + std::string(What) + " '" + A.Name +
+                "': offset fold overflows 64-bit arithmetic");
+      return;
+    }
+    int64_t N = A.numElements();
+    if (Range.Lo >= 0 && Range.Hi < N)
+      return; // proven in bounds
+    bool LowSide = Range.Lo < 0;
+    std::ostringstream OS;
+    OS << "out-of-bounds " << What << " '" << A.Name << "': offset range ["
+       << Range.Lo << ", " << Range.Hi << "] outside [0, " << N << ") ("
+       << describeOffenders(K, Flat, N, LowSide) << ")";
+    error(Code, StmtId, OS.str());
+  }
+
+  void runLints() {
+    lintUnusedScalars();
+    lintDeadScalarStores();
+    lintConstantGuards();
+  }
+
+  void lintUnusedScalars() {
+    std::vector<bool> Referenced(K.Scalars.size(), false);
+    for (const Statement &S : K.Body) {
+      if (S.lhs().isScalar())
+        Referenced[S.lhs().symbol()] = true;
+      S.forEachUse([&](const Operand &Op) {
+        if (Op.isScalar())
+          Referenced[Op.symbol()] = true;
+      });
+    }
+    for (SymbolId Id = 0; Id != K.Scalars.size(); ++Id)
+      if (!Referenced[Id])
+        Engine.report("SK11", DiagSeverity::Warning,
+                      "scalar '" + K.Scalars[Id].Name +
+                          "' is never referenced");
+  }
+
+  /// A scalar store is dead when a later statement of the same iteration
+  /// overwrites the scalar unconditionally and nothing in between (or
+  /// the overwriting statement itself) reads it. Scalars persist across
+  /// iterations, so a store that survives to the end of the block is
+  /// always observable (by the next iteration or the kernel's consumer)
+  /// and never flagged.
+  void lintDeadScalarStores() {
+    const unsigned N = K.Body.size();
+    for (unsigned I = 0; I != N; ++I) {
+      const Statement &SI = K.Body.statement(I);
+      if (!SI.lhs().isScalar())
+        continue;
+      SymbolId Id = SI.lhs().symbol();
+      for (unsigned J = I + 1; J != N; ++J) {
+        const Statement &SJ = K.Body.statement(J);
+        bool Reads = false;
+        SJ.forEachUse([&](const Operand &Op) {
+          Reads |= Op.isScalar() && Op.symbol() == Id;
+        });
+        if (Reads)
+          break;
+        if (SJ.lhs().isScalar() && SJ.lhs().symbol() == Id) {
+          if (SJ.hasGuard())
+            break; // overwrite may not happen; the store stays live
+          Engine
+              .report("SK10", DiagSeverity::Warning,
+                      "dead store to scalar '" + K.Scalars[Id].Name +
+                          "': overwritten by statement " +
+                          std::to_string(J) + " with no intervening read")
+              .Loc.Stmt = static_cast<int>(I);
+          break;
+        }
+      }
+    }
+  }
+
+  void lintConstantGuards() {
+    ValueRangeInfo Ranges = computeValueRanges(K);
+    for (unsigned I = 0; I != K.Body.size(); ++I) {
+      const Statement &S = K.Body.statement(I);
+      if (!S.hasGuard())
+        continue;
+      GuardVerdict V =
+          classifyGuardByRange(K, S.guard(), Ranges.ScalarIn[I]);
+      if (V == GuardVerdict::AlwaysTaken)
+        Engine
+            .report("SK12", DiagSeverity::Warning,
+                    "guard is provably always taken (value range " +
+                        Ranges.Stmts[I].Guard.str() + ")")
+            .Loc.Stmt = static_cast<int>(I);
+      else if (V == GuardVerdict::NeverTaken)
+        Engine
+            .report("SK13", DiagSeverity::Warning,
+                    "guard is provably never taken; the store is dead")
+            .Loc.Stmt = static_cast<int>(I);
+    }
+  }
+
+  void error(const char *Code, unsigned StmtId, const std::string &Msg) {
+    BoundsProven = false;
+    Engine.report(Code, DiagSeverity::Error, Msg).Loc.Stmt =
+        static_cast<int>(StmtId);
+  }
+
+  const Kernel &K;
+  const KernelVerifyOptions &Options;
+  DiagnosticEngine Engine;
+  bool BoundsProven = true;
+  unsigned RefsChecked = 0;
+};
+
+} // namespace
+
+KernelVerifyResult slp::verifyKernel(const Kernel &K,
+                                     const KernelVerifyOptions &Options) {
+  return KernelVerifier(K, Options).run();
+}
+
+namespace {
+
+/// The interpreter's store conversion (ir/Interpreter.cpp): int-typed
+/// locations truncate toward zero.
+double storeConvert(ScalarType Ty, double V) {
+  return isFloatType(Ty) ? V : std::trunc(V);
+}
+
+} // namespace
+
+std::optional<std::string> slp::checkRangeSoundness(const Kernel &K,
+                                                    uint64_t Seed,
+                                                    bool *Skipped) {
+  if (Skipped)
+    *Skipped = true;
+  if (verifyKernel(K).hasErrors())
+    return std::nullopt; // cannot execute an out-of-bounds kernel
+  for (const Loop &L : K.Loops)
+    if (L.tripCount() == 0)
+      return std::nullopt; // the block never runs; nothing to observe
+  if (Skipped)
+    *Skipped = false;
+
+  ValueRangeInfo Info = computeValueRanges(K);
+  Environment Env(K, Seed);
+  std::optional<std::string> Violation;
+
+  auto Report = [&](unsigned Stmt, const std::string &What, double V,
+                    const ValueInterval &Range) {
+    if (Violation)
+      return;
+    std::ostringstream OS;
+    OS << "range-soundness violation at statement " << Stmt << ": " << What
+       << " value " << V << " outside predicted " << Range.str();
+    Violation = OS.str();
+  };
+
+  forEachIteration(K, [&](const std::vector<int64_t> &Indices) {
+    if (Violation)
+      return;
+    for (unsigned I = 0; I != K.Body.size(); ++I) {
+      const Statement &S = K.Body.statement(I);
+
+      // Scalar environment against the statement's entry state.
+      for (SymbolId Id = 0; Id != K.Scalars.size(); ++Id)
+        if (!Info.ScalarIn[I][Id].contains(Env.scalarValue(Id)))
+          Report(I, "scalar '" + K.Scalars[Id].Name + "'",
+                 Env.scalarValue(Id), Info.ScalarIn[I][Id]);
+
+      // Array offsets against their exact affine ranges.
+      auto CheckOffset = [&](const Operand &Op) {
+        if (!Op.isArray())
+          return;
+        AffineExpr Flat =
+            flattenArrayRef(K.array(Op.symbol()), Op.subscripts());
+        OffsetInterval Range = affineRangeOverDomain(K, Flat);
+        int64_t Offset = Flat.evaluate(Indices);
+        if (Range.Known && !Range.contains(Offset) && !Violation) {
+          std::ostringstream OS;
+          OS << "range-soundness violation at statement " << I
+             << ": offset " << Offset << " of '"
+             << K.array(Op.symbol()).Name << "' outside predicted ["
+             << Range.Lo << ", " << Range.Hi << "]";
+          Violation = OS.str();
+        }
+      };
+      CheckOffset(S.lhs());
+      S.forEachUse(CheckOffset);
+
+      // Guard, RHS and committed-store values; then execute the
+      // statement with the interpreter's exact semantics.
+      bool Taken = true;
+      if (S.hasGuard()) {
+        double G = evalExprValue(K, Env, S.guard(), Indices);
+        if (!Info.Stmts[I].Guard.contains(G))
+          Report(I, "guard", G, Info.Stmts[I].Guard);
+        Taken = G != 0.0;
+      }
+      double Value = evalExprValue(K, Env, S.rhs(), Indices);
+      if (!Info.Stmts[I].Rhs.contains(Value))
+        Report(I, "rhs", Value, Info.Stmts[I].Rhs);
+      if (Taken) {
+        ScalarType DestTy = S.lhs().isScalar()
+                                ? K.scalar(S.lhs().symbol()).Ty
+                                : K.array(S.lhs().symbol()).Ty;
+        double Stored = storeConvert(DestTy, Value);
+        if (!Info.Stmts[I].Stored.contains(Stored))
+          Report(I, "stored", Stored, Info.Stmts[I].Stored);
+        storeToOperand(K, Env, S.lhs(), Value, Indices);
+      }
+      if (Violation)
+        return;
+    }
+  });
+
+  if (!Violation)
+    for (SymbolId Id = 0; Id != K.Scalars.size(); ++Id)
+      if (!Info.ScalarExit[Id].contains(Env.scalarValue(Id)))
+        Report(K.Body.size(), "exit scalar '" + K.Scalars[Id].Name + "'",
+               Env.scalarValue(Id), Info.ScalarExit[Id]);
+
+  return Violation;
+}

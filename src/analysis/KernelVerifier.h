@@ -1,0 +1,93 @@
+//===- analysis/KernelVerifier.h - Static kernel bounds verifier -*- C++ -*-===//
+///
+/// \file
+/// The value-range analysis' bug-finding consumer: a static verifier of
+/// the *kernel itself* (the vector IR has its own validator in
+/// analysis/VectorVerifier.h). Its core job is the bounds theorem the
+/// rest of the toolchain silently assumes: every array reference's
+/// flattened offset stays within [0, numElements) for every iteration of
+/// the loop nest — the same contract `evalArrayOffset` asserts
+/// dynamically and the native backend compiles without checks. Affine
+/// subscripts over compile-time loop bounds make the proof exact: the
+/// verifier either proves a reference in bounds or reports the exact
+/// offending iteration interval.
+///
+/// Diagnostics go through the PR-5 DiagnosticEngine under the `SK` code
+/// namespace (docs/kernel-analysis.md has the table):
+///
+///   SK01 error    out-of-bounds array load (RHS, guard or select arm —
+///                 always evaluated, so always an error)
+///   SK02 error    out-of-bounds unguarded array store
+///   SK03 error    out-of-bounds guarded array store (the store may be
+///                 dynamically suppressed, but the IR bounds contract
+///                 covers every reference)
+///   SK04 error    reference cannot be bounded (offset fold overflows
+///                 int64, or a subscript names a depth outside the nest)
+///   SK05 error    malformed reference (subscript arity mismatch)
+///   SK10 warning  dead scalar store (overwritten in the same iteration
+///                 by an unguarded store with no intervening read)
+///   SK11 warning  unused scalar symbol (declared, never referenced)
+///   SK12 warning  guard proven always taken by value ranges
+///   SK13 warning  guard proven never taken by value ranges
+///   SK14 warning  loop nest never executes (zero trip count)
+///
+/// Errors are exact for affine references (no false positives on kernels
+/// whose references fit int64 folding); the SK1x lint tier runs only when
+/// requested. A separate entry point, `checkRangeSoundness`, is the
+/// fuzzer's oracle: it executes the kernel with scalar semantics and
+/// asserts every dynamically observed value lies inside its predicted
+/// static range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_KERNELVERIFIER_H
+#define SLP_ANALYSIS_KERNELVERIFIER_H
+
+#include "analysis/ValueRange.h"
+#include "support/Diagnostic.h"
+
+#include <optional>
+
+namespace slp {
+
+struct KernelVerifyOptions {
+  /// Emit the SK1x lint tier (dead stores, unused scalars, constant
+  /// guards) next to the bounds errors.
+  bool Lints = false;
+  /// Promote lint warnings to errors (`--werror`).
+  bool WarningsAsErrors = false;
+};
+
+struct KernelVerifyResult {
+  std::vector<Diagnostic> Diags;
+  /// True when every array reference was proven in bounds (no SK0x
+  /// errors; lint warnings do not affect this).
+  bool BoundsProven = true;
+  /// Array references examined (telemetry).
+  unsigned RefsChecked = 0;
+
+  bool hasErrors() const {
+    return countDiagnostics(Diags, DiagSeverity::Error) != 0;
+  }
+};
+
+/// Statically verifies \p K: bounds-checks every array reference and,
+/// when requested, runs the range-driven lint tier.
+KernelVerifyResult verifyKernel(const Kernel &K,
+                                const KernelVerifyOptions &Options = {});
+
+/// The fuzzer's range-soundness oracle: runs \p K once with scalar
+/// semantics from the environment seeded by \p Seed and checks every
+/// observed scalar value, guard value, RHS value, committed store and
+/// array offset against its predicted static range. Returns a
+/// description of the first violation, or nullopt when every observation
+/// was inside its range. Kernels that fail the bounds verifier or whose
+/// nest never executes are skipped (nullopt, \p Skipped set when
+/// non-null): there is nothing sound to observe.
+std::optional<std::string> checkRangeSoundness(const Kernel &K,
+                                               uint64_t Seed,
+                                               bool *Skipped = nullptr);
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_KERNELVERIFIER_H

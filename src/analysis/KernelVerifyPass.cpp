@@ -1,0 +1,41 @@
+//===- analysis/KernelVerifyPass.cpp --------------------------*- C++ -*-===//
+
+#include "analysis/KernelVerifyPass.h"
+
+#include "analysis/KernelVerifier.h"
+#include "slp/PipelineState.h"
+#include "support/Diagnostic.h"
+
+using namespace slp;
+
+void KernelVerifyPass::run(PassContext &Ctx) {
+  PipelineState &S = Ctx.State;
+  S.KernelDiags.clear();
+  S.KernelVerified = false;
+  if (!S.Options.VerifyKernel)
+    return;
+
+  KernelVerifyOptions VO;
+  VO.Lints = S.Options.VerifyLint;
+  VO.WarningsAsErrors = S.Options.VerifyWerror;
+  KernelVerifyResult R = verifyKernel(S.Source, VO);
+
+  unsigned Errors = countDiagnostics(R.Diags, DiagSeverity::Error);
+  unsigned Warnings = countDiagnostics(R.Diags, DiagSeverity::Warning);
+  S.KernelDiags = std::move(R.Diags);
+  S.KernelVerified = R.BoundsProven && Errors == 0;
+
+  Ctx.Stats.add("verify-kernel.kernels");
+  Ctx.Stats.add("verify-kernel.refs-checked", R.RefsChecked);
+  if (Errors)
+    Ctx.Stats.add("verify-kernel.errors", Errors);
+  if (Warnings)
+    Ctx.Stats.add("verify-kernel.warnings", Warnings);
+
+  if (!S.KernelVerified)
+    Ctx.Remarks.missed(name(),
+                       "kernel failed static verification: " +
+                           (S.KernelDiags.empty()
+                                ? std::string("unknown")
+                                : S.KernelDiags.front().render()));
+}

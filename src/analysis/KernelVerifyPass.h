@@ -1,0 +1,29 @@
+//===- analysis/KernelVerifyPass.h - Static kernel verification -*- C++ -*-===//
+///
+/// \file
+/// The pipeline's first stage when enabled: runs the static bounds
+/// verifier (analysis/KernelVerifier.h) over the *source* kernel, before
+/// any transformation, so diagnostics point at the statements the user
+/// wrote. Gated by `PipelineOptions::VerifyKernel`; diagnostics land in
+/// `State.KernelDiags` and surface as `verify-kernel.*` statistics, a
+/// remark on failure, and `PipelineResult::KernelDiags` for front ends
+/// (`slpc --verify-kernel`) and the daemon's compile precheck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_KERNELVERIFYPASS_H
+#define SLP_ANALYSIS_KERNELVERIFYPASS_H
+
+#include "support/PassManager.h"
+
+namespace slp {
+
+class KernelVerifyPass : public KernelPass {
+public:
+  const char *name() const override { return "verify-kernel"; }
+  void run(PassContext &Ctx) override;
+};
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_KERNELVERIFYPASS_H

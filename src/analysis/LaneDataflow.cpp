@@ -57,8 +57,12 @@ LocAlias LocationTable::alias(LocId A, LocId B) {
   // Distinct flattened offsets of one array: can they coincide in some
   // iteration? Offsets of interned locations are modest (they came from a
   // real kernel's flattening), so the subtraction itself is safe; the
-  // feasibility test uses checked arithmetic internally.
-  LocAlias Result = affineMayBeZero(K, LA.Offset - LB.Offset)
+  // feasibility tests use checked arithmetic internally. The exact
+  // `affineFeasibleZero` tier must run here too: the pipeline reorders
+  // stores based on the range-sharpened dependence analysis, so a coarser
+  // alias oracle in the verifier would reject those legal reorderings.
+  AffineExpr Diff = LA.Offset - LB.Offset;
+  LocAlias Result = affineMayBeZero(K, Diff) && affineFeasibleZero(K, Diff)
                         ? LocAlias::May
                         : LocAlias::None;
   AliasCache.emplace(CacheKey, Result);

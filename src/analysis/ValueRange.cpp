@@ -1,0 +1,559 @@
+//===- analysis/ValueRange.cpp --------------------------------*- C++ -*-===//
+
+#include "analysis/ValueRange.h"
+
+#include "analysis/Dataflow.h"
+#include "ir/Statement.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+using namespace slp;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// Bounds must never be NaN (NaN-ness lives in the MayNaN bit); a fold
+/// that produced NaN bounds (inf - inf, 0 * inf, ...) degrades to the
+/// widest interval with the NaN bit set.
+ValueInterval degradeNaNBounds(double Lo, double Hi, bool MayNaN) {
+  if (std::isnan(Lo) || std::isnan(Hi))
+    return ValueInterval::top();
+  ValueInterval R;
+  R.Lo = Lo;
+  R.Hi = Hi;
+  R.MayNaN = MayNaN;
+  return R;
+}
+
+bool checkedAdd(int64_t A, int64_t B, int64_t &Out) {
+  return !__builtin_add_overflow(A, B, &Out);
+}
+
+bool checkedMul(int64_t A, int64_t B, int64_t &Out) {
+  return !__builtin_mul_overflow(A, B, &Out);
+}
+
+} // namespace
+
+ValueInterval ValueInterval::exact(double V) {
+  if (std::isnan(V))
+    return top();
+  ValueInterval R;
+  R.Lo = R.Hi = V;
+  R.MayNaN = false;
+  return R;
+}
+
+ValueInterval ValueInterval::range(double Lo, double Hi, bool MayNaN) {
+  return degradeNaNBounds(Lo, Hi, MayNaN);
+}
+
+bool ValueInterval::isTop() const {
+  return Lo == -Inf && Hi == Inf && MayNaN;
+}
+
+bool ValueInterval::contains(double V) const {
+  if (std::isnan(V))
+    return MayNaN;
+  return V >= Lo && V <= Hi;
+}
+
+bool ValueInterval::joinWith(const ValueInterval &Other) {
+  bool Changed = false;
+  if (Other.Lo < Lo) {
+    Lo = Other.Lo;
+    Changed = true;
+  }
+  if (Other.Hi > Hi) {
+    Hi = Other.Hi;
+    Changed = true;
+  }
+  if (Other.MayNaN && !MayNaN) {
+    MayNaN = true;
+    Changed = true;
+  }
+  return Changed;
+}
+
+void ValueInterval::widenAgainst(const ValueInterval &Previous) {
+  if (Lo < Previous.Lo)
+    Lo = -Inf;
+  if (Hi > Previous.Hi)
+    Hi = Inf;
+}
+
+bool ValueInterval::operator==(const ValueInterval &Other) const {
+  return Lo == Other.Lo && Hi == Other.Hi && MayNaN == Other.MayNaN;
+}
+
+std::string ValueInterval::str() const {
+  std::ostringstream OS;
+  OS << "[" << Lo << ", " << Hi << "]";
+  if (MayNaN)
+    OS << " nan?";
+  return OS.str();
+}
+
+ValueInterval slp::applyUnaryOp(OpCode Op, const ValueInterval &A) {
+  switch (Op) {
+  case OpCode::Neg:
+    return degradeNaNBounds(-A.Hi, -A.Lo, A.MayNaN);
+  case OpCode::Sqrt: {
+    // Interpreter semantics: sqrt(fabs(x)), so the result is >= 0 for
+    // every non-NaN input.
+    double MaxMag = std::max(std::fabs(A.Lo), std::fabs(A.Hi));
+    double MinMag = 0;
+    if (A.Lo > 0 || A.Hi < 0)
+      MinMag = std::min(std::fabs(A.Lo), std::fabs(A.Hi));
+    return degradeNaNBounds(std::sqrt(MinMag), std::sqrt(MaxMag), A.MayNaN);
+  }
+  case OpCode::Abs: {
+    double MaxMag = std::max(std::fabs(A.Lo), std::fabs(A.Hi));
+    double MinMag = 0;
+    if (A.Lo > 0 || A.Hi < 0)
+      MinMag = std::min(std::fabs(A.Lo), std::fabs(A.Hi));
+    return degradeNaNBounds(MinMag, MaxMag, A.MayNaN);
+  }
+  default:
+    slpUnreachable("not a unary opcode");
+  }
+}
+
+namespace {
+
+/// [min, max] over the four products of the interval corners; any NaN
+/// corner (0 * inf) degrades to top.
+ValueInterval mulIntervals(const ValueInterval &A, const ValueInterval &B) {
+  double C[4] = {A.Lo * B.Lo, A.Lo * B.Hi, A.Hi * B.Lo, A.Hi * B.Hi};
+  double Lo = C[0], Hi = C[0];
+  for (double V : C) {
+    if (std::isnan(V))
+      return ValueInterval::top();
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  // 0 * inf is NaN even when neither lands on a corner product: a
+  // zero-spanning interval times an unbounded one can pair them in the
+  // interior.
+  bool ZeroTimesInf =
+      (A.Lo <= 0 && A.Hi >= 0 && (std::isinf(B.Lo) || std::isinf(B.Hi))) ||
+      (B.Lo <= 0 && B.Hi >= 0 && (std::isinf(A.Lo) || std::isinf(A.Hi)));
+  return ValueInterval::range(Lo, Hi,
+                              A.MayNaN || B.MayNaN || ZeroTimesInf);
+}
+
+ValueInterval divIntervals(const ValueInterval &A, const ValueInterval &B) {
+  // A denominator interval admitting zero can produce +-inf (x/0) and
+  // NaN (0/0): no useful bounds survive.
+  if (B.Lo <= 0 && B.Hi >= 0)
+    return ValueInterval::top();
+  double C[4] = {A.Lo / B.Lo, A.Lo / B.Hi, A.Hi / B.Lo, A.Hi / B.Hi};
+  double Lo = C[0], Hi = C[0];
+  for (double V : C) {
+    if (std::isnan(V)) // inf / inf
+      return ValueInterval::top();
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  return ValueInterval::range(Lo, Hi, A.MayNaN || B.MayNaN);
+}
+
+/// fmin/fmax return the non-NaN operand when exactly one side is NaN, so
+/// a MayNaN side contributes the *other* side's full range to the result
+/// and the result is NaN only when both sides may be.
+ValueInterval minIntervals(const ValueInterval &A, const ValueInterval &B) {
+  double Lo = std::min(A.Lo, B.Lo);
+  double Hi = std::min(A.Hi, B.Hi);
+  if (A.MayNaN)
+    Hi = std::max(Hi, B.Hi);
+  if (B.MayNaN)
+    Hi = std::max(Hi, A.Hi);
+  return ValueInterval::range(Lo, Hi, A.MayNaN && B.MayNaN);
+}
+
+ValueInterval maxIntervals(const ValueInterval &A, const ValueInterval &B) {
+  double Lo = std::max(A.Lo, B.Lo);
+  double Hi = std::max(A.Hi, B.Hi);
+  if (A.MayNaN)
+    Lo = std::min(Lo, B.Lo);
+  if (B.MayNaN)
+    Lo = std::min(Lo, A.Lo);
+  return ValueInterval::range(Lo, Hi, A.MayNaN && B.MayNaN);
+}
+
+/// Comparison transfer. The result is always exactly 0.0 or 1.0 (never
+/// NaN); NaN *operands* make every comparison false except CmpNE, which
+/// they make true.
+ValueInterval cmpIntervals(OpCode Op, const ValueInterval &A,
+                           const ValueInterval &B) {
+  const bool NoNaN = !A.MayNaN && !B.MayNaN;
+  const bool Disjoint = A.Hi < B.Lo || A.Lo > B.Hi;
+  const bool SamePoint =
+      A.Lo == A.Hi && B.Lo == B.Hi && A.Lo == B.Lo && NoNaN;
+  bool AlwaysTrue = false, AlwaysFalse = false;
+  switch (Op) {
+  case OpCode::CmpLT:
+    AlwaysTrue = NoNaN && A.Hi < B.Lo;
+    AlwaysFalse = A.Lo >= B.Hi; // NaN operands also compare false
+    break;
+  case OpCode::CmpLE:
+    AlwaysTrue = NoNaN && A.Hi <= B.Lo;
+    AlwaysFalse = A.Lo > B.Hi;
+    break;
+  case OpCode::CmpGT:
+    AlwaysTrue = NoNaN && A.Lo > B.Hi;
+    AlwaysFalse = A.Hi <= B.Lo;
+    break;
+  case OpCode::CmpGE:
+    AlwaysTrue = NoNaN && A.Lo >= B.Hi;
+    AlwaysFalse = A.Hi < B.Lo;
+    break;
+  case OpCode::CmpEQ:
+    AlwaysTrue = SamePoint;
+    AlwaysFalse = Disjoint; // NaN == x is false anyway
+    break;
+  case OpCode::CmpNE:
+    AlwaysTrue = Disjoint; // NaN != x is true anyway
+    AlwaysFalse = SamePoint;
+    break;
+  default:
+    slpUnreachable("not a comparison opcode");
+  }
+  if (AlwaysTrue)
+    return ValueInterval::exact(1.0);
+  if (AlwaysFalse)
+    return ValueInterval::exact(0.0);
+  return ValueInterval::range(0.0, 1.0);
+}
+
+} // namespace
+
+ValueInterval slp::applyBinaryOp(OpCode Op, const ValueInterval &A,
+                                 const ValueInterval &B) {
+  if (isCompareOp(Op))
+    return cmpIntervals(Op, A, B);
+  switch (Op) {
+  case OpCode::Add:
+    // The extreme sums are corner sums, but NaN comes from the *mixed*
+    // corners (+inf + -inf), which the bounds arithmetic never touches.
+    return degradeNaNBounds(A.Lo + B.Lo, A.Hi + B.Hi,
+                            A.MayNaN || B.MayNaN ||
+                                (A.Hi == Inf && B.Lo == -Inf) ||
+                                (A.Lo == -Inf && B.Hi == Inf));
+  case OpCode::Sub:
+    return degradeNaNBounds(A.Lo - B.Hi, A.Hi - B.Lo,
+                            A.MayNaN || B.MayNaN ||
+                                (A.Hi == Inf && B.Hi == Inf) ||
+                                (A.Lo == -Inf && B.Lo == -Inf));
+  case OpCode::Mul:
+    return mulIntervals(A, B);
+  case OpCode::Div:
+    return divIntervals(A, B);
+  case OpCode::Min:
+    return minIntervals(A, B);
+  case OpCode::Max:
+    return maxIntervals(A, B);
+  default:
+    slpUnreachable("not a binary opcode");
+  }
+}
+
+ValueInterval slp::applySelect(const ValueInterval &C, const ValueInterval &A,
+                               const ValueInterval &B) {
+  // Select takes A unless the condition is exactly 0.0; NaN conditions
+  // compare != 0 and take A as well.
+  const bool CanBeZero = C.Lo <= 0 && C.Hi >= 0;
+  const bool AlwaysZero = C.Lo == 0 && C.Hi == 0 && !C.MayNaN;
+  if (AlwaysZero)
+    return B;
+  if (!CanBeZero)
+    return A;
+  ValueInterval R = A;
+  R.joinWith(B);
+  return R;
+}
+
+ValueInterval slp::applyStoreConversion(ScalarType Ty,
+                                        const ValueInterval &V) {
+  if (isFloatType(Ty))
+    return V;
+  // trunc() is monotone, so the truncated interval is the truncation of
+  // the bounds; NaN truncates to NaN and keeps the may-bit.
+  return ValueInterval::range(std::trunc(V.Lo), std::trunc(V.Hi), V.MayNaN);
+}
+
+bool slp::loopIndexBounds(const Kernel &K, unsigned Depth, int64_t &Lo,
+                          int64_t &Hi) {
+  if (Depth >= K.Loops.size())
+    return false;
+  const Loop &L = K.Loops[Depth];
+  int64_t Trip = L.tripCount();
+  if (Trip == 0)
+    return false;
+  int64_t Extent;
+  if (!checkedMul(Trip - 1, L.Step, Extent) ||
+      !checkedAdd(L.Lower, Extent, Hi))
+    return false;
+  Lo = L.Lower;
+  return true;
+}
+
+OffsetInterval slp::affineRangeOverDomain(const Kernel &K,
+                                          const AffineExpr &E) {
+  OffsetInterval R;
+  int64_t Min = E.constant(), Max = E.constant();
+  for (unsigned D = 0, End = E.numDims(); D != End; ++D) {
+    int64_t C = E.coeff(D);
+    if (C == 0)
+      continue;
+    if (D >= K.Loops.size())
+      return R; // references an index outside the nest
+    int64_t Lo, Hi;
+    if (!loopIndexBounds(K, D, Lo, Hi))
+      return R; // zero-trip: the expression is never evaluated
+    int64_t TermLo, TermHi;
+    if (!checkedMul(C, Lo, TermLo) || !checkedMul(C, Hi, TermHi))
+      return R;
+    if (C < 0)
+      std::swap(TermLo, TermHi);
+    if (!checkedAdd(Min, TermLo, Min) || !checkedAdd(Max, TermHi, Max))
+      return R;
+  }
+  R.Lo = Min;
+  R.Hi = Max;
+  R.Known = true;
+  return R;
+}
+
+ValueInterval slp::evalExprInterval(const Kernel &K, const Expr &E,
+                                    const std::vector<ValueInterval> &Scalars) {
+  if (E.isLeaf()) {
+    const Operand &Op = E.leaf();
+    switch (Op.kind()) {
+    case Operand::Kind::Constant:
+      return ValueInterval::exact(Op.constantValue());
+    case Operand::Kind::Scalar:
+      return Scalars[Op.symbol()];
+    case Operand::Kind::Array:
+      return ValueInterval::top(); // array contents are not tracked
+    }
+    slpUnreachable("invalid operand kind");
+  }
+  OpCode Op = E.opcode();
+  if (isUnaryOp(Op))
+    return applyUnaryOp(Op, evalExprInterval(K, E.child(0), Scalars));
+  if (isTernaryOp(Op))
+    return applySelect(evalExprInterval(K, E.child(0), Scalars),
+                       evalExprInterval(K, E.child(1), Scalars),
+                       evalExprInterval(K, E.child(2), Scalars));
+  return applyBinaryOp(Op, evalExprInterval(K, E.child(0), Scalars),
+                       evalExprInterval(K, E.child(1), Scalars));
+}
+
+GuardVerdict slp::classifyGuardByRange(
+    const Kernel &K, const Expr &Guard,
+    const std::vector<ValueInterval> &Scalars) {
+  ValueInterval G = evalExprInterval(K, Guard, Scalars);
+  // Taken means != 0.0; NaN is taken.
+  if (G.Lo > 0 || G.Hi < 0)
+    return GuardVerdict::AlwaysTaken;
+  if (G.Lo == 0 && G.Hi == 0 && !G.MayNaN)
+    return GuardVerdict::NeverTaken;
+  return GuardVerdict::Unknown;
+}
+
+namespace {
+
+/// Narrows \p Scalars under "the guard evaluated true": when one side of
+/// a comparison guard is a plain scalar leaf, the other side's interval
+/// bounds it along the taken path (and every ordered comparison rules
+/// NaN out). CmpNE learns nothing (NaN != x is true).
+void refineScalarsByGuard(const Kernel &K, const Expr &Guard,
+                          std::vector<ValueInterval> &Scalars) {
+  if (Guard.isLeaf() || !isCompareOp(Guard.opcode()))
+    return;
+  OpCode Op = Guard.opcode();
+  const Expr &L = Guard.child(0);
+  const Expr &R = Guard.child(1);
+
+  auto Narrow = [&](const Expr &Side, OpCode SideOp, const Expr &Other) {
+    if (!Side.isLeaf() || !Side.leaf().isScalar())
+      return;
+    ValueInterval Bound = evalExprInterval(K, Other, Scalars);
+    ValueInterval &Cur = Scalars[Side.leaf().symbol()];
+    switch (SideOp) {
+    case OpCode::CmpLT:
+    case OpCode::CmpLE:
+      Cur.Hi = std::min(Cur.Hi, Bound.Hi);
+      Cur.MayNaN = false;
+      break;
+    case OpCode::CmpGT:
+    case OpCode::CmpGE:
+      Cur.Lo = std::max(Cur.Lo, Bound.Lo);
+      Cur.MayNaN = false;
+      break;
+    case OpCode::CmpEQ:
+      Cur.Lo = std::max(Cur.Lo, Bound.Lo);
+      Cur.Hi = std::min(Cur.Hi, Bound.Hi);
+      Cur.MayNaN = false;
+      break;
+    case OpCode::CmpNE:
+      break;
+    default:
+      break;
+    }
+  };
+
+  // `x < e` bounds x above; `e < x` bounds x below (the mirrored opcode).
+  auto Mirror = [](OpCode O) {
+    switch (O) {
+    case OpCode::CmpLT:
+      return OpCode::CmpGT;
+    case OpCode::CmpLE:
+      return OpCode::CmpGE;
+    case OpCode::CmpGT:
+      return OpCode::CmpLT;
+    case OpCode::CmpGE:
+      return OpCode::CmpLE;
+    default:
+      return O;
+    }
+  };
+  Narrow(L, Op, R);
+  Narrow(R, Mirror(Op), L);
+}
+
+/// The lattice element: one interval per scalar symbol.
+class ScalarRangeState : public AbstractState {
+public:
+  explicit ScalarRangeState(size_t NumScalars)
+      : Scalars(NumScalars, ValueInterval::top()) {}
+
+  std::unique_ptr<AbstractState> clone() const override {
+    return std::make_unique<ScalarRangeState>(*this);
+  }
+
+  bool joinWith(const AbstractState &Other) override {
+    const auto &O = static_cast<const ScalarRangeState &>(Other);
+    bool Changed = false;
+    for (size_t I = 0; I != Scalars.size(); ++I)
+      Changed |= Scalars[I].joinWith(O.Scalars[I]);
+    return Changed;
+  }
+
+  void widenAgainst(const AbstractState &Previous) override {
+    const auto &P = static_cast<const ScalarRangeState &>(Previous);
+    for (size_t I = 0; I != Scalars.size(); ++I)
+      Scalars[I].widenAgainst(P.Scalars[I]);
+  }
+
+  bool equals(const AbstractState &Other) const override {
+    const auto &O = static_cast<const ScalarRangeState &>(Other);
+    return Scalars == O.Scalars;
+  }
+
+  std::vector<ValueInterval> Scalars;
+};
+
+/// The dataflow problem: interval transfer of each statement.
+class ScalarRangeProblem : public DataflowProblem {
+public:
+  explicit ScalarRangeProblem(const Kernel &K) : K(K) {}
+
+  std::unique_ptr<AbstractState> boundaryState() const override {
+    // Kernel inputs (initial scalar values) are unknown.
+    return std::make_unique<ScalarRangeState>(K.Scalars.size());
+  }
+
+  void transferStatement(unsigned StmtIdx,
+                         AbstractState &State) const override {
+    auto &S = static_cast<ScalarRangeState &>(State);
+    transfer(K.Body.statement(StmtIdx), S.Scalars, nullptr);
+  }
+
+  /// Shared by the solver transfer and the final recording sweep: applies
+  /// \p Stmt to \p Scalars, optionally reporting the per-statement ranges.
+  void transfer(const Statement &Stmt, std::vector<ValueInterval> &Scalars,
+                StatementRanges *Out) const {
+    ValueInterval Guard = ValueInterval::exact(1.0);
+    GuardVerdict Verdict = GuardVerdict::AlwaysTaken;
+    if (Stmt.hasGuard()) {
+      Guard = evalExprInterval(K, Stmt.guard(), Scalars);
+      Verdict = classifyGuardByRange(K, Stmt.guard(), Scalars);
+    }
+    ValueInterval Rhs = evalExprInterval(K, Stmt.rhs(), Scalars);
+
+    // The committed value benefits from the guard's taken-path narrowing
+    // and undergoes the destination's store conversion.
+    ValueInterval Stored = Rhs;
+    if (Stmt.hasGuard()) {
+      std::vector<ValueInterval> Refined = Scalars;
+      refineScalarsByGuard(K, Stmt.guard(), Refined);
+      Stored = evalExprInterval(K, Stmt.rhs(), Refined);
+    }
+    ScalarType DestTy = Stmt.lhs().isScalar()
+                            ? K.scalar(Stmt.lhs().symbol()).Ty
+                            : K.array(Stmt.lhs().symbol()).Ty;
+    Stored = applyStoreConversion(DestTy, Stored);
+
+    if (Out) {
+      Out->Guard = Guard;
+      Out->Rhs = Rhs;
+      Out->Stored = Stored;
+    }
+
+    if (Stmt.lhs().isScalar()) {
+      ValueInterval &Dest = Scalars[Stmt.lhs().symbol()];
+      switch (Verdict) {
+      case GuardVerdict::AlwaysTaken:
+        Dest = Stored; // strong update
+        break;
+      case GuardVerdict::NeverTaken:
+        break; // the store never commits
+      case GuardVerdict::Unknown:
+        Dest.joinWith(Stored); // maybe-store
+        break;
+      }
+    }
+  }
+
+private:
+  const Kernel &K;
+};
+
+} // namespace
+
+ValueRangeInfo slp::computeValueRanges(const Kernel &K) {
+  ValueRangeInfo Info;
+  const unsigned N = K.Body.size();
+  const size_t NumScalars = K.Scalars.size();
+  Info.ScalarIn.assign(N, std::vector<ValueInterval>(NumScalars,
+                                                     ValueInterval::top()));
+  Info.ScalarExit.assign(NumScalars, ValueInterval::top());
+  Info.Stmts.assign(N, StatementRanges());
+
+  ScalarRangeProblem Problem(K);
+  DataflowResult R = solveBlockDataflow(K, Problem);
+  Info.Sweeps = R.Sweeps;
+  Info.Widened = R.Widened;
+  if (!R.Converged) {
+    // Defensive: without a fixpoint every range stays top (sound).
+    for (StatementRanges &S : Info.Stmts)
+      S.Guard = ValueInterval::top();
+    return Info;
+  }
+
+  for (unsigned I = 0; I != N; ++I) {
+    auto &In = static_cast<const ScalarRangeState &>(*R.StmtIn[I]);
+    Info.ScalarIn[I] = In.Scalars;
+    std::vector<ValueInterval> Scratch = In.Scalars;
+    Problem.transfer(K.Body.statement(I), Scratch, &Info.Stmts[I]);
+  }
+  auto &Exit = static_cast<const ScalarRangeState &>(*R.BlockOut);
+  Info.ScalarExit = Exit.Scalars;
+  return Info;
+}

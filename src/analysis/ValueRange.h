@@ -1,0 +1,160 @@
+//===- analysis/ValueRange.h - Interval value-range analysis ----*- C++ -*-===//
+///
+/// \file
+/// The first instance of the monotone framework (analysis/Dataflow.h): an
+/// interval analysis over the kernel's values. Three kinds of ranges are
+/// computed:
+///
+///  * **Index ranges** — exact: loop induction variables range over their
+///    compile-time bounds, so any affine function of them (subscripts,
+///    flattened offsets) has an exactly computable min/max over the
+///    rectangular domain (`affineRangeOverDomain`), degraded only when
+///    the fold would overflow signed 64-bit arithmetic.
+///  * **Scalar ranges** — a fixpoint: one `ValueInterval` per scalar
+///    symbol, transferred through literals and the arithmetic opcodes
+///    and joined across loop iterations with widening (accumulators go
+///    to +-infinity rather than iterating trip-count times).
+///  * **Guard refinement** — the value a guarded statement *stores* is
+///    computed under the guard's taken-path narrowing (`if (x < 4.0)
+///    y = x` stores at most 4.0), while its always-evaluated RHS keeps
+///    the unrefined range, mirroring the IR's if-converted semantics.
+///
+/// Every interval is a sound over-approximation of the dynamic values the
+/// scalar interpreter can observe (checked by the fuzzer's range-
+/// soundness oracle, analysis/KernelVerifier.h). NaN is tracked as a
+/// separate may-bit: `contains(v)` for NaN `v` is `MayNaN`, and the
+/// bounds only constrain non-NaN values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_VALUERANGE_H
+#define SLP_ANALYSIS_VALUERANGE_H
+
+#include "ir/Kernel.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace slp {
+
+/// A closed interval of doubles with a may-be-NaN bit. Top is
+/// [-inf, +inf] with MayNaN set; there is no explicit bottom (callers
+/// never propagate states for unreachable code — a zero-trip nest simply
+/// skips the checks).
+struct ValueInterval {
+  double Lo = -std::numeric_limits<double>::infinity();
+  double Hi = std::numeric_limits<double>::infinity();
+  bool MayNaN = true;
+
+  static ValueInterval top() { return ValueInterval(); }
+  static ValueInterval exact(double V);
+  static ValueInterval range(double Lo, double Hi, bool MayNaN = false);
+
+  bool isTop() const;
+  /// Does the interval admit \p V? NaN values test the MayNaN bit; the
+  /// bounds are closed.
+  bool contains(double V) const;
+
+  /// Least upper bound; returns true when this interval changed.
+  bool joinWith(const ValueInterval &Other);
+  /// Standard interval widening: a bound that grew past \p Previous jumps
+  /// to the corresponding infinity.
+  void widenAgainst(const ValueInterval &Previous);
+
+  bool operator==(const ValueInterval &Other) const;
+  bool operator!=(const ValueInterval &Other) const {
+    return !(*this == Other);
+  }
+
+  /// "[lo, hi]" or "[lo, hi] nan?" rendering for diagnostics and tests.
+  std::string str() const;
+};
+
+/// Interval transfer of one unary opcode (Neg/Sqrt/Abs), with the
+/// interpreter's semantics (Sqrt takes sqrt(fabs(x))).
+ValueInterval applyUnaryOp(OpCode Op, const ValueInterval &A);
+
+/// Interval transfer of one binary opcode, including the comparisons
+/// (whose result is within [0, 1] and never NaN).
+ValueInterval applyBinaryOp(OpCode Op, const ValueInterval &A,
+                            const ValueInterval &B);
+
+/// Interval transfer of Select(C, A, B): picks A when C cannot be zero
+/// (NaN conditions take A too), B when C is exactly zero, the hull
+/// otherwise.
+ValueInterval applySelect(const ValueInterval &C, const ValueInterval &A,
+                          const ValueInterval &B);
+
+/// The store conversion (ir/Interpreter.cpp convertForStore): integer-
+/// typed locations truncate toward zero, float-typed store unchanged.
+ValueInterval applyStoreConversion(ScalarType Ty, const ValueInterval &V);
+
+/// Exact min/max of an affine expression over the iteration domain.
+/// Known=false when a coefficient references a depth outside the nest or
+/// the fold overflows int64 (callers degrade to "cannot prove").
+struct OffsetInterval {
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+  bool Known = false;
+
+  bool contains(int64_t V) const { return Known && V >= Lo && V <= Hi; }
+};
+
+OffsetInterval affineRangeOverDomain(const Kernel &K, const AffineExpr &E);
+
+/// Inclusive value range of loop-depth \p Depth's induction variable;
+/// false when the loop never executes.
+bool loopIndexBounds(const Kernel &K, unsigned Depth, int64_t &Lo,
+                     int64_t &Hi);
+
+/// Per-statement ranges (indexed like the kernel body).
+struct StatementRanges {
+  /// The guard's value (exact(1) for unguarded statements).
+  ValueInterval Guard = ValueInterval::exact(1.0);
+  /// The always-evaluated RHS value.
+  ValueInterval Rhs;
+  /// The value actually committed by the store: RHS re-evaluated under
+  /// the guard's taken-path refinement, then store-converted for the
+  /// destination's scalar type.
+  ValueInterval Stored;
+};
+
+/// The whole analysis result.
+struct ValueRangeInfo {
+  /// ScalarIn[S][Id]: interval of scalar Id immediately before statement
+  /// S executes, valid for every iteration of the nest.
+  std::vector<std::vector<ValueInterval>> ScalarIn;
+  /// Scalar intervals after the block (any iteration's end, including the
+  /// last — i.e. valid for the kernel's final scalar values).
+  std::vector<ValueInterval> ScalarExit;
+  std::vector<StatementRanges> Stmts;
+  /// Solver telemetry (analysis/Dataflow.h).
+  unsigned Sweeps = 0;
+  bool Widened = false;
+
+  const ValueInterval &scalarBefore(unsigned Stmt, SymbolId Scalar) const {
+    return ScalarIn[Stmt][Scalar];
+  }
+};
+
+/// Runs the interval analysis over \p K.
+ValueRangeInfo computeValueRanges(const Kernel &K);
+
+/// Evaluates \p E over intervals, reading scalar symbols from
+/// \p Scalars (array loads are unknown: top).
+ValueInterval evalExprInterval(const Kernel &K, const Expr &E,
+                               const std::vector<ValueInterval> &Scalars);
+
+/// What interval analysis can prove about a guard at a program point.
+/// AlwaysTaken means the guard can never evaluate to exactly 0.0 (NaN
+/// guards are taken: the interpreter tests `!= 0.0`); NeverTaken means it
+/// is provably always 0.0.
+enum class GuardVerdict : uint8_t { Unknown, AlwaysTaken, NeverTaken };
+
+GuardVerdict classifyGuardByRange(const Kernel &K, const Expr &Guard,
+                                  const std::vector<ValueInterval> &Scalars);
+
+} // namespace slp
+
+#endif // SLP_ANALYSIS_VALUERANGE_H

@@ -412,7 +412,9 @@ void Verifier::lintScalarReload(const VInst &I, unsigned Inst) {
   if (!Options.Lint)
     return;
   bool Reported = false;
-  K.Body.statement(I.StmtId).rhs().forEachLeaf([&](const Operand &Op) {
+  // Walk every use — guard leaves included — so a reload feeding only the
+  // predicate is linted the same as one feeding the rhs.
+  K.Body.statement(I.StmtId).forEachUse([&](const Operand &Op) {
     if (Reported || Op.isConstant())
       return;
     TermId Value = resolveRead(VLog, Locs.intern(Op));

@@ -3,6 +3,7 @@
 #include "fuzz/Fuzzer.h"
 
 #include "analysis/Dependence.h"
+#include "analysis/KernelVerifier.h"
 #include "analysis/VectorVerifier.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -496,6 +497,9 @@ std::string FuzzStats::toJson() const {
   Out << "  \"injected_caught\": " << InjectedCaught << ",\n";
   Out << "  \"injected_missed\": " << InjectedMissed << ",\n";
   Out << "  \"injection_inapplicable\": " << InjectionInapplicable << ",\n";
+  Out << "  \"range_checks\": " << RangeChecks << ",\n";
+  Out << "  \"range_skips\": " << RangeSkips << ",\n";
+  Out << "  \"range_violations\": " << RangeViolations << ",\n";
   Out << "  \"failures_recorded\": " << FailuresRecorded << ",\n";
   Out << "  \"reduction\": {\"tried\": " << Reduction.CandidatesTried
       << ", \"accepted\": " << Reduction.CandidatesAccepted
@@ -539,14 +543,19 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
   Out.Stats.ExecEngine = execEngineName(Cfg.Exec);
 
   auto RecordFailure = [&](const Kernel &K, const FuzzCaseConfig &C,
-                           const std::string &Reason) {
+                           const std::string &Reason,
+                           const FailurePredicate *CustomPredicate =
+                               nullptr) {
     FuzzFailure F;
     F.Reason = Reason;
     F.OriginalStatements = K.Body.size();
     Kernel Reduced = K.clone();
     if (Cfg.Reduce) {
       ScopedTimer T(&Out.Stats.Timings.ReduceSeconds);
-      Reduced = reduceKernel(K, makePredicate(C), &Out.Stats.Reduction);
+      Reduced = reduceKernel(K,
+                             CustomPredicate ? *CustomPredicate
+                                             : makePredicate(C),
+                             &Out.Stats.Reduction);
     }
     F.ReducedStatements = Reduced.Body.size();
     F.Case.Config = C;
@@ -604,6 +613,36 @@ FuzzOutcome slp::runFuzzer(const FuzzConfig &Config) {
     // 2. Run the configuration matrix.
     uint64_t Seed1 = Cfg.Seed * 0x9E3779B97F4A7C15ULL + Iter;
     uint64_t Seed2 = Iter * 31 + 7;
+
+    // Value-range soundness oracle: the interval analysis' predictions
+    // must contain every value one scalar execution actually observes.
+    // Checked once per kernel — the verdict is independent of the
+    // optimizer configuration matrix below.
+    if (Cfg.VerifyRanges && Out.Failures.size() < Cfg.MaxFailures) {
+      bool Skipped = false;
+      std::optional<std::string> V = [&] {
+        ScopedTimer T(&Out.Stats.Timings.ExecuteSeconds);
+        return checkRangeSoundness(K, Seed1, &Skipped);
+      }();
+      if (Skipped)
+        ++Out.Stats.RangeSkips;
+      else
+        ++Out.Stats.RangeChecks;
+      if (V) {
+        ++Out.Stats.RangeViolations;
+        FuzzCaseConfig C;
+        C.Kind = OptimizerKind::Global;
+        C.EnvSeeds = {Seed1};
+        C.Exec = Cfg.Exec;
+        C.VerifyVector = Cfg.VerifyVector;
+        // Reduce against the range oracle itself, not the pipeline
+        // differential (which this kernel passes).
+        FailurePredicate StillViolates = [Seed1](const Kernel &Cand) {
+          return checkRangeSoundness(Cand, Seed1).has_value();
+        };
+        RecordFailure(K, C, *V, &StillViolates);
+      }
+    }
     for (FuzzCaseConfig C : configsForIteration(Iter, Seed1, Seed2)) {
       if (Cfg.GroupingOverride)
         C.Grouping = *Cfg.GroupingOverride;
@@ -776,6 +815,11 @@ bool slp::runFuzzCase(const FuzzCase &Case, std::string *Error) {
     std::string Reason = checkConfig(K, Case.Config, nullptr, Engine);
     if (!Reason.empty())
       return Fail("kernel '" + K.Name + "': " + Reason);
+    // Replays also re-assert range soundness, so a corpus case recorded
+    // for a range violation stays red until the analysis is fixed.
+    for (uint64_t Seed : Case.Config.EnvSeeds)
+      if (std::optional<std::string> V = checkRangeSoundness(K, Seed))
+        return Fail("kernel '" + K.Name + "': " + *V);
   }
   return true;
 }

@@ -55,6 +55,12 @@ struct FuzzConfig {
   /// is itself a recorded failure, and injected bugs must be flagged
   /// statically too (`slp-fuzz --no-verify-vector` opts out).
   bool VerifyVector = true;
+  /// Run the value-range soundness oracle (analysis/KernelVerifier.h) on
+  /// every kernel tested: the static interval analysis predicts a range
+  /// for each scalar, guard, RHS, committed store and array offset, and
+  /// one scalar execution asserts every dynamically observed value lies
+  /// inside its predicted range (`slp-fuzz --no-verify-ranges` opts out).
+  bool VerifyRanges = true;
   /// Seed the campaign with predicated kernels: base kernels draw from
   /// the branchy workload pool and the random generator emits guarded
   /// statements, so if-conversion and the masked vector path are
@@ -121,6 +127,12 @@ struct FuzzStats {
   uint64_t InjectedCaught = 0;
   uint64_t InjectedMissed = 0;
   uint64_t InjectionInapplicable = 0;
+  /// Value-range soundness oracle: kernels checked, kernels skipped (the
+  /// static verifier found a bounds error, so the kernel cannot execute),
+  /// and observed-value-outside-predicted-range violations.
+  uint64_t RangeChecks = 0;
+  uint64_t RangeSkips = 0;
+  uint64_t RangeViolations = 0;
   uint64_t FailuresRecorded = 0;
   ReductionStats Reduction;
   std::map<std::string, uint64_t> MutationCounts;

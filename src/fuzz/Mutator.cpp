@@ -86,7 +86,7 @@ void replaceRhsNode(Statement &S, unsigned Target,
 struct ArrayRefSite {
   unsigned Stmt;
   bool IsLhs;
-  unsigned LeafIndex; ///< pre-order index within the rhs (when !IsLhs)
+  unsigned LeafIndex; ///< forEachUse index: rhs leaves, then guard leaves
 };
 
 std::vector<ArrayRefSite> collectArrayRefs(const Kernel &K, bool IncludeLhs) {
@@ -95,8 +95,11 @@ std::vector<ArrayRefSite> collectArrayRefs(const Kernel &K, bool IncludeLhs) {
     const Statement &S = K.Body.statement(SI);
     if (IncludeLhs && S.lhs().isArray())
       Sites.push_back({SI, true, 0});
+    // Guard leaves are uses like any other (forEachUse order: rhs leaves
+    // first, then guard leaves) — a guard's array reference must be as
+    // mutable as one on the rhs, or the fuzzer never perturbs it.
     unsigned Leaf = 0;
-    S.rhs().forEachLeaf([&](const Operand &Op) {
+    S.forEachUse([&](const Operand &Op) {
       if (Op.isArray())
         Sites.push_back({SI, false, Leaf});
       ++Leaf;
@@ -105,11 +108,12 @@ std::vector<ArrayRefSite> collectArrayRefs(const Kernel &K, bool IncludeLhs) {
   return Sites;
 }
 
-/// Applies \p Fn to the \p LeafIndex-th rhs leaf of statement \p S.
-void mutateRhsLeaf(Statement &S, unsigned LeafIndex,
+/// Applies \p Fn to the \p LeafIndex-th use of statement \p S, counting
+/// in forEachUse order (rhs leaves, then guard leaves).
+void mutateUseLeaf(Statement &S, unsigned LeafIndex,
                    const std::function<void(Operand &)> &Fn) {
   unsigned Leaf = 0;
-  S.rhs().forEachLeafMut([&](Operand &Op) {
+  S.forEachUseMut([&](Operand &Op) {
     if (Leaf++ == LeafIndex)
       Fn(Op);
   });
@@ -412,7 +416,7 @@ std::optional<MutationKind> slp::mutateKernel(Kernel &K, Rng &R) {
     if (Site.IsLhs)
       Perturb(S.lhs());
     else
-      mutateRhsLeaf(S, Site.LeafIndex, Perturb);
+      mutateUseLeaf(S, Site.LeafIndex, Perturb);
     return Kind;
   }
   case MutationKind::PerturbLoopBounds: {
@@ -495,7 +499,7 @@ std::optional<MutationKind> slp::mutateKernel(Kernel &K, Rng &R) {
     unsigned SI = static_cast<unsigned>(R.nextBelow(N));
     Statement &S = K.Body.statement(SI);
     bool Mutated = false;
-    S.rhs().forEachLeafMut([&](Operand &Op) {
+    S.forEachUseMut([&](Operand &Op) {
       if (Mutated || !Op.isConstant())
         return;
       if (R.nextBelow(2) == 0)
@@ -530,7 +534,7 @@ std::optional<MutationKind> slp::mutateKernel(Kernel &K, Rng &R) {
         Mutated = true;
       }
     };
-    S.rhs().forEachLeafMut(Redirect);
+    S.forEachUseMut(Redirect);
     return Mutated ? std::optional<MutationKind>(Kind) : std::nullopt;
   }
   case MutationKind::AddGuard: {
@@ -545,7 +549,7 @@ std::optional<MutationKind> slp::mutateKernel(Kernel &K, Rng &R) {
     // constant; constant leaves yield constant guards, which exercises the
     // if-converter's folding paths.
     std::vector<Operand> Leaves;
-    S.rhs().forEachLeaf([&](const Operand &Op) { Leaves.push_back(Op); });
+    S.forEachUse([&](const Operand &Op) { Leaves.push_back(Op); });
     if (Leaves.empty())
       return std::nullopt;
     static const OpCode Cmps[] = {OpCode::CmpLT, OpCode::CmpLE,

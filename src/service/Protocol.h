@@ -41,7 +41,7 @@ namespace slp {
 /// output for an identical (kernel, options) pair can change — stale
 /// artifacts from an older pipeline then miss instead of serving wrong
 /// results.
-inline constexpr const char *ServicePipelineVersion = "slp-pipeline-v9";
+inline constexpr const char *ServicePipelineVersion = "slp-pipeline-v10";
 
 /// Frame magic ("SLPF") + maximum payload a peer may send. The cap bounds
 /// allocation on malformed or hostile input.

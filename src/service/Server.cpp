@@ -2,6 +2,7 @@
 
 #include "service/Server.h"
 
+#include "analysis/KernelVerifier.h"
 #include "exec/ExecEngine.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -244,6 +245,7 @@ ServiceReply ServiceServer::handleCompile(const ServiceRequest &Request) {
   std::vector<std::string> Errors(N);
   std::atomic<size_t> Next{0};
   std::atomic<bool> AnyError{false};
+  std::atomic<uint64_t> Rejected{0};
 
   // Same sharding discipline as runPipelineOverModule: workers claim
   // kernel indices and write into pre-sized slots, so result order is
@@ -257,6 +259,19 @@ ServiceReply ServiceServer::handleCompile(const ServiceRequest &Request) {
                     std::to_string(Parsed.ErrorLine) + ": " +
                     Parsed.ErrorMessage;
         AnyError.store(true);
+        continue;
+      }
+      // Precheck: never spend pipeline or native-compile time on a
+      // kernel the bounds verifier cannot prove safe. The reject is
+      // unconditional (not a ServiceOption) so it never enters the
+      // cache key — unsafe kernels simply have no artifact.
+      KernelVerifyResult Verified = verifyKernel(*Parsed.TheKernel);
+      if (Verified.hasErrors()) {
+        Errors[I] = "kernel " + std::to_string(I) +
+                    ": rejected by kernel verifier:\n" +
+                    renderDiagnostics(Verified.Diags);
+        AnyError.store(true);
+        Rejected.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       // Key on the canonical printing, not the received bytes: modules
@@ -287,6 +302,11 @@ ServiceReply ServiceServer::handleCompile(const ServiceRequest &Request) {
       Pool.emplace_back(Worker);
     for (std::thread &T : Pool)
       T.join();
+  }
+
+  if (uint64_t R = Rejected.load()) {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    Counters.PrecheckRejects += R;
   }
 
   if (AnyError.load()) {
@@ -343,6 +363,8 @@ void ServiceServer::appendCounters(ServiceReply &Reply) const {
   Reply.Counters.emplace_back("server.connections", Counters.Connections);
   Reply.Counters.emplace_back("server.protocol-errors",
                               Counters.ProtocolErrors);
+  Reply.Counters.emplace_back("server.precheck-rejects",
+                              Counters.PrecheckRejects);
 }
 
 void ServiceServer::wait(const std::atomic<bool> *ExternalStop) {

@@ -59,6 +59,10 @@ struct ServerCounters {
   uint64_t Kernels = 0;
   uint64_t Connections = 0;
   uint64_t ProtocolErrors = 0;
+  /// Kernels the static bounds verifier rejected before compilation (the
+  /// daemon never spends pipeline or native-compile time on a kernel it
+  /// cannot prove in bounds).
+  uint64_t PrecheckRejects = 0;
 };
 
 class ServiceServer {

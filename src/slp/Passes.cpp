@@ -3,6 +3,7 @@
 #include "slp/Passes.h"
 
 #include "analysis/AlignmentPass.h"
+#include "analysis/KernelVerifyPass.h"
 #include "analysis/VectorVerifyPass.h"
 #include "layout/LayoutPass.h"
 #include "machine/CostGuardPass.h"
@@ -17,6 +18,8 @@
 using namespace slp;
 
 std::unique_ptr<KernelPass> slp::createKernelPass(const std::string &Name) {
+  if (Name == "verify-kernel")
+    return std::make_unique<KernelVerifyPass>();
   if (Name == "if-convert")
     return std::make_unique<IfConvertPass>();
   if (Name == "unroll")
@@ -43,15 +46,18 @@ std::unique_ptr<KernelPass> slp::createKernelPass(const std::string &Name) {
 }
 
 std::vector<std::string> slp::allPassNames() {
-  return {"if-convert", "unroll",  "alignment", "grouping", "scheduling",
-          "group-prune", "codegen", "simulate", "layout",
-          "cost-guard", "verify-vector"};
+  return {"verify-kernel", "if-convert", "unroll",  "alignment",
+          "grouping", "scheduling", "group-prune", "codegen", "simulate",
+          "layout", "cost-guard", "verify-vector"};
 }
 
 std::vector<std::string> slp::canonicalPassNames(OptimizerKind Kind) {
-  std::vector<std::string> Names = {"if-convert",  "unroll",      "alignment",
-                                    "grouping",    "scheduling",  "group-prune",
-                                    "codegen",     "simulate"};
+  // Kernel verification runs first, over the untransformed source, so its
+  // diagnostics point at the statements the user wrote. Whether it does
+  // anything is PipelineOptions::VerifyKernel's call at run time.
+  std::vector<std::string> Names = {"verify-kernel", "if-convert", "unroll",
+                                    "alignment",   "grouping",    "scheduling",
+                                    "group-prune", "codegen",     "simulate"};
   if (Kind == OptimizerKind::GlobalLayout)
     Names.push_back("layout");
   Names.push_back("cost-guard");
@@ -120,6 +126,8 @@ PipelineResult slp::runPassPipeline(const Kernel &Source, OptimizerKind Kind,
   R.Simulated = State.Simulated;
   R.VerifyDiags = std::move(State.VerifyDiags);
   R.Verified = State.Verified;
+  R.KernelDiags = std::move(State.KernelDiags);
+  R.KernelVerified = State.KernelVerified;
   R.Stats = std::move(Stats);
   R.Remarks = Remarks.take();
   R.PassTimings = std::move(Timing);

@@ -25,6 +25,16 @@ bool slp::defaultVerifyVector() {
 #endif
 }
 
+bool slp::defaultVerifyKernel() {
+  if (const char *Env = std::getenv("SLP_VERIFY_KERNEL"))
+    return *Env != '\0' && std::strcmp(Env, "0") != 0;
+#ifndef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
 const char *slp::optimizerName(OptimizerKind Kind) {
   switch (Kind) {
   case OptimizerKind::Scalar:

@@ -51,6 +51,11 @@ const char *optimizerName(OptimizerKind Kind);
 /// otherwise on in debug (!NDEBUG) builds and off in release builds.
 bool defaultVerifyVector();
 
+/// Default for PipelineOptions::VerifyKernel: the SLP_VERIFY_KERNEL
+/// environment variable when set ("0"/"" disable, anything else enables),
+/// otherwise on in debug (!NDEBUG) builds and off in release builds.
+bool defaultVerifyKernel();
+
 /// Switches for the ablation study (bench_ablation): each disables one
 /// mechanism of the holistic framework while keeping the rest intact.
 struct HolisticAblation {
@@ -96,10 +101,20 @@ struct PipelineOptions {
   /// in debug builds (and CI, which exports SLP_VERIFY_VECTOR=1); see
   /// defaultVerifyVector().
   bool VerifyVector = defaultVerifyVector();
-  /// Emit the verifier's lint tier (VL* warnings) too.
+  /// Run the static kernel verifier (analysis/KernelVerifier.h) over the
+  /// *source* kernel as the pipeline's first stage: value-range analysis
+  /// proves every array reference in bounds (or reports the offending
+  /// iteration interval as an SK* diagnostic). Defaults on in debug
+  /// builds; see defaultVerifyKernel().
+  bool VerifyKernel = defaultVerifyKernel();
+  /// Emit the verifiers' lint tiers (VL*/SK1* warnings) too.
   bool VerifyLint = false;
   /// Promote verifier warnings to errors (`slpc --werror`).
   bool VerifyWerror = false;
+  /// Sharpen the dependence analysis with exact iteration-range
+  /// feasibility and guard-disjointness tests (`dep.range-disproved`);
+  /// off reproduces the base GCD + Banerjee tier alone.
+  bool RangeSharpenDeps = true;
   /// Execution engine the caller runs kernels/programs under
   /// (`slpc --exec-engine=`, `SLP_EXEC_ENGINE`). The pipeline itself only
   /// transforms; this names the engine its clients (equivalence checks,
@@ -136,6 +151,12 @@ struct PipelineResult {
   /// True when the verifier ran and proved the emitted program implements
   /// the kernel.
   bool Verified = false;
+  /// Diagnostics from the static kernel verifier (empty when
+  /// `Options.VerifyKernel` was off or the kernel verified clean).
+  std::vector<Diagnostic> KernelDiags;
+  /// True when the kernel verifier ran and proved every array reference
+  /// in bounds with no errors.
+  bool KernelVerified = false;
 
   // Instrumentation collected by the pass manager.
   Statistics Stats;            ///< named counters (packs formed, ...)

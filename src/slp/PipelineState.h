@@ -92,6 +92,14 @@ struct PipelineState {
   /// True when the verifier ran and proved the program correct.
   bool Verified = false;
 
+  // --- produced by KernelVerifyPass --------------------------------------
+  /// Structured diagnostics from the static kernel verifier (empty when
+  /// the verifier was off or the kernel verified clean).
+  std::vector<Diagnostic> KernelDiags;
+  /// True when the kernel verifier ran and proved every array reference
+  /// in bounds with no errors.
+  bool KernelVerified = false;
+
   /// True for the paper's own schemes (as opposed to the baselines).
   bool isHolistic() const {
     return Kind == OptimizerKind::Global || Kind == OptimizerKind::GlobalLayout;
@@ -119,7 +127,7 @@ struct PipelineState {
   DependenceInfo &ensureDeps() {
     ensurePreprocessed();
     if (!Deps)
-      Deps.emplace(Preprocessed);
+      Deps.emplace(Preprocessed, Options.RangeSharpenDeps);
     return *Deps;
   }
 

@@ -2,12 +2,14 @@
 
 #include "transform/IfConvert.h"
 
+#include "analysis/ValueRange.h"
+
 using namespace slp;
 
 namespace {
 
-/// Classifies a guard expression: +1 constant-true, 0 constant-false,
-/// -1 data-dependent.
+/// Classifies a guard expression structurally: +1 constant-true,
+/// 0 constant-false, -1 data-dependent.
 int classifyGuard(const Expr &G) {
   if (!G.isLeaf())
     return -1;
@@ -17,28 +19,59 @@ int classifyGuard(const Expr &G) {
   return O.constantValue() != 0.0 ? 1 : 0;
 }
 
+/// Classifies a data-dependent guard by its interval: +1 provably never
+/// exactly 0.0 (NaN guards are taken, so MayNaN does not block the fold),
+/// 0 provably always exactly 0.0, -1 unknown.
+int classifyGuardInterval(const ValueInterval &G) {
+  if (G.Lo > 0.0 || G.Hi < 0.0)
+    return 1;
+  if (G.Lo == 0.0 && G.Hi == 0.0 && !G.MayNaN)
+    return 0;
+  return -1;
+}
+
 } // namespace
 
-Kernel slp::ifConvertKernel(const Kernel &K, IfConvertStats *Stats) {
+Kernel slp::ifConvertKernel(const Kernel &K, IfConvertStats *Stats,
+                            const ValueRangeInfo *Ranges) {
   Kernel Out;
   Out.Name = K.Name;
   Out.Scalars = K.Scalars;
   Out.Arrays = K.Arrays;
   Out.Loops = K.Loops;
-  for (const Statement &S : K.Body) {
+  for (unsigned I = 0, E = K.Body.size(); I != E; ++I) {
+    const Statement &S = K.Body.statement(I);
     if (!S.hasGuard()) {
       Out.Body.append(S);
       continue;
     }
-    switch (classifyGuard(S.guard())) {
-    case 1: // constant-true: the store is unconditional.
+    int Verdict = classifyGuard(S.guard());
+    bool ByRange = false;
+    if (Verdict < 0 && Ranges && I < Ranges->Stmts.size()) {
+      // Guards composed purely of literal constants (`if (1.0 < 0.5)`)
+      // are deliberately NOT folded even though ranges decide them: they
+      // are how all-lanes-false/true masked stores stay reachable for the
+      // differential suites. Range folding only applies to guards that
+      // read at least one scalar or array value.
+      bool ReadsValues = false;
+      S.guard().forEachLeaf([&ReadsValues](const Operand &O) {
+        if (!O.isConstant())
+          ReadsValues = true;
+      });
+      if (ReadsValues) {
+        Verdict = classifyGuardInterval(Ranges->Stmts[I].Guard);
+        ByRange = Verdict >= 0;
+      }
+    }
+    switch (Verdict) {
+    case 1: // always taken: the store is unconditional.
       Out.Body.append(Statement(S.lhs(), S.rhs().clone()));
       if (Stats)
-        ++Stats->FoldedTrue;
+        ++(ByRange ? Stats->FoldedRangeTrue : Stats->FoldedTrue);
       break;
-    case 0: // constant-false: the store never happens; RHS is pure.
+    case 0: // never taken: the store never happens; RHS is pure.
       if (Stats)
-        ++Stats->FoldedFalse;
+        ++(ByRange ? Stats->FoldedRangeFalse : Stats->FoldedFalse);
       break;
     default:
       Out.Body.append(S);

@@ -12,7 +12,14 @@
 ///  - a statement whose guard is a literal zero is deleted (the store can
 ///    never happen; its RHS has no side effects),
 ///  - `if (a) if-composed guards` produced by mutation (guard of the form
-///    `g * 1.0` etc.) are left alone — only whole-guard constants fold.
+///    `g * 1.0` etc.) are left alone — only whole-guard constants fold,
+///  - when the caller supplies a value-range analysis result
+///    (analysis/ValueRange.h), guards *proven* always-true or always-false
+///    by intervals fold the same way: an interval excluding 0.0 means the
+///    store is unconditional (NaN guards are taken, so MayNaN does not
+///    block this fold), and the exact interval [0, 0] with no NaN means
+///    the statement is dead. Literal constants keep folding through the
+///    structural rule above even without range info.
 ///
 /// Everything downstream (grouping, scheduling, codegen, the verifier)
 /// then only ever sees guards that are genuinely data-dependent.
@@ -26,6 +33,8 @@
 
 namespace slp {
 
+struct ValueRangeInfo;
+
 /// Counters reported by ifConvertKernel.
 struct IfConvertStats {
   /// Statements that still carry a (data-dependent) guard afterwards.
@@ -34,10 +43,18 @@ struct IfConvertStats {
   unsigned FoldedTrue = 0;
   /// Statements deleted because their guard was constant-false.
   unsigned FoldedFalse = 0;
+  /// Guards folded away because value ranges prove them always taken.
+  unsigned FoldedRangeTrue = 0;
+  /// Statements deleted because value ranges prove their guard never
+  /// taken.
+  unsigned FoldedRangeFalse = 0;
 };
 
 /// Returns a copy of \p K with constant guards folded as described above.
-Kernel ifConvertKernel(const Kernel &K, IfConvertStats *Stats = nullptr);
+/// When \p Ranges (computed over \p K) is provided, guards proven
+/// always/never taken by interval analysis fold too.
+Kernel ifConvertKernel(const Kernel &K, IfConvertStats *Stats = nullptr,
+                       const ValueRangeInfo *Ranges = nullptr);
 
 } // namespace slp
 

@@ -2,6 +2,7 @@
 
 #include "transform/IfConvertPass.h"
 
+#include "analysis/ValueRange.h"
 #include "slp/PipelineState.h"
 #include "transform/IfConvert.h"
 
@@ -10,18 +11,24 @@ using namespace slp;
 void IfConvertPass::run(PassContext &Ctx) {
   PipelineState &S = Ctx.State;
   IfConvertStats Stats;
-  S.IfConverted = ifConvertKernel(S.Source, &Stats);
+  ValueRangeInfo Ranges = computeValueRanges(S.Source);
+  S.IfConverted = ifConvertKernel(S.Source, &Stats, &Ranges);
   S.IfConvertReady = true;
 
   Ctx.Stats.set("if-convert.guarded-statements", Stats.GuardedStatements);
   Ctx.Stats.set("if-convert.folded-true", Stats.FoldedTrue);
   Ctx.Stats.set("if-convert.folded-false", Stats.FoldedFalse);
-  if (Stats.FoldedTrue + Stats.FoldedFalse > 0)
+  if (Stats.FoldedRangeTrue)
+    Ctx.Stats.set("if-convert.folded-range-true", Stats.FoldedRangeTrue);
+  if (Stats.FoldedRangeFalse)
+    Ctx.Stats.set("if-convert.folded-range-false", Stats.FoldedRangeFalse);
+  unsigned True = Stats.FoldedTrue + Stats.FoldedRangeTrue;
+  unsigned False = Stats.FoldedFalse + Stats.FoldedRangeFalse;
+  if (True + False > 0)
     Ctx.Remarks.applied(name(),
-                        "folded " + std::to_string(Stats.FoldedTrue) +
-                            " constant-true and " +
-                            std::to_string(Stats.FoldedFalse) +
-                            " constant-false guard(s)");
+                        "folded " + std::to_string(True) +
+                            " always-true and " + std::to_string(False) +
+                            " never-true guard(s)");
   else if (Stats.GuardedStatements > 0)
     Ctx.Remarks.note(name(), std::to_string(Stats.GuardedStatements) +
                                  " statement(s) carry data-dependent guards");

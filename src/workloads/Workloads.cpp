@@ -490,7 +490,82 @@ Workload makeMmmCond() {
                   B.take(), {0.04, 0.003}};
 }
 
+/// Strided congruence break: over `i = 0, 3, ..., 21` the write A[2i]
+/// and the read A[i+5] would collide only at i == 5, which the step-3
+/// lattice never visits. The raw-coefficient GCD test (gcd 1 divides 5)
+/// and Banerjee ([-5, 16] spans 0) both say "maybe"; folding the step
+/// into the coefficient makes the exact test refute it (3t = 5 has no
+/// integer solution), so the pair shows up in `dep.range-disproved`.
+Workload makeRangeStride() {
+  KernelBuilder B("range_stride");
+  SymbolId X = B.array("x", ST::Float32, {64}, /*ReadOnly=*/true);
+  SymbolId A = B.array("A", ST::Float32, {64});
+  SymbolId Y = B.array("y", ST::Float32, {64});
+  unsigned I = B.loop("i", 0, 24, /*Step=*/3);
+  B.assign(B.arrayRef(A, {B.idx(I, 2)}),
+           B.add(B.load(X, {B.idx(I)}), B.c(1.0)));
+  B.assign(B.arrayRef(Y, {B.idx(I)}),
+           B.mul(B.load(A, {B.idx(I, 1, 5)}), B.c(2.0)));
+  return Workload{"range_stride",
+                  "Strided write/read pair disjoint by step congruence",
+                  false, B.take(), {0.02, 0.002}};
+}
+
+/// Box-infeasible Diophantine line: A[5i+48] vs A[7j] over the 8x8 box
+/// collide only where 5i - 7j = -48, whose integer solutions
+/// (i, j) = (3 + 7k, 9 + 5k) never land inside i, j in [0, 8). GCD
+/// (1 divides 48) and Banerjee ([-1, 83] spans 0) both pass; the exact
+/// two-variable test clamps the Bezout line against the box and refutes
+/// the pair, so the nest counts toward `dep.range-disproved`.
+Workload makeRangeDiophantine() {
+  KernelBuilder B("range_diophantine");
+  SymbolId X = B.array("x", ST::Float32, {64}, /*ReadOnly=*/true);
+  SymbolId A = B.array("A", ST::Float32, {96});
+  SymbolId Y = B.array("y", ST::Float32, {64});
+  unsigned I = B.loop("i", 0, 8);
+  unsigned J = B.loop("j", 0, 8);
+  AffineExpr Flat = B.idx(I, 8) + B.idx(J);
+  B.assign(B.arrayRef(A, {B.idx(I, 5, 48)}),
+           B.add(B.load(X, {Flat}), B.c(1.0)));
+  B.assign(B.arrayRef(Y, {Flat}),
+           B.mul(B.load(A, {B.idx(J, 7)}), B.c(0.5)));
+  return Workload{"range_diophantine",
+                  "2-D subscript pair with a box-infeasible solution line",
+                  false, B.take(), {0.02, 0.002}};
+}
+
+/// Complementary-guard stores: both statements target A[i], but their
+/// guards `w[i] < 0.5` / `w[i] >= 0.5` are mutually exclusive (NaN
+/// makes both false), and nothing between them writes w. The output
+/// dependence the address test must assume is refuted by the guard
+/// analysis (`dep.guard-disjoint`). The RHS shapes are deliberately
+/// non-isomorphic so the pair is judged on dependence, not packing.
+Workload makeRangeGuardDisjoint() {
+  KernelBuilder B("range_guard_disjoint");
+  SymbolId W = B.array("w", ST::Float32, {2048}, /*ReadOnly=*/true);
+  SymbolId X = B.array("x", ST::Float32, {2048}, /*ReadOnly=*/true);
+  SymbolId A = B.array("A", ST::Float32, {2048});
+  unsigned I = B.loop("i", 0, 2048);
+  B.assignIf(B.lt(B.load(W, {B.idx(I)}), B.c(0.5)),
+             B.arrayRef(A, {B.idx(I)}),
+             B.add(B.load(X, {B.idx(I)}), B.c(1.0)));
+  B.assignIf(B.ge(B.load(W, {B.idx(I)}), B.c(0.5)),
+             B.arrayRef(A, {B.idx(I)}),
+             B.mul(B.load(X, {B.idx(I)}), B.c(2.0)));
+  return Workload{"range_guard_disjoint",
+                  "Same-address stores under complementary guards", false,
+                  B.take(), {0.02, 0.002}};
+}
+
 } // namespace
+
+std::vector<Workload> slp::rangeWorkloads() {
+  std::vector<Workload> All;
+  All.push_back(makeRangeStride());
+  All.push_back(makeRangeDiophantine());
+  All.push_back(makeRangeGuardDisjoint());
+  return All;
+}
 
 std::vector<Workload> slp::predicatedWorkloads() {
   std::vector<Workload> All;
@@ -526,6 +601,9 @@ Workload slp::workloadByName(const std::string &Name) {
     if (W.Name == Name)
       return W;
   for (Workload &W : predicatedWorkloads())
+    if (W.Name == Name)
+      return W;
+  for (Workload &W : rangeWorkloads())
     if (W.Name == Name)
       return W;
   reportFatalError("unknown workload: " + Name);

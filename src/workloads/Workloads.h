@@ -42,6 +42,16 @@ std::vector<Workload> standardWorkloads();
 /// so the paper-figure benchmarks stay untouched.
 std::vector<Workload> predicatedWorkloads();
 
+/// Kernels whose cross-statement array accesses look dependent to the
+/// GCD/Banerjee tier but are refuted by the exact range-aware tests:
+/// a strided loop whose step breaks a subscript congruence, a 2-D nest
+/// with a box-infeasible Diophantine line, and complementary-guard
+/// stores to the same address. They exist to demonstrate (and bench)
+/// the `dep.range-disproved` / `dep.guard-disjoint` sharpening; kept
+/// separate from the Table 3 suite so the paper-figure baselines stay
+/// untouched.
+std::vector<Workload> rangeWorkloads();
+
 /// Finds a benchmark by its Table 3 name (predicated kernels included);
 /// aborts if unknown.
 Workload workloadByName(const std::string &Name);

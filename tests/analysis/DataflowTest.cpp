@@ -1,0 +1,255 @@
+//===- tests/analysis/DataflowTest.cpp ------------------------*- C++ -*-===//
+//
+// The generic monotone framework, exercised through toy lattices rather
+// than the interval client (ValueRangeTest covers that): a finite
+// must-be-defined domain that converges without widening, an unbounded
+// counter domain that terminates only because widening fires, a
+// deliberately non-monotone problem that must hit MaxSweeps with
+// Converged=false, and the zero-trip / straight-line block edge cases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+//===--------------------------------------------------------------------===//
+// Toy domain 1: must-be-defined scalars (finite lattice, join = AND)
+//===--------------------------------------------------------------------===//
+
+struct DefinedState : AbstractState {
+  // Defined[Id]: scalar Id was assigned on EVERY path reaching this point.
+  std::vector<bool> Defined;
+
+  explicit DefinedState(std::vector<bool> D) : Defined(std::move(D)) {}
+
+  std::unique_ptr<AbstractState> clone() const override {
+    return std::make_unique<DefinedState>(Defined);
+  }
+  bool joinWith(const AbstractState &Other) override {
+    const auto &O = static_cast<const DefinedState &>(Other);
+    bool Changed = false;
+    for (size_t I = 0; I != Defined.size(); ++I)
+      if (Defined[I] && !O.Defined[I]) {
+        Defined[I] = false;
+        Changed = true;
+      }
+    return Changed;
+  }
+  void widenAgainst(const AbstractState &) override {} // finite lattice
+  bool equals(const AbstractState &Other) const override {
+    return Defined == static_cast<const DefinedState &>(Other).Defined;
+  }
+};
+
+struct DefinedProblem : DataflowProblem {
+  const Kernel &K;
+  explicit DefinedProblem(const Kernel &K) : K(K) {}
+
+  std::unique_ptr<AbstractState> boundaryState() const override {
+    return std::make_unique<DefinedState>(
+        std::vector<bool>(K.Scalars.size(), false));
+  }
+  void transferStatement(unsigned StmtIdx,
+                         AbstractState &State) const override {
+    const Statement &S = K.Body.statement(StmtIdx);
+    if (S.lhs().isScalar() && !S.hasGuard())
+      static_cast<DefinedState &>(State).Defined[S.lhs().symbol()] = true;
+  }
+};
+
+//===--------------------------------------------------------------------===//
+// Toy domain 2: statement-execution counter (infinite height; needs
+// widening to terminate). Join takes the max; widening jumps to a cap.
+//===--------------------------------------------------------------------===//
+
+constexpr long CounterInfinity = 1L << 40;
+
+struct CounterState : AbstractState {
+  long Count = 0;
+
+  std::unique_ptr<AbstractState> clone() const override {
+    auto C = std::make_unique<CounterState>();
+    C->Count = Count;
+    return C;
+  }
+  bool joinWith(const AbstractState &Other) override {
+    long O = static_cast<const CounterState &>(Other).Count;
+    if (O > Count) {
+      Count = O;
+      return true;
+    }
+    return false;
+  }
+  void widenAgainst(const AbstractState &Previous) override {
+    if (Count > static_cast<const CounterState &>(Previous).Count)
+      Count = CounterInfinity;
+  }
+  bool equals(const AbstractState &Other) const override {
+    return Count == static_cast<const CounterState &>(Other).Count;
+  }
+};
+
+struct CounterProblem : DataflowProblem {
+  std::unique_ptr<AbstractState> boundaryState() const override {
+    return std::make_unique<CounterState>();
+  }
+  void transferStatement(unsigned, AbstractState &State) const override {
+    // Saturating increment: the widened value must be a fixpoint of the
+    // transfer (exactly like +inf is for interval arithmetic), or no
+    // widening operator could ever stabilize the loop header.
+    auto &C = static_cast<CounterState &>(State);
+    if (C.Count < CounterInfinity)
+      ++C.Count;
+  }
+};
+
+/// Deliberately non-monotone: the transfer flips a bit, so the solver can
+/// never reach a fixpoint and must stop at MaxSweeps.
+struct FlipState : AbstractState {
+  bool Bit = false;
+  std::unique_ptr<AbstractState> clone() const override {
+    auto C = std::make_unique<FlipState>();
+    C->Bit = Bit;
+    return C;
+  }
+  bool joinWith(const AbstractState &Other) override {
+    // Last-writer join keeps the oscillation alive.
+    bool O = static_cast<const FlipState &>(Other).Bit;
+    if (Bit == O)
+      return false;
+    Bit = O;
+    return true;
+  }
+  void widenAgainst(const AbstractState &) override {}
+  bool equals(const AbstractState &Other) const override {
+    return Bit == static_cast<const FlipState &>(Other).Bit;
+  }
+};
+
+struct FlipProblem : DataflowProblem {
+  std::unique_ptr<AbstractState> boundaryState() const override {
+    return std::make_unique<FlipState>();
+  }
+  void transferStatement(unsigned, AbstractState &State) const override {
+    auto &F = static_cast<FlipState &>(State);
+    F.Bit = !F.Bit;
+  }
+};
+
+} // namespace
+
+TEST(Dataflow, MustDefinedConvergesWithoutWidening) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b, c; array float A[16];
+      loop i = 0 .. 16 {
+        a = A[i] + 1.0;
+        b = a * 2.0;
+        A[i] = b;
+      }
+    })");
+  DefinedProblem P(K);
+  DataflowResult R = solveBlockDataflow(K, P);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_FALSE(R.Widened);
+  ASSERT_EQ(R.StmtIn.size(), 3u);
+
+  // Before statement 0 the back edge joins "nothing defined" (first
+  // iteration) with "a, b defined" (later iterations): must-analysis
+  // keeps the empty set.
+  const auto &In0 = static_cast<const DefinedState &>(*R.StmtIn[0]);
+  EXPECT_FALSE(In0.Defined[0]);
+  EXPECT_FALSE(In0.Defined[1]);
+  // Before statement 1, `a` is defined on every path; `b` is not.
+  const auto &In1 = static_cast<const DefinedState &>(*R.StmtIn[1]);
+  EXPECT_TRUE(In1.Defined[0]);
+  EXPECT_FALSE(In1.Defined[1]);
+  // After the block both are defined, `c` never is.
+  const auto &Out = static_cast<const DefinedState &>(*R.BlockOut);
+  EXPECT_TRUE(Out.Defined[0]);
+  EXPECT_TRUE(Out.Defined[1]);
+  EXPECT_FALSE(Out.Defined[2]);
+}
+
+TEST(Dataflow, GuardedDefinitionIsNotMustDefined) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a; array float A[16]; array float w[16] readonly;
+      loop i = 0 .. 16 {
+        if (w[i] > 0.0) a = 1.0;
+        A[i] = a + 1.0;
+      }
+    })");
+  DefinedProblem P(K);
+  DataflowResult R = solveBlockDataflow(K, P);
+  ASSERT_TRUE(R.Converged);
+  const auto &Out = static_cast<const DefinedState &>(*R.BlockOut);
+  EXPECT_FALSE(Out.Defined[0]); // the guard may suppress the only def
+}
+
+TEST(Dataflow, UnboundedLatticeTerminatesViaWidening) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a;
+      loop i = 0 .. 1000000 { a = a + 1.0; }
+    })");
+  CounterProblem P;
+  DataflowResult R = solveBlockDataflow(K, P);
+  // Without widening this lattice climbs one step per sweep for a
+  // million sweeps; the header widening must cut that to a handful.
+  ASSERT_TRUE(R.Converged);
+  EXPECT_TRUE(R.Widened);
+  EXPECT_LT(R.Sweeps, 10u);
+  EXPECT_EQ(static_cast<const CounterState &>(*R.BlockOut).Count,
+            CounterInfinity);
+}
+
+TEST(Dataflow, SingleIterationNestSkipsBackEdge) {
+  // A trip-1 nest executes the block exactly once: no back edge, so no
+  // join with a later iteration and no widening.
+  Kernel K = parse(R"(
+    kernel k { scalar float a; array float A[4];
+      loop i = 0 .. 1 { a = a + 1.0; A[i] = a; }
+    })");
+  CounterProblem P;
+  DataflowResult R = solveBlockDataflow(K, P);
+  ASSERT_TRUE(R.Converged);
+  EXPECT_FALSE(R.Widened);
+  EXPECT_EQ(static_cast<const CounterState &>(*R.BlockOut).Count, 2);
+}
+
+TEST(Dataflow, ZeroTripNestStillYieldsStates) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a; array float A[4];
+      loop i = 0 .. 0 { a = a + 1.0; A[i] = a; }
+    })");
+  DefinedProblem P(K);
+  DataflowResult R = solveBlockDataflow(K, P);
+  ASSERT_TRUE(R.Converged);
+  ASSERT_EQ(R.StmtIn.size(), 2u);
+  ASSERT_NE(R.BlockOut, nullptr);
+}
+
+TEST(Dataflow, NonConvergingProblemReportsFailure) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a;
+      loop i = 0 .. 8 { a = a + 1.0; }
+    })");
+  FlipProblem P;
+  DataflowResult R =
+      solveBlockDataflow(K, P, /*WidenAfterSweeps=*/3, /*MaxSweeps=*/16);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Sweeps, 16u);
+}

@@ -3,8 +3,11 @@
 #include "analysis/Dependence.h"
 
 #include "ir/Parser.h"
+#include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
+
+#include <functional>
 
 using namespace slp;
 
@@ -249,4 +252,234 @@ TEST(Dependence, MayAliasNearInt64Strides) {
   Operand Far2 =
       Operand::makeArray(0, {AffineExpr::term(0, 1, int64_t{1} << 61)});
   EXPECT_FALSE(DependenceInfo::mayAlias(K, Far1, Far2));
+}
+
+//===----------------------------------------------------------------------===//
+// Exact range-aware feasibility (the sharpened dependence tier)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Brute-force ground truth: does Diff evaluate to zero anywhere in the
+/// (small) iteration space of K's nest?
+bool bruteForceFeasibleZero(const Kernel &K, const AffineExpr &Diff) {
+  std::vector<int64_t> Indices(K.Loops.size(), 0);
+  std::function<bool(size_t)> Walk = [&](size_t D) -> bool {
+    if (D == K.Loops.size())
+      return Diff.evaluate(Indices) == 0;
+    for (int64_t V = K.Loops[D].Lower; V < K.Loops[D].Upper;
+         V += K.Loops[D].Step) {
+      Indices[D] = V;
+      if (Walk(D + 1))
+        return true;
+    }
+    return false;
+  };
+  return Walk(0);
+}
+
+} // namespace
+
+TEST(Dependence, AffineFeasibleZeroMatchesBruteForceOneVar) {
+  // The exact test is advertised as exact (no slack either way) for one-
+  // and two-variable differences that fold within int64: cross-check it
+  // against exhaustive enumeration over a grid of strided loops and
+  // subscript shapes.
+  for (int64_t Lower : {0, 2}) {
+    for (int64_t Step : {1, 2, 3, 5}) {
+      Kernel K = parse("kernel k { scalar float s; array float A[256]; "
+                       "loop i = " +
+                       std::to_string(Lower) + " .. 40 step " +
+                       std::to_string(Step) + " { A[i] = s; } }");
+      for (int64_t Coef : {-7, -2, 1, 3, 4}) {
+        for (int64_t Add = -20; Add <= 20; ++Add) {
+          AffineExpr Diff = AffineExpr::term(0, Coef, Add);
+          EXPECT_EQ(affineFeasibleZero(K, Diff),
+                    bruteForceFeasibleZero(K, Diff))
+              << "Lower=" << Lower << " Step=" << Step << " Coef=" << Coef
+              << " Add=" << Add;
+        }
+      }
+    }
+  }
+}
+
+TEST(Dependence, AffineFeasibleZeroMatchesBruteForceTwoVar) {
+  for (int64_t Step0 : {1, 3}) {
+    for (int64_t Step1 : {1, 2}) {
+      Kernel K = parse("kernel k { scalar float s; array float A[256]; "
+                       "loop i = 0 .. 24 step " +
+                       std::to_string(Step0) + " { loop j = 0 .. 16 step " +
+                       std::to_string(Step1) + " { A[i+j] = s; } } }");
+      for (int64_t C0 : {-5, 2, 7}) {
+        for (int64_t C1 : {-7, 3}) {
+          for (int64_t Add = -30; Add <= 30; Add += 3) {
+            AffineExpr Diff =
+                AffineExpr::term(0, C0) + AffineExpr::term(1, C1, Add);
+            EXPECT_EQ(affineFeasibleZero(K, Diff),
+                      bruteForceFeasibleZero(K, Diff))
+                << "S0=" << Step0 << " S1=" << Step1 << " C0=" << C0
+                << " C1=" << C1 << " Add=" << Add;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Dependence, AffineFeasibleZeroConservativeCases) {
+  Kernel K = parse(R"(
+    kernel k { scalar float s; array float A[64];
+      loop i = 0 .. 8 { loop j = 0 .. 8 { loop l = 0 .. 8 {
+        A[i+j+l] = s;
+      } } }
+    })");
+  // Three live dimensions exceed the exact solver: conservative "maybe".
+  AffineExpr Three = AffineExpr::term(0, 1) + AffineExpr::term(1, 1) +
+                     AffineExpr::term(2, 1, 100);
+  EXPECT_TRUE(affineFeasibleZero(K, Three));
+  // INT64_MAX * i + INT64_MAX folds without overflow here (lower bound
+  // 0, step 1) and the solution i = -1 is off the box: exact refutation.
+  EXPECT_FALSE(
+      affineFeasibleZero(K, AffineExpr::term(0, INT64_MAX, INT64_MAX)));
+  // With a nonzero lower bound the normalization C * Lower overflows,
+  // and the test must degrade to "maybe" instead of wrapping.
+  Kernel Shifted = parse(R"(
+    kernel k { scalar float s; array float A[64];
+      loop i = 2 .. 10 { A[i] = s; }
+    })");
+  EXPECT_TRUE(
+      affineFeasibleZero(Shifted, AffineExpr::term(0, INT64_MAX, -1)));
+  // A zero-trip nest has no iterations at all: nothing can collide.
+  Kernel Empty = parse(R"(
+    kernel k { scalar float s; array float A[8];
+      loop i = 0 .. 0 { A[i] = s; }
+    })");
+  EXPECT_FALSE(affineFeasibleZero(Empty, AffineExpr(0)));
+}
+
+TEST(Dependence, StridedCongruenceSharpensAliasing) {
+  // Write A[2i], read A[i+5] over i = 0,3,...,21: they collide only at
+  // i == 5, which the step-3 lattice never visits. The base GCD/Banerjee
+  // tier (raw coefficients) cannot see that; the range tier can.
+  Kernel K = parse(R"(
+    kernel k { array float x[64] readonly; array float A[64]; array float y[64];
+      loop i = 0 .. 24 step 3 {
+        A[2*i] = x[i] + 1.0;
+        y[i] = A[i+5] * 2.0;
+      }
+    })");
+  AffineExpr Diff = AffineExpr::term(0, 2) - AffineExpr::term(0, 1, 5);
+  EXPECT_TRUE(affineMayBeZero(K, Diff));        // base tier: maybe
+  EXPECT_FALSE(affineFeasibleZero(K, Diff));    // exact tier: never
+
+  DependenceInfo Sharp(K);
+  EXPECT_FALSE(Sharp.depends(0, 1));
+  EXPECT_GT(Sharp.rangeDisprovedCount(), 0u);
+
+  DependenceInfo Blunt(K, /*SharpenWithRanges=*/false);
+  EXPECT_TRUE(Blunt.depends(0, 1));
+  EXPECT_EQ(Blunt.rangeDisprovedCount(), 0u);
+}
+
+TEST(Dependence, TwoVarBoxInfeasibleLine) {
+  // 5i + 48 == 7j has integer solutions (i, j) = (3+7k, 9+5k), none of
+  // which land in the 8x8 box. GCD passes (gcd(5,7)=1), Banerjee passes
+  // ([-1, 83] spans 0); only clamping the Bezout line against the actual
+  // iteration box refutes the pair.
+  Kernel K = parse(R"(
+    kernel k { array float x[64] readonly; array float A[96]; array float y[64];
+      loop i = 0 .. 8 { loop j = 0 .. 8 {
+        A[5*i+48] = x[8*i+j] + 1.0;
+        y[8*i+j] = A[7*j] * 0.5;
+      } }
+    })");
+  AffineExpr Diff = AffineExpr::term(0, 5, 48) - AffineExpr::term(1, 7);
+  EXPECT_TRUE(affineMayBeZero(K, Diff));
+  EXPECT_FALSE(affineFeasibleZero(K, Diff));
+  EXPECT_TRUE(bruteForceFeasibleZero(K, Diff) == false);
+
+  DependenceInfo Sharp(K);
+  EXPECT_FALSE(Sharp.depends(0, 1));
+  EXPECT_GT(Sharp.rangeDisprovedCount(), 0u);
+  // Nudging the constant onto the box (5i + 1 == 7j at i=4, j=3) keeps
+  // the dependence: the exact tier refutes only what is truly infeasible.
+  AffineExpr OnBox = AffineExpr::term(0, 5, 1) - AffineExpr::term(1, 7);
+  EXPECT_TRUE(affineFeasibleZero(K, OnBox));
+  EXPECT_TRUE(bruteForceFeasibleZero(K, OnBox));
+}
+
+TEST(Dependence, ComplementaryGuardsRefuteOutputDep) {
+  Kernel K = parse(R"(
+    kernel k { array float w[32] readonly;
+      array float x[32] readonly; array float A[32];
+      loop i = 0 .. 32 {
+        if (w[i] < 0.5) A[i] = x[i] + 1.0;
+        if (w[i] >= 0.5) A[i] = x[i] * 2.0;
+      }
+    })");
+  DependenceInfo Sharp(K);
+  EXPECT_FALSE(hasDep(Sharp, 0, 1, DepKind::Output));
+  EXPECT_GT(Sharp.guardDisjointCount(), 0u);
+
+  DependenceInfo Blunt(K, /*SharpenWithRanges=*/false);
+  EXPECT_TRUE(hasDep(Blunt, 0, 1, DepKind::Output));
+}
+
+TEST(Dependence, GuardDisjointnessNeedsStableGuardValue) {
+  // The same complementary pair, but the first store clobbers the guard
+  // array between the two tests: `w[i]` may change meaning, so the
+  // output dependence must survive.
+  Kernel K = parse(R"(
+    kernel k { array float w[32]; array float x[32] readonly;
+      array float A[32];
+      loop i = 0 .. 32 {
+        if (w[i] < 0.5) A[i] = x[i] + 1.0;
+        w[i] = x[i];
+        if (w[i] >= 0.5) A[i] = x[i] * 2.0;
+      }
+    })");
+  DependenceInfo Sharp(K);
+  EXPECT_TRUE(hasDep(Sharp, 0, 2, DepKind::Output));
+  EXPECT_EQ(Sharp.guardDisjointCount(), 0u);
+}
+
+TEST(Dependence, NonComplementaryGuardsKeepOutputDep) {
+  // `< 0.5` vs `< 0.7` can both be taken: no refutation.
+  Kernel K = parse(R"(
+    kernel k { array float w[32] readonly;
+      array float x[32] readonly; array float A[32];
+      loop i = 0 .. 32 {
+        if (w[i] < 0.5) A[i] = x[i] + 1.0;
+        if (w[i] < 0.7) A[i] = x[i] * 2.0;
+      }
+    })");
+  DependenceInfo Sharp(K);
+  EXPECT_TRUE(hasDep(Sharp, 0, 1, DepKind::Output));
+}
+
+TEST(Dependence, GuardArrayReferenceCreatesFlowDep) {
+  // A guard is a use like any other: a store feeding an array element
+  // read inside a later statement's *guard* must produce a flow
+  // dependence (regression for rhs-only use walks).
+  Kernel K = parse(R"(
+    kernel k { array float A[32]; array float B[32];
+      array float x[32] readonly;
+      loop i = 0 .. 32 {
+        A[i] = x[i] + 1.0;
+        if (A[i] > 0.0) B[i] = x[i];
+      }
+    })");
+  DependenceInfo D(K);
+  EXPECT_TRUE(hasDep(D, 0, 1, DepKind::Flow));
+}
+
+TEST(Dependence, RangeWorkloadsSharpen) {
+  // The dedicated range workloads exist to demonstrate the sharpened
+  // tier end to end: each must tally at least one refutation.
+  for (const Workload &W : rangeWorkloads()) {
+    DependenceInfo D(W.TheKernel);
+    EXPECT_GT(D.rangeDisprovedCount() + D.guardDisjointCount(), 0u)
+        << W.Name;
+  }
 }

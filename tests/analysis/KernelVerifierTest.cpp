@@ -1,0 +1,351 @@
+//===- tests/analysis/KernelVerifierTest.cpp ------------------*- C++ -*-===//
+//
+// The static bounds verifier: every stock workload must prove clean
+// (including the lint tier), hand-written out-of-bounds kernels must be
+// rejected with their exact SK codes and offending-iteration intervals,
+// the SK1x lints must fire on their target shapes, and the range-
+// soundness oracle must pass the stock suite. Pipeline integration
+// (verify-kernel as the first pass) is covered at the end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/KernelVerifier.h"
+
+#include "ir/Builder.h"
+#include "ir/Parser.h"
+#include "slp/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+bool hasCode(const KernelVerifyResult &R, const std::string &Code) {
+  for (const Diagnostic &D : R.Diags)
+    if (D.Code == Code)
+      return true;
+  return false;
+}
+
+std::string messageOf(const KernelVerifyResult &R, const std::string &Code) {
+  for (const Diagnostic &D : R.Diags)
+    if (D.Code == Code)
+      return D.Message;
+  return "";
+}
+
+KernelVerifyResult verifyWithLints(const Kernel &K, bool Werror = false) {
+  KernelVerifyOptions O;
+  O.Lints = true;
+  O.WarningsAsErrors = Werror;
+  return verifyKernel(K, O);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The stock suite proves clean
+//===----------------------------------------------------------------------===//
+
+TEST(KernelVerifier, AllStockWorkloadsProveInBounds) {
+  auto CheckPool = [](const std::vector<Workload> &Pool) {
+    for (const Workload &W : Pool) {
+      KernelVerifyResult R = verifyWithLints(W.TheKernel);
+      EXPECT_TRUE(R.BoundsProven) << W.Name;
+      EXPECT_GT(R.RefsChecked, 0u) << W.Name;
+      // Zero diagnostics of any tier: the suite is lint-clean too.
+      EXPECT_TRUE(R.Diags.empty())
+          << W.Name << ": " << renderDiagnostics(R.Diags);
+    }
+  };
+  CheckPool(standardWorkloads());
+  CheckPool(predicatedWorkloads());
+  CheckPool(rangeWorkloads());
+}
+
+TEST(KernelVerifier, StockWorkloadsPassRangeSoundness) {
+  for (const Workload &W : standardWorkloads()) {
+    bool Skipped = true;
+    std::optional<std::string> V =
+        checkRangeSoundness(W.TheKernel, /*Seed=*/7, &Skipped);
+    EXPECT_FALSE(V.has_value()) << W.Name << ": " << *V;
+    EXPECT_FALSE(Skipped) << W.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Out-of-bounds rejection, one per SK0x code
+//===----------------------------------------------------------------------===//
+
+TEST(KernelVerifier, RejectsOutOfBoundsLoad) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16]; array float B[32];
+      loop i = 0 .. 32 { B[i] = A[i] + 1.0; }
+    })");
+  KernelVerifyResult R = verifyKernel(K);
+  EXPECT_FALSE(R.BoundsProven);
+  EXPECT_TRUE(R.hasErrors());
+  EXPECT_TRUE(hasCode(R, "SK01")) << renderDiagnostics(R.Diags);
+  // The offending iterations are exact: A[i] breaks for i in [16, 31].
+  std::string Msg = messageOf(R, "SK01");
+  EXPECT_NE(Msg.find("offending iterations: i in [16, 31]"),
+            std::string::npos)
+      << Msg;
+}
+
+TEST(KernelVerifier, RejectsOutOfBoundsUnguardedStore) {
+  Kernel K = parse(R"(
+    kernel k { array float A[16];
+      loop i = 0 .. 16 { A[i+4] = 1.0; }
+    })");
+  KernelVerifyResult R = verifyKernel(K);
+  EXPECT_TRUE(hasCode(R, "SK02"));
+  std::string Msg = messageOf(R, "SK02");
+  EXPECT_NE(Msg.find("offset range [4, 19] outside [0, 16)"),
+            std::string::npos)
+      << Msg;
+  EXPECT_NE(Msg.find("offending iterations: i in [12, 15]"),
+            std::string::npos)
+      << Msg;
+}
+
+TEST(KernelVerifier, RejectsOutOfBoundsGuardedStore) {
+  // The guard may suppress the store dynamically, but the bounds
+  // contract covers the reference anyway (the vector path computes the
+  // address unconditionally).
+  Kernel K = parse(R"(
+    kernel k { array float A[8]; array float w[32] readonly;
+      loop i = 0 .. 32 { if (w[i] > 0.0) A[i] = 1.0; }
+    })");
+  KernelVerifyResult R = verifyKernel(K);
+  EXPECT_FALSE(R.BoundsProven);
+  EXPECT_TRUE(hasCode(R, "SK03"));
+}
+
+TEST(KernelVerifier, RejectsUnboundableReference) {
+  // INT64_MAX * i overflows the offset fold: not provable, SK04.
+  KernelBuilder B("k");
+  SymbolId S = B.scalar("s", ScalarType::Float32);
+  SymbolId A = B.array("A", ScalarType::Float32, {32});
+  unsigned I = B.loop("i", 0, 8);
+  B.assign(B.arrayRef(A, {B.idx(I, INT64_MAX)}), B.scalarRef(S));
+  KernelVerifyResult R = verifyKernel(B.take());
+  EXPECT_FALSE(R.BoundsProven);
+  EXPECT_TRUE(hasCode(R, "SK04"));
+}
+
+TEST(KernelVerifier, RejectsDepthOutsideNest) {
+  // A subscript naming loop depth 1 in a depth-1 nest: SK04.
+  KernelBuilder B("k");
+  SymbolId S = B.scalar("s", ScalarType::Float32);
+  SymbolId A = B.array("A", ScalarType::Float32, {32});
+  B.loop("i", 0, 8);
+  B.assign(B.arrayRef(A, {AffineExpr::term(1, 1)}), B.scalarRef(S));
+  KernelVerifyResult R = verifyKernel(B.take());
+  EXPECT_FALSE(R.BoundsProven);
+  EXPECT_TRUE(hasCode(R, "SK04"));
+}
+
+TEST(KernelVerifier, RejectsRankMismatch) {
+  // One subscript against a rank-2 array: SK05.
+  KernelBuilder B("k");
+  SymbolId S = B.scalar("s", ScalarType::Float32);
+  SymbolId A = B.array("A", ScalarType::Float32, {8, 8});
+  unsigned I = B.loop("i", 0, 8);
+  B.assign(B.arrayRef(A, {B.idx(I)}), B.scalarRef(S));
+  KernelVerifyResult R = verifyKernel(B.take());
+  EXPECT_FALSE(R.BoundsProven);
+  EXPECT_TRUE(hasCode(R, "SK05"));
+}
+
+TEST(KernelVerifier, NegativeOffsetsReportLowSideInterval) {
+  Kernel K = parse(R"(
+    kernel k { array float A[32]; array float B[32];
+      loop i = 0 .. 32 { B[i] = A[i - 4] + 1.0; }
+    })");
+  KernelVerifyResult R = verifyKernel(K);
+  EXPECT_TRUE(hasCode(R, "SK01"));
+  std::string Msg = messageOf(R, "SK01");
+  // The low side breaks first: i in [0, 3] drives the offset negative.
+  EXPECT_NE(Msg.find("offending iterations: i in [0, 3]"),
+            std::string::npos)
+      << Msg;
+}
+
+TEST(KernelVerifier, StridedLatticeBoundsAreExact) {
+  // Over i = 0, 3, ..., 21 the offset 3i stays within [0, 63]: in
+  // bounds even though Upper - 1 = 23 would overflow 3 * 23 = 69. The
+  // verifier must range over the lattice the loop actually visits.
+  Kernel K = parse(R"(
+    kernel k { scalar float s; array float A[64];
+      loop i = 0 .. 24 step 3 { A[3*i] = s; }
+    })");
+  KernelVerifyResult R = verifyKernel(K);
+  EXPECT_TRUE(R.BoundsProven) << renderDiagnostics(R.Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// The lint tier
+//===----------------------------------------------------------------------===//
+
+TEST(KernelVerifier, LintsDeadScalarStore) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a; array float A[16];
+      loop i = 0 .. 16 {
+        a = 1.0;
+        a = 2.0;
+        A[i] = a;
+      }
+    })");
+  KernelVerifyResult R = verifyWithLints(K);
+  EXPECT_TRUE(hasCode(R, "SK10"));
+  EXPECT_TRUE(R.BoundsProven); // a lint does not break the proof
+  EXPECT_FALSE(R.hasErrors());
+}
+
+TEST(KernelVerifier, GuardedOverwriteIsNotADeadStore) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a; array float A[16]; array float w[16] readonly;
+      loop i = 0 .. 16 {
+        a = 1.0;
+        if (w[i] > 0.0) a = 2.0;
+        A[i] = a;
+      }
+    })");
+  KernelVerifyResult R = verifyWithLints(K);
+  EXPECT_FALSE(hasCode(R, "SK10"));
+}
+
+TEST(KernelVerifier, LintsUnusedScalar) {
+  Kernel K = parse(R"(
+    kernel k { scalar float used, unused; array float A[16];
+      loop i = 0 .. 16 { A[i] = used; }
+    })");
+  KernelVerifyResult R = verifyWithLints(K);
+  EXPECT_TRUE(hasCode(R, "SK11"));
+  EXPECT_NE(messageOf(R, "SK11").find("'unused'"), std::string::npos);
+}
+
+TEST(KernelVerifier, LintsRangeProvenGuards) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a; array float A[16];
+      loop i = 0 .. 16 {
+        a = 2.0;
+        if (a > 1.0) A[i] = 1.0;
+        if (a < 1.0) A[i] = 2.0;
+      }
+    })");
+  KernelVerifyResult R = verifyWithLints(K);
+  EXPECT_TRUE(hasCode(R, "SK12")); // always taken
+  EXPECT_TRUE(hasCode(R, "SK13")); // never taken
+}
+
+TEST(KernelVerifier, LintsZeroTripNest) {
+  Kernel K = parse(R"(
+    kernel k { scalar float s; array float A[4];
+      loop i = 0 .. 0 { A[i+100] = s; }
+    })");
+  KernelVerifyResult R = verifyWithLints(K);
+  // The wild reference is unreachable: no bounds error, but SK14 warns.
+  EXPECT_TRUE(R.BoundsProven);
+  EXPECT_TRUE(hasCode(R, "SK14"));
+}
+
+TEST(KernelVerifier, WarningsAsErrorsPromotesLints) {
+  Kernel K = parse(R"(
+    kernel k { scalar float used, unused; array float A[16];
+      loop i = 0 .. 16 { A[i] = used; }
+    })");
+  KernelVerifyResult Plain = verifyWithLints(K);
+  EXPECT_FALSE(Plain.hasErrors());
+  KernelVerifyResult Strict = verifyWithLints(K, /*Werror=*/true);
+  EXPECT_TRUE(Strict.hasErrors());
+  // Promotion changes severity, not the proof: bounds remain proven.
+  EXPECT_TRUE(Strict.BoundsProven);
+}
+
+//===----------------------------------------------------------------------===//
+// The range-soundness oracle
+//===----------------------------------------------------------------------===//
+
+TEST(KernelVerifier, RangeSoundnessSkipsUnverifiableKernels) {
+  Kernel Bad = parse(R"(
+    kernel k { array float A[4]; array float B[32];
+      loop i = 0 .. 32 { B[i] = A[i]; }
+    })");
+  bool Skipped = false;
+  EXPECT_FALSE(checkRangeSoundness(Bad, 1, &Skipped).has_value());
+  EXPECT_TRUE(Skipped);
+
+  Kernel ZeroTrip = parse(R"(
+    kernel k { scalar float s; array float A[4];
+      loop i = 0 .. 0 { A[i] = s; }
+    })");
+  EXPECT_FALSE(checkRangeSoundness(ZeroTrip, 1, &Skipped).has_value());
+  EXPECT_TRUE(Skipped);
+}
+
+TEST(KernelVerifier, RangeSoundnessHoldsOnGuardedAccumulator) {
+  // Accumulators widen, guards refine, integer stores truncate: one
+  // kernel exercising all three against the interpreter, several seeds.
+  Kernel K = parse(R"(
+    kernel k { scalar float acc; scalar int n; array float X[64] readonly;
+      array int C[64];
+      loop i = 0 .. 64 {
+        acc = acc + X[i];
+        if (X[i] > 0.5) n = n + 1;
+        C[i] = n;
+      }
+    })");
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    bool Skipped = true;
+    std::optional<std::string> V = checkRangeSoundness(K, Seed, &Skipped);
+    EXPECT_FALSE(V.has_value()) << "seed " << Seed << ": " << *V;
+    EXPECT_FALSE(Skipped);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration (verify-kernel runs first)
+//===----------------------------------------------------------------------===//
+
+TEST(KernelVerifier, PipelineSurfacesKernelDiagnostics) {
+  Kernel Bad = parse(R"(
+    kernel k { array float A[16]; array float B[32];
+      loop i = 0 .. 32 { B[i] = A[i] + 1.0; }
+    })");
+  PipelineOptions Opts;
+  Opts.VerifyKernel = true;
+  PipelineResult R = runPipeline(Bad, OptimizerKind::Global, Opts);
+  EXPECT_FALSE(R.KernelVerified);
+  ASSERT_FALSE(R.KernelDiags.empty());
+  EXPECT_EQ(R.KernelDiags.front().Code, "SK01");
+
+  Kernel Good = parse(R"(
+    kernel k { array float A[32]; array float B[32];
+      loop i = 0 .. 32 { B[i] = A[i] + 1.0; }
+    })");
+  PipelineResult G = runPipeline(Good, OptimizerKind::Global, Opts);
+  EXPECT_TRUE(G.KernelVerified);
+  EXPECT_TRUE(G.KernelDiags.empty());
+}
+
+TEST(KernelVerifier, PipelineSkipsVerifierWhenDisabled) {
+  Kernel Bad = parse(R"(
+    kernel k { array float A[16]; array float B[32];
+      loop i = 0 .. 32 { B[i] = A[i] + 1.0; }
+    })");
+  PipelineOptions Opts;
+  Opts.VerifyKernel = false;
+  PipelineResult R = runPipeline(Bad, OptimizerKind::Global, Opts);
+  EXPECT_FALSE(R.KernelVerified);
+  EXPECT_TRUE(R.KernelDiags.empty());
+}

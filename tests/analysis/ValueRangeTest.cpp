@@ -1,0 +1,261 @@
+//===- tests/analysis/ValueRangeTest.cpp ----------------------*- C++ -*-===//
+//
+// The interval client of the monotone framework: interval algebra
+// (join/widen/NaN bit), the opcode transfer functions, exact affine
+// ranges over strided domains, and whole-kernel fixpoints — literals,
+// accumulator widening, guard-refined store ranges, and soundness
+// against the scalar interpreter on a hand-picked kernel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ValueRange.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace slp;
+
+namespace {
+
+Kernel parse(const std::string &Src) {
+  ParseResult R = parseKernel(Src);
+  EXPECT_TRUE(R.succeeded()) << R.ErrorMessage;
+  return std::move(*R.TheKernel);
+}
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+TEST(ValueInterval, BasicsAndContainment) {
+  ValueInterval Top = ValueInterval::top();
+  EXPECT_TRUE(Top.isTop());
+  EXPECT_TRUE(Top.contains(1e300));
+  EXPECT_TRUE(Top.contains(std::nan("")));
+
+  ValueInterval E = ValueInterval::exact(3.5);
+  EXPECT_EQ(E.Lo, 3.5);
+  EXPECT_EQ(E.Hi, 3.5);
+  EXPECT_FALSE(E.MayNaN);
+  EXPECT_TRUE(E.contains(3.5));
+  EXPECT_FALSE(E.contains(3.4));
+  EXPECT_FALSE(E.contains(std::nan("")));
+
+  // The bounds are closed; the NaN bit is orthogonal to them.
+  ValueInterval R = ValueInterval::range(-1.0, 2.0, /*MayNaN=*/true);
+  EXPECT_TRUE(R.contains(-1.0));
+  EXPECT_TRUE(R.contains(2.0));
+  EXPECT_FALSE(R.contains(2.1));
+  EXPECT_TRUE(R.contains(std::nan("")));
+}
+
+TEST(ValueInterval, JoinIsLeastUpperBound) {
+  ValueInterval A = ValueInterval::range(0.0, 1.0);
+  ValueInterval B = ValueInterval::range(3.0, 4.0, /*MayNaN=*/true);
+  EXPECT_TRUE(A.joinWith(B));
+  EXPECT_EQ(A.Lo, 0.0);
+  EXPECT_EQ(A.Hi, 4.0);
+  EXPECT_TRUE(A.MayNaN);
+  // Joining a subset changes nothing.
+  ValueInterval C = ValueInterval::range(1.0, 2.0);
+  EXPECT_FALSE(A.joinWith(C));
+}
+
+TEST(ValueInterval, WideningJumpsGrowingBounds) {
+  ValueInterval Prev = ValueInterval::range(0.0, 10.0);
+  ValueInterval Cur = ValueInterval::range(0.0, 11.0);
+  Cur.widenAgainst(Prev);
+  EXPECT_EQ(Cur.Lo, 0.0); // stable bound keeps precision
+  EXPECT_EQ(Cur.Hi, Inf); // growing bound jumps
+  ValueInterval Shrink = ValueInterval::range(-5.0, 10.0);
+  Shrink.widenAgainst(ValueInterval::range(0.0, 10.0));
+  EXPECT_EQ(Shrink.Lo, -Inf);
+  EXPECT_EQ(Shrink.Hi, 10.0);
+}
+
+TEST(ValueInterval, TransferFunctions) {
+  ValueInterval A = ValueInterval::range(-2.0, 3.0);
+  ValueInterval B = ValueInterval::range(1.0, 4.0);
+
+  ValueInterval Sum = applyBinaryOp(OpCode::Add, A, B);
+  EXPECT_EQ(Sum.Lo, -1.0);
+  EXPECT_EQ(Sum.Hi, 7.0);
+
+  // Multiplication takes the corner extremes: {-8, -2, 3, 12}.
+  ValueInterval Prod = applyBinaryOp(OpCode::Mul, A, B);
+  EXPECT_EQ(Prod.Lo, -8.0);
+  EXPECT_EQ(Prod.Hi, 12.0);
+
+  // Comparisons land in [0, 1] and never produce NaN, whatever the
+  // inputs may be.
+  ValueInterval Cmp = applyBinaryOp(OpCode::CmpLT, ValueInterval::top(),
+                                    ValueInterval::top());
+  EXPECT_GE(Cmp.Lo, 0.0);
+  EXPECT_LE(Cmp.Hi, 1.0);
+  EXPECT_FALSE(Cmp.MayNaN);
+  // A decided comparison collapses to a point.
+  ValueInterval Decided = applyBinaryOp(
+      OpCode::CmpLT, ValueInterval::range(0.0, 1.0),
+      ValueInterval::range(2.0, 3.0));
+  EXPECT_EQ(Decided.Lo, 1.0);
+  EXPECT_EQ(Decided.Hi, 1.0);
+
+  ValueInterval Neg = applyUnaryOp(OpCode::Neg, A);
+  EXPECT_EQ(Neg.Lo, -3.0);
+  EXPECT_EQ(Neg.Hi, 2.0);
+
+  // Division by an interval spanning zero can produce anything.
+  ValueInterval Div = applyBinaryOp(OpCode::Div, B, A);
+  EXPECT_TRUE(Div.Lo == -Inf && Div.Hi == Inf);
+}
+
+TEST(ValueInterval, SelectAndStoreConversion) {
+  ValueInterval T = ValueInterval::range(1.0, 2.0);
+  ValueInterval F = ValueInterval::range(10.0, 20.0);
+  // Condition cannot be zero: the true arm alone.
+  ValueInterval Taken =
+      applySelect(ValueInterval::range(0.5, 1.0), T, F);
+  EXPECT_EQ(Taken.Lo, 1.0);
+  EXPECT_EQ(Taken.Hi, 2.0);
+  // Condition exactly zero: the false arm alone.
+  ValueInterval NotTaken = applySelect(ValueInterval::exact(0.0), T, F);
+  EXPECT_EQ(NotTaken.Lo, 10.0);
+  // Undecided: the hull.
+  ValueInterval Either =
+      applySelect(ValueInterval::range(0.0, 1.0), T, F);
+  EXPECT_EQ(Either.Lo, 1.0);
+  EXPECT_EQ(Either.Hi, 20.0);
+
+  // Integer stores truncate toward zero.
+  ValueInterval Frac = ValueInterval::range(-2.9, 3.9);
+  ValueInterval AsInt = applyStoreConversion(ScalarType::Int32, Frac);
+  EXPECT_EQ(AsInt.Lo, -2.0);
+  EXPECT_EQ(AsInt.Hi, 3.0);
+  ValueInterval AsFloat = applyStoreConversion(ScalarType::Float32, Frac);
+  EXPECT_EQ(AsFloat.Lo, -2.9);
+  EXPECT_EQ(AsFloat.Hi, 3.9);
+}
+
+TEST(ValueRange, AffineRangeOverStridedDomain) {
+  Kernel K = parse(R"(
+    kernel k { scalar float s; array float A[64];
+      loop i = 0 .. 24 step 3 { A[i] = s; }
+    })");
+  // 2i + 1 over i in {0, 3, ..., 21}.
+  OffsetInterval R = affineRangeOverDomain(K, AffineExpr::term(0, 2, 1));
+  ASSERT_TRUE(R.Known);
+  EXPECT_EQ(R.Lo, 1);
+  EXPECT_EQ(R.Hi, 43);
+  // Negative coefficient flips which end is the minimum.
+  OffsetInterval Neg = affineRangeOverDomain(K, AffineExpr::term(0, -2, 1));
+  ASSERT_TRUE(Neg.Known);
+  EXPECT_EQ(Neg.Lo, -41);
+  EXPECT_EQ(Neg.Hi, 1);
+  // Overflowing folds degrade to unknown instead of wrapping.
+  OffsetInterval Huge =
+      affineRangeOverDomain(K, AffineExpr::term(0, INT64_MAX, 1));
+  EXPECT_FALSE(Huge.Known);
+
+  int64_t Lo = 0, Hi = 0;
+  ASSERT_TRUE(loopIndexBounds(K, 0, Lo, Hi));
+  EXPECT_EQ(Lo, 0);
+  EXPECT_EQ(Hi, 21); // last lattice point, not Upper - 1
+}
+
+TEST(ValueRange, LiteralsAndAffinePropagation) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b; array float X[16] readonly;
+      loop i = 0 .. 16 {
+        a = 2.0;
+        b = a * 3.0 + 1.0;
+      }
+    })");
+  ValueRangeInfo R = computeValueRanges(K);
+  // After `a = 2.0`, statement 1 sees a == [2, 2]; b becomes [7, 7].
+  EXPECT_EQ(R.scalarBefore(1, 0), ValueInterval::exact(2.0));
+  EXPECT_EQ(R.Stmts[1].Rhs, ValueInterval::exact(7.0));
+  EXPECT_EQ(R.ScalarExit[1], ValueInterval::exact(7.0));
+  // Before statement 0 of a later iteration `a` is already known, but
+  // the first iteration joins the unknown input: still top on entry.
+  EXPECT_TRUE(R.scalarBefore(0, 0).isTop());
+}
+
+TEST(ValueRange, AccumulatorStaysSoundWithoutIterating) {
+  Kernel K = parse(R"(
+    kernel k { scalar float acc; array float X[4096] readonly;
+      loop i = 0 .. 4096 { acc = acc + 1.0; }
+    })");
+  ValueRangeInfo R = computeValueRanges(K);
+  // The accumulator's exit range must be sound (unbounded above: the
+  // input is unknown and grows every iteration) and the solver must get
+  // there in a handful of sweeps, not 4096.
+  EXPECT_LT(R.Sweeps, 10u);
+  EXPECT_EQ(R.ScalarExit[0].Hi, Inf);
+}
+
+TEST(ValueRange, ArrayLoadsAreUnknown) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a; array float X[16] readonly;
+      loop i = 0 .. 16 { a = X[i]; }
+    })");
+  ValueRangeInfo R = computeValueRanges(K);
+  EXPECT_TRUE(R.ScalarExit[0].isTop());
+}
+
+TEST(ValueRange, GuardRefinesStoredValueButNotRhs) {
+  Kernel K = parse(R"(
+    kernel k { scalar float x, y; array float X[16] readonly;
+      loop i = 0 .. 16 {
+        x = X[i];
+        if (x < 4.0) y = x;
+      }
+    })");
+  ValueRangeInfo R = computeValueRanges(K);
+  const StatementRanges &S = R.Stmts[1];
+  // The RHS is always evaluated: x is unknown there.
+  EXPECT_EQ(S.Rhs.Hi, Inf);
+  // But the store only commits when x < 4.0: the taken-path refinement
+  // caps the committed value (closed interval, so exactly 4.0).
+  EXPECT_LE(S.Stored.Hi, 4.0);
+  EXPECT_EQ(S.Stored.Lo, -Inf);
+}
+
+TEST(ValueRange, GuardClassification) {
+  Kernel K = parse(R"(
+    kernel k { scalar float a, b; array float A[16]; array float X[16] readonly;
+      loop i = 0 .. 16 {
+        a = 2.0;
+        if (a > 1.0) A[i] = 1.0;
+        if (a < 1.0) A[i] = 2.0;
+        b = X[i];
+        if (b > 1.0) A[i] = 3.0;
+      }
+    })");
+  ValueRangeInfo R = computeValueRanges(K);
+  EXPECT_EQ(classifyGuardByRange(K, K.Body.statement(1).guard(),
+                                 R.ScalarIn[1]),
+            GuardVerdict::AlwaysTaken);
+  EXPECT_EQ(classifyGuardByRange(K, K.Body.statement(2).guard(),
+                                 R.ScalarIn[2]),
+            GuardVerdict::NeverTaken);
+  EXPECT_EQ(classifyGuardByRange(K, K.Body.statement(4).guard(),
+                                 R.ScalarIn[4]),
+            GuardVerdict::Unknown);
+}
+
+TEST(ValueRange, NaNPropagatesThroughArithmetic) {
+  // 0 * inf and inf - inf manufacture NaN; the may-bit must survive
+  // arithmetic that could produce or propagate it.
+  ValueInterval MaybeNaN = ValueInterval::range(0.0, 1.0, /*MayNaN=*/true);
+  ValueInterval Plain = ValueInterval::exact(1.0);
+  EXPECT_TRUE(applyBinaryOp(OpCode::Add, MaybeNaN, Plain).MayNaN);
+  EXPECT_TRUE(applyUnaryOp(OpCode::Neg, MaybeNaN).MayNaN);
+  // Adding opposite infinities can produce NaN even from NaN-free inputs.
+  ValueInterval Wide = ValueInterval::range(-Inf, Inf);
+  EXPECT_TRUE(applyBinaryOp(OpCode::Add, Wide, Wide).MayNaN);
+  // Bounded NaN-free arithmetic stays NaN-free.
+  EXPECT_FALSE(applyBinaryOp(OpCode::Add, Plain, Plain).MayNaN);
+}

@@ -13,6 +13,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "fuzz/Mutator.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
 
 #include <gtest/gtest.h>
 
@@ -156,6 +159,85 @@ TEST(FuzzCampaign, InjectedBugIsCaughtAndReducedSmall) {
     ASSERT_TRUE(parseFuzzCase(Text, Case, &Error)) << Error;
     EXPECT_TRUE(runFuzzCase(Case, &Error)) << Error;
   }
+}
+
+// Guard expressions are uses like any other: operand-level mutations must
+// be able to reach an array reference (or constant) that appears only in a
+// statement's guard. Before guards joined the use walk, every mutation
+// below returned nullopt on these kernels for every seed.
+TEST(Mutator, GuardArrayReferenceIsMutable) {
+  const char *Src = "kernel guard_only {\n"
+                    "array float W[64];\n"
+                    "scalar float s, x;\n"
+                    "loop i = 0 .. 64 {\n"
+                    "  if (W[i] > 0.5) s = x;\n"
+                    "}\n"
+                    "}\n";
+  ParseResult R = parseKernel(Src);
+  ASSERT_TRUE(R.succeeded()) << R.ErrorMessage;
+  const Kernel &Base = *R.TheKernel;
+  const std::string BasePrinted = printKernel(Base);
+
+  bool SubscriptApplied = false;
+  bool SubscriptChangedGuard = false;
+  bool ConstantApplied = false;
+  for (uint64_t Seed = 0; Seed != 400; ++Seed) {
+    Kernel K = Base.clone();
+    Rng Rand(Seed);
+    std::optional<MutationKind> Kind = mutateKernel(K, Rand);
+    if (!Kind)
+      continue;
+    if (*Kind == MutationKind::PerturbSubscriptConstant ||
+        *Kind == MutationKind::PerturbSubscriptCoeff) {
+      // The guard holds the kernel's only array reference, so a subscript
+      // perturbation firing at all proves the guard was scanned.
+      SubscriptApplied = true;
+      if (printKernel(K) != BasePrinted)
+        SubscriptChangedGuard = true;
+    }
+    if (*Kind == MutationKind::PerturbConstant) {
+      // Likewise 0.5 in the guard is the only constant leaf.
+      ConstantApplied = true;
+      EXPECT_NE(printKernel(K), BasePrinted);
+    }
+  }
+  EXPECT_TRUE(SubscriptApplied);
+  EXPECT_TRUE(SubscriptChangedGuard);
+  EXPECT_TRUE(ConstantApplied);
+}
+
+TEST(Mutator, GuardOperandCanBeRedirected) {
+  const char *Src = "kernel guard_redirect {\n"
+                    "array float W[64];\n"
+                    "array float V[64];\n"
+                    "scalar float s;\n"
+                    "loop i = 0 .. 64 {\n"
+                    "  if (W[i] > 0.5) s = 2.0;\n"
+                    "}\n"
+                    "}\n";
+  ParseResult R = parseKernel(Src);
+  ASSERT_TRUE(R.succeeded()) << R.ErrorMessage;
+  const Kernel &Base = *R.TheKernel;
+
+  // The rhs is a lone constant, so RedirectOperand can only succeed by
+  // retargeting the guard's W[i]; with two rank-1 arrays it must
+  // eventually land on V.
+  bool Redirected = false;
+  bool RetargetedToV = false;
+  for (uint64_t Seed = 0; Seed != 400; ++Seed) {
+    Kernel K = Base.clone();
+    Rng Rand(Seed);
+    std::optional<MutationKind> Kind = mutateKernel(K, Rand);
+    if (Kind != MutationKind::RedirectOperand)
+      continue;
+    Redirected = true;
+    K.Body.statement(0).forEachUse([&](const Operand &Op) {
+      if (Op.isArray() && K.Arrays[Op.symbol()].Name == "V")
+        RetargetedToV = true;
+    });
+  }
+  EXPECT_TRUE(Redirected);
+  EXPECT_TRUE(RetargetedToV);
 }
 
 TEST(FuzzCampaign, SameSeedSameStats) {

@@ -247,6 +247,50 @@ TEST(EquivalenceEdgeCases, GuardedAccumulateWithSelect) {
     })");
 }
 
+TEST(EquivalenceEdgeCases, RangeWorkloadSweepStaysBitIdentical) {
+  // The range workload suite exists to exercise the sharpened dependence
+  // tier, so demand both halves of the bargain at once: the sharpening
+  // actually fires (dep.range-disproved / dep.guard-disjoint nonzero) and
+  // the vector program still matches scalar execution bit for bit.
+  unsigned WithRangeDisproved = 0;
+  for (const Workload &W : rangeWorkloads()) {
+    for (bool Amd : {false, true}) {
+      PipelineOptions Options;
+      Options.Machine = Amd ? MachineModel::amdPhenomII()
+                            : MachineModel::intelDunnington();
+      PipelineResult R =
+          runPipeline(W.TheKernel, OptimizerKind::GlobalLayout, Options);
+      std::string Error;
+      EXPECT_TRUE(checkEquivalence(W.TheKernel, R, /*Seed=*/1234, &Error))
+          << W.Name << (Amd ? " amd" : " intel") << ": " << Error;
+      EXPECT_GT(R.Stats.get("dep.range-disproved") +
+                    R.Stats.get("dep.guard-disjoint"),
+                0u)
+          << W.Name;
+      if (!Amd && R.Stats.get("dep.range-disproved") > 0)
+        ++WithRangeDisproved;
+    }
+  }
+  EXPECT_GE(WithRangeDisproved, 2u);
+}
+
+TEST(EquivalenceEdgeCases, RangeSharpeningOffStaysBitIdentical) {
+  // Ablation: the blunt tier (RangeSharpenDeps=false) must also stay
+  // correct — sharpening may only ever remove dependences that were
+  // already infeasible, never change results.
+  for (const Workload &W : rangeWorkloads()) {
+    PipelineOptions Options;
+    Options.RangeSharpenDeps = false;
+    PipelineResult R =
+        runPipeline(W.TheKernel, OptimizerKind::Global, Options);
+    std::string Error;
+    EXPECT_TRUE(checkEquivalence(W.TheKernel, R, /*Seed=*/99, &Error))
+        << W.Name << ": " << Error;
+    EXPECT_EQ(R.Stats.get("dep.range-disproved"), 0u) << W.Name;
+    EXPECT_EQ(R.Stats.get("dep.guard-disjoint"), 0u) << W.Name;
+  }
+}
+
 TEST(EquivalenceEdgeCases, PredicatedWorkloadSweep) {
   // The predicated workload suite across both machine models.
   for (const Workload &W : predicatedWorkloads()) {

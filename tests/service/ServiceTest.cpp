@@ -621,6 +621,39 @@ TEST(ServiceServer, MalformedKernelFailsTheRequest) {
   Server.stop();
 }
 
+TEST(ServiceServer, PrecheckRejectsOutOfBoundsKernel) {
+  // The daemon statically verifies every kernel before spending any
+  // compile time on it: a provably out-of-bounds reference fails the
+  // request with the verifier's SK diagnostics, unconditionally (the
+  // precheck is not a ServiceOption and never enters the cache key).
+  const char *OutOfBounds = R"(
+    kernel oob {
+      array float A[32];
+      loop i = 0 .. 64 { A[i] = A[i] + 1.0; }
+    }
+  )";
+  ServerConfig Config;
+  Config.SocketPath = "/unused-but-required";
+  ServiceServer Server(Config); // handle() needs no socket
+
+  ServiceReply Reply = Server.handle(compileRequest({OutOfBounds}));
+  EXPECT_FALSE(Reply.Ok);
+  EXPECT_NE(Reply.Error.find("rejected by kernel verifier"),
+            std::string::npos)
+      << Reply.Error;
+  EXPECT_NE(Reply.Error.find("SK"), std::string::npos) << Reply.Error;
+  EXPECT_EQ(Reply.counter("server.precheck-rejects"), 1u);
+  EXPECT_EQ(Server.counters().PrecheckRejects, 1u);
+  // Nothing was compiled or cached for the rejected kernel.
+  EXPECT_EQ(Reply.counter("cache.misses"), 0u);
+
+  // A safe kernel still compiles, and the reject tally is cumulative.
+  ServiceReply Good =
+      Server.handle(compileRequest({canonicalText(SecondKernel)}));
+  EXPECT_TRUE(Good.Ok);
+  EXPECT_EQ(Good.counter("server.precheck-rejects"), 1u);
+}
+
 TEST(ServiceServer, ShutdownRequestEndsWait) {
   TempDir Dir;
   ServerConfig Config;

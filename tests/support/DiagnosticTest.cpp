@@ -134,4 +134,79 @@ TEST(DiagnosticFreeFunctions, RenderAndCount) {
   EXPECT_NE(Json.find("\"VL04\""), std::string::npos) << Json;
 }
 
+TEST(DiagnosticFreeFunctions, EmptyDiagnostics) {
+  // The JSON surface (slpc --json, the daemon protocol) must emit a valid
+  // empty array for a clean run, and the text renderer must not invent
+  // a trailing newline to print.
+  std::vector<Diagnostic> None;
+  EXPECT_EQ(diagnosticsToJson(None), "[]");
+  EXPECT_EQ(renderDiagnostics(None), "");
+  EXPECT_EQ(countDiagnostics(None, DiagSeverity::Error), 0u);
+  EXPECT_EQ(countDiagnostics(None, DiagSeverity::Warning), 0u);
+}
+
+TEST(Diagnostic, LocationJsonRoundTrip) {
+  // Every location field survives into JSON under its stable key, in the
+  // documented order, and absent (-1) fields are omitted entirely.
+  Diagnostic D;
+  D.Code = "SK02";
+  D.Severity = DiagSeverity::Error;
+  D.Message = "store out of bounds";
+  D.Loc.Stmt = 3;
+  D.Loc.Inst = 4;
+  D.Loc.VReg = 7;
+  D.Loc.Lane = 2;
+  D.Loc.Item = 1;
+  EXPECT_NE(D.toJson().find(
+                "\"loc\":{\"stmt\":3,\"inst\":4,\"vreg\":7,\"lane\":2,"
+                "\"item\":1}"),
+            std::string::npos)
+      << D.toJson();
+
+  D.Loc = DiagLocation();
+  D.Loc.Stmt = 0; // zero is a real statement id, not "absent"
+  EXPECT_NE(D.toJson().find("\"loc\":{\"stmt\":0}"), std::string::npos)
+      << D.toJson();
+
+  D.Loc = DiagLocation();
+  EXPECT_EQ(D.toJson().find("\"loc\""), std::string::npos) << D.toJson();
+}
+
+TEST(Diagnostic, SeverityOrderingIsStable) {
+  // Downstream tooling compares severities numerically (a promoted
+  // warning must sort with the errors); the enum order is interface.
+  EXPECT_LT(static_cast<int>(DiagSeverity::Note),
+            static_cast<int>(DiagSeverity::Warning));
+  EXPECT_LT(static_cast<int>(DiagSeverity::Warning),
+            static_cast<int>(DiagSeverity::Error));
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Note), "note");
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Warning), "warning");
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Error), "error");
+}
+
+TEST(DiagnosticEngine, WerrorPromotionReachesJsonAndKeepsCode) {
+  // The --werror path: a promoted lint keeps its SK1*/VL* code (tools
+  // match on codes, not severities) but serializes as a full error.
+  DiagnosticEngine Engine;
+  Engine.setWarningsAsErrors(true);
+  Engine.report("SK10", DiagSeverity::Warning, "loop-invariant subscript")
+      .Loc.Stmt = 2;
+  ASSERT_EQ(Engine.all().size(), 1u);
+  const Diagnostic &D = Engine.all().front();
+  EXPECT_EQ(D.Code, "SK10");
+  EXPECT_EQ(D.Severity, DiagSeverity::Error);
+  EXPECT_TRUE(Engine.hasErrors());
+  std::string Json = D.toJson();
+  EXPECT_NE(Json.find("\"code\":\"SK10\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"severity\":\"error\""), std::string::npos) << Json;
+  EXPECT_EQ(Json.find("warning"), std::string::npos) << Json;
+
+  // Switching promotion back off only affects later reports.
+  Engine.setWarningsAsErrors(false);
+  Engine.report("SK11", DiagSeverity::Warning, "guard always true");
+  EXPECT_EQ(Engine.warningCount(), 1u);
+  EXPECT_EQ(Engine.errorCount(), 1u);
+  EXPECT_EQ(Engine.all().back().Severity, DiagSeverity::Warning);
+}
+
 } // namespace

@@ -201,8 +201,11 @@ TEST(PassRegistry, CanonicalPipelinesPerKind) {
        {OptimizerKind::Scalar, OptimizerKind::Native,
         OptimizerKind::LarsenSlp, OptimizerKind::Global}) {
     std::vector<std::string> Names = canonicalPassNames(Kind);
-    EXPECT_EQ(Names.front(), "if-convert") << optimizerName(Kind);
-    EXPECT_EQ(Names[1], "unroll") << optimizerName(Kind);
+    // Kernel verification leads (diagnostics point at the source), then
+    // the transformation stages in Figure 3 order.
+    EXPECT_EQ(Names.front(), "verify-kernel") << optimizerName(Kind);
+    EXPECT_EQ(Names[1], "if-convert") << optimizerName(Kind);
+    EXPECT_EQ(Names[2], "unroll") << optimizerName(Kind);
     EXPECT_EQ(Names.back(), "verify-vector");
     EXPECT_EQ(std::count(Names.begin(), Names.end(), "layout"), 0)
         << optimizerName(Kind);

@@ -9,6 +9,8 @@
 
 #include "transform/IfConvert.h"
 
+#include "analysis/ValueRange.h"
+
 #include "ir/Interpreter.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -115,4 +117,108 @@ TEST(IfConvert, StraightLineKernelUnchanged) {
   EXPECT_EQ(Stats.FoldedTrue, 0u);
   EXPECT_EQ(Stats.FoldedFalse, 0u);
   EXPECT_EQ(printKernel(K), printKernel(Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Range-driven folding (the value-range analysis consumer)
+//===----------------------------------------------------------------------===//
+
+TEST(IfConvert, RangeProvenAlwaysTakenGuardDropped) {
+  // `a = 2.0` makes `a > 1.0` provably true by intervals even though the
+  // guard is not a literal constant.
+  Kernel K = parse(R"(
+    kernel r {
+      scalar float a;
+      array float x[8];
+      loop i = 0 .. 8 {
+        a = 2.0;
+        if (a > 1.0) x[i] = a;
+      }
+    })");
+  ValueRangeInfo Ranges = computeValueRanges(K);
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats, &Ranges);
+  EXPECT_EQ(Stats.FoldedRangeTrue, 1u);
+  EXPECT_EQ(Stats.FoldedTrue, 0u);
+  EXPECT_EQ(Stats.GuardedStatements, 0u);
+  ASSERT_EQ(Out.Body.size(), 2u);
+  EXPECT_FALSE(Out.Body.statement(1).hasGuard());
+  expectEquivalent(K, Out, 5);
+}
+
+TEST(IfConvert, RangeProvenNeverTakenStatementDeleted) {
+  Kernel K = parse(R"(
+    kernel r {
+      scalar float a;
+      array float x[8];
+      loop i = 0 .. 8 {
+        a = 2.0;
+        if (a < 1.0) x[i] = a;
+      }
+    })");
+  ValueRangeInfo Ranges = computeValueRanges(K);
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats, &Ranges);
+  EXPECT_EQ(Stats.FoldedRangeFalse, 1u);
+  EXPECT_EQ(Out.Body.size(), 1u);
+  expectEquivalent(K, Out, 7);
+}
+
+TEST(IfConvert, RangeFoldingSkipsLiteralConstantGuards) {
+  // The literal-constant carve-out survives range analysis: ranges decide
+  // `1.0 < 0.5` trivially, but folding it would kill the all-lanes-false
+  // masked-store coverage the differential suites rely on.
+  Kernel K = parse(R"(
+    kernel c {
+      array float a[8];
+      loop i = 0 .. 8 { if (1.0 < 0.5) a[i] = 1.0; }
+    })");
+  ValueRangeInfo Ranges = computeValueRanges(K);
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats, &Ranges);
+  EXPECT_EQ(Stats.FoldedRangeFalse, 0u);
+  EXPECT_EQ(Stats.FoldedRangeTrue, 0u);
+  EXPECT_EQ(Stats.GuardedStatements, 1u);
+  ASSERT_EQ(Out.Body.size(), 1u);
+  EXPECT_TRUE(Out.Body.statement(0).hasGuard());
+}
+
+TEST(IfConvert, UnprovableGuardSurvivesRangeAnalysis) {
+  // Array loads are unknown to the interval analysis: the guard stays.
+  Kernel K = parse(R"(
+    kernel u {
+      array float m[8] readonly;
+      array float a[8];
+      loop i = 0 .. 8 { if (m[i] > 0.0) a[i] = 1.0; }
+    })");
+  ValueRangeInfo Ranges = computeValueRanges(K);
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats, &Ranges);
+  EXPECT_EQ(Stats.FoldedRangeTrue, 0u);
+  EXPECT_EQ(Stats.FoldedRangeFalse, 0u);
+  EXPECT_EQ(Stats.GuardedStatements, 1u);
+  EXPECT_TRUE(Out.Body.statement(0).hasGuard());
+  expectEquivalent(K, Out, 13);
+}
+
+TEST(IfConvert, NaNAdmittingGuardIsNotProvenNeverTaken) {
+  // A guard whose interval is [0, 0] but may be NaN is NOT never-taken:
+  // NaN != 0.0, so the interpreter takes the store. 0 * m[i] builds
+  // exactly that shape (m[i] could be inf).
+  Kernel K = parse(R"(
+    kernel n {
+      scalar float z;
+      array float m[8] readonly;
+      array float a[8];
+      loop i = 0 .. 8 {
+        z = m[i] * 0.0;
+        if (z) a[i] = 1.0;
+      }
+    })");
+  ValueRangeInfo Ranges = computeValueRanges(K);
+  IfConvertStats Stats;
+  Kernel Out = ifConvertKernel(K, &Stats, &Ranges);
+  EXPECT_EQ(Stats.FoldedRangeFalse, 0u);
+  ASSERT_EQ(Out.Body.size(), 2u);
+  EXPECT_TRUE(Out.Body.statement(1).hasGuard());
 }

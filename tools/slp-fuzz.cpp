@@ -24,6 +24,9 @@
 //     --verify-vector     run the static translation validator as a third
 //                         oracle next to dynamic equivalence (default on);
 //                         --no-verify-vector opts out
+//     --verify-ranges     assert every dynamically observed value lies in
+//                         its statically predicted interval (default on);
+//                         --no-verify-ranges opts out
 //     --predication       seed base kernels from the predicated workload
 //                         pool and generate guarded statements, so
 //                         if-conversion and the masked vector path are
@@ -74,6 +77,10 @@ void printUsage() {
       "  --verify-vector    cross-check the static translation validator\n"
       "                     against dynamic equivalence (default on)\n"
       "  --no-verify-vector disable the static verifier oracle\n"
+      "  --verify-ranges    value-range soundness oracle: every observed\n"
+      "                     value inside its predicted interval (default\n"
+      "                     on)\n"
+      "  --no-verify-ranges disable the value-range oracle\n"
       "  --predication      seed predicated kernels and emit guarded\n"
       "                     statements (masked vector path every iteration)\n"
       "  --native           cross-check the host-compiled native engine\n"
@@ -231,6 +238,14 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--no-verify-vector") {
       Config.VerifyVector = false;
+      continue;
+    }
+    if (Arg == "--verify-ranges") {
+      Config.VerifyRanges = true;
+      continue;
+    }
+    if (Arg == "--no-verify-ranges") {
+      Config.VerifyRanges = false;
       continue;
     }
     if (Arg == "--predication") {

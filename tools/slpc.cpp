@@ -30,6 +30,11 @@
 //     --verify-vector      statically verify the vector program (lane
 //                          provenance translation validation)
 //     --no-verify-vector   force the static verifier off
+//     --verify-kernel      statically verify the source kernel: value-
+//                          range analysis proves every array reference in
+//                          bounds, or compilation stops with the exact
+//                          offending iteration interval (SK* diagnostics)
+//     --no-verify-kernel   force the kernel verifier off
 //     --analyze            static-analysis mode: verifier + lint tier,
 //                          print every diagnostic, skip execution
 //     --werror             treat analyzer warnings as errors
@@ -37,6 +42,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/KernelVerifier.h"
 #include "exec/ExecEngine.h"
 #include "ir/Parser.h"
 #include "native/CEmitter.h"
@@ -81,6 +87,7 @@ struct CliOptions {
   bool EmitC = false;
   bool Verify = true;
   std::optional<bool> VerifyVector; ///< unset = build-type default
+  std::optional<bool> VerifyKernel; ///< unset = build-type default
   bool Analyze = false;
   bool Werror = false;
   bool Quiet = false;
@@ -133,6 +140,10 @@ void printUsage() {
       "                        provenance translation validation; on by\n"
       "                        default in debug builds)\n"
       "  --no-verify-vector    force the static verifier off\n"
+      "  --verify-kernel       statically verify the source kernel (bounds\n"
+      "                        proof via value-range analysis; on by\n"
+      "                        default in debug builds)\n"
+      "  --no-verify-kernel    force the kernel verifier off\n"
       "  --analyze             static-analysis mode: run the verifier with\n"
       "                        its lint tier, print every diagnostic, and\n"
       "                        skip the execution-based check\n"
@@ -315,6 +326,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.VerifyVector = true;
     } else if (Arg == "--no-verify-vector") {
       Opts.VerifyVector = false;
+    } else if (Arg == "--verify-kernel") {
+      Opts.VerifyKernel = true;
+    } else if (Arg == "--no-verify-kernel") {
+      Opts.VerifyKernel = false;
     } else if (Arg == "--analyze") {
       Opts.Analyze = true;
     } else if (Arg == "--werror") {
@@ -537,6 +552,37 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // Static kernel verification runs before anything executes (locally or
+  // on a daemon): an out-of-bounds kernel must never reach the
+  // interpreter or the native backend. --analyze forces it on with the
+  // lint tier; otherwise --verify-kernel/--no-verify-kernel override the
+  // build-type default.
+  bool DoVerifyKernel =
+      Opts.Analyze ||
+      (Opts.VerifyKernel ? *Opts.VerifyKernel : defaultVerifyKernel());
+  if (DoVerifyKernel) {
+    KernelVerifyOptions VO;
+    VO.Lints = Opts.Analyze;
+    VO.WarningsAsErrors = Opts.Werror;
+    bool KernelErrors = false;
+    for (const Kernel &K : Parsed.Kernels) {
+      KernelVerifyResult KR = verifyKernel(K, VO);
+      for (const Diagnostic &D : KR.Diags) {
+        bool IsError = D.Severity == DiagSeverity::Error;
+        KernelErrors |= IsError;
+        if (Opts.Analyze || IsError)
+          std::fprintf(stderr, "slpc: %s: %s\n", K.Name.c_str(),
+                       D.render().c_str());
+      }
+    }
+    if (KernelErrors) {
+      std::fprintf(stderr,
+                   "slpc: KERNEL VERIFICATION FAILED: an array reference "
+                   "is not provably in bounds\n");
+      return 1;
+    }
+  }
+
   if (!Opts.Server.empty()) {
     if (!Opts.Passes.empty() || Opts.EmitC || Opts.TimePasses ||
         Opts.Remarks) {
@@ -565,6 +611,10 @@ int main(int Argc, char **Argv) {
     Options.VerifyVector = true;
   else if (Opts.VerifyVector)
     Options.VerifyVector = *Opts.VerifyVector;
+  // The up-front check above already reported kernel diagnostics; keep
+  // the in-pipeline stage consistent so verify-kernel.* statistics and
+  // remarks reflect the requested mode.
+  Options.VerifyKernel = DoVerifyKernel;
   Options.VerifyLint = Opts.Analyze;
   Options.VerifyWerror = Opts.Werror;
 
